@@ -1,0 +1,64 @@
+//! Microbenchmarks for the IMCa block cover/assemble math and the key
+//! schema — executed once per intercepted read at CMCache.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use imca_core::block::{aligned_range, assemble, cover};
+use imca_core::keys::{block_key, stat_key};
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block/cover");
+    for &(len, bs) in &[(1u64, 2048u64), (65536, 2048), (65536, 256), (1 << 20, 8192)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len{len}_bs{bs}")),
+            &(len, bs),
+            |b, &(len, bs)| {
+                b.iter(|| black_box(cover(black_box(4095), len, bs)));
+            },
+        );
+    }
+    group.bench_function("aligned_range", |b| {
+        b.iter(|| black_box(aligned_range(black_box(3000), black_box(50_000), 2048)))
+    });
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let bs = 2048u64;
+    let offset = 3000u64;
+    let len = 60_000u64;
+    let blocks_meta = cover(offset, len, bs);
+    let storage: Vec<(u64, Vec<u8>)> = blocks_meta
+        .iter()
+        .map(|b| (b.start, vec![0x5Au8; bs as usize]))
+        .collect();
+    c.bench_function("block/assemble_30_blocks", |b| {
+        b.iter(|| {
+            let refs: Vec<(u64, &[u8])> =
+                storage.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+            black_box(assemble(offset, len, bs, &refs))
+        })
+    });
+}
+
+fn bench_keys(c: &mut Criterion) {
+    c.bench_function("keys/block_key", |b| {
+        b.iter(|| black_box(block_key(black_box("/bench/lat/c17/r2048"), 1_048_576)))
+    });
+    c.bench_function("keys/stat_key", |b| {
+        b.iter(|| black_box(stat_key(black_box("/bench/stat/file123456"))))
+    });
+    let long = format!("/deep{}", "/segment".repeat(64));
+    c.bench_function("keys/block_key_folded", |b| {
+        b.iter(|| black_box(block_key(black_box(&long), 1_048_576)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cover, bench_assemble, bench_keys
+}
+criterion_main!(benches);

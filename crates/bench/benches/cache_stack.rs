@@ -1,0 +1,78 @@
+//! End-to-end microbenchmark: one simulated IMCa read/stat through the
+//! whole translator stack, and the page-cache data structure on its own —
+//! real-time cost of a unit of simulated work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use imca_core::{Cluster, ClusterConfig, ImcaConfig};
+use imca_memcached::McConfig;
+use imca_sim::Sim;
+use imca_storage::{FileId, PageCache};
+use std::rc::Rc;
+
+fn bench_full_stack_read(c: &mut Criterion) {
+    c.bench_function("stack/imca_read_cached_2k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let cluster = Rc::new(Cluster::build(
+                sim.handle(),
+                ClusterConfig::imca(ImcaConfig {
+                    mcd_count: 2,
+                    mcd_config: McConfig::with_mem_limit(16 << 20),
+                    ..ImcaConfig::default()
+                }),
+            ));
+            let c2 = Rc::clone(&cluster);
+            sim.spawn(async move {
+                let m = c2.mount();
+                m.create("/f").await.unwrap();
+                let fd = m.open("/f").await.unwrap();
+                m.write(fd, 0, &vec![7u8; 64 * 1024]).await.unwrap();
+                for k in 0..32u64 {
+                    black_box(m.read(fd, k * 2048, 2048).await.unwrap());
+                }
+            });
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_nocache_stat(c: &mut Criterion) {
+    c.bench_function("stack/nocache_stat", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let cluster = Rc::new(Cluster::build(sim.handle(), ClusterConfig::nocache()));
+            let c2 = Rc::clone(&cluster);
+            sim.spawn(async move {
+                let m = c2.mount();
+                m.create("/f").await.unwrap();
+                for _ in 0..64 {
+                    black_box(m.stat("/f").await.unwrap());
+                }
+            });
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_pagecache(c: &mut Criterion) {
+    c.bench_function("pagecache/lookup_insert", |b| {
+        let mut pc = PageCache::new(64 << 20, 4096);
+        let mut i = 0u64;
+        b.iter(|| {
+            let off = (i * 4096) % (128 << 20);
+            black_box(pc.lookup(FileId(i % 32), off, 4096));
+            black_box(pc.insert(FileId(i % 32), off, 4096, i.is_multiple_of(3)));
+            i += 1;
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_full_stack_read, bench_nocache_stat, bench_pagecache
+}
+criterion_main!(benches);

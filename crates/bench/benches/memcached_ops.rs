@@ -1,0 +1,87 @@
+//! Microbenchmarks for the memcached storage engine and key hashing —
+//! the hot path of every MCD in the bank.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imca_memcached::{crc32, McConfig, Memcached, Selector, ServerMap};
+
+fn bench_set_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memcached");
+    for &value_size in &[64usize, 2048, 65536] {
+        let mc = Memcached::new(McConfig::with_mem_limit(256 << 20));
+        let value = Bytes::from(vec![0xAB; value_size]);
+        // Pre-populate so gets hit.
+        for i in 0..1024 {
+            let key = format!("/bench/f{i}:0");
+            mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
+        }
+        group.throughput(Throughput::Bytes(value_size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("set", value_size),
+            &value_size,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    let key = format!("/bench/f{}:0", i % 1024);
+                    mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
+                    i += 1;
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("get_hit", value_size),
+            &value_size,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    let key = format!("/bench/f{}:0", i % 1024);
+                    black_box(mc.get(key.as_bytes(), 0));
+                    i += 1;
+                });
+            },
+        );
+    }
+    group.bench_function("get_miss", |b| {
+        let mc = Memcached::with_defaults();
+        b.iter(|| black_box(mc.get(b"/never/stored:0", 0)));
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    let key = b"/some/fairly/long/path/to/a/file.dat:1048576";
+    group.throughput(Throughput::Bytes(key.len() as u64));
+    group.bench_function("crc32", |b| b.iter(|| black_box(crc32(black_box(key)))));
+    for sel in [Selector::Crc32, Selector::Modulo, Selector::Ketama] {
+        let map = ServerMap::new(sel, 8);
+        group.bench_function(format!("select_{sel:?}"), |b| {
+            b.iter(|| black_box(map.select(black_box(key), Some(512))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    c.bench_function("memcached/set_with_eviction", |b| {
+        // 1 MB limit, 100 KB values: every set after the first page evicts.
+        let mc = Memcached::new(McConfig::with_mem_limit(1 << 20));
+        let value = Bytes::from(vec![0u8; 100_000]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("k{i}");
+            mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
+            i += 1;
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_set_get, bench_hashing, bench_eviction_pressure
+}
+criterion_main!(benches);

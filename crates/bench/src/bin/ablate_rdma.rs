@@ -1,0 +1,66 @@
+//! RDMA ablation (paper §7 future work: "how network mechanisms like RDMA
+//! in InfiniBand can help reduce the overhead of the cache bank").
+//!
+//! Runs the single-client and 16-client read-latency sweeps with the MCD
+//! bank connected over IPoIB (paper configuration) versus native RDMA,
+//! while the GlusterFS server traffic stays on IPoIB in both cases.
+
+use imca_bench::{emit, parallel_sweep, Options};
+use imca_memcached::Selector;
+use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
+use imca_workloads::report::Table;
+use imca_workloads::SystemSpec;
+
+fn spec(rdma_bank: bool) -> SystemSpec {
+    SystemSpec::Imca {
+        mcds: 2,
+        block_size: 2048,
+        selector: Selector::Crc32,
+        threaded: false,
+        mcd_mem: 6 << 30,
+        rdma_bank,
+    }
+}
+
+fn main() {
+    let opts = Options::from_args(
+        "ablate_rdma",
+        "IPoIB vs RDMA transport for the MCD bank",
+    );
+    let records = if opts.full { 1024 } else { 192 };
+    let sizes = LatencyBench::power_of_two_sizes(64 << 10);
+
+    for &clients in &[1usize, 16] {
+        let systems: Vec<(String, SystemSpec)> = vec![
+            ("IMCa/IPoIB".into(), spec(false)),
+            ("IMCa/RDMA".into(), spec(true)),
+            ("NoCache".into(), SystemSpec::GlusterNoCache),
+        ];
+        let jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = systems
+            .iter()
+            .map(|(_, s)| {
+                let cfg = LatencyBench {
+                    spec: s.clone(),
+                    clients,
+                    record_sizes: sizes.clone(),
+                    records,
+                    shared_file: false,
+                    seed: opts.seed,
+                };
+                Box::new(move || run(&cfg)) as Box<dyn FnOnce() -> LatencyResult + Send>
+            })
+            .collect();
+        let results = parallel_sweep(jobs);
+        let mut table = Table::new(
+            format!("RDMA ablation: read latency, {clients} client(s), 2 MCDs"),
+            "record bytes",
+            "microseconds",
+            systems.iter().map(|(n, _)| n.clone()).collect(),
+        );
+        for &size in &sizes {
+            let row: Vec<Option<f64>> = results.iter().map(|r| r.read_at(size)).collect();
+            table.push_row(size as f64, row);
+        }
+        emit(&opts, &format!("ablate_rdma_{clients}clients"), &table);
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig 5: time for every node to stat the whole file set, vs node count.
+//! Systems: NoCache, MCD (1/2/4/6), Lustre-4DS. Also reports the MCD-side
+//! miss rates the paper quotes ("the miss rate with increasing MCDs beyond
+//! 2 is zero").
+
+use imca_bench::{emit, parallel_sweep, Options};
+use imca_memcached::Selector;
+use imca_workloads::report::Table;
+use imca_workloads::statbench::{run, StatBench, StatBenchResult};
+use imca_workloads::SystemSpec;
+
+fn main() {
+    let opts = Options::from_args(
+        "fig5_stat",
+        "stat completion time vs clients for NoCache / MCD(x) / Lustre (paper Fig 5)",
+    );
+    // Paper scale: 262,144 files, 64 clients, 6 GB per MCD. Scaled: 1/8 of
+    // the files; MCD memory scaled so that one daemon cannot hold the whole
+    // stat working set but two can — the capacity story of §5.2. (A stat
+    // item occupies a ~120 B slab chunk; a 1 MB slab page holds ~8.7 k.)
+    let (files, clients_sweep, mcd_mem): (usize, Vec<usize>, u64) = if opts.full {
+        (262_144, vec![1, 2, 4, 8, 16, 32, 64], 6 << 30)
+    } else {
+        // 12,288 stat items need ~1.4 slab pages: a 1 MB daemon is under
+        // capacity pressure alone, two daemons are not — same story as the
+        // paper's 262k files against 6 GB daemons.
+        (12_288, vec![1, 2, 4, 8, 16, 32], 1 << 20)
+    };
+
+    let mcd = |n: usize| SystemSpec::Imca {
+        mcds: n,
+        block_size: 2048,
+        selector: Selector::Crc32,
+        threaded: false,
+        mcd_mem,
+        rdma_bank: false,
+    };
+    let systems: Vec<SystemSpec> = vec![
+        SystemSpec::GlusterNoCache,
+        mcd(1),
+        mcd(2),
+        mcd(4),
+        mcd(6),
+        SystemSpec::Lustre {
+            osts: 4,
+            warm: false,
+        },
+    ];
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> StatBenchResult + Send>> = Vec::new();
+    for spec in &systems {
+        for &clients in &clients_sweep {
+            let cfg = StatBench {
+                files,
+                clients,
+                spec: spec.clone(),
+                seed: opts.seed,
+            };
+            jobs.push(Box::new(move || run(&cfg)));
+        }
+    }
+    let results = parallel_sweep(jobs);
+
+    let mut table = Table::new(
+        format!("Fig 5: time to stat {files} files, max over nodes"),
+        "clients",
+        "seconds",
+        systems.iter().map(|s| s.label()).collect(),
+    );
+    for (ci, &clients) in clients_sweep.iter().enumerate() {
+        let row: Vec<Option<f64>> = (0..systems.len())
+            .map(|si| Some(results[si * clients_sweep.len() + ci].max_node_secs))
+            .collect();
+        table.push_row(clients as f64, row);
+    }
+    emit(&opts, "fig5_stat", &table);
+
+    // Secondary table: daemon-side miss rate per MCD count at the largest
+    // client count (the §5.2 capacity-miss observation).
+    let mut misses = Table::new(
+        "Fig 5 (aux): MCD miss rate at max clients",
+        "mcds",
+        "miss rate",
+        vec!["miss_rate".into(), "evictions".into()],
+    );
+    for (si, spec) in systems.iter().enumerate() {
+        if let SystemSpec::Imca { mcds, .. } = spec {
+            let r = &results[si * clients_sweep.len() + clients_sweep.len() - 1];
+            misses.push_row(
+                *mcds as f64,
+                vec![r.mcd_miss_rate(), Some(r.mcd_evictions as f64)],
+            );
+        }
+    }
+    emit(&opts, "fig5_stat_missrate", &misses);
+}

@@ -1,0 +1,55 @@
+//! Fig 7: read latency with 32 clients while the number of MCDs varies
+//! (1/2/4), against NoCache and Lustre-4DS warm & cold. Panel (a) covers
+//! small records, panel (b) medium records — both come out of one sweep.
+
+use imca_bench::{emit, parallel_sweep, Options};
+use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
+use imca_workloads::report::Table;
+use imca_workloads::SystemSpec;
+
+fn main() {
+    let opts = Options::from_args(
+        "fig7_latency_32clients",
+        "32-client read latency vs record size while varying MCDs (paper Fig 7)",
+    );
+    let clients = 32;
+    let records = if opts.full { 1024 } else { 96 };
+    let sizes = LatencyBench::power_of_two_sizes(if opts.full { 64 << 10 } else { 16 << 10 });
+
+    let systems: Vec<SystemSpec> = vec![
+        SystemSpec::GlusterNoCache,
+        SystemSpec::imca(1),
+        SystemSpec::imca(2),
+        SystemSpec::imca(4),
+        SystemSpec::Lustre { osts: 4, warm: false },
+        SystemSpec::Lustre { osts: 4, warm: true },
+    ];
+
+    let jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = systems
+        .iter()
+        .map(|spec| {
+            let cfg = LatencyBench {
+                spec: spec.clone(),
+                clients,
+                record_sizes: sizes.clone(),
+                records,
+                shared_file: false,
+                seed: opts.seed,
+            };
+            Box::new(move || run(&cfg)) as Box<dyn FnOnce() -> LatencyResult + Send>
+        })
+        .collect();
+    let results = parallel_sweep(jobs);
+
+    let mut table = Table::new(
+        format!("Fig 7(a,b): read latency with {clients} clients"),
+        "record bytes",
+        "microseconds",
+        systems.iter().map(|s| s.label()).collect(),
+    );
+    for &size in &sizes {
+        let row: Vec<Option<f64>> = results.iter().map(|r| r.read_at(size)).collect();
+        table.push_row(size as f64, row);
+    }
+    emit(&opts, "fig7_read_latency_32clients", &table);
+}

@@ -1,0 +1,69 @@
+//! Fig 8: read latency while varying the number of clients, with a single
+//! MCD — panels (a)/(c) for small records, (b)/(d) against Lustre. We
+//! report a table per record size: latency vs client count.
+
+use imca_bench::{emit, parallel_sweep, Options};
+use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
+use imca_workloads::report::{human_bytes, Table};
+use imca_workloads::SystemSpec;
+
+fn main() {
+    let opts = Options::from_args(
+        "fig8_latency_scaling",
+        "read latency vs number of clients with one MCD (paper Fig 8)",
+    );
+    let records = if opts.full { 1024 } else { 96 };
+    let client_sweep: Vec<usize> = if opts.full {
+        vec![1, 2, 4, 8, 16, 32]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    // One small and one medium record size, as in the paper's panels.
+    let sizes: Vec<u64> = vec![64, 8192];
+
+    let systems: Vec<SystemSpec> = vec![
+        SystemSpec::GlusterNoCache,
+        SystemSpec::imca(1),
+        SystemSpec::Lustre { osts: 4, warm: false },
+        SystemSpec::Lustre { osts: 4, warm: true },
+    ];
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = Vec::new();
+    for spec in &systems {
+        for &clients in &client_sweep {
+            let cfg = LatencyBench {
+                spec: spec.clone(),
+                clients,
+                record_sizes: sizes.clone(),
+                records,
+                shared_file: false,
+                seed: opts.seed,
+            };
+            jobs.push(Box::new(move || run(&cfg)));
+        }
+    }
+    let results = parallel_sweep(jobs);
+
+    for &size in &sizes {
+        let mut table = Table::new(
+            format!(
+                "Fig 8: read latency vs clients, {} records, 1 MCD",
+                human_bytes(size)
+            ),
+            "clients",
+            "microseconds",
+            systems.iter().map(|s| s.label()).collect(),
+        );
+        for (ci, &clients) in client_sweep.iter().enumerate() {
+            let row: Vec<Option<f64>> = (0..systems.len())
+                .map(|si| results[si * client_sweep.len() + ci].read_at(size))
+                .collect();
+            table.push_row(clients as f64, row);
+        }
+        emit(
+            &opts,
+            &format!("fig8_read_latency_scaling_{}", human_bytes(size)),
+            &table,
+        );
+    }
+}

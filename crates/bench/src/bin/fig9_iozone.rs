@@ -1,0 +1,74 @@
+//! Fig 9: IOzone read throughput with 1–8 threads, varying the number of
+//! MCDs (1/2/4) with the static-modulo (round-robin) block distribution of
+//! §5.5, against NoCache and Lustre-1DS cold.
+
+use imca_bench::{emit, parallel_sweep, Options};
+use imca_memcached::Selector;
+use imca_workloads::iozone::{run, IozoneBench, IozoneResult};
+use imca_workloads::report::Table;
+use imca_workloads::SystemSpec;
+
+fn main() {
+    let opts = Options::from_args(
+        "fig9_iozone",
+        "multi-thread IOzone read throughput vs MCD count (paper Fig 9)",
+    );
+    // Paper: 1 GB per file, 2 KB records, 6 GB per MCD (8 threads spill a
+    // single daemon). Scaled: 8 MB per file with 64 MB daemons keeps the
+    // same capacity ratio — MCD(1) is under pressure at 8 threads, MCD(2)+
+    // is not.
+    let file_size = if opts.full { 1u64 << 30 } else { 8u64 << 20 };
+    let threads_sweep = [1usize, 2, 4, 8];
+
+    let mcd = |n: usize| SystemSpec::Imca {
+        mcds: n,
+        block_size: 2048,
+        // "We replace the standard CRC32 hash function used by libmemcache
+        // with a static modulo function (round-robin) for distributing the
+        // data across the cache servers."
+        selector: Selector::Modulo,
+        threaded: false,
+        mcd_mem: if opts.full { 6 << 30 } else { 64 << 20 },
+        rdma_bank: false,
+    };
+    let systems: Vec<SystemSpec> = vec![
+        SystemSpec::GlusterNoCache,
+        mcd(1),
+        mcd(2),
+        mcd(4),
+        SystemSpec::Lustre { osts: 1, warm: false },
+    ];
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> IozoneResult + Send>> = Vec::new();
+    for spec in &systems {
+        for &threads in &threads_sweep {
+            let cfg = IozoneBench {
+                spec: spec.clone(),
+                threads,
+                file_size,
+                record_size: 2048,
+                pipeline: 8,
+                seed: opts.seed,
+            };
+            jobs.push(Box::new(move || run(&cfg)));
+        }
+    }
+    let results = parallel_sweep(jobs);
+
+    let mut table = Table::new(
+        format!(
+            "Fig 9: IOzone read throughput, {} MB files, 2K records",
+            file_size >> 20
+        ),
+        "threads",
+        "MB/s",
+        systems.iter().map(|s| s.label()).collect(),
+    );
+    for (ti, &threads) in threads_sweep.iter().enumerate() {
+        let row: Vec<Option<f64>> = (0..systems.len())
+            .map(|si| Some(results[si * threads_sweep.len() + ti].read_mb_s))
+            .collect();
+        table.push_row(threads as f64, row);
+    }
+    emit(&opts, "fig9_iozone_throughput", &table);
+}

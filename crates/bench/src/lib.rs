@@ -1,0 +1,147 @@
+//! # imca-bench — experiment harness
+//!
+//! One binary per paper figure (`fig1_*` … `fig10_*`) plus ablation
+//! binaries for the design choices DESIGN.md calls out. Each binary:
+//!
+//! 1. runs the corresponding workload driver over the paper's parameter
+//!    sweep (scaled by default; `--full` for paper scale),
+//! 2. prints the figure's series as an aligned table, and
+//! 3. writes `results/<name>.json` + `results/<name>.txt` for
+//!    EXPERIMENTS.md.
+//!
+//! Parameter sweeps run one simulation per (system, x) point; independent
+//! points run in parallel OS threads (each simulation itself stays
+//! single-threaded and deterministic).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use imca_workloads::report::Table;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Run at full paper scale instead of the scaled default.
+    pub full: bool,
+    /// Output directory for JSON/text results.
+    pub out_dir: PathBuf,
+    /// Override the simulation seed.
+    pub seed: u64,
+}
+
+impl Options {
+    /// Parse from `std::env::args` (supports `--full`, `--out DIR`,
+    /// `--seed N`, `--help`).
+    pub fn from_args(name: &str, description: &str) -> Options {
+        let mut opts = Options {
+            full: false,
+            out_dir: PathBuf::from("results"),
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--out" => {
+                    opts.out_dir = PathBuf::from(args.next().expect("--out needs a directory"))
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer")
+                }
+                "--help" | "-h" => {
+                    println!("{name}: {description}");
+                    println!("usage: {name} [--full] [--out DIR] [--seed N]");
+                    println!("  --full   run at paper scale (slow); default is a");
+                    println!("           proportionally scaled workload");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// Print a table and persist it under `results/<name>.{json,txt}`.
+pub fn emit(opts: &Options, name: &str, table: &Table) {
+    let rendered = table.render();
+    println!("{rendered}");
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+        return;
+    }
+    let json_path = opts.out_dir.join(format!("{name}.json"));
+    let txt_path = opts.out_dir.join(format!("{name}.txt"));
+    let _ = std::fs::write(&json_path, table.to_json());
+    let _ = std::fs::File::create(&txt_path).map(|mut f| f.write_all(rendered.as_bytes()));
+    println!("(written to {} and {})", json_path.display(), txt_path.display());
+}
+
+/// Run `jobs` on parallel OS threads (each job is an independent,
+/// self-contained simulation) and collect results in input order.
+pub fn parallel_sweep<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let n = jobs.len();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let max_par = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut pending: Vec<(usize, Box<dyn FnOnce() -> T + Send>)> =
+        jobs.into_iter().enumerate().collect();
+    while !pending.is_empty() {
+        let take = pending.len().min(max_par);
+        let batch: Vec<_> = pending.drain(..take).collect();
+        let results: Vec<(usize, T)> = std::thread::scope(|s| {
+            let handles: Vec<_> = batch
+                .into_iter()
+                .map(|(idx, job)| (idx, s.spawn(job)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(idx, h)| (idx, h.join().expect("sweep job panicked")))
+                .collect()
+        });
+        for (idx, value) in results {
+            out[idx] = Some(value);
+        }
+    }
+    out.into_iter().map(|v| v.expect("job missing")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..20)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = parallel_sweep(jobs);
+        assert_eq!(results, (0usize..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emit_writes_files() {
+        let dir = std::env::temp_dir().join(format!("imca-bench-test-{}", std::process::id()));
+        let opts = Options {
+            full: false,
+            out_dir: dir.clone(),
+            seed: 1,
+        };
+        let mut t = Table::new("t", "x", "y", vec!["s".into()]);
+        t.push_row(1.0, vec![Some(2.0)]);
+        emit(&opts, "unit", &t);
+        assert!(dir.join("unit.json").exists());
+        assert!(dir.join("unit.txt").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

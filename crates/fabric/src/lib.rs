@@ -1,0 +1,56 @@
+//! # imca-fabric — simulated cluster interconnect
+//!
+//! Models the network of the paper's testbed: a 64-node cluster with
+//! InfiniBand DDR HCAs, where IPoIB (TCP over IB, Reliable Connection) links
+//! the GlusterFS client, server, and the MemCached daemons. Gigabit
+//! Ethernet and native RDMA presets support the motivation experiment
+//! (Fig 1) and the RDMA future-work ablation.
+//!
+//! The crate exposes three layers:
+//!
+//! * [`Transport`] — a cost model (latency / bandwidth / host CPU) preset,
+//! * [`Network`] / [`NodeId`] — nodes with contended NIC stations,
+//! * [`Service`] / [`RpcClient`] — typed request/response endpoints, the
+//!   idiom every protocol in this workspace is written in.
+//!
+//! ```
+//! use imca_fabric::{Network, Service, Transport, WireSize};
+//! use imca_sim::Sim;
+//!
+//! struct Echo(u32);
+//! impl WireSize for Echo {
+//!     fn wire_bytes(&self) -> usize { 64 }
+//! }
+//!
+//! let mut sim = Sim::new(0);
+//! let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+//! let server = net.add_node();
+//! let client = net.add_node();
+//! let svc: Service<Echo, Echo> = Service::bind(&net, server);
+//! let cli = svc.client(client);
+//!
+//! let svc2 = svc.clone();
+//! sim.spawn(async move {
+//!     while let Some(msg) = svc2.recv().await {
+//!         let v = msg.req.0;
+//!         msg.respond(Echo(v + 1));
+//!     }
+//! });
+//! sim.spawn(async move {
+//!     assert_eq!(cli.call(Echo(41)).await.0, 42);
+//! });
+//! let end = sim.run().end_time;
+//! // One unloaded IPoIB round trip of 64-byte messages:
+//! assert_eq!(end.as_nanos(), Transport::ipoib_ddr().unloaded_rtt(64, 64).as_nanos());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod network;
+mod rpc;
+mod transport;
+
+pub use network::{Network, NicStats, NodeId};
+pub use rpc::{Incoming, Replier, RpcClient, Service};
+pub use transport::{Transport, WireSize};

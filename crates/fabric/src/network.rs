@@ -1,0 +1,322 @@
+//! The switched network connecting simulated nodes.
+//!
+//! Every node owns a NIC modelled as a pair of FIFO stations (transmit and
+//! receive). Sending a message:
+//!
+//! 1. holds the sender's TX station for `host_cpu_send + serialise(bytes)`,
+//! 2. waits the transport's propagation latency (switch fabric is assumed
+//!    non-blocking, as InfiniBand crossbars effectively are at this scale),
+//! 3. holds the receiver's RX station for `host_cpu_recv + serialise(bytes)`.
+//!
+//! Contention therefore appears exactly where it does on real clusters: a
+//! single hot server saturates its RX station, while a bank of cache nodes
+//! spreads load across many stations — the effect IMCa exploits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use imca_sim::stats::Counter;
+use imca_sim::sync::Resource;
+use imca_sim::{SimDuration, SimHandle};
+
+use crate::transport::Transport;
+
+/// Identifies a node on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+struct Nic {
+    tx: Resource,
+    rx: Resource,
+    bytes_tx: Counter,
+    bytes_rx: Counter,
+    msgs_tx: Counter,
+    msgs_rx: Counter,
+}
+
+impl Nic {
+    fn new() -> Nic {
+        Nic {
+            tx: Resource::new(1),
+            rx: Resource::new(1),
+            bytes_tx: Counter::new(),
+            bytes_rx: Counter::new(),
+            msgs_tx: Counter::new(),
+            msgs_rx: Counter::new(),
+        }
+    }
+}
+
+struct Inner {
+    handle: SimHandle,
+    transport: Transport,
+    nics: RefCell<Vec<Rc<Nic>>>,
+}
+
+/// Handle to the simulated network. Cloning is cheap and refers to the same
+/// network.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<Inner>,
+}
+
+/// Traffic counters for one node, in bytes and messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NicStats {
+    /// Bytes transmitted by this node.
+    pub bytes_tx: u64,
+    /// Bytes received by this node.
+    pub bytes_rx: u64,
+    /// Messages transmitted by this node.
+    pub msgs_tx: u64,
+    /// Messages received by this node.
+    pub msgs_rx: u64,
+}
+
+impl Network {
+    /// A network where all links use `transport`.
+    pub fn new(handle: SimHandle, transport: Transport) -> Network {
+        Network {
+            inner: Rc::new(Inner {
+                handle,
+                transport,
+                nics: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Register a new node and return its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut nics = self.inner.nics.borrow_mut();
+        let id = NodeId(nics.len() as u32);
+        nics.push(Rc::new(Nic::new()));
+        id
+    }
+
+    /// Register `n` nodes, returning their ids.
+    pub fn add_nodes(&self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nics.borrow().len()
+    }
+
+    /// The default transport of this network.
+    pub fn transport(&self) -> Transport {
+        self.inner.transport.clone()
+    }
+
+    /// The simulation handle this network schedules on.
+    pub fn handle(&self) -> SimHandle {
+        self.inner.handle.clone()
+    }
+
+    fn nic(&self, node: NodeId) -> Rc<Nic> {
+        let nics = self.inner.nics.borrow();
+        Rc::clone(
+            nics.get(node.0 as usize)
+                .unwrap_or_else(|| panic!("{node} is not registered on this network")),
+        )
+    }
+
+    /// Move `bytes` from `src` to `dst` over the network's default
+    /// transport, modelling NIC contention on both sides. Completes when
+    /// the last byte has been received.
+    pub async fn transfer(&self, src: NodeId, dst: NodeId, bytes: usize) {
+        self.transfer_with(src, dst, bytes, None).await;
+    }
+
+    /// Like [`Network::transfer`] but with an optional per-call transport
+    /// override (used by the RDMA-for-the-cache-bank ablation).
+    pub async fn transfer_with(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        transport: Option<&Transport>,
+    ) {
+        let h = &self.inner.handle;
+        if src == dst {
+            // Loopback: no NIC involvement, just a memcpy through the
+            // loopback interface.
+            let t = SimDuration::from_secs_f64(bytes as f64 / 6e9) + SimDuration::nanos(500);
+            h.sleep(t).await;
+            return;
+        }
+        let tp = transport.unwrap_or(&self.inner.transport);
+        let src_nic = self.nic(src);
+        let dst_nic = self.nic(dst);
+
+        // 1. Sender-side CPU + serialisation, holding the TX station.
+        src_nic
+            .tx
+            .serve(h, tp.host_cpu_send + tp.serialize_time(bytes))
+            .await;
+        src_nic.bytes_tx.add(bytes as u64);
+        src_nic.msgs_tx.inc();
+
+        // 2. Propagation through the (non-blocking) switch.
+        h.sleep(tp.one_way_latency).await;
+
+        // 3. Receiver-side serialisation + CPU, holding the RX station.
+        dst_nic
+            .rx
+            .serve(h, tp.serialize_time(bytes) + tp.host_cpu_recv)
+            .await;
+        dst_nic.bytes_rx.add(bytes as u64);
+        dst_nic.msgs_rx.inc();
+    }
+
+    /// Traffic counters for `node`.
+    pub fn nic_stats(&self, node: NodeId) -> NicStats {
+        let nic = self.nic(node);
+        NicStats {
+            bytes_tx: nic.bytes_tx.get(),
+            bytes_rx: nic.bytes_rx.get(),
+            msgs_tx: nic.msgs_tx.get(),
+            msgs_rx: nic.msgs_rx.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imca_sim::{Sim, SimTime};
+    
+
+    fn finish_time(f: impl FnOnce(&mut Sim, Network)) -> SimTime {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        f(&mut sim, net);
+        sim.run().end_time
+    }
+
+    #[test]
+    fn single_transfer_matches_unloaded_model() {
+        let tp = Transport::ipoib_ddr();
+        let end = finish_time(|sim, net| {
+            let a = net.add_node();
+            let b = net.add_node();
+            sim.spawn(async move {
+                net.transfer(a, b, 4096).await;
+            });
+        });
+        assert_eq!(end.as_nanos(), tp.unloaded_one_way(4096).as_nanos());
+    }
+
+    #[test]
+    fn loopback_bypasses_nics() {
+        let end = finish_time(|sim, net| {
+            let a = net.add_node();
+            let n2 = net.clone();
+            sim.spawn(async move {
+                n2.transfer(a, a, 1 << 20).await;
+            });
+            let stats = net.clone();
+            let a2 = a;
+            // Check after run via closure capture isn't possible; assert inline.
+            sim.spawn(async move {
+                let _ = (stats, a2);
+            });
+        });
+        // Far faster than the wire would allow.
+        assert!(end.as_nanos() < Transport::ipoib_ddr().unloaded_one_way(1 << 20).as_nanos());
+    }
+
+    #[test]
+    fn receiver_contention_serialises_flows() {
+        // Two senders to one receiver: RX serialisation must make the
+        // makespan ~2x a single flow's RX time for large messages.
+        let tp = Transport::ipoib_ddr();
+        let bytes = 1 << 20;
+        let end = finish_time(|sim, net| {
+            let s1 = net.add_node();
+            let s2 = net.add_node();
+            let dst = net.add_node();
+            for src in [s1, s2] {
+                let net = net.clone();
+                sim.spawn(async move {
+                    net.transfer(src, dst, bytes).await;
+                });
+            }
+        });
+        let one_flow = tp.unloaded_one_way(bytes).as_nanos();
+        let rx_time = (tp.serialize_time(bytes) + tp.host_cpu_recv).as_nanos();
+        assert!(end.as_nanos() >= one_flow + rx_time, "no rx contention seen");
+    }
+
+    #[test]
+    fn distinct_receivers_do_not_contend() {
+        let tp = Transport::ipoib_ddr();
+        let bytes = 1 << 20;
+        let end = finish_time(|sim, net| {
+            let s1 = net.add_node();
+            let s2 = net.add_node();
+            let d1 = net.add_node();
+            let d2 = net.add_node();
+            for (src, dst) in [(s1, d1), (s2, d2)] {
+                let net = net.clone();
+                sim.spawn(async move {
+                    net.transfer(src, dst, bytes).await;
+                });
+            }
+        });
+        assert_eq!(end.as_nanos(), tp.unloaded_one_way(bytes).as_nanos());
+    }
+
+    #[test]
+    fn nic_stats_count_traffic() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            net2.transfer(a, b, 1000).await;
+            net2.transfer(a, b, 500).await;
+        });
+        sim.run();
+        let sa = net.nic_stats(a);
+        let sb = net.nic_stats(b);
+        assert_eq!(sa.bytes_tx, 1500);
+        assert_eq!(sa.msgs_tx, 2);
+        assert_eq!(sa.bytes_rx, 0);
+        assert_eq!(sb.bytes_rx, 1500);
+        assert_eq!(sb.msgs_rx, 2);
+    }
+
+    #[test]
+    fn transport_override_changes_cost() {
+        let rdma = Transport::rdma_ddr();
+        let end = finish_time(|sim, net| {
+            let a = net.add_node();
+            let b = net.add_node();
+            sim.spawn(async move {
+                let rdma = Transport::rdma_ddr();
+                net.transfer_with(a, b, 4096, Some(&rdma)).await;
+            });
+        });
+        assert_eq!(end.as_nanos(), rdma.unloaded_one_way(4096).as_nanos());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_node_panics() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        sim.spawn(async move {
+            net.transfer(a, NodeId(99), 1).await;
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,355 @@
+//! Typed request/response endpoints over the [`Network`].
+//!
+//! A [`Service`] is a mailbox bound to one node. Clients created from it
+//! send a request (charged to the network), the server process takes the
+//! [`Incoming`] message, does its work (consuming virtual time however it
+//! likes), and [`Incoming::respond`]s; the response transfer is charged on
+//! the way back and the client's `call` future resolves when the last byte
+//! arrives.
+
+use imca_sim::sync::{oneshot, OneshotSender, Queue};
+
+use crate::network::{Network, NodeId};
+use crate::transport::{Transport, WireSize};
+
+/// A request that arrived at a [`Service`].
+pub struct Incoming<Req, Resp> {
+    /// The request payload.
+    pub req: Req,
+    /// The node that sent the request.
+    pub src: NodeId,
+    replier: Replier<Resp>,
+}
+
+impl<Req, Resp: WireSize + 'static> Incoming<Req, Resp> {
+    /// Send `resp` back to the caller. The reply transfer runs as its own
+    /// process so the server can continue with the next request while its
+    /// NIC clocks the response out.
+    pub fn respond(self, resp: Resp) {
+        self.replier.reply(resp);
+    }
+
+    /// Split into request and reply handle, for servers that finish the
+    /// request asynchronously.
+    pub fn into_parts(self) -> (Req, NodeId, Replier<Resp>) {
+        (self.req, self.src, self.replier)
+    }
+}
+
+/// The reply half of an [`Incoming`] request.
+pub struct Replier<Resp> {
+    net: Network,
+    from: NodeId,
+    to: NodeId,
+    tx: OneshotSender<Resp>,
+    transport: Option<Transport>,
+}
+
+impl<Resp: WireSize + 'static> Replier<Resp> {
+    /// Deliver the response across the network (fire-and-forget from the
+    /// server's point of view).
+    pub fn reply(self, resp: Resp) {
+        let Replier {
+            net,
+            from,
+            to,
+            tx,
+            transport,
+        } = self;
+        let h = net.handle();
+        h.spawn(async move {
+            let bytes = resp.wire_bytes();
+            net.transfer_with(from, to, bytes, transport.as_ref()).await;
+            tx.send(resp);
+        });
+    }
+}
+
+/// A service endpoint bound to a node. Cloning shares the same mailbox
+/// (multiple worker processes may `recv` concurrently).
+pub struct Service<Req, Resp> {
+    net: Network,
+    node: NodeId,
+    queue: Queue<Incoming<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for Service<Req, Resp> {
+    fn clone(&self) -> Self {
+        Service {
+            net: self.net.clone(),
+            node: self.node,
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<Req: WireSize + 'static, Resp: WireSize + 'static> Service<Req, Resp> {
+    /// Bind a new service mailbox at `node`.
+    pub fn bind(net: &Network, node: NodeId) -> Service<Req, Resp> {
+        Service {
+            net: net.clone(),
+            node,
+            queue: Queue::new(),
+        }
+    }
+
+    /// The node this service runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Wait for the next request; `None` after [`Service::close`].
+    pub async fn recv(&self) -> Option<Incoming<Req, Resp>> {
+        self.queue.recv().await
+    }
+
+    /// Requests queued but not yet taken by a worker.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop accepting requests; pending `recv`s resolve `None` after the
+    /// backlog drains.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Create a client stub that calls this service from `src`.
+    pub fn client(&self, src: NodeId) -> RpcClient<Req, Resp> {
+        RpcClient {
+            net: self.net.clone(),
+            src,
+            dst: self.node,
+            queue: self.queue.clone(),
+            transport: None,
+        }
+    }
+
+    /// A client that overrides the transport for both directions (e.g. RDMA
+    /// to the cache bank while the rest of the system stays on IPoIB).
+    pub fn client_with_transport(&self, src: NodeId, transport: Transport) -> RpcClient<Req, Resp> {
+        RpcClient {
+            net: self.net.clone(),
+            src,
+            dst: self.node,
+            queue: self.queue.clone(),
+            transport: Some(transport),
+        }
+    }
+}
+
+/// Client stub for a [`Service`].
+pub struct RpcClient<Req, Resp> {
+    net: Network,
+    src: NodeId,
+    dst: NodeId,
+    queue: Queue<Incoming<Req, Resp>>,
+    transport: Option<Transport>,
+}
+
+impl<Req, Resp> Clone for RpcClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcClient {
+            net: self.net.clone(),
+            src: self.src,
+            dst: self.dst,
+            queue: self.queue.clone(),
+            transport: self.transport.clone(),
+        }
+    }
+}
+
+impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
+    /// Perform one RPC: ship the request, wait for the service to respond,
+    /// ship the response back.
+    ///
+    /// # Panics
+    /// Panics if the service closes (drops the request) mid-call — in these
+    /// simulations that is a model bug, not an expected runtime condition.
+    /// Use [`RpcClient::try_call`] when talking to a server that may be
+    /// deliberately failed (fault-injection experiments).
+    pub async fn call(&self, req: Req) -> Resp {
+        self.try_call(req)
+            .await
+            .expect("RPC service dropped the request")
+    }
+
+    /// Like [`RpcClient::call`] but resolves to `None` if the service drops
+    /// the request (e.g. the server was killed mid-flight) — the TCP-reset
+    /// path a real client observes.
+    pub async fn try_call(&self, req: Req) -> Option<Resp> {
+        let bytes = req.wire_bytes();
+        self.net
+            .transfer_with(self.src, self.dst, bytes, self.transport.as_ref())
+            .await;
+        let (tx, rx) = oneshot();
+        self.queue.push(Incoming {
+            req,
+            src: self.src,
+            replier: Replier {
+                net: self.net.clone(),
+                from: self.dst,
+                to: self.src,
+                tx,
+                transport: self.transport.clone(),
+            },
+        });
+        rx.await.ok()
+    }
+
+    /// The node this client sends from.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The node this client sends to.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imca_sim::{Sim, SimDuration};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+    #[derive(Debug, PartialEq)]
+    struct Pong(u32);
+
+    impl WireSize for Ping {
+        fn wire_bytes(&self) -> usize {
+            64
+        }
+    }
+    impl WireSize for Pong {
+        fn wire_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+
+        // Echo server.
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                let v = msg.req.0;
+                msg.respond(Pong(v + 1));
+            }
+        });
+
+        let got = Rc::new(Cell::new(0));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            let pong = cli.call(Ping(41)).await;
+            got2.set(pong.0);
+        });
+        let end = sim.run().end_time;
+        assert_eq!(got.get(), 42);
+        // Zero-service-time echo: end == unloaded RTT for 64B each way.
+        let tp = Transport::ipoib_ddr();
+        assert_eq!(end.as_nanos(), tp.unloaded_rtt(64, 64).as_nanos());
+    }
+
+    #[test]
+    fn server_service_time_adds_to_latency() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+        let h = sim.handle();
+
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                h.sleep(SimDuration::micros(100)).await;
+                msg.respond(Pong(0));
+            }
+        });
+        sim.spawn(async move {
+            cli.call(Ping(0)).await;
+        });
+        let end = sim.run().end_time;
+        let tp = Transport::ipoib_ddr();
+        assert_eq!(
+            end.as_nanos(),
+            tp.unloaded_rtt(64, 64).as_nanos() + SimDuration::micros(100).as_nanos()
+        );
+    }
+
+    #[test]
+    fn single_server_serialises_many_clients() {
+        // 8 clients call a server whose service time is 50us. The server
+        // processes one at a time, so the makespan grows ~linearly.
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let h = sim.handle();
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                h.sleep(SimDuration::micros(50)).await;
+                msg.respond(Pong(0));
+            }
+        });
+        for _ in 0..8 {
+            let node = net.add_node();
+            let cli = svc.client(node);
+            sim.spawn(async move {
+                cli.call(Ping(0)).await;
+            });
+        }
+        let end = sim.run().end_time;
+        assert!(
+            end.as_nanos() >= 8 * SimDuration::micros(50).as_nanos(),
+            "server did not serialise: {end:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_mailbox() {
+        // Same load as above but the service runs 8 worker processes, so
+        // service times overlap and the makespan collapses.
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let h = sim.handle();
+        for _ in 0..8 {
+            let svc2 = svc.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                while let Some(msg) = svc2.recv().await {
+                    h.sleep(SimDuration::micros(50)).await;
+                    msg.respond(Pong(0));
+                }
+            });
+        }
+        for _ in 0..8 {
+            let node = net.add_node();
+            let cli = svc.client(node);
+            sim.spawn(async move {
+                cli.call(Ping(0)).await;
+            });
+        }
+        let end = sim.run().end_time;
+        assert!(
+            end.as_nanos() < 3 * SimDuration::micros(50).as_nanos() + 200_000,
+            "workers did not overlap: {end:?}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Transport parameter sets.
+//!
+//! A [`Transport`] captures the first-order cost model of one interconnect:
+//! propagation latency, serialisation bandwidth, and the *host CPU* cost of
+//! pushing a message through the protocol stack on each side. The presets
+//! are calibrated to the hardware in the paper's testbed (§5.1): InfiniBand
+//! DDR HCAs with IPoIB-RC as the workhorse transport, Gigabit Ethernet for
+//! the motivation experiment, and native RDMA for the future-work ablation.
+
+use imca_sim::SimDuration;
+
+/// Cost model for one interconnect technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transport {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// One-way propagation + switching latency, independent of size.
+    pub one_way_latency: SimDuration,
+    /// Serialisation bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Host CPU time consumed on the sender per message (protocol stack,
+    /// copies). Holds the sender's NIC/CPU station.
+    pub host_cpu_send: SimDuration,
+    /// Host CPU time consumed on the receiver per message.
+    pub host_cpu_recv: SimDuration,
+}
+
+impl Transport {
+    /// TCP over IP-over-InfiniBand (Reliable Connection) on DDR HCAs — the
+    /// transport used between all IMCa components in the paper.
+    ///
+    /// DDR signalling is 16 Gbit/s raw; IPoIB-RC typically realises
+    /// ~1.2–1.4 GB/s of goodput with ~15 µs small-message latency and a
+    /// noticeable per-message TCP/IP stack cost.
+    pub fn ipoib_ddr() -> Transport {
+        Transport {
+            name: "IPoIB-DDR",
+            one_way_latency: SimDuration::micros(15),
+            bandwidth_bps: 1.25e9,
+            host_cpu_send: SimDuration::micros(3),
+            host_cpu_recv: SimDuration::micros(3),
+        }
+    }
+
+    /// Native InfiniBand RDMA on the same DDR HCAs: lower latency and
+    /// near-zero remote CPU involvement. Used by the `ablate_rdma`
+    /// experiment (paper §7 future work).
+    pub fn rdma_ddr() -> Transport {
+        Transport {
+            name: "RDMA-DDR",
+            one_way_latency: SimDuration::micros(5),
+            bandwidth_bps: 1.5e9,
+            host_cpu_send: SimDuration::micros(1),
+            host_cpu_recv: SimDuration::nanos(500),
+        }
+    }
+
+    /// Gigabit Ethernet (motivation experiment, Fig 1).
+    pub fn gige() -> Transport {
+        Transport {
+            name: "GigE",
+            one_way_latency: SimDuration::micros(45),
+            bandwidth_bps: 112e6,
+            host_cpu_send: SimDuration::micros(10),
+            host_cpu_recv: SimDuration::micros(10),
+        }
+    }
+
+    /// Time to clock `bytes` onto the wire at this transport's bandwidth.
+    pub fn serialize_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
+    }
+
+    /// Unloaded one-way message time: sender CPU + serialisation +
+    /// propagation + receive-side serialisation + receiver CPU. Queueing on
+    /// the NICs adds to this under contention.
+    ///
+    /// Serialisation is charged at *both* stations (store-and-forward, as
+    /// TCP buffering effectively does): a single message pays it twice, but
+    /// a multi-message stream pipelines — while the receiver clocks block
+    /// *k* in, the sender clocks block *k+1* out — so sustained streaming
+    /// throughput is the full `bandwidth_bps`.
+    pub fn unloaded_one_way(&self, bytes: usize) -> SimDuration {
+        self.host_cpu_send
+            + self.serialize_time(bytes) * 2
+            + self.one_way_latency
+            + self.host_cpu_recv
+    }
+
+    /// Unloaded round trip carrying `req` bytes out and `resp` bytes back.
+    pub fn unloaded_rtt(&self, req: usize, resp: usize) -> SimDuration {
+        self.unloaded_one_way(req) + self.unloaded_one_way(resp)
+    }
+}
+
+/// Size of a value as it would appear on the wire. Implemented by all
+/// protocol request/response types so the fabric can charge for
+/// serialisation without actually serialising.
+pub trait WireSize {
+    /// Number of bytes this message occupies on the wire, including a
+    /// nominal header.
+    fn wire_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_time_scales_linearly() {
+        let t = Transport::ipoib_ddr();
+        let one = t.serialize_time(1_250_000);
+        assert_eq!(one, SimDuration::millis(1));
+        assert_eq!(t.serialize_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let gige = Transport::gige();
+        let ipoib = Transport::ipoib_ddr();
+        let rdma = Transport::rdma_ddr();
+        // Latency: RDMA < IPoIB < GigE.
+        assert!(rdma.one_way_latency < ipoib.one_way_latency);
+        assert!(ipoib.one_way_latency < gige.one_way_latency);
+        // Bandwidth: GigE < IPoIB <= RDMA.
+        assert!(gige.bandwidth_bps < ipoib.bandwidth_bps);
+        assert!(ipoib.bandwidth_bps <= rdma.bandwidth_bps);
+        // Large-transfer time dominated by bandwidth.
+        let mb = 1 << 20;
+        assert!(rdma.unloaded_one_way(mb) < gige.unloaded_one_way(mb));
+    }
+
+    #[test]
+    fn rtt_is_sum_of_one_ways() {
+        let t = Transport::ipoib_ddr();
+        assert_eq!(
+            t.unloaded_rtt(100, 2000),
+            t.unloaded_one_way(100) + t.unloaded_one_way(2000)
+        );
+    }
+}

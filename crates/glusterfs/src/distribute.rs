@@ -1,0 +1,117 @@
+//! `cluster/distribute` — namespace distribution.
+//!
+//! "GlusterFS in its default configuration does not stripe the data, but
+//! instead distributes the namespace across all the servers" (§2.1). Each
+//! path hashes to exactly one subvolume (brick); whole files live there.
+
+use std::rc::Rc;
+
+use crate::fops::Fop;
+use crate::translator::{FopFuture, Translator, Xlator};
+
+/// Hash-distributes paths across subvolumes (DHT).
+pub struct Distribute {
+    subvolumes: Vec<Xlator>,
+}
+
+impl Distribute {
+    /// Distribute across `subvolumes`.
+    ///
+    /// # Panics
+    /// Panics if `subvolumes` is empty.
+    pub fn new(subvolumes: Vec<Xlator>) -> Rc<Distribute> {
+        assert!(!subvolumes.is_empty(), "distribute needs a subvolume");
+        Rc::new(Distribute { subvolumes })
+    }
+
+    /// The subvolume index a path routes to (Davies-Meyer in real DHT; a
+    /// CRC-style fold is equivalent for placement purposes).
+    pub fn route(&self, path: &str) -> usize {
+        imca_memcached_free_crc(path.as_bytes()) as usize % self.subvolumes.len()
+    }
+}
+
+/// Small standalone FNV-1a so this crate does not depend on the memcached
+/// crate just for a hash.
+fn imca_memcached_free_crc(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl Translator for Distribute {
+    fn name(&self) -> &'static str {
+        "cluster/distribute"
+    }
+
+    fn handle(self: Rc<Self>, fop: Fop) -> FopFuture {
+        let idx = self.route(fop.path());
+        let child = Rc::clone(&self.subvolumes[idx]);
+        Box::pin(async move { child.handle(fop).await })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fops::{FopReply, FsError};
+    use crate::translator::testutil::MockXlator;
+    use crate::translator::wind;
+    use imca_sim::Sim;
+
+    #[test]
+    fn each_path_sticks_to_one_subvolume() {
+        let mut sim = Sim::new(0);
+        let a = MockXlator::new();
+        let b = MockXlator::new();
+        let dht = Distribute::new(vec![
+            Rc::clone(&a) as Xlator,
+            Rc::clone(&b) as Xlator,
+        ]);
+        let dht2 = Rc::clone(&dht);
+        sim.spawn(async move {
+            for i in 0..50 {
+                let path = format!("/vol/file{i}");
+                // Create then stat must land on the same brick.
+                wind(&(Rc::clone(&dht2) as Xlator), Fop::Create { path: path.clone() }).await;
+                wind(&(Rc::clone(&dht2) as Xlator), Fop::Stat { path }).await;
+            }
+        });
+        sim.run();
+        let check = |log: &[Fop]| {
+            // For every path seen, both its fops are in this one log.
+            let mut paths: Vec<&str> = log.iter().map(|f| f.path()).collect();
+            paths.sort_unstable();
+            paths.chunks(2).all(|c| c.len() == 2 && c[0] == c[1])
+        };
+        assert!(check(&a.log.borrow()));
+        assert!(check(&b.log.borrow()));
+        let total = a.log.borrow().len() + b.log.borrow().len();
+        assert_eq!(total, 100);
+        // Both bricks got some share.
+        assert!(!a.log.borrow().is_empty());
+        assert!(!b.log.borrow().is_empty());
+    }
+
+    #[test]
+    fn single_subvolume_routes_everything_there() {
+        let mut sim = Sim::new(0);
+        let a = MockXlator::new();
+        let dht = Distribute::new(vec![Rc::clone(&a) as Xlator]);
+        sim.spawn(async move {
+            let r = wind(&(dht as Xlator), Fop::Stat { path: "/missing/x".into() }).await;
+            assert_eq!(r, FopReply::Stat(Err(FsError::NotFound)));
+        });
+        sim.run();
+        assert_eq!(a.log.borrow().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a subvolume")]
+    fn empty_subvolumes_panics() {
+        Distribute::new(vec![]);
+    }
+}

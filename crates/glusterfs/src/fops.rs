@@ -1,0 +1,234 @@
+//! File operations ("fops") and their replies.
+//!
+//! GlusterFS passes every VFS call down a stack of translators as a fop;
+//! results bubble back up through callbacks (STACK_WIND / STACK_UNWIND).
+//! Our fops carry the absolute path, as GlusterFS `loc_t` does — which is
+//! also exactly what CMCache needs to build cache keys (the paper stores
+//! the fd→path mapping at open for this purpose, §4.3.2).
+
+use imca_fabric::WireSize;
+
+/// Nominal per-message protocol header, charged on the wire.
+const HDR: usize = 64;
+
+/// Stat metadata returned by `stat`/`open` — "file size, create and modify
+/// times, in addition to other information" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileStat {
+    /// File size in bytes.
+    pub size: u64,
+    /// Last modification time, nanoseconds of virtual time.
+    pub mtime_ns: u64,
+    /// Creation time, nanoseconds of virtual time.
+    pub ctime_ns: u64,
+}
+
+impl FileStat {
+    /// Serialised size of a stat structure (`struct stat` is 144 bytes on
+    /// Linux; we round to it).
+    pub const WIRE_SIZE: usize = 144;
+
+    /// Encode to bytes (the payload stored in the MCDs under `path:stat`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(24);
+        v.extend_from_slice(&self.size.to_le_bytes());
+        v.extend_from_slice(&self.mtime_ns.to_le_bytes());
+        v.extend_from_slice(&self.ctime_ns.to_le_bytes());
+        v
+    }
+
+    /// Decode from bytes; `None` if the buffer is malformed.
+    pub fn from_bytes(b: &[u8]) -> Option<FileStat> {
+        if b.len() != 24 {
+            return None;
+        }
+        let u = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        Some(FileStat {
+            size: u(0),
+            mtime_ns: u(8),
+            ctime_ns: u(16),
+        })
+    }
+}
+
+/// Errors surfaced by the filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound,
+    /// Path already exists (create).
+    Exists,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file"),
+            FsError::Exists => write!(f, "file exists"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A file operation travelling down a translator stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fop {
+    /// Create an empty file.
+    Create {
+        /// Absolute path.
+        path: String,
+    },
+    /// Open an existing file; returns its stat (GlusterFS opens return the
+    /// inode attributes, which SMCache uses to seed the MCDs, §4.2).
+    Open {
+        /// Absolute path.
+        path: String,
+    },
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Absolute path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes requested.
+        len: u64,
+    },
+    /// Write `data` at `offset`.
+    Write {
+        /// Absolute path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Fetch file attributes.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Remove a file.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Close/flush an open file.
+    Close {
+        /// Absolute path.
+        path: String,
+    },
+}
+
+impl Fop {
+    /// The path this fop addresses.
+    pub fn path(&self) -> &str {
+        match self {
+            Fop::Create { path }
+            | Fop::Open { path }
+            | Fop::Read { path, .. }
+            | Fop::Write { path, .. }
+            | Fop::Stat { path }
+            | Fop::Unlink { path }
+            | Fop::Close { path } => path,
+        }
+    }
+
+    /// Short operation name for logs and stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fop::Create { .. } => "create",
+            Fop::Open { .. } => "open",
+            Fop::Read { .. } => "read",
+            Fop::Write { .. } => "write",
+            Fop::Stat { .. } => "stat",
+            Fop::Unlink { .. } => "unlink",
+            Fop::Close { .. } => "close",
+        }
+    }
+}
+
+impl WireSize for Fop {
+    fn wire_bytes(&self) -> usize {
+        let payload = match self {
+            Fop::Write { data, .. } => data.len(),
+            _ => 0,
+        };
+        HDR + self.path().len() + payload
+    }
+}
+
+/// The reply travelling back up the stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FopReply {
+    /// Reply to `Create`.
+    Create(Result<(), FsError>),
+    /// Reply to `Open` (carries the stat, see [`Fop::Open`]).
+    Open(Result<FileStat, FsError>),
+    /// Reply to `Read` (short at EOF).
+    Read(Result<Vec<u8>, FsError>),
+    /// Reply to `Write` (bytes written).
+    Write(Result<u64, FsError>),
+    /// Reply to `Stat`.
+    Stat(Result<FileStat, FsError>),
+    /// Reply to `Unlink`.
+    Unlink(Result<(), FsError>),
+    /// Reply to `Close`.
+    Close(Result<(), FsError>),
+}
+
+impl WireSize for FopReply {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            FopReply::Read(Ok(data)) => HDR + data.len(),
+            FopReply::Open(Ok(_)) | FopReply::Stat(Ok(_)) => HDR + FileStat::WIRE_SIZE,
+            _ => HDR,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_bytes_round_trip() {
+        let s = FileStat {
+            size: 12345,
+            mtime_ns: 111,
+            ctime_ns: 222,
+        };
+        assert_eq!(FileStat::from_bytes(&s.to_bytes()), Some(s));
+        assert_eq!(FileStat::from_bytes(b"short"), None);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let w = Fop::Write {
+            path: "/a".into(),
+            offset: 0,
+            data: vec![0; 1000],
+        };
+        let r = Fop::Read {
+            path: "/a".into(),
+            offset: 0,
+            len: 1000,
+        };
+        assert_eq!(w.wire_bytes(), HDR + 2 + 1000);
+        assert_eq!(r.wire_bytes(), HDR + 2);
+        let reply = FopReply::Read(Ok(vec![0; 1000]));
+        assert_eq!(reply.wire_bytes(), HDR + 1000);
+        assert_eq!(FopReply::Write(Ok(1000)).wire_bytes(), HDR);
+        assert_eq!(
+            FopReply::Stat(Ok(FileStat::default())).wire_bytes(),
+            HDR + FileStat::WIRE_SIZE
+        );
+    }
+
+    #[test]
+    fn fop_accessors() {
+        let f = Fop::Stat { path: "/x/y".into() };
+        assert_eq!(f.path(), "/x/y");
+        assert_eq!(f.kind(), "stat");
+    }
+}

@@ -1,0 +1,328 @@
+//! `performance/write-behind` — aggregates small sequential writes into
+//! larger child writes (§2.1). Writes complete to the application as soon
+//! as they are buffered; the buffer is flushed when it exceeds the
+//! aggregate window, when a non-contiguous write arrives, or when any
+//! operation needs the file's true state (read/stat/close/unlink).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::fops::{Fop, FopReply, FsError};
+use crate::translator::{wind, FopFuture, Translator, Xlator};
+
+struct Pending {
+    offset: u64,
+    data: Vec<u8>,
+}
+
+/// Per-file write aggregation.
+pub struct WriteBehind {
+    child: Xlator,
+    window_bytes: usize,
+    pending: RefCell<HashMap<String, Pending>>,
+    /// First flush error per file, reported on close (POSIX-style deferred
+    /// error delivery).
+    errors: RefCell<HashMap<String, FsError>>,
+    aggregated: std::cell::Cell<u64>,
+    flushes: std::cell::Cell<u64>,
+}
+
+impl WriteBehind {
+    /// Wrap `child`, aggregating up to `window_bytes` per file.
+    pub fn new(child: Xlator, window_bytes: usize) -> Rc<WriteBehind> {
+        Rc::new(WriteBehind {
+            child,
+            window_bytes,
+            pending: RefCell::new(HashMap::new()),
+            errors: RefCell::new(HashMap::new()),
+            aggregated: std::cell::Cell::new(0),
+            flushes: std::cell::Cell::new(0),
+        })
+    }
+
+    /// Writes absorbed into an existing buffer.
+    pub fn aggregated(&self) -> u64 {
+        self.aggregated.get()
+    }
+
+    /// Child writes issued.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.get()
+    }
+
+    async fn flush(&self, path: &str) {
+        let pending = self.pending.borrow_mut().remove(path);
+        if let Some(p) = pending {
+            self.flushes.set(self.flushes.get() + 1);
+            let reply = wind(
+                &self.child,
+                Fop::Write {
+                    path: path.to_string(),
+                    offset: p.offset,
+                    data: p.data,
+                },
+            )
+            .await;
+            if let FopReply::Write(Err(e)) = reply {
+                self.errors.borrow_mut().entry(path.to_string()).or_insert(e);
+            }
+        }
+    }
+}
+
+impl Translator for WriteBehind {
+    fn name(&self) -> &'static str {
+        "performance/write-behind"
+    }
+
+    fn handle(self: Rc<Self>, fop: Fop) -> FopFuture {
+        Box::pin(async move {
+            match fop {
+                Fop::Write { path, offset, data } => {
+                    let len = data.len() as u64;
+                    // Try to extend the existing buffer.
+                    let mut needs_flush_first = false;
+                    {
+                        let mut pending = self.pending.borrow_mut();
+                        match pending.get_mut(&path) {
+                            Some(p) if p.offset + p.data.len() as u64 == offset => {
+                                p.data.extend_from_slice(&data);
+                                self.aggregated.set(self.aggregated.get() + 1);
+                            }
+                            Some(_) => needs_flush_first = true,
+                            None => {
+                                pending.insert(path.clone(), Pending { offset, data: data.clone() });
+                            }
+                        }
+                    }
+                    if needs_flush_first {
+                        self.flush(&path).await;
+                        self.pending
+                            .borrow_mut()
+                            .insert(path.clone(), Pending { offset, data });
+                    }
+                    let over = self
+                        .pending
+                        .borrow()
+                        .get(&path)
+                        .map(|p| p.data.len() >= self.window_bytes)
+                        .unwrap_or(false);
+                    if over {
+                        self.flush(&path).await;
+                    }
+                    FopReply::Write(Ok(len))
+                }
+                Fop::Read { .. } | Fop::Stat { .. } | Fop::Open { .. } | Fop::Unlink { .. } => {
+                    self.flush(fop.path()).await;
+                    wind(&self.child, fop).await
+                }
+                Fop::Close { path } => {
+                    self.flush(&path).await;
+                    if let Some(e) = self.errors.borrow_mut().remove(&path) {
+                        return FopReply::Close(Err(e));
+                    }
+                    wind(&self.child, Fop::Close { path }).await
+                }
+                other => wind(&self.child, other).await,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posix::Posix;
+    use crate::translator::testutil::MockXlator;
+    use imca_sim::Sim;
+    use imca_storage::{BackendParams, StorageBackend};
+
+    fn stack(sim: &Sim, window: usize) -> (Rc<WriteBehind>, Xlator) {
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        let wb = WriteBehind::new(posix, window);
+        (Rc::clone(&wb), wb as Xlator)
+    }
+
+    #[test]
+    fn sequential_small_writes_aggregate() {
+        let mut sim = Sim::new(0);
+        let (wb, top) = stack(&sim, 64 * 1024);
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            wind(&top2, Fop::Create { path: "/f".into() }).await;
+            for i in 0..100u64 {
+                wind(
+                    &top2,
+                    Fop::Write {
+                        path: "/f".into(),
+                        offset: i * 100,
+                        data: vec![i as u8; 100],
+                    },
+                )
+                .await;
+            }
+            // A read forces the flush and must see every byte.
+            let FopReply::Read(Ok(data)) = wind(
+                &top2,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 9_900,
+                    len: 100,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(data, vec![99u8; 100]);
+        });
+        sim.run();
+        assert!(wb.aggregated() > 90, "aggregated={}", wb.aggregated());
+        assert!(wb.flushes() <= 2, "flushes={}", wb.flushes());
+    }
+
+    #[test]
+    fn window_overflow_triggers_flush() {
+        let mut sim = Sim::new(0);
+        let (wb, top) = stack(&sim, 1_000);
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            wind(&top2, Fop::Create { path: "/f".into() }).await;
+            for i in 0..10u64 {
+                wind(
+                    &top2,
+                    Fop::Write {
+                        path: "/f".into(),
+                        offset: i * 500,
+                        data: vec![1; 500],
+                    },
+                )
+                .await;
+            }
+        });
+        sim.run();
+        assert!(wb.flushes() >= 4, "flushes={}", wb.flushes());
+    }
+
+    #[test]
+    fn non_contiguous_write_flushes_old_buffer() {
+        let mut sim = Sim::new(0);
+        let (_wb, top) = stack(&sim, 64 * 1024);
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            wind(&top2, Fop::Create { path: "/f".into() }).await;
+            wind(
+                &top2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: b"AAAA".to_vec(),
+                },
+            )
+            .await;
+            // Jump backwards — overlaps nothing buffered-contiguously.
+            wind(
+                &top2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 100,
+                    data: b"BBBB".to_vec(),
+                },
+            )
+            .await;
+            wind(&top2, Fop::Close { path: "/f".into() }).await;
+            let FopReply::Read(Ok(a)) = wind(
+                &top2,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 4,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            let FopReply::Read(Ok(b)) = wind(
+                &top2,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 100,
+                    len: 4,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(a, b"AAAA");
+            assert_eq!(b, b"BBBB");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn close_reports_deferred_write_error() {
+        let mut sim = Sim::new(0);
+        // Mock child: writes to paths containing "missing" fail via posix?
+        // Use real posix: writing to a never-created file errors NotFound.
+        let (_wb, top) = stack(&sim, 64 * 1024);
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            // No create — the buffered write will fail at flush time.
+            let r = wind(
+                &top2,
+                Fop::Write {
+                    path: "/ghost".into(),
+                    offset: 0,
+                    data: b"lost".to_vec(),
+                },
+            )
+            .await;
+            // Buffered: reported as success to the application…
+            assert_eq!(r, FopReply::Write(Ok(4)));
+            // …but close surfaces the deferred error.
+            let r = wind(&top2, Fop::Close { path: "/ghost".into() }).await;
+            assert_eq!(r, FopReply::Close(Err(FsError::NotFound)));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stat_sees_buffered_writes() {
+        let mut sim = Sim::new(0);
+        let (_wb, top) = stack(&sim, 64 * 1024);
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            wind(&top2, Fop::Create { path: "/f".into() }).await;
+            wind(
+                &top2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![0; 5_000],
+                },
+            )
+            .await;
+            let FopReply::Stat(Ok(st)) = wind(&top2, Fop::Stat { path: "/f".into() }).await else {
+                panic!()
+            };
+            assert_eq!(st.size, 5_000, "stat must flush write-behind first");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn passthrough_ops_reach_child() {
+        let mut sim = Sim::new(0);
+        let mock = MockXlator::new();
+        let wb = WriteBehind::new(Rc::clone(&mock) as Xlator, 1024);
+        sim.spawn(async move {
+            wind(&(wb as Xlator), Fop::Create { path: "/c".into() }).await;
+        });
+        sim.run();
+        assert_eq!(mock.log.borrow().len(), 1);
+    }
+}

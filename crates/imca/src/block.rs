@@ -1,0 +1,288 @@
+//! IMCa block math (§4.3.1).
+//!
+//! "IMCa uses a fixed block size to store file system data in the cache ...
+//! Depending on the blocksize, IMCa may need to fetch or write additional
+//! blocks from/to the MCDs above and beyond what is requested. This happens
+//! if the beginning or end of the requested data element is not aligned
+//! with the boundary defined by the blocksize." (Fig 3)
+//!
+//! All functions here are pure; the property tests at the bottom pin down
+//! the invariants DESIGN.md §6 lists.
+
+/// The block size used in most of the paper's experiments (§5.3: "We use a
+/// block size of 2K for the remaining experiments").
+pub const DEFAULT_BLOCK_SIZE: u64 = 2048;
+
+/// One block of the cover of a byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Block index (offset / block_size).
+    pub index: u64,
+    /// Byte offset where this block starts.
+    pub start: u64,
+}
+
+impl BlockRef {
+    /// End offset (exclusive) of this block given `block_size`.
+    pub fn end(&self, block_size: u64) -> u64 {
+        self.start + block_size
+    }
+}
+
+/// The blocks covering `[offset, offset+len)`.
+///
+/// Empty for `len == 0`. The number of blocks is at most
+/// `len/block_size + 2` (one extra on each unaligned edge).
+///
+/// # Panics
+/// Panics if `block_size` is zero.
+pub fn cover(offset: u64, len: u64, block_size: u64) -> Vec<BlockRef> {
+    assert!(block_size > 0, "block size must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let first = offset / block_size;
+    let last = (offset + len - 1) / block_size;
+    (first..=last)
+        .map(|index| BlockRef {
+            index,
+            start: index * block_size,
+        })
+        .collect()
+}
+
+/// Number of blocks [`cover`] would return, without allocating.
+pub fn cover_len(offset: u64, len: u64, block_size: u64) -> u64 {
+    assert!(block_size > 0, "block size must be positive");
+    if len == 0 {
+        return 0;
+    }
+    (offset + len - 1) / block_size - offset / block_size + 1
+}
+
+/// The block-aligned byte range enclosing `[offset, offset+len)`:
+/// `(aligned_offset, aligned_len)`. This is what SMCache reads from the
+/// underlying filesystem so it can populate whole blocks.
+pub fn aligned_range(offset: u64, len: u64, block_size: u64) -> (u64, u64) {
+    assert!(block_size > 0, "block size must be positive");
+    if len == 0 {
+        return (offset - offset % block_size, 0);
+    }
+    let start = offset - offset % block_size;
+    let end_block = (offset + len - 1) / block_size;
+    let end = (end_block + 1) * block_size;
+    (start, end - start)
+}
+
+/// Assemble the requested `[offset, offset+len)` range out of fetched
+/// blocks.
+///
+/// `blocks` are `(block_start, data)` pairs, sorted ascending, exactly the
+/// cover of the range. A block shorter than `block_size` marks EOF: bytes
+/// past `block_start + data.len()` do not exist, so the result is a short
+/// read — exactly what the assembling client should return.
+///
+/// Returns `None` if the blocks do not line up with the cover (a logic
+/// error in the caller, or corrupted cache state that must be treated as a
+/// miss).
+pub fn assemble(
+    offset: u64,
+    len: u64,
+    block_size: u64,
+    blocks: &[(u64, &[u8])],
+) -> Option<Vec<u8>> {
+    let want = cover(offset, len, block_size);
+    if want.len() != blocks.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let end = offset + len;
+    for (bref, (bstart, data)) in want.iter().zip(blocks) {
+        if bref.start != *bstart || data.len() as u64 > block_size {
+            return None;
+        }
+        // Wanted range within this block.
+        let from = offset.max(bref.start);
+        let to = end.min(bref.start + block_size);
+        let rel_from = (from - bref.start) as usize;
+        let rel_to = (to - bref.start) as usize;
+        let avail = data.len();
+        if rel_from >= avail {
+            // Block is short (EOF) before our range begins: stop here.
+            break;
+        }
+        let rel_to_clamped = rel_to.min(avail);
+        out.extend_from_slice(&data[rel_from..rel_to_clamped]);
+        if rel_to_clamped < rel_to {
+            // Short block mid-range: EOF inside this block.
+            break;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aligned_request_covers_exactly() {
+        let c = cover(4096, 4096, 2048);
+        assert_eq!(
+            c,
+            vec![
+                BlockRef { index: 2, start: 4096 },
+                BlockRef { index: 3, start: 6144 },
+            ]
+        );
+        assert_eq!(cover_len(4096, 4096, 2048), 2);
+    }
+
+    #[test]
+    fn unaligned_edges_need_extra_blocks() {
+        // Fig 3: a request straddling block boundaries needs the partial
+        // blocks on both sides.
+        let c = cover(2047, 4, 2048); // bytes 2047..2051
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].index, 0);
+        assert_eq!(c[1].index, 1);
+    }
+
+    #[test]
+    fn one_byte_read_needs_one_full_block() {
+        // §5.3: "even for a Read operation of 1 byte, the client needs to
+        // fetch a complete block of data from the MCDs".
+        let c = cover(5000, 1, 2048);
+        assert_eq!(c, vec![BlockRef { index: 2, start: 4096 }]);
+    }
+
+    #[test]
+    fn zero_len_is_empty() {
+        assert!(cover(123, 0, 2048).is_empty());
+        assert_eq!(cover_len(123, 0, 2048), 0);
+        assert_eq!(aligned_range(5000, 0, 2048).1, 0);
+    }
+
+    #[test]
+    fn aligned_range_encloses() {
+        assert_eq!(aligned_range(2047, 4, 2048), (0, 4096));
+        assert_eq!(aligned_range(2048, 2048, 2048), (2048, 2048));
+        assert_eq!(aligned_range(0, 1, 2048), (0, 2048));
+    }
+
+    #[test]
+    fn assemble_exact_fit() {
+        let b0 = vec![0u8; 2048];
+        let mut b1 = vec![1u8; 2048];
+        b1[0] = 99;
+        let got = assemble(2048, 4, 2048, &[(2048, &b1)]).unwrap();
+        assert_eq!(got, &[99, 1, 1, 1]);
+        let got = assemble(2040, 16, 2048, &[(0, &b0), (2048, &b1)]).unwrap();
+        assert_eq!(&got[..8], &[0; 8]);
+        assert_eq!(got[8], 99);
+        assert_eq!(got.len(), 16);
+    }
+
+    #[test]
+    fn assemble_short_tail_block_gives_short_read() {
+        // File is 2100 bytes: block 1 holds only 52 bytes.
+        let b0 = vec![7u8; 2048];
+        let b1 = vec![8u8; 52];
+        let got = assemble(2000, 500, 2048, &[(0, &b0), (2048, &b1)]).unwrap();
+        assert_eq!(got.len(), 100); // 48 from b0 + 52 from b1
+        assert_eq!(&got[..48], &[7u8; 48][..]);
+        assert_eq!(&got[48..], &[8u8; 52][..]);
+    }
+
+    #[test]
+    fn assemble_range_entirely_past_eof() {
+        let b1 = vec![8u8; 52]; // block 1 of a 2100-byte file
+        let got = assemble(2100, 10, 2048, &[(2048, &b1)]).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn assemble_rejects_mismatched_blocks() {
+        let b = vec![0u8; 2048];
+        // Wrong start offset.
+        assert_eq!(assemble(0, 4, 2048, &[(2048, &b[..])]), None);
+        // Wrong count.
+        assert_eq!(assemble(0, 5000, 2048, &[(0, &b[..])]), None);
+        // Oversized block.
+        let big = vec![0u8; 4096];
+        assert_eq!(assemble(0, 4, 2048, &[(0, &big[..])]), None);
+    }
+
+    proptest! {
+        /// Every byte of the request is covered by exactly one block, and
+        /// block count obeys the ⌈len/bs⌉+1 bound.
+        #[test]
+        fn cover_is_exact_partition(
+            offset in 0u64..1_000_000,
+            len in 1u64..100_000,
+            bs in prop::sample::select(vec![1u64, 7, 256, 2048, 8192, 65536]),
+        ) {
+            let blocks = cover(offset, len, bs);
+            prop_assert_eq!(blocks.len() as u64, cover_len(offset, len, bs));
+            // Bound from DESIGN.md: ceil(len/bs) + 1.
+            prop_assert!(blocks.len() as u64 <= len.div_ceil(bs) + 1);
+            // Contiguity & coverage.
+            prop_assert_eq!(blocks[0].start, offset - offset % bs);
+            for w in blocks.windows(2) {
+                prop_assert_eq!(w[0].start + bs, w[1].start);
+                prop_assert_eq!(w[0].index + 1, w[1].index);
+            }
+            let last = blocks.last().unwrap();
+            prop_assert!(last.start < offset + len);
+            prop_assert!(last.end(bs) >= offset + len);
+        }
+
+        /// aligned_range always encloses the request and is block-aligned.
+        #[test]
+        fn aligned_range_encloses_request(
+            offset in 0u64..1_000_000,
+            len in 1u64..100_000,
+            bs in prop::sample::select(vec![256u64, 2048, 8192]),
+        ) {
+            let (a_off, a_len) = aligned_range(offset, len, bs);
+            prop_assert_eq!(a_off % bs, 0);
+            prop_assert_eq!(a_len % bs, 0);
+            prop_assert!(a_off <= offset);
+            prop_assert!(a_off + a_len >= offset + len);
+            // Tight: no more than one extra block per edge.
+            prop_assert!(a_len <= len + 2 * bs);
+        }
+
+        /// Assembling blocks cut from a reference file reproduces exactly
+        /// the bytes a direct read would return, including EOF shortening.
+        #[test]
+        fn assemble_matches_reference_read(
+            file_len in 0usize..10_000,
+            offset in 0u64..12_000,
+            len in 1u64..4_000,
+            bs in prop::sample::select(vec![256u64, 1024, 2048]),
+            seed in 0u64..u64::MAX,
+        ) {
+            // Deterministic pseudo-random file contents.
+            let file: Vec<u8> = (0..file_len)
+                .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+                .collect();
+            // Cut the cover blocks the way SMCache would store them.
+            let blocks: Vec<(u64, Vec<u8>)> = cover(offset, len, bs)
+                .into_iter()
+                .map(|b| {
+                    let s = (b.start as usize).min(file.len());
+                    let e = ((b.start + bs) as usize).min(file.len());
+                    (b.start, file[s..e].to_vec())
+                })
+                .collect();
+            let refs: Vec<(u64, &[u8])> =
+                blocks.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+            let got = assemble(offset, len, bs, &refs).unwrap();
+            let s = (offset as usize).min(file.len());
+            let e = ((offset + len) as usize).min(file.len());
+            prop_assert_eq!(got, file[s..e].to_vec());
+        }
+    }
+}

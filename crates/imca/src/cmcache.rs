@@ -1,0 +1,367 @@
+//! CMCache — the Client Memory Cache translator (§4.1).
+//!
+//! Intercepts fops on the GlusterFS client:
+//!
+//! * **stat**: try `<path>:stat` in the MCD bank; on a miss the request
+//!   propagates to the server (whose SMCache repopulates the entry).
+//! * **read**: generate the block keys covering the request ("CMCache will
+//!   generate keys that consist of the absolute pathname for the file ...
+//!   and the offsets from the Read request, taking into account the IMCa
+//!   blocksize"), fetch them from the MCDs in parallel, and assemble. "If
+//!   there is a miss for any one of the keys, CMCache will forward the Read
+//!   request to the GlusterFS server" — making cold misses strictly more
+//!   expensive than NoCache (§4.4).
+//! * **write / create / delete / open / close**: not intercepted (§4.2,
+//!   §4.3.2); they flow straight to the server.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_sim::join_all;
+use imca_sim::SimHandle;
+
+use crate::block::{assemble, cover};
+use crate::keys::{block_key, stat_key};
+use crate::mcd::BankClient;
+
+/// Client-side cache interception counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmStats {
+    /// Stats answered from the bank.
+    pub stat_hits: u64,
+    /// Stats that fell through to the server.
+    pub stat_misses: u64,
+    /// Reads fully assembled from cached blocks.
+    pub read_hits: u64,
+    /// Reads forwarded to the server after one or more block misses.
+    pub read_misses: u64,
+}
+
+/// The CMCache translator.
+pub struct CmCache {
+    child: Xlator,
+    bank: Rc<BankClient>,
+    block_size: u64,
+    stats: RefCell<CmStats>,
+    _handle: SimHandle,
+}
+
+impl CmCache {
+    /// Stack CMCache above `child` (normally `protocol/client`), talking to
+    /// `bank`.
+    pub fn new(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+    ) -> Rc<CmCache> {
+        assert!(block_size > 0, "IMCa block size must be positive");
+        Rc::new(CmCache {
+            child,
+            bank,
+            block_size,
+            stats: RefCell::new(CmStats::default()),
+            _handle: handle,
+        })
+    }
+
+    /// Interception counters.
+    pub fn stats(&self) -> CmStats {
+        *self.stats.borrow()
+    }
+
+    /// The bank this translator reads from.
+    pub fn bank(&self) -> &Rc<BankClient> {
+        &self.bank
+    }
+}
+
+impl Translator for CmCache {
+    fn name(&self) -> &'static str {
+        "imca/cmcache"
+    }
+
+    fn handle(self: Rc<Self>, fop: Fop) -> imca_glusterfs::FopFuture {
+        Box::pin(async move {
+            match fop {
+                Fop::Stat { path } => {
+                    let key = stat_key(&path);
+                    if let Some(raw) = self.bank.get(&key, None).await {
+                        if let Some(st) = FileStat::from_bytes(&raw) {
+                            self.stats.borrow_mut().stat_hits += 1;
+                            return FopReply::Stat(Ok(st));
+                        }
+                        // Corrupt entry: fall through as a miss.
+                    }
+                    self.stats.borrow_mut().stat_misses += 1;
+                    Rc::clone(&self.child).handle(Fop::Stat { path }).await
+                }
+                Fop::Read { path, offset, len } => {
+                    if len == 0 {
+                        return FopReply::Read(Ok(Vec::new()));
+                    }
+                    let blocks = cover(offset, len, self.block_size);
+                    // Fetch every covering block from the bank in parallel.
+                    let futs: Vec<_> = blocks
+                        .iter()
+                        .map(|b| {
+                            let bank = Rc::clone(&self.bank);
+                            let key = block_key(&path, b.start);
+                            let hint = b.index;
+                            async move { bank.get(&key, Some(hint)).await }
+                        })
+                        .collect();
+                    let fetched = join_all(&self._handle, futs).await;
+                    if fetched.iter().all(|f| f.is_some()) {
+                        let owned: Vec<(u64, bytes::Bytes)> = blocks
+                            .iter()
+                            .zip(&fetched)
+                            .map(|(b, f)| (b.start, f.clone().expect("checked Some")))
+                            .collect();
+                        let refs: Vec<(u64, &[u8])> =
+                            owned.iter().map(|(s, d)| (*s, d.as_ref())).collect();
+                        if let Some(data) = assemble(offset, len, self.block_size, &refs) {
+                            self.stats.borrow_mut().read_hits += 1;
+                            return FopReply::Read(Ok(data));
+                        }
+                    }
+                    // "The cost of a miss is more expensive in the case of
+                    // IMCa, since it includes one or more round-trips to
+                    // the MCD, before determining that there might be a
+                    // miss" — we already paid those; now pay the server.
+                    self.stats.borrow_mut().read_misses += 1;
+                    Rc::clone(&self.child)
+                        .handle(Fop::Read { path, offset, len })
+                        .await
+                }
+                // Everything else passes straight through.
+                other => Rc::clone(&self.child).handle(other).await,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcd::{start_bank, BankClient, McdCosts};
+    use bytes::Bytes;
+    use imca_fabric::{Network, Transport};
+    use imca_memcached::{McConfig, Selector};
+    use imca_sim::Sim;
+    use std::cell::RefCell as StdRefCell;
+
+    /// A child translator that records what reached the server side.
+    struct Recorder {
+        log: StdRefCell<Vec<Fop>>,
+        file: Vec<u8>,
+    }
+
+    impl Translator for Recorder {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn handle(self: Rc<Self>, fop: Fop) -> imca_glusterfs::FopFuture {
+            self.log.borrow_mut().push(fop.clone());
+            Box::pin(async move {
+                match fop {
+                    Fop::Stat { .. } => FopReply::Stat(Ok(FileStat {
+                        size: self.file.len() as u64,
+                        mtime_ns: 5,
+                        ctime_ns: 5,
+                    })),
+                    Fop::Read { offset, len, .. } => {
+                        let s = (offset as usize).min(self.file.len());
+                        let e = ((offset + len) as usize).min(self.file.len());
+                        FopReply::Read(Ok(self.file[s..e].to_vec()))
+                    }
+                    _ => FopReply::Close(Ok(())),
+                }
+            })
+        }
+    }
+
+    fn setup(
+        sim: &Sim,
+        file: Vec<u8>,
+        bs: u64,
+    ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let client_node = net.add_node();
+        let bank = Rc::new(BankClient::connect(
+            &nodes,
+            client_node,
+            Selector::Crc32,
+            None,
+        ));
+        // Leak the nodes into a task so their actors stay alive.
+        let rec = Rc::new(Recorder {
+            log: StdRefCell::new(Vec::new()),
+            file,
+        });
+        let cm = CmCache::new(
+            sim.handle(),
+            Rc::clone(&rec) as Xlator,
+            Rc::clone(&bank),
+            bs,
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = nodes;
+            std::future::pending::<()>().await;
+        });
+        (cm, rec, bank)
+    }
+
+    #[test]
+    fn stat_hit_skips_the_server() {
+        let mut sim = Sim::new(0);
+        let (cm, rec, bank) = setup(&sim, vec![0; 100], 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            // Seed the bank the way SMCache would.
+            let st = FileStat {
+                size: 100,
+                mtime_ns: 9,
+                ctime_ns: 9,
+            };
+            bank.set(&stat_key("/f"), Bytes::from(st.to_bytes()), None).await;
+            let FopReply::Stat(Ok(got)) =
+                Rc::clone(&(cm2 as Xlator)).handle(Fop::Stat { path: "/f".into() }).await
+            else {
+                panic!()
+            };
+            assert_eq!(got, st);
+        });
+        sim.run();
+        assert!(rec.log.borrow().is_empty(), "server was contacted on a hit");
+        assert_eq!(cm.stats().stat_hits, 1);
+    }
+
+    #[test]
+    fn stat_miss_propagates() {
+        let mut sim = Sim::new(0);
+        let (cm, rec, _bank) = setup(&sim, vec![0; 100], 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            let FopReply::Stat(Ok(st)) =
+                Rc::clone(&(cm2 as Xlator)).handle(Fop::Stat { path: "/f".into() }).await
+            else {
+                panic!()
+            };
+            assert_eq!(st.size, 100);
+        });
+        sim.run();
+        assert_eq!(rec.log.borrow().len(), 1);
+        assert_eq!(cm.stats().stat_misses, 1);
+    }
+
+    #[test]
+    fn read_hit_assembles_from_blocks() {
+        let mut sim = Sim::new(0);
+        let file: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let (cm, rec, bank) = setup(&sim, file.clone(), 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            // Seed blocks 0..4 as SMCache would.
+            for b in 0..4u64 {
+                let s = (b * 2048) as usize;
+                bank.set(
+                    &block_key("/f", b * 2048),
+                    Bytes::from(file[s..s + 2048].to_vec()),
+                    Some(b),
+                )
+                .await;
+            }
+            // Unaligned read straddling blocks 1 and 2.
+            let FopReply::Read(Ok(data)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Read {
+                    path: "/f".into(),
+                    offset: 3000,
+                    len: 2000,
+                })
+                .await
+            else {
+                panic!()
+            };
+            assert_eq!(data, file[3000..5000].to_vec());
+        });
+        sim.run();
+        assert!(rec.log.borrow().is_empty());
+        assert_eq!(cm.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn any_block_miss_forwards_whole_read() {
+        let mut sim = Sim::new(0);
+        let file: Vec<u8> = vec![7; 8192];
+        let (cm, rec, bank) = setup(&sim, file.clone(), 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            // Seed only the first of the two covering blocks.
+            bank.set(
+                &block_key("/f", 2048),
+                Bytes::from(file[2048..4096].to_vec()),
+                Some(1),
+            )
+            .await;
+            let FopReply::Read(Ok(data)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Read {
+                    path: "/f".into(),
+                    offset: 3000,
+                    len: 2000,
+                })
+                .await
+            else {
+                panic!()
+            };
+            assert_eq!(data.len(), 2000);
+        });
+        sim.run();
+        assert_eq!(rec.log.borrow().len(), 1, "read must reach the server");
+        assert_eq!(cm.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn writes_are_not_intercepted() {
+        let mut sim = Sim::new(0);
+        let (cm, rec, _bank) = setup(&sim, vec![], 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![1, 2, 3],
+                })
+                .await;
+        });
+        sim.run();
+        assert_eq!(rec.log.borrow().len(), 1);
+        let s = cm.stats();
+        assert_eq!((s.read_hits, s.read_misses, s.stat_hits), (0, 0, 0));
+    }
+
+    #[test]
+    fn zero_length_read_short_circuits() {
+        let mut sim = Sim::new(0);
+        let (cm, rec, _bank) = setup(&sim, vec![1; 100], 2048);
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            let FopReply::Read(Ok(data)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Read {
+                    path: "/f".into(),
+                    offset: 50,
+                    len: 0,
+                })
+                .await
+            else {
+                panic!()
+            };
+            assert!(data.is_empty());
+        });
+        sim.run();
+        assert!(rec.log.borrow().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Cache-key schema (§4.2, §4.3.2).
+//!
+//! * stat entries: the absolute pathname with `:stat` appended,
+//! * data blocks: the absolute pathname with the block's byte offset
+//!   appended.
+//!
+//! memcached caps keys at 250 bytes; paths long enough to overflow are
+//! folded to `~<crc32><tail-of-path>`, keeping distinct deep paths distinct
+//! in practice while honouring the daemon's limit.
+
+use imca_memcached::{crc32, MAX_KEY_LEN};
+
+/// Longest suffix we append (`:` + 20-digit offset).
+const SUFFIX_MAX: usize = 21;
+
+fn folded_path(path: &str) -> String {
+    if path.len() + SUFFIX_MAX <= MAX_KEY_LEN {
+        return path.to_string();
+    }
+    let keep = MAX_KEY_LEN - SUFFIX_MAX - 9; // "~" + 8 hex digits
+    let tail = &path[path.len() - keep..];
+    format!("~{:08x}{tail}", crc32(path.as_bytes()))
+}
+
+/// Key for a file's stat structure: `<path>:stat`.
+pub fn stat_key(path: &str) -> Vec<u8> {
+    format!("{}:stat", folded_path(path)).into_bytes()
+}
+
+/// Key for the data block starting at byte `block_start`:
+/// `<path>:<block_start>`.
+pub fn block_key(path: &str, block_start: u64) -> Vec<u8> {
+    format!("{}:{block_start}", folded_path(path)).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_paths_embed_verbatim() {
+        assert_eq!(stat_key("/a/b"), b"/a/b:stat");
+        assert_eq!(block_key("/a/b", 4096), b"/a/b:4096");
+    }
+
+    #[test]
+    fn keys_for_different_blocks_differ() {
+        assert_ne!(block_key("/f", 0), block_key("/f", 2048));
+        assert_ne!(block_key("/f", 0), stat_key("/f"));
+    }
+
+    #[test]
+    fn long_paths_fold_below_the_cap() {
+        let long = format!("/deep{}", "/x".repeat(200));
+        let k = block_key(&long, u64::MAX);
+        assert!(k.len() <= MAX_KEY_LEN, "len={}", k.len());
+        assert!(k.starts_with(b"~"));
+        // Folding is stable and block-distinct.
+        assert_eq!(k, block_key(&long, u64::MAX));
+        assert_ne!(block_key(&long, 0), block_key(&long, 2048));
+    }
+
+    #[test]
+    fn distinct_long_paths_stay_distinct() {
+        let a = format!("/a{}", "/x".repeat(200));
+        let b = format!("/b{}", "/x".repeat(200));
+        assert_ne!(stat_key(&a), stat_key(&b));
+    }
+
+    #[test]
+    fn keys_are_valid_memcached_keys() {
+        for key in [
+            stat_key("/some/dir/file.dat"),
+            block_key("/some/dir/file.dat", 123456),
+            stat_key(&format!("/deep{}", "/y".repeat(300))),
+        ] {
+            assert!(key.len() <= MAX_KEY_LEN);
+            assert!(key.iter().all(|&b| b > b' ' && b != 0x7f));
+        }
+    }
+}

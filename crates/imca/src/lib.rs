@@ -1,0 +1,64 @@
+//! # imca-core — the InterMediate Cache architecture
+//!
+//! The paper's contribution (§4): a bank of MemCached daemons between
+//! GlusterFS clients and the GlusterFS server, maintained by two
+//! translators:
+//!
+//! * [`CmCache`] — client-side: serves `stat` and block-assembled `read`s
+//!   straight from the bank, forwarding to the server on any miss,
+//! * [`SmCache`] — server-side: purges on open/close/unlink, seeds stat
+//!   entries, and pushes block-aligned data after reads and (persistent)
+//!   writes, synchronously or on a background update thread,
+//! * [`BankClient`] / [`start_mcd`] — the MCD array itself, running the
+//!   real storage engine from `imca-memcached` behind fabric RPC, with
+//!   libmemcache-style CRC-32 / modulo routing and transparent failover,
+//! * [`Cluster`] — deployment builder matching Fig 2.
+//!
+//! Block math lives in [`block`], the key schema in [`keys`].
+//!
+//! ```
+//! use std::rc::Rc;
+//! use imca_core::{Cluster, ClusterConfig, ImcaConfig};
+//! use imca_memcached::McConfig;
+//! use imca_sim::Sim;
+//!
+//! let mut sim = Sim::new(42);
+//! let cluster = Rc::new(Cluster::build(
+//!     sim.handle(),
+//!     ClusterConfig::imca(ImcaConfig {
+//!         mcd_count: 2,
+//!         mcd_config: McConfig::with_mem_limit(16 << 20),
+//!         ..ImcaConfig::default()
+//!     }),
+//! ));
+//! let c = Rc::clone(&cluster);
+//! sim.spawn(async move {
+//!     let mount = c.mount();
+//!     mount.create("/demo").await.unwrap();
+//!     let fd = mount.open("/demo").await.unwrap();
+//!     mount.write(fd, 0, &vec![7u8; 4096]).await.unwrap();
+//!     // The write populated the bank; this read never touches the server.
+//!     assert_eq!(mount.read(fd, 0, 4096).await.unwrap(), vec![7u8; 4096]);
+//! });
+//! sim.run();
+//! assert_eq!(cluster.cmcache_stats().read_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod keys;
+
+mod cluster;
+mod cmcache;
+mod mcd;
+mod smcache;
+
+pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
+pub use cmcache::{CmCache, CmStats};
+pub use mcd::{
+    bank_stats, kill_mcd, revive_mcd, start_bank, start_mcd, BankClient, BankStats, McdCosts,
+    McdNode, McdReq, McdResp,
+};
+pub use smcache::{SmCache, SmStats};

@@ -1,0 +1,513 @@
+//! The MCD array (§4.1): MemCached daemons on dedicated nodes, and the
+//! client side of the bank that CMCache and SMCache talk to.
+//!
+//! Each daemon node runs the *real* storage engine from `imca-memcached`
+//! behind an RPC service; the bank client does libmemcache-style key
+//! distribution (CRC-32 or static-modulo, §5.1/§5.5) and handles daemon
+//! failures transparently (§4.4) by treating a dead primary as a miss —
+//! deliberately *not* rehashing to another daemon, which can serve stale
+//! data once daemons come and go (see [`BankClient`]).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
+use imca_memcached::protocol::{Command, Response, StoreVerb};
+use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
+use imca_sim::sync::Resource;
+use imca_sim::SimDuration;
+
+/// Request wrapper carrying a memcached protocol command across the fabric.
+#[derive(Debug, Clone)]
+pub struct McdReq(pub Command);
+
+/// Response wrapper (None = noreply command, which produces no frame).
+#[derive(Debug, Clone)]
+pub struct McdResp(pub Option<Response>);
+
+impl WireSize for McdReq {
+    fn wire_bytes(&self) -> usize {
+        // Text-protocol framing without paying for an actual encode.
+        match &self.0 {
+            Command::Store { key, data, .. } => 24 + key.len() + data.len(),
+            Command::Get { keys, .. } => 6 + keys.iter().map(|k| k.len() + 1).sum::<usize>(),
+            Command::Delete { key, .. } => 9 + key.len(),
+            Command::Arith { key, .. } => 16 + key.len(),
+            Command::Touch { key, .. } => 18 + key.len(),
+            Command::FlushAll { .. } => 11,
+            Command::Stats | Command::Version | Command::Quit => 9,
+        }
+    }
+}
+
+impl WireSize for McdResp {
+    fn wire_bytes(&self) -> usize {
+        match &self.0 {
+            Some(Response::Values(values)) => {
+                5 + values
+                    .iter()
+                    .map(|v| 24 + v.key.len() + v.data.len())
+                    .sum::<usize>()
+            }
+            Some(Response::Stats(pairs)) => {
+                5 + pairs.iter().map(|(k, v)| 7 + k.len() + v.len()).sum::<usize>()
+            }
+            Some(_) => 16,
+            None => 0,
+        }
+    }
+}
+
+/// Service-time model for one daemon: event-loop CPU per command plus a
+/// memcpy proportional to the value bytes touched.
+#[derive(Debug, Clone)]
+pub struct McdCosts {
+    /// Fixed per-command processing (hash, LRU, slab bookkeeping).
+    pub per_op: SimDuration,
+    /// Value copy bandwidth, bytes/s.
+    pub memcpy_bps: f64,
+}
+
+impl Default for McdCosts {
+    fn default() -> McdCosts {
+        McdCosts {
+            per_op: SimDuration::micros(3),
+            memcpy_bps: 3e9,
+        }
+    }
+}
+
+impl McdCosts {
+    fn service_time(&self, touched_bytes: usize) -> SimDuration {
+        self.per_op + SimDuration::from_secs_f64(touched_bytes as f64 / self.memcpy_bps)
+    }
+}
+
+/// A running MCD node.
+pub struct McdNode {
+    /// Fabric node the daemon runs on.
+    pub node: NodeId,
+    service: Service<McdReq, McdResp>,
+    server: Rc<McServer>,
+    alive: Rc<Cell<bool>>,
+}
+
+impl McdNode {
+    /// Scrape this daemon's `stats` (out-of-band, like the paper's
+    /// "statistics taken from the MCDs").
+    pub fn stats(&self) -> McStats {
+        self.server.store().stats()
+    }
+
+    /// Direct access to the engine (tests).
+    pub fn server(&self) -> &McServer {
+        &self.server
+    }
+
+    /// Whether the daemon is accepting requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+}
+
+/// Start a memcached daemon at `node`. `cfg` is the `-m` style config;
+/// `costs` its service-time model.
+pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) -> McdNode {
+    let service: Service<McdReq, McdResp> = Service::bind(net, node);
+    let server = Rc::new(McServer::new(cfg));
+    let alive = Rc::new(Cell::new(true));
+    let h = net.handle();
+    let cpu = Resource::new(1); // the daemon's single event loop
+    {
+        let service = service.clone();
+        let server = Rc::clone(&server);
+        let alive = Rc::clone(&alive);
+        let h2 = h.clone();
+        h.spawn(async move {
+            while let Some(incoming) = service.recv().await {
+                if !alive.get() {
+                    // Dead daemon: drop the request (client sees a reset).
+                    continue;
+                }
+                let (req, _src, replier) = incoming.into_parts();
+                let touched = match &req.0 {
+                    Command::Store { data, .. } => data.len(),
+                    _ => 0,
+                };
+                cpu.serve(&h2, SimDuration::ZERO).await; // enqueue on event loop
+                let now_secs = h2.now().as_nanos() / 1_000_000_000;
+                let resp = server.apply(&req.0, now_secs);
+                // Response value bytes also cross the daemon's memcpy.
+                let resp_touched = match &resp {
+                    Some(Response::Values(vals)) => {
+                        vals.iter().map(|v| v.data.len()).sum::<usize>()
+                    }
+                    _ => 0,
+                };
+                h2.sleep(costs.service_time(touched + resp_touched)).await;
+                replier.reply(McdResp(resp));
+            }
+        });
+    }
+    McdNode {
+        node,
+        service,
+        server,
+        alive,
+    }
+}
+
+/// Aggregated client-observed counters for a [`BankClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Block/stat get attempts.
+    pub gets: u64,
+    /// Gets answered by a daemon.
+    pub hits: u64,
+    /// Gets that missed (or hit a dead daemon).
+    pub misses: u64,
+    /// Sets issued.
+    pub sets: u64,
+    /// Deletes issued.
+    pub deletes: u64,
+    /// Requests dropped because a daemon died mid-flight.
+    pub failures: u64,
+}
+
+/// The bank of MCDs as seen from one node (CMCache or SMCache side).
+pub struct BankClient {
+    clients: Vec<RpcClient<McdReq, McdResp>>,
+    core: RefCell<ClientCore>,
+    alive: Vec<Rc<Cell<bool>>>,
+    stats: RefCell<BankStats>,
+}
+
+impl BankClient {
+    /// Connect `from` to every daemon in `nodes` using `selector` routing.
+    /// `transport` optionally overrides the fabric default (the RDMA
+    /// ablation connects the bank over RDMA while the file server stays on
+    /// IPoIB).
+    pub fn connect(
+        nodes: &[McdNode],
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+    ) -> BankClient {
+        assert!(!nodes.is_empty(), "bank needs at least one MCD");
+        let clients = nodes
+            .iter()
+            .map(|n| match &transport {
+                Some(t) => n.service.client_with_transport(from, t.clone()),
+                None => n.service.client(from),
+            })
+            .collect();
+        BankClient {
+            clients,
+            core: RefCell::new(ClientCore::new(selector, nodes.len())),
+            alive: nodes.iter().map(|n| Rc::clone(&n.alive)).collect(),
+            stats: RefCell::new(BankStats::default()),
+        }
+    }
+
+    /// Number of daemons configured.
+    pub fn server_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Client-observed counters.
+    pub fn stats(&self) -> BankStats {
+        *self.stats.borrow()
+    }
+
+    /// Keep the router's liveness view in sync with the actual daemons
+    /// (libmemcache notices connect failures immediately).
+    fn refresh_liveness(&self) {
+        let mut core = self.core.borrow_mut();
+        for (i, alive) in self.alive.iter().enumerate() {
+            if alive.get() {
+                core.mark_alive(i);
+            } else {
+                core.mark_dead(i);
+            }
+        }
+    }
+
+    /// Primary-only routing: a dead primary means a miss, *not* a rehash
+    /// to the next daemon. Rehash (libmemcache's default) can serve stale
+    /// data once daemons come and go — an entry written to a secondary
+    /// during an outage, or an old primary copy read after a second
+    /// failover, resurfaces. Keyed to one daemon, every value has exactly
+    /// one home and correctness never depends on bank membership history.
+    fn route(&self, key: &[u8], hint: Option<u64>) -> Option<usize> {
+        self.refresh_liveness();
+        let primary = self.core.borrow().primary(key, hint);
+        self.alive[primary].get().then_some(primary)
+    }
+
+    /// Fetch one value. `hint` is the block index for modulo distribution.
+    pub async fn get(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
+        self.stats.borrow_mut().gets += 1;
+        let Some(idx) = self.route(key, hint) else {
+            self.stats.borrow_mut().misses += 1;
+            return None;
+        };
+        let req = McdReq(Command::Get {
+            keys: vec![key.to_vec()],
+            with_cas: false,
+        });
+        match self.clients[idx].try_call(req).await {
+            Some(McdResp(Some(Response::Values(mut vals)))) if !vals.is_empty() => {
+                self.stats.borrow_mut().hits += 1;
+                Some(vals.remove(0).data)
+            }
+            Some(_) => {
+                self.stats.borrow_mut().misses += 1;
+                None
+            }
+            None => {
+                // Daemon died mid-flight: treat as a miss and avoid it.
+                let mut s = self.stats.borrow_mut();
+                s.failures += 1;
+                s.misses += 1;
+                self.core.borrow_mut().mark_dead(idx);
+                None
+            }
+        }
+    }
+
+    /// Store one value.
+    pub async fn set(&self, key: &[u8], value: Bytes, hint: Option<u64>) {
+        self.stats.borrow_mut().sets += 1;
+        let Some(idx) = self.route(key, hint) else {
+            return;
+        };
+        let req = McdReq(Command::Store {
+            verb: StoreVerb::Set,
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: value,
+            noreply: false,
+        });
+        if self.clients[idx].try_call(req).await.is_none() {
+            self.stats.borrow_mut().failures += 1;
+            self.core.borrow_mut().mark_dead(idx);
+        }
+    }
+
+    /// Remove one key.
+    pub async fn delete(&self, key: &[u8], hint: Option<u64>) {
+        self.stats.borrow_mut().deletes += 1;
+        let Some(idx) = self.route(key, hint) else {
+            return;
+        };
+        let req = McdReq(Command::Delete {
+            key: key.to_vec(),
+            noreply: false,
+        });
+        if self.clients[idx].try_call(req).await.is_none() {
+            self.stats.borrow_mut().failures += 1;
+            self.core.borrow_mut().mark_dead(idx);
+        }
+    }
+}
+
+/// Kill a daemon: it stops answering; in-flight requests are dropped.
+/// Stored items stay in memory (they are unreachable until revival, like a
+/// partitioned daemon).
+pub fn kill_mcd(node: &McdNode) {
+    node.alive.set(false);
+}
+
+/// Revive a previously killed daemon. The daemon restarts *empty*, as a
+/// crashed memcached would — rejoining with old memory intact is the
+/// stale-resurfacing hazard [`BankClient`]'s routing exists to avoid.
+pub fn revive_mcd(node: &McdNode) {
+    node.server.store().flush_all();
+    node.alive.set(true);
+}
+
+/// Convenience: spin up a whole bank on fresh fabric nodes.
+pub fn start_bank(
+    net: &Network,
+    count: usize,
+    cfg: &McConfig,
+    costs: &McdCosts,
+) -> Vec<McdNode> {
+    (0..count)
+        .map(|_| {
+            let node = net.add_node();
+            start_mcd(net, node, cfg.clone(), costs.clone())
+        })
+        .collect()
+}
+
+/// Sum daemon-side stats across a bank ("statistics from the MCDs", §5.2).
+pub fn bank_stats(nodes: &[McdNode]) -> McStats {
+    let mut total = McStats::default();
+    for n in nodes {
+        let s = n.stats();
+        total.cmd_get += s.cmd_get;
+        total.cmd_set += s.cmd_set;
+        total.get_hits += s.get_hits;
+        total.get_misses += s.get_misses;
+        total.evictions += s.evictions;
+        total.expired += s.expired;
+        total.curr_items += s.curr_items;
+        total.bytes += s.bytes;
+        total.total_items += s.total_items;
+        total.allocated_bytes += s.allocated_bytes;
+        total.limit_maxbytes += s.limit_maxbytes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imca_sim::Sim;
+
+    fn setup(sim: &Sim, n: usize) -> (Network, Vec<McdNode>, BankClient) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, n, &McConfig::default(), &McdCosts::default());
+        let client_node = net.add_node();
+        let bank = BankClient::connect(&nodes, client_node, Selector::Crc32, None);
+        (net, nodes, bank)
+    }
+
+    #[test]
+    fn set_get_across_the_bank() {
+        let mut sim = Sim::new(0);
+        let (_net, nodes, bank) = setup(&sim, 4);
+        let bank = Rc::new(bank);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            for i in 0..100u64 {
+                let key = format!("/f/{i}:stat");
+                b2.set(key.as_bytes(), Bytes::from(vec![i as u8; 24]), None).await;
+            }
+            for i in 0..100u64 {
+                let key = format!("/f/{i}:stat");
+                let v = b2.get(key.as_bytes(), None).await.unwrap();
+                assert_eq!(v, vec![i as u8; 24]);
+            }
+        });
+        sim.run();
+        let s = bank.stats();
+        assert_eq!((s.gets, s.hits, s.misses, s.sets), (100, 100, 0, 100));
+        // Items spread across multiple daemons.
+        let occupied = nodes.iter().filter(|n| n.stats().curr_items > 0).count();
+        assert!(occupied >= 2, "occupied={occupied}");
+        // Daemon-side totals agree with the client's view.
+        let agg = bank_stats(&nodes);
+        assert_eq!(agg.get_hits, 100);
+        assert_eq!(agg.curr_items, 100);
+    }
+
+    #[test]
+    fn miss_and_delete_paths() {
+        let mut sim = Sim::new(0);
+        let (_net, _nodes, bank) = setup(&sim, 2);
+        let bank = Rc::new(bank);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            assert!(b2.get(b"/nothing:stat", None).await.is_none());
+            b2.set(b"/x:0", Bytes::from_static(b"data"), Some(0)).await;
+            assert!(b2.get(b"/x:0", Some(0)).await.is_some());
+            b2.delete(b"/x:0", Some(0)).await;
+            assert!(b2.get(b"/x:0", Some(0)).await.is_none());
+        });
+        sim.run();
+        let s = bank.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.deletes, 1);
+    }
+
+    #[test]
+    fn killed_daemon_degrades_to_misses_without_hanging() {
+        let mut sim = Sim::new(0);
+        // Modulo routing so hints pin keys to known daemons: hint 0 → MCD 0.
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let bank = BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None);
+        let bank = Rc::new(bank);
+        let nodes = Rc::new(nodes);
+        let b2 = Rc::clone(&bank);
+        let n2 = Rc::clone(&nodes);
+        sim.spawn(async move {
+            b2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+            assert!(b2.get(b"/k:0", Some(0)).await.is_some());
+            kill_mcd(&n2[0]);
+            // Dead primary: miss — no rehash to the survivor (stale-data
+            // hazard, see BankClient::route).
+            assert!(b2.get(b"/k:0", Some(0)).await.is_none());
+            // Keys homed on the survivor are unaffected.
+            b2.set(b"/k:1", Bytes::from_static(b"w"), Some(1)).await;
+            assert!(b2.get(b"/k:1", Some(1)).await.is_some());
+            // Sets to the dead primary are skipped, not redirected.
+            b2.set(b"/k2:0", Bytes::from_static(b"x"), Some(0)).await;
+            assert_eq!(n2[1].stats().curr_items, 1, "set must not rehash");
+            revive_mcd(&n2[0]);
+            // A revived daemon restarts empty: still a miss, never stale.
+            assert!(b2.get(b"/k:0", Some(0)).await.is_none());
+            // And accepts fresh traffic again.
+            b2.set(b"/k:0", Bytes::from_static(b"v2"), Some(0)).await;
+            assert_eq!(
+                b2.get(b"/k:0", Some(0)).await,
+                Some(Bytes::from_static(b"v2"))
+            );
+        });
+        sim.run();
+        assert!(nodes[1].is_alive());
+    }
+
+    #[test]
+    fn kill_mid_flight_counts_a_failure() {
+        let mut sim = Sim::new(0);
+        let (net, nodes, bank) = setup(&sim, 1);
+        let bank = Rc::new(bank);
+        let nodes = Rc::new(nodes);
+        let h = net.handle();
+        {
+            let b = Rc::clone(&bank);
+            sim.spawn(async move {
+                b.set(b"/k:0", Bytes::from_static(b"v"), None).await;
+                // This get will be in flight when the daemon dies.
+                let r = b.get(b"/k:0", None).await;
+                assert!(r.is_none());
+            });
+        }
+        {
+            let n = Rc::clone(&nodes);
+            sim.spawn(async move {
+                // Let the set land, then kill during the get's network leg.
+                h.sleep(SimDuration::micros(60)).await;
+                kill_mcd(&n[0]);
+            });
+        }
+        sim.run();
+        assert_eq!(bank.stats().failures, 1);
+    }
+
+    #[test]
+    fn modulo_selector_round_robins_blocks() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, 4, &McConfig::default(), &McdCosts::default());
+        let bank = BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None);
+        let bank = Rc::new(bank);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            for blk in 0..16u64 {
+                let key = format!("/file:{}", blk * 2048);
+                b2.set(key.as_bytes(), Bytes::from_static(b"B"), Some(blk)).await;
+            }
+        });
+        sim.run();
+        // Perfectly even distribution: 4 items per daemon.
+        for n in &nodes {
+            assert_eq!(n.stats().curr_items, 4);
+        }
+    }
+}

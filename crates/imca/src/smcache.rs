@@ -1,0 +1,583 @@
+//! SMCache — the Server Memory Cache translator (§4.1, §4.3.2).
+//!
+//! Sits between `protocol/server` and `storage/posix`, with hooks on both
+//! the request path and the completion (callback) path:
+//!
+//! * **open**: purge the file's entries from the MCDs, then seed the stat
+//!   entry from the open's attributes ("At open, MCD is updated with the
+//!   contents of the stat structure from the file by SMCache").
+//! * **stat** (a CMCache miss): forward, then repopulate the stat entry.
+//! * **read**: enlarge to the IMCa block alignment, serve the requested
+//!   sub-range, and push the whole blocks to the MCDs.
+//! * **write**: writes are persistent — they complete at the filesystem
+//!   first; then SMCache issues reads covering the write area (accounting
+//!   for the block size) and feeds the blocks plus the refreshed stat to
+//!   the MCDs. In the default (synchronous) mode this happens in the
+//!   critical path, which is why Fig 6(c) shows IMCa write latency above
+//!   NoCache; with `threaded_updates` the work moves to a background
+//!   process and write latency returns to the NoCache level.
+//! * **close / unlink**: purge the file's entries.
+//!
+//! Because memcached cannot enumerate keys, SMCache records which block
+//! keys it has populated per file and purges exactly those.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_sim::sync::Queue;
+use imca_sim::{join_all, SimHandle};
+
+use crate::block::{aligned_range, cover};
+use crate::keys::{block_key, stat_key};
+use crate::mcd::BankClient;
+
+/// Server-side cache-maintenance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Data blocks pushed to the bank.
+    pub blocks_pushed: u64,
+    /// Stat entries pushed to the bank.
+    pub stat_pushes: u64,
+    /// Per-file purges executed (open/close/unlink).
+    pub purges: u64,
+    /// Update jobs deferred to the background thread.
+    pub deferred_jobs: u64,
+}
+
+enum Job {
+    /// Re-read `[offset, offset+len)` (block-aligned) from the filesystem
+    /// and push the covering blocks + refreshed stat.
+    PopulateRange {
+        path: String,
+        offset: u64,
+        len: u64,
+    },
+    /// Push blocks cut from data already in hand (read path).
+    PopulateData {
+        path: String,
+        aligned_offset: u64,
+        aligned_len: u64,
+        data: Vec<u8>,
+    },
+}
+
+/// The SMCache translator.
+pub struct SmCache {
+    child: Xlator,
+    bank: Rc<BankClient>,
+    block_size: u64,
+    handle: SimHandle,
+    threaded: bool,
+    jobs: Queue<Job>,
+    populated: RefCell<HashMap<String, BTreeSet<u64>>>,
+    stats: RefCell<SmStats>,
+}
+
+impl SmCache {
+    /// Stack SMCache above `child` (normally `storage/posix`).
+    /// `threaded_updates` moves MCD population off the critical path.
+    pub fn new(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+        threaded_updates: bool,
+    ) -> Rc<SmCache> {
+        assert!(block_size > 0, "IMCa block size must be positive");
+        let sm = Rc::new(SmCache {
+            child,
+            bank,
+            block_size,
+            handle: handle.clone(),
+            threaded: threaded_updates,
+            jobs: Queue::new(),
+            populated: RefCell::new(HashMap::new()),
+            stats: RefCell::new(SmStats::default()),
+        });
+        if threaded_updates {
+            // "Using an additional thread to update the MCDs at the server
+            // may potentially reduce the cost of Reads at the server."
+            let worker = Rc::clone(&sm);
+            handle.spawn(async move {
+                while let Some(job) = worker.jobs.recv().await {
+                    worker.run_job(job).await;
+                }
+            });
+        }
+        sm
+    }
+
+    /// Cache-maintenance counters.
+    pub fn stats(&self) -> SmStats {
+        *self.stats.borrow()
+    }
+
+    /// Number of block keys currently tracked for `path`.
+    pub fn tracked_blocks(&self, path: &str) -> usize {
+        self.populated
+            .borrow()
+            .get(path)
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    async fn run_job(&self, job: Job) {
+        match job {
+            Job::PopulateRange { path, offset, len } => {
+                self.populate_range(&path, offset, len).await;
+            }
+            Job::PopulateData {
+                path,
+                aligned_offset,
+                aligned_len,
+                data,
+            } => {
+                self.push_blocks(&path, aligned_offset, aligned_len, &data).await;
+            }
+        }
+    }
+
+    /// Cut `data` (starting at the block-aligned `aligned_offset`) into
+    /// blocks and push them, recording the keys for later purge.
+    async fn push_blocks(&self, path: &str, aligned_offset: u64, aligned_len: u64, data: &[u8]) {
+        let blocks = cover(aligned_offset, aligned_len, self.block_size);
+        let mut sets = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            let rel = (b.start - aligned_offset) as usize;
+            let end = (rel + self.block_size as usize).min(data.len());
+            let chunk = if rel <= data.len() {
+                data[rel..end].to_vec()
+            } else {
+                Vec::new() // block fully past EOF: "known empty"
+            };
+            let bank = Rc::clone(&self.bank);
+            let key = block_key(path, b.start);
+            let hint = b.index;
+            sets.push(async move { bank.set(&key, Bytes::from(chunk), Some(hint)).await });
+        }
+        let n = sets.len() as u64;
+        join_all(&self.handle, sets).await;
+        self.stats.borrow_mut().blocks_pushed += n;
+        let mut populated = self.populated.borrow_mut();
+        let entry = populated.entry(path.to_string()).or_default();
+        for b in &blocks {
+            entry.insert(b.start);
+        }
+    }
+
+    /// "Read(s) are issued to the underlying file system by SMCache that
+    /// cover the Write area, accounting for the IMCa blocksize. When the
+    /// data is available, the Read(s) are sent to the MCDs."
+    async fn populate_range(&self, path: &str, offset: u64, len: u64) {
+        let (aoff, alen) = aligned_range(offset, len, self.block_size);
+        let reply = Rc::clone(&self.child).handle(Fop::Read {
+            path: path.to_string(),
+            offset: aoff,
+            len: alen,
+        });
+        if let FopReply::Read(Ok(data)) = reply.await {
+            self.push_blocks(path, aoff, alen, &data).await;
+        }
+        // Refresh the stat entry so consumers polling mtime see the update.
+        if let FopReply::Stat(Ok(st)) = Rc::clone(&self.child)
+            .handle(Fop::Stat {
+                path: path.to_string(),
+            })
+            .await
+        {
+            self.push_stat(path, st).await;
+        }
+    }
+
+    async fn push_stat(&self, path: &str, st: FileStat) {
+        self.bank
+            .set(&stat_key(path), Bytes::from(st.to_bytes()), None)
+            .await;
+        self.stats.borrow_mut().stat_pushes += 1;
+    }
+
+    /// Remove every entry SMCache has pushed for `path` (open/close/unlink
+    /// hooks, §4.3.2: "the MCDs are purged of any data relating to the
+    /// file").
+    async fn purge(&self, path: &str) {
+        let block_starts: Vec<u64> = self
+            .populated
+            .borrow_mut()
+            .remove(path)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let mut deletes = Vec::with_capacity(block_starts.len() + 1);
+        {
+            let bank = Rc::clone(&self.bank);
+            let key = stat_key(path);
+            deletes.push(Box::pin(async move { bank.delete(&key, None).await })
+                as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>);
+        }
+        for start in block_starts {
+            let bank = Rc::clone(&self.bank);
+            let key = block_key(path, start);
+            let hint = start / self.block_size;
+            deletes.push(Box::pin(async move { bank.delete(&key, Some(hint)).await }));
+        }
+        join_all(&self.handle, deletes).await;
+        self.stats.borrow_mut().purges += 1;
+    }
+}
+
+impl Translator for SmCache {
+    fn name(&self) -> &'static str {
+        "imca/smcache"
+    }
+
+    fn handle(self: Rc<Self>, fop: Fop) -> imca_glusterfs::FopFuture {
+        Box::pin(async move {
+            match fop {
+                Fop::Open { path } => {
+                    self.purge(&path).await;
+                    let reply = Rc::clone(&self.child)
+                        .handle(Fop::Open { path: path.clone() })
+                        .await;
+                    if let FopReply::Open(Ok(st)) = &reply {
+                        self.push_stat(&path, *st).await;
+                    }
+                    reply
+                }
+                Fop::Stat { path } => {
+                    let reply = Rc::clone(&self.child)
+                        .handle(Fop::Stat { path: path.clone() })
+                        .await;
+                    if let FopReply::Stat(Ok(st)) = &reply {
+                        self.push_stat(&path, *st).await;
+                    }
+                    reply
+                }
+                Fop::Read { path, offset, len } => {
+                    // "Because of the IMCa block size, the Read operation
+                    // may potentially require the server to read additional
+                    // data from the underlying file system."
+                    let (aoff, alen) = aligned_range(offset, len, self.block_size);
+                    let reply = Rc::clone(&self.child)
+                        .handle(Fop::Read {
+                            path: path.clone(),
+                            offset: aoff,
+                            len: alen,
+                        })
+                        .await;
+                    match reply {
+                        FopReply::Read(Ok(data)) => {
+                            let rel = (offset - aoff) as usize;
+                            let end = (rel + len as usize).min(data.len());
+                            let served = if rel <= data.len() {
+                                data[rel.min(data.len())..end].to_vec()
+                            } else {
+                                Vec::new()
+                            };
+                            if self.threaded {
+                                self.stats.borrow_mut().deferred_jobs += 1;
+                                self.jobs.push(Job::PopulateData {
+                                    path,
+                                    aligned_offset: aoff,
+                                    aligned_len: alen,
+                                    data,
+                                });
+                            } else {
+                                self.push_blocks(&path, aoff, alen, &data).await;
+                            }
+                            FopReply::Read(Ok(served))
+                        }
+                        other => other,
+                    }
+                }
+                Fop::Write { path, offset, data } => {
+                    let len = data.len() as u64;
+                    let reply = Rc::clone(&self.child)
+                        .handle(Fop::Write {
+                            path: path.clone(),
+                            offset,
+                            data,
+                        })
+                        .await;
+                    if matches!(reply, FopReply::Write(Ok(_))) {
+                        if self.threaded {
+                            self.stats.borrow_mut().deferred_jobs += 1;
+                            self.jobs.push(Job::PopulateRange { path, offset, len });
+                        } else {
+                            self.populate_range(&path, offset, len).await;
+                        }
+                    }
+                    reply
+                }
+                Fop::Close { path } => {
+                    // "When the close operation is intercepted by SMCache,
+                    // it will attempt to discard the data for the file."
+                    self.purge(&path).await;
+                    Rc::clone(&self.child).handle(Fop::Close { path }).await
+                }
+                Fop::Unlink { path } => {
+                    // "When delete operations are encountered, we remove
+                    // the data elements from the cache to avoid false
+                    // positives."
+                    self.purge(&path).await;
+                    Rc::clone(&self.child).handle(Fop::Unlink { path }).await
+                }
+                other => Rc::clone(&self.child).handle(other).await,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcd::{start_bank, McdCosts};
+    use imca_fabric::{Network, Transport};
+    use imca_glusterfs::Posix;
+    use imca_memcached::{McConfig, Selector};
+    use imca_sim::{Sim, SimDuration};
+    use imca_storage::{BackendParams, StorageBackend};
+
+    struct Rig {
+        sm: Rc<SmCache>,
+        bank: Rc<BankClient>,
+    }
+
+    fn setup(sim: &Sim, threaded: bool) -> Rig {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let server_node = net.add_node();
+        let bank = Rc::new(BankClient::connect(
+            &nodes,
+            server_node,
+            Selector::Crc32,
+            None,
+        ));
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        let sm = SmCache::new(
+            sim.handle(),
+            posix as Xlator,
+            Rc::clone(&bank),
+            2048,
+            threaded,
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = nodes;
+            std::future::pending::<()>().await;
+        });
+        Rig { sm, bank }
+    }
+
+    async fn drive(sm: &Rc<SmCache>, fop: Fop) -> FopReply {
+        Rc::clone(&(Rc::clone(sm) as Xlator)).handle(fop).await
+    }
+
+    #[test]
+    fn write_populates_blocks_and_stat() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            let payload: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 100,
+                    data: payload.clone(),
+                },
+            )
+            .await;
+            // Covering blocks 0..2 (bytes 0..6144) must now be in the bank.
+            for b in 0..3u64 {
+                let got = bank.get(&block_key("/f", b * 2048), Some(b)).await;
+                assert!(got.is_some(), "block {b} missing");
+            }
+            // Stat entry matches the file.
+            let raw = bank.get(&stat_key("/f"), None).await.unwrap();
+            let st = FileStat::from_bytes(&raw).unwrap();
+            assert_eq!(st.size, 5100);
+            // Block contents reproduce the write.
+            let b1 = bank.get(&block_key("/f", 2048), Some(1)).await.unwrap();
+            assert_eq!(&b1[..], &{
+                let mut file = vec![0u8; 5100];
+                file[100..].copy_from_slice(&payload);
+                file[2048..4096].to_vec()
+            }[..]);
+        });
+        sim.run();
+        assert_eq!(rig.sm.tracked_blocks("/f"), 3);
+        assert!(rig.sm.stats().blocks_pushed >= 3);
+    }
+
+    #[test]
+    fn read_serves_subrange_and_pushes_aligned_blocks() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: (0..8192u32).map(|i| (i % 247) as u8).collect(),
+                },
+            )
+            .await;
+            // An unaligned 100-byte read.
+            let FopReply::Read(Ok(data)) = drive(
+                &sm,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 3000,
+                    len: 100,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(data.len(), 100);
+            assert_eq!(data[0], (3000 % 247) as u8);
+            // The full covering block was pushed, not just 100 bytes.
+            let blk = bank.get(&block_key("/f", 2048), Some(1)).await.unwrap();
+            assert_eq!(blk.len(), 2048);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn open_purges_stale_blocks_then_seeds_stat() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![1; 4096],
+                },
+            )
+            .await;
+            assert!(bank.get(&block_key("/f", 0), Some(0)).await.is_some());
+            // Open must purge data blocks…
+            drive(&sm, Fop::Open { path: "/f".into() }).await;
+            assert!(bank.get(&block_key("/f", 0), Some(0)).await.is_none());
+            assert!(bank.get(&block_key("/f", 2048), Some(1)).await.is_none());
+            // …and seed a fresh stat entry.
+            let raw = bank.get(&stat_key("/f"), None).await.unwrap();
+            assert_eq!(FileStat::from_bytes(&raw).unwrap().size, 4096);
+        });
+        sim.run();
+        assert_eq!(rig.sm.stats().purges, 1);
+    }
+
+    #[test]
+    fn close_and_unlink_purge() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![2; 2048],
+                },
+            )
+            .await;
+            drive(&sm, Fop::Close { path: "/f".into() }).await;
+            assert!(bank.get(&block_key("/f", 0), Some(0)).await.is_none());
+            assert!(bank.get(&stat_key("/f"), None).await.is_none());
+            // Re-populate then unlink.
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![3; 2048],
+                },
+            )
+            .await;
+            drive(&sm, Fop::Unlink { path: "/f".into() }).await;
+            assert!(
+                bank.get(&block_key("/f", 0), Some(0)).await.is_none(),
+                "unlink must purge to avoid false positives"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn threaded_mode_defers_population_off_the_write_path() {
+        // Measure write latency sync vs threaded: the threaded write must
+        // be strictly faster, and the blocks must still arrive eventually.
+        fn write_latency(threaded: bool) -> (u64, bool) {
+            let mut sim = Sim::new(0);
+            let rig = setup(&sim, threaded);
+            let sm = Rc::clone(&rig.sm);
+            let bank = Rc::clone(&rig.bank);
+            let h = sim.handle();
+            let out = Rc::new(std::cell::Cell::new(0u64));
+            let out2 = Rc::clone(&out);
+            sim.spawn(async move {
+                drive(&sm, Fop::Create { path: "/f".into() }).await;
+                let t0 = h.now();
+                drive(
+                    &sm,
+                    Fop::Write {
+                        path: "/f".into(),
+                        offset: 0,
+                        data: vec![7; 2048],
+                    },
+                )
+                .await;
+                out2.set(h.now().since(t0).as_nanos());
+                // Give the background worker time to drain.
+                h.sleep(SimDuration::millis(10)).await;
+                assert!(
+                    bank.get(&block_key("/f", 0), Some(0)).await.is_some(),
+                    "threaded update never landed"
+                );
+            });
+            sim.run();
+            (out.get(), true)
+        }
+        let (sync_lat, _) = write_latency(false);
+        let (thr_lat, _) = write_latency(true);
+        assert!(
+            thr_lat < sync_lat,
+            "threaded write ({thr_lat}ns) not faster than sync ({sync_lat}ns)"
+        );
+    }
+
+    #[test]
+    fn create_passes_through_untouched() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false);
+        let sm = Rc::clone(&rig.sm);
+        sim.spawn(async move {
+            assert_eq!(
+                drive(&sm, Fop::Create { path: "/new".into() }).await,
+                FopReply::Create(Ok(()))
+            );
+        });
+        sim.run();
+        let s = rig.sm.stats();
+        assert_eq!((s.blocks_pushed, s.purges), (0, 0));
+    }
+}

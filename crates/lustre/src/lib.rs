@@ -1,0 +1,29 @@
+//! # imca-lustre — the paper's parallel-file-system baseline
+//!
+//! A behavioural model of Lustre 1.6 as configured in §5.1: a metadata
+//! server (MDS) on its own node, 1 or 4 data servers (OSTs, the paper's
+//! "DS"), striped file data, and a *coherent* client-side page cache kept
+//! consistent through MDS-mediated locks ("Lustre ... uses locking with the
+//! metadata server acting as a lock manager ... With a large number of
+//! clients, the overhead of maintaining locks and keeping the client caches
+//! coherent increases", §1).
+//!
+//! The pieces that drive the paper's comparisons:
+//!
+//! * **stat** goes to the MDS *and* glimpses every OST that holds a stripe
+//!   (that is how Lustre learns the size) — single MDS + glimpse fan-out is
+//!   why Fig 5 shows Lustre stat scaling poorly,
+//! * **warm** clients serve reads from their local cache (lowest latency in
+//!   Fig 6/7), **cold** clients (cache dropped, as the paper does by
+//!   remounting) pay OST round-trips and disk,
+//! * writes revoke other clients' locks through the MDS, so read/write
+//!   sharing gets more expensive with more clients.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+mod protocol;
+
+pub use cluster::{LustreClient, LustreCluster, LustreConfig};
+pub use protocol::{MdsReq, MdsResp, OstReq, OstResp};

@@ -1,0 +1,163 @@
+//! Wire messages between Lustre clients, the MDS, and the OSTs.
+
+use imca_fabric::WireSize;
+
+const HDR: usize = 96; // Lustre ptlrpc headers are chunky
+
+/// Client→MDS requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsReq {
+    /// Create a file (allocates objects on the OSTs).
+    Create {
+        /// Absolute path.
+        path: String,
+    },
+    /// Open: returns the stripe layout.
+    Open {
+        /// Absolute path.
+        path: String,
+    },
+    /// Getattr (size comes from OST glimpses, issued separately).
+    Getattr {
+        /// Absolute path.
+        path: String,
+    },
+    /// Unlink.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Acquire an extent lock for caching; `write` locks conflict with all
+    /// other holders.
+    Lock {
+        /// Absolute path.
+        path: String,
+        /// Write (exclusive) or read (shared) intent.
+        write: bool,
+        /// Requesting client id (for revocation callbacks).
+        client: u32,
+    },
+}
+
+impl WireSize for MdsReq {
+    fn wire_bytes(&self) -> usize {
+        let path_len = match self {
+            MdsReq::Create { path }
+            | MdsReq::Open { path }
+            | MdsReq::Getattr { path }
+            | MdsReq::Unlink { path }
+            | MdsReq::Lock { path, .. } => path.len(),
+        };
+        HDR + path_len
+    }
+}
+
+/// MDS→client responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsResp {
+    /// Operation succeeded; metadata attributes attached where relevant.
+    Ok {
+        /// mtime in virtual nanoseconds (0 when not applicable).
+        mtime_ns: u64,
+        /// ctime in virtual nanoseconds.
+        ctime_ns: u64,
+        /// Number of revocation callbacks this op had to issue (lock
+        /// conflicts with other clients).
+        revoked: u32,
+    },
+    /// Path missing / already exists.
+    Err,
+}
+
+impl WireSize for MdsResp {
+    fn wire_bytes(&self) -> usize {
+        HDR + 48
+    }
+}
+
+/// Client→OST requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OstReq {
+    /// Read an extent of one stripe object.
+    Read {
+        /// Object id (one per file per OST).
+        object: u64,
+        /// OST-local offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Write an extent of one stripe object.
+    Write {
+        /// Object id.
+        object: u64,
+        /// OST-local offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Glimpse: current object size (used by stat).
+    Glimpse {
+        /// Object id.
+        object: u64,
+    },
+    /// Destroy the object (unlink).
+    Destroy {
+        /// Object id.
+        object: u64,
+    },
+}
+
+impl WireSize for OstReq {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            OstReq::Write { data, .. } => HDR + data.len(),
+            _ => HDR,
+        }
+    }
+}
+
+/// OST→client responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OstResp {
+    /// Read payload.
+    Data(Vec<u8>),
+    /// Write/destroy acknowledgement.
+    Ok,
+    /// Object size (glimpse).
+    Size(u64),
+}
+
+impl WireSize for OstResp {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            OstResp::Data(d) => HDR + d.len(),
+            _ => HDR + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_track_payloads() {
+        assert!(
+            OstReq::Write {
+                object: 1,
+                offset: 0,
+                data: vec![0; 1000]
+            }
+            .wire_bytes()
+                > OstReq::Read {
+                    object: 1,
+                    offset: 0,
+                    len: 1000
+                }
+                .wire_bytes()
+        );
+        assert_eq!(OstResp::Data(vec![0; 500]).wire_bytes(), HDR + 500);
+        assert!(MdsReq::Open { path: "/abc".into() }.wire_bytes() > HDR);
+    }
+}

@@ -1,0 +1,107 @@
+//! A real, network-accessible memcached daemon built on this crate's
+//! engine — run it and talk to it with `nc`, `telnet`, or any memcached
+//! client that speaks the ASCII protocol:
+//!
+//! ```text
+//! cargo run --release -p imca-memcached --bin imca-memcached -- --port 11211 --mem-mb 64
+//! printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
+//! ```
+//!
+//! One OS thread per connection (the 2008 daemon used libevent; for a
+//! reproduction utility, blocking threads keep the code obvious). The
+//! engine itself is the same `McServer` the simulated MCD nodes run.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use imca_memcached::protocol::ParseError;
+use imca_memcached::{McConfig, McServer};
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn serve_connection(server: &McServer, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain every complete frame currently buffered.
+        let mut consumed = 0;
+        loop {
+            use imca_memcached::protocol::{encode_response, parse_command, Command};
+            match parse_command(&buf[consumed..]) {
+                Ok((cmd, used)) => {
+                    consumed += used;
+                    if matches!(cmd, Command::Quit) {
+                        return Ok(());
+                    }
+                    if let Some(resp) = server.apply(&cmd, now_secs()) {
+                        stream.write_all(&encode_response(&resp))?;
+                    }
+                }
+                Err(ParseError::Incomplete) => break,
+                Err(ParseError::Bad(msg)) => {
+                    stream.write_all(format!("CLIENT_ERROR {msg}\r\n").as_bytes())?;
+                    return Ok(()); // desynchronised: drop the connection
+                }
+            }
+        }
+        buf.drain(..consumed);
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn main() {
+    let mut port = 11211u16;
+    let mut mem_mb = 64u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--port" | "-p" => {
+                port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--port needs a number")
+            }
+            "--mem-mb" | "-m" => {
+                mem_mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mem-mb needs a number")
+            }
+            "--help" | "-h" => {
+                println!("imca-memcached: a memcached daemon (ASCII protocol)");
+                println!("usage: imca-memcached [--port N] [--mem-mb N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = Arc::new(McServer::new(McConfig::with_mem_limit(mem_mb << 20)));
+    let listener = TcpListener::bind(("127.0.0.1", port)).expect("bind failed");
+    eprintln!("imca-memcached listening on 127.0.0.1:{port} ({mem_mb} MB)");
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&server, stream);
+                });
+            }
+            Err(e) => eprintln!("accept error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Client-side routing — the libmemcache role (§2.2): keeps the server
+//! list, maps each key to a daemon, and fails over transparently when a
+//! daemon dies ("IMCa can transparently account for failures in MCDs",
+//! §4.4).
+//!
+//! This core is transport-agnostic; `imca-core` pairs it with fabric RPC
+//! stubs, and tests drive it directly.
+
+use crate::hash::{Selector, ServerMap};
+
+/// Routing state for a bank of `n` memcached servers.
+#[derive(Debug, Clone)]
+pub struct ClientCore {
+    map: ServerMap,
+    alive: Vec<bool>,
+}
+
+impl ClientCore {
+    /// A client over `n` servers using `selector`.
+    pub fn new(selector: Selector, n: usize) -> ClientCore {
+        ClientCore {
+            map: ServerMap::new(selector, n),
+            alive: vec![true; n],
+        }
+    }
+
+    /// Number of configured servers.
+    pub fn server_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of servers currently considered alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Route `key` to a live server. The primary choice comes from the
+    /// selector; if that server is marked dead, probing continues linearly
+    /// (libmemcache-style rehash). `None` when every server is dead.
+    pub fn route(&self, key: &[u8], hint: Option<u64>) -> Option<usize> {
+        let n = self.alive.len();
+        let primary = self.map.select(key, hint);
+        (0..n)
+            .map(|i| (primary + i) % n)
+            .find(|&idx| self.alive[idx])
+    }
+
+    /// The selector's primary choice, ignoring liveness (for tests and
+    /// distribution analysis).
+    pub fn primary(&self, key: &[u8], hint: Option<u64>) -> usize {
+        self.map.select(key, hint)
+    }
+
+    /// Mark a server dead; subsequent routes avoid it.
+    pub fn mark_dead(&mut self, server: usize) {
+        self.alive[server] = false;
+    }
+
+    /// Mark a server alive again.
+    pub fn mark_alive(&mut self, server: usize) {
+        self.alive[server] = true;
+    }
+
+    /// Whether `server` is currently alive.
+    pub fn is_alive(&self, server: usize) -> bool {
+        self.alive[server]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_match_primary_when_all_alive() {
+        let c = ClientCore::new(Selector::Crc32, 4);
+        for i in 0..100 {
+            let key = format!("/f/{i}:stat");
+            assert_eq!(c.route(key.as_bytes(), None), Some(c.primary(key.as_bytes(), None)));
+        }
+    }
+
+    #[test]
+    fn dead_server_fails_over_to_next() {
+        let mut c = ClientCore::new(Selector::Modulo, 4);
+        assert_eq!(c.route(b"k", Some(2)), Some(2));
+        c.mark_dead(2);
+        assert_eq!(c.route(b"k", Some(2)), Some(3));
+        c.mark_dead(3);
+        assert_eq!(c.route(b"k", Some(2)), Some(0));
+        assert_eq!(c.alive_count(), 2);
+    }
+
+    #[test]
+    fn all_dead_routes_none() {
+        let mut c = ClientCore::new(Selector::Crc32, 2);
+        c.mark_dead(0);
+        c.mark_dead(1);
+        assert_eq!(c.route(b"k", None), None);
+        c.mark_alive(1);
+        assert_eq!(c.route(b"k", None), Some(1));
+    }
+
+    #[test]
+    fn revived_server_takes_traffic_back() {
+        let mut c = ClientCore::new(Selector::Modulo, 3);
+        c.mark_dead(1);
+        assert_eq!(c.route(b"k", Some(1)), Some(2));
+        c.mark_alive(1);
+        assert_eq!(c.route(b"k", Some(1)), Some(1));
+        assert!(c.is_alive(1));
+    }
+
+    #[test]
+    fn single_server_bank() {
+        let c = ClientCore::new(Selector::Crc32, 1);
+        assert_eq!(c.route(b"anything", None), Some(0));
+        assert_eq!(c.server_count(), 1);
+    }
+}

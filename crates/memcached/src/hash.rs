@@ -1,0 +1,236 @@
+//! Key hashing and server selection.
+//!
+//! libmemcache's default server selector hashes the key with CRC-32 and
+//! folds the result to 15 bits: `(crc32(key) >> 16) & 0x7fff`. The paper
+//! uses exactly this (§4.2, §5.1), and replaces it with a static modulo
+//! ("round-robin") distribution for the IOzone throughput experiment (§5.5).
+//! A ketama-style consistent-hash ring is included for the paper's
+//! future-work hashing ablation (§7).
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), table-driven — the same
+/// algorithm libmemcache's `mcm_hash_crc32` uses.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    static TABLE: [u32; 256] = make_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// libmemcache's key→bucket fold of the CRC.
+pub fn crc32_bucket(key: &[u8]) -> u32 {
+    (crc32(key) >> 16) & 0x7fff
+}
+
+/// How a client maps keys onto the MCD array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selector {
+    /// `(crc32(key) >> 16 & 0x7fff) % n` — libmemcache's default, used by
+    /// SMCache/CMCache for everything except the IOzone experiment.
+    Crc32,
+    /// `hint % n` where the hint is the IMCa block index — the "static
+    /// modulo function (round-robin)" of §5.5, which spreads consecutive
+    /// blocks of one file evenly across the bank. Keys without a hint fall
+    /// back to CRC-32.
+    Modulo,
+    /// Ketama-style consistent hashing (future-work ablation): minimises
+    /// key movement when the bank grows or shrinks.
+    Ketama,
+}
+
+/// Number of virtual points per server on the ketama ring.
+const KETAMA_POINTS: u32 = 160;
+
+/// Maps keys to one of `n` servers according to a [`Selector`].
+#[derive(Debug, Clone)]
+pub struct ServerMap {
+    selector: Selector,
+    n: usize,
+    /// Sorted (point, server) ring; only populated for `Selector::Ketama`.
+    ring: Vec<(u32, usize)>,
+}
+
+impl ServerMap {
+    /// A map over `n` servers.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(selector: Selector, n: usize) -> ServerMap {
+        assert!(n > 0, "server map needs at least one server");
+        let ring = if selector == Selector::Ketama {
+            let mut ring = Vec::with_capacity(n * KETAMA_POINTS as usize);
+            for server in 0..n {
+                for point in 0..KETAMA_POINTS {
+                    let label = format!("server-{server}:{point}");
+                    ring.push((crc32(label.as_bytes()), server));
+                }
+            }
+            ring.sort_unstable();
+            ring
+        } else {
+            Vec::new()
+        };
+        ServerMap { selector, n, ring }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the map has no servers (never true; see constructor).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The selector in use.
+    pub fn selector(&self) -> Selector {
+        self.selector
+    }
+
+    /// Select the server index for `key`. `hint` carries the IMCa block
+    /// index for `Selector::Modulo`.
+    pub fn select(&self, key: &[u8], hint: Option<u64>) -> usize {
+        match self.selector {
+            Selector::Crc32 => crc32_bucket(key) as usize % self.n,
+            Selector::Modulo => match hint {
+                Some(h) => (h % self.n as u64) as usize,
+                None => crc32_bucket(key) as usize % self.n,
+            },
+            Selector::Ketama => {
+                let h = crc32(key);
+                match self.ring.binary_search(&(h, usize::MAX)) {
+                    Ok(i) => self.ring[i].1,
+                    Err(i) if i == self.ring.len() => self.ring[0].1,
+                    Err(i) => self.ring[i].1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Known-answer tests for IEEE CRC-32.
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_bucket_is_15_bits() {
+        for key in [&b"a"[..], b"some/path:stat", b"/f/g/h:4096"] {
+            assert!(crc32_bucket(key) < 0x8000);
+        }
+    }
+
+    #[test]
+    fn crc32_selector_is_stable_and_in_range() {
+        let m = ServerMap::new(Selector::Crc32, 4);
+        let a = m.select(b"/dir/file0001:stat", None);
+        let b = m.select(b"/dir/file0001:stat", None);
+        assert_eq!(a, b);
+        assert!(a < 4);
+    }
+
+    #[test]
+    fn modulo_selector_round_robins_on_hint() {
+        let m = ServerMap::new(Selector::Modulo, 4);
+        let servers: Vec<usize> = (0..8u64).map(|blk| m.select(b"ignored", Some(blk))).collect();
+        assert_eq!(servers, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn modulo_without_hint_falls_back_to_crc() {
+        let m = ServerMap::new(Selector::Modulo, 4);
+        let c = ServerMap::new(Selector::Crc32, 4);
+        assert_eq!(m.select(b"key", None), c.select(b"key", None));
+    }
+
+    #[test]
+    fn crc32_distributes_reasonably() {
+        let m = ServerMap::new(Selector::Crc32, 4);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            let key = format!("/bench/dir/file{i:06}:stat");
+            counts[m.select(key.as_bytes(), None)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..4_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ketama_distributes_reasonably() {
+        let m = ServerMap::new(Selector::Ketama, 5);
+        let mut counts = [0usize; 5];
+        for i in 0..10_000 {
+            let key = format!("/bench/dir/file{i:06}:{}", i * 4096);
+            counts[m.select(key.as_bytes(), None)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..4_500).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ketama_minimises_remapping_when_growing() {
+        let m4 = ServerMap::new(Selector::Ketama, 4);
+        let m5 = ServerMap::new(Selector::Ketama, 5);
+        let c4 = ServerMap::new(Selector::Crc32, 4);
+        let c5 = ServerMap::new(Selector::Crc32, 5);
+        let keys: Vec<String> = (0..5_000).map(|i| format!("/data/file{i}")).collect();
+        let moved = |a: &ServerMap, b: &ServerMap| {
+            keys.iter()
+                .filter(|k| a.select(k.as_bytes(), None) != b.select(k.as_bytes(), None))
+                .count()
+        };
+        let ketama_moved = moved(&m4, &m5);
+        let crc_moved = moved(&c4, &c5);
+        // Consistent hashing moves ~1/5 of keys; modulo-style moves ~4/5.
+        assert!(
+            ketama_moved * 2 < crc_moved,
+            "ketama={ketama_moved} crc={crc_moved}"
+        );
+    }
+
+    #[test]
+    fn ketama_wraps_around_the_ring() {
+        // Every key must land somewhere; sample many and check totals.
+        let m = ServerMap::new(Selector::Ketama, 3);
+        let mut seen = HashMap::new();
+        for i in 0..1000 {
+            let k = format!("k{i}");
+            *seen.entry(m.select(k.as_bytes(), None)).or_insert(0) += 1;
+        }
+        let total: usize = seen.values().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_map_panics() {
+        ServerMap::new(Selector::Crc32, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # imca-memcached — a working memcached
+//!
+//! The paper's cache bank is built from stock memcached daemons (§2.2):
+//! slab-allocated memory with a ~1.25 growth factor between chunk classes,
+//! per-class LRU eviction, lazy expiration, a 1 MB value cap and 250-byte
+//! key cap, accessed over the ASCII protocol via libmemcache with CRC-32
+//! key hashing.
+//!
+//! This crate implements all of that for real — the capacity behaviour in
+//! the experiments (capacity misses with one MCD, zero misses with two,
+//! §5.2) emerges from the actual algorithm rather than a model:
+//!
+//! * [`Memcached`] — the storage engine (thread-safe; `Arc` it natively or
+//!   `Rc` it inside a simulation),
+//! * [`protocol`] — streaming ASCII-protocol codec,
+//! * [`McServer`] — protocol dispatch over the engine,
+//! * [`ClientCore`] + [`Selector`]/[`ServerMap`] — libmemcache-style
+//!   routing with CRC-32, static-modulo (the paper's IOzone variant), and
+//!   ketama consistent hashing (future-work ablation), with transparent
+//!   failover.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use imca_memcached::{McConfig, McServer};
+//!
+//! // The same engine + dispatch the simulated daemons (and the
+//! // `imca-memcached` TCP binary) run, driven over raw wire bytes:
+//! let daemon = McServer::new(McConfig::with_mem_limit(8 << 20));
+//! let (resp, _) = daemon.handle_wire(b"set k 0 0 5\r\nhello\r\n", 0).unwrap();
+//! assert_eq!(resp, b"STORED\r\n");
+//! let (resp, _) = daemon.handle_wire(b"get k\r\n", 0).unwrap();
+//! assert_eq!(resp, b"VALUE k 0 5\r\nhello\r\nEND\r\n");
+//!
+//! // Or through the typed engine API:
+//! let store = daemon.store();
+//! store.set(b"n", Bytes::from_static(b"41"), 0, None, 0).unwrap();
+//! assert_eq!(store.incr(b"n", 1, 0).unwrap(), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod hash;
+pub mod protocol;
+mod server;
+mod store;
+
+pub use client::ClientCore;
+pub use hash::{crc32, crc32_bucket, Selector, ServerMap};
+pub use server::{absolute_expiry, McServer};
+pub use store::{CasResult, GetValue, McConfig, McError, McStats, Memcached, MAX_ITEM_SIZE, MAX_KEY_LEN};

@@ -1,0 +1,902 @@
+//! The memcached storage engine: slab-class accounting, per-class LRU
+//! eviction, and lazy expiration — the behaviours §2.2 of the paper relies
+//! on ("Internally, memcached implements LRU ... uses a lazy expiration
+//! algorithm ... memory management is based on slab cache allocation").
+//!
+//! Items physically own their bytes (`bytes::Bytes`), while slab *pages*
+//! and *chunks* are tracked as accounting so that capacity behaviour —
+//! which slab class fills up, which item gets evicted — matches the real
+//! daemon.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Hard caps from the real daemon (§2.2): values up to 1 MB, keys up to
+/// 250 bytes.
+pub const MAX_ITEM_SIZE: usize = 1 << 20;
+/// Maximum key length accepted by the daemon.
+pub const MAX_KEY_LEN: usize = 250;
+
+/// Per-item metadata overhead, mirroring `sizeof(item)` plus CAS in the
+/// 2008-era daemon.
+const ITEM_OVERHEAD: usize = 56;
+
+/// Configuration mirroring the daemon's command-line knobs.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// `-m`: memory limit for item storage, in bytes.
+    pub mem_limit: u64,
+    /// Slab page size (1 MB in the real daemon).
+    pub page_size: usize,
+    /// Smallest chunk size.
+    pub min_chunk: usize,
+    /// `-f`: chunk-size growth factor between slab classes.
+    pub growth_factor: f64,
+}
+
+impl Default for McConfig {
+    fn default() -> McConfig {
+        McConfig {
+            mem_limit: 64 << 20,
+            page_size: 1 << 20,
+            min_chunk: 96,
+            growth_factor: 1.25,
+        }
+    }
+}
+
+impl McConfig {
+    /// A daemon with the given memory limit and default slab geometry.
+    pub fn with_mem_limit(mem_limit: u64) -> McConfig {
+        McConfig {
+            mem_limit,
+            ..McConfig::default()
+        }
+    }
+
+    /// The paper's deployment: each MCD may use up to 6 GB (§5.1).
+    pub fn paper_mcd() -> McConfig {
+        McConfig::with_mem_limit(6 << 30)
+    }
+}
+
+/// Why a store operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McError {
+    /// Key exceeds [`MAX_KEY_LEN`] bytes.
+    KeyTooLong,
+    /// Key is empty or contains whitespace/control bytes.
+    BadKey,
+    /// Key + value exceed the largest slab chunk ([`MAX_ITEM_SIZE`]).
+    ValueTooLarge,
+    /// No chunk free, no page allocatable, nothing evictable in the class.
+    OutOfMemory,
+    /// incr/decr on a value that is not an ASCII unsigned integer.
+    NotNumeric,
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            McError::KeyTooLong => "key too long",
+            McError::BadKey => "invalid key",
+            McError::ValueTooLarge => "object too large for cache",
+            McError::OutOfMemory => "out of memory storing object",
+            McError::NotNumeric => "cannot increment or decrement non-numeric value",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// Outcome of a compare-and-swap store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasResult {
+    /// The token matched; the item was replaced.
+    Stored,
+    /// The item exists but was modified since the token was issued.
+    Exists,
+    /// No such item.
+    NotFound,
+}
+
+/// A value returned by `get`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetValue {
+    /// The stored bytes.
+    pub value: Bytes,
+    /// Opaque client flags stored with the item.
+    pub flags: u32,
+    /// Compare-and-swap token.
+    pub cas: u64,
+}
+
+/// Counters in the style of `stats` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// `get` commands processed.
+    pub cmd_get: u64,
+    /// Store commands processed (set/add/replace/append/prepend).
+    pub cmd_set: u64,
+    /// `get` hits.
+    pub get_hits: u64,
+    /// `get` misses.
+    pub get_misses: u64,
+    /// Items evicted by LRU pressure.
+    pub evictions: u64,
+    /// Items reaped because their TTL had passed (lazy expiration).
+    pub expired: u64,
+    /// Items currently stored.
+    pub curr_items: u64,
+    /// Bytes currently used by item data (keys + values + overhead).
+    pub bytes: u64,
+    /// Items ever stored.
+    pub total_items: u64,
+    /// Slab memory currently allocated from the limit.
+    pub allocated_bytes: u64,
+    /// Configured memory limit.
+    pub limit_maxbytes: u64,
+}
+
+#[derive(Debug)]
+struct SlabClass {
+    chunk_size: usize,
+    free_chunks: usize,
+    total_chunks: usize,
+}
+
+#[derive(Debug)]
+struct Item {
+    value: Bytes,
+    flags: u32,
+    /// Absolute expiry in seconds; `None` = never.
+    expire_at: Option<u64>,
+    cas: u64,
+    class: usize,
+    seq: u64,
+}
+
+struct StoreInner {
+    cfg: McConfig,
+    classes: Vec<SlabClass>,
+    items: HashMap<Vec<u8>, Item>,
+    /// Per-class LRU: seq → key. Lowest seq = least recently used.
+    lru: Vec<BTreeMap<u64, Vec<u8>>>,
+    next_seq: u64,
+    next_cas: u64,
+    allocated: u64,
+    stats: McStats,
+}
+
+/// A memcached instance. Thread-safe: wrap in `Arc` for native concurrent
+/// use, or `Rc` inside a simulation.
+pub struct Memcached {
+    inner: Mutex<StoreInner>,
+}
+
+fn valid_key(key: &[u8]) -> Result<(), McError> {
+    if key.is_empty() {
+        return Err(McError::BadKey);
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(McError::KeyTooLong);
+    }
+    if key.iter().any(|&b| b <= b' ' || b == 0x7f) {
+        return Err(McError::BadKey);
+    }
+    Ok(())
+}
+
+impl Memcached {
+    /// A daemon with the given configuration.
+    pub fn new(cfg: McConfig) -> Memcached {
+        assert!(cfg.page_size >= MAX_ITEM_SIZE, "page must hold largest item");
+        assert!(cfg.growth_factor > 1.0, "growth factor must exceed 1");
+        let mut classes = Vec::new();
+        let mut size = cfg.min_chunk.max(ITEM_OVERHEAD + 1);
+        while size < MAX_ITEM_SIZE {
+            classes.push(SlabClass {
+                chunk_size: size,
+                free_chunks: 0,
+                total_chunks: 0,
+            });
+            let next = ((size as f64 * cfg.growth_factor) as usize + 7) & !7;
+            size = next.max(size + 8);
+        }
+        classes.push(SlabClass {
+            chunk_size: MAX_ITEM_SIZE,
+            free_chunks: 0,
+            total_chunks: 0,
+        });
+        let lru = classes.iter().map(|_| BTreeMap::new()).collect();
+        let limit = cfg.mem_limit;
+        Memcached {
+            inner: Mutex::new(StoreInner {
+                cfg,
+                classes,
+                items: HashMap::new(),
+                lru,
+                next_seq: 0,
+                next_cas: 1,
+                allocated: 0,
+                stats: McStats {
+                    limit_maxbytes: limit,
+                    ..McStats::default()
+                },
+            }),
+        }
+    }
+
+    /// A daemon with default configuration (64 MB).
+    pub fn with_defaults() -> Memcached {
+        Memcached::new(McConfig::default())
+    }
+
+    /// Unconditionally store `value` under `key`.
+    pub fn set(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: Option<u64>,
+        now: u64,
+    ) -> Result<(), McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        g.stats.cmd_set += 1;
+        g.store(key, value, flags, expire_at, now)
+    }
+
+    /// Store only if the key is absent (counting a present-but-expired item
+    /// as absent). Returns whether it stored.
+    pub fn add(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: Option<u64>,
+        now: u64,
+    ) -> Result<bool, McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        g.stats.cmd_set += 1;
+        if g.live_item(key, now) {
+            return Ok(false);
+        }
+        g.store(key, value, flags, expire_at, now).map(|()| true)
+    }
+
+    /// Store only if the key is present. Returns whether it stored.
+    pub fn replace(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: Option<u64>,
+        now: u64,
+    ) -> Result<bool, McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        g.stats.cmd_set += 1;
+        if !g.live_item(key, now) {
+            return Ok(false);
+        }
+        g.store(key, value, flags, expire_at, now).map(|()| true)
+    }
+
+    /// Append `suffix` to an existing value. Returns whether it stored.
+    pub fn append(&self, key: &[u8], suffix: &[u8], now: u64) -> Result<bool, McError> {
+        self.concat(key, suffix, now, false)
+    }
+
+    /// Prepend `prefix` to an existing value. Returns whether it stored.
+    pub fn prepend(&self, key: &[u8], prefix: &[u8], now: u64) -> Result<bool, McError> {
+        self.concat(key, prefix, now, true)
+    }
+
+    fn concat(&self, key: &[u8], extra: &[u8], now: u64, front: bool) -> Result<bool, McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        g.stats.cmd_set += 1;
+        if !g.live_item(key, now) {
+            return Ok(false);
+        }
+        let item = g.items.get(key).expect("live_item verified presence");
+        let (flags, expire_at) = (item.flags, item.expire_at);
+        let mut new_val = Vec::with_capacity(item.value.len() + extra.len());
+        if front {
+            new_val.extend_from_slice(extra);
+            new_val.extend_from_slice(&item.value);
+        } else {
+            new_val.extend_from_slice(&item.value);
+            new_val.extend_from_slice(extra);
+        }
+        g.store(key, Bytes::from(new_val), flags, expire_at, now)
+            .map(|()| true)
+    }
+
+    /// Fetch `key`, applying lazy expiration.
+    pub fn get(&self, key: &[u8], now: u64) -> Option<GetValue> {
+        let mut g = self.inner.lock();
+        g.stats.cmd_get += 1;
+        if !g.live_item(key, now) {
+            g.stats.get_misses += 1;
+            return None;
+        }
+        g.stats.get_hits += 1;
+        let seq = g.bump_seq();
+        let item = g.items.get_mut(key).expect("live_item verified presence");
+        let old_seq = item.seq;
+        item.seq = seq;
+        let class = item.class;
+        let out = GetValue {
+            value: item.value.clone(),
+            flags: item.flags,
+            cas: item.cas,
+        };
+        let key_owned = key.to_vec();
+        g.lru[class].remove(&old_seq);
+        g.lru[class].insert(seq, key_owned);
+        Some(out)
+    }
+
+    /// Remove `key`. Returns whether it existed (expired items count as
+    /// absent).
+    pub fn delete(&self, key: &[u8], now: u64) -> bool {
+        let mut g = self.inner.lock();
+        if !g.live_item(key, now) {
+            return false;
+        }
+        g.remove_item(key, false);
+        true
+    }
+
+    /// Atomically add `delta` to an ASCII-numeric value. `None` if the key
+    /// is absent.
+    pub fn incr(&self, key: &[u8], delta: u64, now: u64) -> Result<Option<u64>, McError> {
+        self.arith(key, delta, now, false)
+    }
+
+    /// Atomically subtract `delta` (floored at 0) from an ASCII-numeric
+    /// value. `None` if the key is absent.
+    pub fn decr(&self, key: &[u8], delta: u64, now: u64) -> Result<Option<u64>, McError> {
+        self.arith(key, delta, now, true)
+    }
+
+    fn arith(&self, key: &[u8], delta: u64, now: u64, sub: bool) -> Result<Option<u64>, McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        if !g.live_item(key, now) {
+            return Ok(None);
+        }
+        let item = g.items.get(key).expect("live_item verified presence");
+        let s = std::str::from_utf8(&item.value).map_err(|_| McError::NotNumeric)?;
+        let cur: u64 = s.trim_end().parse().map_err(|_| McError::NotNumeric)?;
+        let new = if sub {
+            cur.saturating_sub(delta)
+        } else {
+            cur.wrapping_add(delta)
+        };
+        let (flags, expire_at) = (item.flags, item.expire_at);
+        g.store(key, Bytes::from(new.to_string()), flags, expire_at, now)?;
+        Ok(Some(new))
+    }
+
+    /// Compare-and-swap: store only if the item's CAS token still equals
+    /// `cas` (i.e. nobody raced a store in between).
+    pub fn cas(
+        &self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: Option<u64>,
+        cas: u64,
+        now: u64,
+    ) -> Result<CasResult, McError> {
+        valid_key(key)?;
+        let mut g = self.inner.lock();
+        g.stats.cmd_set += 1;
+        if !g.live_item(key, now) {
+            return Ok(CasResult::NotFound);
+        }
+        let current = g.items.get(key).expect("live_item verified presence").cas;
+        if current != cas {
+            return Ok(CasResult::Exists);
+        }
+        g.store(key, value, flags, expire_at, now)?;
+        Ok(CasResult::Stored)
+    }
+
+    /// Update the expiry of an existing item. Returns whether it existed.
+    pub fn touch(&self, key: &[u8], expire_at: Option<u64>, now: u64) -> bool {
+        let mut g = self.inner.lock();
+        if !g.live_item(key, now) {
+            return false;
+        }
+        g.items.get_mut(key).expect("live_item verified presence").expire_at = expire_at;
+        true
+    }
+
+    /// Drop every item (slab pages stay allocated, as in the real daemon).
+    pub fn flush_all(&self) {
+        let mut g = self.inner.lock();
+        let keys: Vec<Vec<u8>> = g.items.keys().cloned().collect();
+        for key in keys {
+            g.remove_item(&key, false);
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> McStats {
+        let mut g = self.inner.lock();
+        let allocated = g.allocated;
+        g.stats.allocated_bytes = allocated;
+        g.stats.curr_items = g.items.len() as u64;
+        g.stats
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chunk sizes of the slab classes (for inspection/tests).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        self.inner.lock().classes.iter().map(|c| c.chunk_size).collect()
+    }
+}
+
+impl StoreInner {
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// True if `key` holds a live (non-expired) item; reaps it lazily if
+    /// expired.
+    fn live_item(&mut self, key: &[u8], now: u64) -> bool {
+        match self.items.get(key) {
+            None => false,
+            Some(item) => {
+                if let Some(t) = item.expire_at {
+                    if t <= now {
+                        self.remove_item(key, true);
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn remove_item(&mut self, key: &[u8], expired: bool) {
+        if let Some(item) = self.items.remove(key) {
+            self.lru[item.class].remove(&item.seq);
+            self.classes[item.class].free_chunks += 1;
+            self.stats.bytes -= (key.len() + item.value.len() + ITEM_OVERHEAD) as u64;
+            if expired {
+                self.stats.expired += 1;
+            }
+        }
+    }
+
+    fn class_for(&self, total: usize) -> Result<usize, McError> {
+        self.classes
+            .iter()
+            .position(|c| c.chunk_size >= total)
+            .ok_or(McError::ValueTooLarge)
+    }
+
+    /// Obtain a chunk in `class`: free list → new page → evict LRU.
+    fn alloc_chunk(&mut self, class: usize, now: u64) -> Result<(), McError> {
+        loop {
+            if self.classes[class].free_chunks > 0 {
+                self.classes[class].free_chunks -= 1;
+                return Ok(());
+            }
+            let page = self.cfg.page_size as u64;
+            if self.allocated + page <= self.cfg.mem_limit {
+                self.allocated += page;
+                let per_page = self.cfg.page_size / self.classes[class].chunk_size;
+                self.classes[class].free_chunks += per_page;
+                self.classes[class].total_chunks += per_page;
+                continue;
+            }
+            // Evict from this class. Like the real daemon, peek a handful
+            // of items from the cold end for one that is already expired;
+            // otherwise take the true LRU victim. (Scanning the whole LRU
+            // would make every pressured store O(items).)
+            const EXPIRED_SEARCH_DEPTH: usize = 5;
+            let victim = self.lru[class]
+                .iter()
+                .take(EXPIRED_SEARCH_DEPTH)
+                .find(|(_, k)| {
+                    self.items
+                        .get(*k)
+                        .and_then(|i| i.expire_at)
+                        .map(|t| t <= now)
+                        .unwrap_or(false)
+                })
+                .or_else(|| self.lru[class].iter().next())
+                .map(|(_, k)| k.clone());
+            match victim {
+                Some(key) => {
+                    let was_expired = self
+                        .items
+                        .get(&key)
+                        .and_then(|i| i.expire_at)
+                        .map(|t| t <= now)
+                        .unwrap_or(false);
+                    self.remove_item(&key, was_expired);
+                    if !was_expired {
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => return Err(McError::OutOfMemory),
+            }
+        }
+    }
+
+    fn store(
+        &mut self,
+        key: &[u8],
+        value: Bytes,
+        flags: u32,
+        expire_at: Option<u64>,
+        now: u64,
+    ) -> Result<(), McError> {
+        let total = key.len() + value.len() + ITEM_OVERHEAD;
+        if value.len() > MAX_ITEM_SIZE {
+            return Err(McError::ValueTooLarge);
+        }
+        let class = self.class_for(total)?;
+        // Free the old incarnation first so replacing in a full cache works.
+        if self.items.contains_key(key) {
+            self.remove_item(key, false);
+        }
+        self.alloc_chunk(class, now)?;
+        let seq = self.bump_seq();
+        let cas = self.next_cas;
+        self.next_cas += 1;
+        self.stats.bytes += total as u64;
+        self.stats.total_items += 1;
+        self.items.insert(
+            key.to_vec(),
+            Item {
+                value,
+                flags,
+                expire_at,
+                cas,
+                class,
+                seq,
+            },
+        );
+        self.lru[class].insert(seq, key.to_vec());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Memcached {
+        // Page = 1 MB (must hold the largest item); limit 2 pages.
+        Memcached::new(McConfig {
+            mem_limit: 2 << 20,
+            ..McConfig::default()
+        })
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mc = small();
+        mc.set(b"k", Bytes::from_static(b"v"), 7, None, 0).unwrap();
+        let got = mc.get(b"k", 0).unwrap();
+        assert_eq!(got.value, &b"v"[..]);
+        assert_eq!(got.flags, 7);
+        assert!(got.cas > 0);
+        assert!(mc.get(b"missing", 0).is_none());
+        let s = mc.stats();
+        assert_eq!((s.get_hits, s.get_misses, s.cmd_get, s.cmd_set), (1, 1, 2, 1));
+    }
+
+    #[test]
+    fn key_validation() {
+        let mc = small();
+        let long = vec![b'a'; 251];
+        assert_eq!(
+            mc.set(&long, Bytes::new(), 0, None, 0),
+            Err(McError::KeyTooLong)
+        );
+        assert_eq!(
+            mc.set(b"has space", Bytes::new(), 0, None, 0),
+            Err(McError::BadKey)
+        );
+        assert_eq!(mc.set(b"", Bytes::new(), 0, None, 0), Err(McError::BadKey));
+        let ok = vec![b'a'; 250];
+        assert!(mc.set(&ok, Bytes::new(), 0, None, 0).is_ok());
+    }
+
+    #[test]
+    fn one_megabyte_value_cap() {
+        let mc = Memcached::new(McConfig {
+            mem_limit: 8 << 20,
+            ..McConfig::default()
+        });
+        let big = Bytes::from(vec![0u8; MAX_ITEM_SIZE + 1]);
+        assert_eq!(mc.set(b"big", big, 0, None, 0), Err(McError::ValueTooLarge));
+        // Key + overhead makes exactly-1MB values too big for the largest
+        // chunk, as in the real daemon.
+        let nearly = Bytes::from(vec![0u8; MAX_ITEM_SIZE - 300]);
+        assert!(mc.set(b"nearly", nearly, 0, None, 0).is_ok());
+    }
+
+    #[test]
+    fn add_and_replace_are_conditional() {
+        let mc = small();
+        assert!(mc.add(b"k", Bytes::from_static(b"1"), 0, None, 0).unwrap());
+        assert!(!mc.add(b"k", Bytes::from_static(b"2"), 0, None, 0).unwrap());
+        assert_eq!(mc.get(b"k", 0).unwrap().value, &b"1"[..]);
+        assert!(mc.replace(b"k", Bytes::from_static(b"3"), 0, None, 0).unwrap());
+        assert_eq!(mc.get(b"k", 0).unwrap().value, &b"3"[..]);
+        assert!(!mc.replace(b"nope", Bytes::from_static(b"x"), 0, None, 0).unwrap());
+    }
+
+    #[test]
+    fn append_prepend() {
+        let mc = small();
+        mc.set(b"k", Bytes::from_static(b"mid"), 0, None, 0).unwrap();
+        assert!(mc.append(b"k", b"-end", 0).unwrap());
+        assert!(mc.prepend(b"k", b"start-", 0).unwrap());
+        assert_eq!(mc.get(b"k", 0).unwrap().value, &b"start-mid-end"[..]);
+        assert!(!mc.append(b"missing", b"x", 0).unwrap());
+    }
+
+    #[test]
+    fn lazy_expiration_on_get() {
+        let mc = small();
+        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(100), 0).unwrap();
+        assert!(mc.get(b"k", 99).is_some());
+        assert!(mc.get(b"k", 100).is_none());
+        let s = mc.stats();
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.curr_items, 0);
+    }
+
+    #[test]
+    fn delete_and_flush() {
+        let mc = small();
+        mc.set(b"a", Bytes::from_static(b"1"), 0, None, 0).unwrap();
+        mc.set(b"b", Bytes::from_static(b"2"), 0, None, 0).unwrap();
+        assert!(mc.delete(b"a", 0));
+        assert!(!mc.delete(b"a", 0));
+        assert_eq!(mc.len(), 1);
+        mc.flush_all();
+        assert!(mc.is_empty());
+        assert_eq!(mc.stats().bytes, 0);
+    }
+
+    #[test]
+    fn incr_decr() {
+        let mc = small();
+        mc.set(b"n", Bytes::from_static(b"10"), 0, None, 0).unwrap();
+        assert_eq!(mc.incr(b"n", 5, 0).unwrap(), Some(15));
+        assert_eq!(mc.decr(b"n", 20, 0).unwrap(), Some(0)); // floors at 0
+        assert_eq!(mc.incr(b"missing", 1, 0).unwrap(), None);
+        mc.set(b"s", Bytes::from_static(b"abc"), 0, None, 0).unwrap();
+        assert_eq!(mc.incr(b"s", 1, 0), Err(McError::NotNumeric));
+    }
+
+    #[test]
+    fn cas_succeeds_only_with_fresh_token() {
+        let mc = small();
+        mc.set(b"k", Bytes::from_static(b"v1"), 0, None, 0).unwrap();
+        let token = mc.get(b"k", 0).unwrap().cas;
+        // Fresh token: stored.
+        assert_eq!(
+            mc.cas(b"k", Bytes::from_static(b"v2"), 0, None, token, 0).unwrap(),
+            CasResult::Stored
+        );
+        // Old token after the update: EXISTS.
+        assert_eq!(
+            mc.cas(b"k", Bytes::from_static(b"v3"), 0, None, token, 0).unwrap(),
+            CasResult::Exists
+        );
+        assert_eq!(mc.get(b"k", 0).unwrap().value, &b"v2"[..]);
+        // Missing key: NOT_FOUND.
+        assert_eq!(
+            mc.cas(b"nope", Bytes::from_static(b"x"), 0, None, 1, 0).unwrap(),
+            CasResult::NotFound
+        );
+    }
+
+    #[test]
+    fn cas_tokens_are_unique_per_store() {
+        let mc = small();
+        mc.set(b"a", Bytes::from_static(b"1"), 0, None, 0).unwrap();
+        mc.set(b"b", Bytes::from_static(b"2"), 0, None, 0).unwrap();
+        let ta = mc.get(b"a", 0).unwrap().cas;
+        let tb = mc.get(b"b", 0).unwrap().cas;
+        assert_ne!(ta, tb);
+        mc.set(b"a", Bytes::from_static(b"3"), 0, None, 0).unwrap();
+        assert_ne!(mc.get(b"a", 0).unwrap().cas, ta, "token must change on update");
+    }
+
+    #[test]
+    fn touch_updates_expiry() {
+        let mc = small();
+        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(10), 0).unwrap();
+        assert!(mc.touch(b"k", Some(1000), 5));
+        assert!(mc.get(b"k", 500).is_some());
+        assert!(!mc.touch(b"missing", None, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_in_class() {
+        // Fill a small store with same-class items, touch the first, then
+        // overflow: the untouched second item must be the victim.
+        let mc = Memcached::new(McConfig {
+            mem_limit: 1 << 20, // one page only
+            ..McConfig::default()
+        });
+        let val = Bytes::from(vec![0u8; 100_000]); // ~10 items per page
+        let mut stored = Vec::new();
+        let mut i = 0;
+        loop {
+            let key = format!("key{i:03}");
+            mc.set(key.as_bytes(), val.clone(), 0, None, 0).unwrap();
+            stored.push(key);
+            i += 1;
+            if mc.stats().evictions > 0 {
+                break;
+            }
+            assert!(i < 100, "never filled");
+        }
+        // The first-stored key was the LRU victim.
+        assert!(mc.get(stored[0].as_bytes(), 0).is_none());
+        assert!(mc.get(stored.last().unwrap().as_bytes(), 0).is_some());
+    }
+
+    #[test]
+    fn get_refreshes_lru_position() {
+        let mc = Memcached::new(McConfig {
+            mem_limit: 1 << 20,
+            ..McConfig::default()
+        });
+        let val = Bytes::from(vec![0u8; 100_000]);
+        let mut keys = Vec::new();
+        // Fill the page exactly (stop before eviction).
+        for i in 0..9 {
+            let key = format!("key{i:03}");
+            mc.set(key.as_bytes(), val.clone(), 0, None, 0).unwrap();
+            keys.push(key);
+        }
+        assert_eq!(mc.stats().evictions, 0);
+        // Touch key000 so key001 becomes LRU, then overflow with *distinct*
+        // keys (re-setting one key reuses its own chunk and never evicts).
+        assert!(mc.get(keys[0].as_bytes(), 0).is_some());
+        let mut j = 0;
+        loop {
+            let key = format!("overflow{j}");
+            mc.set(key.as_bytes(), val.clone(), 0, None, 0).unwrap();
+            j += 1;
+            if mc.stats().evictions > 0 {
+                break;
+            }
+            assert!(j < 20, "never evicted");
+        }
+        assert!(mc.get(keys[0].as_bytes(), 0).is_some(), "touched item evicted");
+        assert!(mc.get(keys[1].as_bytes(), 0).is_none(), "LRU item survived");
+    }
+
+    #[test]
+    fn eviction_prefers_expired_items() {
+        let mc = Memcached::new(McConfig {
+            mem_limit: 1 << 20,
+            ..McConfig::default()
+        });
+        let val = Bytes::from(vec![0u8; 100_000]);
+        mc.set(b"expired", val.clone(), 0, Some(10), 0).unwrap();
+        let mut i = 0;
+        // Fill the rest with immortal items. The expired item sits at the
+        // cold end of the LRU, where the eviction path's expired-item peek
+        // (like the real daemon's) reaps it before any live item.
+        loop {
+            let key = format!("live{i:03}");
+            if mc.set(key.as_bytes(), val.clone(), 0, None, 100).is_err() {
+                break;
+            }
+            i += 1;
+            let s = mc.stats();
+            if s.evictions > 0 || s.expired > 0 {
+                break;
+            }
+            assert!(i < 100);
+        }
+        let s = mc.stats();
+        assert_eq!(s.evictions, 0, "evicted a live item while an expired one sat at the LRU tail");
+        assert!(s.expired >= 1);
+    }
+
+    #[test]
+    fn replace_in_full_cache_does_not_evict_other_items() {
+        let mc = Memcached::new(McConfig {
+            mem_limit: 1 << 20,
+            ..McConfig::default()
+        });
+        let val = Bytes::from(vec![0u8; 100_000]);
+        let mut keys = Vec::new();
+        for i in 0..9 {
+            let key = format!("key{i:03}");
+            mc.set(key.as_bytes(), val.clone(), 0, None, 0).unwrap();
+            keys.push(key);
+        }
+        let before = mc.stats().evictions;
+        // Overwrite an existing key with a same-class value: frees its own
+        // chunk first, so no eviction.
+        mc.set(keys[4].as_bytes(), val.clone(), 0, None, 0).unwrap();
+        assert_eq!(mc.stats().evictions, before);
+        assert_eq!(mc.len(), 9);
+    }
+
+    #[test]
+    fn class_sizes_grow_geometrically_to_1mb() {
+        let mc = Memcached::with_defaults();
+        let sizes = mc.class_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "not increasing");
+        assert_eq!(*sizes.last().unwrap(), MAX_ITEM_SIZE);
+        assert!(sizes[0] >= 96);
+        // Growth factor ~1.25 between consecutive classes (except the last
+        // jump to the 1 MB cap).
+        for w in sizes.windows(2).take(sizes.len().saturating_sub(2)) {
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!((1.05..1.5).contains(&ratio), "ratio {ratio} in {w:?}");
+        }
+    }
+
+    #[test]
+    fn stats_bytes_track_stored_data() {
+        let mc = small();
+        mc.set(b"k", Bytes::from(vec![0u8; 1000]), 0, None, 0).unwrap();
+        let s = mc.stats();
+        assert_eq!(s.bytes, (1 + 1000 + ITEM_OVERHEAD) as u64);
+        mc.delete(b"k", 0);
+        assert_eq!(mc.stats().bytes, 0);
+    }
+
+    #[test]
+    fn thread_safety_smoke() {
+        use std::sync::Arc;
+        let mc = Arc::new(Memcached::new(McConfig {
+            mem_limit: 16 << 20,
+            ..McConfig::default()
+        }));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let mc = Arc::clone(&mc);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        let key = format!("t{t}-{i}");
+                        mc.set(key.as_bytes(), Bytes::from_static(b"v"), 0, None, 0)
+                            .unwrap();
+                        assert!(mc.get(key.as_bytes(), 0).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mc.len(), 4000);
+    }
+}

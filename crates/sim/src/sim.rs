@@ -1,0 +1,559 @@
+//! The discrete-event simulation core: a deterministic, single-threaded
+//! async executor whose notion of time is a virtual clock.
+//!
+//! Model code is written as ordinary `async` functions ("processes" in DES
+//! terminology). A process suspends either on a timer ([`SimHandle::sleep`])
+//! or on a synchronisation primitive from [`crate::sync`]; the executor runs
+//! whichever process is ready, and when nothing is ready it advances the
+//! virtual clock to the next pending timer. Two runs with the same seed and
+//! the same model code produce bit-identical traces.
+//!
+//! The simulation ends when no task is runnable and no timer is pending.
+//! Tasks still blocked at that point (e.g. server actors waiting for
+//! requests that will never come) are simply dropped — this is the normal
+//! way a simulation terminates.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type BoxedTask = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Shared queue of tasks that are ready to be polled.
+///
+/// This is the only piece of executor state that lives behind a real lock:
+/// `std::task::Waker` must be `Send + Sync` by contract even though this
+/// executor never leaves its thread.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().unwrap().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Waker target: wakes one task by id.
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer waiting to fire. Ordered by `(at, seq)` so that simultaneous
+/// timers fire in registration order — this is what makes runs reproducible.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+pub(crate) struct Core {
+    now: Cell<SimTime>,
+    seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    ready: Arc<ReadyQueue>,
+    tasks: RefCell<HashMap<TaskId, BoxedTask>>,
+    next_task_id: Cell<TaskId>,
+    /// Tasks spawned while another task is being polled; folded into `tasks`
+    /// between polls to avoid re-entrant borrows.
+    pending_spawn: RefCell<Vec<(TaskId, BoxedTask)>>,
+    rng: RefCell<SmallRng>,
+    events: Cell<u64>,
+    spawned_total: Cell<u64>,
+}
+
+/// Summary statistics for a completed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Virtual clock value when the run went quiescent.
+    pub end_time: SimTime,
+    /// Number of task polls executed.
+    pub events: u64,
+    /// Total number of tasks ever spawned.
+    pub tasks_spawned: u64,
+    /// Tasks still blocked (and dropped) at quiescence.
+    pub tasks_leaked: u64,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use imca_sim::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new(42);
+/// let h = sim.handle();
+/// sim.spawn(async move {
+///     h.sleep(SimDuration::micros(10)).await;
+///     assert_eq!(h.now().as_nanos(), 10_000);
+/// });
+/// let summary = sim.run();
+/// assert_eq!(summary.end_time.as_nanos(), 10_000);
+/// ```
+pub struct Sim {
+    core: Rc<Core>,
+}
+
+impl Sim {
+    /// Create a simulation whose internal RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            core: Rc::new(Core {
+                now: Cell::new(SimTime::ZERO),
+                seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                tasks: RefCell::new(HashMap::new()),
+                next_task_id: Cell::new(0),
+                pending_spawn: RefCell::new(Vec::new()),
+                rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                events: Cell::new(0),
+                spawned_total: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A cloneable handle for use inside processes.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            core: Rc::clone(&self.core),
+        }
+    }
+
+    /// Spawn a root process.
+    pub fn spawn<F: Future<Output = ()> + 'static>(&mut self, fut: F) {
+        self.handle().spawn(fut);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Run until quiescence (no runnable tasks, no pending timers).
+    pub fn run(&mut self) -> RunSummary {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Run until quiescence or until the clock would pass `deadline`,
+    /// whichever comes first. Timers at exactly `deadline` do fire.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
+        loop {
+            self.drain_ready();
+            // Advance the clock to the next timer.
+            let fired = {
+                let mut timers = self.core.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(entry)) if entry.at <= deadline => {
+                        let Reverse(entry) = timers.pop().unwrap();
+                        debug_assert!(entry.at >= self.core.now.get());
+                        self.core.now.set(entry.at);
+                        Some(entry.waker)
+                    }
+                    _ => None,
+                }
+            };
+            match fired {
+                Some(waker) => waker.wake(),
+                None => break,
+            }
+        }
+        let leaked = self.core.tasks.borrow().len() as u64;
+        RunSummary {
+            end_time: self.core.now.get(),
+            events: self.core.events.get(),
+            tasks_spawned: self.core.spawned_total.get(),
+            tasks_leaked: leaked,
+        }
+    }
+
+    /// Drop every task (pending or blocked). Called automatically on drop to
+    /// break `Rc` cycles between the core and task-held handles.
+    pub fn clear(&mut self) {
+        self.core.tasks.borrow_mut().clear();
+        self.core.pending_spawn.borrow_mut().clear();
+        self.core.timers.borrow_mut().clear();
+        while self.core.ready.pop().is_some() {}
+    }
+
+    fn drain_ready(&mut self) {
+        while let Some(id) = self.core.ready.pop() {
+            // Take the task out of the map while polling so that the poll
+            // itself may spawn/wake other tasks without re-entrant borrows.
+            let task = self.core.tasks.borrow_mut().remove(&id);
+            let Some(mut task) = task else {
+                continue; // already completed; stale wake
+            };
+            self.core.events.set(self.core.events.get() + 1);
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.core.ready),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            if task.as_mut().poll(&mut cx).is_pending() {
+                self.core.tasks.borrow_mut().insert(id, task);
+            }
+            // Fold in tasks spawned during the poll.
+            let spawned: Vec<_> = self.core.pending_spawn.borrow_mut().drain(..).collect();
+            for (new_id, new_task) in spawned {
+                self.core.tasks.borrow_mut().insert(new_id, new_task);
+                self.core.ready.push(new_id);
+            }
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// Cloneable handle to the simulation, used by processes to sleep, spawn,
+/// read the clock, and draw random numbers.
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Rc<Core>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Number of task polls executed so far.
+    pub fn events(&self) -> u64 {
+        self.core.events.get()
+    }
+
+    /// Spawn a new process. Safe to call from inside a running process.
+    pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) {
+        let id = self.core.next_task_id.get();
+        self.core.next_task_id.set(id + 1);
+        self.core.spawned_total.set(self.core.spawned_total.get() + 1);
+        let boxed: BoxedTask = Box::pin(fut);
+        // If we're inside `drain_ready` the tasks map may be mid-mutation;
+        // defer insertion via the pending-spawn list, which drain_ready
+        // folds in after every poll. When called from outside the run loop
+        // (initial setup), fold immediately.
+        self.core.pending_spawn.borrow_mut().push((id, boxed));
+        if let Ok(mut tasks) = self.core.tasks.try_borrow_mut() {
+            for (new_id, new_task) in self.core.pending_spawn.borrow_mut().drain(..) {
+                tasks.insert(new_id, new_task);
+                self.core.ready.push(new_id);
+            }
+        }
+    }
+
+    /// Suspend the calling process for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Delay {
+        Delay {
+            core: Rc::clone(&self.core),
+            at: self.now() + d,
+            registered: false,
+        }
+    }
+
+    /// Suspend until the virtual clock reaches `at` (no-op if already past).
+    pub fn sleep_until(&self, at: SimTime) -> Delay {
+        Delay {
+            core: Rc::clone(&self.core),
+            at,
+            registered: false,
+        }
+    }
+
+    /// Register `waker` to be woken at time `at`. Used by custom futures.
+    pub fn register_timer(&self, at: SimTime, waker: Waker) {
+        let seq = self.core.seq.get();
+        self.core.seq.set(seq + 1);
+        self.core
+            .timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { at, seq, waker }));
+    }
+
+    /// A uniformly distributed `u64`.
+    pub fn rng_u64(&self) -> u64 {
+        self.core.rng.borrow_mut().next_u64()
+    }
+
+    /// A uniformly distributed float in `[0, 1)`.
+    pub fn rng_f64(&self) -> f64 {
+        self.core.rng.borrow_mut().gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn rng_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "rng_range: empty range {lo}..{hi}");
+        self.core.rng.borrow_mut().gen_range(lo..hi)
+    }
+
+    /// Fork an independent deterministic RNG, e.g. one per simulated node,
+    /// so that adding draws in one process does not perturb another.
+    pub fn fork_rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.rng_u64())
+    }
+
+    /// An exponentially distributed duration with the given mean
+    /// (clamped to at least 1 ns). Used for randomized service times.
+    pub fn rng_exp(&self, mean: SimDuration) -> SimDuration {
+        let u: f64 = self.rng_f64();
+        // Inverse-CDF sampling; (1 - u) avoids ln(0).
+        let x = -(1.0 - u).ln() * mean.as_secs_f64();
+        SimDuration::from_secs_f64(x.max(1e-9))
+    }
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHandle")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+pub struct Delay {
+    core: Rc<Core>,
+    at: SimTime,
+    registered: bool,
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.core.now.get() >= self.at {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let seq = self.core.seq.get();
+            self.core.seq.set(seq + 1);
+            self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+                at: self.at,
+                seq,
+                waker: cx.waker().clone(),
+            }));
+        }
+        Poll::Pending
+    }
+}
+
+/// Yield once to the executor, letting other ready tasks run at the same
+/// virtual instant.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+
+    #[test]
+    fn empty_sim_finishes_at_time_zero() {
+        let mut sim = Sim::new(0);
+        let s = sim.run();
+        assert_eq!(s.end_time, SimTime::ZERO);
+        assert_eq!(s.events, 0);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = Rc::new(Cell::new(0u64));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            h.sleep(SimDuration::micros(7)).await;
+            out2.set(h.now().as_nanos());
+        });
+        let s = sim.run();
+        assert_eq!(out.get(), 7_000);
+        assert_eq!(s.end_time.as_nanos(), 7_000);
+        assert_eq!(s.tasks_leaked, 0);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        for i in 0..10 {
+            let h = sim.handle();
+            let order = Rc::clone(&order);
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(5)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let hit = Rc::new(Cell::new(false));
+        let hit2 = Rc::clone(&hit);
+        sim.spawn(async move {
+            let h2 = h.clone();
+            let hit3 = Rc::clone(&hit2);
+            h.spawn(async move {
+                h2.sleep(SimDuration::nanos(1)).await;
+                hit3.set(true);
+            });
+        });
+        sim.run();
+        assert!(hit.get());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let count = Rc::new(Cell::new(0u32));
+        let c2 = Rc::clone(&count);
+        sim.spawn(async move {
+            loop {
+                h.sleep(SimDuration::secs(1)).await;
+                c2.set(c2.get() + 1);
+            }
+        });
+        let s = sim.run_until(SimTime(SimDuration::secs(5).as_nanos()));
+        assert_eq!(count.get(), 5);
+        assert_eq!(s.end_time.as_nanos(), SimDuration::secs(5).as_nanos());
+        assert_eq!(s.tasks_leaked, 1); // the infinite looper is still blocked
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(seed);
+            let h = sim.handle();
+            sim.spawn(async move {
+                for _ in 0..100 {
+                    let d = h.rng_range(1, 1000);
+                    h.sleep(SimDuration::nanos(d)).await;
+                }
+            });
+            let s = sim.run();
+            (s.end_time.as_nanos(), s.events)
+        }
+        assert_eq!(run_once(7), run_once(7));
+        assert_ne!(run_once(7).0, run_once(8).0);
+    }
+
+    #[test]
+    fn yield_now_interleaves_at_same_instant() {
+        let mut sim = Sim::new(0);
+        let log = Rc::new(StdRefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push(format!("{name}:1"));
+                yield_now().await;
+                log.borrow_mut().push(format!("{name}:2"));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a:1", "b:1", "a:2", "b:2"]);
+    }
+
+    #[test]
+    fn rng_exp_is_positive_with_sane_mean() {
+        let sim = Sim::new(3);
+        let h = sim.handle();
+        let mean = SimDuration::micros(100);
+        let n = 10_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let d = h.rng_exp(mean);
+            assert!(d.as_nanos() >= 1);
+            total += d.as_nanos();
+        }
+        let avg = total as f64 / n as f64;
+        assert!((avg - 100_000.0).abs() < 5_000.0, "avg={avg}");
+    }
+
+    #[test]
+    fn sleep_until_past_time_is_noop() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(SimDuration::micros(10)).await;
+            h.sleep_until(SimTime(5)).await; // already past
+            assert_eq!(h.now().as_nanos(), 10_000);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,146 @@
+//! Single-use channel carrying one value from one process to another.
+//! The standard way to receive an RPC reply in the simulation.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when the sending side was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+struct Inner<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Sending half; consumes itself on send.
+pub struct OneshotSender<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Receiving half; a future resolving to the sent value.
+pub struct OneshotReceiver<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+/// Create a connected oneshot pair.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner = Rc::new(RefCell::new(Inner {
+        value: None,
+        waker: None,
+        sender_alive: true,
+    }));
+    (
+        OneshotSender {
+            inner: Rc::clone(&inner),
+        },
+        OneshotReceiver { inner },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Deliver `value` and wake the receiver. Consumes the sender.
+    pub fn send(self, value: T) {
+        let mut inner = self.inner.borrow_mut();
+        inner.value = Some(value);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+        // Drop impl will mark sender_alive = false; value is already set so
+        // the receiver resolves Ok.
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.sender_alive = false;
+        if inner.value.is_none() {
+            if let Some(w) = inner.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(v) = inner.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if !inner.sender_alive {
+            return Poll::Ready(Err(Canceled));
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use std::cell::Cell;
+
+    #[test]
+    fn value_crosses_processes() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let (tx, rx) = oneshot::<u32>();
+        let got = Rc::new(Cell::new(0));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            got2.set(rx.await.unwrap());
+        });
+        sim.spawn(async move {
+            h.sleep(SimDuration::micros(1)).await;
+            tx.send(99);
+        });
+        sim.run();
+        assert_eq!(got.get(), 99);
+    }
+
+    #[test]
+    fn dropped_sender_yields_canceled() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = oneshot::<u32>();
+        let got = Rc::new(Cell::new(None));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            got2.set(Some(rx.await));
+        });
+        drop(tx);
+        sim.run();
+        assert_eq!(got.get(), Some(Err(Canceled)));
+    }
+
+    #[test]
+    fn send_before_recv_resolves_immediately() {
+        let mut sim = Sim::new(0);
+        let (tx, rx) = oneshot::<&'static str>();
+        tx.send("early");
+        let got = Rc::new(Cell::new(""));
+        let got2 = Rc::clone(&got);
+        sim.spawn(async move {
+            got2.set(rx.await.unwrap());
+        });
+        let s = sim.run();
+        assert_eq!(got.get(), "early");
+        assert_eq!(s.end_time.as_nanos(), 0);
+    }
+}

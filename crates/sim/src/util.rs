@@ -1,0 +1,120 @@
+//! Small combinators for simulation futures.
+
+use std::future::Future;
+
+use crate::sim::SimHandle;
+use crate::sync::{oneshot, OneshotReceiver};
+
+/// Run every future concurrently (each as its own process) and collect their
+/// outputs in input order.
+///
+/// The classic fan-out/fan-in used for striped disk reads and parallel cache
+/// updates.
+pub async fn join_all<T, F>(handle: &SimHandle, futures: Vec<F>) -> Vec<T>
+where
+    T: 'static,
+    F: Future<Output = T> + 'static,
+{
+    let receivers: Vec<OneshotReceiver<T>> = futures
+        .into_iter()
+        .map(|fut| {
+            let (tx, rx) = oneshot();
+            handle.spawn(async move {
+                tx.send(fut.await);
+            });
+            rx
+        })
+        .collect();
+    let mut out = Vec::with_capacity(receivers.len());
+    for rx in receivers {
+        out.push(rx.await.expect("join_all child task dropped its result"));
+    }
+    out
+}
+
+/// Run both futures concurrently and return both outputs.
+pub async fn join2<A, B, FA, FB>(handle: &SimHandle, fa: FA, fb: FB) -> (A, B)
+where
+    A: 'static,
+    B: 'static,
+    FA: Future<Output = A> + 'static,
+    FB: Future<Output = B> + 'static,
+{
+    let (txa, rxa) = oneshot();
+    handle.spawn(async move { txa.send(fa.await) });
+    let b = fb.await;
+    let a = rxa.await.expect("join2 child task dropped its result");
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn join_all_overlaps_and_preserves_order() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            // Three sleeps of 30/20/10us run concurrently: total 30us, and
+            // results come back in input order despite finishing reversed.
+            let futs: Vec<_> = [30u64, 20, 10]
+                .into_iter()
+                .map(|us| {
+                    let h = h.clone();
+                    async move {
+                        h.sleep(SimDuration::micros(us)).await;
+                        us
+                    }
+                })
+                .collect();
+            let results = join_all(&h, futs).await;
+            out2.borrow_mut().extend(results);
+            assert_eq!(h.now().as_nanos(), 30_000);
+        });
+        sim.run();
+        assert_eq!(*out.borrow(), vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn join_all_empty_is_instant() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let results: Vec<u8> = join_all(&h, Vec::<std::future::Ready<u8>>::new()).await;
+            assert!(results.is_empty());
+        });
+        let s = sim.run();
+        assert_eq!(s.end_time.as_nanos(), 0);
+    }
+
+    #[test]
+    fn join2_runs_concurrently() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let h1 = h.clone();
+        let h2 = h.clone();
+        sim.spawn(async move {
+            let (a, b) = join2(
+                &h,
+                async move {
+                    h1.sleep(SimDuration::micros(10)).await;
+                    'a'
+                },
+                async move {
+                    h2.sleep(SimDuration::micros(15)).await;
+                    'b'
+                },
+            )
+            .await;
+            assert_eq!((a, b), ('a', 'b'));
+            assert_eq!(h.now().as_nanos(), 15_000);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,458 @@
+//! A timed local filesystem backend: RAID + page cache + real bytes.
+//!
+//! This is what sits *under* a file server (the GlusterFS POSIX translator,
+//! a Lustre OST, the NFS server): reads and writes move real bytes through
+//! the [`ExtentStore`] while the [`PageCache`] and [`Raid0`] models charge
+//! virtual time the way a 2008 storage stack would.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use imca_sim::{SimDuration, SimHandle};
+
+use crate::disk::DiskParams;
+use crate::extent::ExtentStore;
+use crate::pagecache::{FileId, PageCache, PageCacheStats};
+use crate::raid::Raid0;
+
+/// Synthetic page index holding a file's inode block. Stat traffic competes
+/// for page-cache space with data, as it does in a real kernel. Far beyond
+/// any real data page (2^40 pages = 4 EiB) but small enough that
+/// `INODE_PAGE * page_size` cannot overflow.
+const INODE_PAGE: u64 = 1 << 40;
+
+/// Address space reserved per file on the array (files never exceed this in
+/// our workloads; keeps per-file placement contiguous so sequential streams
+/// are detected by the disk model).
+const FILE_SPACING: u64 = 4 << 30;
+
+/// Tunables for one storage backend.
+#[derive(Debug, Clone)]
+pub struct BackendParams {
+    /// Number of RAID-0 spindles.
+    pub raid_disks: usize,
+    /// RAID chunk size in bytes.
+    pub raid_chunk: u64,
+    /// Per-spindle mechanical parameters.
+    pub disk: DiskParams,
+    /// Page-cache capacity in bytes (the server's memory).
+    pub cache_bytes: u64,
+    /// Page size.
+    pub page_size: u64,
+    /// Memory-copy bandwidth for cache hits, bytes/s.
+    pub memcpy_bps: f64,
+    /// Fixed overhead per cache-hit copy.
+    pub memcpy_base: SimDuration,
+    /// Write-back throttle: when dirty pages exceed this, the writer
+    /// synchronously flushes this many pages back to half the limit.
+    pub dirty_limit_pages: usize,
+}
+
+impl BackendParams {
+    /// The paper's GlusterFS server: 8-disk HighPoint RAID, 8 GB RAM
+    /// (≈6 GB usable as page cache), 4 KB pages.
+    pub fn paper_server() -> BackendParams {
+        BackendParams {
+            raid_disks: 8,
+            raid_chunk: 64 * 1024,
+            disk: DiskParams::hdd_2008(),
+            cache_bytes: 6 << 30,
+            page_size: 4096,
+            memcpy_bps: 3e9,
+            memcpy_base: SimDuration::nanos(200),
+            dirty_limit_pages: 1 << 18, // 1 GB of dirty data
+        }
+    }
+
+    /// Same server with a different page-cache size (Fig 1 varies server
+    /// memory).
+    pub fn with_cache_bytes(mut self, bytes: u64) -> BackendParams {
+        self.cache_bytes = bytes;
+        self
+    }
+}
+
+struct Inner {
+    handle: SimHandle,
+    params: BackendParams,
+    raid: Raid0,
+    cache: RefCell<PageCache>,
+    extents: RefCell<ExtentStore>,
+    placement: RefCell<HashMap<FileId, u64>>,
+    next_slot: Cell<u64>,
+}
+
+/// Shareable handle to one timed storage backend.
+#[derive(Clone)]
+pub struct StorageBackend {
+    inner: Rc<Inner>,
+}
+
+impl StorageBackend {
+    /// Build a backend scheduling on `handle`.
+    pub fn new(handle: SimHandle, params: BackendParams) -> StorageBackend {
+        let raid = Raid0::new(params.raid_disks, params.raid_chunk, params.disk.clone());
+        let cache = PageCache::new(params.cache_bytes, params.page_size);
+        StorageBackend {
+            inner: Rc::new(Inner {
+                handle,
+                params,
+                raid,
+                cache: RefCell::new(cache),
+                extents: RefCell::new(ExtentStore::new()),
+                placement: RefCell::new(HashMap::new()),
+                next_slot: Cell::new(0),
+            }),
+        }
+    }
+
+    fn base_addr(&self, file: FileId) -> u64 {
+        let mut placement = self.inner.placement.borrow_mut();
+        *placement.entry(file).or_insert_with(|| {
+            let slot = self.inner.next_slot.get();
+            self.inner.next_slot.set(slot + 1);
+            slot * FILE_SPACING
+        })
+    }
+
+    fn memcpy_time(&self, bytes: u64) -> SimDuration {
+        self.inner.params.memcpy_base
+            + SimDuration::from_secs_f64(bytes as f64 / self.inner.params.memcpy_bps)
+    }
+
+    /// Create an empty file (charges an inode write into the cache).
+    pub async fn create(&self, file: FileId) {
+        self.inner.extents.borrow_mut().create(file);
+        self.base_addr(file);
+        let evicted = self
+            .inner
+            .cache
+            .borrow_mut()
+            .insert(file, INODE_PAGE * self.inner.params.page_size, 1, true);
+        self.flush_evicted(evicted).await;
+        let t = self.memcpy_time(512);
+        self.inner.handle.sleep(t).await;
+    }
+
+    /// Whether `file` exists.
+    pub fn exists(&self, file: FileId) -> bool {
+        self.inner.extents.borrow().exists(file)
+    }
+
+    /// Current file length (untimed metadata peek for callers that manage
+    /// their own stat cost).
+    pub fn len(&self, file: FileId) -> Option<u64> {
+        self.inner.extents.borrow().len(file)
+    }
+
+    /// Timed stat: hits the inode in the page cache or pays a small random
+    /// disk read. A file that does not exist resolves from the in-memory
+    /// inode/dentry tables without touching the disk (negative lookups are
+    /// cheap).
+    pub async fn stat(&self, file: FileId) -> Option<u64> {
+        if !self.exists(file) {
+            let t = self.memcpy_time(128);
+            self.inner.handle.sleep(t).await;
+            return None;
+        }
+        let page_size = self.inner.params.page_size;
+        let lookup = self
+            .inner
+            .cache
+            .borrow_mut()
+            .lookup(file, INODE_PAGE * page_size, 1);
+        if lookup.hit_pages > 0 {
+            let t = self.memcpy_time(256);
+            self.inner.handle.sleep(t).await;
+        } else {
+            // Inode block read: small random access near the file's data.
+            let base = self.base_addr(file);
+            self.inner.raid.access(&self.inner.handle, base, 512, false).await;
+            let evicted = self
+                .inner
+                .cache
+                .borrow_mut()
+                .insert(file, INODE_PAGE * page_size, 1, false);
+            self.flush_evicted(evicted).await;
+        }
+        self.inner.extents.borrow().len(file)
+    }
+
+    /// Timed read of `[offset, offset+len)`: page-cache hits pay memcpy,
+    /// misses pay RAID access and populate the cache. Returns the bytes
+    /// actually read (short at EOF).
+    pub async fn read(&self, file: FileId, offset: u64, len: u64) -> Vec<u8> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let base = self.base_addr(file);
+        let lookup = self.inner.cache.borrow_mut().lookup(file, offset, len);
+        if lookup.hit_pages > 0 {
+            let t = self.memcpy_time(lookup.hit_pages * self.inner.params.page_size);
+            self.inner.handle.sleep(t).await;
+        }
+        for (miss_off, miss_len) in &lookup.miss_ranges {
+            self.inner
+                .raid
+                .access(&self.inner.handle, base + miss_off, *miss_len, false)
+                .await;
+            let evicted = self
+                .inner
+                .cache
+                .borrow_mut()
+                .insert(file, *miss_off, *miss_len, false);
+            self.flush_evicted(evicted).await;
+        }
+        self.inner.extents.borrow().read(file, offset, len)
+    }
+
+    /// Timed write: bytes land in the extent store immediately (writes are
+    /// persistent from the caller's point of view once this returns — the
+    /// page cache is write-back with throttling, standing in for the
+    /// journal/ordered-mode semantics of the paper's ext3 backend).
+    pub async fn write(&self, file: FileId, offset: u64, data: &[u8]) {
+        self.inner.extents.borrow_mut().write(file, offset, data);
+        let t = self.memcpy_time(data.len() as u64);
+        self.inner.handle.sleep(t).await;
+        let evicted = self
+            .inner
+            .cache
+            .borrow_mut()
+            .insert(file, offset, data.len() as u64, true);
+        self.flush_evicted(evicted).await;
+        self.throttle_dirty().await;
+        // Keep the cached inode fresh (size may have grown).
+        let page_size = self.inner.params.page_size;
+        let ev = self
+            .inner
+            .cache
+            .borrow_mut()
+            .insert(file, INODE_PAGE * page_size, 1, true);
+        self.flush_evicted(ev).await;
+    }
+
+    /// Remove a file: drops cached pages and extents.
+    pub async fn remove(&self, file: FileId) -> bool {
+        self.inner.cache.borrow_mut().invalidate_file(file);
+        let existed = self.inner.extents.borrow_mut().remove(file);
+        if existed {
+            // Metadata update to the directory/inode blocks.
+            let base = self.base_addr(file);
+            self.inner.raid.access(&self.inner.handle, base, 512, true).await;
+        }
+        existed
+    }
+
+    /// Page-cache statistics.
+    pub fn cache_stats(&self) -> PageCacheStats {
+        self.inner.cache.borrow().stats()
+    }
+
+    /// Drop every clean and dirty page (e.g. to simulate a cold cache).
+    /// Dirty data is already persistent in the extent store.
+    pub fn drop_caches(&self) {
+        let cap = self.inner.params.cache_bytes;
+        let page = self.inner.params.page_size;
+        *self.inner.cache.borrow_mut() = PageCache::new(cap, page);
+    }
+
+    /// The simulation handle this backend charges time on.
+    pub fn handle(&self) -> SimHandle {
+        self.inner.handle.clone()
+    }
+
+    async fn flush_evicted(&self, evicted: Vec<crate::pagecache::Evicted>) {
+        let page = self.inner.params.page_size;
+        for ev in evicted {
+            if ev.dirty && ev.page != INODE_PAGE {
+                let base = self.base_addr(ev.file);
+                self.inner
+                    .raid
+                    .access(&self.inner.handle, base + ev.page * page, page, true)
+                    .await;
+            } else if ev.dirty {
+                let base = self.base_addr(ev.file);
+                self.inner.raid.access(&self.inner.handle, base, 512, true).await;
+            }
+        }
+    }
+
+    async fn throttle_dirty(&self) {
+        let limit = self.inner.params.dirty_limit_pages;
+        let dirty = self.inner.cache.borrow().dirty_page_count();
+        if dirty <= limit {
+            return;
+        }
+        let to_flush = dirty - limit / 2;
+        let pages = self.inner.cache.borrow_mut().take_dirty(to_flush);
+        let page = self.inner.params.page_size;
+        for (file, idx) in pages {
+            if idx == INODE_PAGE {
+                continue;
+            }
+            let base = self.base_addr(file);
+            self.inner
+                .raid
+                .access(&self.inner.handle, base + idx * page, page, true)
+                .await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imca_sim::Sim;
+    use std::rc::Rc;
+
+    fn small_params() -> BackendParams {
+        BackendParams {
+            raid_disks: 2,
+            raid_chunk: 64 * 1024,
+            disk: DiskParams::hdd_2008(),
+            cache_bytes: 64 * 4096,
+            page_size: 4096,
+            memcpy_bps: 3e9,
+            memcpy_base: SimDuration::nanos(200),
+            dirty_limit_pages: 32,
+        }
+    }
+
+    #[test]
+    fn data_round_trips_through_timed_path() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let be2 = be.clone();
+        sim.spawn(async move {
+            be2.create(FileId(1)).await;
+            be2.write(FileId(1), 0, b"persistent bytes").await;
+            let got = be2.read(FileId(1), 0, 16).await;
+            assert_eq!(got, b"persistent bytes");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn warm_read_is_much_faster_than_cold() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let h = sim.handle();
+        let be2 = be.clone();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let times2 = Rc::clone(&times);
+        sim.spawn(async move {
+            be2.create(FileId(1)).await;
+            be2.write(FileId(1), 0, &vec![7u8; 8192]).await;
+            be2.drop_caches();
+            let t0 = h.now();
+            be2.read(FileId(1), 0, 8192).await; // cold: disk
+            let t1 = h.now();
+            be2.read(FileId(1), 0, 8192).await; // warm: memcpy
+            let t2 = h.now();
+            times2.borrow_mut().push(t1.since(t0).as_nanos());
+            times2.borrow_mut().push(t2.since(t1).as_nanos());
+        });
+        sim.run();
+        let t = times.borrow();
+        assert!(t[0] > 100 * t[1], "cold={} warm={}", t[0], t[1]);
+    }
+
+    #[test]
+    fn stat_hits_inode_cache_after_first_access() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let h = sim.handle();
+        let be2 = be.clone();
+        sim.spawn(async move {
+            be2.create(FileId(3)).await;
+            be2.write(FileId(3), 0, b"xyz").await;
+            be2.drop_caches();
+            let t0 = h.now();
+            assert_eq!(be2.stat(FileId(3)).await, Some(3));
+            let cold = h.now().since(t0);
+            let t1 = h.now();
+            assert_eq!(be2.stat(FileId(3)).await, Some(3));
+            let warm = h.now().since(t1);
+            assert!(cold.as_nanos() > 50 * warm.as_nanos(), "cold={cold} warm={warm}");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_and_still_returns_correct_data() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let be2 = be.clone();
+        sim.spawn(async move {
+            // Write far more than the 64-page cache can hold.
+            for i in 0..32u64 {
+                be2.create(FileId(i)).await;
+                be2.write(FileId(i), 0, &vec![i as u8; 16 * 4096]).await;
+            }
+            // Every file still reads back correctly.
+            for i in 0..32u64 {
+                let got = be2.read(FileId(i), 0, 16 * 4096).await;
+                assert_eq!(got, vec![i as u8; 16 * 4096]);
+            }
+        });
+        sim.run();
+        let stats = be.cache_stats();
+        assert!(stats.evictions > 0, "expected LRU pressure: {stats:?}");
+    }
+
+    #[test]
+    fn remove_erases_data() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let be2 = be.clone();
+        sim.spawn(async move {
+            be2.create(FileId(9)).await;
+            be2.write(FileId(9), 0, b"doomed").await;
+            assert!(be2.remove(FileId(9)).await);
+            assert!(!be2.exists(FileId(9)));
+            let got = be2.read(FileId(9), 0, 6).await;
+            assert!(got.is_empty());
+            assert!(!be2.remove(FileId(9)).await);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn sequential_stream_outpaces_random_touches() {
+        let mut sim = Sim::new(0);
+        let mut p = small_params();
+        p.cache_bytes = 16 * 4096; // tiny cache: force disk on both paths
+        let be = StorageBackend::new(sim.handle(), p);
+        let h = sim.handle();
+        let be2 = be.clone();
+        let out = Rc::new(RefCell::new((0u64, 0u64)));
+        let out2 = Rc::clone(&out);
+        sim.spawn(async move {
+            be2.create(FileId(1)).await;
+            be2.write(FileId(1), 0, &vec![1u8; 1 << 20]).await;
+            for i in 0..64u64 {
+                be2.create(FileId(100 + i)).await;
+                be2.write(FileId(100 + i), 0, &vec![2u8; 16 * 1024]).await;
+            }
+            be2.drop_caches();
+            let t0 = h.now();
+            // Sequential: stream 1 MB in 16 KB records.
+            for i in 0..64u64 {
+                be2.read(FileId(1), i * 16 * 1024, 16 * 1024).await;
+            }
+            let seq = h.now().since(t0).as_nanos();
+            be2.drop_caches();
+            let t1 = h.now();
+            // Random-ish: same volume across 64 different files.
+            for i in 0..64u64 {
+                be2.read(FileId(100 + i), 0, 16 * 1024).await;
+            }
+            let rnd = h.now().since(t1).as_nanos();
+            *out2.borrow_mut() = (seq, rnd);
+        });
+        sim.run();
+        let (seq, rnd) = *out.borrow();
+        assert!(rnd > seq * 2, "seq={seq} rnd={rnd}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Model-based property tests for the page cache: exact-LRU equivalence
+//! against a naive reference, plus structural invariants.
+
+use std::collections::HashMap;
+
+use imca_storage::{FileId, PageCache};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup { file: u8, offset: u32, len: u16 },
+    Insert { file: u8, offset: u32, len: u16, dirty: bool },
+    Invalidate { file: u8 },
+    TakeDirty { n: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u32..200_000, 1u16..20_000)
+            .prop_map(|(file, offset, len)| Op::Lookup { file, offset, len }),
+        4 => (0u8..4, 0u32..200_000, 1u16..20_000, any::<bool>())
+            .prop_map(|(file, offset, len, dirty)| Op::Insert { file, offset, len, dirty }),
+        1 => (0u8..4).prop_map(|file| Op::Invalidate { file }),
+        1 => (0u8..8).prop_map(|n| Op::TakeDirty { n }),
+    ]
+}
+
+/// Naive exact-LRU reference over (file, page) keys.
+struct RefLru {
+    cap: usize,
+    page: u64,
+    /// Most-recent at the back.
+    order: Vec<(u8, u64)>,
+    dirty: HashMap<(u8, u64), bool>,
+}
+
+impl RefLru {
+    fn new(cap: usize, page: u64) -> RefLru {
+        RefLru {
+            cap,
+            page,
+            order: Vec::new(),
+            dirty: HashMap::new(),
+        }
+    }
+
+    fn pages(&self, offset: u32, len: u16) -> std::ops::RangeInclusive<u64> {
+        let first = offset as u64 / self.page;
+        let last = (offset as u64 + len as u64 - 1) / self.page;
+        first..=last
+    }
+
+    fn touch(&mut self, key: (u8, u64)) -> bool {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.order.push(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: (u8, u64), dirty: bool) -> Vec<(u8, u64, bool)> {
+        let mut evicted = Vec::new();
+        if self.touch(key) {
+            if dirty {
+                self.dirty.insert(key, true);
+            }
+            return evicted;
+        }
+        while self.order.len() >= self.cap {
+            let victim = self.order.remove(0);
+            let was_dirty = self.dirty.remove(&victim).unwrap_or(false);
+            evicted.push((victim.0, victim.1, was_dirty));
+        }
+        self.order.push(key);
+        self.dirty.insert(key, dirty);
+        evicted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pagecache_is_exact_lru(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        const CAP_PAGES: usize = 16;
+        const PAGE: u64 = 4096;
+        let mut pc = PageCache::new(CAP_PAGES as u64 * PAGE, PAGE);
+        let mut model = RefLru::new(CAP_PAGES, PAGE);
+
+        for op in ops {
+            match op {
+                Op::Lookup { file, offset, len } => {
+                    let got = pc.lookup(FileId(file as u64), offset as u64, len as u64);
+                    let mut hits = 0;
+                    let mut missed_pages = Vec::new();
+                    for p in model.pages(offset, len) {
+                        if model.touch((file, p)) {
+                            hits += 1;
+                        } else {
+                            missed_pages.push(p);
+                        }
+                    }
+                    prop_assert_eq!(got.hit_pages, hits, "hit count diverged");
+                    // Miss ranges cover exactly the missed pages.
+                    let mut covered = Vec::new();
+                    for (s, l) in &got.miss_ranges {
+                        prop_assert_eq!(s % PAGE, 0, "miss range not aligned");
+                        prop_assert_eq!(l % PAGE, 0, "miss length not aligned");
+                        for p in (s / PAGE)..((s + l) / PAGE) {
+                            covered.push(p);
+                        }
+                    }
+                    prop_assert_eq!(covered, missed_pages, "miss ranges diverged");
+                }
+                Op::Insert { file, offset, len, dirty } => {
+                    let evicted = pc.insert(FileId(file as u64), offset as u64, len as u64, dirty);
+                    let mut model_evicted = Vec::new();
+                    for p in model.pages(offset, len) {
+                        model_evicted.extend(model.insert((file, p), dirty));
+                    }
+                    let got: Vec<(u8, u64, bool)> = evicted
+                        .iter()
+                        .map(|e| (e.file.0 as u8, e.page, e.dirty))
+                        .collect();
+                    prop_assert_eq!(got, model_evicted, "eviction order diverged");
+                }
+                Op::Invalidate { file } => {
+                    let dropped = pc.invalidate_file(FileId(file as u64));
+                    let before = model.order.len();
+                    model.order.retain(|(f, _)| *f != file);
+                    model.dirty.retain(|(f, _), _| *f != file);
+                    prop_assert_eq!(dropped, before - model.order.len());
+                }
+                Op::TakeDirty { n } => {
+                    let taken = pc.take_dirty(n as usize);
+                    // Model: oldest-first dirty pages, cleaned not removed.
+                    let mut want = Vec::new();
+                    for key in model.order.iter() {
+                        if want.len() >= n as usize {
+                            break;
+                        }
+                        if model.dirty.get(key).copied().unwrap_or(false) {
+                            want.push(*key);
+                        }
+                    }
+                    for key in &want {
+                        model.dirty.insert(*key, false);
+                    }
+                    let got: Vec<(u8, u64)> =
+                        taken.iter().map(|(f, p)| (f.0 as u8, *p)).collect();
+                    prop_assert_eq!(got, want, "take_dirty order diverged");
+                }
+            }
+            // Structural invariants after every op.
+            prop_assert!(pc.resident_pages() <= CAP_PAGES);
+            prop_assert_eq!(pc.resident_pages(), model.order.len());
+            prop_assert_eq!(
+                pc.dirty_page_count(),
+                model.dirty.values().filter(|d| **d).count()
+            );
+        }
+    }
+}

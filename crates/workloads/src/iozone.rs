@@ -1,0 +1,285 @@
+//! IOzone-style multi-stream read throughput (§5.5 Fig 9, and the
+//! motivation experiment Fig 1).
+//!
+//! Each thread owns one file; the write phase is untimed, the sequential
+//! re-read pass is timed; aggregate throughput is total bytes over the
+//! slowest thread's wall time (IOzone `-t` semantics).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use imca_fabric::Transport;
+use imca_nfs::{NfsCluster, NfsConfig};
+use imca_sim::sync::Barrier;
+use imca_sim::Sim;
+
+use crate::system::{Deployment, SystemSpec};
+
+/// IOzone run parameters (GlusterFS / IMCa / Lustre systems).
+#[derive(Debug, Clone)]
+pub struct IozoneBench {
+    /// System under test.
+    pub spec: SystemSpec,
+    /// Number of IOzone threads (each on its own client node).
+    pub threads: usize,
+    /// Bytes per file (1 GB at paper scale).
+    pub file_size: u64,
+    /// Read record size (2 KB in Fig 9).
+    pub record_size: u64,
+    /// Outstanding reads per thread. Throughput runs are not latency-bound
+    /// in practice — the kernel read-ahead (and IOzone async modes) keep
+    /// several requests in flight; a pipeline of 1 would make every record
+    /// pay a full round trip and no system could approach wire bandwidth.
+    pub pipeline: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// IOzone outputs.
+#[derive(Debug, Clone)]
+pub struct IozoneResult {
+    /// Aggregate read throughput in MB/s (total bytes / slowest thread).
+    pub read_mb_s: f64,
+    /// Per-thread MB/s.
+    pub per_thread: Vec<f64>,
+}
+
+/// Chunk size used for the untimed write phase (bigger chunks keep the
+/// setup fast; SMCache still populates per-block).
+const WRITE_CHUNK: u64 = 64 * 1024;
+
+/// Run the IOzone read-throughput benchmark.
+pub fn run(cfg: &IozoneBench) -> IozoneResult {
+    let mut sim = Sim::new(cfg.seed);
+    let dep = Rc::new(Deployment::build(sim.handle(), &cfg.spec));
+    let h = sim.handle();
+    let barrier = Barrier::new(cfg.threads);
+    let times: Rc<RefCell<Vec<f64>>> = Rc::default();
+
+    for t in 0..cfg.threads {
+        let dep = Rc::clone(&dep);
+        let barrier = barrier.clone();
+        let times = Rc::clone(&times);
+        let h = h.clone();
+        let cfg = cfg.clone();
+        sim.spawn(async move {
+            let cli = dep.mount();
+            let path = format!("/bench/iozone/t{t}");
+            cli.create(&path).await;
+            let fd = cli.open(&path).await;
+            // Untimed write phase.
+            let mut off = 0u64;
+            while off < cfg.file_size {
+                let n = WRITE_CHUNK.min(cfg.file_size - off);
+                let data = vec![((off >> 12) & 0xFF) as u8; n as usize];
+                cli.write(&fd, off, &data).await;
+                off += n;
+            }
+            barrier.wait().await;
+            // Timed read pass: `pipeline` sequential substreams, each
+            // covering a contiguous share of the file, run concurrently —
+            // the read-ahead pipelining described on `IozoneBench`.
+            let t0 = h.now();
+            let pipeline = cfg.pipeline.max(1) as u64;
+            let share = cfg.file_size.div_ceil(pipeline);
+            let substreams: Vec<_> = (0..pipeline)
+                .map(|w| {
+                    let cli = cli.clone();
+                    let fd = fd.clone();
+                    let record = cfg.record_size;
+                    let start = w * share;
+                    let end = ((w + 1) * share).min(cfg.file_size);
+                    async move {
+                        let mut off = start;
+                        while off < end {
+                            let n = record.min(end - off);
+                            let got = cli.read(&fd, off, n).await;
+                            debug_assert_eq!(got.len(), n as usize);
+                            off += n;
+                        }
+                    }
+                })
+                .collect();
+            imca_sim::join_all(&h, substreams).await;
+            times.borrow_mut().push(h.now().since(t0).as_secs_f64());
+            cli.close(fd).await;
+        });
+    }
+
+    sim.run();
+    let times = times.borrow();
+    assert_eq!(times.len(), cfg.threads, "a thread never finished");
+    let slowest = times.iter().cloned().fold(0.0f64, f64::max);
+    let total_bytes = cfg.file_size as f64 * cfg.threads as f64;
+    IozoneResult {
+        read_mb_s: total_bytes / slowest / 1e6,
+        per_thread: times
+            .iter()
+            .map(|t| cfg.file_size as f64 / t / 1e6)
+            .collect(),
+    }
+}
+
+/// Fig 1 parameters: multi-client NFS read bandwidth.
+#[derive(Debug, Clone)]
+pub struct NfsIozoneBench {
+    /// Transport (RDMA / IPoIB / GigE).
+    pub transport: Transport,
+    /// Server memory (4 GB vs 8 GB in the paper).
+    pub server_memory: u64,
+    /// Number of clients, each with its own file.
+    pub clients: usize,
+    /// Bytes per file.
+    pub file_size: u64,
+    /// Read record size.
+    pub record_size: u64,
+    /// Outstanding reads per client (see [`IozoneBench::pipeline`]).
+    pub pipeline: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Run the Fig 1 NFS experiment; returns aggregate MB/s.
+pub fn run_nfs(cfg: &NfsIozoneBench) -> f64 {
+    let mut sim = Sim::new(cfg.seed);
+    let cluster = Rc::new(NfsCluster::build(
+        sim.handle(),
+        NfsConfig::new(cfg.transport.clone(), cfg.server_memory),
+    ));
+    let h = sim.handle();
+    let barrier = Barrier::new(cfg.clients);
+    let times: Rc<RefCell<Vec<f64>>> = Rc::default();
+
+    for c in 0..cfg.clients {
+        let cluster = Rc::clone(&cluster);
+        let barrier = barrier.clone();
+        let times = Rc::clone(&times);
+        let h = h.clone();
+        let cfg = cfg.clone();
+        sim.spawn(async move {
+            let cli = cluster.mount();
+            let file = c as u64 + 1;
+            let mut off = 0u64;
+            while off < cfg.file_size {
+                let n = WRITE_CHUNK.min(cfg.file_size - off);
+                cli.write(file, off, vec![0xAB; n as usize]).await;
+                off += n;
+            }
+            barrier.wait().await;
+            let t0 = h.now();
+            let cli = Rc::new(cli);
+            let pipeline = cfg.pipeline.max(1) as u64;
+            let share = cfg.file_size.div_ceil(pipeline);
+            let substreams: Vec<_> = (0..pipeline)
+                .map(|w| {
+                    let cli = Rc::clone(&cli);
+                    let record = cfg.record_size;
+                    let start = w * share;
+                    let end = ((w + 1) * share).min(cfg.file_size);
+                    async move {
+                        let mut off = start;
+                        while off < end {
+                            let n = record.min(end - off);
+                            cli.read(file, off, n).await;
+                            off += n;
+                        }
+                    }
+                })
+                .collect();
+            imca_sim::join_all(&h, substreams).await;
+            times.borrow_mut().push(h.now().since(t0).as_secs_f64());
+        });
+    }
+
+    sim.run();
+    let times = times.borrow();
+    assert_eq!(times.len(), cfg.clients);
+    let slowest = times.iter().cloned().fold(0.0f64, f64::max);
+    cfg.file_size as f64 * cfg.clients as f64 / slowest / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(spec: SystemSpec, threads: usize) -> IozoneResult {
+        run(&IozoneBench {
+            spec,
+            threads,
+            file_size: 1 << 20, // 1 MB per thread keeps tests quick
+            record_size: 2048,
+            pipeline: 8,
+            seed: 5,
+        })
+    }
+
+    /// Fig 9's core claim: more MCDs give more aggregate read bandwidth
+    /// than the single NoCache server.
+    #[test]
+    fn mcd_bank_scales_read_throughput() {
+        let spec = |mcds: usize| SystemSpec::Imca {
+            mcds,
+            block_size: 2048,
+            selector: imca_memcached::Selector::Modulo, // §5.5 round-robin
+            threaded: false,
+            mcd_mem: 1 << 30,
+            rdma_bank: false,
+        };
+        let nocache = bench(SystemSpec::GlusterNoCache, 4).read_mb_s;
+        let four = bench(spec(4), 4).read_mb_s;
+        assert!(
+            four > nocache,
+            "MCD(4)={four:.0}MB/s NoCache={nocache:.0}MB/s"
+        );
+        let one = bench(spec(1), 4).read_mb_s;
+        assert!(four > one, "MCD(4)={four:.0} MCD(1)={one:.0}");
+    }
+
+    #[test]
+    fn per_thread_throughputs_are_reported() {
+        let r = bench(SystemSpec::GlusterNoCache, 3);
+        assert_eq!(r.per_thread.len(), 3);
+        assert!(r.per_thread.iter().all(|v| *v > 0.0));
+    }
+
+    /// Fig 1 shape: with a small server memory, adding clients makes the
+    /// aggregate working set spill to disk and bandwidth collapses
+    /// relative to the big-memory server.
+    #[test]
+    fn nfs_bandwidth_tracks_server_memory() {
+        let run_mem = |mem: u64| {
+            run_nfs(&NfsIozoneBench {
+                transport: Transport::ipoib_ddr(),
+                server_memory: mem,
+                clients: 4,
+                file_size: 2 << 20,
+                record_size: 64 * 1024,
+                pipeline: 4,
+                seed: 5,
+            })
+        };
+        let big = run_mem(64 << 20); // all 8 MB of files fit
+        let small = run_mem(2 << 20); // thrash
+        assert!(big > small * 2.0, "big={big:.0} small={small:.0}");
+    }
+
+    /// Fig 1 transport ordering when the working set fits in memory.
+    #[test]
+    fn nfs_transport_ordering() {
+        let run_t = |t: Transport| {
+            run_nfs(&NfsIozoneBench {
+                transport: t,
+                server_memory: 64 << 20,
+                clients: 2,
+                file_size: 2 << 20,
+                record_size: 64 * 1024,
+                pipeline: 4,
+                seed: 5,
+            })
+        };
+        let rdma = run_t(Transport::rdma_ddr());
+        let ipoib = run_t(Transport::ipoib_ddr());
+        let gige = run_t(Transport::gige());
+        assert!(rdma > ipoib && ipoib > gige, "rdma={rdma:.0} ipoib={ipoib:.0} gige={gige:.0}");
+    }
+}

@@ -1,0 +1,279 @@
+//! A uniform face over the three systems the paper compares: native
+//! GlusterFS ("NoCache"), GlusterFS+IMCa ("MCD (x)"), and Lustre
+//! ("Lustre-xDS (Warm|Cold)") — so each benchmark driver is written once.
+
+use std::rc::Rc;
+
+use imca_core::{Cluster, ClusterConfig, ImcaConfig};
+use imca_fabric::Transport;
+use imca_glusterfs::GlusterMount;
+use imca_lustre::{LustreClient, LustreCluster, LustreConfig};
+use imca_memcached::{McConfig, Selector};
+use imca_sim::SimHandle;
+
+/// Which system to deploy, in the paper's vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemSpec {
+    /// GlusterFS in its default configuration (legend *NoCache*).
+    GlusterNoCache,
+    /// GlusterFS with the IMCa layer (legend *MCD (x)*).
+    Imca {
+        /// Number of MemCached daemons.
+        mcds: usize,
+        /// IMCa block size in bytes.
+        block_size: u64,
+        /// Key→daemon placement.
+        selector: Selector,
+        /// Background update thread at SMCache.
+        threaded: bool,
+        /// Memory limit per daemon (`-m`).
+        mcd_mem: u64,
+        /// Connect the bank over native RDMA (future-work ablation).
+        rdma_bank: bool,
+    },
+    /// Lustre with `osts` data servers; `warm` keeps the client cache
+    /// between the write and read phases, cold drops it (remount).
+    Lustre {
+        /// Number of data servers (1DS / 4DS).
+        osts: usize,
+        /// Warm or cold client cache.
+        warm: bool,
+    },
+}
+
+impl SystemSpec {
+    /// IMCa with paper defaults and `n` daemons.
+    pub fn imca(n: usize) -> SystemSpec {
+        SystemSpec::Imca {
+            mcds: n,
+            block_size: 2048,
+            selector: Selector::Crc32,
+            threaded: false,
+            mcd_mem: 6 << 30,
+            rdma_bank: false,
+        }
+    }
+
+    /// Short label for report tables, matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            SystemSpec::GlusterNoCache => "NoCache".into(),
+            SystemSpec::Imca { mcds, .. } => format!("MCD ({mcds})"),
+            SystemSpec::Lustre { osts, warm } => {
+                format!("Lustre-{osts}DS ({})", if *warm { "Warm" } else { "Cold" })
+            }
+        }
+    }
+}
+
+/// A deployed system.
+pub enum Deployment {
+    /// GlusterFS (with or without IMCa).
+    Gluster(Rc<Cluster>),
+    /// Lustre.
+    Lustre(Rc<LustreCluster>),
+}
+
+impl Deployment {
+    /// Deploy `spec` on a fresh network.
+    pub fn build(handle: SimHandle, spec: &SystemSpec) -> Deployment {
+        match spec {
+            SystemSpec::GlusterNoCache => Deployment::Gluster(Rc::new(Cluster::build(
+                handle,
+                ClusterConfig::nocache(),
+            ))),
+            SystemSpec::Imca {
+                mcds,
+                block_size,
+                selector,
+                threaded,
+                mcd_mem,
+                rdma_bank,
+            } => {
+                let cfg = ClusterConfig::imca(ImcaConfig {
+                    mcd_count: *mcds,
+                    block_size: *block_size,
+                    selector: *selector,
+                    threaded_updates: *threaded,
+                    mcd_config: McConfig::with_mem_limit(*mcd_mem),
+                    bank_transport: rdma_bank.then(Transport::rdma_ddr),
+                    ..ImcaConfig::default()
+                });
+                Deployment::Gluster(Rc::new(Cluster::build(handle, cfg)))
+            }
+            SystemSpec::Lustre { osts, .. } => Deployment::Lustre(Rc::new(
+                LustreCluster::build(handle, LustreConfig::with_osts(*osts)),
+            )),
+        }
+    }
+
+    /// Mount a client on its own fabric node.
+    pub fn mount(&self) -> FsClient {
+        match self {
+            Deployment::Gluster(c) => FsClient::Gluster(c.mount()),
+            Deployment::Lustre(c) => FsClient::Lustre(c.mount()),
+        }
+    }
+
+    /// The GlusterFS cluster, when this deployment is one.
+    pub fn gluster(&self) -> Option<&Rc<Cluster>> {
+        match self {
+            Deployment::Gluster(c) => Some(c),
+            Deployment::Lustre(_) => None,
+        }
+    }
+
+    /// The Lustre cluster, when this deployment is one.
+    pub fn lustre(&self) -> Option<&Rc<LustreCluster>> {
+        match self {
+            Deployment::Lustre(c) => Some(c),
+            Deployment::Gluster(_) => None,
+        }
+    }
+}
+
+/// A mounted client of either system, with the operations the benchmarks
+/// need. All paths are absolute strings, as in the paper's key schema.
+#[derive(Clone)]
+pub enum FsClient {
+    /// GlusterFS mount.
+    Gluster(Rc<GlusterMount>),
+    /// Lustre mount.
+    Lustre(Rc<LustreClient>),
+}
+
+impl FsClient {
+    /// Create an empty file.
+    pub async fn create(&self, path: &str) {
+        match self {
+            FsClient::Gluster(m) => {
+                m.create(path).await.expect("create failed");
+            }
+            FsClient::Lustre(c) => {
+                assert!(c.create(path).await, "create failed");
+            }
+        }
+    }
+
+    /// Open a file, returning an opaque handle usable with read/write.
+    pub async fn open(&self, path: &str) -> FsHandle {
+        match self {
+            FsClient::Gluster(m) => FsHandle::Gluster(m.open(path).await.expect("open failed")),
+            FsClient::Lustre(c) => {
+                assert!(c.open(path).await, "open failed");
+                FsHandle::Lustre(path.to_string())
+            }
+        }
+    }
+
+    /// Read through an open handle.
+    pub async fn read(&self, h: &FsHandle, offset: u64, len: u64) -> Vec<u8> {
+        match (self, h) {
+            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+                m.read(*fd, offset, len).await.expect("read failed")
+            }
+            (FsClient::Lustre(c), FsHandle::Lustre(path)) => {
+                c.read(path, offset, len).await.expect("read failed")
+            }
+            _ => panic!("handle does not belong to this client"),
+        }
+    }
+
+    /// Write through an open handle.
+    pub async fn write(&self, h: &FsHandle, offset: u64, data: &[u8]) {
+        match (self, h) {
+            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+                m.write(*fd, offset, data).await.expect("write failed");
+            }
+            (FsClient::Lustre(c), FsHandle::Lustre(path)) => {
+                assert!(c.write(path, offset, data).await, "write failed");
+            }
+            _ => panic!("handle does not belong to this client"),
+        }
+    }
+
+    /// Stat by path. Returns the file size.
+    pub async fn stat(&self, path: &str) -> u64 {
+        match self {
+            FsClient::Gluster(m) => m.stat(path).await.expect("stat failed").size,
+            FsClient::Lustre(c) => c.stat(path).await.expect("stat failed").0,
+        }
+    }
+
+    /// Close an open handle.
+    pub async fn close(&self, h: FsHandle) {
+        match (self, h) {
+            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+                m.close(fd).await.expect("close failed");
+            }
+            (FsClient::Lustre(_), FsHandle::Lustre(_)) => {}
+            _ => panic!("handle does not belong to this client"),
+        }
+    }
+
+    /// Drop this client's local cache (Lustre cold configuration; no-op on
+    /// GlusterFS, which has no client cache in the paper's setup).
+    pub fn drop_client_cache(&self) {
+        if let FsClient::Lustre(c) = self {
+            c.drop_cache();
+        }
+    }
+}
+
+/// An open-file handle for [`FsClient`].
+#[derive(Clone)]
+pub enum FsHandle {
+    /// GlusterFS descriptor.
+    Gluster(imca_glusterfs::Fd),
+    /// Lustre identifies files by path after open.
+    Lustre(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imca_sim::Sim;
+
+    fn roundtrip(spec: SystemSpec) {
+        let mut sim = Sim::new(3);
+        let dep = Rc::new(Deployment::build(sim.handle(), &spec));
+        let d2 = Rc::clone(&dep);
+        sim.spawn(async move {
+            let cli = d2.mount();
+            cli.create("/t/f").await;
+            let h = cli.open("/t/f").await;
+            cli.write(&h, 0, b"unified interface").await;
+            assert_eq!(cli.read(&h, 8, 9).await, b"interface");
+            assert_eq!(cli.stat("/t/f").await, 17);
+            cli.close(h).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn all_three_systems_speak_the_same_interface() {
+        roundtrip(SystemSpec::GlusterNoCache);
+        roundtrip(SystemSpec::Imca {
+            mcds: 2,
+            block_size: 2048,
+            selector: Selector::Crc32,
+            threaded: false,
+            mcd_mem: 8 << 20,
+            rdma_bank: false,
+        });
+        roundtrip(SystemSpec::Lustre {
+            osts: 2,
+            warm: true,
+        });
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(SystemSpec::GlusterNoCache.label(), "NoCache");
+        assert_eq!(SystemSpec::imca(4).label(), "MCD (4)");
+        assert_eq!(
+            SystemSpec::Lustre { osts: 4, warm: false }.label(),
+            "Lustre-4DS (Cold)"
+        );
+    }
+}

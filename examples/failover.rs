@@ -1,0 +1,88 @@
+//! Failure transparency (§4.4): "Writes are always persistent in IMCa and
+//! are written successfully to the server filesystem before updating the
+//! MCDs. Irrespective of node failures in the MCDs, correctness is not
+//! impacted."
+//!
+//! This example kills memcached daemons while a client streams reads and
+//! verifies every byte against a local reference copy.
+//!
+//! ```text
+//! cargo run --example failover
+//! ```
+
+use std::rc::Rc;
+
+use imca_repro::imca::{kill_mcd, revive_mcd, Cluster, ClusterConfig, ImcaConfig};
+use imca_repro::memcached::McConfig;
+use imca_repro::sim::{Sim, SimDuration};
+
+fn main() {
+    let mut sim = Sim::new(2026);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 3,
+            mcd_config: McConfig::with_mem_limit(32 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let h = sim.handle();
+
+    // Chaos process: kill daemons one by one, then revive them.
+    {
+        let c = Rc::clone(&cluster);
+        let h = h.clone();
+        sim.spawn(async move {
+            h.sleep(SimDuration::millis(3)).await;
+            println!("[chaos] killing MCD 0");
+            kill_mcd(&c.mcds()[0]);
+            h.sleep(SimDuration::millis(3)).await;
+            println!("[chaos] killing MCD 1");
+            kill_mcd(&c.mcds()[1]);
+            h.sleep(SimDuration::millis(3)).await;
+            println!("[chaos] reviving both");
+            revive_mcd(&c.mcds()[0]);
+            revive_mcd(&c.mcds()[1]);
+        });
+    }
+
+    // The application: write a file, then stream reads throughout the
+    // chaos, verifying every record.
+    {
+        let c = Rc::clone(&cluster);
+        let h = h.clone();
+        sim.spawn(async move {
+            let m = c.mount();
+            m.create("/db/table.dat").await.unwrap();
+            let fd = m.open("/db/table.dat").await.unwrap();
+            let reference: Vec<u8> = (0..128 * 1024u64).map(|i| (i % 241) as u8).collect();
+            for chunk in 0..(reference.len() / 8192) {
+                m.write(fd, (chunk * 8192) as u64, &reference[chunk * 8192..][..8192])
+                    .await
+                    .unwrap();
+            }
+            let mut verified = 0u64;
+            for round in 0..6 {
+                for k in 0..(reference.len() as u64 / 2048) {
+                    let got = m.read(fd, k * 2048, 2048).await.unwrap();
+                    assert_eq!(
+                        got,
+                        &reference[(k * 2048) as usize..][..2048],
+                        "corruption in round {round} record {k}"
+                    );
+                    verified += 1;
+                }
+                h.sleep(SimDuration::millis(1)).await;
+            }
+            println!("[app]   verified {verified} records across all failure phases");
+            m.close(fd).await.unwrap();
+        });
+    }
+
+    sim.run();
+    let cm = cluster.cmcache_stats();
+    println!();
+    println!("CMCache read hits   : {}", cm.read_hits);
+    println!("CMCache read misses : {} (includes failure windows)", cm.read_misses);
+    println!("conclusion          : data stayed correct through every failure, as §4.4 claims");
+}

@@ -1,0 +1,204 @@
+//! Cross-crate integration: drive the complete stacks (client translators →
+//! fabric → server translators → storage) and verify data integrity,
+//! determinism, and the headline cache behaviours.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
+use imca_repro::memcached::{McConfig, Selector};
+use imca_repro::sim::Sim;
+
+fn imca_config(mcds: usize) -> ClusterConfig {
+    ClusterConfig::imca(ImcaConfig {
+        mcd_count: mcds,
+        mcd_config: McConfig::with_mem_limit(32 << 20),
+        ..ImcaConfig::default()
+    })
+}
+
+#[test]
+fn large_file_round_trip_through_every_layer() {
+    let mut sim = Sim::new(1);
+    let cluster = Rc::new(Cluster::build(sim.handle(), imca_config(4)));
+    let c = Rc::clone(&cluster);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/it/large.bin").await.unwrap();
+        let fd = m.open("/it/large.bin").await.unwrap();
+        // 1 MB of patterned data written in odd-sized chunks.
+        let data: Vec<u8> = (0..1 << 20).map(|i| ((i * 2654435761u64 as usize) >> 13) as u8).collect();
+        let mut off = 0usize;
+        for chunk in data.chunks(23_456) {
+            m.write(fd, off as u64, chunk).await.unwrap();
+            off += chunk.len();
+        }
+        // Read back with completely different (unaligned) chunking.
+        let mut out = Vec::new();
+        let mut off = 0u64;
+        while out.len() < data.len() {
+            let got = m.read(fd, off, 31_337).await.unwrap();
+            if got.is_empty() {
+                break;
+            }
+            off += got.len() as u64;
+            out.extend(got);
+        }
+        assert_eq!(out.len(), data.len());
+        assert_eq!(out, data);
+        m.close(fd).await.unwrap();
+    });
+    sim.run();
+}
+
+#[test]
+fn imca_and_nocache_return_identical_bytes() {
+    // Timing differs; data must not.
+    fn collect(cfg: ClusterConfig) -> Vec<u8> {
+        let mut sim = Sim::new(9);
+        let cluster = Rc::new(Cluster::build(sim.handle(), cfg));
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let c = Rc::clone(&cluster);
+        let o = Rc::clone(&out);
+        sim.spawn(async move {
+            let m = c.mount();
+            m.create("/same").await.unwrap();
+            let fd = m.open("/same").await.unwrap();
+            for k in 0..64u64 {
+                m.write(fd, k * 777, &vec![(k % 251) as u8; 777]).await.unwrap();
+            }
+            // Overwrite a middle region.
+            m.write(fd, 10_000, &vec![0xEE; 5_000]).await.unwrap();
+            let got = m.read(fd, 0, 64 * 777).await.unwrap();
+            *o.borrow_mut() = got;
+        });
+        sim.run();
+        Rc::try_unwrap(out).unwrap().into_inner()
+    }
+    let a = collect(ClusterConfig::nocache());
+    let b = collect(imca_config(2));
+    assert_eq!(a.len(), 64 * 777);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sixteen_concurrent_clients_on_separate_files() {
+    let mut sim = Sim::new(5);
+    let cluster = Rc::new(Cluster::build(sim.handle(), imca_config(2)));
+    let done = Rc::new(RefCell::new(0usize));
+    for id in 0..16u64 {
+        let c = Rc::clone(&cluster);
+        let done = Rc::clone(&done);
+        sim.spawn(async move {
+            let m = c.mount();
+            let path = format!("/it/client{id}");
+            m.create(&path).await.unwrap();
+            let fd = m.open(&path).await.unwrap();
+            for k in 0..32u64 {
+                m.write(fd, k * 1000, &vec![(id + k) as u8; 1000]).await.unwrap();
+            }
+            for k in (0..32u64).rev() {
+                let got = m.read(fd, k * 1000, 1000).await.unwrap();
+                assert_eq!(got, vec![(id + k) as u8; 1000]);
+            }
+            m.close(fd).await.unwrap();
+            *done.borrow_mut() += 1;
+        });
+    }
+    sim.run();
+    assert_eq!(*done.borrow(), 16);
+}
+
+#[test]
+fn whole_deployment_is_deterministic() {
+    fn trace() -> (u64, u64, u64, u64) {
+        let mut sim = Sim::new(1234);
+        let cluster = Rc::new(Cluster::build(sim.handle(), imca_config(3)));
+        for id in 0..4u64 {
+            let c = Rc::clone(&cluster);
+            sim.spawn(async move {
+                let m = c.mount();
+                let path = format!("/det/{id}");
+                m.create(&path).await.unwrap();
+                let fd = m.open(&path).await.unwrap();
+                for k in 0..20u64 {
+                    m.write(fd, k * 512, &vec![k as u8; 512]).await.unwrap();
+                    m.read(fd, (k / 2) * 512, 512).await.unwrap();
+                    m.stat(&path).await.unwrap();
+                }
+            });
+        }
+        let summary = sim.run();
+        let cm = cluster.cmcache_stats();
+        (
+            summary.end_time.as_nanos(),
+            summary.events,
+            cm.read_hits,
+            cm.stat_hits,
+        )
+    }
+    assert_eq!(trace(), trace());
+}
+
+#[test]
+fn modulo_selector_spreads_file_blocks_evenly() {
+    let mut sim = Sim::new(3);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 4,
+            selector: Selector::Modulo,
+            mcd_config: McConfig::with_mem_limit(32 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/spread").await.unwrap();
+        let fd = m.open("/spread").await.unwrap();
+        m.write(fd, 0, &vec![1u8; 64 * 2048]).await.unwrap();
+    });
+    sim.run();
+    let per_mcd: Vec<u64> = cluster.mcds().iter().map(|n| n.stats().curr_items).collect();
+    let min = per_mcd.iter().min().unwrap();
+    let max = per_mcd.iter().max().unwrap();
+    assert!(
+        max - min <= 2,
+        "round-robin distribution skewed: {per_mcd:?}"
+    );
+}
+
+#[test]
+fn eof_and_sparse_semantics_through_the_cache() {
+    let mut sim = Sim::new(4);
+    let cluster = Rc::new(Cluster::build(sim.handle(), imca_config(1)));
+    let c = Rc::clone(&cluster);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/sparse").await.unwrap();
+        let fd = m.open("/sparse").await.unwrap();
+        // Write at an offset, leaving a hole.
+        m.write(fd, 10_000, b"tail").await.unwrap();
+        // Hole reads as zeros (twice: miss then cached).
+        for _ in 0..2 {
+            let hole = m.read(fd, 4_000, 100).await.unwrap();
+            assert_eq!(hole, vec![0u8; 100]);
+        }
+        // Read spanning the EOF is short.
+        for _ in 0..2 {
+            let tail = m.read(fd, 9_998, 100).await.unwrap();
+            assert_eq!(tail.len(), 6);
+            assert_eq!(&tail[2..], b"tail");
+        }
+        // Read entirely past EOF is empty.
+        for _ in 0..2 {
+            assert!(m.read(fd, 20_000, 10).await.unwrap().is_empty());
+        }
+        // Extending the file must invalidate the cached short state.
+        m.write(fd, 10_004, b"-more").await.unwrap();
+        let tail = m.read(fd, 10_000, 100).await.unwrap();
+        assert_eq!(tail, b"tail-more");
+    });
+    sim.run();
+}

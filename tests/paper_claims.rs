@@ -1,0 +1,195 @@
+//! Small-scale checks that each figure's *direction* reproduces — the
+//! quick versions of the claims EXPERIMENTS.md records at full scale.
+//! These run the actual benchmark drivers the fig binaries use.
+
+use imca_repro::fabric::Transport;
+use imca_repro::memcached::Selector;
+use imca_repro::workloads::iozone::{run as iozone, run_nfs, IozoneBench, NfsIozoneBench};
+use imca_repro::workloads::latbench::{run as latbench, LatencyBench};
+use imca_repro::workloads::statbench::{run as statbench, StatBench};
+use imca_repro::workloads::SystemSpec;
+
+fn imca_spec(mcds: usize) -> SystemSpec {
+    SystemSpec::Imca {
+        mcds,
+        block_size: 2048,
+        selector: Selector::Crc32,
+        threaded: false,
+        mcd_mem: 1 << 30,
+        rdma_bank: false,
+    }
+}
+
+/// Fig 1: NFS read bandwidth orders RDMA > IPoIB > GigE while the set fits
+/// in memory, and collapses once it does not.
+#[test]
+fn fig1_direction() {
+    let run_one = |transport: Transport, mem: u64| {
+        run_nfs(&NfsIozoneBench {
+            transport,
+            server_memory: mem,
+            clients: 3,
+            file_size: 2 << 20,
+            record_size: 64 << 10,
+            pipeline: 4,
+            seed: 1,
+        })
+    };
+    let rdma = run_one(Transport::rdma_ddr(), 64 << 20);
+    let ipoib = run_one(Transport::ipoib_ddr(), 64 << 20);
+    let gige = run_one(Transport::gige(), 64 << 20);
+    assert!(rdma > ipoib && ipoib > gige, "{rdma:.0} {ipoib:.0} {gige:.0}");
+    let thrash = run_one(Transport::rdma_ddr(), 2 << 20);
+    assert!(rdma > 2.0 * thrash, "no memory knee: fit={rdma:.0} thrash={thrash:.0}");
+}
+
+/// Fig 5: IMCa cuts multi-client stat time vs both NoCache and Lustre-4DS,
+/// and more daemons help.
+#[test]
+fn fig5_direction() {
+    let bench = |spec: SystemSpec| {
+        statbench(&StatBench {
+            files: 160,
+            clients: 8,
+            spec,
+            seed: 2,
+        })
+        .max_node_secs
+    };
+    let nocache = bench(SystemSpec::GlusterNoCache);
+    let one = bench(imca_spec(1));
+    let four = bench(imca_spec(4));
+    let lustre = bench(SystemSpec::Lustre { osts: 4, warm: false });
+    assert!(one < nocache, "MCD(1)={one} NoCache={nocache}");
+    assert!(four <= one * 1.05, "MCD(4)={four} MCD(1)={one}");
+    assert!(four < lustre, "MCD(4)={four} Lustre={lustre}");
+}
+
+/// Fig 6(a): at 1-byte records the block-size ordering holds — smaller
+/// blocks win small reads; all IMCa variants beat NoCache.
+#[test]
+fn fig6a_direction() {
+    let bench = |block_size: u64| {
+        let spec = SystemSpec::Imca {
+            mcds: 1,
+            block_size,
+            selector: Selector::Crc32,
+            threaded: false,
+            mcd_mem: 1 << 30,
+            rdma_bank: false,
+        };
+        latbench(&LatencyBench {
+            spec,
+            clients: 1,
+            // 64-byte records over 64 records: the file is large enough
+            // that each block size caches a *full* block, so the small-
+            // record penalty of large blocks is visible.
+            record_sizes: vec![64, 16384],
+            records: 64,
+            shared_file: false,
+            seed: 3,
+        })
+    };
+    let nocache = latbench(&LatencyBench {
+        spec: SystemSpec::GlusterNoCache,
+        clients: 1,
+        record_sizes: vec![64, 16384],
+        records: 64,
+        shared_file: false,
+        seed: 3,
+    });
+    let b256 = bench(256);
+    let b2k = bench(2048);
+    let b8k = bench(8192);
+    let n1 = nocache.read_at(64).unwrap();
+    assert!(b256.read_at(64).unwrap() < b2k.read_at(64).unwrap());
+    assert!(b2k.read_at(64).unwrap() < b8k.read_at(64).unwrap());
+    assert!(b8k.read_at(64).unwrap() < n1);
+    // Crossover: at 16K records, tiny blocks need many MCD trips and lose
+    // to NoCache (the Fig 6(a) crossover beyond 8K records).
+    let n16k = nocache.read_at(16384).unwrap();
+    assert!(
+        b256.read_at(16384).unwrap() > n16k,
+        "256B blocks should lose at 16K records: {} vs {}",
+        b256.read_at(16384).unwrap(),
+        n16k
+    );
+}
+
+/// Fig 6(c): write latency — sync IMCa > NoCache; threaded ≈ NoCache.
+#[test]
+fn fig6c_direction() {
+    let bench = |spec: SystemSpec| {
+        latbench(&LatencyBench {
+            spec,
+            clients: 1,
+            record_sizes: vec![2048],
+            records: 48,
+            shared_file: false,
+            seed: 4,
+        })
+        .write_at(2048)
+        .unwrap()
+    };
+    let nocache = bench(SystemSpec::GlusterNoCache);
+    let sync = bench(imca_spec(1));
+    let threaded = bench(SystemSpec::Imca {
+        mcds: 1,
+        block_size: 2048,
+        selector: Selector::Crc32,
+        threaded: true,
+        mcd_mem: 1 << 30,
+        rdma_bank: false,
+    });
+    assert!(sync > nocache * 1.1, "sync={sync:.1} nocache={nocache:.1}");
+    assert!(threaded < nocache * 1.25, "threaded={threaded:.1} nocache={nocache:.1}");
+}
+
+/// Fig 9: read throughput scales with the MCD count and beats NoCache.
+#[test]
+fn fig9_direction() {
+    let bench = |spec: SystemSpec| {
+        iozone(&IozoneBench {
+            spec,
+            threads: 4,
+            file_size: 1 << 20,
+            record_size: 2048,
+            pipeline: 8,
+            seed: 5,
+        })
+        .read_mb_s
+    };
+    let modulo = |mcds: usize| SystemSpec::Imca {
+        mcds,
+        block_size: 2048,
+        selector: Selector::Modulo,
+        threaded: false,
+        mcd_mem: 1 << 30,
+        rdma_bank: false,
+    };
+    let nocache = bench(SystemSpec::GlusterNoCache);
+    let one = bench(modulo(1));
+    let four = bench(modulo(4));
+    assert!(four > one, "MCD(4)={four:.0} MCD(1)={one:.0}");
+    assert!(four > 1.5 * nocache, "MCD(4)={four:.0} NoCache={nocache:.0}");
+}
+
+/// Fig 10: shared-file reads with one MCD beat NoCache at scale.
+#[test]
+fn fig10_direction() {
+    let bench = |spec: SystemSpec| {
+        latbench(&LatencyBench {
+            spec,
+            clients: 16,
+            record_sizes: vec![2048],
+            records: 96,
+            shared_file: true,
+            seed: 6,
+        })
+        .read_at(2048)
+        .unwrap()
+    };
+    let nocache = bench(SystemSpec::GlusterNoCache);
+    let imca = bench(imca_spec(1));
+    assert!(imca < nocache, "imca={imca:.1} nocache={nocache:.1}");
+}

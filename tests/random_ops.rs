@@ -1,0 +1,188 @@
+// `HashMap::entry` cannot be used where the inserted value is produced by
+// an `await` while the map is borrowed, so contains/insert is deliberate.
+#![allow(clippy::map_entry)]
+//! Property-based end-to-end integrity: arbitrary interleavings of
+//! create/open/write/read/stat/close/unlink through the full IMCa stack
+//! must behave exactly like a plain in-memory reference filesystem —
+//! regardless of block size, bank size, update mode, or injected MCD
+//! failures (DESIGN.md §6).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use imca_repro::imca::{kill_mcd, revive_mcd, Cluster, ClusterConfig, ImcaConfig};
+use imca_repro::memcached::McConfig;
+use imca_repro::sim::Sim;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { file: u8, offset: u16, len: u16, fill: u8 },
+    Read { file: u8, offset: u16, len: u16 },
+    Stat { file: u8 },
+    Reopen { file: u8 },
+    Unlink { file: u8 },
+    KillMcd { idx: u8 },
+    ReviveMcd { idx: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..3, 0u16..12_000, 1u16..5_000, any::<u8>())
+            .prop_map(|(file, offset, len, fill)| Op::Write { file, offset, len, fill }),
+        4 => (0u8..3, 0u16..16_000, 1u16..6_000)
+            .prop_map(|(file, offset, len)| Op::Read { file, offset, len }),
+        2 => (0u8..3).prop_map(|file| Op::Stat { file }),
+        1 => (0u8..3).prop_map(|file| Op::Reopen { file }),
+        1 => (0u8..3).prop_map(|file| Op::Unlink { file }),
+        1 => (0u8..2).prop_map(|idx| Op::KillMcd { idx }),
+        1 => (0u8..2).prop_map(|idx| Op::ReviveMcd { idx }),
+    ]
+}
+
+/// Plain reference model: files are growable byte vectors.
+#[derive(Default)]
+struct Reference {
+    files: HashMap<u8, Vec<u8>>,
+}
+
+impl Reference {
+    fn write(&mut self, file: u8, offset: usize, data: &[u8]) {
+        let buf = self.files.entry(file).or_default();
+        if buf.len() < offset + data.len() {
+            buf.resize(offset + data.len(), 0);
+        }
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    fn read(&self, file: u8, offset: usize, len: usize) -> Vec<u8> {
+        match self.files.get(&file) {
+            None => Vec::new(),
+            Some(buf) => {
+                let start = offset.min(buf.len());
+                let end = (offset + len).min(buf.len());
+                buf[start..end].to_vec()
+            }
+        }
+    }
+}
+
+fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
+    let mut sim = Sim::new(seed);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size,
+            threaded_updates: threaded,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    let h = sim.handle();
+    sim.spawn(async move {
+        let m = c.mount();
+        let mut reference = Reference::default();
+        let mut fds = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write { file, offset, len, fill } => {
+                    if !fds.contains_key(&file) {
+                        let path = format!("/prop/{file}");
+                        if reference.files.contains_key(&file) {
+                            fds.insert(file, m.open(&path).await.unwrap());
+                        } else {
+                            m.create(&path).await.unwrap();
+                            reference.files.insert(file, Vec::new());
+                            fds.insert(file, m.open(&path).await.unwrap());
+                        }
+                    }
+                    let data: Vec<u8> = (0..len)
+                        .map(|i| fill.wrapping_add(i as u8))
+                        .collect();
+                    m.write(fds[&file], offset as u64, &data).await.unwrap();
+                    reference.write(file, offset as usize, &data);
+                    if threaded {
+                        // §4.4 "Overhead and Delayed Updates": the threaded
+                        // mode trades a staleness window for write latency.
+                        // The property here is *eventual* agreement, so
+                        // drain the update queue before the next op.
+                        h.sleep(imca_repro::sim::SimDuration::millis(2)).await;
+                    }
+                }
+                Op::Read { file, offset, len } => {
+                    if let Some(&fd) = fds.get(&file) {
+                        let got = m.read(fd, offset as u64, len as u64).await.unwrap();
+                        let want = reference.read(file, offset as usize, len as usize);
+                        assert_eq!(
+                            got, want,
+                            "read mismatch: file {file} off {offset} len {len} \
+                             (block_size={block_size}, threaded={threaded})"
+                        );
+                    }
+                }
+                Op::Stat { file } => {
+                    if reference.files.contains_key(&file) {
+                        let st = m.stat(&format!("/prop/{file}")).await.unwrap();
+                        // stat may lag behind a threaded update, but must
+                        // never overstate the size.
+                        let want = reference.files[&file].len() as u64;
+                        if !threaded {
+                            assert_eq!(st.size, want, "stat size mismatch on file {file}");
+                        } else {
+                            assert!(st.size <= want);
+                        }
+                    }
+                }
+                Op::Reopen { file } => {
+                    if let Some(fd) = fds.remove(&file) {
+                        m.close(fd).await.unwrap();
+                        fds.insert(file, m.open(&format!("/prop/{file}")).await.unwrap());
+                    }
+                }
+                Op::Unlink { file } => {
+                    if reference.files.contains_key(&file) && !fds.contains_key(&file) {
+                        m.unlink(&format!("/prop/{file}")).await.unwrap();
+                        reference.files.remove(&file);
+                    }
+                }
+                Op::KillMcd { idx } => kill_mcd(&c.mcds()[idx as usize]),
+                Op::ReviveMcd { idx } => revive_mcd(&c.mcds()[idx as usize]),
+            }
+        }
+    });
+    sim.run();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_ops_match_reference_sync_2k(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        run_scenario(ops, 2048, false, seed);
+    }
+
+    #[test]
+    fn random_ops_match_reference_small_blocks(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        seed in 0u64..1000,
+    ) {
+        run_scenario(ops, 256, false, seed);
+    }
+
+    #[test]
+    fn random_ops_match_reference_threaded(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        seed in 0u64..1000,
+    ) {
+        run_scenario(ops, 2048, true, seed);
+    }
+}
