@@ -5,8 +5,9 @@
 //! Sweeps the IMCa block size across a read-latency run, wider than the
 //! three sizes Fig 6 shows.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::Selector;
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::{human_bytes, Table};
 use imca_workloads::SystemSpec;
@@ -65,4 +66,10 @@ fn main() {
         table.push_row(size as f64, row);
     }
     emit(&opts, "ablate_blocksize", &table);
+
+    let mut snap = Snapshot::new();
+    for ((name, _), r) in systems.iter().zip(&results) {
+        snap.merge_prefixed(&metric_label(name), &r.metrics);
+    }
+    emit_metrics(&opts, "ablate_blocksize", &snap);
 }

@@ -16,9 +16,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_bench::{emit, Options};
+use imca_bench::{emit, emit_metrics, metric_label, Options};
 use imca_core::{Cluster, ClusterConfig, ImcaConfig};
 use imca_memcached::McConfig;
+use imca_metrics::Snapshot;
 use imca_sim::{Sim, SimDuration};
 use imca_workloads::report::Table;
 
@@ -42,8 +43,9 @@ fn configs() -> Vec<(&'static str, ClusterConfig)> {
     ]
 }
 
-/// Mean re-read latency (µs): each of `clients` re-reads its own warm file.
-fn reread_latency(cfg: ClusterConfig, clients: usize, seed: u64) -> f64 {
+/// Mean re-read latency (µs) plus the run's metrics snapshot: each of
+/// `clients` re-reads its own warm file.
+fn reread_latency(cfg: ClusterConfig, clients: usize, seed: u64) -> (f64, Snapshot) {
     let mut sim = Sim::new(seed);
     let cluster = Rc::new(Cluster::build(sim.handle(), cfg));
     let h = sim.handle();
@@ -74,7 +76,7 @@ fn reread_latency(cfg: ClusterConfig, clients: usize, seed: u64) -> f64 {
     }
     sim.run();
     let v = out.borrow();
-    v.iter().sum::<f64>() / v.len() as f64
+    (v.iter().sum::<f64>() / v.len() as f64, cluster.metrics())
 }
 
 /// Freshness lag (µs of virtual time): how long after a remote overwrite a
@@ -132,10 +134,14 @@ fn main() {
         "microseconds per 4K read",
         vec!["latency".into()],
     );
-    for (i, (_, cfg)) in configs().into_iter().enumerate() {
-        latency.push_row(i as f64, vec![Some(reread_latency(cfg, clients, opts.seed))]);
+    let mut snap = Snapshot::new();
+    for (i, (name, cfg)) in configs().into_iter().enumerate() {
+        let (mean_us, run_snap) = reread_latency(cfg, clients, opts.seed);
+        latency.push_row(i as f64, vec![Some(mean_us)]);
+        snap.merge_prefixed(&metric_label(name), &run_snap);
     }
     emit(&opts, "ablate_client_cache_latency", &latency);
+    emit_metrics(&opts, "ablate_client_cache", &snap);
 
     let mut fresh = Table::new(
         "Client-cache ablation: staleness after a remote overwrite",

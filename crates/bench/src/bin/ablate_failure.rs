@@ -8,8 +8,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_bench::{emit, Options};
-use imca_core::{kill_mcd, Cluster, ClusterConfig, ImcaConfig};
+use imca_bench::{emit, emit_metrics, Options};
+use imca_core::{Cluster, ClusterConfig, ImcaConfig};
 use imca_memcached::McConfig;
 use imca_sim::{Sim, SimDuration};
 use imca_workloads::report::Table;
@@ -73,7 +73,7 @@ fn main() {
                 ));
                 // Kill one daemon and let the next phase run degraded.
                 if phase + 1 < phases {
-                    kill_mcd(&cluster.mcds()[phase]);
+                    cluster.kill_mcd(phase);
                     h.sleep(SimDuration::millis(1)).await;
                 }
             }
@@ -92,5 +92,12 @@ fn main() {
         table.push_row(*phase, vec![Some(*mean_us), Some(*hit_rate)]);
     }
     emit(&opts, "ablate_failure", &table);
+    let snap = cluster.metrics();
+    assert_eq!(
+        snap.counter("bank.mcd_failovers"),
+        Some((phases - 1) as u64),
+        "failover counter must match the daemons killed"
+    );
+    emit_metrics(&opts, "ablate_failure", &snap);
     println!("correctness: every record matched its reference after every failure");
 }

@@ -5,8 +5,9 @@
 //! placement balance across the bank and (b) stat-benchmark completion
 //! time, plus (c) how many keys move when the bank grows by one daemon.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::{Selector, ServerMap};
+use imca_metrics::Snapshot;
 use imca_workloads::report::Table;
 use imca_workloads::statbench::{run, StatBench, StatBenchResult};
 use imca_workloads::SystemSpec;
@@ -81,6 +82,12 @@ fn main() {
         time.push_row(i as f64, vec![Some(r.max_node_secs)]);
     }
     emit(&opts, "ablate_hashing_statbench", &time);
+
+    let mut snap = Snapshot::new();
+    for ((name, _), r) in selectors().into_iter().zip(&results) {
+        snap.merge_prefixed(&metric_label(name), &r.metrics);
+    }
+    emit_metrics(&opts, "ablate_hashing", &snap);
 
     // (c) Key movement when the bank grows from 4 to 5 daemons.
     let mut movement = Table::new(

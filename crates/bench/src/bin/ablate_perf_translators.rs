@@ -11,9 +11,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_bench::{emit, Options};
+use imca_bench::{emit, emit_metrics, metric_label, Options};
 use imca_core::{Cluster, ClusterConfig, ImcaConfig};
 use imca_memcached::McConfig;
+use imca_metrics::Snapshot;
 use imca_sim::Sim;
 use imca_workloads::report::Table;
 
@@ -55,8 +56,9 @@ fn stacks() -> Vec<(&'static str, ClusterConfig)> {
     ]
 }
 
-/// Returns (mean sequential write µs, mean sequential read µs).
-fn run_stream(cfg: ClusterConfig, seed: u64) -> (f64, f64) {
+/// Returns (mean sequential write µs, mean sequential read µs) and the
+/// run's metrics snapshot.
+fn run_stream(cfg: ClusterConfig, seed: u64) -> (f64, f64, Snapshot) {
     let mut sim = Sim::new(seed);
     let cluster = Rc::new(Cluster::build(sim.handle(), cfg));
     let h = sim.handle();
@@ -86,8 +88,8 @@ fn run_stream(cfg: ClusterConfig, seed: u64) -> (f64, f64) {
         });
     }
     sim.run();
-    let v = *out.borrow();
-    v
+    let (w, r) = *out.borrow();
+    (w, r, cluster.metrics())
 }
 
 fn main() {
@@ -101,10 +103,13 @@ fn main() {
         "microseconds per record",
         vec!["write".into(), "read".into()],
     );
+    let mut snap = Snapshot::new();
     for (i, (name, cfg)) in stacks().into_iter().enumerate() {
-        let (w, r) = run_stream(cfg, opts.seed);
+        let (w, r, run_snap) = run_stream(cfg, opts.seed);
         println!("{name:<16} write {w:8.2} us   read {r:8.2} us");
         table.push_row(i as f64, vec![Some(w), Some(r)]);
+        snap.merge_prefixed(&metric_label(name), &run_snap);
     }
     emit(&opts, "ablate_perf_translators", &table);
+    emit_metrics(&opts, "ablate_perf_translators", &snap);
 }

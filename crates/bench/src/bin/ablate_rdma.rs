@@ -5,8 +5,9 @@
 //! bank connected over IPoIB (paper configuration) versus native RDMA,
 //! while the GlusterFS server traffic stays on IPoIB in both cases.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::Selector;
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::Table;
 use imca_workloads::SystemSpec;
@@ -30,6 +31,7 @@ fn main() {
     let records = if opts.full { 1024 } else { 192 };
     let sizes = LatencyBench::power_of_two_sizes(64 << 10);
 
+    let mut snap = Snapshot::new();
     for &clients in &[1usize, 16] {
         let systems: Vec<(String, SystemSpec)> = vec![
             ("IMCa/IPoIB".into(), spec(false)),
@@ -62,5 +64,9 @@ fn main() {
             table.push_row(size as f64, row);
         }
         emit(&opts, &format!("ablate_rdma_{clients}clients"), &table);
+        for ((name, _), r) in systems.iter().zip(&results) {
+            snap.merge_prefixed(&format!("{}.{clients}c", metric_label(name)), &r.metrics);
+        }
     }
+    emit_metrics(&opts, "ablate_rdma", &snap);
 }

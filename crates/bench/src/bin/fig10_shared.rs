@@ -2,7 +2,8 @@
 //! writes, every node reads (§5.6). IMCa runs with a single MCD, against
 //! NoCache and Lustre-1DS cold.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::Table;
 use imca_workloads::SystemSpec;
@@ -55,4 +56,15 @@ fn main() {
         table.push_row(nodes as f64, row);
     }
     emit(&opts, "fig10_shared_read_latency", &table);
+
+    // Observability: per-system snapshots at the largest node count.
+    let mut snap = Snapshot::new();
+    let last = node_sweep.len() - 1;
+    for (si, spec) in systems.iter().enumerate() {
+        snap.merge_prefixed(
+            &format!("{}.{}n", metric_label(&spec.label()), node_sweep[last]),
+            &results[si * node_sweep.len() + last].metrics,
+        );
+    }
+    emit_metrics(&opts, "fig10_shared_read_latency", &snap);
 }

@@ -3,9 +3,10 @@
 //! (b) the larger server memory. The knee appears where the aggregate
 //! working set outgrows the server's page cache.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_fabric::Transport;
-use imca_workloads::iozone::{run_nfs, NfsIozoneBench};
+use imca_metrics::Snapshot;
+use imca_workloads::iozone::{run_nfs, NfsIozoneBench, NfsIozoneResult};
 use imca_workloads::report::Table;
 
 fn main() {
@@ -28,7 +29,7 @@ fn main() {
     ];
 
     for (panel, mem) in [("a", mem_small), ("b", mem_big)] {
-        let mut jobs: Vec<Box<dyn FnOnce() -> f64 + Send>> = Vec::new();
+        let mut jobs: Vec<Box<dyn FnOnce() -> NfsIozoneResult + Send>> = Vec::new();
         for (_, transport) in &transports {
             for &n in &clients {
                 let cfg = NfsIozoneBench {
@@ -55,10 +56,22 @@ fn main() {
         );
         for (ci, &n) in clients.iter().enumerate() {
             let row: Vec<Option<f64>> = (0..transports.len())
-                .map(|ti| Some(results[ti * clients.len() + ci]))
+                .map(|ti| Some(results[ti * clients.len() + ci].read_mb_s))
                 .collect();
             table.push_row(n as f64, row);
         }
         emit(&opts, &format!("fig1{panel}_nfs_bandwidth"), &table);
+
+        // Observability: per-transport snapshots at the largest client
+        // count, merged under `<transport>.<n>c.<tier>...`.
+        let mut snap = Snapshot::new();
+        let last = clients.len() - 1;
+        for (ti, (tname, _)) in transports.iter().enumerate() {
+            snap.merge_prefixed(
+                &format!("{}.{}c", metric_label(tname), clients[last]),
+                &results[ti * clients.len() + last].metrics,
+            );
+        }
+        emit_metrics(&opts, &format!("fig1{panel}_nfs_bandwidth"), &snap);
     }
 }

@@ -3,8 +3,9 @@
 //! miss rates the paper quotes ("the miss rate with increasing MCDs beyond
 //! 2 is zero").
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::Selector;
+use imca_metrics::Snapshot;
 use imca_workloads::report::Table;
 use imca_workloads::statbench::{run, StatBench, StatBenchResult};
 use imca_workloads::SystemSpec;
@@ -93,4 +94,16 @@ fn main() {
         }
     }
     emit(&opts, "fig5_stat_missrate", &misses);
+
+    // Observability: per-system snapshots at the largest client count,
+    // merged under `<system>.<n>c.<tier>...`.
+    let mut snap = Snapshot::new();
+    let last = clients_sweep.len() - 1;
+    for (si, spec) in systems.iter().enumerate() {
+        snap.merge_prefixed(
+            &format!("{}.{}c", metric_label(&spec.label()), clients_sweep[last]),
+            &results[si * clients_sweep.len() + last].metrics,
+        );
+    }
+    emit_metrics(&opts, "fig5_stat", &snap);
 }

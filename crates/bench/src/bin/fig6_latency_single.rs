@@ -5,8 +5,9 @@
 //! * (c): write latency — NoCache vs IMCa (2 KB) synchronous vs IMCa with
 //!   the threaded SMCache update.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::Selector;
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::Table;
 use imca_workloads::SystemSpec;
@@ -77,6 +78,11 @@ fn main() {
     }
     emit(&opts, "fig6ab_read_latency_single", &read_table);
 
+    let mut snap = Snapshot::new();
+    for ((name, _), r) in read_systems.iter().zip(&results) {
+        snap.merge_prefixed(&format!("read.{}", metric_label(name)), &r.metrics);
+    }
+
     // (c) write latency: NoCache vs IMCa sync vs IMCa threaded.
     let write_systems: Vec<(String, SystemSpec)> = vec![
         ("NoCache".into(), SystemSpec::GlusterNoCache),
@@ -109,4 +115,9 @@ fn main() {
         write_table.push_row(size as f64, row);
     }
     emit(&opts, "fig6c_write_latency_single", &write_table);
+
+    for ((name, _), r) in write_systems.iter().zip(&results) {
+        snap.merge_prefixed(&format!("write.{}", metric_label(name)), &r.metrics);
+    }
+    emit_metrics(&opts, "fig6_latency_single", &snap);
 }

@@ -2,7 +2,8 @@
 //! (1/2/4), against NoCache and Lustre-4DS warm & cold. Panel (a) covers
 //! small records, panel (b) medium records — both come out of one sweep.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::Table;
 use imca_workloads::SystemSpec;
@@ -52,4 +53,10 @@ fn main() {
         table.push_row(size as f64, row);
     }
     emit(&opts, "fig7_read_latency_32clients", &table);
+
+    let mut snap = Snapshot::new();
+    for (spec, r) in systems.iter().zip(&results) {
+        snap.merge_prefixed(&metric_label(&spec.label()), &r.metrics);
+    }
+    emit_metrics(&opts, "fig7_read_latency_32clients", &snap);
 }

@@ -2,7 +2,8 @@
 //! MCD — panels (a)/(c) for small records, (b)/(d) against Lustre. We
 //! report a table per record size: latency vs client count.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
+use imca_metrics::Snapshot;
 use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
 use imca_workloads::report::{human_bytes, Table};
 use imca_workloads::SystemSpec;
@@ -66,4 +67,15 @@ fn main() {
             &table,
         );
     }
+
+    // Observability: per-system snapshots at the largest client count.
+    let mut snap = Snapshot::new();
+    let last = client_sweep.len() - 1;
+    for (si, spec) in systems.iter().enumerate() {
+        snap.merge_prefixed(
+            &format!("{}.{}c", metric_label(&spec.label()), client_sweep[last]),
+            &results[si * client_sweep.len() + last].metrics,
+        );
+    }
+    emit_metrics(&opts, "fig8_latency_scaling", &snap);
 }

@@ -2,8 +2,9 @@
 //! MCDs (1/2/4) with the static-modulo (round-robin) block distribution of
 //! §5.5, against NoCache and Lustre-1DS cold.
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, emit_metrics, metric_label, parallel_sweep, Options};
 use imca_memcached::Selector;
+use imca_metrics::Snapshot;
 use imca_workloads::iozone::{run, IozoneBench, IozoneResult};
 use imca_workloads::report::Table;
 use imca_workloads::SystemSpec;
@@ -71,4 +72,15 @@ fn main() {
         table.push_row(threads as f64, row);
     }
     emit(&opts, "fig9_iozone_throughput", &table);
+
+    // Observability: per-system snapshots at the largest thread count.
+    let mut snap = Snapshot::new();
+    let last = threads_sweep.len() - 1;
+    for (si, spec) in systems.iter().enumerate() {
+        snap.merge_prefixed(
+            &format!("{}.{}t", metric_label(&spec.label()), threads_sweep[last]),
+            &results[si * threads_sweep.len() + last].metrics,
+        );
+    }
+    emit_metrics(&opts, "fig9_iozone_throughput", &snap);
 }

@@ -19,6 +19,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use imca_metrics::Snapshot;
 use imca_workloads::report::Table;
 
 /// Command-line options shared by every experiment binary.
@@ -86,6 +87,42 @@ pub fn emit(opts: &Options, name: &str, table: &Table) {
     println!("(written to {} and {})", json_path.display(), txt_path.display());
 }
 
+/// Persist a metrics snapshot under `results/<name>_metrics.json`.
+///
+/// Every figure binary calls this with the instrumentation gathered from
+/// its runs (see `Deployment::metrics`), so each experiment leaves one
+/// structured observability document next to its result tables. Sweeps
+/// over several runs merge per-run snapshots under a `<label>.<x>` prefix
+/// with [`Snapshot::merge_prefixed`] before emitting.
+pub fn emit_metrics(opts: &Options, name: &str, snap: &Snapshot) {
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+        return;
+    }
+    let path = opts.out_dir.join(format!("{name}_metrics.json"));
+    let _ = std::fs::write(&path, snap.to_json());
+    println!(
+        "({} metric series written to {})",
+        snap.metrics.len(),
+        path.display()
+    );
+}
+
+/// Sanitise a table-series label (e.g. `"MCD (4)"`, `"Lustre-4DS (Cold)"`)
+/// into a metrics-prefix segment: lowercase alphanumerics with single
+/// underscores, so merged names stay `prefix.tier.component.metric`-shaped.
+pub fn metric_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
 /// Run `jobs` on parallel OS threads (each job is an independent,
 /// self-contained simulation) and collect results in input order.
 pub fn parallel_sweep<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
@@ -127,6 +164,31 @@ mod tests {
             .collect();
         let results = parallel_sweep(jobs);
         assert_eq!(results, (0usize..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emit_metrics_writes_a_parseable_document() {
+        let dir = std::env::temp_dir().join(format!("imca-bench-mtest-{}", std::process::id()));
+        let opts = Options {
+            full: false,
+            out_dir: dir.clone(),
+            seed: 1,
+        };
+        let mut snap = Snapshot::new();
+        snap.set_counter("fabric.rpc.calls", 3);
+        emit_metrics(&opts, "unit", &snap);
+        let path = dir.join("unit_metrics.json");
+        let text = std::fs::read_to_string(&path).expect("metrics file missing");
+        let back = Snapshot::from_json(&text).expect("unparseable metrics");
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn metric_labels_are_prefix_safe() {
+        assert_eq!(metric_label("MCD (4)"), "mcd_4");
+        assert_eq!(metric_label("NoCache"), "nocache");
+        assert_eq!(metric_label("Lustre-4DS (Cold)"), "lustre_4ds_cold");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_sim::stats::Counter;
+use imca_metrics::{Counter, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
 use imca_sim::{SimDuration, SimHandle};
 
@@ -41,14 +41,16 @@ struct Nic {
 }
 
 impl Nic {
-    fn new() -> Nic {
+    /// Counters live in the network's [`Registry`] under
+    /// `nic.<id>.<metric>`, so one snapshot covers every node's traffic.
+    fn new(registry: &Registry, id: NodeId) -> Nic {
         Nic {
             tx: Resource::new(1),
             rx: Resource::new(1),
-            bytes_tx: Counter::new(),
-            bytes_rx: Counter::new(),
-            msgs_tx: Counter::new(),
-            msgs_rx: Counter::new(),
+            bytes_tx: registry.counter(format!("nic.{}.bytes_tx", id.0)),
+            bytes_rx: registry.counter(format!("nic.{}.bytes_rx", id.0)),
+            msgs_tx: registry.counter(format!("nic.{}.msgs_tx", id.0)),
+            msgs_rx: registry.counter(format!("nic.{}.msgs_rx", id.0)),
         }
     }
 }
@@ -57,6 +59,7 @@ struct Inner {
     handle: SimHandle,
     transport: Transport,
     nics: RefCell<Vec<Rc<Nic>>>,
+    registry: Registry,
 }
 
 /// Handle to the simulated network. Cloning is cheap and refers to the same
@@ -87,6 +90,7 @@ impl Network {
                 handle,
                 transport,
                 nics: RefCell::new(Vec::new()),
+                registry: Registry::new(),
             }),
         }
     }
@@ -95,7 +99,7 @@ impl Network {
     pub fn add_node(&self) -> NodeId {
         let mut nics = self.inner.nics.borrow_mut();
         let id = NodeId(nics.len() as u32);
-        nics.push(Rc::new(Nic::new()));
+        nics.push(Rc::new(Nic::new(&self.inner.registry, id)));
         id
     }
 
@@ -175,7 +179,8 @@ impl Network {
         dst_nic.msgs_rx.inc();
     }
 
-    /// Traffic counters for `node`.
+    /// Traffic counters for `node` — a view over the same registry
+    /// counters the metrics snapshot reports.
     pub fn nic_stats(&self, node: NodeId) -> NicStats {
         let nic = self.nic(node);
         NicStats {
@@ -184,6 +189,19 @@ impl Network {
             msgs_tx: nic.msgs_tx.get(),
             msgs_rx: nic.msgs_rx.get(),
         }
+    }
+
+    /// The network's metric registry (per-NIC traffic counters under
+    /// `nic.<id>.*` plus whatever fabric layers above register, e.g. the
+    /// RPC latency histogram).
+    pub fn registry(&self) -> Registry {
+        self.inner.registry.clone()
+    }
+}
+
+impl MetricSource for Network {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.inner.registry.collect(prefix, snap);
     }
 }
 

@@ -7,10 +7,15 @@
 //! the way back and the client's `call` future resolves when the last byte
 //! arrives.
 
+use imca_metrics::Histogram;
 use imca_sim::sync::{oneshot, OneshotSender, Queue};
 
 use crate::network::{Network, NodeId};
 use crate::transport::{Transport, WireSize};
+
+/// Metric name of the RPC round-trip latency histogram, registered in the
+/// owning [`Network`]'s registry and recorded on every completed call.
+pub const RPC_CALL_NS: &str = "rpc.call_ns";
 
 /// A request that arrived at a [`Service`].
 pub struct Incoming<Req, Resp> {
@@ -98,6 +103,11 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> Service<Req, Resp> {
         self.node
     }
 
+    /// The network this service is bound to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
     /// Wait for the next request; `None` after [`Service::close`].
     pub async fn recv(&self) -> Option<Incoming<Req, Resp>> {
         self.queue.recv().await
@@ -117,6 +127,7 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> Service<Req, Resp> {
     /// Create a client stub that calls this service from `src`.
     pub fn client(&self, src: NodeId) -> RpcClient<Req, Resp> {
         RpcClient {
+            call_ns: self.net.registry().histogram(RPC_CALL_NS),
             net: self.net.clone(),
             src,
             dst: self.node,
@@ -129,6 +140,7 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> Service<Req, Resp> {
     /// to the cache bank while the rest of the system stays on IPoIB).
     pub fn client_with_transport(&self, src: NodeId, transport: Transport) -> RpcClient<Req, Resp> {
         RpcClient {
+            call_ns: self.net.registry().histogram(RPC_CALL_NS),
             net: self.net.clone(),
             src,
             dst: self.node,
@@ -145,6 +157,7 @@ pub struct RpcClient<Req, Resp> {
     dst: NodeId,
     queue: Queue<Incoming<Req, Resp>>,
     transport: Option<Transport>,
+    call_ns: Histogram,
 }
 
 impl<Req, Resp> Clone for RpcClient<Req, Resp> {
@@ -155,6 +168,7 @@ impl<Req, Resp> Clone for RpcClient<Req, Resp> {
             dst: self.dst,
             queue: self.queue.clone(),
             transport: self.transport.clone(),
+            call_ns: self.call_ns.clone(),
         }
     }
 }
@@ -178,6 +192,7 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
     /// the request (e.g. the server was killed mid-flight) — the TCP-reset
     /// path a real client observes.
     pub async fn try_call(&self, req: Req) -> Option<Resp> {
+        let t0 = self.net.handle().now();
         let bytes = req.wire_bytes();
         self.net
             .transfer_with(self.src, self.dst, bytes, self.transport.as_ref())
@@ -194,7 +209,12 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
                 transport: self.transport.clone(),
             },
         });
-        rx.await.ok()
+        let resp = rx.await.ok();
+        if resp.is_some() {
+            self.call_ns
+                .record_duration(self.net.handle().now().since(t0));
+        }
+        resp
     }
 
     /// The node this client sends from.

@@ -16,6 +16,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::{prefixed, MetricSource, Snapshot};
 use imca_sim::{SimDuration, SimHandle, SimTime};
 
 use crate::fops::{Fop, FopReply};
@@ -138,6 +139,15 @@ impl IoCache {
             files.clear();
             self.resident.set(0);
         }
+    }
+}
+
+impl MetricSource for IoCache {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        snap.set_counter(prefixed(prefix, "hits"), self.hits.get());
+        snap.set_counter(prefixed(prefix, "misses"), self.misses.get());
+        snap.set_counter(prefixed(prefix, "revalidations"), self.revalidations.get());
+        snap.set_gauge(prefixed(prefix, "resident_pages"), self.resident.get() as i64);
     }
 }
 

@@ -6,6 +6,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::{Histogram, MetricSource, Registry, Snapshot};
 use imca_storage::{FileId, StorageBackend};
 
 use crate::fops::{FileStat, Fop, FopReply, FsError};
@@ -22,15 +23,21 @@ pub struct Posix {
     backend: StorageBackend,
     files: RefCell<HashMap<String, Meta>>,
     next_id: std::cell::Cell<u64>,
+    registry: Registry,
+    /// Server-side service time per fop, in virtual ns.
+    fop_ns: Histogram,
 }
 
 impl Posix {
     /// A POSIX translator over `backend`.
     pub fn new(backend: StorageBackend) -> Rc<Posix> {
+        let registry = Registry::new();
         Rc::new(Posix {
             backend,
             files: RefCell::new(HashMap::new()),
             next_id: std::cell::Cell::new(1),
+            fop_ns: registry.histogram("fop_ns"),
+            registry,
         })
     }
 
@@ -62,6 +69,11 @@ impl Translator for Posix {
     fn handle(self: Rc<Self>, fop: Fop) -> FopFuture {
         Box::pin(async move {
             let h = self.backend.handle();
+            let t0 = h.now();
+            self.registry.counter(format!("fop.{}", fop.kind())).inc();
+            // Inner async block so the early `return`s in the arms still
+            // pass through the latency recording below.
+            let reply = async {
             match fop {
                 Fop::Create { path } => {
                     if self.files.borrow().contains_key(&path) {
@@ -129,7 +141,17 @@ impl Translator for Posix {
                     FopReply::Close(Ok(()))
                 }
             }
+            }
+            .await;
+            self.fop_ns.record_duration(h.now().since(t0));
+            reply
         })
+    }
+}
+
+impl MetricSource for Posix {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
     }
 }
 

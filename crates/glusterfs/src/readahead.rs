@@ -10,6 +10,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::{prefixed, MetricSource, Snapshot};
+
 use crate::fops::{Fop, FopReply};
 use crate::translator::{wind, FopFuture, Translator, Xlator};
 
@@ -68,6 +70,13 @@ impl ReadAhead {
             return None;
         }
         Some(buf[rel..end].to_vec())
+    }
+}
+
+impl MetricSource for ReadAhead {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        snap.set_counter(prefixed(prefix, "hits"), self.hits.get());
+        snap.set_counter(prefixed(prefix, "prefetches"), self.prefetches.get());
     }
 }
 

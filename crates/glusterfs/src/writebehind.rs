@@ -8,6 +8,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::{prefixed, MetricSource, Snapshot};
+
 use crate::fops::{Fop, FopReply, FsError};
 use crate::translator::{wind, FopFuture, Translator, Xlator};
 
@@ -68,6 +70,17 @@ impl WriteBehind {
                 self.errors.borrow_mut().entry(path.to_string()).or_insert(e);
             }
         }
+    }
+}
+
+impl MetricSource for WriteBehind {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        snap.set_counter(prefixed(prefix, "aggregated"), self.aggregated.get());
+        snap.set_counter(prefixed(prefix, "flushes"), self.flushes.get());
+        snap.set_gauge(
+            prefixed(prefix, "pending_files"),
+            self.pending.borrow().len() as i64,
+        );
     }
 }
 

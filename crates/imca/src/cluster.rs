@@ -11,12 +11,13 @@ use imca_glusterfs::{
     ReadAhead, ServerParams, WriteBehind, Xlator,
 };
 use imca_memcached::{McConfig, Selector};
+use imca_metrics::{prefixed, MetricSource, Snapshot};
 use imca_sim::{SimDuration, SimHandle};
 use imca_storage::{BackendParams, StorageBackend};
 
 use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
-use crate::mcd::{bank_stats, start_bank, BankClient, McdCosts, McdNode};
+use crate::mcd::{Bank, McdCosts, McdNode};
 use crate::smcache::{SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
@@ -116,11 +117,15 @@ pub struct Cluster {
     handle: SimHandle,
     net: Network,
     svc: Service<Fop, FopReply>,
-    mcds: Vec<McdNode>,
+    bank: Option<Bank>,
     smcache: Option<Rc<SmCache>>,
+    posix: Rc<Posix>,
     backend: StorageBackend,
     cfg: ClusterConfig,
     cmcaches: RefCell<Vec<Rc<CmCache>>>,
+    io_caches: RefCell<Vec<Rc<IoCache>>>,
+    read_aheads: RefCell<Vec<Rc<ReadAhead>>>,
+    write_behinds: RefCell<Vec<Rc<WriteBehind>>>,
     server_node: NodeId,
 }
 
@@ -132,26 +137,26 @@ impl Cluster {
         let backend = StorageBackend::new(handle.clone(), cfg.backend.clone());
         let posix = Posix::new(backend.clone());
 
-        let (mcds, smcache, server_child): (Vec<McdNode>, Option<Rc<SmCache>>, Xlator) =
+        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) =
             match &cfg.imca {
                 Some(imca) => {
-                    let mcds = start_bank(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
-                    let bank = Rc::new(BankClient::connect(
-                        &mcds,
+                    let bank =
+                        Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
+                    let client = Rc::new(bank.client(
                         server_node,
                         imca.selector,
                         imca.bank_transport.clone(),
                     ));
                     let sm = SmCache::new(
                         handle.clone(),
-                        posix as Xlator,
-                        bank,
+                        Rc::clone(&posix) as Xlator,
+                        client,
                         imca.block_size,
                         imca.threaded_updates,
                     );
-                    (mcds, Some(Rc::clone(&sm)), sm as Xlator)
+                    (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
                 }
-                None => (Vec::new(), None, posix as Xlator),
+                None => (None, None, Rc::clone(&posix) as Xlator),
             };
 
         let svc = start_server(&net, server_node, server_child, cfg.server_params.clone());
@@ -159,11 +164,15 @@ impl Cluster {
             handle,
             net,
             svc,
-            mcds,
+            bank,
             smcache,
+            posix,
             backend,
             cfg,
             cmcaches: RefCell::new(Vec::new()),
+            io_caches: RefCell::new(Vec::new()),
+            read_aheads: RefCell::new(Vec::new()),
+            write_behinds: RefCell::new(Vec::new()),
             server_node,
         }
     }
@@ -175,12 +184,12 @@ impl Cluster {
         let proto = ClientProtocol::connect(&self.svc, client_node) as Xlator;
         let stack: Xlator = match &self.cfg.imca {
             Some(imca) => {
-                let bank = Rc::new(BankClient::connect(
-                    &self.mcds,
-                    client_node,
-                    imca.selector,
-                    imca.bank_transport.clone(),
-                ));
+                let bank = Rc::new(
+                    self.bank
+                        .as_ref()
+                        .expect("imca config implies a bank")
+                        .client(client_node, imca.selector, imca.bank_transport.clone()),
+                );
                 let cm = CmCache::new(self.handle.clone(), proto, bank, imca.block_size);
                 self.cmcaches.borrow_mut().push(Rc::clone(&cm));
                 cm as Xlator
@@ -189,30 +198,84 @@ impl Cluster {
         };
         let stack = match self.cfg.client_io_cache {
             Some((bytes, timeout)) => {
-                IoCache::new(self.handle.clone(), stack, bytes, timeout) as Xlator
+                let ioc = IoCache::new(self.handle.clone(), stack, bytes, timeout);
+                self.io_caches.borrow_mut().push(Rc::clone(&ioc));
+                ioc as Xlator
             }
             None => stack,
         };
         let stack = match self.cfg.client_read_ahead {
-            Some(window) => ReadAhead::new(stack, window) as Xlator,
+            Some(window) => {
+                let ra = ReadAhead::new(stack, window);
+                self.read_aheads.borrow_mut().push(Rc::clone(&ra));
+                ra as Xlator
+            }
             None => stack,
         };
         let stack = match self.cfg.client_write_behind {
-            Some(window) => WriteBehind::new(stack, window) as Xlator,
+            Some(window) => {
+                let wb = WriteBehind::new(stack, window);
+                self.write_behinds.borrow_mut().push(Rc::clone(&wb));
+                wb as Xlator
+            }
             None => stack,
         };
         let fuse = FuseBridge::with_cost(self.handle.clone(), stack, self.cfg.fuse_cost);
         GlusterMount::new(fuse as Xlator)
     }
 
-    /// The MCD bank (empty for NoCache deployments).
+    /// The MCD bank handle (`None` for NoCache deployments).
+    pub fn bank(&self) -> Option<&Bank> {
+        self.bank.as_ref()
+    }
+
+    /// The bank's daemons (empty for NoCache deployments).
     pub fn mcds(&self) -> &[McdNode] {
-        &self.mcds
+        self.bank.as_ref().map(|b| b.nodes()).unwrap_or(&[])
+    }
+
+    /// Kill bank daemon `i` (failover experiments, §4.4).
+    pub fn kill_mcd(&self, i: usize) {
+        self.bank.as_ref().expect("no bank in this deployment").kill(i);
+    }
+
+    /// Revive bank daemon `i` (restarts empty).
+    pub fn revive_mcd(&self, i: usize) {
+        self.bank.as_ref().expect("no bank in this deployment").revive(i);
     }
 
     /// Daemon-side stats summed across the bank.
     pub fn mcd_stats(&self) -> imca_memcached::McStats {
-        bank_stats(&self.mcds)
+        self.bank.as_ref().map(|b| b.stats()).unwrap_or_default()
+    }
+
+    /// One structured snapshot of every instrumented tier, named
+    /// `tier.component[.instance].metric` — this is what the bench
+    /// binaries serialise next to their results.
+    pub fn metrics(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        self.net.collect("fabric", &mut snap);
+        self.backend.collect("storage", &mut snap);
+        self.posix.collect("glusterfs.posix", &mut snap);
+        if let Some(bank) = &self.bank {
+            bank.collect("bank", &mut snap);
+        }
+        if let Some(sm) = &self.smcache {
+            sm.collect("smcache", &mut snap);
+        }
+        for (i, cm) in self.cmcaches.borrow().iter().enumerate() {
+            cm.collect(&format!("cmcache.{i}"), &mut snap);
+        }
+        for (i, ioc) in self.io_caches.borrow().iter().enumerate() {
+            ioc.collect(&prefixed("glusterfs.iocache", &i.to_string()), &mut snap);
+        }
+        for (i, ra) in self.read_aheads.borrow().iter().enumerate() {
+            ra.collect(&prefixed("glusterfs.readahead", &i.to_string()), &mut snap);
+        }
+        for (i, wb) in self.write_behinds.borrow().iter().enumerate() {
+            wb.collect(&prefixed("glusterfs.writebehind", &i.to_string()), &mut snap);
+        }
+        snap
     }
 
     /// SMCache counters, if this is an IMCa deployment.
@@ -370,6 +433,63 @@ mod tests {
         sim.run();
         let cm = cluster.cmcache_stats();
         assert!(cm.stat_hits >= 1, "consumer stat not served from bank: {cm:?}");
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_tier_and_matches_legacy_stats() {
+        let mut sim = Sim::new(1);
+        let cluster = Rc::new(Cluster::build(sim.handle(), small_imca(2)));
+        let c2 = Rc::clone(&cluster);
+        sim.spawn(async move {
+            let m = c2.mount();
+            m.create("/obs").await.unwrap();
+            let fd = m.open("/obs").await.unwrap();
+            m.write(fd, 0, &vec![3u8; 8192]).await.unwrap();
+            m.read(fd, 0, 4096).await.unwrap();
+            m.read(fd, 0, 4096).await.unwrap();
+            m.stat("/obs").await.unwrap();
+            m.close(fd).await.unwrap();
+        });
+        sim.run();
+        let snap = cluster.metrics();
+        // Every tier is present under its `tier.component.metric` name…
+        for name in [
+            "fabric.rpc.call_ns",
+            "storage.pagecache.hits",
+            "glusterfs.posix.fop_ns",
+            "bank.mcd_failovers",
+            "bank.mcd.0.store.cmd_get",
+            "smcache.blocks_pushed",
+            "cmcache.0.read_hits",
+            "cmcache.0.bank.get_ns",
+        ] {
+            assert!(
+                snap.metrics.contains_key(name),
+                "missing {name}; have: {:?}",
+                snap.metrics.keys().collect::<Vec<_>>()
+            );
+        }
+        // …and the derived legacy views agree with the registry exactly.
+        let cm = cluster.cmcache_stats();
+        assert_eq!(snap.counter_sum(".read_hits"), cm.read_hits);
+        assert_eq!(snap.counter_sum(".stat_hits"), cm.stat_hits);
+        let sm = cluster.smcache_stats().unwrap();
+        assert_eq!(snap.counter("smcache.blocks_pushed"), Some(sm.blocks_pushed));
+        let mcd = cluster.mcd_stats();
+        assert_eq!(snap.counter_sum(".store.cmd_get"), mcd.cmd_get);
+        assert_eq!(snap.counter_sum(".store.get_hits"), mcd.get_hits);
+        // At least one latency histogram per tier.
+        let hists = snap.histogram_names();
+        for tier in ["fabric.", "storage.", "glusterfs.", "bank.", "cmcache."] {
+            assert!(
+                hists.iter().any(|n| n.starts_with(tier)),
+                "no latency histogram under {tier}: {hists:?}"
+            );
+        }
+        // The document round-trips through JSON.
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("parse back");
+        assert_eq!(back.counter_sum(".store.cmd_get"), mcd.cmd_get);
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! * **write / create / delete / open / close**: not intercepted (§4.2,
 //!   §4.3.2); they flow straight to the server.
 
-use std::cell::RefCell;
 use std::rc::Rc;
 
 use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::join_all;
 use imca_sim::SimHandle;
 
@@ -43,8 +43,16 @@ pub struct CmCache {
     child: Xlator,
     bank: Rc<BankClient>,
     block_size: u64,
-    stats: RefCell<CmStats>,
-    _handle: SimHandle,
+    registry: Registry,
+    stat_hits: Counter,
+    stat_misses: Counter,
+    read_hits: Counter,
+    read_misses: Counter,
+    /// Client-observed stat / read latency through this translator,
+    /// virtual ns.
+    stat_ns: Histogram,
+    read_ns: Histogram,
+    handle: SimHandle,
 }
 
 impl CmCache {
@@ -57,23 +65,42 @@ impl CmCache {
         block_size: u64,
     ) -> Rc<CmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
+        let registry = Registry::new();
         Rc::new(CmCache {
             child,
             bank,
             block_size,
-            stats: RefCell::new(CmStats::default()),
-            _handle: handle,
+            stat_hits: registry.counter("stat_hits"),
+            stat_misses: registry.counter("stat_misses"),
+            read_hits: registry.counter("read_hits"),
+            read_misses: registry.counter("read_misses"),
+            stat_ns: registry.histogram("stat_ns"),
+            read_ns: registry.histogram("read_ns"),
+            registry,
+            handle,
         })
     }
 
-    /// Interception counters.
+    /// Interception counters (a derived view over the metric registry).
     pub fn stats(&self) -> CmStats {
-        *self.stats.borrow()
+        CmStats {
+            stat_hits: self.stat_hits.get(),
+            stat_misses: self.stat_misses.get(),
+            read_hits: self.read_hits.get(),
+            read_misses: self.read_misses.get(),
+        }
     }
 
     /// The bank this translator reads from.
     pub fn bank(&self) -> &Rc<BankClient> {
         &self.bank
+    }
+}
+
+impl MetricSource for CmCache {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        self.bank.collect(&prefixed(prefix, "bank"), snap);
     }
 }
 
@@ -86,21 +113,26 @@ impl Translator for CmCache {
         Box::pin(async move {
             match fop {
                 Fop::Stat { path } => {
+                    let t0 = self.handle.now();
                     let key = stat_key(&path);
                     if let Some(raw) = self.bank.get(&key, None).await {
                         if let Some(st) = FileStat::from_bytes(&raw) {
-                            self.stats.borrow_mut().stat_hits += 1;
+                            self.stat_hits.inc();
+                            self.stat_ns.record_duration(self.handle.now().since(t0));
                             return FopReply::Stat(Ok(st));
                         }
                         // Corrupt entry: fall through as a miss.
                     }
-                    self.stats.borrow_mut().stat_misses += 1;
-                    Rc::clone(&self.child).handle(Fop::Stat { path }).await
+                    self.stat_misses.inc();
+                    let reply = Rc::clone(&self.child).handle(Fop::Stat { path }).await;
+                    self.stat_ns.record_duration(self.handle.now().since(t0));
+                    reply
                 }
                 Fop::Read { path, offset, len } => {
                     if len == 0 {
                         return FopReply::Read(Ok(Vec::new()));
                     }
+                    let t0 = self.handle.now();
                     let blocks = cover(offset, len, self.block_size);
                     // Fetch every covering block from the bank in parallel.
                     let futs: Vec<_> = blocks
@@ -112,7 +144,7 @@ impl Translator for CmCache {
                             async move { bank.get(&key, Some(hint)).await }
                         })
                         .collect();
-                    let fetched = join_all(&self._handle, futs).await;
+                    let fetched = join_all(&self.handle, futs).await;
                     if fetched.iter().all(|f| f.is_some()) {
                         let owned: Vec<(u64, bytes::Bytes)> = blocks
                             .iter()
@@ -122,7 +154,8 @@ impl Translator for CmCache {
                         let refs: Vec<(u64, &[u8])> =
                             owned.iter().map(|(s, d)| (*s, d.as_ref())).collect();
                         if let Some(data) = assemble(offset, len, self.block_size, &refs) {
-                            self.stats.borrow_mut().read_hits += 1;
+                            self.read_hits.inc();
+                            self.read_ns.record_duration(self.handle.now().since(t0));
                             return FopReply::Read(Ok(data));
                         }
                     }
@@ -130,10 +163,12 @@ impl Translator for CmCache {
                     // IMCa, since it includes one or more round-trips to
                     // the MCD, before determining that there might be a
                     // miss" — we already paid those; now pay the server.
-                    self.stats.borrow_mut().read_misses += 1;
-                    Rc::clone(&self.child)
+                    self.read_misses.inc();
+                    let reply = Rc::clone(&self.child)
                         .handle(Fop::Read { path, offset, len })
-                        .await
+                        .await;
+                    self.read_ns.record_duration(self.handle.now().since(t0));
+                    reply
                 }
                 // Everything else passes straight through.
                 other => Rc::clone(&self.child).handle(other).await,
@@ -145,7 +180,7 @@ impl Translator for CmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mcd::{start_bank, BankClient, McdCosts};
+    use crate::mcd::{Bank, BankClient, McdCosts};
     use bytes::Bytes;
     use imca_fabric::{Network, Transport};
     use imca_memcached::{McConfig, Selector};
@@ -188,15 +223,10 @@ mod tests {
         bs: u64,
     ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
         let client_node = net.add_node();
-        let bank = Rc::new(BankClient::connect(
-            &nodes,
-            client_node,
-            Selector::Crc32,
-            None,
-        ));
-        // Leak the nodes into a task so their actors stay alive.
+        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
+        // Leak the bank into a task so the daemon actors stay alive.
         let rec = Rc::new(Recorder {
             log: StdRefCell::new(Vec::new()),
             file,
@@ -208,7 +238,7 @@ mod tests {
             bs,
         );
         sim.handle().spawn(async move {
-            let _keepalive = nodes;
+            let _keepalive = mcds;
             std::future::pending::<()>().await;
         });
         (cm, rec, bank)

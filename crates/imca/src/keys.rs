@@ -4,22 +4,52 @@
 //! * data blocks: the absolute pathname with the block's byte offset
 //!   appended.
 //!
-//! memcached caps keys at 250 bytes; paths long enough to overflow are
-//! folded to `~<crc32><tail-of-path>`, keeping distinct deep paths distinct
-//! in practice while honouring the daemon's limit.
+//! memcached caps keys at 250 bytes and rejects whitespace/control bytes.
+//! Paths long enough to overflow the cap — or containing bytes the daemon
+//! would refuse — are folded to `~<crc32><sanitised-tail-of-path>`:
+//! the CRC-32 of the *full* path keeps distinct deep paths distinct in
+//! practice, the tail keeps keys debuggable, and every produced key is
+//! guaranteed to pass the daemon's validation. Without the fold, an
+//! oversized or space-bearing path would make every `set` fail silently
+//! (`KeyTooLong` / `BadKey`), turning the file into a permanent cache miss.
 
 use imca_memcached::{crc32, MAX_KEY_LEN};
 
 /// Longest suffix we append (`:` + 20-digit offset).
 const SUFFIX_MAX: usize = 21;
 
+/// Bytes the memcached daemon accepts in a key.
+fn valid_key_byte(b: u8) -> bool {
+    b > b' ' && b != 0x7f
+}
+
+fn needs_fold(path: &str) -> bool {
+    path.len() + SUFFIX_MAX > MAX_KEY_LEN || !path.bytes().all(valid_key_byte)
+}
+
 fn folded_path(path: &str) -> String {
-    if path.len() + SUFFIX_MAX <= MAX_KEY_LEN {
+    if !needs_fold(path) {
         return path.to_string();
     }
     let keep = MAX_KEY_LEN - SUFFIX_MAX - 9; // "~" + 8 hex digits
-    let tail = &path[path.len() - keep..];
-    format!("~{:08x}{tail}", crc32(path.as_bytes()))
+    let bytes = path.as_bytes();
+    let start = bytes.len().saturating_sub(keep);
+    // Byte-wise tail: never slices inside a UTF-8 character, and every
+    // byte the daemon would reject (plus non-ASCII, whose `char` form
+    // would re-expand to multiple bytes) is mapped to '_'.
+    let tail: String = bytes[start..]
+        .iter()
+        .map(|&b| {
+            if valid_key_byte(b) && b.is_ascii() {
+                b as char
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let folded = format!("~{:08x}{tail}", crc32(bytes));
+    debug_assert!(folded.len() + SUFFIX_MAX <= MAX_KEY_LEN);
+    folded
 }
 
 /// Key for a file's stat structure: `<path>:stat`.
@@ -36,6 +66,10 @@ pub fn block_key(path: &str, block_start: u64) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn daemon_accepts(key: &[u8]) -> bool {
+        !key.is_empty() && key.len() <= MAX_KEY_LEN && key.iter().all(|&b| valid_key_byte(b))
+    }
 
     #[test]
     fn short_paths_embed_verbatim() {
@@ -68,14 +102,65 @@ mod tests {
     }
 
     #[test]
-    fn keys_are_valid_memcached_keys() {
+    fn fold_boundary_is_exact() {
+        // Longest path that embeds verbatim with the longest block suffix.
+        let max_inline = MAX_KEY_LEN - SUFFIX_MAX;
+        let at = format!("/{}", "x".repeat(max_inline - 1));
+        assert!(block_key(&at, u64::MAX).starts_with(b"/"));
+        assert!(block_key(&at, u64::MAX).len() <= MAX_KEY_LEN);
+        // One byte longer must fold.
+        let over = format!("/{}", "x".repeat(max_inline));
+        assert!(block_key(&over, 0).starts_with(b"~"));
+        assert!(block_key(&over, u64::MAX).len() <= MAX_KEY_LEN);
+    }
+
+    #[test]
+    fn paths_with_daemon_hostile_bytes_fold_to_valid_keys() {
+        // Spaces, tabs, newlines, DEL: memcached rejects these in keys, so
+        // the schema must fold them instead of emitting a key every `set`
+        // would silently bounce off.
+        for path in ["/my file.txt", "/tab\there", "/nl\nhere", "/del\x7fhere"] {
+            let k = stat_key(path);
+            assert!(daemon_accepts(&k), "invalid key for {path:?}: {k:?}");
+            assert!(k.starts_with(b"~"), "hostile path must fold: {path:?}");
+        }
+        // Distinct hostile paths keep distinct keys via the CRC.
+        assert_ne!(stat_key("/a b"), stat_key("/a c"));
+    }
+
+    #[test]
+    fn long_non_ascii_paths_do_not_panic_and_stay_capped() {
+        // 3-byte UTF-8 chars: the fold point lands mid-character, which a
+        // naive byte slice of a &str would panic on.
+        let long = format!("/日本語{}", "あ".repeat(120));
+        for key in [stat_key(&long), block_key(&long, u64::MAX)] {
+            assert!(daemon_accepts(&key), "bad key: {key:?}");
+        }
+        // Stability and distinctness still hold.
+        assert_eq!(stat_key(&long), stat_key(&long));
+        let other = format!("/日本語{}", "い".repeat(120));
+        assert_ne!(stat_key(&long), stat_key(&other));
+    }
+
+    #[test]
+    fn short_non_ascii_paths_fold_rather_than_oversize() {
+        // A "short looking" path can still be over the byte cap.
+        let fat = "é".repeat(130); // 260 bytes
+        let k = stat_key(&fat);
+        assert!(daemon_accepts(&k));
+        assert!(k.starts_with(b"~"));
+    }
+
+    #[test]
+    fn every_generated_key_is_daemon_acceptable() {
         for key in [
             stat_key("/some/dir/file.dat"),
             block_key("/some/dir/file.dat", 123456),
             stat_key(&format!("/deep{}", "/y".repeat(300))),
+            block_key("/white space/file", 0),
+            stat_key(""),
         ] {
-            assert!(key.len() <= MAX_KEY_LEN);
-            assert!(key.iter().all(|&b| b > b' ' && b != 0x7f));
+            assert!(daemon_accepts(&key), "bad key: {key:?}");
         }
     }
 }

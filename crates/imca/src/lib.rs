@@ -9,12 +9,16 @@
 //! * [`SmCache`] — server-side: purges on open/close/unlink, seeds stat
 //!   entries, and pushes block-aligned data after reads and (persistent)
 //!   writes, synchronously or on a background update thread,
-//! * [`BankClient`] / [`start_mcd`] — the MCD array itself, running the
-//!   real storage engine from `imca-memcached` behind fabric RPC, with
+//! * [`Bank`] / [`BankClient`] — the MCD array itself, running the real
+//!   storage engine from `imca-memcached` behind fabric RPC, with
 //!   libmemcache-style CRC-32 / modulo routing and transparent failover,
 //! * [`Cluster`] — deployment builder matching Fig 2.
 //!
 //! Block math lives in [`block`], the key schema in [`keys`].
+//!
+//! Every component doubles as an [`imca_metrics::MetricSource`];
+//! [`Cluster::metrics`] composes them into one `tier.component.metric`
+//! snapshot (see the workspace README's Observability section).
 //!
 //! ```
 //! use std::rc::Rc;
@@ -57,8 +61,7 @@ mod smcache;
 
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
 pub use cmcache::{CmCache, CmStats};
-pub use mcd::{
-    bank_stats, kill_mcd, revive_mcd, start_bank, start_mcd, BankClient, BankStats, McdCosts,
-    McdNode, McdReq, McdResp,
-};
+#[allow(deprecated)]
+pub use mcd::{bank_stats, kill_mcd, revive_mcd, start_bank};
+pub use mcd::{start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp};
 pub use smcache::{SmCache, SmStats};

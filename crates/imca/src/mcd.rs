@@ -7,6 +7,13 @@
 //! failures transparently (§4.4) by treating a dead primary as a miss —
 //! deliberately *not* rehashing to another daemon, which can serve stale
 //! data once daemons come and go (see [`BankClient`]).
+//!
+//! The bank is owned and administered through a [`Bank`] handle:
+//! `Bank::start` brings the daemons up, `bank.kill(i)` / `bank.revive(i)`
+//! drive the failover experiments, `bank.stats()` scrapes the daemons, and
+//! `bank.client(..)` connects a consumer. The old free functions
+//! (`start_bank`, `kill_mcd`, `revive_mcd`, `bank_stats`) remain as
+//! deprecated shims for one release.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -15,8 +22,9 @@ use bytes::Bytes;
 use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
 use imca_memcached::protocol::{Command, Response, StoreVerb};
 use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
+use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
-use imca_sim::SimDuration;
+use imca_sim::{SimDuration, SimHandle};
 
 /// Request wrapper carrying a memcached protocol command across the fabric.
 #[derive(Debug, Clone)]
@@ -91,6 +99,7 @@ pub struct McdNode {
     service: Service<McdReq, McdResp>,
     server: Rc<McServer>,
     alive: Rc<Cell<bool>>,
+    registry: Registry,
 }
 
 impl McdNode {
@@ -111,12 +120,24 @@ impl McdNode {
     }
 }
 
+impl MetricSource for McdNode {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        self.server.store().collect(&prefixed(prefix, "store"), snap);
+        snap.set_gauge(prefixed(prefix, "alive"), self.alive.get() as i64);
+    }
+}
+
 /// Start a memcached daemon at `node`. `cfg` is the `-m` style config;
 /// `costs` its service-time model.
 pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) -> McdNode {
     let service: Service<McdReq, McdResp> = Service::bind(net, node);
     let server = Rc::new(McServer::new(cfg));
     let alive = Rc::new(Cell::new(true));
+    let registry = Registry::new();
+    let requests = registry.counter("requests");
+    let dropped = registry.counter("dropped");
+    let service_ns = registry.histogram("service_ns");
     let h = net.handle();
     let cpu = Resource::new(1); // the daemon's single event loop
     {
@@ -128,8 +149,11 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
             while let Some(incoming) = service.recv().await {
                 if !alive.get() {
                     // Dead daemon: drop the request (client sees a reset).
+                    dropped.inc();
                     continue;
                 }
+                requests.inc();
+                let t0 = h2.now();
                 let (req, _src, replier) = incoming.into_parts();
                 let touched = match &req.0 {
                     Command::Store { data, .. } => data.len(),
@@ -146,6 +170,7 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
                     _ => 0,
                 };
                 h2.sleep(costs.service_time(touched + resp_touched)).await;
+                service_ns.record_duration(h2.now().since(t0));
                 replier.reply(McdResp(resp));
             }
         });
@@ -155,7 +180,134 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
         service,
         server,
         alive,
+        registry,
     }
+}
+
+/// The MCD bank as an owned, administrable unit.
+///
+/// Owning the daemons through one handle replaces the old loose
+/// `Vec<McdNode>` + free-function style: failure injection goes through
+/// [`Bank::kill`] / [`Bank::revive`] (which also maintain the
+/// `mcd_failovers` / `mcd_revivals` metrics), aggregation through
+/// [`Bank::stats`], and consumers connect with [`Bank::client`].
+pub struct Bank {
+    nodes: Vec<McdNode>,
+    registry: Registry,
+    mcd_failovers: Counter,
+    mcd_revivals: Counter,
+}
+
+impl Bank {
+    /// Spin up `count` daemons on fresh fabric nodes.
+    pub fn start(net: &Network, count: usize, cfg: &McConfig, costs: &McdCosts) -> Bank {
+        Bank::from_nodes(
+            (0..count)
+                .map(|_| {
+                    let node = net.add_node();
+                    start_mcd(net, node, cfg.clone(), costs.clone())
+                })
+                .collect(),
+        )
+    }
+
+    /// Adopt already-running daemons (custom placement).
+    pub fn from_nodes(nodes: Vec<McdNode>) -> Bank {
+        let registry = Registry::new();
+        Bank {
+            nodes,
+            mcd_failovers: registry.counter("mcd_failovers"),
+            mcd_revivals: registry.counter("mcd_revivals"),
+            registry,
+        }
+    }
+
+    /// The daemons, in bank order (index = routing slot).
+    pub fn nodes(&self) -> &[McdNode] {
+        &self.nodes
+    }
+
+    /// Number of daemons in the bank.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the bank has no daemons.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Kill daemon `i`: it stops answering; in-flight requests are
+    /// dropped. Stored items stay in memory (they are unreachable until
+    /// revival, like a partitioned daemon). Counts one failover on the
+    /// alive→dead transition.
+    pub fn kill(&self, i: usize) {
+        if self.nodes[i].alive.replace(false) {
+            self.mcd_failovers.inc();
+        }
+    }
+
+    /// Revive daemon `i`. The daemon restarts *empty*, as a crashed
+    /// memcached would — rejoining with old memory intact is the
+    /// stale-resurfacing hazard [`BankClient`]'s routing exists to avoid.
+    pub fn revive(&self, i: usize) {
+        let node = &self.nodes[i];
+        node.server.store().flush_all();
+        if !node.alive.replace(true) {
+            self.mcd_revivals.inc();
+        }
+    }
+
+    /// Daemons killed through this handle so far (dead→alive transitions
+    /// not counted back).
+    pub fn failovers(&self) -> u64 {
+        self.mcd_failovers.get()
+    }
+
+    /// Sum daemon-side stats across the bank ("statistics from the MCDs",
+    /// §5.2).
+    pub fn stats(&self) -> McStats {
+        sum_mcd_stats(&self.nodes)
+    }
+
+    /// Connect a consumer at `from` to every daemon. `transport`
+    /// optionally overrides the fabric default (RDMA ablation).
+    pub fn client(
+        &self,
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+    ) -> BankClient {
+        BankClient::connect(&self.nodes, from, selector, transport)
+    }
+}
+
+impl MetricSource for Bank {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.collect(&prefixed(prefix, &format!("mcd.{i}")), snap);
+        }
+    }
+}
+
+fn sum_mcd_stats(nodes: &[McdNode]) -> McStats {
+    let mut total = McStats::default();
+    for n in nodes {
+        let s = n.stats();
+        total.cmd_get += s.cmd_get;
+        total.cmd_set += s.cmd_set;
+        total.get_hits += s.get_hits;
+        total.get_misses += s.get_misses;
+        total.evictions += s.evictions;
+        total.expired += s.expired;
+        total.curr_items += s.curr_items;
+        total.bytes += s.bytes;
+        total.total_items += s.total_items;
+        total.allocated_bytes += s.allocated_bytes;
+        total.limit_maxbytes += s.limit_maxbytes;
+    }
+    total
 }
 
 /// Aggregated client-observed counters for a [`BankClient`].
@@ -180,7 +332,16 @@ pub struct BankClient {
     clients: Vec<RpcClient<McdReq, McdResp>>,
     core: RefCell<ClientCore>,
     alive: Vec<Rc<Cell<bool>>>,
-    stats: RefCell<BankStats>,
+    handle: SimHandle,
+    registry: Registry,
+    gets: Counter,
+    hits: Counter,
+    misses: Counter,
+    sets: Counter,
+    deletes: Counter,
+    failures: Counter,
+    /// Client-observed round-trip per completed get, virtual ns.
+    get_ns: Histogram,
 }
 
 impl BankClient {
@@ -195,18 +356,28 @@ impl BankClient {
         transport: Option<Transport>,
     ) -> BankClient {
         assert!(!nodes.is_empty(), "bank needs at least one MCD");
-        let clients = nodes
+        let clients: Vec<_> = nodes
             .iter()
             .map(|n| match &transport {
                 Some(t) => n.service.client_with_transport(from, t.clone()),
                 None => n.service.client(from),
             })
             .collect();
+        let handle = nodes[0].service.network().handle();
+        let registry = Registry::new();
         BankClient {
             clients,
             core: RefCell::new(ClientCore::new(selector, nodes.len())),
             alive: nodes.iter().map(|n| Rc::clone(&n.alive)).collect(),
-            stats: RefCell::new(BankStats::default()),
+            handle,
+            gets: registry.counter("gets"),
+            hits: registry.counter("hits"),
+            misses: registry.counter("misses"),
+            sets: registry.counter("sets"),
+            deletes: registry.counter("deletes"),
+            failures: registry.counter("failures"),
+            get_ns: registry.histogram("get_ns"),
+            registry,
         }
     }
 
@@ -215,9 +386,16 @@ impl BankClient {
         self.clients.len()
     }
 
-    /// Client-observed counters.
+    /// Client-observed counters (a derived view over the metric registry).
     pub fn stats(&self) -> BankStats {
-        *self.stats.borrow()
+        BankStats {
+            gets: self.gets.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            sets: self.sets.get(),
+            deletes: self.deletes.get(),
+            failures: self.failures.get(),
+        }
     }
 
     /// Keep the router's liveness view in sync with the actual daemons
@@ -247,29 +425,32 @@ impl BankClient {
 
     /// Fetch one value. `hint` is the block index for modulo distribution.
     pub async fn get(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
-        self.stats.borrow_mut().gets += 1;
+        self.gets.inc();
         let Some(idx) = self.route(key, hint) else {
-            self.stats.borrow_mut().misses += 1;
+            self.misses.inc();
             return None;
         };
         let req = McdReq(Command::Get {
             keys: vec![key.to_vec()],
             with_cas: false,
         });
-        match self.clients[idx].try_call(req).await {
+        let t0 = self.handle.now();
+        let resp = self.clients[idx].try_call(req).await;
+        match resp {
             Some(McdResp(Some(Response::Values(mut vals)))) if !vals.is_empty() => {
-                self.stats.borrow_mut().hits += 1;
+                self.get_ns.record_duration(self.handle.now().since(t0));
+                self.hits.inc();
                 Some(vals.remove(0).data)
             }
             Some(_) => {
-                self.stats.borrow_mut().misses += 1;
+                self.get_ns.record_duration(self.handle.now().since(t0));
+                self.misses.inc();
                 None
             }
             None => {
                 // Daemon died mid-flight: treat as a miss and avoid it.
-                let mut s = self.stats.borrow_mut();
-                s.failures += 1;
-                s.misses += 1;
+                self.failures.inc();
+                self.misses.inc();
                 self.core.borrow_mut().mark_dead(idx);
                 None
             }
@@ -278,7 +459,7 @@ impl BankClient {
 
     /// Store one value.
     pub async fn set(&self, key: &[u8], value: Bytes, hint: Option<u64>) {
-        self.stats.borrow_mut().sets += 1;
+        self.sets.inc();
         let Some(idx) = self.route(key, hint) else {
             return;
         };
@@ -291,14 +472,14 @@ impl BankClient {
             noreply: false,
         });
         if self.clients[idx].try_call(req).await.is_none() {
-            self.stats.borrow_mut().failures += 1;
+            self.failures.inc();
             self.core.borrow_mut().mark_dead(idx);
         }
     }
 
     /// Remove one key.
     pub async fn delete(&self, key: &[u8], hint: Option<u64>) {
-        self.stats.borrow_mut().deletes += 1;
+        self.deletes.inc();
         let Some(idx) = self.route(key, hint) else {
             return;
         };
@@ -307,28 +488,35 @@ impl BankClient {
             noreply: false,
         });
         if self.clients[idx].try_call(req).await.is_none() {
-            self.stats.borrow_mut().failures += 1;
+            self.failures.inc();
             self.core.borrow_mut().mark_dead(idx);
         }
     }
 }
 
+impl MetricSource for BankClient {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+    }
+}
+
 /// Kill a daemon: it stops answering; in-flight requests are dropped.
-/// Stored items stay in memory (they are unreachable until revival, like a
-/// partitioned daemon).
+///
+/// Deprecated: does not maintain the bank's `mcd_failovers` metric.
+#[deprecated(since = "0.2.0", note = "use `Bank::kill` on the owning `Bank` handle")]
 pub fn kill_mcd(node: &McdNode) {
     node.alive.set(false);
 }
 
-/// Revive a previously killed daemon. The daemon restarts *empty*, as a
-/// crashed memcached would — rejoining with old memory intact is the
-/// stale-resurfacing hazard [`BankClient`]'s routing exists to avoid.
+/// Revive a previously killed daemon (restarts empty).
+#[deprecated(since = "0.2.0", note = "use `Bank::revive` on the owning `Bank` handle")]
 pub fn revive_mcd(node: &McdNode) {
     node.server.store().flush_all();
     node.alive.set(true);
 }
 
-/// Convenience: spin up a whole bank on fresh fabric nodes.
+/// Spin up a whole bank on fresh fabric nodes as loose nodes.
+#[deprecated(since = "0.2.0", note = "use `Bank::start`, which owns its daemons")]
 pub fn start_bank(
     net: &Network,
     count: usize,
@@ -343,24 +531,10 @@ pub fn start_bank(
         .collect()
 }
 
-/// Sum daemon-side stats across a bank ("statistics from the MCDs", §5.2).
+/// Sum daemon-side stats across a bank.
+#[deprecated(since = "0.2.0", note = "use `Bank::stats`")]
 pub fn bank_stats(nodes: &[McdNode]) -> McStats {
-    let mut total = McStats::default();
-    for n in nodes {
-        let s = n.stats();
-        total.cmd_get += s.cmd_get;
-        total.cmd_set += s.cmd_set;
-        total.get_hits += s.get_hits;
-        total.get_misses += s.get_misses;
-        total.evictions += s.evictions;
-        total.expired += s.expired;
-        total.curr_items += s.curr_items;
-        total.bytes += s.bytes;
-        total.total_items += s.total_items;
-        total.allocated_bytes += s.allocated_bytes;
-        total.limit_maxbytes += s.limit_maxbytes;
-    }
-    total
+    sum_mcd_stats(nodes)
 }
 
 #[cfg(test)]
@@ -368,39 +542,43 @@ mod tests {
     use super::*;
     use imca_sim::Sim;
 
-    fn setup(sim: &Sim, n: usize) -> (Network, Vec<McdNode>, BankClient) {
+    fn setup(sim: &Sim, n: usize) -> (Network, Rc<Bank>, BankClient) {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, n, &McConfig::default(), &McdCosts::default());
+        let bank = Rc::new(Bank::start(&net, n, &McConfig::default(), &McdCosts::default()));
         let client_node = net.add_node();
-        let bank = BankClient::connect(&nodes, client_node, Selector::Crc32, None);
-        (net, nodes, bank)
+        let client = bank.client(client_node, Selector::Crc32, None);
+        (net, bank, client)
     }
 
     #[test]
     fn set_get_across_the_bank() {
         let mut sim = Sim::new(0);
-        let (_net, nodes, bank) = setup(&sim, 4);
-        let bank = Rc::new(bank);
-        let b2 = Rc::clone(&bank);
+        let (_net, bank, client) = setup(&sim, 4);
+        let client = Rc::new(client);
+        let c2 = Rc::clone(&client);
         sim.spawn(async move {
             for i in 0..100u64 {
                 let key = format!("/f/{i}:stat");
-                b2.set(key.as_bytes(), Bytes::from(vec![i as u8; 24]), None).await;
+                c2.set(key.as_bytes(), Bytes::from(vec![i as u8; 24]), None).await;
             }
             for i in 0..100u64 {
                 let key = format!("/f/{i}:stat");
-                let v = b2.get(key.as_bytes(), None).await.unwrap();
+                let v = c2.get(key.as_bytes(), None).await.unwrap();
                 assert_eq!(v, vec![i as u8; 24]);
             }
         });
         sim.run();
-        let s = bank.stats();
+        let s = client.stats();
         assert_eq!((s.gets, s.hits, s.misses, s.sets), (100, 100, 0, 100));
         // Items spread across multiple daemons.
-        let occupied = nodes.iter().filter(|n| n.stats().curr_items > 0).count();
+        let occupied = bank
+            .nodes()
+            .iter()
+            .filter(|n| n.stats().curr_items > 0)
+            .count();
         assert!(occupied >= 2, "occupied={occupied}");
         // Daemon-side totals agree with the client's view.
-        let agg = bank_stats(&nodes);
+        let agg = bank.stats();
         assert_eq!(agg.get_hits, 100);
         assert_eq!(agg.curr_items, 100);
     }
@@ -408,18 +586,18 @@ mod tests {
     #[test]
     fn miss_and_delete_paths() {
         let mut sim = Sim::new(0);
-        let (_net, _nodes, bank) = setup(&sim, 2);
-        let bank = Rc::new(bank);
-        let b2 = Rc::clone(&bank);
+        let (_net, _bank, client) = setup(&sim, 2);
+        let client = Rc::new(client);
+        let c2 = Rc::clone(&client);
         sim.spawn(async move {
-            assert!(b2.get(b"/nothing:stat", None).await.is_none());
-            b2.set(b"/x:0", Bytes::from_static(b"data"), Some(0)).await;
-            assert!(b2.get(b"/x:0", Some(0)).await.is_some());
-            b2.delete(b"/x:0", Some(0)).await;
-            assert!(b2.get(b"/x:0", Some(0)).await.is_none());
+            assert!(c2.get(b"/nothing:stat", None).await.is_none());
+            c2.set(b"/x:0", Bytes::from_static(b"data"), Some(0)).await;
+            assert!(c2.get(b"/x:0", Some(0)).await.is_some());
+            c2.delete(b"/x:0", Some(0)).await;
+            assert!(c2.get(b"/x:0", Some(0)).await.is_none());
         });
         sim.run();
-        let s = bank.stats();
+        let s = client.stats();
         assert_eq!(s.misses, 2);
         assert_eq!(s.deletes, 1);
     }
@@ -429,85 +607,141 @@ mod tests {
         let mut sim = Sim::new(0);
         // Modulo routing so hints pin keys to known daemons: hint 0 → MCD 0.
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
-        let bank = BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None);
-        let bank = Rc::new(bank);
-        let nodes = Rc::new(nodes);
+        let bank = Rc::new(Bank::start(&net, 2, &McConfig::default(), &McdCosts::default()));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
         let b2 = Rc::clone(&bank);
-        let n2 = Rc::clone(&nodes);
         sim.spawn(async move {
-            b2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
-            assert!(b2.get(b"/k:0", Some(0)).await.is_some());
-            kill_mcd(&n2[0]);
+            c2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+            assert!(c2.get(b"/k:0", Some(0)).await.is_some());
+            b2.kill(0);
             // Dead primary: miss — no rehash to the survivor (stale-data
             // hazard, see BankClient::route).
-            assert!(b2.get(b"/k:0", Some(0)).await.is_none());
+            assert!(c2.get(b"/k:0", Some(0)).await.is_none());
             // Keys homed on the survivor are unaffected.
-            b2.set(b"/k:1", Bytes::from_static(b"w"), Some(1)).await;
-            assert!(b2.get(b"/k:1", Some(1)).await.is_some());
+            c2.set(b"/k:1", Bytes::from_static(b"w"), Some(1)).await;
+            assert!(c2.get(b"/k:1", Some(1)).await.is_some());
             // Sets to the dead primary are skipped, not redirected.
-            b2.set(b"/k2:0", Bytes::from_static(b"x"), Some(0)).await;
-            assert_eq!(n2[1].stats().curr_items, 1, "set must not rehash");
-            revive_mcd(&n2[0]);
+            c2.set(b"/k2:0", Bytes::from_static(b"x"), Some(0)).await;
+            assert_eq!(b2.nodes()[1].stats().curr_items, 1, "set must not rehash");
+            b2.revive(0);
             // A revived daemon restarts empty: still a miss, never stale.
-            assert!(b2.get(b"/k:0", Some(0)).await.is_none());
+            assert!(c2.get(b"/k:0", Some(0)).await.is_none());
             // And accepts fresh traffic again.
-            b2.set(b"/k:0", Bytes::from_static(b"v2"), Some(0)).await;
+            c2.set(b"/k:0", Bytes::from_static(b"v2"), Some(0)).await;
             assert_eq!(
-                b2.get(b"/k:0", Some(0)).await,
+                c2.get(b"/k:0", Some(0)).await,
                 Some(Bytes::from_static(b"v2"))
             );
         });
         sim.run();
-        assert!(nodes[1].is_alive());
+        assert!(bank.nodes()[1].is_alive());
+        assert_eq!(bank.failovers(), 1);
     }
 
     #[test]
     fn kill_mid_flight_counts_a_failure() {
         let mut sim = Sim::new(0);
-        let (net, nodes, bank) = setup(&sim, 1);
-        let bank = Rc::new(bank);
-        let nodes = Rc::new(nodes);
+        let (net, bank, client) = setup(&sim, 1);
+        let client = Rc::new(client);
         let h = net.handle();
         {
-            let b = Rc::clone(&bank);
+            let c = Rc::clone(&client);
             sim.spawn(async move {
-                b.set(b"/k:0", Bytes::from_static(b"v"), None).await;
+                c.set(b"/k:0", Bytes::from_static(b"v"), None).await;
                 // This get will be in flight when the daemon dies.
-                let r = b.get(b"/k:0", None).await;
+                let r = c.get(b"/k:0", None).await;
                 assert!(r.is_none());
             });
         }
         {
-            let n = Rc::clone(&nodes);
+            let b = Rc::clone(&bank);
             sim.spawn(async move {
                 // Let the set land, then kill during the get's network leg.
                 h.sleep(SimDuration::micros(60)).await;
-                kill_mcd(&n[0]);
+                b.kill(0);
             });
         }
         sim.run();
-        assert_eq!(bank.stats().failures, 1);
+        assert_eq!(client.stats().failures, 1);
+        assert_eq!(bank.failovers(), 1);
     }
 
     #[test]
     fn modulo_selector_round_robins_blocks() {
         let mut sim = Sim::new(0);
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, 4, &McConfig::default(), &McdCosts::default());
-        let bank = BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None);
-        let bank = Rc::new(bank);
-        let b2 = Rc::clone(&bank);
+        let bank = Rc::new(Bank::start(&net, 4, &McConfig::default(), &McdCosts::default()));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
         sim.spawn(async move {
             for blk in 0..16u64 {
                 let key = format!("/file:{}", blk * 2048);
-                b2.set(key.as_bytes(), Bytes::from_static(b"B"), Some(blk)).await;
+                c2.set(key.as_bytes(), Bytes::from_static(b"B"), Some(blk)).await;
             }
         });
         sim.run();
         // Perfectly even distribution: 4 items per daemon.
-        for n in &nodes {
+        for n in bank.nodes() {
             assert_eq!(n.stats().curr_items, 4);
         }
+    }
+
+    #[test]
+    fn bank_metrics_mirror_legacy_stats() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = setup(&sim, 2);
+        let client = Rc::new(client);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            for i in 0..20u64 {
+                let key = format!("/m/{i}:stat");
+                c2.set(key.as_bytes(), Bytes::from(vec![1u8; 32]), None).await;
+            }
+            for i in 0..25u64 {
+                let key = format!("/m/{i}:stat");
+                c2.get(key.as_bytes(), None).await;
+            }
+        });
+        sim.run();
+        // Client view: the registry and the BankStats struct are the same
+        // atomics, so the snapshot must agree exactly.
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        let s = client.stats();
+        assert_eq!(snap.counter("bank.gets"), Some(s.gets));
+        assert_eq!(snap.counter("bank.hits"), Some(s.hits));
+        assert_eq!(snap.counter("bank.misses"), Some(s.misses));
+        assert_eq!(snap.counter("bank.sets"), Some(s.sets));
+        let hist = snap.histogram("bank.get_ns").expect("get latency histogram");
+        assert_eq!(hist.count, s.gets, "every routed get records a latency");
+        assert!(hist.mean() > 0.0);
+        // Daemon view: summed store counters equal the aggregate stats.
+        let snap = imca_metrics::collect_from(&*bank, "");
+        let agg = bank.stats();
+        assert_eq!(snap.counter_sum(".store.cmd_get"), agg.cmd_get);
+        assert_eq!(snap.counter_sum(".store.get_hits"), agg.get_hits);
+        assert!(snap.histogram_names().iter().any(|n| n.ends_with("service_ns")));
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let client = Rc::new(BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None));
+        let nodes = Rc::new(nodes);
+        let c2 = Rc::clone(&client);
+        let n2 = Rc::clone(&nodes);
+        sim.spawn(async move {
+            c2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+            kill_mcd(&n2[0]);
+            assert!(c2.get(b"/k:0", Some(0)).await.is_none());
+            revive_mcd(&n2[0]);
+            c2.set(b"/k:0", Bytes::from_static(b"w"), Some(0)).await;
+            assert!(c2.get(b"/k:0", Some(0)).await.is_some());
+        });
+        sim.run();
+        assert_eq!(bank_stats(&nodes).cmd_set, 2);
     }
 }

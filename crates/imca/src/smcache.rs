@@ -27,6 +27,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_metrics::{prefixed, Counter, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Queue;
 use imca_sim::{join_all, SimHandle};
 
@@ -73,7 +74,11 @@ pub struct SmCache {
     threaded: bool,
     jobs: Queue<Job>,
     populated: RefCell<HashMap<String, BTreeSet<u64>>>,
-    stats: RefCell<SmStats>,
+    registry: Registry,
+    blocks_pushed: Counter,
+    stat_pushes: Counter,
+    purges: Counter,
+    deferred_jobs: Counter,
 }
 
 impl SmCache {
@@ -87,6 +92,7 @@ impl SmCache {
         threaded_updates: bool,
     ) -> Rc<SmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
+        let registry = Registry::new();
         let sm = Rc::new(SmCache {
             child,
             bank,
@@ -95,7 +101,11 @@ impl SmCache {
             threaded: threaded_updates,
             jobs: Queue::new(),
             populated: RefCell::new(HashMap::new()),
-            stats: RefCell::new(SmStats::default()),
+            blocks_pushed: registry.counter("blocks_pushed"),
+            stat_pushes: registry.counter("stat_pushes"),
+            purges: registry.counter("purges"),
+            deferred_jobs: registry.counter("deferred_jobs"),
+            registry,
         });
         if threaded_updates {
             // "Using an additional thread to update the MCDs at the server
@@ -110,9 +120,15 @@ impl SmCache {
         sm
     }
 
-    /// Cache-maintenance counters.
+    /// Cache-maintenance counters (a derived view over the metric
+    /// registry).
     pub fn stats(&self) -> SmStats {
-        *self.stats.borrow()
+        SmStats {
+            blocks_pushed: self.blocks_pushed.get(),
+            stat_pushes: self.stat_pushes.get(),
+            purges: self.purges.get(),
+            deferred_jobs: self.deferred_jobs.get(),
+        }
     }
 
     /// Number of block keys currently tracked for `path`.
@@ -160,7 +176,7 @@ impl SmCache {
         }
         let n = sets.len() as u64;
         join_all(&self.handle, sets).await;
-        self.stats.borrow_mut().blocks_pushed += n;
+        self.blocks_pushed.add(n);
         let mut populated = self.populated.borrow_mut();
         let entry = populated.entry(path.to_string()).or_default();
         for b in &blocks {
@@ -196,7 +212,7 @@ impl SmCache {
         self.bank
             .set(&stat_key(path), Bytes::from(st.to_bytes()), None)
             .await;
-        self.stats.borrow_mut().stat_pushes += 1;
+        self.stat_pushes.inc();
     }
 
     /// Remove every entry SMCache has pushed for `path` (open/close/unlink
@@ -223,7 +239,19 @@ impl SmCache {
             deletes.push(Box::pin(async move { bank.delete(&key, Some(hint)).await }));
         }
         join_all(&self.handle, deletes).await;
-        self.stats.borrow_mut().purges += 1;
+        self.purges.inc();
+    }
+}
+
+impl MetricSource for SmCache {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        snap.set_gauge(
+            prefixed(prefix, "tracked_files"),
+            self.populated.borrow().len() as i64,
+        );
+        snap.set_gauge(prefixed(prefix, "queued_jobs"), self.jobs.len() as i64);
+        self.bank.collect(&prefixed(prefix, "bank"), snap);
     }
 }
 
@@ -276,7 +304,7 @@ impl Translator for SmCache {
                                 Vec::new()
                             };
                             if self.threaded {
-                                self.stats.borrow_mut().deferred_jobs += 1;
+                                self.deferred_jobs.inc();
                                 self.jobs.push(Job::PopulateData {
                                     path,
                                     aligned_offset: aoff,
@@ -302,7 +330,7 @@ impl Translator for SmCache {
                         .await;
                     if matches!(reply, FopReply::Write(Ok(_))) {
                         if self.threaded {
-                            self.stats.borrow_mut().deferred_jobs += 1;
+                            self.deferred_jobs.inc();
                             self.jobs.push(Job::PopulateRange { path, offset, len });
                         } else {
                             self.populate_range(&path, offset, len).await;
@@ -332,7 +360,7 @@ impl Translator for SmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mcd::{start_bank, McdCosts};
+    use crate::mcd::{Bank, McdCosts};
     use imca_fabric::{Network, Transport};
     use imca_glusterfs::Posix;
     use imca_memcached::{McConfig, Selector};
@@ -346,14 +374,9 @@ mod tests {
 
     fn setup(sim: &Sim, threaded: bool) -> Rig {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
         let server_node = net.add_node();
-        let bank = Rc::new(BankClient::connect(
-            &nodes,
-            server_node,
-            Selector::Crc32,
-            None,
-        ));
+        let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
         let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
         let posix = Posix::new(be);
         let sm = SmCache::new(
@@ -364,7 +387,7 @@ mod tests {
             threaded,
         );
         sim.handle().spawn(async move {
-            let _keepalive = nodes;
+            let _keepalive = mcds;
             std::future::pending::<()>().await;
         });
         Rig { sm, bank }

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
+use imca_metrics::{Counter, Gauge, MetricSource, Registry, Snapshot};
 use parking_lot::Mutex;
 
 /// Hard caps from the real daemon (§2.2): values up to 1 MB, keys up to
@@ -159,6 +160,45 @@ struct Item {
     seq: u64,
 }
 
+/// Registry-backed live counters behind [`McStats`]. The `stats` command
+/// and the metrics snapshot read the same underlying values.
+struct McMetrics {
+    registry: Registry,
+    cmd_get: Counter,
+    cmd_set: Counter,
+    get_hits: Counter,
+    get_misses: Counter,
+    evictions: Counter,
+    expired: Counter,
+    total_items: Counter,
+    bytes: Gauge,
+    curr_items: Gauge,
+    allocated_bytes: Gauge,
+    limit_maxbytes: Gauge,
+}
+
+impl McMetrics {
+    fn new(limit_maxbytes: u64) -> McMetrics {
+        let registry = Registry::new();
+        let m = McMetrics {
+            cmd_get: registry.counter("cmd_get"),
+            cmd_set: registry.counter("cmd_set"),
+            get_hits: registry.counter("get_hits"),
+            get_misses: registry.counter("get_misses"),
+            evictions: registry.counter("evictions"),
+            expired: registry.counter("expired"),
+            total_items: registry.counter("total_items"),
+            bytes: registry.gauge("bytes"),
+            curr_items: registry.gauge("curr_items"),
+            allocated_bytes: registry.gauge("allocated_bytes"),
+            limit_maxbytes: registry.gauge("limit_maxbytes"),
+            registry,
+        };
+        m.limit_maxbytes.set(limit_maxbytes as i64);
+        m
+    }
+}
+
 struct StoreInner {
     cfg: McConfig,
     classes: Vec<SlabClass>,
@@ -168,7 +208,16 @@ struct StoreInner {
     next_seq: u64,
     next_cas: u64,
     allocated: u64,
-    stats: McStats,
+    metrics: McMetrics,
+}
+
+impl StoreInner {
+    /// Push the derived gauges (recomputed rather than incrementally
+    /// maintained) into the registry before it is read.
+    fn refresh_gauges(&self) {
+        self.metrics.curr_items.set(self.items.len() as i64);
+        self.metrics.allocated_bytes.set(self.allocated as i64);
+    }
 }
 
 /// A memcached instance. Thread-safe: wrap in `Arc` for native concurrent
@@ -222,10 +271,7 @@ impl Memcached {
                 next_seq: 0,
                 next_cas: 1,
                 allocated: 0,
-                stats: McStats {
-                    limit_maxbytes: limit,
-                    ..McStats::default()
-                },
+                metrics: McMetrics::new(limit),
             }),
         }
     }
@@ -246,7 +292,7 @@ impl Memcached {
     ) -> Result<(), McError> {
         valid_key(key)?;
         let mut g = self.inner.lock();
-        g.stats.cmd_set += 1;
+        g.metrics.cmd_set.inc();
         g.store(key, value, flags, expire_at, now)
     }
 
@@ -262,7 +308,7 @@ impl Memcached {
     ) -> Result<bool, McError> {
         valid_key(key)?;
         let mut g = self.inner.lock();
-        g.stats.cmd_set += 1;
+        g.metrics.cmd_set.inc();
         if g.live_item(key, now) {
             return Ok(false);
         }
@@ -280,7 +326,7 @@ impl Memcached {
     ) -> Result<bool, McError> {
         valid_key(key)?;
         let mut g = self.inner.lock();
-        g.stats.cmd_set += 1;
+        g.metrics.cmd_set.inc();
         if !g.live_item(key, now) {
             return Ok(false);
         }
@@ -300,7 +346,7 @@ impl Memcached {
     fn concat(&self, key: &[u8], extra: &[u8], now: u64, front: bool) -> Result<bool, McError> {
         valid_key(key)?;
         let mut g = self.inner.lock();
-        g.stats.cmd_set += 1;
+        g.metrics.cmd_set.inc();
         if !g.live_item(key, now) {
             return Ok(false);
         }
@@ -321,12 +367,12 @@ impl Memcached {
     /// Fetch `key`, applying lazy expiration.
     pub fn get(&self, key: &[u8], now: u64) -> Option<GetValue> {
         let mut g = self.inner.lock();
-        g.stats.cmd_get += 1;
+        g.metrics.cmd_get.inc();
         if !g.live_item(key, now) {
-            g.stats.get_misses += 1;
+            g.metrics.get_misses.inc();
             return None;
         }
-        g.stats.get_hits += 1;
+        g.metrics.get_hits.inc();
         let seq = g.bump_seq();
         let item = g.items.get_mut(key).expect("live_item verified presence");
         let old_seq = item.seq;
@@ -398,7 +444,7 @@ impl Memcached {
     ) -> Result<CasResult, McError> {
         valid_key(key)?;
         let mut g = self.inner.lock();
-        g.stats.cmd_set += 1;
+        g.metrics.cmd_set.inc();
         if !g.live_item(key, now) {
             return Ok(CasResult::NotFound);
         }
@@ -429,13 +475,34 @@ impl Memcached {
         }
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot — a view over the same registry
+    /// counters the metrics snapshot reports.
     pub fn stats(&self) -> McStats {
-        let mut g = self.inner.lock();
-        let allocated = g.allocated;
-        g.stats.allocated_bytes = allocated;
-        g.stats.curr_items = g.items.len() as u64;
-        g.stats
+        let g = self.inner.lock();
+        g.refresh_gauges();
+        let m = &g.metrics;
+        McStats {
+            cmd_get: m.cmd_get.get(),
+            cmd_set: m.cmd_set.get(),
+            get_hits: m.get_hits.get(),
+            get_misses: m.get_misses.get(),
+            evictions: m.evictions.get(),
+            expired: m.expired.get(),
+            curr_items: m.curr_items.get() as u64,
+            bytes: m.bytes.get() as u64,
+            total_items: m.total_items.get(),
+            allocated_bytes: m.allocated_bytes.get() as u64,
+            limit_maxbytes: m.limit_maxbytes.get() as u64,
+        }
+    }
+
+    /// The store's metric registry (`cmd_get`, `get_hits`, `bytes`, ...).
+    /// Derived gauges are refreshed lazily — call [`Memcached::stats`] or
+    /// collect through [`MetricSource`] to get current values.
+    pub fn registry(&self) -> Registry {
+        let g = self.inner.lock();
+        g.refresh_gauges();
+        g.metrics.registry.clone()
     }
 
     /// Number of items currently stored.
@@ -451,6 +518,14 @@ impl Memcached {
     /// Chunk sizes of the slab classes (for inspection/tests).
     pub fn class_sizes(&self) -> Vec<usize> {
         self.inner.lock().classes.iter().map(|c| c.chunk_size).collect()
+    }
+}
+
+impl MetricSource for Memcached {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        let g = self.inner.lock();
+        g.refresh_gauges();
+        g.metrics.registry.collect(prefix, snap);
     }
 }
 
@@ -482,9 +557,9 @@ impl StoreInner {
         if let Some(item) = self.items.remove(key) {
             self.lru[item.class].remove(&item.seq);
             self.classes[item.class].free_chunks += 1;
-            self.stats.bytes -= (key.len() + item.value.len() + ITEM_OVERHEAD) as u64;
+            self.metrics.bytes.sub((key.len() + item.value.len() + ITEM_OVERHEAD) as i64);
             if expired {
-                self.stats.expired += 1;
+                self.metrics.expired.inc();
             }
         }
     }
@@ -538,7 +613,7 @@ impl StoreInner {
                         .unwrap_or(false);
                     self.remove_item(&key, was_expired);
                     if !was_expired {
-                        self.stats.evictions += 1;
+                        self.metrics.evictions.inc();
                     }
                 }
                 None => return Err(McError::OutOfMemory),
@@ -567,8 +642,8 @@ impl StoreInner {
         let seq = self.bump_seq();
         let cas = self.next_cas;
         self.next_cas += 1;
-        self.stats.bytes += total as u64;
-        self.stats.total_items += 1;
+        self.metrics.bytes.add(total as i64);
+        self.metrics.total_items.inc();
         self.items.insert(
             key.to_vec(),
             Item {

@@ -1,0 +1,843 @@
+//! # imca-metrics — the unified observability layer
+//!
+//! One instrumentation API for every tier of the cache stack: a
+//! lightweight [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//! HDR-style latency [`Histogram`]s, a [`MetricSource`] trait components
+//! implement to expose their state, and a serialisable [`Snapshot`] the
+//! bench binaries dump as one structured JSON document per run.
+//!
+//! Metric names are hierarchical, dot-separated `tier.component.metric`
+//! paths (`imca.bank.get_hits`, `storage.disk.0.access_ns`,
+//! `fabric.rpc.call_ns`). Latency metrics carry the `_ns` suffix and are
+//! recorded in *virtual* nanoseconds — durations measured on `imca-sim`
+//! clocks — so distributions are exact and deterministic, not subject to
+//! host jitter.
+//!
+//! All primitives are atomic and cheap to clone, so the same types serve
+//! the single-threaded simulations and the natively threaded memcached
+//! daemon.
+//!
+//! ```
+//! use imca_metrics::{Registry, Snapshot};
+//! use imca_sim::SimDuration;
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("cache.hits");
+//! let lat = reg.histogram("cache.get_ns");
+//! hits.inc();
+//! lat.record_duration(SimDuration::micros(12));
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("cache.hits"), Some(1));
+//! let parsed = Snapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(parsed, snap);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use imca_sim::SimDuration;
+use parking_lot::Mutex;
+
+pub mod json;
+
+use json::{Json, JsonError};
+
+/// A shareable, atomically updated monotonic counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    n: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `k`.
+    #[inline]
+    pub fn add(&self, k: u64) {
+        self.n.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A shareable signed gauge (values that go up *and* down: resident items,
+/// allocated bytes, queue depths).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    n: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.n.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.n.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtract `d`.
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.n.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Sub-bucket precision bits: 2^3 = 8 linear sub-buckets per power of two,
+/// bounding the relative quantile error at 12.5%.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+/// 61 major buckets × 8 subs + the 8 exact low values.
+const NUM_BUCKETS: usize = (61 * SUBS + SUBS) as usize;
+
+/// Bucket index for a value: exact below [`SUBS`], then HDR-style
+/// log₂-major/linear-sub above it.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let major = msb - SUB_BITS as u64;
+    let sub = (v >> major) & (SUBS - 1);
+    ((major + 1) * SUBS + sub) as usize
+}
+
+/// Inclusive upper bound of bucket `idx` (what quantiles report).
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        return idx;
+    }
+    let major = idx / SUBS - 1;
+    let sub = idx % SUBS;
+    ((SUBS + sub) << major) + (1u64 << major) - 1
+}
+
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// An HDR-style latency histogram over (virtual-time) nanoseconds.
+///
+/// Values are bucketed with 8 linear sub-buckets per power of two
+/// (≤ 12.5% relative error), which is plenty for the order-of-magnitude
+/// latency distributions the experiments report, at a fixed ~4 KB per
+/// histogram. Recording is lock-free.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one raw observation (nanoseconds by convention).
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a virtual-time duration.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current state into a serialisable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let i = &self.inner;
+        let buckets: Vec<(u32, u64)> = i
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((idx as u32, n))
+            })
+            .collect();
+        let count = i.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: i.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                i.min.load(Ordering::Relaxed)
+            },
+            max: i.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "Histogram(count={}, mean={:.0}ns, p99={}ns)",
+            s.count,
+            s.mean(),
+            s.quantile(0.99)
+        )
+    }
+}
+
+/// Frozen histogram state: summary statistics plus the sparse non-empty
+/// buckets, so a parsed document can still answer quantile queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (ns).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (inclusive upper edge of the containing
+    /// bucket, clamped to the observed max). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(idx as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for &(idx, n) in &other.buckets {
+            *merged.entry(idx).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One metric's frozen value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Point-in-time gauge value.
+    Gauge(i64),
+    /// Latency distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen, ordered set of named metric values — the unit the bench
+/// binaries serialise to `results/*.json` and tests parse back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → frozen value, ordered by name for stable output.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Record a counter value under `name`.
+    pub fn set_counter(&mut self, name: impl Into<String>, v: u64) {
+        self.metrics.insert(name.into(), MetricValue::Counter(v));
+    }
+
+    /// Record a gauge value under `name`.
+    pub fn set_gauge(&mut self, name: impl Into<String>, v: i64) {
+        self.metrics.insert(name.into(), MetricValue::Gauge(v));
+    }
+
+    /// Record a histogram under `name`.
+    pub fn set_histogram(&mut self, name: impl Into<String>, h: HistogramSnapshot) {
+        self.metrics.insert(name.into(), MetricValue::Histogram(h));
+    }
+
+    /// Counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter whose name ends with `suffix` — aggregation
+    /// across instances (`mcd.0.store.get_hits` + `mcd.1.store.get_hits`).
+    pub fn counter_sum(&self, suffix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(n) => Some(*n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Sum of every gauge whose name ends with `suffix`.
+    pub fn gauge_sum(&self, suffix: &str) -> i64 {
+        self.metrics
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .filter_map(|(_, v)| match v {
+                MetricValue::Gauge(n) => Some(*n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Names of all histogram metrics, in order.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.metrics
+            .iter()
+            .filter(|(_, v)| matches!(v, MetricValue::Histogram(_)))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Copy every metric from `other` in under `prefix.`, composing
+    /// component snapshots into a deployment-wide document.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Snapshot) {
+        for (name, value) in &other.metrics {
+            let key = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            self.metrics.insert(key, value.clone());
+        }
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The snapshot as a [`Json`] document:
+    /// `{"metrics": {"<name>": {"type": ..., "value": ...}, ...}}`.
+    pub fn to_json_value(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let (kind, v) = match value {
+                    MetricValue::Counter(n) => ("counter", Json::Int(*n as i128)),
+                    MetricValue::Gauge(n) => ("gauge", Json::Int(*n as i128)),
+                    MetricValue::Histogram(h) => ("histogram", h.to_json_value()),
+                };
+                let body = Json::Obj(vec![
+                    ("type".into(), Json::Str(kind.into())),
+                    ("value".into(), v),
+                ]);
+                (name.clone(), body)
+            })
+            .collect();
+        Json::Obj(vec![("metrics".into(), Json::Obj(metrics))])
+    }
+
+    /// Serialise to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+
+    /// Parse a snapshot back from its JSON form.
+    pub fn from_json(s: &str) -> Result<Snapshot, JsonError> {
+        let doc = Json::parse(s)?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("missing \"metrics\" object"))?;
+        let mut snap = Snapshot::new();
+        for (name, body) in metrics {
+            let kind = body
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("metric missing \"type\""))?;
+            let value = body
+                .get("value")
+                .ok_or_else(|| bad("metric missing \"value\""))?;
+            match kind {
+                "counter" => snap.set_counter(
+                    name.clone(),
+                    value.as_u64().ok_or_else(|| bad("bad counter value"))?,
+                ),
+                "gauge" => snap.set_gauge(
+                    name.clone(),
+                    value.as_i64().ok_or_else(|| bad("bad gauge value"))?,
+                ),
+                "histogram" => {
+                    snap.set_histogram(name.clone(), HistogramSnapshot::from_json_value(value)?)
+                }
+                other => return Err(bad(format!("unknown metric type {other:?}"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> JsonError {
+    JsonError {
+        at: 0,
+        msg: msg.into(),
+    }
+}
+
+impl HistogramSnapshot {
+    /// This snapshot as a [`Json`] object.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Int(self.count as i128)),
+            ("sum".into(), Json::Int(self.sum as i128)),
+            ("min".into(), Json::Int(self.min as i128)),
+            ("max".into(), Json::Int(self.max as i128)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(idx, n)| {
+                            Json::Arr(vec![Json::Int(idx as i128), Json::Int(n as i128)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse back from the [`Json`] object form.
+    pub fn from_json_value(v: &Json) -> Result<HistogramSnapshot, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("histogram missing field {name:?}")))
+        };
+        let buckets = v
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("histogram missing \"buckets\""))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr().ok_or_else(|| bad("bucket is not a pair"))?;
+                match pair {
+                    [idx, n] => Ok((
+                        idx.as_u64().ok_or_else(|| bad("bad bucket index"))? as u32,
+                        n.as_u64().ok_or_else(|| bad("bad bucket count"))?,
+                    )),
+                    _ => Err(bad("bucket is not a pair")),
+                }
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(HistogramSnapshot {
+            count: field("count")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+            buckets,
+        })
+    }
+}
+
+/// Implemented by every component that exposes metrics. `collect` writes
+/// the component's current values into `snap`, naming each metric
+/// `<prefix>.<local name>`; enclosing structures supply the prefix
+/// (`tier.component.instance`), so one trait composes per-NIC counters and
+/// whole-cluster documents alike.
+pub trait MetricSource {
+    /// Append current metric values, named under `prefix`, into `snap`.
+    fn collect(&self, prefix: &str, snap: &mut Snapshot);
+}
+
+/// Join `prefix` and `name` with a dot, omitting the dot for an empty
+/// prefix — the naming convention every [`MetricSource`] follows.
+pub fn prefixed(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// Collect a single source into a fresh snapshot.
+pub fn collect_from(src: &dyn MetricSource, prefix: &str) -> Snapshot {
+    let mut snap = Snapshot::new();
+    src.collect(prefix, &mut snap);
+    snap
+}
+
+enum Metric {
+    C(Counter),
+    G(Gauge),
+    H(Histogram),
+}
+
+/// A named set of live metrics. Cloning is cheap and refers to the same
+/// registry; `counter`/`gauge`/`histogram` are get-or-create, so any
+/// holder of the registry can obtain a handle to the same metric by name.
+///
+/// Handles returned by the accessors are lock-free on the hot path; the
+/// registry lock is taken only at registration and snapshot time.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        let name = name.into();
+        let mut m = self.inner.lock();
+        match m.entry(name).or_insert_with(|| Metric::C(Counter::new())) {
+            Metric::C(c) => c.clone(),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: impl Into<String>) -> Gauge {
+        let name = name.into();
+        let mut m = self.inner.lock();
+        match m.entry(name).or_insert_with(|| Metric::G(Gauge::new())) {
+            Metric::G(g) => g.clone(),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: impl Into<String>) -> Histogram {
+        let name = name.into();
+        let mut m = self.inner.lock();
+        match m.entry(name).or_insert_with(|| Metric::H(Histogram::new())) {
+            Metric::H(h) => h.clone(),
+            _ => panic!("metric registered with a different kind"),
+        }
+    }
+
+    /// Freeze every registered metric into a snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        self.collect("", &mut snap);
+        snap
+    }
+}
+
+impl MetricSource for Registry {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        let m = self.inner.lock();
+        for (name, metric) in m.iter() {
+            let key = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            match metric {
+                Metric::C(c) => snap.set_counter(key, c.get()),
+                Metric::G(g) => snap.set_gauge(key, g.get()),
+                Metric::H(h) => snap.set_histogram(key, h.snapshot()),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.inner.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("a.hits");
+        let c2 = reg.counter("a.hits"); // same underlying counter
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("a.items");
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v / 2, (v - 1).max(1)] {
+                let idx = bucket_index(probe);
+                assert!(idx < NUM_BUCKETS, "v={probe} idx={idx}");
+                let _ = last;
+                last = idx;
+            }
+        }
+        // Upper bound is never below the values mapping into the bucket.
+        for v in [0u64, 1, 7, 8, 9, 100, 4096, 123_456_789, u64::MAX / 2] {
+            let up = bucket_upper(bucket_index(v));
+            assert!(up >= v, "v={v} upper={up}");
+            // …and within the 12.5% relative-error promise.
+            assert!(up - v <= v / 8 + 1, "v={v} upper={up}");
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for ns in [10u64, 20, 30] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let s = h.snapshot();
+        let q50 = s.quantile(0.5);
+        let q99 = s.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!((450..=570).contains(&q50), "q50={q50}");
+        assert!(q99 <= 1000, "q99={q99} clamped to max");
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa.count, 2);
+        assert_eq!(sa.min, 5);
+        assert_eq!(sa.max, 500);
+        assert_eq!(sa.sum, 505);
+    }
+
+    #[test]
+    fn registry_roundtrip_record_snapshot_json_parse() {
+        // The satellite-task round trip: record → snapshot → JSON → parse.
+        let reg = Registry::new();
+        reg.counter("imca.bank.gets").add(42);
+        reg.gauge("mcd.store.curr_items").set(17);
+        let h = reg.histogram("fabric.rpc.call_ns");
+        for ns in [900u64, 1100, 50_000, 2_000_000] {
+            h.record(ns);
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let parsed = Snapshot::from_json(&json).expect("parse back");
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.counter("imca.bank.gets"), Some(42));
+        assert_eq!(parsed.gauge("mcd.store.curr_items"), Some(17));
+        let hist = parsed.histogram("fabric.rpc.call_ns").unwrap();
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.max, 2_000_000);
+        // Quantiles still answerable after the round trip.
+        assert!(hist.quantile(0.5) >= 1100);
+        assert!(hist.quantile(1.0) <= 2_000_000);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_components() {
+        let reg = Registry::new();
+        reg.counter("store.get_hits").add(3);
+        let mut doc = Snapshot::new();
+        doc.merge_prefixed("mcd.0", &reg.snapshot());
+        doc.merge_prefixed("mcd.1", &reg.snapshot());
+        assert_eq!(doc.counter("mcd.0.store.get_hits"), Some(3));
+        assert_eq!(doc.counter_sum("store.get_hits"), 6);
+    }
+
+    #[test]
+    fn snapshot_accessors_distinguish_kinds() {
+        let mut snap = Snapshot::new();
+        snap.set_counter("a", 1);
+        snap.set_gauge("b", -1);
+        assert_eq!(snap.counter("a"), Some(1));
+        assert_eq!(snap.counter("b"), None);
+        assert_eq!(snap.gauge("b"), Some(-1));
+        assert!(snap.histogram("a").is_none());
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn record_duration_uses_virtual_nanos() {
+        let h = Histogram::new();
+        h.record_duration(SimDuration::micros(3));
+        assert_eq!(h.snapshot().max, 3_000);
+    }
+}

@@ -17,6 +17,7 @@
 use std::rc::Rc;
 
 use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
+use imca_metrics::{MetricSource, Snapshot};
 use imca_sim::sync::Resource;
 use imca_sim::{SimDuration, SimHandle};
 use imca_storage::{BackendParams, FileId, StorageBackend};
@@ -175,6 +176,16 @@ impl NfsCluster {
     /// The server's storage backend.
     pub fn backend(&self) -> &StorageBackend {
         &self.backend
+    }
+
+    /// One structured metrics snapshot covering the deployment's tiers
+    /// (`fabric.*` and `storage.*`), in the workspace-wide
+    /// `tier.component.metric` naming scheme.
+    pub fn metrics(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        self.net.collect("fabric", &mut snap);
+        self.backend.collect("storage", &mut snap);
+        snap
     }
 
     /// The simulation handle.

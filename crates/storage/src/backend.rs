@@ -9,6 +9,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::{prefixed, MetricSource, Snapshot};
 use imca_sim::{SimDuration, SimHandle};
 
 use crate::disk::DiskParams;
@@ -262,6 +263,12 @@ impl StorageBackend {
         self.inner.handle.clone()
     }
 
+    /// One snapshot covering the whole backend: per-spindle counters and
+    /// latency under `disk.<i>.*`, page-cache state under `pagecache.*`.
+    pub fn metrics(&self) -> Snapshot {
+        imca_metrics::collect_from(self, "")
+    }
+
     async fn flush_evicted(&self, evicted: Vec<crate::pagecache::Evicted>) {
         let page = self.inner.params.page_size;
         for ev in evicted {
@@ -297,6 +304,16 @@ impl StorageBackend {
                 .access(&self.inner.handle, base + idx * page, page, true)
                 .await;
         }
+    }
+}
+
+impl MetricSource for StorageBackend {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.inner.raid.collect(prefix, snap);
+        self.inner
+            .cache
+            .borrow()
+            .collect(&prefixed(prefix, "pagecache"), snap);
     }
 }
 

@@ -9,7 +9,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use imca_sim::stats::Counter;
+use imca_metrics::{Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
 use imca_sim::{SimDuration, SimHandle};
 
@@ -57,9 +57,12 @@ struct DiskInner {
     /// Byte address one past the end of the last completed request, used
     /// for sequential detection. Addresses are in a per-disk linear space.
     head_pos: Cell<u64>,
+    registry: Registry,
     reads: Counter,
     writes: Counter,
     sequential_hits: Counter,
+    /// Queueing + service latency per request, in virtual ns.
+    access_ns: Histogram,
 }
 
 /// One spindle. Cloning shares the spindle.
@@ -82,14 +85,17 @@ pub struct DiskStats {
 impl Disk {
     /// A disk with the given mechanical parameters.
     pub fn new(params: DiskParams) -> Disk {
+        let registry = Registry::new();
         Disk {
             inner: Rc::new(DiskInner {
                 params,
                 station: Resource::new(1),
                 head_pos: Cell::new(u64::MAX), // first access is never sequential
-                reads: Counter::new(),
-                writes: Counter::new(),
-                sequential_hits: Counter::new(),
+                reads: registry.counter("reads"),
+                writes: registry.counter("writes"),
+                sequential_hits: registry.counter("sequential_hits"),
+                access_ns: registry.histogram("access_ns"),
+                registry,
             }),
         }
     }
@@ -97,6 +103,7 @@ impl Disk {
     /// Perform an access of `bytes` at linear address `addr`, queueing
     /// behind other requests on this spindle.
     pub async fn access(&self, h: &SimHandle, addr: u64, bytes: u64, write: bool) {
+        let t0 = h.now();
         let guard = self.inner.station.acquire().await;
         let sequential = self.inner.head_pos.get() == addr;
         if sequential {
@@ -110,6 +117,7 @@ impl Disk {
         } else {
             self.inner.reads.inc();
         }
+        self.inner.access_ns.record_duration(h.now().since(t0));
         drop(guard);
     }
 
@@ -118,7 +126,8 @@ impl Disk {
         self.inner.station.queue_len()
     }
 
-    /// Operation counters.
+    /// Operation counters — a view over the same registry counters the
+    /// metrics snapshot reports.
     pub fn stats(&self) -> DiskStats {
         DiskStats {
             reads: self.inner.reads.get(),
@@ -130,6 +139,12 @@ impl Disk {
     /// The mechanical parameters of this disk.
     pub fn params(&self) -> &DiskParams {
         &self.inner.params
+    }
+}
+
+impl MetricSource for Disk {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.inner.registry.collect(prefix, snap);
     }
 }
 

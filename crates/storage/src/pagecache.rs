@@ -9,6 +9,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use imca_metrics::{prefixed, Counter, MetricSource, Registry, Snapshot};
+
 /// Identifies a file within one store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u64);
@@ -60,7 +62,10 @@ pub struct PageCache {
     lru: BTreeMap<u64, (FileId, u64)>,
     next_seq: u64,
     dirty_pages: usize,
-    stats: PageCacheStats,
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl PageCache {
@@ -72,6 +77,7 @@ impl PageCache {
         assert!(page_size > 0, "page size must be positive");
         let capacity_pages = (capacity_bytes / page_size) as usize;
         assert!(capacity_pages > 0, "capacity must hold at least one page");
+        let registry = Registry::new();
         PageCache {
             page_size,
             capacity_pages,
@@ -79,7 +85,10 @@ impl PageCache {
             lru: BTreeMap::new(),
             next_seq: 0,
             dirty_pages: 0,
-            stats: PageCacheStats::default(),
+            hits: registry.counter("hits"),
+            misses: registry.counter("misses"),
+            evictions: registry.counter("evictions"),
+            registry,
         }
     }
 
@@ -103,9 +112,14 @@ impl PageCache {
         self.capacity_pages
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics — a view over the same registry counters the
+    /// metrics snapshot reports.
     pub fn stats(&self) -> PageCacheStats {
-        self.stats
+        PageCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 
     fn page_range(&self, offset: u64, len: u64) -> std::ops::Range<u64> {
@@ -137,9 +151,9 @@ impl PageCache {
             if self.map.contains_key(&key) {
                 self.touch(key);
                 hit_pages += 1;
-                self.stats.hits += 1;
+                self.hits.inc();
             } else {
-                self.stats.misses += 1;
+                self.misses.inc();
                 let start = page * self.page_size;
                 match miss_ranges.last_mut() {
                     Some((s, l)) if *s + *l == start => *l += self.page_size,
@@ -198,7 +212,7 @@ impl PageCache {
         if entry.dirty {
             self.dirty_pages -= 1;
         }
-        self.stats.evictions += 1;
+        self.evictions.inc();
         Some(Evicted {
             file: key.0,
             page: key.1,
@@ -250,6 +264,14 @@ impl PageCache {
             }
         }
         out
+    }
+}
+
+impl MetricSource for PageCache {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        snap.set_gauge(prefixed(prefix, "resident_pages"), self.map.len() as i64);
+        snap.set_gauge(prefixed(prefix, "dirty_pages"), self.dirty_pages as i64);
     }
 }
 

@@ -1,6 +1,7 @@
 //! RAID-0 striping across spindles — the paper's server stores all files on
 //! "a RAID array of 8 HighPoint disks" (§5.1).
 
+use imca_metrics::{prefixed, MetricSource, Snapshot};
 use imca_sim::{join_all, SimDuration, SimHandle};
 
 use crate::disk::{Disk, DiskParams, DiskStats};
@@ -103,6 +104,14 @@ impl Raid0 {
     /// Aggregated member-disk stats.
     pub fn stats(&self) -> Vec<DiskStats> {
         self.disks.iter().map(|d| d.stats()).collect()
+    }
+}
+
+impl MetricSource for Raid0 {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        for (i, disk) in self.disks.iter().enumerate() {
+            disk.collect(&prefixed(prefix, &format!("disk.{i}")), snap);
+        }
     }
 }
 

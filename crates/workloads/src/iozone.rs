@@ -9,6 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use imca_fabric::Transport;
+use imca_metrics::Snapshot;
 use imca_nfs::{NfsCluster, NfsConfig};
 use imca_sim::sync::Barrier;
 use imca_sim::Sim;
@@ -42,6 +43,8 @@ pub struct IozoneResult {
     pub read_mb_s: f64,
     /// Per-thread MB/s.
     pub per_thread: Vec<f64>,
+    /// Full per-tier metrics snapshot from [`Deployment::metrics`].
+    pub metrics: Snapshot,
 }
 
 /// Chunk size used for the untimed write phase (bigger chunks keep the
@@ -117,6 +120,7 @@ pub fn run(cfg: &IozoneBench) -> IozoneResult {
             .iter()
             .map(|t| cfg.file_size as f64 / t / 1e6)
             .collect(),
+        metrics: dep.metrics(),
     }
 }
 
@@ -139,8 +143,17 @@ pub struct NfsIozoneBench {
     pub seed: u64,
 }
 
-/// Run the Fig 1 NFS experiment; returns aggregate MB/s.
-pub fn run_nfs(cfg: &NfsIozoneBench) -> f64 {
+/// Fig 1 NFS experiment outputs.
+#[derive(Debug, Clone)]
+pub struct NfsIozoneResult {
+    /// Aggregate read throughput in MB/s.
+    pub read_mb_s: f64,
+    /// Metrics snapshot from [`NfsCluster::metrics`] (fabric + storage).
+    pub metrics: Snapshot,
+}
+
+/// Run the Fig 1 NFS experiment.
+pub fn run_nfs(cfg: &NfsIozoneBench) -> NfsIozoneResult {
     let mut sim = Sim::new(cfg.seed);
     let cluster = Rc::new(NfsCluster::build(
         sim.handle(),
@@ -195,7 +208,10 @@ pub fn run_nfs(cfg: &NfsIozoneBench) -> f64 {
     let times = times.borrow();
     assert_eq!(times.len(), cfg.clients);
     let slowest = times.iter().cloned().fold(0.0f64, f64::max);
-    cfg.file_size as f64 * cfg.clients as f64 / slowest / 1e6
+    NfsIozoneResult {
+        read_mb_s: cfg.file_size as f64 * cfg.clients as f64 / slowest / 1e6,
+        metrics: cluster.metrics(),
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +273,7 @@ mod tests {
                 pipeline: 4,
                 seed: 5,
             })
+            .read_mb_s
         };
         let big = run_mem(64 << 20); // all 8 MB of files fit
         let small = run_mem(2 << 20); // thrash
@@ -276,6 +293,7 @@ mod tests {
                 pipeline: 4,
                 seed: 5,
             })
+            .read_mb_s
         };
         let rdma = run_t(Transport::rdma_ddr());
         let ipoib = run_t(Transport::ipoib_ddr());

@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use imca_metrics::Snapshot;
 use imca_sim::sync::Barrier;
 use imca_sim::Sim;
 
@@ -62,6 +63,8 @@ pub struct LatencyResult {
     pub cm_read_hits: u64,
     /// CMCache reads forwarded to the server after a block miss.
     pub cm_read_misses: u64,
+    /// Full per-tier metrics snapshot from [`Deployment::metrics`].
+    pub metrics: Snapshot,
 }
 
 impl LatencyResult {
@@ -209,6 +212,7 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
         read_us,
         cm_read_hits,
         cm_read_misses,
+        metrics: dep.metrics(),
     }
 }
 

@@ -1,10 +1,10 @@
 //! Result tables: the series each figure in the paper plots, printed as
 //! aligned text and serialisable to JSON for EXPERIMENTS.md tooling.
 
-use serde::{Deserialize, Serialize};
+use imca_metrics::json::{Json, JsonError};
 
 /// One experiment's output: an x-axis and one y-series per system.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Title, e.g. "Fig 5: stat time vs clients".
     pub title: String,
@@ -19,7 +19,7 @@ pub struct Table {
 }
 
 /// One row of a [`Table`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// X value.
     pub x: f64,
@@ -96,14 +96,91 @@ impl Table {
         out
     }
 
-    /// Serialise to pretty JSON.
+    /// Serialise to pretty JSON (same document shape the serde-derived
+    /// version produced, so existing `results/*.json` stay readable).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialises")
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let y = r
+                    .y
+                    .iter()
+                    .map(|v| match v {
+                        Some(v) => Json::Float(*v),
+                        None => Json::Null,
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("x".into(), Json::Float(r.x)),
+                    ("y".into(), Json::Arr(y)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("title".into(), Json::Str(self.title.clone())),
+            ("xlabel".into(), Json::Str(self.xlabel.clone())),
+            ("ylabel".into(), Json::Str(self.ylabel.clone())),
+            (
+                "series".into(),
+                Json::Arr(self.series.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("rows".into(), Json::Arr(rows)),
+        ])
+        .render_pretty()
     }
 
     /// Parse from JSON.
-    pub fn from_json(s: &str) -> Result<Table, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Table, JsonError> {
+        let bad = |msg: &str| JsonError {
+            at: 0,
+            msg: msg.into(),
+        };
+        let doc = Json::parse(s)?;
+        let text = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| bad(&format!("missing string field {key:?}")))
+        };
+        let series = doc
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing \"series\""))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_owned))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| bad("non-string series name"))?;
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing \"rows\""))?
+            .iter()
+            .map(|row| {
+                let x = row
+                    .get("x")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("row missing \"x\""))?;
+                let y = row
+                    .get("y")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("row missing \"y\""))?
+                    .iter()
+                    .map(|v| match v {
+                        Json::Null => Ok(None),
+                        other => other.as_f64().map(Some).ok_or_else(|| bad("bad y value")),
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok(Row { x, y })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(Table {
+            title: text("title")?,
+            xlabel: text("xlabel")?,
+            ylabel: text("ylabel")?,
+            series,
+            rows,
+        })
     }
 }
 

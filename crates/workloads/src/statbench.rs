@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use imca_metrics::Snapshot;
 use imca_sim::sync::Barrier;
 use imca_sim::Sim;
 use rand::rngs::SmallRng;
@@ -43,6 +44,8 @@ pub struct StatBenchResult {
     pub mcd_misses: u64,
     /// MCD-side evictions (capacity pressure indicator).
     pub mcd_evictions: u64,
+    /// Full per-tier metrics snapshot from [`Deployment::metrics`].
+    pub metrics: Snapshot,
 }
 
 impl StatBenchResult {
@@ -131,6 +134,7 @@ pub fn run(cfg: &StatBench) -> StatBenchResult {
         mcd_hits: hits,
         mcd_misses: misses,
         mcd_evictions: evictions,
+        metrics: dep.metrics(),
     }
 }
 

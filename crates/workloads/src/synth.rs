@@ -10,6 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use imca_metrics::Snapshot;
 use imca_sim::stats::Histogram;
 use imca_sim::sync::Barrier;
 use imca_sim::{Sim, SimDuration};
@@ -215,6 +216,8 @@ pub struct ReplayResult {
     pub write: Histogram,
     /// Total virtual seconds for the whole replay.
     pub wall_secs: f64,
+    /// Full per-tier metrics snapshot from [`Deployment::metrics`].
+    pub metrics: Snapshot,
 }
 
 /// Replay a trace against a system. Files are pre-created and pre-filled
@@ -301,6 +304,7 @@ pub fn replay(spec: &SystemSpec, cfg: &TraceConfig, clients: usize) -> ReplayRes
         read,
         write,
         wall_secs: summary.end_time.as_secs_f64(),
+        metrics: dep.metrics(),
     }
 }
 

@@ -9,6 +9,7 @@ use imca_fabric::Transport;
 use imca_glusterfs::GlusterMount;
 use imca_lustre::{LustreClient, LustreCluster, LustreConfig};
 use imca_memcached::{McConfig, Selector};
+use imca_metrics::Snapshot;
 use imca_sim::SimHandle;
 
 /// Which system to deploy, in the paper's vocabulary.
@@ -128,6 +129,22 @@ impl Deployment {
         match self {
             Deployment::Lustre(c) => Some(c),
             Deployment::Gluster(_) => None,
+        }
+    }
+
+    /// One structured metrics document for the deployed system, in the
+    /// workspace-wide `tier.component.metric` naming scheme. GlusterFS
+    /// deployments report every instrumented tier (fabric, storage,
+    /// translators, bank, CM/SMCache); the Lustre model only exposes its
+    /// lock-revocation count.
+    pub fn metrics(&self) -> Snapshot {
+        match self {
+            Deployment::Gluster(c) => c.metrics(),
+            Deployment::Lustre(c) => {
+                let mut snap = Snapshot::new();
+                snap.set_counter("lustre.lock_revocations", c.revocations());
+                snap
+            }
         }
     }
 }

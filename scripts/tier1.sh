@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every change must keep green.
+#
+#   scripts/tier1.sh            build + root-package tests
+#   scripts/tier1.sh --strict   additionally lint the whole workspace
+#                               (clippy with warnings denied)
+#
+# The root package's tests are the contract (see ROADMAP.md); the strict
+# mode is what CI runs before merging.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" == "--strict" ]]; then
+    cargo clippy --workspace --all-targets -- -D warnings
+fi

@@ -202,3 +202,68 @@ fn eof_and_sparse_semantics_through_the_cache() {
     });
     sim.run();
 }
+
+/// Failover counter semantics across the whole deployment: killing a
+/// daemon mid-run increments exactly one `bank.mcd_failovers`, the
+/// client-observed failure counters in the same snapshot pick up the
+/// degraded window, and reviving the daemon is likewise counted once.
+#[test]
+fn failover_counters_agree_with_bank_stats() {
+    let mut sim = Sim::new(9);
+    let cluster = Rc::new(Cluster::build(sim.handle(), imca_config(2)));
+    let c = Rc::clone(&cluster);
+    let hits_before_kill = Rc::new(RefCell::new(0u64));
+    let hb = Rc::clone(&hits_before_kill);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/fo").await.unwrap();
+        let fd = m.open("/fo").await.unwrap();
+        for k in 0..32u64 {
+            m.write(fd, k * 2048, &vec![(k % 251) as u8; 2048]).await.unwrap();
+        }
+        // Warm pass: every read is served by the bank.
+        for k in 0..32u64 {
+            m.read(fd, k * 2048, 2048).await.unwrap();
+        }
+        *hb.borrow_mut() = c.cmcache_stats().read_hits;
+        // Kill one daemon mid-run; idempotent second kill must not
+        // double-count.
+        c.kill_mcd(0);
+        c.kill_mcd(0);
+        for k in 0..32u64 {
+            let got = m.read(fd, k * 2048, 2048).await.unwrap();
+            assert_eq!(got, vec![(k % 251) as u8; 2048], "corruption after kill");
+        }
+        c.revive_mcd(0);
+        c.revive_mcd(0);
+    });
+    sim.run();
+
+    let bank = cluster.bank().expect("imca deployment has a bank");
+    assert_eq!(bank.failovers(), 1, "one daemon died once");
+
+    let snap = cluster.metrics();
+    assert_eq!(snap.counter("bank.mcd_failovers"), Some(1));
+    assert_eq!(snap.counter("bank.mcd_revivals"), Some(1));
+    // The dead daemon's drop counter and the surviving warm blocks must
+    // reconcile with the CMCache view in the very same snapshot.
+    assert_eq!(
+        snap.counter_sum(".read_hits"),
+        cluster.cmcache_stats().read_hits,
+        "registry-derived stats must match the legacy accessor"
+    );
+    assert!(
+        *hits_before_kill.borrow() == 32,
+        "warm pass should hit the bank on every read"
+    );
+    // The degraded window: blocks homed on the dead daemon turn into bank
+    // misses (routed around client-side, never daemon traffic), and every
+    // one of those forwards to the server as a CMCache read miss.
+    let bank_misses = snap.counter("cmcache.0.bank.misses").unwrap_or(0);
+    assert!(bank_misses > 0, "the degraded window produced no bank misses");
+    assert_eq!(
+        Some(bank_misses),
+        snap.counter("cmcache.0.read_misses"),
+        "every bank miss must forward to the server"
+    );
+}

@@ -34,6 +34,7 @@ fn fig1_direction() {
             pipeline: 4,
             seed: 1,
         })
+        .read_mb_s
     };
     let rdma = run_one(Transport::rdma_ddr(), 64 << 20);
     let ipoib = run_one(Transport::ipoib_ddr(), 64 << 20);

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use proptest::prelude::*;
 
-use imca_repro::imca::{kill_mcd, revive_mcd, Cluster, ClusterConfig, ImcaConfig};
+use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
 use imca_repro::memcached::McConfig;
 use imca_repro::sim::Sim;
 
@@ -148,8 +148,8 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
                         reference.files.remove(&file);
                     }
                 }
-                Op::KillMcd { idx } => kill_mcd(&c.mcds()[idx as usize]),
-                Op::ReviveMcd { idx } => revive_mcd(&c.mcds()[idx as usize]),
+                Op::KillMcd { idx } => c.kill_mcd(idx as usize),
+                Op::ReviveMcd { idx } => c.revive_mcd(idx as usize),
             }
         }
     });

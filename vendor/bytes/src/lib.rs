@@ -1,0 +1,276 @@
+//! Offline vendored shim: the `bytes::Bytes` API subset this workspace
+//! uses. The container build has no registry access, so external crates
+//! are replaced by minimal in-repo equivalents (see `vendor/README.md`).
+//!
+//! `Bytes` is a cheaply cloneable, immutable, contiguous byte buffer:
+//! either a `&'static [u8]` (zero allocation) or a reference-counted
+//! heap slice shared between clones.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    /// Shared heap storage plus the view's `[start, end)` window, so
+    /// `slice()` is a refcount bump rather than a copy.
+    Shared(Arc<[u8]>, usize, usize),
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(s),
+        }
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// A sub-view of this buffer. Shares storage; no copy.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(start <= end && end <= len, "slice {start}..{end} out of range for length {len}");
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[start..end]),
+            },
+            Repr::Shared(arc, s0, _) => Bytes {
+                repr: Repr::Shared(arc.clone(), s0 + start, s0 + end),
+            },
+        }
+    }
+
+    /// Copy out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(arc, start, end) => &arc[*start..*end],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice()), 0, 0),
+        }
+        .fix_end()
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl Bytes {
+    fn fix_end(mut self) -> Bytes {
+        if let Repr::Shared(arc, _, end) = &mut self.repr {
+            *end = arc.len();
+        }
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from("s".to_string()), Bytes::from_static(b"s"));
+        assert_eq!(Bytes::copy_from_slice(b"xy"), Bytes::from_static(b"xy"));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1u8; 1 << 20]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        if let (Repr::Shared(x, ..), Repr::Shared(y, ..)) = (&a.repr, &b.repr) {
+            assert!(Arc::ptr_eq(x, y));
+        } else {
+            panic!("expected shared representation");
+        }
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let a = Bytes::from(b"abcdef".to_vec());
+        let mid = a.slice(2..4);
+        assert_eq!(&mid[..], b"cd");
+        let tail = mid.slice(1..);
+        assert_eq!(&tail[..], b"d");
+        let s = Bytes::from_static(b"abcdef").slice(..3);
+        assert_eq!(&s[..], b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"ab").slice(..5);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let d = format!("{:?}", Bytes::from_static(b"a\r\n\x00"));
+        assert_eq!(d, "b\"a\\r\\n\\x00\"");
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline vendored shim: the `criterion` API subset this workspace's
+//! microbenches use. The container build has no registry access, so
+//! external crates are replaced by minimal in-repo equivalents (see
+//! `vendor/README.md`).
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until the configured measurement budget is spent, and prints
+//! mean ns/iter (plus throughput when configured). No statistics, plots
+//! or HTML — enough to compare hot paths across commits from a terminal.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. Mirrors the builder subset the benches configure.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, &id.label, None, &mut f);
+        self
+    }
+}
+
+/// Scoped group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput alongside time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(self.criterion, &label, self.throughput, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: grow the iteration count until one batch costs ~1/10 of
+    // the warm-up budget, so timed batches are long enough to measure.
+    let mut iters: u64 = 1;
+    let warm_deadline = Instant::now() + criterion.warm_up_time;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if Instant::now() >= warm_deadline {
+            break;
+        }
+        if b.elapsed * 10 < criterion.warm_up_time {
+            iters = iters.saturating_mul(2);
+        } else {
+            break;
+        }
+    }
+
+    let mut total_iters: u64 = 0;
+    let mut total_time = Duration::ZERO;
+    let deadline = Instant::now() + criterion.measurement_time;
+    for _ in 0..criterion.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += iters;
+        total_time += b.elapsed;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let ns_per_iter = if total_iters == 0 {
+        0.0
+    } else {
+        total_time.as_nanos() as f64 / total_iters as f64
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let mb_s = n as f64 / ns_per_iter.max(f64::MIN_POSITIVE) * 1e9 / (1 << 20) as f64;
+            format!("  {mb_s:.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let elem_s = n as f64 / ns_per_iter.max(f64::MIN_POSITIVE) * 1e9;
+            format!("  {elem_s:.0} elem/s")
+        }
+    });
+    println!(
+        "bench: {label:<50} {ns_per_iter:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_micros(100))
+            .measurement_time(Duration::from_micros(500))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = quick();
+        let mut ran = 0u64;
+        c.bench_function("unit/closure", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+    }
+
+    criterion_group!(trivial, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        *c = quick();
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn macros_generate_runnable_group() {
+        trivial();
+    }
+}
