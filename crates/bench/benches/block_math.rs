@@ -7,7 +7,12 @@ use imca_core::keys::{block_key, stat_key};
 
 fn bench_cover(c: &mut Criterion) {
     let mut group = c.benchmark_group("block/cover");
-    for &(len, bs) in &[(1u64, 2048u64), (65536, 2048), (65536, 256), (1 << 20, 8192)] {
+    for &(len, bs) in &[
+        (1u64, 2048u64),
+        (65536, 2048),
+        (65536, 256),
+        (1 << 20, 8192),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("len{len}_bs{bs}")),
             &(len, bs),
@@ -33,8 +38,7 @@ fn bench_assemble(c: &mut Criterion) {
         .collect();
     c.bench_function("block/assemble_30_blocks", |b| {
         b.iter(|| {
-            let refs: Vec<(u64, &[u8])> =
-                storage.iter().map(|(s, d)| (*s, d.as_slice())).collect();
+            let refs: Vec<(u64, &[u8])> = storage.iter().map(|(s, d)| (*s, d.as_slice())).collect();
             black_box(assemble(offset, len, bs, &refs))
         })
     });

@@ -16,18 +16,14 @@ fn bench_set_get(c: &mut Criterion) {
             mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
         }
         group.throughput(Throughput::Bytes(value_size as u64));
-        group.bench_with_input(
-            BenchmarkId::new("set", value_size),
-            &value_size,
-            |b, _| {
-                let mut i = 0u64;
-                b.iter(|| {
-                    let key = format!("/bench/f{}:0", i % 1024);
-                    mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
-                    i += 1;
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("set", value_size), &value_size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let key = format!("/bench/f{}:0", i % 1024);
+                mc.set(key.as_bytes(), value.clone(), 0, None, 0).unwrap();
+                i += 1;
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("get_hit", value_size),
             &value_size,

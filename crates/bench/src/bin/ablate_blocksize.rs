@@ -21,10 +21,8 @@ fn main() {
     let record_sizes = LatencyBench::power_of_two_sizes(64 << 10);
     let block_sizes: Vec<u64> = vec![256, 1024, 2048, 8192, 65536];
 
-    let mut systems: Vec<(String, SystemSpec)> = vec![(
-        "NoCache".into(),
-        SystemSpec::GlusterNoCache,
-    )];
+    let mut systems: Vec<(String, SystemSpec)> =
+        vec![("NoCache".into(), SystemSpec::GlusterNoCache)];
     for &bs in &block_sizes {
         systems.push((
             format!("IMCa-{}", human_bytes(bs)),
@@ -35,6 +33,7 @@ fn main() {
                 threaded: false,
                 mcd_mem: 6 << 30,
                 rdma_bank: false,
+                batched: true,
             },
         ));
     }

@@ -66,11 +66,7 @@ fn main() {
                 let mean_us = elapsed.as_micros_f64() / records as f64;
                 let hit_rate = hits as f64 / records as f64;
                 assert_eq!(corrupt, 0, "data corruption after {phase} failures!");
-                rows.borrow_mut().push((
-                    phase as f64,
-                    mean_us,
-                    hit_rate,
-                ));
+                rows.borrow_mut().push((phase as f64, mean_us, hit_rate));
                 // Kill one daemon and let the next phase run degraded.
                 if phase + 1 < phases {
                     cluster.kill_mcd(phase);

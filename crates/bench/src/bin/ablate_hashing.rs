@@ -65,6 +65,7 @@ fn main() {
                     threaded: false,
                     mcd_mem: 1 << 30,
                     rdma_bank: false,
+                    batched: true,
                 },
                 seed: opts.seed,
             };

@@ -20,14 +20,12 @@ fn spec(rdma_bank: bool) -> SystemSpec {
         threaded: false,
         mcd_mem: 6 << 30,
         rdma_bank,
+        batched: true,
     }
 }
 
 fn main() {
-    let opts = Options::from_args(
-        "ablate_rdma",
-        "IPoIB vs RDMA transport for the MCD bank",
-    );
+    let opts = Options::from_args("ablate_rdma", "IPoIB vs RDMA transport for the MCD bank");
     let records = if opts.full { 1024 } else { 192 };
     let sizes = LatencyBench::power_of_two_sizes(64 << 10);
 

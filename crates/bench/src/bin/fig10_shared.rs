@@ -24,7 +24,10 @@ fn main() {
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,
         SystemSpec::imca(1),
-        SystemSpec::Lustre { osts: 1, warm: false },
+        SystemSpec::Lustre {
+            osts: 1,
+            warm: false,
+        },
     ];
 
     let mut jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = Vec::new();

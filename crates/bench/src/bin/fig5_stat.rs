@@ -35,6 +35,7 @@ fn main() {
         threaded: false,
         mcd_mem,
         rdma_bank: false,
+        batched: true,
     };
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,

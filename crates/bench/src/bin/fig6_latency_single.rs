@@ -20,6 +20,7 @@ fn imca_block(block_size: u64, threaded: bool) -> SystemSpec {
         threaded,
         mcd_mem: 6 << 30,
         rdma_bank: false,
+        batched: true,
     }
 }
 
@@ -38,15 +39,24 @@ fn main() {
         ("IMCa-8K".into(), imca_block(8192, false)),
         (
             "Lustre-1DS (Cold)".into(),
-            SystemSpec::Lustre { osts: 1, warm: false },
+            SystemSpec::Lustre {
+                osts: 1,
+                warm: false,
+            },
         ),
         (
             "Lustre-4DS (Cold)".into(),
-            SystemSpec::Lustre { osts: 4, warm: false },
+            SystemSpec::Lustre {
+                osts: 4,
+                warm: false,
+            },
         ),
         (
             "Lustre-4DS (Warm)".into(),
-            SystemSpec::Lustre { osts: 4, warm: true },
+            SystemSpec::Lustre {
+                osts: 4,
+                warm: true,
+            },
         ),
     ];
 

@@ -22,8 +22,14 @@ fn main() {
         SystemSpec::imca(1),
         SystemSpec::imca(2),
         SystemSpec::imca(4),
-        SystemSpec::Lustre { osts: 4, warm: false },
-        SystemSpec::Lustre { osts: 4, warm: true },
+        SystemSpec::Lustre {
+            osts: 4,
+            warm: false,
+        },
+        SystemSpec::Lustre {
+            osts: 4,
+            warm: true,
+        },
     ];
 
     let jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = systems

@@ -25,8 +25,14 @@ fn main() {
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,
         SystemSpec::imca(1),
-        SystemSpec::Lustre { osts: 4, warm: false },
-        SystemSpec::Lustre { osts: 4, warm: true },
+        SystemSpec::Lustre {
+            osts: 4,
+            warm: false,
+        },
+        SystemSpec::Lustre {
+            osts: 4,
+            warm: true,
+        },
     ];
 
     let mut jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = Vec::new();

@@ -31,13 +31,17 @@ fn main() {
         threaded: false,
         mcd_mem: if opts.full { 6 << 30 } else { 64 << 20 },
         rdma_bank: false,
+        batched: true,
     };
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,
         mcd(1),
         mcd(2),
         mcd(4),
-        SystemSpec::Lustre { osts: 1, warm: false },
+        SystemSpec::Lustre {
+            osts: 1,
+            warm: false,
+        },
     ];
 
     let mut jobs: Vec<Box<dyn FnOnce() -> IozoneResult + Send>> = Vec::new();

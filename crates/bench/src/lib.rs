@@ -84,7 +84,11 @@ pub fn emit(opts: &Options, name: &str, table: &Table) {
     let txt_path = opts.out_dir.join(format!("{name}.txt"));
     let _ = std::fs::write(&json_path, table.to_json());
     let _ = std::fs::File::create(&txt_path).map(|mut f| f.write_all(rendered.as_bytes()));
-    println!("(written to {} and {})", json_path.display(), txt_path.display());
+    println!(
+        "(written to {} and {})",
+        json_path.display(),
+        txt_path.display()
+    );
 }
 
 /// Persist a metrics snapshot under `results/<name>_metrics.json`.

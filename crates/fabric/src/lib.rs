@@ -52,5 +52,5 @@ mod rpc;
 mod transport;
 
 pub use network::{Network, NicStats, NodeId};
-pub use rpc::{Incoming, Replier, RpcClient, Service};
+pub use rpc::{fan_out, Incoming, Replier, RpcClient, Service};
 pub use transport::{Transport, WireSize};

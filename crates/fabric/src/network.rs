@@ -209,7 +209,6 @@ impl MetricSource for Network {
 mod tests {
     use super::*;
     use imca_sim::{Sim, SimTime};
-    
 
     fn finish_time(f: impl FnOnce(&mut Sim, Network)) -> SimTime {
         let mut sim = Sim::new(0);
@@ -269,7 +268,10 @@ mod tests {
         });
         let one_flow = tp.unloaded_one_way(bytes).as_nanos();
         let rx_time = (tp.serialize_time(bytes) + tp.host_cpu_recv).as_nanos();
-        assert!(end.as_nanos() >= one_flow + rx_time, "no rx contention seen");
+        assert!(
+            end.as_nanos() >= one_flow + rx_time,
+            "no rx contention seen"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use imca_metrics::Histogram;
 use imca_sim::sync::{oneshot, OneshotSender, Queue};
+use imca_sim::{join_all, SimHandle};
 
 use crate::network::{Network, NodeId};
 use crate::transport::{Transport, WireSize};
@@ -217,6 +218,36 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
         resp
     }
 
+    /// One-way, pipelined send (`noreply` style): ship the request and
+    /// return once its last byte is on the wire, without waiting for the
+    /// service to answer. Any response the server does produce is still
+    /// charged to the network on the way back, then discarded (a true
+    /// `noreply` command produces a zero-byte frame). Back-to-back posts
+    /// from one caller serialise on the sender's NIC exactly like a
+    /// streamed pipeline and arrive in send order, so a trailing
+    /// [`RpcClient::try_call`] acts as a sync barrier for everything
+    /// posted before it on a FIFO server.
+    pub async fn post(&self, req: Req) {
+        let bytes = req.wire_bytes();
+        self.net
+            .transfer_with(self.src, self.dst, bytes, self.transport.as_ref())
+            .await;
+        // The receiver half is dropped up front: the reply has nowhere to
+        // land and nobody blocks on it.
+        let (tx, _rx) = oneshot();
+        self.queue.push(Incoming {
+            req,
+            src: self.src,
+            replier: Replier {
+                net: self.net.clone(),
+                from: self.dst,
+                to: self.src,
+                tx,
+                transport: self.transport.clone(),
+            },
+        });
+    }
+
     /// The node this client sends from.
     pub fn src(&self) -> NodeId {
         self.src
@@ -226,6 +257,28 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
     pub fn dst(&self) -> NodeId {
         self.dst
     }
+}
+
+/// Issue one RPC per `(client, request)` pair concurrently and collect the
+/// responses in input order (`None` where the service dropped the
+/// request). This is the fan-out primitive batched protocols build on:
+/// group requests by destination, then hit every destination in parallel.
+pub async fn fan_out<Req, Resp>(
+    handle: &SimHandle,
+    calls: Vec<(RpcClient<Req, Resp>, Req)>,
+) -> Vec<Option<Resp>>
+where
+    Req: WireSize + 'static,
+    Resp: WireSize + 'static,
+{
+    join_all(
+        handle,
+        calls
+            .into_iter()
+            .map(|(client, req)| async move { client.try_call(req).await })
+            .collect(),
+    )
+    .await
 }
 
 #[cfg(test)]
@@ -338,6 +391,81 @@ mod tests {
             end.as_nanos() >= 8 * SimDuration::micros(50).as_nanos(),
             "server did not serialise: {end:?}"
         );
+    }
+
+    #[test]
+    fn posts_pipeline_and_a_trailing_call_syncs_them() {
+        // Four posted (noreply-style) pings followed by one normal call:
+        // a FIFO server must apply every posted request before answering
+        // the call, so the call doubles as a pipeline sync barrier.
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+        let h = sim.handle();
+        let seen = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let svc2 = svc.clone();
+        let seen2 = Rc::clone(&seen);
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                h.sleep(SimDuration::micros(10)).await;
+                let v = msg.req.0;
+                seen2.borrow_mut().push(v);
+                msg.respond(Pong(v));
+            }
+        });
+        let seen3 = Rc::clone(&seen);
+        sim.spawn(async move {
+            for i in 0..4 {
+                cli.post(Ping(i)).await;
+            }
+            let pong = cli.call(Ping(99)).await;
+            assert_eq!(pong.0, 99);
+            assert_eq!(
+                *seen3.borrow(),
+                vec![0, 1, 2, 3, 99],
+                "posted requests must be applied, in order, before the sync"
+            );
+        });
+        sim.run();
+        assert_eq!(seen.borrow().len(), 5);
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_reports_drops() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let answering = net.add_node();
+        let closed = net.add_node();
+        let client_node = net.add_node();
+        let svc_a: Service<Ping, Pong> = Service::bind(&net, answering);
+        let svc_b: Service<Ping, Pong> = Service::bind(&net, closed);
+        let cli_a = svc_a.client(client_node);
+        let cli_b = svc_b.client(client_node);
+        let svc2 = svc_a.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                let v = msg.req.0;
+                msg.respond(Pong(v * 2));
+            }
+        });
+        // The second service drops everything it receives.
+        let svc3 = svc_b.clone();
+        sim.spawn(async move { while svc3.recv().await.is_some() {} });
+        let h = sim.handle();
+        sim.spawn(async move {
+            let got = fan_out(
+                &h,
+                vec![(cli_a.clone(), Ping(1)), (cli_b, Ping(2)), (cli_a, Ping(3))],
+            )
+            .await;
+            assert_eq!(got[0], Some(Pong(2)));
+            assert_eq!(got[1], None, "dropped request must surface as None");
+            assert_eq!(got[2], Some(Pong(6)));
+        });
+        sim.run();
     }
 
     #[test]

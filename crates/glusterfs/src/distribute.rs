@@ -67,16 +67,17 @@ mod tests {
         let mut sim = Sim::new(0);
         let a = MockXlator::new();
         let b = MockXlator::new();
-        let dht = Distribute::new(vec![
-            Rc::clone(&a) as Xlator,
-            Rc::clone(&b) as Xlator,
-        ]);
+        let dht = Distribute::new(vec![Rc::clone(&a) as Xlator, Rc::clone(&b) as Xlator]);
         let dht2 = Rc::clone(&dht);
         sim.spawn(async move {
             for i in 0..50 {
                 let path = format!("/vol/file{i}");
                 // Create then stat must land on the same brick.
-                wind(&(Rc::clone(&dht2) as Xlator), Fop::Create { path: path.clone() }).await;
+                wind(
+                    &(Rc::clone(&dht2) as Xlator),
+                    Fop::Create { path: path.clone() },
+                )
+                .await;
                 wind(&(Rc::clone(&dht2) as Xlator), Fop::Stat { path }).await;
             }
         });
@@ -102,7 +103,13 @@ mod tests {
         let a = MockXlator::new();
         let dht = Distribute::new(vec![Rc::clone(&a) as Xlator]);
         sim.spawn(async move {
-            let r = wind(&(dht as Xlator), Fop::Stat { path: "/missing/x".into() }).await;
+            let r = wind(
+                &(dht as Xlator),
+                Fop::Stat {
+                    path: "/missing/x".into(),
+                },
+            )
+            .await;
             assert_eq!(r, FopReply::Stat(Err(FsError::NotFound)));
         });
         sim.run();

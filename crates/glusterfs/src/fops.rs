@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn fop_accessors() {
-        let f = Fop::Stat { path: "/x/y".into() };
+        let f = Fop::Stat {
+            path: "/x/y".into(),
+        };
         assert_eq!(f.path(), "/x/y");
         assert_eq!(f.kind(), "stat");
     }

@@ -147,7 +147,10 @@ impl MetricSource for IoCache {
         snap.set_counter(prefixed(prefix, "hits"), self.hits.get());
         snap.set_counter(prefixed(prefix, "misses"), self.misses.get());
         snap.set_counter(prefixed(prefix, "revalidations"), self.revalidations.get());
-        snap.set_gauge(prefixed(prefix, "resident_pages"), self.resident.get() as i64);
+        snap.set_gauge(
+            prefixed(prefix, "resident_pages"),
+            self.resident.get() as i64,
+        );
     }
 }
 
@@ -219,8 +222,7 @@ impl Translator for IoCache {
                             let mtime = match mtime {
                                 Some(m) => m,
                                 None => {
-                                    match wind(&self.child, Fop::Stat { path: path.clone() })
-                                        .await
+                                    match wind(&self.child, Fop::Stat { path: path.clone() }).await
                                     {
                                         FopReply::Stat(Ok(st)) => st.mtime_ns,
                                         _ => 0,
@@ -374,7 +376,12 @@ mod tests {
         let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
         let posix = Posix::new(be);
         // Two independent io-caches over one posix = two clients.
-        let ioc_a = IoCache::new(sim.handle(), Rc::clone(&posix) as Xlator, 64 << 20, SimDuration::millis(10));
+        let ioc_a = IoCache::new(
+            sim.handle(),
+            Rc::clone(&posix) as Xlator,
+            64 << 20,
+            SimDuration::millis(10),
+        );
         let top_a = Rc::clone(&ioc_a) as Xlator;
         let top_b = posix as Xlator; // writer bypasses (direct)
         let h = sim.handle();

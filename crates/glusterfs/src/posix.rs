@@ -74,73 +74,73 @@ impl Translator for Posix {
             // Inner async block so the early `return`s in the arms still
             // pass through the latency recording below.
             let reply = async {
-            match fop {
-                Fop::Create { path } => {
-                    if self.files.borrow().contains_key(&path) {
-                        return FopReply::Create(Err(FsError::Exists));
+                match fop {
+                    Fop::Create { path } => {
+                        if self.files.borrow().contains_key(&path) {
+                            return FopReply::Create(Err(FsError::Exists));
+                        }
+                        let id = FileId(self.next_id.get());
+                        self.next_id.set(id.0 + 1);
+                        self.backend.create(id).await;
+                        let now = h.now().as_nanos();
+                        self.files.borrow_mut().insert(
+                            path,
+                            Meta {
+                                id,
+                                mtime_ns: now,
+                                ctime_ns: now,
+                            },
+                        );
+                        FopReply::Create(Ok(()))
                     }
-                    let id = FileId(self.next_id.get());
-                    self.next_id.set(id.0 + 1);
-                    self.backend.create(id).await;
-                    let now = h.now().as_nanos();
-                    self.files.borrow_mut().insert(
-                        path,
-                        Meta {
-                            id,
-                            mtime_ns: now,
-                            ctime_ns: now,
-                        },
-                    );
-                    FopReply::Create(Ok(()))
-                }
-                Fop::Open { path } => {
-                    let Some(id) = self.lookup(&path) else {
-                        return FopReply::Open(Err(FsError::NotFound));
-                    };
-                    // Opening touches the inode (permission checks etc.).
-                    self.backend.stat(id).await;
-                    FopReply::Open(Ok(self.stat_of(&path).expect("inode vanished")))
-                }
-                Fop::Read { path, offset, len } => {
-                    let Some(id) = self.lookup(&path) else {
-                        return FopReply::Read(Err(FsError::NotFound));
-                    };
-                    let data = self.backend.read(id, offset, len).await;
-                    FopReply::Read(Ok(data))
-                }
-                Fop::Write { path, offset, data } => {
-                    let Some(id) = self.lookup(&path) else {
-                        return FopReply::Write(Err(FsError::NotFound));
-                    };
-                    let n = data.len() as u64;
-                    self.backend.write(id, offset, &data).await;
-                    if let Some(meta) = self.files.borrow_mut().get_mut(&path) {
-                        meta.mtime_ns = h.now().as_nanos();
+                    Fop::Open { path } => {
+                        let Some(id) = self.lookup(&path) else {
+                            return FopReply::Open(Err(FsError::NotFound));
+                        };
+                        // Opening touches the inode (permission checks etc.).
+                        self.backend.stat(id).await;
+                        FopReply::Open(Ok(self.stat_of(&path).expect("inode vanished")))
                     }
-                    FopReply::Write(Ok(n))
+                    Fop::Read { path, offset, len } => {
+                        let Some(id) = self.lookup(&path) else {
+                            return FopReply::Read(Err(FsError::NotFound));
+                        };
+                        let data = self.backend.read(id, offset, len).await;
+                        FopReply::Read(Ok(data))
+                    }
+                    Fop::Write { path, offset, data } => {
+                        let Some(id) = self.lookup(&path) else {
+                            return FopReply::Write(Err(FsError::NotFound));
+                        };
+                        let n = data.len() as u64;
+                        self.backend.write(id, offset, &data).await;
+                        if let Some(meta) = self.files.borrow_mut().get_mut(&path) {
+                            meta.mtime_ns = h.now().as_nanos();
+                        }
+                        FopReply::Write(Ok(n))
+                    }
+                    Fop::Stat { path } => {
+                        let Some(id) = self.lookup(&path) else {
+                            return FopReply::Stat(Err(FsError::NotFound));
+                        };
+                        self.backend.stat(id).await;
+                        FopReply::Stat(Ok(self.stat_of(&path).expect("inode vanished")))
+                    }
+                    Fop::Unlink { path } => {
+                        let Some(id) = self.lookup(&path) else {
+                            return FopReply::Unlink(Err(FsError::NotFound));
+                        };
+                        self.backend.remove(id).await;
+                        self.files.borrow_mut().remove(&path);
+                        FopReply::Unlink(Ok(()))
+                    }
+                    Fop::Close { path } => {
+                        // POSIX close is local bookkeeping; flush semantics are
+                        // handled by the write path (persistent on return).
+                        let _ = path;
+                        FopReply::Close(Ok(()))
+                    }
                 }
-                Fop::Stat { path } => {
-                    let Some(id) = self.lookup(&path) else {
-                        return FopReply::Stat(Err(FsError::NotFound));
-                    };
-                    self.backend.stat(id).await;
-                    FopReply::Stat(Ok(self.stat_of(&path).expect("inode vanished")))
-                }
-                Fop::Unlink { path } => {
-                    let Some(id) = self.lookup(&path) else {
-                        return FopReply::Unlink(Err(FsError::NotFound));
-                    };
-                    self.backend.remove(id).await;
-                    self.files.borrow_mut().remove(&path);
-                    FopReply::Unlink(Ok(()))
-                }
-                Fop::Close { path } => {
-                    // POSIX close is local bookkeeping; flush semantics are
-                    // handled by the write path (persistent on return).
-                    let _ = path;
-                    FopReply::Close(Ok(()))
-                }
-            }
             }
             .await;
             self.fop_ns.record_duration(h.now().since(t0));

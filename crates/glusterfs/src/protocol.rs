@@ -246,8 +246,7 @@ mod tests {
             sim.spawn(async move {
                 wind(&(seed as Xlator), Fop::Create { path: "/f".into() }).await;
                 for _ in 0..16 {
-                    let proto =
-                        ClientProtocol::connect(&svc2, net2.add_node()) as Xlator;
+                    let proto = ClientProtocol::connect(&svc2, net2.add_node()) as Xlator;
                     imca_sim::SimHandle::spawn(&net2.handle(), async move {
                         wind(&proto, Fop::Stat { path: "/f".into() }).await;
                     });

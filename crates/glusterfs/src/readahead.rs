@@ -91,8 +91,11 @@ impl Translator for ReadAhead {
                 Fop::Read { path, offset, len } => {
                     if let Some(data) = self.try_serve(&path, offset, len) {
                         self.hits.set(self.hits.get() + 1);
-                        self.files.borrow_mut().get_mut(&path).expect("window").expected_next =
-                            offset + len;
+                        self.files
+                            .borrow_mut()
+                            .get_mut(&path)
+                            .expect("window")
+                            .expected_next = offset + len;
                         return FopReply::Read(Ok(data));
                     }
                     let sequential = self

@@ -67,7 +67,10 @@ impl WriteBehind {
             )
             .await;
             if let FopReply::Write(Err(e)) = reply {
-                self.errors.borrow_mut().entry(path.to_string()).or_insert(e);
+                self.errors
+                    .borrow_mut()
+                    .entry(path.to_string())
+                    .or_insert(e);
             }
         }
     }
@@ -105,7 +108,13 @@ impl Translator for WriteBehind {
                             }
                             Some(_) => needs_flush_first = true,
                             None => {
-                                pending.insert(path.clone(), Pending { offset, data: data.clone() });
+                                pending.insert(
+                                    path.clone(),
+                                    Pending {
+                                        offset,
+                                        data: data.clone(),
+                                    },
+                                );
                             }
                         }
                     }
@@ -297,7 +306,13 @@ mod tests {
             // Buffered: reported as success to the application…
             assert_eq!(r, FopReply::Write(Ok(4)));
             // …but close surfaces the deferred error.
-            let r = wind(&top2, Fop::Close { path: "/ghost".into() }).await;
+            let r = wind(
+                &top2,
+                Fop::Close {
+                    path: "/ghost".into(),
+                },
+            )
+            .await;
             assert_eq!(r, FopReply::Close(Err(FsError::NotFound)));
         });
         sim.run();

@@ -132,8 +132,14 @@ mod tests {
         assert_eq!(
             c,
             vec![
-                BlockRef { index: 2, start: 4096 },
-                BlockRef { index: 3, start: 6144 },
+                BlockRef {
+                    index: 2,
+                    start: 4096
+                },
+                BlockRef {
+                    index: 3,
+                    start: 6144
+                },
             ]
         );
         assert_eq!(cover_len(4096, 4096, 2048), 2);
@@ -154,7 +160,13 @@ mod tests {
         // §5.3: "even for a Read operation of 1 byte, the client needs to
         // fetch a complete block of data from the MCDs".
         let c = cover(5000, 1, 2048);
-        assert_eq!(c, vec![BlockRef { index: 2, start: 4096 }]);
+        assert_eq!(
+            c,
+            vec![BlockRef {
+                index: 2,
+                start: 4096
+            }]
+        );
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct ImcaConfig {
     pub selector: Selector,
     /// Move server-side MCD updates to a background thread (§4.3.2).
     pub threaded_updates: bool,
+    /// Batch the bank data path: multi-key `get`s on the client read path
+    /// and `noreply` pipelines (one sync per daemon) for server-side
+    /// pushes and purges. On by default; off reverts to one awaited RPC
+    /// per key (the ablation baseline).
+    pub batching: bool,
     /// Number of MemCached daemons in the bank.
     pub mcd_count: usize,
     /// Per-daemon configuration (memory limit etc.).
@@ -45,6 +50,7 @@ impl Default for ImcaConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             selector: Selector::Crc32,
             threaded_updates: false,
+            batching: true,
             mcd_count: 1,
             mcd_config: McConfig::paper_mcd(),
             mcd_costs: McdCosts::default(),
@@ -137,27 +143,25 @@ impl Cluster {
         let backend = StorageBackend::new(handle.clone(), cfg.backend.clone());
         let posix = Posix::new(backend.clone());
 
-        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) =
-            match &cfg.imca {
-                Some(imca) => {
-                    let bank =
-                        Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
-                    let client = Rc::new(bank.client(
-                        server_node,
-                        imca.selector,
-                        imca.bank_transport.clone(),
-                    ));
-                    let sm = SmCache::new(
-                        handle.clone(),
-                        Rc::clone(&posix) as Xlator,
-                        client,
-                        imca.block_size,
-                        imca.threaded_updates,
-                    );
-                    (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
-                }
-                None => (None, None, Rc::clone(&posix) as Xlator),
-            };
+        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) = match &cfg
+            .imca
+        {
+            Some(imca) => {
+                let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
+                let client =
+                    Rc::new(bank.client(server_node, imca.selector, imca.bank_transport.clone()));
+                let sm = SmCache::new(
+                    handle.clone(),
+                    Rc::clone(&posix) as Xlator,
+                    client,
+                    imca.block_size,
+                    imca.threaded_updates,
+                    imca.batching,
+                );
+                (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
+            }
+            None => (None, None, Rc::clone(&posix) as Xlator),
+        };
 
         let svc = start_server(&net, server_node, server_child, cfg.server_params.clone());
         Cluster {
@@ -190,7 +194,13 @@ impl Cluster {
                         .expect("imca config implies a bank")
                         .client(client_node, imca.selector, imca.bank_transport.clone()),
                 );
-                let cm = CmCache::new(self.handle.clone(), proto, bank, imca.block_size);
+                let cm = CmCache::new(
+                    self.handle.clone(),
+                    proto,
+                    bank,
+                    imca.block_size,
+                    imca.batching,
+                );
                 self.cmcaches.borrow_mut().push(Rc::clone(&cm));
                 cm as Xlator
             }
@@ -236,12 +246,18 @@ impl Cluster {
 
     /// Kill bank daemon `i` (failover experiments, §4.4).
     pub fn kill_mcd(&self, i: usize) {
-        self.bank.as_ref().expect("no bank in this deployment").kill(i);
+        self.bank
+            .as_ref()
+            .expect("no bank in this deployment")
+            .kill(i);
     }
 
     /// Revive bank daemon `i` (restarts empty).
     pub fn revive_mcd(&self, i: usize) {
-        self.bank.as_ref().expect("no bank in this deployment").revive(i);
+        self.bank
+            .as_ref()
+            .expect("no bank in this deployment")
+            .revive(i);
     }
 
     /// Daemon-side stats summed across the bank.
@@ -273,7 +289,10 @@ impl Cluster {
             ra.collect(&prefixed("glusterfs.readahead", &i.to_string()), &mut snap);
         }
         for (i, wb) in self.write_behinds.borrow().iter().enumerate() {
-            wb.collect(&prefixed("glusterfs.writebehind", &i.to_string()), &mut snap);
+            wb.collect(
+                &prefixed("glusterfs.writebehind", &i.to_string()),
+                &mut snap,
+            );
         }
         snap
     }
@@ -432,7 +451,10 @@ mod tests {
         });
         sim.run();
         let cm = cluster.cmcache_stats();
-        assert!(cm.stat_hits >= 1, "consumer stat not served from bank: {cm:?}");
+        assert!(
+            cm.stat_hits >= 1,
+            "consumer stat not served from bank: {cm:?}"
+        );
     }
 
     #[test]
@@ -474,7 +496,10 @@ mod tests {
         assert_eq!(snap.counter_sum(".read_hits"), cm.read_hits);
         assert_eq!(snap.counter_sum(".stat_hits"), cm.stat_hits);
         let sm = cluster.smcache_stats().unwrap();
-        assert_eq!(snap.counter("smcache.blocks_pushed"), Some(sm.blocks_pushed));
+        assert_eq!(
+            snap.counter("smcache.blocks_pushed"),
+            Some(sm.blocks_pushed)
+        );
         let mcd = cluster.mcd_stats();
         assert_eq!(snap.counter_sum(".store.cmd_get"), mcd.cmd_get);
         assert_eq!(snap.counter_sum(".store.get_hits"), mcd.get_hits);

@@ -7,10 +7,13 @@
 //! * **read**: generate the block keys covering the request ("CMCache will
 //!   generate keys that consist of the absolute pathname for the file ...
 //!   and the offsets from the Read request, taking into account the IMCa
-//!   blocksize"), fetch them from the MCDs in parallel, and assemble. "If
-//!   there is a miss for any one of the keys, CMCache will forward the Read
-//!   request to the GlusterFS server" — making cold misses strictly more
-//!   expensive than NoCache (§4.4).
+//!   blocksize"), fetch them from the MCDs, and assemble. In the default
+//!   batched mode the covering keys travel as one multi-key `get` per
+//!   routed daemon ([`BankClient::get_multi`]); the per-key mode (one RPC
+//!   per block, as the paper's client does it) is kept for the batching
+//!   ablation. Either way, "if there is a miss for any one of the keys,
+//!   CMCache will forward the Read request to the GlusterFS server" —
+//!   making cold misses strictly more expensive than NoCache (§4.4).
 //! * **write / create / delete / open / close**: not intercepted (§4.2,
 //!   §4.3.2); they flow straight to the server.
 
@@ -43,6 +46,7 @@ pub struct CmCache {
     child: Xlator,
     bank: Rc<BankClient>,
     block_size: u64,
+    batched: bool,
     registry: Registry,
     stat_hits: Counter,
     stat_misses: Counter,
@@ -57,12 +61,14 @@ pub struct CmCache {
 
 impl CmCache {
     /// Stack CMCache above `child` (normally `protocol/client`), talking to
-    /// `bank`.
+    /// `bank`. `batched` selects one multi-get RPC per daemon for reads;
+    /// `false` falls back to one RPC per covering block (ablation).
     pub fn new(
         handle: SimHandle,
         child: Xlator,
         bank: Rc<BankClient>,
         block_size: u64,
+        batched: bool,
     ) -> Rc<CmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
@@ -70,6 +76,7 @@ impl CmCache {
             child,
             bank,
             block_size,
+            batched,
             stat_hits: registry.counter("stat_hits"),
             stat_misses: registry.counter("stat_misses"),
             read_hits: registry.counter("read_hits"),
@@ -134,17 +141,27 @@ impl Translator for CmCache {
                     }
                     let t0 = self.handle.now();
                     let blocks = cover(offset, len, self.block_size);
-                    // Fetch every covering block from the bank in parallel.
-                    let futs: Vec<_> = blocks
-                        .iter()
-                        .map(|b| {
-                            let bank = Rc::clone(&self.bank);
-                            let key = block_key(&path, b.start);
-                            let hint = b.index;
-                            async move { bank.get(&key, Some(hint)).await }
-                        })
-                        .collect();
-                    let fetched = join_all(&self.handle, futs).await;
+                    // Fetch every covering block from the bank: batched as
+                    // one multi-get per routed daemon, or (ablation) as
+                    // one RPC per block in parallel.
+                    let fetched: Vec<Option<bytes::Bytes>> = if self.batched {
+                        let keys: Vec<(Vec<u8>, Option<u64>)> = blocks
+                            .iter()
+                            .map(|b| (block_key(&path, b.start), Some(b.index)))
+                            .collect();
+                        self.bank.get_multi(&keys).await
+                    } else {
+                        let futs: Vec<_> = blocks
+                            .iter()
+                            .map(|b| {
+                                let bank = Rc::clone(&self.bank);
+                                let key = block_key(&path, b.start);
+                                let hint = b.index;
+                                async move { bank.get(&key, Some(hint)).await }
+                            })
+                            .collect();
+                        join_all(&self.handle, futs).await
+                    };
                     if fetched.iter().all(|f| f.is_some()) {
                         let owned: Vec<(u64, bytes::Bytes)> = blocks
                             .iter()
@@ -221,6 +238,7 @@ mod tests {
         sim: &Sim,
         file: Vec<u8>,
         bs: u64,
+        batched: bool,
     ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
         let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
@@ -236,6 +254,7 @@ mod tests {
             Rc::clone(&rec) as Xlator,
             Rc::clone(&bank),
             bs,
+            batched,
         );
         sim.handle().spawn(async move {
             let _keepalive = mcds;
@@ -247,7 +266,7 @@ mod tests {
     #[test]
     fn stat_hit_skips_the_server() {
         let mut sim = Sim::new(0);
-        let (cm, rec, bank) = setup(&sim, vec![0; 100], 2048);
+        let (cm, rec, bank) = setup(&sim, vec![0; 100], 2048, true);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
             // Seed the bank the way SMCache would.
@@ -256,9 +275,11 @@ mod tests {
                 mtime_ns: 9,
                 ctime_ns: 9,
             };
-            bank.set(&stat_key("/f"), Bytes::from(st.to_bytes()), None).await;
-            let FopReply::Stat(Ok(got)) =
-                Rc::clone(&(cm2 as Xlator)).handle(Fop::Stat { path: "/f".into() }).await
+            bank.set(&stat_key("/f"), Bytes::from(st.to_bytes()), None)
+                .await;
+            let FopReply::Stat(Ok(got)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Stat { path: "/f".into() })
+                .await
             else {
                 panic!()
             };
@@ -272,11 +293,12 @@ mod tests {
     #[test]
     fn stat_miss_propagates() {
         let mut sim = Sim::new(0);
-        let (cm, rec, _bank) = setup(&sim, vec![0; 100], 2048);
+        let (cm, rec, _bank) = setup(&sim, vec![0; 100], 2048, true);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
-            let FopReply::Stat(Ok(st)) =
-                Rc::clone(&(cm2 as Xlator)).handle(Fop::Stat { path: "/f".into() }).await
+            let FopReply::Stat(Ok(st)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Stat { path: "/f".into() })
+                .await
             else {
                 panic!()
             };
@@ -291,7 +313,7 @@ mod tests {
     fn read_hit_assembles_from_blocks() {
         let mut sim = Sim::new(0);
         let file: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
-        let (cm, rec, bank) = setup(&sim, file.clone(), 2048);
+        let (cm, rec, bank) = setup(&sim, file.clone(), 2048, true);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
             // Seed blocks 0..4 as SMCache would.
@@ -322,11 +344,10 @@ mod tests {
         assert_eq!(cm.stats().read_hits, 1);
     }
 
-    #[test]
-    fn any_block_miss_forwards_whole_read() {
+    fn miss_forwards_whole_read(batched: bool) {
         let mut sim = Sim::new(0);
         let file: Vec<u8> = vec![7; 8192];
-        let (cm, rec, bank) = setup(&sim, file.clone(), 2048);
+        let (cm, rec, bank) = setup(&sim, file.clone(), 2048, batched);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
             // Seed only the first of the two covering blocks.
@@ -354,9 +375,19 @@ mod tests {
     }
 
     #[test]
+    fn any_block_miss_forwards_whole_read() {
+        miss_forwards_whole_read(true);
+    }
+
+    #[test]
+    fn any_block_miss_forwards_whole_read_per_key() {
+        miss_forwards_whole_read(false);
+    }
+
+    #[test]
     fn writes_are_not_intercepted() {
         let mut sim = Sim::new(0);
-        let (cm, rec, _bank) = setup(&sim, vec![], 2048);
+        let (cm, rec, _bank) = setup(&sim, vec![], 2048, true);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
             Rc::clone(&(cm2 as Xlator))
@@ -376,7 +407,7 @@ mod tests {
     #[test]
     fn zero_length_read_short_circuits() {
         let mut sim = Sim::new(0);
-        let (cm, rec, _bank) = setup(&sim, vec![1; 100], 2048);
+        let (cm, rec, _bank) = setup(&sim, vec![1; 100], 2048, true);
         let cm2 = Rc::clone(&cm);
         sim.spawn(async move {
             let FopReply::Read(Ok(data)) = Rc::clone(&(cm2 as Xlator))

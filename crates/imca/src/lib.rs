@@ -61,7 +61,5 @@ mod smcache;
 
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
 pub use cmcache::{CmCache, CmStats};
-#[allow(deprecated)]
-pub use mcd::{bank_stats, kill_mcd, revive_mcd, start_bank};
 pub use mcd::{start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp};
 pub use smcache::{SmCache, SmStats};

@@ -11,20 +11,26 @@
 //! The bank is owned and administered through a [`Bank`] handle:
 //! `Bank::start` brings the daemons up, `bank.kill(i)` / `bank.revive(i)`
 //! drive the failover experiments, `bank.stats()` scrapes the daemons, and
-//! `bank.client(..)` connects a consumer. The old free functions
-//! (`start_bank`, `kill_mcd`, `revive_mcd`, `bank_stats`) remain as
-//! deprecated shims for one release.
+//! `bank.client(..)` connects a consumer.
+//!
+//! The data path is batched the way libmemcache batches it (DESIGN.md
+//! "Batched bank data path"): [`BankClient::get_multi`] groups keys by
+//! routed daemon and issues one multi-key `get` RPC per daemon, and
+//! [`BankClient::set_pipeline`] / [`BankClient::delete_pipeline`] stream
+//! `noreply` stores/deletes with a single trailing `version` round trip
+//! per daemon as the sync barrier.
 
 use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
+use imca_fabric::{fan_out, Network, NodeId, RpcClient, Service, Transport, WireSize};
 use imca_memcached::protocol::{Command, Response, StoreVerb};
 use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
 use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
-use imca_sim::{SimDuration, SimHandle};
+use imca_sim::{join_all, SimDuration, SimHandle};
 
 /// Request wrapper carrying a memcached protocol command across the fabric.
 #[derive(Debug, Clone)]
@@ -59,7 +65,10 @@ impl WireSize for McdResp {
                     .sum::<usize>()
             }
             Some(Response::Stats(pairs)) => {
-                5 + pairs.iter().map(|(k, v)| 7 + k.len() + v.len()).sum::<usize>()
+                5 + pairs
+                    .iter()
+                    .map(|(k, v)| 7 + k.len() + v.len())
+                    .sum::<usize>()
             }
             Some(_) => 16,
             None => 0,
@@ -123,7 +132,9 @@ impl McdNode {
 impl MetricSource for McdNode {
     fn collect(&self, prefix: &str, snap: &mut Snapshot) {
         self.registry.collect(prefix, snap);
-        self.server.store().collect(&prefixed(prefix, "store"), snap);
+        self.server
+            .store()
+            .collect(&prefixed(prefix, "store"), snap);
         snap.set_gauge(prefixed(prefix, "alive"), self.alive.get() as i64);
     }
 }
@@ -146,6 +157,14 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
         let alive = Rc::clone(&alive);
         let h2 = h.clone();
         h.spawn(async move {
+            // Dispatcher: take requests off the wire immediately (the NIC
+            // does not block on the event loop) and hand each one to a
+            // task that holds the single-slot CPU for the *whole* command
+            // — apply plus service time — so concurrent requests queue
+            // behind each other instead of being serviced in parallel.
+            // The resource's FIFO ticketing preserves arrival order,
+            // which is what makes a trailing `version` call a sync
+            // barrier for pipelined `noreply` commands.
             while let Some(incoming) = service.recv().await {
                 if !alive.get() {
                     // Dead daemon: drop the request (client sees a reset).
@@ -154,24 +173,45 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
                 }
                 requests.inc();
                 let t0 = h2.now();
-                let (req, _src, replier) = incoming.into_parts();
-                let touched = match &req.0 {
-                    Command::Store { data, .. } => data.len(),
-                    _ => 0,
-                };
-                cpu.serve(&h2, SimDuration::ZERO).await; // enqueue on event loop
-                let now_secs = h2.now().as_nanos() / 1_000_000_000;
-                let resp = server.apply(&req.0, now_secs);
-                // Response value bytes also cross the daemon's memcpy.
-                let resp_touched = match &resp {
-                    Some(Response::Values(vals)) => {
-                        vals.iter().map(|v| v.data.len()).sum::<usize>()
+                let server = Rc::clone(&server);
+                let alive = Rc::clone(&alive);
+                let cpu = cpu.clone();
+                let costs = costs.clone();
+                let service_ns = service_ns.clone();
+                let dropped = dropped.clone();
+                let h3 = h2.clone();
+                h2.spawn(async move {
+                    let (req, _src, replier) = incoming.into_parts();
+                    let _slot = cpu.acquire().await;
+                    if !alive.get() {
+                        // Killed while queued on the event loop.
+                        dropped.inc();
+                        return;
                     }
-                    _ => 0,
-                };
-                h2.sleep(costs.service_time(touched + resp_touched)).await;
-                service_ns.record_duration(h2.now().since(t0));
-                replier.reply(McdResp(resp));
+                    let touched = match &req.0 {
+                        Command::Store { data, .. } => data.len(),
+                        _ => 0,
+                    };
+                    let now_secs = h3.now().as_nanos() / 1_000_000_000;
+                    let resp = server.apply(&req.0, now_secs);
+                    // Response value bytes also cross the daemon's memcpy.
+                    let resp_touched = match &resp {
+                        Some(Response::Values(vals)) => {
+                            vals.iter().map(|v| v.data.len()).sum::<usize>()
+                        }
+                        _ => 0,
+                    };
+                    h3.sleep(costs.service_time(touched + resp_touched)).await;
+                    if !alive.get() {
+                        // Killed mid-service: the process died before the
+                        // response hit the socket.
+                        dropped.inc();
+                        return;
+                    }
+                    // Sojourn time: queueing on the event loop included.
+                    service_ns.record_duration(h3.now().since(t0));
+                    replier.reply(McdResp(resp));
+                });
             }
         });
     }
@@ -342,6 +382,14 @@ pub struct BankClient {
     failures: Counter,
     /// Client-observed round-trip per completed get, virtual ns.
     get_ns: Histogram,
+    /// Multi-key `get` RPCs issued (one per daemon per batch).
+    multi_gets: Counter,
+    /// Keys carried by each multi-key `get` RPC.
+    keys_per_multi_get: Histogram,
+    /// Stores streamed through the `noreply` pipeline.
+    pipelined_sets: Counter,
+    /// Deletes streamed through the `noreply` pipeline.
+    pipelined_deletes: Counter,
 }
 
 impl BankClient {
@@ -377,6 +425,10 @@ impl BankClient {
             deletes: registry.counter("deletes"),
             failures: registry.counter("failures"),
             get_ns: registry.histogram("get_ns"),
+            multi_gets: registry.counter("multi_gets"),
+            keys_per_multi_get: registry.histogram("keys_per_multi_get"),
+            pipelined_sets: registry.counter("pipelined_sets"),
+            pipelined_deletes: registry.counter("pipelined_deletes"),
             registry,
         }
     }
@@ -426,33 +478,193 @@ impl BankClient {
     /// Fetch one value. `hint` is the block index for modulo distribution.
     pub async fn get(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
         self.gets.inc();
-        let Some(idx) = self.route(key, hint) else {
-            self.misses.inc();
-            return None;
-        };
-        let req = McdReq(Command::Get {
-            keys: vec![key.to_vec()],
-            with_cas: false,
-        });
         let t0 = self.handle.now();
-        let resp = self.clients[idx].try_call(req).await;
-        match resp {
-            Some(McdResp(Some(Response::Values(mut vals)))) if !vals.is_empty() => {
-                self.get_ns.record_duration(self.handle.now().since(t0));
-                self.hits.inc();
-                Some(vals.remove(0).data)
-            }
-            Some(_) => {
-                self.get_ns.record_duration(self.handle.now().since(t0));
-                self.misses.inc();
-                None
-            }
+        let result = match self.route(key, hint) {
             None => {
-                // Daemon died mid-flight: treat as a miss and avoid it.
-                self.failures.inc();
                 self.misses.inc();
-                self.core.borrow_mut().mark_dead(idx);
                 None
+            }
+            Some(idx) => {
+                let req = McdReq(Command::Get {
+                    keys: vec![key.to_vec()],
+                    with_cas: false,
+                });
+                match self.clients[idx].try_call(req).await {
+                    Some(McdResp(Some(Response::Values(mut vals)))) if !vals.is_empty() => {
+                        self.hits.inc();
+                        Some(vals.remove(0).data)
+                    }
+                    Some(_) => {
+                        self.misses.inc();
+                        None
+                    }
+                    None => {
+                        // Daemon died mid-flight: treat as a miss and avoid it.
+                        self.failures.inc();
+                        self.misses.inc();
+                        self.core.borrow_mut().mark_dead(idx);
+                        None
+                    }
+                }
+            }
+        };
+        // Client-observed completion latency for *every* get — dead-route
+        // local misses and mid-flight failures included — so the
+        // histogram count always equals the `gets` counter, with or
+        // without fault injection.
+        self.get_ns.record_duration(self.handle.now().since(t0));
+        result
+    }
+
+    /// Fetch many values with at most one RPC per (live) daemon: keys are
+    /// grouped by their routed primary and each group travels as a single
+    /// multi-key `get` — the batching real libmemcache applies that a
+    /// one-RPC-per-block client forgoes. Results come back in request
+    /// order. Routing semantics are identical to [`BankClient::get`]: a
+    /// key whose primary is dead is a local miss with no wire traffic
+    /// (never a rehash), and a daemon dying mid-flight fails every key
+    /// grouped on it.
+    pub async fn get_multi(&self, keys: &[(Vec<u8>, Option<u64>)]) -> Vec<Option<Bytes>> {
+        self.gets.add(keys.len() as u64);
+        let t0 = self.handle.now();
+        let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
+        // BTreeMap for a deterministic daemon visit order.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pos, (key, hint)) in keys.iter().enumerate() {
+            match self.route(key, *hint) {
+                Some(idx) => groups.entry(idx).or_default().push(pos),
+                None => self.misses.inc(),
+            }
+        }
+        let groups: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+        let calls: Vec<_> = groups
+            .iter()
+            .map(|(idx, positions)| {
+                self.multi_gets.inc();
+                self.keys_per_multi_get.record(positions.len() as u64);
+                let req = McdReq(Command::Get {
+                    keys: positions.iter().map(|&p| keys[p].0.clone()).collect(),
+                    with_cas: false,
+                });
+                (self.clients[*idx].clone(), req)
+            })
+            .collect();
+        let resps = fan_out(&self.handle, calls).await;
+        for ((idx, positions), resp) in groups.into_iter().zip(resps) {
+            match resp {
+                Some(McdResp(Some(Response::Values(vals)))) => {
+                    // The daemon returns only the found keys, in request
+                    // order with the key echoed: walk both lists in
+                    // lockstep to tell hits from per-key misses.
+                    let mut vals = vals.into_iter().peekable();
+                    for &p in &positions {
+                        if vals.peek().is_some_and(|v| v.key == keys[p].0) {
+                            self.hits.inc();
+                            out[p] = Some(vals.next().expect("peeked").data);
+                        } else {
+                            self.misses.inc();
+                        }
+                    }
+                }
+                Some(_) => self.misses.add(positions.len() as u64),
+                None => {
+                    // Daemon died mid-flight: the whole group fails.
+                    self.failures.add(positions.len() as u64);
+                    self.misses.add(positions.len() as u64);
+                    self.core.borrow_mut().mark_dead(idx);
+                }
+            }
+        }
+        // One latency sample per requested key (they completed together),
+        // keeping the histogram count equal to `gets`.
+        let dt = self.handle.now().since(t0);
+        for _ in 0..keys.len() {
+            self.get_ns.record_duration(dt);
+        }
+        out
+    }
+
+    /// Store many values using `noreply` pipelining: per routed daemon the
+    /// stores are streamed back-to-back without individual
+    /// acknowledgements, then a single `version` round trip flushes the
+    /// daemon's FIFO event loop — every pipelined command completes
+    /// before the sync answers. One trailing RTT per daemon instead of
+    /// one per key.
+    ///
+    /// A key routed to a dead primary is skipped, exactly like
+    /// [`BankClient::set`]. If a daemon dies mid-pipeline its sync fails
+    /// and every key streamed to it counts as a failure, because none of
+    /// them is known to have landed.
+    pub async fn set_pipeline(&self, items: Vec<(Vec<u8>, Bytes, Option<u64>)>) {
+        self.sets.add(items.len() as u64);
+        let mut groups: BTreeMap<usize, Vec<(Vec<u8>, Bytes)>> = BTreeMap::new();
+        for (key, value, hint) in items {
+            if let Some(idx) = self.route(&key, hint) {
+                groups.entry(idx).or_default().push((key, value));
+            }
+        }
+        let mut daemons = Vec::with_capacity(groups.len());
+        let mut pipelines = Vec::with_capacity(groups.len());
+        for (idx, batch) in groups {
+            self.pipelined_sets.add(batch.len() as u64);
+            daemons.push((idx, batch.len() as u64));
+            let client = self.clients[idx].clone();
+            pipelines.push(async move {
+                for (key, data) in batch {
+                    client
+                        .post(McdReq(Command::Store {
+                            verb: StoreVerb::Set,
+                            key,
+                            flags: 0,
+                            exptime: 0,
+                            data,
+                            noreply: true,
+                        }))
+                        .await;
+                }
+                client.try_call(McdReq(Command::Version)).await
+            });
+        }
+        let syncs = join_all(&self.handle, pipelines).await;
+        for ((idx, streamed), sync) in daemons.into_iter().zip(syncs) {
+            if sync.is_none() {
+                self.failures.add(streamed);
+                self.core.borrow_mut().mark_dead(idx);
+            }
+        }
+    }
+
+    /// Remove many keys using `noreply` pipelining with one trailing
+    /// `version` sync per daemon — same grouping, ordering, and failure
+    /// semantics as [`BankClient::set_pipeline`].
+    pub async fn delete_pipeline(&self, items: Vec<(Vec<u8>, Option<u64>)>) {
+        self.deletes.add(items.len() as u64);
+        let mut groups: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
+        for (key, hint) in items {
+            if let Some(idx) = self.route(&key, hint) {
+                groups.entry(idx).or_default().push(key);
+            }
+        }
+        let mut daemons = Vec::with_capacity(groups.len());
+        let mut pipelines = Vec::with_capacity(groups.len());
+        for (idx, batch) in groups {
+            self.pipelined_deletes.add(batch.len() as u64);
+            daemons.push((idx, batch.len() as u64));
+            let client = self.clients[idx].clone();
+            pipelines.push(async move {
+                for key in batch {
+                    client
+                        .post(McdReq(Command::Delete { key, noreply: true }))
+                        .await;
+                }
+                client.try_call(McdReq(Command::Version)).await
+            });
+        }
+        let syncs = join_all(&self.handle, pipelines).await;
+        for ((idx, streamed), sync) in daemons.into_iter().zip(syncs) {
+            if sync.is_none() {
+                self.failures.add(streamed);
+                self.core.borrow_mut().mark_dead(idx);
             }
         }
     }
@@ -500,43 +712,6 @@ impl MetricSource for BankClient {
     }
 }
 
-/// Kill a daemon: it stops answering; in-flight requests are dropped.
-///
-/// Deprecated: does not maintain the bank's `mcd_failovers` metric.
-#[deprecated(since = "0.2.0", note = "use `Bank::kill` on the owning `Bank` handle")]
-pub fn kill_mcd(node: &McdNode) {
-    node.alive.set(false);
-}
-
-/// Revive a previously killed daemon (restarts empty).
-#[deprecated(since = "0.2.0", note = "use `Bank::revive` on the owning `Bank` handle")]
-pub fn revive_mcd(node: &McdNode) {
-    node.server.store().flush_all();
-    node.alive.set(true);
-}
-
-/// Spin up a whole bank on fresh fabric nodes as loose nodes.
-#[deprecated(since = "0.2.0", note = "use `Bank::start`, which owns its daemons")]
-pub fn start_bank(
-    net: &Network,
-    count: usize,
-    cfg: &McConfig,
-    costs: &McdCosts,
-) -> Vec<McdNode> {
-    (0..count)
-        .map(|_| {
-            let node = net.add_node();
-            start_mcd(net, node, cfg.clone(), costs.clone())
-        })
-        .collect()
-}
-
-/// Sum daemon-side stats across a bank.
-#[deprecated(since = "0.2.0", note = "use `Bank::stats`")]
-pub fn bank_stats(nodes: &[McdNode]) -> McStats {
-    sum_mcd_stats(nodes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,7 +719,12 @@ mod tests {
 
     fn setup(sim: &Sim, n: usize) -> (Network, Rc<Bank>, BankClient) {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let bank = Rc::new(Bank::start(&net, n, &McConfig::default(), &McdCosts::default()));
+        let bank = Rc::new(Bank::start(
+            &net,
+            n,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
         let client_node = net.add_node();
         let client = bank.client(client_node, Selector::Crc32, None);
         (net, bank, client)
@@ -559,7 +739,8 @@ mod tests {
         sim.spawn(async move {
             for i in 0..100u64 {
                 let key = format!("/f/{i}:stat");
-                c2.set(key.as_bytes(), Bytes::from(vec![i as u8; 24]), None).await;
+                c2.set(key.as_bytes(), Bytes::from(vec![i as u8; 24]), None)
+                    .await;
             }
             for i in 0..100u64 {
                 let key = format!("/f/{i}:stat");
@@ -607,7 +788,12 @@ mod tests {
         let mut sim = Sim::new(0);
         // Modulo routing so hints pin keys to known daemons: hint 0 → MCD 0.
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let bank = Rc::new(Bank::start(&net, 2, &McConfig::default(), &McdCosts::default()));
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
         let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
         let c2 = Rc::clone(&client);
         let b2 = Rc::clone(&bank);
@@ -671,13 +857,19 @@ mod tests {
     fn modulo_selector_round_robins_blocks() {
         let mut sim = Sim::new(0);
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let bank = Rc::new(Bank::start(&net, 4, &McConfig::default(), &McdCosts::default()));
+        let bank = Rc::new(Bank::start(
+            &net,
+            4,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
         let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
         let c2 = Rc::clone(&client);
         sim.spawn(async move {
             for blk in 0..16u64 {
                 let key = format!("/file:{}", blk * 2048);
-                c2.set(key.as_bytes(), Bytes::from_static(b"B"), Some(blk)).await;
+                c2.set(key.as_bytes(), Bytes::from_static(b"B"), Some(blk))
+                    .await;
             }
         });
         sim.run();
@@ -690,58 +882,332 @@ mod tests {
     #[test]
     fn bank_metrics_mirror_legacy_stats() {
         let mut sim = Sim::new(0);
-        let (_net, bank, client) = setup(&sim, 2);
+        let (net, bank, client) = setup(&sim, 2);
         let client = Rc::new(client);
         let c2 = Rc::clone(&client);
+        let b2 = Rc::clone(&bank);
+        let h = net.handle();
+        let (kill_tx, kill_rx) = imca_sim::sync::oneshot::<()>();
+        {
+            // Mid-flight killer: takes *both* daemons down shortly after
+            // the signal, while the driver's last get is on the wire.
+            let b = Rc::clone(&bank);
+            let h2 = h.clone();
+            sim.spawn(async move {
+                let _ = kill_rx.await;
+                h2.sleep(SimDuration::micros(10)).await;
+                b.kill(0);
+                b.kill(1);
+            });
+        }
         sim.spawn(async move {
             for i in 0..20u64 {
                 let key = format!("/m/{i}:stat");
-                c2.set(key.as_bytes(), Bytes::from(vec![1u8; 32]), None).await;
+                c2.set(key.as_bytes(), Bytes::from(vec![1u8; 32]), None)
+                    .await;
             }
             for i in 0..25u64 {
                 let key = format!("/m/{i}:stat");
                 c2.get(key.as_bytes(), None).await;
             }
+            // Fault injection must not skew the histogram/counter
+            // agreement. First: dead-primary local misses.
+            b2.kill(0);
+            for i in 0..10u64 {
+                let key = format!("/m/{i}:stat");
+                c2.get(key.as_bytes(), None).await;
+            }
+            b2.revive(0);
+            // Then: a get whose daemon dies mid-flight.
+            kill_tx.send(());
+            assert!(c2.get(b"/m/0:stat", None).await.is_none());
         });
         sim.run();
         // Client view: the registry and the BankStats struct are the same
         // atomics, so the snapshot must agree exactly.
         let snap = imca_metrics::collect_from(&*client, "bank");
         let s = client.stats();
+        assert!(
+            s.failures >= 1,
+            "the mid-flight kill was not injected: {s:?}"
+        );
         assert_eq!(snap.counter("bank.gets"), Some(s.gets));
         assert_eq!(snap.counter("bank.hits"), Some(s.hits));
         assert_eq!(snap.counter("bank.misses"), Some(s.misses));
         assert_eq!(snap.counter("bank.sets"), Some(s.sets));
-        let hist = snap.histogram("bank.get_ns").expect("get latency histogram");
-        assert_eq!(hist.count, s.gets, "every routed get records a latency");
+        assert_eq!(snap.counter("bank.failures"), Some(s.failures));
+        let hist = snap
+            .histogram("bank.get_ns")
+            .expect("get latency histogram");
+        assert_eq!(
+            hist.count, s.gets,
+            "every get records a latency — hits, misses, and failures alike"
+        );
         assert!(hist.mean() > 0.0);
         // Daemon view: summed store counters equal the aggregate stats.
         let snap = imca_metrics::collect_from(&*bank, "");
         let agg = bank.stats();
         assert_eq!(snap.counter_sum(".store.cmd_get"), agg.cmd_get);
         assert_eq!(snap.counter_sum(".store.get_hits"), agg.get_hits);
-        assert!(snap.histogram_names().iter().any(|n| n.ends_with("service_ns")));
+        assert!(snap
+            .histogram_names()
+            .iter()
+            .any(|n| n.ends_with("service_ns")));
     }
 
     #[test]
-    fn deprecated_shims_still_work() {
-        #![allow(deprecated)]
+    fn multi_get_issues_one_rpc_per_daemon() {
         let mut sim = Sim::new(0);
+        // Modulo routing so block hints pin keys to known daemons.
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let nodes = start_bank(&net, 2, &McConfig::default(), &McdCosts::default());
-        let client = Rc::new(BankClient::connect(&nodes, net.add_node(), Selector::Modulo, None));
-        let nodes = Rc::new(nodes);
+        let bank = Rc::new(Bank::start(
+            &net,
+            4,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
         let c2 = Rc::clone(&client);
-        let n2 = Rc::clone(&nodes);
         sim.spawn(async move {
-            c2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
-            kill_mcd(&n2[0]);
-            assert!(c2.get(b"/k:0", Some(0)).await.is_none());
-            revive_mcd(&n2[0]);
-            c2.set(b"/k:0", Bytes::from_static(b"w"), Some(0)).await;
-            assert!(c2.get(b"/k:0", Some(0)).await.is_some());
+            for blk in 0..8u64 {
+                let key = format!("/f:{}", blk * 2048);
+                c2.set(key.as_bytes(), Bytes::from(vec![blk as u8; 64]), Some(blk))
+                    .await;
+            }
+            let keys: Vec<(Vec<u8>, Option<u64>)> = (0..8u64)
+                .map(|blk| (format!("/f:{}", blk * 2048).into_bytes(), Some(blk)))
+                .collect();
+            let got = c2.get_multi(&keys).await;
+            for (blk, v) in got.iter().enumerate() {
+                assert_eq!(v.as_deref(), Some(&vec![blk as u8; 64][..]), "block {blk}");
+            }
         });
         sim.run();
-        assert_eq!(bank_stats(&nodes).cmd_set, 2);
+        let s = client.stats();
+        assert_eq!((s.gets, s.hits, s.misses, s.failures), (8, 8, 0, 0));
+        // 8 keys over 4 daemons: exactly one multi-get RPC per daemon,
+        // carrying 2 keys each.
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.multi_gets"), Some(4));
+        let per = snap
+            .histogram("bank.keys_per_multi_get")
+            .expect("batch-size histogram");
+        assert_eq!(per.count, 4);
+        assert_eq!(per.mean(), 2.0);
+        assert_eq!(
+            snap.histogram("bank.get_ns").expect("get latency").count,
+            s.gets
+        );
+        // Daemon side: each of the 4 daemons saw 2 sets + 1 multi-get.
+        let snap = imca_metrics::collect_from(&*bank, "bank");
+        for i in 0..4 {
+            assert_eq!(
+                snap.counter(&format!("bank.mcd.{i}.requests")),
+                Some(3),
+                "daemon {i} must see one batched read RPC, not one per key"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_get_dead_primary_is_a_local_miss() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            c2.set(b"/f:0", Bytes::from_static(b"a"), Some(0)).await;
+            c2.set(b"/f:2048", Bytes::from_static(b"b"), Some(1)).await;
+            b2.kill(0);
+            let got = c2
+                .get_multi(&[(b"/f:0".to_vec(), Some(0)), (b"/f:2048".to_vec(), Some(1))])
+                .await;
+            // Dead primary: miss without a rehash; the survivor still answers.
+            assert_eq!(got[0], None);
+            assert_eq!(got[1], Some(Bytes::from_static(b"b")));
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.gets, s.hits, s.misses), (2, 1, 1));
+        // No wire traffic to the dead daemon: not a failure, a local miss.
+        assert_eq!(s.failures, 0);
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.multi_gets"), Some(1));
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn multi_get_kill_mid_flight_fails_the_whole_group() {
+        let mut sim = Sim::new(0);
+        let (net, bank, client) = setup(&sim, 1);
+        let client = Rc::new(client);
+        let h = net.handle();
+        let (armed_tx, armed_rx) = imca_sim::sync::oneshot::<()>();
+        {
+            let c = Rc::clone(&client);
+            sim.spawn(async move {
+                for i in 0..3u64 {
+                    let key = format!("/g/{i}:stat");
+                    c.set(key.as_bytes(), Bytes::from_static(b"v"), None).await;
+                }
+                let keys: Vec<(Vec<u8>, Option<u64>)> = (0..3u64)
+                    .map(|i| (format!("/g/{i}:stat").into_bytes(), None))
+                    .collect();
+                // Arm the killer, then issue the multi-get: routing is
+                // synchronous, so the RPC is on the wire before the killer
+                // task gets to run.
+                armed_tx.send(());
+                let got = c.get_multi(&keys).await;
+                assert!(got.iter().all(|v| v.is_none()));
+            });
+        }
+        {
+            let b = Rc::clone(&bank);
+            sim.spawn(async move {
+                armed_rx.await.unwrap();
+                // The request is in flight; kill before it is served.
+                h.sleep(SimDuration::nanos(1)).await;
+                b.kill(0);
+            });
+        }
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.gets, s.hits), (3, 0));
+        assert_eq!(s.failures, 3, "every key in the dropped batch fails");
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn pipelines_store_and_delete_with_one_sync_per_daemon() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            let items: Vec<(Vec<u8>, Bytes, Option<u64>)> = (0..8u64)
+                .map(|blk| {
+                    (
+                        format!("/p:{}", blk * 2048).into_bytes(),
+                        Bytes::from(vec![blk as u8; 128]),
+                        Some(blk),
+                    )
+                })
+                .collect();
+            c2.set_pipeline(items).await;
+            // The trailing sync guarantees every store has landed.
+            for blk in 0..8u64 {
+                let key = format!("/p:{}", blk * 2048);
+                let got = c2.get(key.as_bytes(), Some(blk)).await;
+                assert_eq!(got.as_deref(), Some(&vec![blk as u8; 128][..]));
+            }
+            c2.delete_pipeline(
+                (0..8u64)
+                    .map(|blk| (format!("/p:{}", blk * 2048).into_bytes(), Some(blk)))
+                    .collect(),
+            )
+            .await;
+            for blk in 0..8u64 {
+                let key = format!("/p:{}", blk * 2048);
+                assert!(c2.get(key.as_bytes(), Some(blk)).await.is_none());
+            }
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.sets, s.deletes, s.failures), (8, 8, 0));
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.pipelined_sets"), Some(8));
+        assert_eq!(snap.counter("bank.pipelined_deletes"), Some(8));
+        // Daemon side: 4 noreply stores + 4 noreply deletes + 2 version
+        // syncs + 8 verification gets = 18 requests per daemon; the key
+        // point is 1 sync per daemon per pipeline, not 1 RTT per key.
+        let snap = imca_metrics::collect_from(&*bank, "bank");
+        for i in 0..2 {
+            assert_eq!(snap.counter(&format!("bank.mcd.{i}.requests")), Some(18));
+        }
+    }
+
+    #[test]
+    fn pipeline_sync_failure_counts_the_streamed_batch() {
+        let mut sim = Sim::new(0);
+        let (net, bank, client) = setup(&sim, 1);
+        let client = Rc::new(client);
+        let h = net.handle();
+        {
+            let c = Rc::clone(&client);
+            sim.spawn(async move {
+                let items: Vec<(Vec<u8>, Bytes, Option<u64>)> = (0..4u64)
+                    .map(|i| {
+                        (
+                            format!("/q/{i}:0").into_bytes(),
+                            Bytes::from(vec![7u8; 2048]),
+                            Some(i),
+                        )
+                    })
+                    .collect();
+                c.set_pipeline(items).await;
+            });
+        }
+        {
+            let b = Rc::clone(&bank);
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(30)).await;
+                b.kill(0);
+            });
+        }
+        sim.run();
+        let s = client.stats();
+        assert_eq!(s.sets, 4);
+        assert_eq!(
+            s.failures, 4,
+            "a dead sync leaves every streamed store un-acknowledged"
+        );
+        assert_eq!(bank.failovers(), 1);
+    }
+
+    #[test]
+    fn concurrent_ops_queue_on_the_single_event_loop() {
+        // The daemon models memcached's single event loop: two
+        // simultaneous commands must be serviced one after the other, so
+        // the makespan is at least twice the per-op service time (a
+        // parallel server would overlap them and finish in ~one).
+        fn makespan(nops: usize) -> u64 {
+            let mut sim = Sim::new(0);
+            let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+            let costs = McdCosts {
+                per_op: SimDuration::micros(500),
+                memcpy_bps: 1e12,
+            };
+            let bank = Rc::new(Bank::start(&net, 1, &McConfig::default(), &costs));
+            for _ in 0..nops {
+                // Each op from its own node, so the NICs don't serialise
+                // the requests before they reach the daemon.
+                let client = bank.client(net.add_node(), Selector::Crc32, None);
+                sim.spawn(async move {
+                    client.get(b"/k:stat", None).await;
+                });
+            }
+            sim.run().end_time.as_nanos()
+        }
+        let one = makespan(1);
+        let two = makespan(2);
+        assert!(
+            two >= 2 * SimDuration::micros(500).as_nanos(),
+            "two concurrent ops did not queue on the CPU: one={one} two={two}"
+        );
+        assert!(two > one, "one={one} two={two}");
     }
 }

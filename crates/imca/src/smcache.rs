@@ -20,9 +20,22 @@
 //!
 //! Because memcached cannot enumerate keys, SMCache records which block
 //! keys it has populated per file and purges exactly those.
+//!
+//! Two mechanics around the update path:
+//!
+//! * **Batching** (default): block pushes go through
+//!   [`BankClient::set_pipeline`] and purges through
+//!   [`BankClient::delete_pipeline`] — `noreply` streams with one sync
+//!   round trip per daemon instead of one awaited RPC per key.
+//! * **Generation fence**: `purge()` bumps a per-path generation counter
+//!   *before* it yields, and every update job carries the generation it
+//!   was created under. A deferred (or in-flight) update whose generation
+//!   is stale — a `Close`/`Unlink` purge overtook it — is dropped (or
+//!   rolled back) instead of repopulating blocks for a closed or deleted
+//!   file, the "false positive" §4.3.2 purges to avoid.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -46,6 +59,8 @@ pub struct SmStats {
     pub purges: u64,
     /// Update jobs deferred to the background thread.
     pub deferred_jobs: u64,
+    /// Updates dropped (or rolled back) because a purge overtook them.
+    pub stale_updates_dropped: u64,
 }
 
 enum Job {
@@ -55,6 +70,7 @@ enum Job {
         path: String,
         offset: u64,
         len: u64,
+        gen: u64,
     },
     /// Push blocks cut from data already in hand (read path).
     PopulateData {
@@ -62,6 +78,7 @@ enum Job {
         aligned_offset: u64,
         aligned_len: u64,
         data: Vec<u8>,
+        gen: u64,
     },
 }
 
@@ -72,24 +89,36 @@ pub struct SmCache {
     block_size: u64,
     handle: SimHandle,
     threaded: bool,
+    batched: bool,
     jobs: Queue<Job>,
-    populated: RefCell<HashMap<String, BTreeSet<u64>>>,
+    /// Per path: block start → cached chunk length. The length matters at
+    /// EOF: a block cached shorter than `block_size` encodes "the file
+    /// ends inside this block", and must be refreshed when a write moves
+    /// the end of file past it (see `populate_range`).
+    populated: RefCell<HashMap<String, BTreeMap<u64, u64>>>,
+    /// Per-path purge generation; bumped synchronously by `purge()` so
+    /// racing update jobs can detect they are stale.
+    generations: RefCell<HashMap<String, u64>>,
     registry: Registry,
     blocks_pushed: Counter,
     stat_pushes: Counter,
     purges: Counter,
     deferred_jobs: Counter,
+    stale_updates_dropped: Counter,
 }
 
 impl SmCache {
     /// Stack SMCache above `child` (normally `storage/posix`).
-    /// `threaded_updates` moves MCD population off the critical path.
+    /// `threaded_updates` moves MCD population off the critical path;
+    /// `batched` streams pushes/purges as `noreply` pipelines (one sync
+    /// per daemon) instead of one awaited RPC per key.
     pub fn new(
         handle: SimHandle,
         child: Xlator,
         bank: Rc<BankClient>,
         block_size: u64,
         threaded_updates: bool,
+        batched: bool,
     ) -> Rc<SmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
@@ -99,12 +128,15 @@ impl SmCache {
             block_size,
             handle: handle.clone(),
             threaded: threaded_updates,
+            batched,
             jobs: Queue::new(),
             populated: RefCell::new(HashMap::new()),
+            generations: RefCell::new(HashMap::new()),
             blocks_pushed: registry.counter("blocks_pushed"),
             stat_pushes: registry.counter("stat_pushes"),
             purges: registry.counter("purges"),
             deferred_jobs: registry.counter("deferred_jobs"),
+            stale_updates_dropped: registry.counter("stale_updates_dropped"),
             registry,
         });
         if threaded_updates {
@@ -128,7 +160,13 @@ impl SmCache {
             stat_pushes: self.stat_pushes.get(),
             purges: self.purges.get(),
             deferred_jobs: self.deferred_jobs.get(),
+            stale_updates_dropped: self.stale_updates_dropped.get(),
         }
+    }
+
+    /// The current purge generation for `path` (0 if never purged).
+    fn generation(&self, path: &str) -> u64 {
+        self.generations.borrow().get(path).copied().unwrap_or(0)
     }
 
     /// Number of block keys currently tracked for `path`.
@@ -142,68 +180,179 @@ impl SmCache {
 
     async fn run_job(&self, job: Job) {
         match job {
-            Job::PopulateRange { path, offset, len } => {
-                self.populate_range(&path, offset, len).await;
+            Job::PopulateRange {
+                path,
+                offset,
+                len,
+                gen,
+            } => {
+                if self.generation(&path) != gen {
+                    // A purge ran after this job was queued: the file was
+                    // closed or deleted; repopulating now would plant the
+                    // very false positives purge exists to remove.
+                    self.stale_updates_dropped.inc();
+                    return;
+                }
+                self.populate_range(&path, offset, len, gen).await;
             }
             Job::PopulateData {
                 path,
                 aligned_offset,
                 aligned_len,
                 data,
+                gen,
             } => {
-                self.push_blocks(&path, aligned_offset, aligned_len, &data).await;
+                if self.generation(&path) != gen {
+                    self.stale_updates_dropped.inc();
+                    return;
+                }
+                self.push_blocks(&path, aligned_offset, aligned_len, &data, gen)
+                    .await;
             }
         }
     }
 
     /// Cut `data` (starting at the block-aligned `aligned_offset`) into
-    /// blocks and push them, recording the keys for later purge.
-    async fn push_blocks(&self, path: &str, aligned_offset: u64, aligned_len: u64, data: &[u8]) {
+    /// blocks and push them, recording the keys for later purge. `gen` is
+    /// the purge generation the data belongs to: if a purge overtakes the
+    /// stores while they are in flight, the just-written entries are
+    /// removed again instead of being recorded.
+    async fn push_blocks(
+        &self,
+        path: &str,
+        aligned_offset: u64,
+        aligned_len: u64,
+        data: &[u8],
+        gen: u64,
+    ) {
         let blocks = cover(aligned_offset, aligned_len, self.block_size);
-        let mut sets = Vec::with_capacity(blocks.len());
-        for b in &blocks {
-            let rel = (b.start - aligned_offset) as usize;
-            let end = (rel + self.block_size as usize).min(data.len());
-            let chunk = if rel <= data.len() {
-                data[rel..end].to_vec()
-            } else {
-                Vec::new() // block fully past EOF: "known empty"
-            };
-            let bank = Rc::clone(&self.bank);
-            let key = block_key(path, b.start);
-            let hint = b.index;
-            sets.push(async move { bank.set(&key, Bytes::from(chunk), Some(hint)).await });
+        let mut chunk_lens = Vec::with_capacity(blocks.len());
+        let items: Vec<(Vec<u8>, Bytes, Option<u64>)> = blocks
+            .iter()
+            .map(|b| {
+                let rel = (b.start - aligned_offset) as usize;
+                let end = (rel + self.block_size as usize).min(data.len());
+                let chunk = if rel <= data.len() {
+                    data[rel..end].to_vec()
+                } else {
+                    Vec::new() // block fully past EOF: "known empty"
+                };
+                chunk_lens.push(chunk.len() as u64);
+                (block_key(path, b.start), Bytes::from(chunk), Some(b.index))
+            })
+            .collect();
+        let n = items.len() as u64;
+        if self.batched {
+            self.bank.set_pipeline(items).await;
+        } else {
+            let sets: Vec<_> = items
+                .into_iter()
+                .map(|(key, chunk, hint)| {
+                    let bank = Rc::clone(&self.bank);
+                    async move { bank.set(&key, chunk, hint).await }
+                })
+                .collect();
+            join_all(&self.handle, sets).await;
         }
-        let n = sets.len() as u64;
-        join_all(&self.handle, sets).await;
+        if self.generation(path) != gen {
+            // A purge (close/unlink/open) overtook this update while its
+            // stores were on the wire: the entries just written belong to
+            // a stale generation of the file. Take them out again and
+            // record nothing.
+            self.stale_updates_dropped.inc();
+            let rollback: Vec<(Vec<u8>, Option<u64>)> = blocks
+                .iter()
+                .map(|b| (block_key(path, b.start), Some(b.index)))
+                .collect();
+            if self.batched {
+                self.bank.delete_pipeline(rollback).await;
+            } else {
+                let deletes: Vec<_> = rollback
+                    .into_iter()
+                    .map(|(key, hint)| {
+                        let bank = Rc::clone(&self.bank);
+                        async move { bank.delete(&key, hint).await }
+                    })
+                    .collect();
+                join_all(&self.handle, deletes).await;
+            }
+            return;
+        }
         self.blocks_pushed.add(n);
         let mut populated = self.populated.borrow_mut();
         let entry = populated.entry(path.to_string()).or_default();
-        for b in &blocks {
-            entry.insert(b.start);
+        for (b, len) in blocks.iter().zip(chunk_lens) {
+            entry.insert(b.start, len);
         }
     }
 
     /// "Read(s) are issued to the underlying file system by SMCache that
     /// cover the Write area, accounting for the IMCa blocksize. When the
     /// data is available, the Read(s) are sent to the MCDs."
-    async fn populate_range(&self, path: &str, offset: u64, len: u64) {
+    async fn populate_range(&self, path: &str, offset: u64, len: u64, gen: u64) {
         let (aoff, alen) = aligned_range(offset, len, self.block_size);
         let reply = Rc::clone(&self.child).handle(Fop::Read {
             path: path.to_string(),
             offset: aoff,
             len: alen,
         });
-        if let FopReply::Read(Ok(data)) = reply.await {
-            self.push_blocks(path, aoff, alen, &data).await;
+        let reply = reply.await;
+        if self.generation(path) != gen {
+            // Purged while the filesystem read was in flight.
+            self.stale_updates_dropped.inc();
+            return;
+        }
+        if let FopReply::Read(Ok(data)) = reply {
+            self.push_blocks(path, aoff, alen, &data, gen).await;
         }
         // Refresh the stat entry so consumers polling mtime see the update.
-        if let FopReply::Stat(Ok(st)) = Rc::clone(&self.child)
+        let stat_reply = Rc::clone(&self.child)
             .handle(Fop::Stat {
                 path: path.to_string(),
             })
-            .await
-        {
+            .await;
+        if self.generation(path) != gen {
+            return;
+        }
+        if let FopReply::Stat(Ok(st)) = stat_reply {
+            // EOF coherence: a block cached shorter than block_size says
+            // "the file ends here". If this write moved the end of file
+            // past such a block (the bytes in between are a hole the
+            // write's own covering range never touches), the cached copy
+            // now truncates reads that NoCache would satisfy with zeros.
+            // Re-read and re-push every short block whose cached length no
+            // longer matches the file size.
+            let stale: Vec<u64> = self
+                .populated
+                .borrow()
+                .get(path)
+                .map(|m| {
+                    m.iter()
+                        .filter(|&(&start, &cached)| {
+                            cached < self.block_size
+                                && cached != self.block_size.min(st.size.saturating_sub(start))
+                        })
+                        .map(|(&start, _)| start)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if let (Some(&first), Some(&last)) = (stale.first(), stale.last()) {
+                let span = last + self.block_size - first;
+                let reply = Rc::clone(&self.child)
+                    .handle(Fop::Read {
+                        path: path.to_string(),
+                        offset: first,
+                        len: span,
+                    })
+                    .await;
+                if self.generation(path) != gen {
+                    self.stale_updates_dropped.inc();
+                    return;
+                }
+                if let FopReply::Read(Ok(data)) = reply {
+                    self.push_blocks(path, first, span, &data, gen).await;
+                }
+            }
             self.push_stat(path, st).await;
         }
     }
@@ -219,26 +368,43 @@ impl SmCache {
     /// hooks, §4.3.2: "the MCDs are purged of any data relating to the
     /// file").
     async fn purge(&self, path: &str) {
+        // Generation fence, bumped *before* the first await: update jobs
+        // created under an earlier generation become stale immediately,
+        // even while this purge's deletes are still on the wire.
+        *self
+            .generations
+            .borrow_mut()
+            .entry(path.to_string())
+            .or_insert(0) += 1;
         let block_starts: Vec<u64> = self
             .populated
             .borrow_mut()
             .remove(path)
-            .map(|s| s.into_iter().collect())
+            .map(|s| s.into_keys().collect())
             .unwrap_or_default();
-        let mut deletes = Vec::with_capacity(block_starts.len() + 1);
-        {
-            let bank = Rc::clone(&self.bank);
-            let key = stat_key(path);
-            deletes.push(Box::pin(async move { bank.delete(&key, None).await })
-                as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>);
+        if self.batched {
+            let mut items: Vec<(Vec<u8>, Option<u64>)> = Vec::with_capacity(block_starts.len() + 1);
+            items.push((stat_key(path), None));
+            for start in block_starts {
+                items.push((block_key(path, start), Some(start / self.block_size)));
+            }
+            self.bank.delete_pipeline(items).await;
+        } else {
+            let mut deletes = Vec::with_capacity(block_starts.len() + 1);
+            {
+                let bank = Rc::clone(&self.bank);
+                let key = stat_key(path);
+                deletes.push(Box::pin(async move { bank.delete(&key, None).await })
+                    as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>);
+            }
+            for start in block_starts {
+                let bank = Rc::clone(&self.bank);
+                let key = block_key(path, start);
+                let hint = start / self.block_size;
+                deletes.push(Box::pin(async move { bank.delete(&key, Some(hint)).await }));
+            }
+            join_all(&self.handle, deletes).await;
         }
-        for start in block_starts {
-            let bank = Rc::clone(&self.bank);
-            let key = block_key(path, start);
-            let hint = start / self.block_size;
-            deletes.push(Box::pin(async move { bank.delete(&key, Some(hint)).await }));
-        }
-        join_all(&self.handle, deletes).await;
         self.purges.inc();
     }
 }
@@ -265,20 +431,28 @@ impl Translator for SmCache {
             match fop {
                 Fop::Open { path } => {
                     self.purge(&path).await;
+                    // The seed below belongs to the generation this open's
+                    // own purge just started.
+                    let gen = self.generation(&path);
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Open { path: path.clone() })
                         .await;
                     if let FopReply::Open(Ok(st)) = &reply {
-                        self.push_stat(&path, *st).await;
+                        if self.generation(&path) == gen {
+                            self.push_stat(&path, *st).await;
+                        }
                     }
                     reply
                 }
                 Fop::Stat { path } => {
+                    let gen = self.generation(&path);
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Stat { path: path.clone() })
                         .await;
                     if let FopReply::Stat(Ok(st)) = &reply {
-                        self.push_stat(&path, *st).await;
+                        if self.generation(&path) == gen {
+                            self.push_stat(&path, *st).await;
+                        }
                     }
                     reply
                 }
@@ -286,6 +460,7 @@ impl Translator for SmCache {
                     // "Because of the IMCa block size, the Read operation
                     // may potentially require the server to read additional
                     // data from the underlying file system."
+                    let gen = self.generation(&path);
                     let (aoff, alen) = aligned_range(offset, len, self.block_size);
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Read {
@@ -310,9 +485,10 @@ impl Translator for SmCache {
                                     aligned_offset: aoff,
                                     aligned_len: alen,
                                     data,
+                                    gen,
                                 });
                             } else {
-                                self.push_blocks(&path, aoff, alen, &data).await;
+                                self.push_blocks(&path, aoff, alen, &data, gen).await;
                             }
                             FopReply::Read(Ok(served))
                         }
@@ -320,6 +496,7 @@ impl Translator for SmCache {
                     }
                 }
                 Fop::Write { path, offset, data } => {
+                    let gen = self.generation(&path);
                     let len = data.len() as u64;
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Write {
@@ -331,9 +508,14 @@ impl Translator for SmCache {
                     if matches!(reply, FopReply::Write(Ok(_))) {
                         if self.threaded {
                             self.deferred_jobs.inc();
-                            self.jobs.push(Job::PopulateRange { path, offset, len });
+                            self.jobs.push(Job::PopulateRange {
+                                path,
+                                offset,
+                                len,
+                                gen,
+                            });
                         } else {
-                            self.populate_range(&path, offset, len).await;
+                            self.populate_range(&path, offset, len, gen).await;
                         }
                     }
                     reply
@@ -372,7 +554,7 @@ mod tests {
         bank: Rc<BankClient>,
     }
 
-    fn setup(sim: &Sim, threaded: bool) -> Rig {
+    fn setup(sim: &Sim, threaded: bool, batched: bool) -> Rig {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
         let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
         let server_node = net.add_node();
@@ -385,6 +567,7 @@ mod tests {
             Rc::clone(&bank),
             2048,
             threaded,
+            batched,
         );
         sim.handle().spawn(async move {
             let _keepalive = mcds;
@@ -400,7 +583,7 @@ mod tests {
     #[test]
     fn write_populates_blocks_and_stat() {
         let mut sim = Sim::new(0);
-        let rig = setup(&sim, false);
+        let rig = setup(&sim, false, true);
         let sm = Rc::clone(&rig.sm);
         let bank = Rc::clone(&rig.bank);
         sim.spawn(async move {
@@ -426,11 +609,14 @@ mod tests {
             assert_eq!(st.size, 5100);
             // Block contents reproduce the write.
             let b1 = bank.get(&block_key("/f", 2048), Some(1)).await.unwrap();
-            assert_eq!(&b1[..], &{
-                let mut file = vec![0u8; 5100];
-                file[100..].copy_from_slice(&payload);
-                file[2048..4096].to_vec()
-            }[..]);
+            assert_eq!(
+                &b1[..],
+                &{
+                    let mut file = vec![0u8; 5100];
+                    file[100..].copy_from_slice(&payload);
+                    file[2048..4096].to_vec()
+                }[..]
+            );
         });
         sim.run();
         assert_eq!(rig.sm.tracked_blocks("/f"), 3);
@@ -440,7 +626,7 @@ mod tests {
     #[test]
     fn read_serves_subrange_and_pushes_aligned_blocks() {
         let mut sim = Sim::new(0);
-        let rig = setup(&sim, false);
+        let rig = setup(&sim, false, true);
         let sm = Rc::clone(&rig.sm);
         let bank = Rc::clone(&rig.bank);
         sim.spawn(async move {
@@ -479,7 +665,7 @@ mod tests {
     #[test]
     fn open_purges_stale_blocks_then_seeds_stat() {
         let mut sim = Sim::new(0);
-        let rig = setup(&sim, false);
+        let rig = setup(&sim, false, true);
         let sm = Rc::clone(&rig.sm);
         let bank = Rc::clone(&rig.bank);
         sim.spawn(async move {
@@ -509,7 +695,7 @@ mod tests {
     #[test]
     fn close_and_unlink_purge() {
         let mut sim = Sim::new(0);
-        let rig = setup(&sim, false);
+        let rig = setup(&sim, false, true);
         let sm = Rc::clone(&rig.sm);
         let bank = Rc::clone(&rig.bank);
         sim.spawn(async move {
@@ -551,7 +737,7 @@ mod tests {
         // be strictly faster, and the blocks must still arrive eventually.
         fn write_latency(threaded: bool) -> (u64, bool) {
             let mut sim = Sim::new(0);
-            let rig = setup(&sim, threaded);
+            let rig = setup(&sim, threaded, true);
             let sm = Rc::clone(&rig.sm);
             let bank = Rc::clone(&rig.bank);
             let h = sim.handle();
@@ -589,13 +775,66 @@ mod tests {
     }
 
     #[test]
+    fn purge_cancels_stale_deferred_jobs() {
+        // Regression: in threaded mode a Write queues a PopulateRange job;
+        // if an Unlink purges the file before the worker drains the queue,
+        // the job used to repopulate the bank with blocks of a deleted
+        // file — exactly the false positive §4.3.2's purge exists to
+        // prevent. The generation fence must drop the stale job.
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, true, true);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        let h = sim.handle();
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![9; 4096],
+                },
+            )
+            .await;
+            // Unlink lands before the background worker has pushed the
+            // write's blocks (the write only queued a job).
+            drive(&sm, Fop::Unlink { path: "/f".into() }).await;
+            // Let the worker drain; the stale job must be dropped.
+            h.sleep(SimDuration::millis(10)).await;
+            for (start, hint) in [(0u64, 0u64), (2048, 1)] {
+                assert!(
+                    bank.get(&block_key("/f", start), Some(hint))
+                        .await
+                        .is_none(),
+                    "stale update repopulated block {start} after unlink"
+                );
+            }
+            assert!(
+                bank.get(&stat_key("/f"), None).await.is_none(),
+                "stale update repopulated the stat entry after unlink"
+            );
+        });
+        sim.run();
+        assert_eq!(rig.sm.tracked_blocks("/f"), 0);
+        let s = rig.sm.stats();
+        assert!(s.stale_updates_dropped >= 1, "fence never fired: {s:?}");
+    }
+
+    #[test]
     fn create_passes_through_untouched() {
         let mut sim = Sim::new(0);
-        let rig = setup(&sim, false);
+        let rig = setup(&sim, false, true);
         let sm = Rc::clone(&rig.sm);
         sim.spawn(async move {
             assert_eq!(
-                drive(&sm, Fop::Create { path: "/new".into() }).await,
+                drive(
+                    &sm,
+                    Fop::Create {
+                        path: "/new".into()
+                    }
+                )
+                .await,
                 FopReply::Create(Ok(()))
             );
         });

@@ -690,8 +690,7 @@ impl LustreClient {
     pub fn drop_cache(&self) {
         self.cache_data.borrow_mut().clear();
         self.locks.borrow_mut().clear();
-        *self.cache.borrow_mut() =
-            PageCache::new(self.cfg.client_cache_bytes, self.cfg.page_size);
+        *self.cache.borrow_mut() = PageCache::new(self.cfg.client_cache_bytes, self.cfg.page_size);
     }
 }
 

@@ -158,6 +158,12 @@ mod tests {
                 .wire_bytes()
         );
         assert_eq!(OstResp::Data(vec![0; 500]).wire_bytes(), HDR + 500);
-        assert!(MdsReq::Open { path: "/abc".into() }.wire_bytes() > HDR);
+        assert!(
+            MdsReq::Open {
+                path: "/abc".into()
+            }
+            .wire_bytes()
+                > HDR
+        );
     }
 }

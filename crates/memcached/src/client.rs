@@ -76,7 +76,10 @@ mod tests {
         let c = ClientCore::new(Selector::Crc32, 4);
         for i in 0..100 {
             let key = format!("/f/{i}:stat");
-            assert_eq!(c.route(key.as_bytes(), None), Some(c.primary(key.as_bytes(), None)));
+            assert_eq!(
+                c.route(key.as_bytes(), None),
+                Some(c.primary(key.as_bytes(), None))
+            );
         }
     }
 

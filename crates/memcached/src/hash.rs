@@ -17,7 +17,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -135,7 +139,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -157,7 +164,9 @@ mod tests {
     #[test]
     fn modulo_selector_round_robins_on_hint() {
         let m = ServerMap::new(Selector::Modulo, 4);
-        let servers: Vec<usize> = (0..8u64).map(|blk| m.select(b"ignored", Some(blk))).collect();
+        let servers: Vec<usize> = (0..8u64)
+            .map(|blk| m.select(b"ignored", Some(blk)))
+            .collect();
         assert_eq!(servers, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 

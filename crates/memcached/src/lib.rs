@@ -49,4 +49,6 @@ mod store;
 pub use client::ClientCore;
 pub use hash::{crc32, crc32_bucket, Selector, ServerMap};
 pub use server::{absolute_expiry, McServer};
-pub use store::{CasResult, GetValue, McConfig, McError, McStats, Memcached, MAX_ITEM_SIZE, MAX_KEY_LEN};
+pub use store::{
+    CasResult, GetValue, McConfig, McError, McStats, Memcached, MAX_ITEM_SIZE, MAX_KEY_LEN,
+};

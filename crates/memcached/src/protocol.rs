@@ -274,7 +274,9 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
 pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), ParseError> {
     let (line, line_len) = find_line(buf).ok_or(ParseError::Incomplete)?;
     let mut toks = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
-    let verb_tok = toks.next().ok_or_else(|| ParseError::Bad("empty line".into()))?;
+    let verb_tok = toks
+        .next()
+        .ok_or_else(|| ParseError::Bad("empty line".into()))?;
     let verb_str = std::str::from_utf8(verb_tok).map_err(|_| ParseError::Bad("verb".into()))?;
     let store_verb = match verb_str {
         "set" => Some(StoreVerb::Set),
@@ -286,7 +288,9 @@ pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), ParseError> {
         _ => None,
     };
     if let Some(mut verb) = store_verb {
-        let key = toks.next().ok_or_else(|| ParseError::Bad("missing key".into()))?;
+        let key = toks
+            .next()
+            .ok_or_else(|| ParseError::Bad("missing key".into()))?;
         let flags: u32 = parse_num(toks.next().unwrap_or(b""), "flags")?;
         let exptime: u32 = parse_num(toks.next().unwrap_or(b""), "exptime")?;
         let nbytes: usize = parse_num(toks.next().unwrap_or(b""), "bytes")?;
@@ -327,14 +331,18 @@ pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), ParseError> {
             }
         }
         "delete" => {
-            let key = toks.next().ok_or_else(|| ParseError::Bad("missing key".into()))?;
+            let key = toks
+                .next()
+                .ok_or_else(|| ParseError::Bad("missing key".into()))?;
             Command::Delete {
                 key: key.to_vec(),
                 noreply: matches!(toks.next(), Some(b"noreply")),
             }
         }
         "incr" | "decr" => {
-            let key = toks.next().ok_or_else(|| ParseError::Bad("missing key".into()))?;
+            let key = toks
+                .next()
+                .ok_or_else(|| ParseError::Bad("missing key".into()))?;
             let delta: u64 = parse_num(toks.next().unwrap_or(b""), "delta")?;
             Command::Arith {
                 key: key.to_vec(),
@@ -344,7 +352,9 @@ pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), ParseError> {
             }
         }
         "touch" => {
-            let key = toks.next().ok_or_else(|| ParseError::Bad("missing key".into()))?;
+            let key = toks
+                .next()
+                .ok_or_else(|| ParseError::Bad("missing key".into()))?;
             let exptime: u32 = parse_num(toks.next().unwrap_or(b""), "exptime")?;
             Command::Touch {
                 key: key.to_vec(),
@@ -427,7 +437,9 @@ pub fn parse_response(buf: &[u8]) -> Result<(Response, usize), ParseError> {
                 return bad("expected VALUE or END");
             }
             let mut toks = line[6..].split(|&b| b == b' ').filter(|t| !t.is_empty());
-            let key = toks.next().ok_or_else(|| ParseError::Bad("VALUE key".into()))?;
+            let key = toks
+                .next()
+                .ok_or_else(|| ParseError::Bad("VALUE key".into()))?;
             let flags: u32 = parse_num(toks.next().unwrap_or(b""), "flags")?;
             let nbytes: usize = parse_num(toks.next().unwrap_or(b""), "bytes")?;
             let cas = match toks.next() {
@@ -460,9 +472,9 @@ pub fn parse_response(buf: &[u8]) -> Result<(Response, usize), ParseError> {
             if line == b"END" {
                 return Ok((Response::Stats(pairs), pos));
             }
-            let rest = line.strip_prefix(b"STAT ").ok_or_else(|| {
-                ParseError::Bad("expected STAT or END".into())
-            })?;
+            let rest = line
+                .strip_prefix(b"STAT ")
+                .ok_or_else(|| ParseError::Bad("expected STAT or END".into()))?;
             let s = std::str::from_utf8(rest).map_err(|_| ParseError::Bad("stat utf8".into()))?;
             let (k, v) = s.split_once(' ').unwrap_or((s, ""));
             pairs.push((k.to_string(), v.to_string()));
@@ -620,7 +632,10 @@ mod tests {
             parse_command(b"set k 0 0 10\r\nhello"),
             Err(ParseError::Incomplete)
         );
-        assert_eq!(parse_response(b"VALUE k 0 5\r\nab"), Err(ParseError::Incomplete));
+        assert_eq!(
+            parse_response(b"VALUE k 0 5\r\nab"),
+            Err(ParseError::Incomplete)
+        );
         assert_eq!(parse_response(b"STAT a 1\r\n"), Err(ParseError::Incomplete));
     }
 

@@ -3,9 +3,8 @@
 //! real daemon would write back. The simulated MCD nodes in `imca-core`
 //! and any native test harness share this exact code path.
 
-
 use crate::protocol::{Command, Response, StoreVerb, Value};
-use crate::store::{CasResult, McError, Memcached, McConfig};
+use crate::store::{CasResult, McConfig, McError, Memcached};
 
 /// Wire exptimes up to 30 days are relative; larger values are absolute
 /// unix timestamps (memcached protocol rule).
@@ -161,7 +160,11 @@ impl McServer {
     /// Convenience for callers holding raw wire bytes: parse, apply,
     /// encode. Returns the encoded response (empty for noreply) and the
     /// number of request bytes consumed.
-    pub fn handle_wire(&self, buf: &[u8], now: u64) -> Result<(Vec<u8>, usize), crate::protocol::ParseError> {
+    pub fn handle_wire(
+        &self,
+        buf: &[u8],
+        now: u64,
+    ) -> Result<(Vec<u8>, usize), crate::protocol::ParseError> {
         let (cmd, used) = crate::protocol::parse_command(buf)?;
         let out = match self.apply(&cmd, now) {
             Some(resp) => crate::protocol::encode_response(&resp),
@@ -245,7 +248,10 @@ mod tests {
     fn exptime_semantics_relative_vs_absolute() {
         assert_eq!(absolute_expiry(0, 1000), None);
         assert_eq!(absolute_expiry(60, 1000), Some(1060));
-        assert_eq!(absolute_expiry(THIRTY_DAYS, 1000), Some(1000 + THIRTY_DAYS as u64));
+        assert_eq!(
+            absolute_expiry(THIRTY_DAYS, 1000),
+            Some(1000 + THIRTY_DAYS as u64)
+        );
         // Above 30 days: absolute unix time.
         let abs = THIRTY_DAYS + 1;
         assert_eq!(absolute_expiry(abs, 1000), Some(abs as u64));
@@ -317,7 +323,10 @@ mod tests {
         let s = server();
         s.apply(&set_cmd(b"k", b"v1"), 0);
         let Some(Response::Values(vals)) = s.apply(
-            &Command::Get { keys: vec![b"k".to_vec()], with_cas: true },
+            &Command::Get {
+                keys: vec![b"k".to_vec()],
+                with_cas: true,
+            },
             0,
         ) else {
             panic!()

@@ -242,7 +242,10 @@ fn valid_key(key: &[u8]) -> Result<(), McError> {
 impl Memcached {
     /// A daemon with the given configuration.
     pub fn new(cfg: McConfig) -> Memcached {
-        assert!(cfg.page_size >= MAX_ITEM_SIZE, "page must hold largest item");
+        assert!(
+            cfg.page_size >= MAX_ITEM_SIZE,
+            "page must hold largest item"
+        );
         assert!(cfg.growth_factor > 1.0, "growth factor must exceed 1");
         let mut classes = Vec::new();
         let mut size = cfg.min_chunk.max(ITEM_OVERHEAD + 1);
@@ -462,7 +465,10 @@ impl Memcached {
         if !g.live_item(key, now) {
             return false;
         }
-        g.items.get_mut(key).expect("live_item verified presence").expire_at = expire_at;
+        g.items
+            .get_mut(key)
+            .expect("live_item verified presence")
+            .expire_at = expire_at;
         true
     }
 
@@ -517,7 +523,12 @@ impl Memcached {
 
     /// Chunk sizes of the slab classes (for inspection/tests).
     pub fn class_sizes(&self) -> Vec<usize> {
-        self.inner.lock().classes.iter().map(|c| c.chunk_size).collect()
+        self.inner
+            .lock()
+            .classes
+            .iter()
+            .map(|c| c.chunk_size)
+            .collect()
     }
 }
 
@@ -557,7 +568,9 @@ impl StoreInner {
         if let Some(item) = self.items.remove(key) {
             self.lru[item.class].remove(&item.seq);
             self.classes[item.class].free_chunks += 1;
-            self.metrics.bytes.sub((key.len() + item.value.len() + ITEM_OVERHEAD) as i64);
+            self.metrics
+                .bytes
+                .sub((key.len() + item.value.len() + ITEM_OVERHEAD) as i64);
             if expired {
                 self.metrics.expired.inc();
             }
@@ -682,7 +695,10 @@ mod tests {
         assert!(got.cas > 0);
         assert!(mc.get(b"missing", 0).is_none());
         let s = mc.stats();
-        assert_eq!((s.get_hits, s.get_misses, s.cmd_get, s.cmd_set), (1, 1, 2, 1));
+        assert_eq!(
+            (s.get_hits, s.get_misses, s.cmd_get, s.cmd_set),
+            (1, 1, 2, 1)
+        );
     }
 
     #[test]
@@ -722,15 +738,20 @@ mod tests {
         assert!(mc.add(b"k", Bytes::from_static(b"1"), 0, None, 0).unwrap());
         assert!(!mc.add(b"k", Bytes::from_static(b"2"), 0, None, 0).unwrap());
         assert_eq!(mc.get(b"k", 0).unwrap().value, &b"1"[..]);
-        assert!(mc.replace(b"k", Bytes::from_static(b"3"), 0, None, 0).unwrap());
+        assert!(mc
+            .replace(b"k", Bytes::from_static(b"3"), 0, None, 0)
+            .unwrap());
         assert_eq!(mc.get(b"k", 0).unwrap().value, &b"3"[..]);
-        assert!(!mc.replace(b"nope", Bytes::from_static(b"x"), 0, None, 0).unwrap());
+        assert!(!mc
+            .replace(b"nope", Bytes::from_static(b"x"), 0, None, 0)
+            .unwrap());
     }
 
     #[test]
     fn append_prepend() {
         let mc = small();
-        mc.set(b"k", Bytes::from_static(b"mid"), 0, None, 0).unwrap();
+        mc.set(b"k", Bytes::from_static(b"mid"), 0, None, 0)
+            .unwrap();
         assert!(mc.append(b"k", b"-end", 0).unwrap());
         assert!(mc.prepend(b"k", b"start-", 0).unwrap());
         assert_eq!(mc.get(b"k", 0).unwrap().value, &b"start-mid-end"[..]);
@@ -740,7 +761,8 @@ mod tests {
     #[test]
     fn lazy_expiration_on_get() {
         let mc = small();
-        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(100), 0).unwrap();
+        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(100), 0)
+            .unwrap();
         assert!(mc.get(b"k", 99).is_some());
         assert!(mc.get(b"k", 100).is_none());
         let s = mc.stats();
@@ -768,7 +790,8 @@ mod tests {
         assert_eq!(mc.incr(b"n", 5, 0).unwrap(), Some(15));
         assert_eq!(mc.decr(b"n", 20, 0).unwrap(), Some(0)); // floors at 0
         assert_eq!(mc.incr(b"missing", 1, 0).unwrap(), None);
-        mc.set(b"s", Bytes::from_static(b"abc"), 0, None, 0).unwrap();
+        mc.set(b"s", Bytes::from_static(b"abc"), 0, None, 0)
+            .unwrap();
         assert_eq!(mc.incr(b"s", 1, 0), Err(McError::NotNumeric));
     }
 
@@ -779,18 +802,21 @@ mod tests {
         let token = mc.get(b"k", 0).unwrap().cas;
         // Fresh token: stored.
         assert_eq!(
-            mc.cas(b"k", Bytes::from_static(b"v2"), 0, None, token, 0).unwrap(),
+            mc.cas(b"k", Bytes::from_static(b"v2"), 0, None, token, 0)
+                .unwrap(),
             CasResult::Stored
         );
         // Old token after the update: EXISTS.
         assert_eq!(
-            mc.cas(b"k", Bytes::from_static(b"v3"), 0, None, token, 0).unwrap(),
+            mc.cas(b"k", Bytes::from_static(b"v3"), 0, None, token, 0)
+                .unwrap(),
             CasResult::Exists
         );
         assert_eq!(mc.get(b"k", 0).unwrap().value, &b"v2"[..]);
         // Missing key: NOT_FOUND.
         assert_eq!(
-            mc.cas(b"nope", Bytes::from_static(b"x"), 0, None, 1, 0).unwrap(),
+            mc.cas(b"nope", Bytes::from_static(b"x"), 0, None, 1, 0)
+                .unwrap(),
             CasResult::NotFound
         );
     }
@@ -804,13 +830,18 @@ mod tests {
         let tb = mc.get(b"b", 0).unwrap().cas;
         assert_ne!(ta, tb);
         mc.set(b"a", Bytes::from_static(b"3"), 0, None, 0).unwrap();
-        assert_ne!(mc.get(b"a", 0).unwrap().cas, ta, "token must change on update");
+        assert_ne!(
+            mc.get(b"a", 0).unwrap().cas,
+            ta,
+            "token must change on update"
+        );
     }
 
     #[test]
     fn touch_updates_expiry() {
         let mc = small();
-        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(10), 0).unwrap();
+        mc.set(b"k", Bytes::from_static(b"v"), 0, Some(10), 0)
+            .unwrap();
         assert!(mc.touch(b"k", Some(1000), 5));
         assert!(mc.get(b"k", 500).is_some());
         assert!(!mc.touch(b"missing", None, 0));
@@ -870,7 +901,10 @@ mod tests {
             }
             assert!(j < 20, "never evicted");
         }
-        assert!(mc.get(keys[0].as_bytes(), 0).is_some(), "touched item evicted");
+        assert!(
+            mc.get(keys[0].as_bytes(), 0).is_some(),
+            "touched item evicted"
+        );
         assert!(mc.get(keys[1].as_bytes(), 0).is_none(), "LRU item survived");
     }
 
@@ -899,7 +933,10 @@ mod tests {
             assert!(i < 100);
         }
         let s = mc.stats();
-        assert_eq!(s.evictions, 0, "evicted a live item while an expired one sat at the LRU tail");
+        assert_eq!(
+            s.evictions, 0,
+            "evicted a live item while an expired one sat at the LRU tail"
+        );
         assert!(s.expired >= 1);
     }
 
@@ -942,7 +979,8 @@ mod tests {
     #[test]
     fn stats_bytes_track_stored_data() {
         let mc = small();
-        mc.set(b"k", Bytes::from(vec![0u8; 1000]), 0, None, 0).unwrap();
+        mc.set(b"k", Bytes::from(vec![0u8; 1000]), 0, None, 0)
+            .unwrap();
         let s = mc.stats();
         assert_eq!(s.bytes, (1 + 1000 + ITEM_OVERHEAD) as u64);
         mc.delete(b"k", 0);

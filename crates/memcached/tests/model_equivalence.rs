@@ -13,15 +13,43 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Cmd {
-    Set { key: u8, len: u16, fill: u8, ttl: Option<u8> },
-    Add { key: u8, len: u16, fill: u8 },
-    Replace { key: u8, len: u16, fill: u8 },
-    Append { key: u8, fill: u8 },
-    Get { key: u8 },
-    Delete { key: u8 },
-    Incr { key: u8, delta: u32 },
-    Touch { key: u8, ttl: u8 },
-    Advance { secs: u8 },
+    Set {
+        key: u8,
+        len: u16,
+        fill: u8,
+        ttl: Option<u8>,
+    },
+    Add {
+        key: u8,
+        len: u16,
+        fill: u8,
+    },
+    Replace {
+        key: u8,
+        len: u16,
+        fill: u8,
+    },
+    Append {
+        key: u8,
+        fill: u8,
+    },
+    Get {
+        key: u8,
+    },
+    Delete {
+        key: u8,
+    },
+    Incr {
+        key: u8,
+        delta: u32,
+    },
+    Touch {
+        key: u8,
+        ttl: u8,
+    },
+    Advance {
+        secs: u8,
+    },
 }
 
 fn cmd_strategy() -> impl Strategy<Value = Cmd> {

@@ -6,7 +6,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
-use imca_memcached::protocol::{parse_command, Command, encode_response, ParseError};
+use imca_memcached::protocol::{encode_response, parse_command, Command, ParseError};
 use imca_memcached::{McConfig, McServer};
 
 /// Minimal copy of the binary's connection loop (the binary itself is not
@@ -101,9 +101,5 @@ fn ascii_protocol_over_real_sockets() {
     expect.extend_from_slice(b"VALUE k07 0 3\r\nv07\r\nEND\r\n");
     talk(addr, &script, &expect);
     // Session 4: malformed input gets CLIENT_ERROR then a hangup.
-    talk(
-        addr,
-        b"set k 0 0 zz\r\n",
-        b"CLIENT_ERROR bad bytes\r\n",
-    );
+    talk(addr, b"set k 0 0 zz\r\n", b"CLIENT_ERROR bad bytes\r\n");
 }

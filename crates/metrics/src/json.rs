@@ -494,10 +494,7 @@ mod tests {
 
     #[test]
     fn unicode_escapes_parse() {
-        assert_eq!(
-            Json::parse(r#""Aé😀""#).unwrap(),
-            Json::Str("Aé😀".into())
-        );
+        assert_eq!(Json::parse(r#""Aé😀""#).unwrap(), Json::Str("Aé😀".into()));
         // \\u escapes, including a surrogate pair.
         assert_eq!(
             Json::parse("\"\\u0041\\ud83d\\ude00\"").unwrap(),

@@ -234,7 +234,10 @@ mod tests {
     #[test]
     fn read_write_round_trip() {
         let mut sim = Sim::new(0);
-        let cluster = build_shared(sim.handle(), NfsConfig::new(Transport::ipoib_ddr(), 1 << 30));
+        let cluster = build_shared(
+            sim.handle(),
+            NfsConfig::new(Transport::ipoib_ddr(), 1 << 30),
+        );
         let c2 = Rc::clone(&cluster);
         sim.spawn(async move {
             let cli = c2.mount();
@@ -251,8 +254,10 @@ mod tests {
         // in the server cache the reads are memory-speed, otherwise disk.
         fn run(server_mem: u64) -> f64 {
             let mut sim = Sim::new(0);
-            let cluster =
-                build_shared(sim.handle(), NfsConfig::new(Transport::ipoib_ddr(), server_mem));
+            let cluster = build_shared(
+                sim.handle(),
+                NfsConfig::new(Transport::ipoib_ddr(), server_mem),
+            );
             let c2 = Rc::clone(&cluster);
             let h = sim.handle();
             let done = Rc::new(Cell::new(0.0f64));

@@ -275,7 +275,9 @@ impl SimHandle {
     pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) {
         let id = self.core.next_task_id.get();
         self.core.next_task_id.set(id + 1);
-        self.core.spawned_total.set(self.core.spawned_total.get() + 1);
+        self.core
+            .spawned_total
+            .set(self.core.spawned_total.get() + 1);
         let boxed: BoxedTask = Box::pin(fut);
         // If we're inside `drain_ready` the tasks map may be mid-mutation;
         // defer insertion via the pending-spawn list, which drain_ready

@@ -79,7 +79,11 @@ impl Histogram {
     /// Record one observation.
     pub fn record(&mut self, d: SimDuration) {
         let ns = d.as_nanos();
-        let idx = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let idx = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ns += ns;

@@ -126,11 +126,12 @@ impl StorageBackend {
     pub async fn create(&self, file: FileId) {
         self.inner.extents.borrow_mut().create(file);
         self.base_addr(file);
-        let evicted = self
-            .inner
-            .cache
-            .borrow_mut()
-            .insert(file, INODE_PAGE * self.inner.params.page_size, 1, true);
+        let evicted = self.inner.cache.borrow_mut().insert(
+            file,
+            INODE_PAGE * self.inner.params.page_size,
+            1,
+            true,
+        );
         self.flush_evicted(evicted).await;
         let t = self.memcpy_time(512);
         self.inner.handle.sleep(t).await;
@@ -169,12 +170,15 @@ impl StorageBackend {
         } else {
             // Inode block read: small random access near the file's data.
             let base = self.base_addr(file);
-            self.inner.raid.access(&self.inner.handle, base, 512, false).await;
-            let evicted = self
-                .inner
-                .cache
-                .borrow_mut()
-                .insert(file, INODE_PAGE * page_size, 1, false);
+            self.inner
+                .raid
+                .access(&self.inner.handle, base, 512, false)
+                .await;
+            let evicted =
+                self.inner
+                    .cache
+                    .borrow_mut()
+                    .insert(file, INODE_PAGE * page_size, 1, false);
             self.flush_evicted(evicted).await;
         }
         self.inner.extents.borrow().len(file)
@@ -240,7 +244,10 @@ impl StorageBackend {
         if existed {
             // Metadata update to the directory/inode blocks.
             let base = self.base_addr(file);
-            self.inner.raid.access(&self.inner.handle, base, 512, true).await;
+            self.inner
+                .raid
+                .access(&self.inner.handle, base, 512, true)
+                .await;
         }
         existed
     }
@@ -280,7 +287,10 @@ impl StorageBackend {
                     .await;
             } else if ev.dirty {
                 let base = self.base_addr(ev.file);
-                self.inner.raid.access(&self.inner.handle, base, 512, true).await;
+                self.inner
+                    .raid
+                    .access(&self.inner.handle, base, 512, true)
+                    .await;
             }
         }
     }
@@ -391,7 +401,10 @@ mod tests {
             let t1 = h.now();
             assert_eq!(be2.stat(FileId(3)).await, Some(3));
             let warm = h.now().since(t1);
-            assert!(cold.as_nanos() > 50 * warm.as_nanos(), "cold={cold} warm={warm}");
+            assert!(
+                cold.as_nanos() > 50 * warm.as_nanos(),
+                "cold={cold} warm={warm}"
+            );
         });
         sim.run();
     }

@@ -47,7 +47,9 @@ impl DiskParams {
         } else {
             self.avg_position
         };
-        self.command_overhead + position + SimDuration::from_secs_f64(bytes as f64 / self.streaming_bps)
+        self.command_overhead
+            + position
+            + SimDuration::from_secs_f64(bytes as f64 / self.streaming_bps)
     }
 }
 

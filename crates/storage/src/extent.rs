@@ -65,7 +65,9 @@ impl ExtentStore {
             return Vec::new();
         };
         let start = (offset as usize).min(buf.len());
-        let end = (offset as usize).saturating_add(len as usize).min(buf.len());
+        let end = (offset as usize)
+            .saturating_add(len as usize)
+            .min(buf.len());
         buf[start..end].to_vec()
     }
 

@@ -336,7 +336,14 @@ mod tests {
         c.insert(FileId(1), 0, 4096, true);
         assert_eq!(c.dirty_page_count(), 1);
         let ev = c.insert(FileId(2), 0, 4096, false);
-        assert_eq!(ev, vec![Evicted { file: FileId(1), page: 0, dirty: true }]);
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                file: FileId(1),
+                page: 0,
+                dirty: true
+            }]
+        );
         assert_eq!(c.dirty_page_count(), 0);
     }
 

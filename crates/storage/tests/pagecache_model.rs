@@ -8,10 +8,23 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Lookup { file: u8, offset: u32, len: u16 },
-    Insert { file: u8, offset: u32, len: u16, dirty: bool },
-    Invalidate { file: u8 },
-    TakeDirty { n: u8 },
+    Lookup {
+        file: u8,
+        offset: u32,
+        len: u16,
+    },
+    Insert {
+        file: u8,
+        offset: u32,
+        len: u16,
+        dirty: bool,
+    },
+    Invalidate {
+        file: u8,
+    },
+    TakeDirty {
+        n: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -240,6 +240,7 @@ mod tests {
             threaded: false,
             mcd_mem: 1 << 30,
             rdma_bank: false,
+            batched: true,
         };
         let nocache = bench(SystemSpec::GlusterNoCache, 4).read_mb_s;
         let four = bench(spec(4), 4).read_mb_s;
@@ -298,6 +299,9 @@ mod tests {
         let rdma = run_t(Transport::rdma_ddr());
         let ipoib = run_t(Transport::ipoib_ddr());
         let gige = run_t(Transport::gige());
-        assert!(rdma > ipoib && ipoib > gige, "rdma={rdma:.0} ipoib={ipoib:.0} gige={gige:.0}");
+        assert!(
+            rdma > ipoib && ipoib > gige,
+            "rdma={rdma:.0} ipoib={ipoib:.0} gige={gige:.0}"
+        );
     }
 }

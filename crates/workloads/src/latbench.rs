@@ -70,12 +70,18 @@ pub struct LatencyResult {
 impl LatencyResult {
     /// Mean read latency for one record size.
     pub fn read_at(&self, size: u64) -> Option<f64> {
-        self.read_us.iter().find(|(s, _)| *s == size).map(|(_, v)| *v)
+        self.read_us
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, v)| *v)
     }
 
     /// Mean write latency for one record size.
     pub fn write_at(&self, size: u64) -> Option<f64> {
-        self.write_us.iter().find(|(s, _)| *s == size).map(|(_, v)| *v)
+        self.write_us
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -125,8 +131,7 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
                             let data = record_bytes(size, k);
                             cli.write(&fd, k * size, &data).await;
                         }
-                        let mean =
-                            h.now().since(t0).as_micros_f64() / cfg.records as f64;
+                        let mean = h.now().since(t0).as_micros_f64() / cfg.records as f64;
                         writes.borrow_mut().entry(size).or_default().push(mean);
                         handles.insert(size, fd);
                     }
@@ -277,6 +282,7 @@ mod tests {
                 threaded: true,
                 mcd_mem: 6 << 30,
                 rdma_bank: false,
+                batched: true,
             },
             1,
             false,
@@ -284,7 +290,10 @@ mod tests {
         let n = nocache.write_at(2048).unwrap();
         let s = sync.write_at(2048).unwrap();
         let t = threaded.write_at(2048).unwrap();
-        assert!(s > n, "sync imca write ({s:.1}us) not worse than nocache ({n:.1}us)");
+        assert!(
+            s > n,
+            "sync imca write ({s:.1}us) not worse than nocache ({n:.1}us)"
+        );
         assert!(t < s, "threaded ({t:.1}us) not better than sync ({s:.1}us)");
     }
 
@@ -347,8 +356,22 @@ mod tests {
     /// Lustre warm beats everything; cold pays OST trips (Fig 6(a)).
     #[test]
     fn lustre_warm_vs_cold() {
-        let warm = small(SystemSpec::Lustre { osts: 1, warm: true }, 1, false);
-        let cold = small(SystemSpec::Lustre { osts: 1, warm: false }, 1, false);
+        let warm = small(
+            SystemSpec::Lustre {
+                osts: 1,
+                warm: true,
+            },
+            1,
+            false,
+        );
+        let cold = small(
+            SystemSpec::Lustre {
+                osts: 1,
+                warm: false,
+            },
+            1,
+            false,
+        );
         let w = warm.read_at(2048).unwrap();
         let c = cold.read_at(2048).unwrap();
         assert!(w < c, "warm={w:.1}us cold={c:.1}us");

@@ -67,7 +67,10 @@ impl Table {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("## {}\n", self.title));
-        out.push_str(&format!("({} vs {}, values in {})\n", self.xlabel, "series", self.ylabel));
+        out.push_str(&format!(
+            "({} vs {}, values in {})\n",
+            self.xlabel, "series", self.ylabel
+        ));
         let mut header = vec![self.xlabel.clone()];
         header.extend(self.series.iter().cloned());
         let mut cells: Vec<Vec<String>> = vec![header];
@@ -103,14 +106,13 @@ impl Table {
             .rows
             .iter()
             .map(|r| {
-                let y = r
-                    .y
-                    .iter()
-                    .map(|v| match v {
-                        Some(v) => Json::Float(*v),
-                        None => Json::Null,
-                    })
-                    .collect();
+                let y =
+                    r.y.iter()
+                        .map(|v| match v {
+                            Some(v) => Json::Float(*v),
+                            None => Json::Null,
+                        })
+                        .collect();
                 Json::Obj(vec![
                     ("x".into(), Json::Float(r.x)),
                     ("y".into(), Json::Arr(y)),

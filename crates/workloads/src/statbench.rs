@@ -237,6 +237,7 @@ mod tests {
             threaded: false,
             mcd_mem: tiny,
             rdma_bank: false,
+            batched: true,
         };
         let one = run(&StatBench {
             files,

@@ -174,11 +174,14 @@ pub struct Trace {
 pub fn generate(cfg: &TraceConfig, clients: usize) -> Trace {
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let sizes_dist = FileSizes::datacenter_small();
-    let file_sizes: Vec<u64> = (0..cfg.files).map(|_| sizes_dist.sample(&mut rng)).collect();
+    let file_sizes: Vec<u64> = (0..cfg.files)
+        .map(|_| sizes_dist.sample(&mut rng))
+        .collect();
     let zipf = Zipf::new(cfg.files, cfg.zipf_alpha);
     let streams = (0..clients)
         .map(|c| {
-            let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9));
+            let mut rng =
+                SmallRng::seed_from_u64(cfg.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9));
             (0..cfg.ops_per_client)
                 .map(|_| {
                     let file = zipf.sample(&mut rng);
@@ -229,8 +232,11 @@ pub fn replay(spec: &SystemSpec, cfg: &TraceConfig, clients: usize) -> ReplayRes
     let dep = Rc::new(Deployment::build(sim.handle(), spec));
     let h = sim.handle();
     let barrier = Barrier::new(clients + 1);
-    let hists: Rc<RefCell<(Histogram, Histogram, Histogram)>> =
-        Rc::new(RefCell::new((Histogram::new(), Histogram::new(), Histogram::new())));
+    let hists: Rc<RefCell<(Histogram, Histogram, Histogram)>> = Rc::new(RefCell::new((
+        Histogram::new(),
+        Histogram::new(),
+        Histogram::new(),
+    )));
 
     // Setup: one client creates and fills every file.
     {
@@ -374,8 +380,8 @@ mod tests {
         let t = generate(&cfg, 2);
         for stream in &t.streams {
             for op in stream {
-                if let TraceOp::Read { file, offset, len }
-                | TraceOp::Write { file, offset, len } = op
+                if let TraceOp::Read { file, offset, len } | TraceOp::Write { file, offset, len } =
+                    op
                 {
                     assert!(offset + len <= t.file_sizes[*file].max(1));
                     assert!(*len >= 1);

@@ -31,6 +31,10 @@ pub enum SystemSpec {
         mcd_mem: u64,
         /// Connect the bank over native RDMA (future-work ablation).
         rdma_bank: bool,
+        /// Batched bank data path (multi-key gets, `noreply` pipelines).
+        /// `false` reverts to one awaited RPC per key — the paper's
+        /// original per-block behaviour, kept for ablations.
+        batched: bool,
     },
     /// Lustre with `osts` data servers; `warm` keeps the client cache
     /// between the write and read phases, cold drops it (remount).
@@ -52,6 +56,7 @@ impl SystemSpec {
             threaded: false,
             mcd_mem: 6 << 30,
             rdma_bank: false,
+            batched: true,
         }
     }
 
@@ -79,10 +84,9 @@ impl Deployment {
     /// Deploy `spec` on a fresh network.
     pub fn build(handle: SimHandle, spec: &SystemSpec) -> Deployment {
         match spec {
-            SystemSpec::GlusterNoCache => Deployment::Gluster(Rc::new(Cluster::build(
-                handle,
-                ClusterConfig::nocache(),
-            ))),
+            SystemSpec::GlusterNoCache => {
+                Deployment::Gluster(Rc::new(Cluster::build(handle, ClusterConfig::nocache())))
+            }
             SystemSpec::Imca {
                 mcds,
                 block_size,
@@ -90,21 +94,24 @@ impl Deployment {
                 threaded,
                 mcd_mem,
                 rdma_bank,
+                batched,
             } => {
                 let cfg = ClusterConfig::imca(ImcaConfig {
                     mcd_count: *mcds,
                     block_size: *block_size,
                     selector: *selector,
                     threaded_updates: *threaded,
+                    batching: *batched,
                     mcd_config: McConfig::with_mem_limit(*mcd_mem),
                     bank_transport: rdma_bank.then(Transport::rdma_ddr),
                     ..ImcaConfig::default()
                 });
                 Deployment::Gluster(Rc::new(Cluster::build(handle, cfg)))
             }
-            SystemSpec::Lustre { osts, .. } => Deployment::Lustre(Rc::new(
-                LustreCluster::build(handle, LustreConfig::with_osts(*osts)),
-            )),
+            SystemSpec::Lustre { osts, .. } => Deployment::Lustre(Rc::new(LustreCluster::build(
+                handle,
+                LustreConfig::with_osts(*osts),
+            ))),
         }
     }
 
@@ -277,6 +284,7 @@ mod tests {
             threaded: false,
             mcd_mem: 8 << 20,
             rdma_bank: false,
+            batched: true,
         });
         roundtrip(SystemSpec::Lustre {
             osts: 2,
@@ -289,7 +297,11 @@ mod tests {
         assert_eq!(SystemSpec::GlusterNoCache.label(), "NoCache");
         assert_eq!(SystemSpec::imca(4).label(), "MCD (4)");
         assert_eq!(
-            SystemSpec::Lustre { osts: 4, warm: false }.label(),
+            SystemSpec::Lustre {
+                osts: 4,
+                warm: false
+            }
+            .label(),
             "Lustre-4DS (Cold)"
         );
     }

@@ -41,7 +41,9 @@ fn run(config: ClusterConfig, label: &str) -> f64 {
                 let path = format!("/www/objects/{i:04}.bin");
                 m.create(&path).await.unwrap();
                 let fd = m.open(&path).await.unwrap();
-                let body: Vec<u8> = (0..FILE_SIZE).map(|b| ((i as u64 + b) % 251) as u8).collect();
+                let body: Vec<u8> = (0..FILE_SIZE)
+                    .map(|b| ((i as u64 + b) % 251) as u8)
+                    .collect();
                 m.write(fd, 0, &body).await.unwrap();
                 m.close(fd).await.unwrap();
             }

@@ -57,9 +57,13 @@ fn main() {
             let fd = m.open("/db/table.dat").await.unwrap();
             let reference: Vec<u8> = (0..128 * 1024u64).map(|i| (i % 241) as u8).collect();
             for chunk in 0..(reference.len() / 8192) {
-                m.write(fd, (chunk * 8192) as u64, &reference[chunk * 8192..][..8192])
-                    .await
-                    .unwrap();
+                m.write(
+                    fd,
+                    (chunk * 8192) as u64,
+                    &reference[chunk * 8192..][..8192],
+                )
+                .await
+                .unwrap();
             }
             let mut verified = 0u64;
             for round in 0..6 {
@@ -84,7 +88,10 @@ fn main() {
     let snap = cluster.metrics();
     println!();
     println!("CMCache read hits   : {}", cm.read_hits);
-    println!("CMCache read misses : {} (includes failure windows)", cm.read_misses);
+    println!(
+        "CMCache read misses : {} (includes failure windows)",
+        cm.read_misses
+    );
     println!(
         "bank failovers      : {} / revivals: {}",
         snap.counter("bank.mcd_failovers").unwrap_or(0),

@@ -96,7 +96,10 @@ fn main() {
     let cm = cluster.cmcache_stats();
     let total_polls = cm.stat_hits + cm.stat_misses;
     println!("producer wrote      : {} bytes", UPDATES * RECORD);
-    println!("consumers received  : {} bytes (all verified)", delivered.get());
+    println!(
+        "consumers received  : {} bytes (all verified)",
+        delivered.get()
+    );
     println!(
         "stat polls          : {} total, {} served by the MCD bank ({:.0}%)",
         total_polls,

@@ -55,7 +55,11 @@ fn main() {
         // stat is served from the bank too (key "/data/hello.txt:stat").
         let t0 = h.now();
         let st = mount.stat("/data/hello.txt").await.unwrap();
-        println!("stat latency        : {} (size={})", h.now().since(t0), st.size);
+        println!(
+            "stat latency        : {} (size={})",
+            h.now().since(t0),
+            st.size
+        );
 
         mount.close(fd).await.unwrap();
     });

@@ -3,7 +3,8 @@
 #
 #   scripts/tier1.sh            build + root-package tests
 #   scripts/tier1.sh --strict   additionally lint the whole workspace
-#                               (clippy with warnings denied)
+#                               (clippy with warnings denied) and check
+#                               formatting of the first-party packages
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -11,9 +12,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# First-party packages: everything except the vendored shims, whose
+# hand-minimised sources are deliberately not rustfmt-clean.
+FIRST_PARTY=(
+    imca-repro imca-sim imca-metrics imca-fabric imca-storage
+    imca-memcached imca-glusterfs imca-lustre imca-nfs imca-core
+    imca-workloads imca-bench
+)
+
 cargo build --release
 cargo test -q
 
 if [[ "${1:-}" == "--strict" ]]; then
+    cargo fmt --check "${FIRST_PARTY[@]/#/--package=}"
     cargo clippy --workspace --all-targets -- -D warnings
 fi

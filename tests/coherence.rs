@@ -127,7 +127,7 @@ fn open_purge_forces_fresh_view() {
             m.read(fd, 0, 2048).await.unwrap(); // bank warm
             m.close(fd).await.unwrap(); // purge
             let fd = m.open("/coh/reopened").await.unwrap(); // purge again
-            // First read must repopulate from the server and stay correct.
+                                                             // First read must repopulate from the server and stay correct.
             assert_eq!(m.read(fd, 0, 2048).await.unwrap(), vec![7u8; 2048]);
         });
     }

@@ -27,7 +27,9 @@ fn large_file_round_trip_through_every_layer() {
         m.create("/it/large.bin").await.unwrap();
         let fd = m.open("/it/large.bin").await.unwrap();
         // 1 MB of patterned data written in odd-sized chunks.
-        let data: Vec<u8> = (0..1 << 20).map(|i| ((i * 2654435761u64 as usize) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..1 << 20)
+            .map(|i| ((i * 2654435761u64 as usize) >> 13) as u8)
+            .collect();
         let mut off = 0usize;
         for chunk in data.chunks(23_456) {
             m.write(fd, off as u64, chunk).await.unwrap();
@@ -65,7 +67,9 @@ fn imca_and_nocache_return_identical_bytes() {
             m.create("/same").await.unwrap();
             let fd = m.open("/same").await.unwrap();
             for k in 0..64u64 {
-                m.write(fd, k * 777, &vec![(k % 251) as u8; 777]).await.unwrap();
+                m.write(fd, k * 777, &vec![(k % 251) as u8; 777])
+                    .await
+                    .unwrap();
             }
             // Overwrite a middle region.
             m.write(fd, 10_000, &vec![0xEE; 5_000]).await.unwrap();
@@ -95,7 +99,9 @@ fn sixteen_concurrent_clients_on_separate_files() {
             m.create(&path).await.unwrap();
             let fd = m.open(&path).await.unwrap();
             for k in 0..32u64 {
-                m.write(fd, k * 1000, &vec![(id + k) as u8; 1000]).await.unwrap();
+                m.write(fd, k * 1000, &vec![(id + k) as u8; 1000])
+                    .await
+                    .unwrap();
             }
             for k in (0..32u64).rev() {
                 let got = m.read(fd, k * 1000, 1000).await.unwrap();
@@ -160,7 +166,11 @@ fn modulo_selector_spreads_file_blocks_evenly() {
         m.write(fd, 0, &vec![1u8; 64 * 2048]).await.unwrap();
     });
     sim.run();
-    let per_mcd: Vec<u64> = cluster.mcds().iter().map(|n| n.stats().curr_items).collect();
+    let per_mcd: Vec<u64> = cluster
+        .mcds()
+        .iter()
+        .map(|n| n.stats().curr_items)
+        .collect();
     let min = per_mcd.iter().min().unwrap();
     let max = per_mcd.iter().max().unwrap();
     assert!(
@@ -203,6 +213,62 @@ fn eof_and_sparse_semantics_through_the_cache() {
     sim.run();
 }
 
+/// The batched data path's wire contract, end to end: a warm read
+/// covering many blocks costs at most one bank RPC per daemon (the
+/// multi-key get), not one per block.
+#[test]
+fn warm_read_costs_at_most_one_rpc_per_daemon() {
+    let mut sim = Sim::new(11);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 4,
+            selector: Selector::Modulo,
+            mcd_config: McConfig::with_mem_limit(32 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    let before = Rc::new(RefCell::new(Vec::new()));
+    let b = Rc::clone(&before);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/warm").await.unwrap();
+        let fd = m.open("/warm").await.unwrap();
+        // One write covering 8 blocks populates the bank.
+        m.write(fd, 0, &vec![0xAB; 8 * 2048]).await.unwrap();
+        *b.borrow_mut() = (0..4)
+            .map(|i| {
+                c.metrics()
+                    .counter(&format!("bank.mcd.{i}.requests"))
+                    .unwrap_or(0)
+            })
+            .collect();
+        // The warm read: 8 covering blocks, modulo-spread over 4 daemons.
+        let got = m.read(fd, 0, 8 * 2048).await.unwrap();
+        assert_eq!(got, vec![0xAB; 8 * 2048]);
+    });
+    sim.run();
+
+    assert_eq!(cluster.cmcache_stats().read_hits, 1, "warm read must hit");
+    let snap = cluster.metrics();
+    for (i, before) in before.borrow().iter().enumerate() {
+        let after = snap.counter(&format!("bank.mcd.{i}.requests")).unwrap_or(0);
+        assert!(
+            after - before <= 1,
+            "daemon {i} saw {} RPCs for one warm read; the batched path \
+             allows at most one",
+            after - before
+        );
+    }
+    // And the batching instrumentation accounts for it: one multi-get per
+    // contacted daemon, two keys per daemon on average (8 blocks over 4).
+    assert_eq!(snap.counter("cmcache.0.bank.multi_gets"), Some(4));
+    let h = snap.histogram("cmcache.0.bank.keys_per_multi_get").unwrap();
+    assert_eq!(h.count, 4);
+    assert_eq!(h.sum, 8);
+}
+
 /// Failover counter semantics across the whole deployment: killing a
 /// daemon mid-run increments exactly one `bank.mcd_failovers`, the
 /// client-observed failure counters in the same snapshot pick up the
@@ -219,7 +285,9 @@ fn failover_counters_agree_with_bank_stats() {
         m.create("/fo").await.unwrap();
         let fd = m.open("/fo").await.unwrap();
         for k in 0..32u64 {
-            m.write(fd, k * 2048, &vec![(k % 251) as u8; 2048]).await.unwrap();
+            m.write(fd, k * 2048, &vec![(k % 251) as u8; 2048])
+                .await
+                .unwrap();
         }
         // Warm pass: every read is served by the bank.
         for k in 0..32u64 {
@@ -260,7 +328,10 @@ fn failover_counters_agree_with_bank_stats() {
     // misses (routed around client-side, never daemon traffic), and every
     // one of those forwards to the server as a CMCache read miss.
     let bank_misses = snap.counter("cmcache.0.bank.misses").unwrap_or(0);
-    assert!(bank_misses > 0, "the degraded window produced no bank misses");
+    assert!(
+        bank_misses > 0,
+        "the degraded window produced no bank misses"
+    );
     assert_eq!(
         Some(bank_misses),
         snap.counter("cmcache.0.read_misses"),

@@ -17,6 +17,7 @@ fn imca_spec(mcds: usize) -> SystemSpec {
         threaded: false,
         mcd_mem: 1 << 30,
         rdma_bank: false,
+        batched: true,
     }
 }
 
@@ -39,9 +40,15 @@ fn fig1_direction() {
     let rdma = run_one(Transport::rdma_ddr(), 64 << 20);
     let ipoib = run_one(Transport::ipoib_ddr(), 64 << 20);
     let gige = run_one(Transport::gige(), 64 << 20);
-    assert!(rdma > ipoib && ipoib > gige, "{rdma:.0} {ipoib:.0} {gige:.0}");
+    assert!(
+        rdma > ipoib && ipoib > gige,
+        "{rdma:.0} {ipoib:.0} {gige:.0}"
+    );
     let thrash = run_one(Transport::rdma_ddr(), 2 << 20);
-    assert!(rdma > 2.0 * thrash, "no memory knee: fit={rdma:.0} thrash={thrash:.0}");
+    assert!(
+        rdma > 2.0 * thrash,
+        "no memory knee: fit={rdma:.0} thrash={thrash:.0}"
+    );
 }
 
 /// Fig 5: IMCa cuts multi-client stat time vs both NoCache and Lustre-4DS,
@@ -60,7 +67,10 @@ fn fig5_direction() {
     let nocache = bench(SystemSpec::GlusterNoCache);
     let one = bench(imca_spec(1));
     let four = bench(imca_spec(4));
-    let lustre = bench(SystemSpec::Lustre { osts: 4, warm: false });
+    let lustre = bench(SystemSpec::Lustre {
+        osts: 4,
+        warm: false,
+    });
     assert!(one < nocache, "MCD(1)={one} NoCache={nocache}");
     assert!(four <= one * 1.05, "MCD(4)={four} MCD(1)={one}");
     assert!(four < lustre, "MCD(4)={four} Lustre={lustre}");
@@ -70,7 +80,9 @@ fn fig5_direction() {
 /// blocks win small reads; all IMCa variants beat NoCache.
 #[test]
 fn fig6a_direction() {
-    let bench = |block_size: u64| {
+    // `batched: false` reproduces the paper's per-block bank RPCs; the
+    // Fig 6(a) crossover exists *because* of those round trips.
+    let bench = |block_size: u64, batched: bool| {
         let spec = SystemSpec::Imca {
             mcds: 1,
             block_size,
@@ -78,6 +90,7 @@ fn fig6a_direction() {
             threaded: false,
             mcd_mem: 1 << 30,
             rdma_bank: false,
+            batched,
         };
         latbench(&LatencyBench {
             spec,
@@ -99,9 +112,9 @@ fn fig6a_direction() {
         shared_file: false,
         seed: 3,
     });
-    let b256 = bench(256);
-    let b2k = bench(2048);
-    let b8k = bench(8192);
+    let b256 = bench(256, false);
+    let b2k = bench(2048, false);
+    let b8k = bench(8192, false);
     let n1 = nocache.read_at(64).unwrap();
     assert!(b256.read_at(64).unwrap() < b2k.read_at(64).unwrap());
     assert!(b2k.read_at(64).unwrap() < b8k.read_at(64).unwrap());
@@ -113,6 +126,16 @@ fn fig6a_direction() {
         b256.read_at(16384).unwrap() > n16k,
         "256B blocks should lose at 16K records: {} vs {}",
         b256.read_at(16384).unwrap(),
+        n16k
+    );
+    // The batched data path collapses those per-block trips into one
+    // multi-key get, so the same configuration no longer loses — the
+    // crossover was an artifact of per-block RPCs, not of small blocks.
+    let b256_batched = bench(256, true);
+    assert!(
+        b256_batched.read_at(16384).unwrap() < n16k,
+        "batched 256B blocks should beat NoCache at 16K records: {} vs {}",
+        b256_batched.read_at(16384).unwrap(),
         n16k
     );
 }
@@ -141,9 +164,13 @@ fn fig6c_direction() {
         threaded: true,
         mcd_mem: 1 << 30,
         rdma_bank: false,
+        batched: true,
     });
     assert!(sync > nocache * 1.1, "sync={sync:.1} nocache={nocache:.1}");
-    assert!(threaded < nocache * 1.25, "threaded={threaded:.1} nocache={nocache:.1}");
+    assert!(
+        threaded < nocache * 1.25,
+        "threaded={threaded:.1} nocache={nocache:.1}"
+    );
 }
 
 /// Fig 9: read throughput scales with the MCD count and beats NoCache.
@@ -167,12 +194,16 @@ fn fig9_direction() {
         threaded: false,
         mcd_mem: 1 << 30,
         rdma_bank: false,
+        batched: true,
     };
     let nocache = bench(SystemSpec::GlusterNoCache);
     let one = bench(modulo(1));
     let four = bench(modulo(4));
     assert!(four > one, "MCD(4)={four:.0} MCD(1)={one:.0}");
-    assert!(four > 1.5 * nocache, "MCD(4)={four:.0} NoCache={nocache:.0}");
+    assert!(
+        four > 1.5 * nocache,
+        "MCD(4)={four:.0} NoCache={nocache:.0}"
+    );
 }
 
 /// Fig 10: shared-file reads with one MCD beat NoCache at scale.

@@ -18,13 +18,32 @@ use imca_repro::sim::Sim;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { file: u8, offset: u16, len: u16, fill: u8 },
-    Read { file: u8, offset: u16, len: u16 },
-    Stat { file: u8 },
-    Reopen { file: u8 },
-    Unlink { file: u8 },
-    KillMcd { idx: u8 },
-    ReviveMcd { idx: u8 },
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
+    Stat {
+        file: u8,
+    },
+    Reopen {
+        file: u8,
+    },
+    Unlink {
+        file: u8,
+    },
+    KillMcd {
+        idx: u8,
+    },
+    ReviveMcd {
+        idx: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -88,7 +107,12 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
         let mut fds = HashMap::new();
         for op in ops {
             match op {
-                Op::Write { file, offset, len, fill } => {
+                Op::Write {
+                    file,
+                    offset,
+                    len,
+                    fill,
+                } => {
                     if !fds.contains_key(&file) {
                         let path = format!("/prop/{file}");
                         if reference.files.contains_key(&file) {
@@ -99,9 +123,7 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
                             fds.insert(file, m.open(&path).await.unwrap());
                         }
                     }
-                    let data: Vec<u8> = (0..len)
-                        .map(|i| fill.wrapping_add(i as u8))
-                        .collect();
+                    let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
                     m.write(fds[&file], offset as u64, &data).await.unwrap();
                     reference.write(file, offset as usize, &data);
                     if threaded {
@@ -156,6 +178,88 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
     sim.run();
 }
 
+/// Ops for the EOF-focused coherence property: a single file, writes and
+/// reads straddling the end of file, plus `Recreate` — the stack has no
+/// truncate fop, so shrinking a file is emulated the way applications do
+/// it: close + unlink + create + open.
+#[derive(Debug, Clone)]
+enum EofOp {
+    Write { offset: u16, len: u16, fill: u8 },
+    Read { offset: u16, len: u16 },
+    Recreate,
+}
+
+fn eof_op_strategy() -> impl Strategy<Value = EofOp> {
+    prop_oneof![
+        3 => (0u16..6_000, 1u16..3_000, any::<u8>())
+            .prop_map(|(offset, len, fill)| EofOp::Write { offset, len, fill }),
+        4 => (0u16..16_000, 1u16..6_000)
+            .prop_map(|(offset, len)| EofOp::Read { offset, len }),
+        1 => Just(EofOp::Recreate),
+    ]
+}
+
+/// Reads that cross EOF are short; blocks that straddle or sit past EOF
+/// are cached as partial/empty ("known empty"). A cached read of such a
+/// region must return the same short result as NoCache GlusterFS — both
+/// on the populating pass and on the cache-hit pass — and a recreate
+/// (the truncate idiom) must invalidate the old tail.
+fn run_eof_scenario(ops: Vec<EofOp>, batched: bool, seed: u64) {
+    let mut sim = Sim::new(seed);
+    let imca = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: 1024,
+            batching: batched,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let nocache = Rc::new(Cluster::build(sim.handle(), ClusterConfig::nocache()));
+    let (c, n) = (Rc::clone(&imca), Rc::clone(&nocache));
+    sim.spawn(async move {
+        let (mi, mn) = (c.mount(), n.mount());
+        mi.create("/eof").await.unwrap();
+        mn.create("/eof").await.unwrap();
+        let mut fdi = mi.open("/eof").await.unwrap();
+        let mut fdn = mn.open("/eof").await.unwrap();
+        for op in ops {
+            match op {
+                EofOp::Write { offset, len, fill } => {
+                    let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+                    mi.write(fdi, offset as u64, &data).await.unwrap();
+                    mn.write(fdn, offset as u64, &data).await.unwrap();
+                }
+                EofOp::Read { offset, len } => {
+                    let want = mn.read(fdn, offset as u64, len as u64).await.unwrap();
+                    // Pass 1 populates the bank (short tail blocks included);
+                    // pass 2 is served from it. Both must match NoCache.
+                    for pass in 1..=2 {
+                        let got = mi.read(fdi, offset as u64, len as u64).await.unwrap();
+                        assert_eq!(
+                            got, want,
+                            "EOF read mismatch: off {offset} len {len} pass {pass} \
+                             (batched={batched})"
+                        );
+                    }
+                }
+                EofOp::Recreate => {
+                    mi.close(fdi).await.unwrap();
+                    mn.close(fdn).await.unwrap();
+                    mi.unlink("/eof").await.unwrap();
+                    mn.unlink("/eof").await.unwrap();
+                    mi.create("/eof").await.unwrap();
+                    mn.create("/eof").await.unwrap();
+                    fdi = mi.open("/eof").await.unwrap();
+                    fdn = mn.open("/eof").await.unwrap();
+                }
+            }
+        }
+    });
+    sim.run();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
@@ -184,5 +288,28 @@ proptest! {
         seed in 0u64..1000,
     ) {
         run_scenario(ops, 2048, true, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn eof_short_reads_match_nocache_batched(
+        ops in prop::collection::vec(eof_op_strategy(), 1..25),
+        seed in 0u64..1000,
+    ) {
+        run_eof_scenario(ops, true, seed);
+    }
+
+    #[test]
+    fn eof_short_reads_match_nocache_per_key(
+        ops in prop::collection::vec(eof_op_strategy(), 1..25),
+        seed in 0u64..1000,
+    ) {
+        run_eof_scenario(ops, false, seed);
     }
 }
