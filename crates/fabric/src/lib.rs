@@ -17,6 +17,7 @@
 //! use imca_fabric::{Network, Service, Transport, WireSize};
 //! use imca_sim::Sim;
 //!
+//! #[derive(Clone)]
 //! struct Echo(u32);
 //! impl WireSize for Echo {
 //!     fn wire_bytes(&self) -> usize { 64 }
@@ -47,10 +48,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod fault;
 mod network;
 mod rpc;
 mod transport;
 
+pub use fault::{Delivery, FaultPlan};
 pub use network::{Network, NicStats, NodeId};
 pub use rpc::{fan_out, Incoming, Replier, RpcClient, Service};
 pub use transport::{Transport, WireSize};

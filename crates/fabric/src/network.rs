@@ -13,12 +13,16 @@
 //! spreads load across many stations — the effect IMCa exploits.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use imca_metrics::{Counter, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
-use imca_sim::{SimDuration, SimHandle};
+use imca_sim::{SimDuration, SimHandle, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
 
+use crate::fault::{Cut, Delivery, FaultPlan};
 use crate::transport::Transport;
 
 /// Identifies a node on the network.
@@ -55,11 +59,48 @@ impl Nic {
     }
 }
 
+/// Installed fault machinery. Holds its own RNG (seeded from the plan)
+/// so fault draws never perturb the simulation's main random stream.
+struct FaultState {
+    plan: FaultPlan,
+    rng: SmallRng,
+    scope: Option<BTreeSet<NodeId>>,
+    cuts: Vec<Cut>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            rng: SmallRng::seed_from_u64(plan.seed),
+            scope: plan.scope.as_ref().map(|s| s.iter().copied().collect()),
+            cuts: Vec::new(),
+            plan,
+        }
+    }
+
+    fn in_scope(&self, src: NodeId, dst: NodeId) -> bool {
+        match &self.scope {
+            None => true,
+            Some(scope) => scope.contains(&src) || scope.contains(&dst),
+        }
+    }
+}
+
+/// What the fault layer decided for one message.
+enum Fate {
+    Deliver,
+    Duplicate,
+    Drop,
+}
+
 struct Inner {
     handle: SimHandle,
     transport: Transport,
     nics: RefCell<Vec<Rc<Nic>>>,
     registry: Registry,
+    faults: RefCell<Option<FaultState>>,
+    dropped: Counter,
+    duplicated: Counter,
 }
 
 /// Handle to the simulated network. Cloning is cheap and refers to the same
@@ -85,12 +126,16 @@ pub struct NicStats {
 impl Network {
     /// A network where all links use `transport`.
     pub fn new(handle: SimHandle, transport: Transport) -> Network {
+        let registry = Registry::new();
         Network {
             inner: Rc::new(Inner {
                 handle,
                 transport,
                 nics: RefCell::new(Vec::new()),
-                registry: Registry::new(),
+                dropped: registry.counter("dropped"),
+                duplicated: registry.counter("duplicated"),
+                registry,
+                faults: RefCell::new(None),
             }),
         }
     }
@@ -140,12 +185,32 @@ impl Network {
 
     /// Like [`Network::transfer`] but with an optional per-call transport
     /// override (used by the RDMA-for-the-cache-bank ablation).
+    ///
+    /// Raw transfers are *not* subject to the installed [`FaultPlan`];
+    /// fault-checked delivery is [`Network::deliver`], which the RPC layer
+    /// uses for every request/response leg.
     pub async fn transfer_with(
         &self,
         src: NodeId,
         dst: NodeId,
         bytes: usize,
         transport: Option<&Transport>,
+    ) {
+        self.transfer_leg(src, dst, bytes, transport, SimDuration::ZERO, true)
+            .await;
+    }
+
+    /// The mechanics of one message: TX station, propagation (+`extra`
+    /// fault latency), and — unless the message was dropped en route
+    /// (`rx_side == false`) — the RX station.
+    async fn transfer_leg(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        transport: Option<&Transport>,
+        extra: SimDuration,
+        rx_side: bool,
     ) {
         let h = &self.inner.handle;
         if src == dst {
@@ -157,7 +222,6 @@ impl Network {
         }
         let tp = transport.unwrap_or(&self.inner.transport);
         let src_nic = self.nic(src);
-        let dst_nic = self.nic(dst);
 
         // 1. Sender-side CPU + serialisation, holding the TX station.
         src_nic
@@ -167,16 +231,189 @@ impl Network {
         src_nic.bytes_tx.add(bytes as u64);
         src_nic.msgs_tx.inc();
 
-        // 2. Propagation through the (non-blocking) switch.
-        h.sleep(tp.one_way_latency).await;
+        // 2. Propagation through the (non-blocking) switch, plus any
+        // fault-injected jitter/spike latency.
+        h.sleep(tp.one_way_latency + extra).await;
+        if !rx_side {
+            // Dropped en route: the receiver never sees it.
+            return;
+        }
 
         // 3. Receiver-side serialisation + CPU, holding the RX station.
+        let dst_nic = self.nic(dst);
         dst_nic
             .rx
             .serve(h, tp.serialize_time(bytes) + tp.host_cpu_recv)
             .await;
         dst_nic.bytes_rx.add(bytes as u64);
         dst_nic.msgs_rx.inc();
+    }
+
+    /// Move `bytes` from `src` to `dst` under the installed [`FaultPlan`]
+    /// (if any) and report the message's fate. With no plan installed this
+    /// is exactly [`Network::transfer_with`] and always returns
+    /// [`Delivery::Ok`].
+    ///
+    /// * Dropped messages pay the sender-side cost and propagation but
+    ///   never occupy the receiver.
+    /// * Duplicated messages are delivered normally, then a second copy is
+    ///   charged to the wire in the background; the caller is told so it
+    ///   can deliver the payload twice.
+    /// * Jitter and latency-spike windows stretch propagation.
+    ///
+    /// Loopback messages (`src == dst`) are never faulted.
+    pub async fn deliver(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        transport: Option<&Transport>,
+    ) -> Delivery {
+        let (fate, extra) = self.judge(src, dst);
+        match fate {
+            Fate::Drop => {
+                self.inner.dropped.inc();
+                self.transfer_leg(src, dst, bytes, transport, extra, false)
+                    .await;
+                Delivery::Dropped
+            }
+            Fate::Duplicate => {
+                self.inner.duplicated.inc();
+                self.transfer_leg(src, dst, bytes, transport, extra, true)
+                    .await;
+                // The duplicate's wire cost accrues in the background so
+                // the original is not delayed behind its own echo.
+                let net = self.clone();
+                let tp = transport.cloned();
+                self.inner.handle.spawn(async move {
+                    net.transfer_leg(src, dst, bytes, tp.as_ref(), extra, true)
+                        .await;
+                });
+                Delivery::Duplicated
+            }
+            Fate::Deliver => {
+                self.transfer_leg(src, dst, bytes, transport, extra, true)
+                    .await;
+                Delivery::Ok
+            }
+        }
+    }
+
+    /// Decide the fate of one `src → dst` message under the installed
+    /// plan. Partitions are deterministic and scope-independent; loss,
+    /// duplication, jitter, and windows apply only inside the scope.
+    fn judge(&self, src: NodeId, dst: NodeId) -> (Fate, SimDuration) {
+        let mut faults = self.inner.faults.borrow_mut();
+        let Some(fs) = faults.as_mut() else {
+            return (Fate::Deliver, SimDuration::ZERO);
+        };
+        if src == dst {
+            return (Fate::Deliver, SimDuration::ZERO);
+        }
+        if fs.cuts.iter().any(|c| c.severs(src, dst)) {
+            return (Fate::Drop, SimDuration::ZERO);
+        }
+        if !fs.in_scope(src, dst) {
+            return (Fate::Deliver, SimDuration::ZERO);
+        }
+        let now = self.inner.handle.now();
+        if fs
+            .plan
+            .drop_windows
+            .iter()
+            .any(|&(start, end)| now >= start && now < end)
+        {
+            return (Fate::Drop, SimDuration::ZERO);
+        }
+        let mut extra = SimDuration::ZERO;
+        for &(start, end, spike) in &fs.plan.latency_spikes {
+            if now >= start && now < end {
+                extra += spike;
+            }
+        }
+        if fs.plan.jitter > SimDuration::ZERO {
+            extra += SimDuration::nanos(fs.rng.gen_range(0..=fs.plan.jitter.as_nanos()));
+        }
+        if fs.plan.loss > 0.0 && fs.rng.gen::<f64>() < fs.plan.loss {
+            return (Fate::Drop, extra);
+        }
+        if fs.plan.duplicate > 0.0 && fs.rng.gen::<f64>() < fs.plan.duplicate {
+            return (Fate::Duplicate, extra);
+        }
+        (Fate::Deliver, extra)
+    }
+
+    /// Install a fault plan. Replaces any previous plan (and clears its
+    /// partitions); the plan's RNG is reseeded from `plan.seed`, so
+    /// installing the same plan twice replays the same fault schedule.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.borrow_mut() = Some(FaultState::new(plan));
+    }
+
+    /// Whether a fault plan is currently installed.
+    pub fn faults_installed(&self) -> bool {
+        self.inner.faults.borrow().is_some()
+    }
+
+    fn with_faults(&self, f: impl FnOnce(&mut FaultState)) {
+        let mut faults = self.inner.faults.borrow_mut();
+        f(faults.get_or_insert_with(|| FaultState::new(FaultPlan::default())));
+    }
+
+    /// Sever all traffic between node sets `a` and `b` under `name`, until
+    /// [`Network::heal`]\(`name`\) is called. Installs a benign default
+    /// plan if none is installed yet. Partitions apply regardless of the
+    /// plan's scope.
+    pub fn partition(
+        &self,
+        name: impl Into<String>,
+        a: impl IntoIterator<Item = NodeId>,
+        b: impl IntoIterator<Item = NodeId>,
+    ) {
+        let cut = Cut {
+            name: name.into(),
+            a: a.into_iter().collect(),
+            b: Some(b.into_iter().collect()),
+        };
+        self.with_faults(|fs| fs.cuts.push(cut));
+    }
+
+    /// Sever all traffic between `nodes` and every *other* node (including
+    /// ones registered later) under `name`, until healed.
+    pub fn isolate(&self, name: impl Into<String>, nodes: impl IntoIterator<Item = NodeId>) {
+        let cut = Cut {
+            name: name.into(),
+            a: nodes.into_iter().collect(),
+            b: None,
+        };
+        self.with_faults(|fs| fs.cuts.push(cut));
+    }
+
+    /// Remove every cut named `name`. Unknown names are a no-op.
+    pub fn heal(&self, name: &str) {
+        if let Some(fs) = self.inner.faults.borrow_mut().as_mut() {
+            fs.cuts.retain(|c| c.name != name);
+        }
+    }
+
+    /// Remove every cut.
+    pub fn heal_all(&self) {
+        if let Some(fs) = self.inner.faults.borrow_mut().as_mut() {
+            fs.cuts.clear();
+        }
+    }
+
+    /// Schedule a `[from, until)` window during which every scoped message
+    /// is dropped. Installs a benign default plan if none is installed.
+    pub fn add_drop_window(&self, from: SimTime, until: SimTime) {
+        self.with_faults(|fs| fs.plan.drop_windows.push((from, until)));
+    }
+
+    /// Schedule a `[from, until)` window during which scoped messages pay
+    /// `extra` one-way latency. Installs a benign default plan if none is
+    /// installed.
+    pub fn add_latency_spike(&self, from: SimTime, until: SimTime, extra: SimDuration) {
+        self.with_faults(|fs| fs.plan.latency_spikes.push((from, until, extra)));
     }
 
     /// Traffic counters for `node` — a view over the same registry
@@ -338,5 +575,220 @@ mod tests {
             net.transfer(a, NodeId(99), 1).await;
         });
         sim.run();
+    }
+
+    /// Run `n` deliveries a→b under `plan` and report each fate plus the
+    /// final (dropped, duplicated) counters.
+    fn fates_under(plan: FaultPlan, n: usize) -> (Vec<Delivery>, u64, u64) {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        net.install_faults(plan);
+        let a = net.add_node();
+        let b = net.add_node();
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let out2 = Rc::clone(&out);
+        let net2 = net.clone();
+        sim.spawn(async move {
+            for _ in 0..n {
+                let fate = net2.deliver(a, b, 128, None).await;
+                out2.borrow_mut().push(fate);
+            }
+        });
+        sim.run();
+        let dropped = net.registry().snapshot().counter("dropped").unwrap();
+        let duplicated = net.registry().snapshot().counter("duplicated").unwrap();
+        let fates = out.borrow().clone();
+        (fates, dropped, duplicated)
+    }
+
+    #[test]
+    fn no_plan_delivers_everything() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            assert_eq!(net2.deliver(a, b, 4096, None).await, Delivery::Ok);
+        });
+        let end = sim.run().end_time;
+        // Without faults, deliver costs exactly what transfer costs.
+        let tp = Transport::ipoib_ddr();
+        assert_eq!(end.as_nanos(), tp.unloaded_one_way(4096).as_nanos());
+        assert!(!net.faults_installed());
+    }
+
+    #[test]
+    fn loss_drops_some_and_counts_them() {
+        let plan = FaultPlan {
+            loss: 0.3,
+            ..FaultPlan::seeded(7)
+        };
+        let (fates, dropped, duplicated) = fates_under(plan, 100);
+        let drops = fates.iter().filter(|f| !f.arrived()).count();
+        assert_eq!(drops as u64, dropped);
+        assert_eq!(duplicated, 0);
+        // With loss=0.3 over 100 messages, both outcomes must occur.
+        assert!(drops > 0 && drops < 100, "drops={drops}");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let plan = FaultPlan {
+            loss: 0.2,
+            duplicate: 0.1,
+            jitter: SimDuration::micros(5),
+            ..FaultPlan::seeded(42)
+        };
+        let run1 = fates_under(plan.clone(), 200);
+        let run2 = fates_under(plan, 200);
+        assert_eq!(run1, run2);
+        let other = fates_under(
+            FaultPlan {
+                loss: 0.2,
+                duplicate: 0.1,
+                jitter: SimDuration::micros(5),
+                ..FaultPlan::seeded(43)
+            },
+            200,
+        );
+        assert_ne!(run1.0, other.0, "different seeds should diverge");
+    }
+
+    #[test]
+    fn duplication_delivers_and_counts() {
+        let plan = FaultPlan {
+            duplicate: 1.0,
+            ..FaultPlan::seeded(1)
+        };
+        let (fates, dropped, duplicated) = fates_under(plan, 10);
+        assert!(fates.iter().all(|f| *f == Delivery::Duplicated));
+        assert_eq!(dropped, 0);
+        assert_eq!(duplicated, 10);
+    }
+
+    #[test]
+    fn partition_severs_and_heals() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        net.partition("net-split", [a], [b]);
+        let net2 = net.clone();
+        sim.spawn(async move {
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Dropped);
+            assert_eq!(net2.deliver(b, a, 64, None).await, Delivery::Dropped);
+            // Not across the cut: unaffected.
+            assert_eq!(net2.deliver(a, c, 64, None).await, Delivery::Ok);
+            net2.heal("net-split");
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn isolate_cuts_off_later_nodes_too() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        net.isolate("quarantine", [a]);
+        // Registered after the cut — still severed from `a`.
+        let late = net.add_node();
+        let net2 = net.clone();
+        sim.spawn(async move {
+            assert_eq!(net2.deliver(late, a, 64, None).await, Delivery::Dropped);
+            assert_eq!(net2.deliver(b, late, 64, None).await, Delivery::Ok);
+            net2.heal_all();
+            assert_eq!(net2.deliver(late, a, 64, None).await, Delivery::Ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn scope_shields_out_of_scope_links_from_loss() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let d = net.add_node();
+        net.install_faults(FaultPlan {
+            loss: 1.0,
+            scope: Some(vec![a]),
+            ..FaultPlan::seeded(5)
+        });
+        let net2 = net.clone();
+        sim.spawn(async move {
+            // Any link touching `a` loses everything...
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Dropped);
+            assert_eq!(net2.deliver(c, a, 64, None).await, Delivery::Dropped);
+            // ...but links not touching the scope are untouched.
+            assert_eq!(net2.deliver(c, d, 64, None).await, Delivery::Ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn drop_window_is_total_and_bounded() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        // One 64-byte delivery takes ~21us; keep the window clear of it.
+        net.add_drop_window(SimTime(50_000), SimTime(100_000));
+        let net2 = net.clone();
+        let h = sim.handle();
+        sim.spawn(async move {
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Ok);
+            h.sleep_until(SimTime(60_000)).await;
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Dropped);
+            h.sleep_until(SimTime(100_000)).await;
+            assert_eq!(net2.deliver(a, b, 64, None).await, Delivery::Ok);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn latency_spike_stretches_delivery() {
+        let tp = Transport::ipoib_ddr();
+        let spike = SimDuration::micros(100);
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_latency_spike(SimTime::ZERO, SimTime(u64::MAX), spike);
+        sim.spawn(async move {
+            assert_eq!(net.deliver(a, b, 4096, None).await, Delivery::Ok);
+        });
+        let end = sim.run().end_time;
+        assert_eq!(
+            end.as_nanos(),
+            (tp.unloaded_one_way(4096) + spike).as_nanos()
+        );
+    }
+
+    #[test]
+    fn dropped_message_still_pays_the_sender_side() {
+        let tp = Transport::ipoib_ddr();
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let a = net.add_node();
+        let b = net.add_node();
+        net.install_faults(FaultPlan {
+            loss: 1.0,
+            ..FaultPlan::seeded(3)
+        });
+        let net2 = net.clone();
+        sim.spawn(async move {
+            assert_eq!(net2.deliver(a, b, 4096, None).await, Delivery::Dropped);
+        });
+        let end = sim.run().end_time;
+        // TX + propagation but no RX side.
+        let expect = tp.host_cpu_send + tp.serialize_time(4096) + tp.one_way_latency;
+        assert_eq!(end.as_nanos(), expect.as_nanos());
+        let sb = net.nic_stats(b);
+        assert_eq!(sb.msgs_rx, 0, "receiver must never see a dropped message");
     }
 }

@@ -11,6 +11,7 @@ use imca_metrics::Histogram;
 use imca_sim::sync::{oneshot, OneshotSender, Queue};
 use imca_sim::{join_all, SimHandle};
 
+use crate::fault::Delivery;
 use crate::network::{Network, NodeId};
 use crate::transport::{Transport, WireSize};
 
@@ -54,6 +55,12 @@ pub struct Replier<Resp> {
 impl<Resp: WireSize + 'static> Replier<Resp> {
     /// Deliver the response across the network (fire-and-forget from the
     /// server's point of view).
+    ///
+    /// The response leg is subject to the network's installed
+    /// [`crate::FaultPlan`]: a dropped response blackholes the caller (it
+    /// resolves only via its own deadline, exactly as if the request had
+    /// been lost), and a duplicated response's second copy arrives at a
+    /// caller that already has its value and is discarded.
     pub fn reply(self, resp: Resp) {
         let Replier {
             net,
@@ -65,8 +72,15 @@ impl<Resp: WireSize + 'static> Replier<Resp> {
         let h = net.handle();
         h.spawn(async move {
             let bytes = resp.wire_bytes();
-            net.transfer_with(from, to, bytes, transport.as_ref()).await;
-            tx.send(resp);
+            let fate = net.deliver(from, to, bytes, transport.as_ref()).await;
+            if fate.arrived() {
+                tx.send(resp);
+            } else {
+                // A lost response gives the caller no TCP-level signal:
+                // keep the sender half alive forever so the pending call
+                // resolves only via the caller's own deadline.
+                std::mem::forget(tx);
+            }
         });
     }
 }
@@ -174,7 +188,7 @@ impl<Req, Resp> Clone for RpcClient<Req, Resp> {
     }
 }
 
-impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
+impl<Req: WireSize + Clone + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
     /// Perform one RPC: ship the request, wait for the service to respond,
     /// ship the response back.
     ///
@@ -192,24 +206,60 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
     /// Like [`RpcClient::call`] but resolves to `None` if the service drops
     /// the request (e.g. the server was killed mid-flight) — the TCP-reset
     /// path a real client observes.
+    ///
+    /// Under an installed [`crate::FaultPlan`] the request leg may also be
+    /// dropped or duplicated. A *dropped* request (loss, drop window, or
+    /// partition) blackholes the call — TCP gives the sender no signal, so
+    /// the future stays pending forever and the caller learns only through
+    /// its own deadline (see `imca_sim::timeout`). A *duplicated* request
+    /// is delivered twice back-to-back; the server answers both, the second
+    /// response is discarded on arrival.
     pub async fn try_call(&self, req: Req) -> Option<Resp> {
         let t0 = self.net.handle().now();
         let bytes = req.wire_bytes();
-        self.net
-            .transfer_with(self.src, self.dst, bytes, self.transport.as_ref())
+        let fate = self
+            .net
+            .deliver(self.src, self.dst, bytes, self.transport.as_ref())
             .await;
         let (tx, rx) = oneshot();
-        self.queue.push(Incoming {
-            req,
-            src: self.src,
-            replier: Replier {
-                net: self.net.clone(),
-                from: self.dst,
-                to: self.src,
-                tx,
-                transport: self.transport.clone(),
-            },
-        });
+        match fate {
+            Delivery::Dropped => {
+                // The server never sees the request and the sender gets no
+                // TCP-level signal: keep the sender half alive forever so
+                // the call resolves only via the caller's own deadline.
+                std::mem::forget(tx);
+            }
+            Delivery::Ok | Delivery::Duplicated => {
+                let dup = (fate == Delivery::Duplicated).then(|| req.clone());
+                self.queue.push(Incoming {
+                    req,
+                    src: self.src,
+                    replier: Replier {
+                        net: self.net.clone(),
+                        from: self.dst,
+                        to: self.src,
+                        tx,
+                        transport: self.transport.clone(),
+                    },
+                });
+                if let Some(copy) = dup {
+                    // The duplicate is answered too, but its response has
+                    // nowhere to land (receiver dropped up front).
+                    let (dtx, _drx) = oneshot();
+                    self.queue.push(Incoming {
+                        req: copy,
+                        src: self.src,
+                        replier: Replier {
+                            net: self.net.clone(),
+                            from: self.dst,
+                            to: self.src,
+                            tx: dtx,
+                            transport: self.transport.clone(),
+                        },
+                    });
+                }
+            }
+        }
         let resp = rx.await.ok();
         if resp.is_some() {
             self.call_ns
@@ -227,13 +277,24 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
     /// streamed pipeline and arrive in send order, so a trailing
     /// [`RpcClient::try_call`] acts as a sync barrier for everything
     /// posted before it on a FIFO server.
-    pub async fn post(&self, req: Req) {
+    ///
+    /// Returns whether the request reached the server. `false` means the
+    /// installed [`crate::FaultPlan`] dropped it — the local TCP stack
+    /// knows the segment was never acknowledged, so a pipelined sender can
+    /// retransmit or declare the connection dead. Healthy networks always
+    /// return `true`.
+    pub async fn post(&self, req: Req) -> bool {
         let bytes = req.wire_bytes();
-        self.net
-            .transfer_with(self.src, self.dst, bytes, self.transport.as_ref())
+        let fate = self
+            .net
+            .deliver(self.src, self.dst, bytes, self.transport.as_ref())
             .await;
+        if !fate.arrived() {
+            return false;
+        }
         // The receiver half is dropped up front: the reply has nowhere to
         // land and nobody blocks on it.
+        let dup = (fate == Delivery::Duplicated).then(|| req.clone());
         let (tx, _rx) = oneshot();
         self.queue.push(Incoming {
             req,
@@ -246,6 +307,21 @@ impl<Req: WireSize + 'static, Resp: WireSize + 'static> RpcClient<Req, Resp> {
                 transport: self.transport.clone(),
             },
         });
+        if let Some(copy) = dup {
+            let (dtx, _drx) = oneshot();
+            self.queue.push(Incoming {
+                req: copy,
+                src: self.src,
+                replier: Replier {
+                    net: self.net.clone(),
+                    from: self.dst,
+                    to: self.src,
+                    tx: dtx,
+                    transport: self.transport.clone(),
+                },
+            });
+        }
+        true
     }
 
     /// The node this client sends from.
@@ -268,7 +344,7 @@ pub async fn fan_out<Req, Resp>(
     calls: Vec<(RpcClient<Req, Resp>, Req)>,
 ) -> Vec<Option<Resp>>
 where
-    Req: WireSize + 'static,
+    Req: WireSize + Clone + 'static,
     Resp: WireSize + 'static,
 {
     join_all(
@@ -288,9 +364,9 @@ mod tests {
     use std::cell::Cell;
     use std::rc::Rc;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Ping(u32);
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Pong(u32);
 
     impl WireSize for Ping {
@@ -466,6 +542,115 @@ mod tests {
             assert_eq!(got[2], Some(Pong(6)));
         });
         sim.run();
+    }
+
+    #[test]
+    fn dropped_request_blackholes_until_the_deadline() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        net.install_faults(FaultPlan {
+            loss: 1.0,
+            ..FaultPlan::seeded(9)
+        });
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                let v = msg.req.0;
+                msg.respond(Pong(v));
+            }
+        });
+        let h = sim.handle();
+        let deadline = SimDuration::millis(1);
+        sim.spawn(async move {
+            let t0 = h.now();
+            let got =
+                imca_sim::timeout(&h, deadline, async move { cli.try_call(Ping(1)).await }).await;
+            // The inner call never resolved: the race itself timed out.
+            assert_eq!(got, None);
+            assert_eq!(h.now().since(t0).as_nanos(), deadline.as_nanos());
+        });
+        sim.run();
+        assert_eq!(net.registry().snapshot().counter("dropped"), Some(1));
+    }
+
+    #[test]
+    fn duplicated_call_is_answered_once() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        net.install_faults(FaultPlan {
+            duplicate: 1.0,
+            ..FaultPlan::seeded(2)
+        });
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+        let served = Rc::new(Cell::new(0u32));
+        let served2 = Rc::clone(&served);
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                served2.set(served2.get() + 1);
+                let v = msg.req.0;
+                msg.respond(Pong(v + 1));
+            }
+        });
+        sim.spawn(async move {
+            // The caller sees exactly one answer despite the echo.
+            assert_eq!(cli.try_call(Ping(1)).await, Some(Pong(2)));
+        });
+        sim.run();
+        // The server processed the request twice (request + duplicate);
+        // the duplicate's discarded response wedged nothing.
+        assert_eq!(served.get(), 2);
+    }
+
+    #[test]
+    fn dropped_post_reports_false_so_the_pipeline_can_retransmit() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server = net.add_node();
+        let client_node = net.add_node();
+        // Half the messages vanish; the sender is told which.
+        net.install_faults(FaultPlan {
+            loss: 0.5,
+            ..FaultPlan::seeded(11)
+        });
+        let svc: Service<Ping, Pong> = Service::bind(&net, server);
+        let cli = svc.client(client_node);
+        let seen = Rc::new(Cell::new(0u32));
+        let seen2 = Rc::clone(&seen);
+        let svc2 = svc.clone();
+        sim.spawn(async move {
+            while let Some(msg) = svc2.recv().await {
+                seen2.set(seen2.get() + 1);
+                let (_, _, _replier) = msg.into_parts();
+                // noreply: never respond.
+            }
+        });
+        let acked = Rc::new(Cell::new(0u32));
+        let acked2 = Rc::clone(&acked);
+        sim.spawn(async move {
+            let mut ok = 0;
+            for i in 0..40 {
+                // Retransmit until the wire accepts it.
+                while !cli.post(Ping(i)).await {}
+                ok += 1;
+            }
+            acked2.set(ok);
+        });
+        sim.run();
+        assert_eq!(acked.get(), 40);
+        assert_eq!(seen.get(), 40, "every post must land exactly once");
+        let dropped = net.registry().snapshot().counter("dropped").unwrap();
+        assert!(dropped > 0, "loss=0.5 over 40 posts must drop some");
     }
 
     #[test]

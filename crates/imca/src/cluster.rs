@@ -5,7 +5,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_fabric::{Network, NodeId, Service, Transport};
+use imca_fabric::{FaultPlan, Network, NodeId, Service, Transport};
 use imca_glusterfs::{
     start_server, ClientProtocol, Fop, FopReply, FuseBridge, GlusterMount, IoCache, Posix,
     ReadAhead, ServerParams, WriteBehind, Xlator,
@@ -17,7 +17,7 @@ use imca_storage::{BackendParams, StorageBackend};
 
 use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
-use crate::mcd::{Bank, McdCosts, McdNode};
+use crate::mcd::{Bank, McdCosts, McdNode, RetryPolicy};
 use crate::smcache::{SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
@@ -42,6 +42,17 @@ pub struct ImcaConfig {
     pub mcd_costs: McdCosts,
     /// Optional transport override for bank traffic (RDMA ablation).
     pub bank_transport: Option<Transport>,
+    /// Per-RPC deadline / retry / circuit policy for every bank client.
+    /// Defaults are generous enough that a healthy deployment never trips
+    /// them; fault-injection tests and benches tighten them.
+    pub retry: RetryPolicy,
+    /// Optional separate policy for the server-side SMCache client. The
+    /// updater streams large `noreply` pipelines whose trailing sync
+    /// legitimately waits for every queued store, so it usually wants a
+    /// much longer deadline than the client-side read path — a read-tuned
+    /// deadline here falsely fails healthy pipeline syncs and quarantines
+    /// daemons. `None` = same as `retry`.
+    pub server_retry: Option<RetryPolicy>,
 }
 
 impl Default for ImcaConfig {
@@ -55,6 +66,8 @@ impl Default for ImcaConfig {
             mcd_config: McConfig::paper_mcd(),
             mcd_costs: McdCosts::default(),
             bank_transport: None,
+            retry: RetryPolicy::default(),
+            server_retry: None,
         }
     }
 }
@@ -143,25 +156,32 @@ impl Cluster {
         let backend = StorageBackend::new(handle.clone(), cfg.backend.clone());
         let posix = Posix::new(backend.clone());
 
-        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) = match &cfg
-            .imca
-        {
-            Some(imca) => {
-                let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
-                let client =
-                    Rc::new(bank.client(server_node, imca.selector, imca.bank_transport.clone()));
-                let sm = SmCache::new(
-                    handle.clone(),
-                    Rc::clone(&posix) as Xlator,
-                    client,
-                    imca.block_size,
-                    imca.threaded_updates,
-                    imca.batching,
-                );
-                (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
-            }
-            None => (None, None, Rc::clone(&posix) as Xlator),
-        };
+        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) =
+            match &cfg.imca {
+                Some(imca) => {
+                    let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
+                    let client = Rc::new(
+                        bank.client_with(
+                            server_node,
+                            imca.selector,
+                            imca.bank_transport.clone(),
+                            imca.server_retry
+                                .clone()
+                                .unwrap_or_else(|| imca.retry.clone()),
+                        ),
+                    );
+                    let sm = SmCache::new(
+                        handle.clone(),
+                        Rc::clone(&posix) as Xlator,
+                        client,
+                        imca.block_size,
+                        imca.threaded_updates,
+                        imca.batching,
+                    );
+                    (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
+                }
+                None => (None, None, Rc::clone(&posix) as Xlator),
+            };
 
         let svc = start_server(&net, server_node, server_child, cfg.server_params.clone());
         Cluster {
@@ -192,7 +212,12 @@ impl Cluster {
                     self.bank
                         .as_ref()
                         .expect("imca config implies a bank")
-                        .client(client_node, imca.selector, imca.bank_transport.clone()),
+                        .client_with(
+                            client_node,
+                            imca.selector,
+                            imca.bank_transport.clone(),
+                            imca.retry.clone(),
+                        ),
                 );
                 let cm = CmCache::new(
                     self.handle.clone(),
@@ -258,6 +283,32 @@ impl Cluster {
             .as_ref()
             .expect("no bank in this deployment")
             .revive(i);
+    }
+
+    /// Sever bank daemon `i` from every other node (a network partition,
+    /// not a crash: the daemon keeps its memory and its `alive` flag).
+    /// Undo with [`Cluster::heal_mcd`].
+    pub fn partition_mcd(&self, i: usize) {
+        let node = self.mcds()[i].node;
+        self.net.isolate(format!("mcd-{i}"), [node]);
+    }
+
+    /// Heal the partition installed by [`Cluster::partition_mcd`].
+    pub fn heal_mcd(&self, i: usize) {
+        self.net.heal(&format!("mcd-{i}"));
+    }
+
+    /// Install a fault plan scoped to the bank's daemon nodes, so loss /
+    /// duplication / jitter hit only IMCa's memcached traffic and the
+    /// GlusterFS client↔server path stays reliable. (The GlusterFS
+    /// protocol here has no retransmit layer — an unscoped lossy plan
+    /// would wedge it, which is exactly the NoCache-equivalence property
+    /// the fault tests rely on.) Partitions and drop windows added later
+    /// through [`Network`] still apply to whatever links they name.
+    pub fn install_bank_faults(&self, mut plan: FaultPlan) {
+        let scope: Vec<NodeId> = self.mcds().iter().map(|m| m.node).collect();
+        plan.scope = Some(scope);
+        self.net.install_faults(plan);
     }
 
     /// Daemon-side stats summed across the bank.

@@ -61,5 +61,7 @@ mod smcache;
 
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
 pub use cmcache::{CmCache, CmStats};
-pub use mcd::{start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp};
+pub use mcd::{
+    start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp, RetryPolicy,
+};
 pub use smcache::{SmCache, SmStats};

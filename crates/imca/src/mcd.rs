@@ -25,12 +25,12 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use imca_fabric::{fan_out, Network, NodeId, RpcClient, Service, Transport, WireSize};
+use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
 use imca_memcached::protocol::{Command, Response, StoreVerb};
 use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
 use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
-use imca_sim::{join_all, SimDuration, SimHandle};
+use imca_sim::{join_all, timeout, SimDuration, SimHandle, SimTime};
 
 /// Request wrapper carrying a memcached protocol command across the fabric.
 #[derive(Debug, Clone)]
@@ -101,6 +101,118 @@ impl McdCosts {
     }
 }
 
+/// Per-RPC deadline, retry, and fail-fast behaviour of a [`BankClient`].
+///
+/// The defaults are deliberately generous: on a healthy fabric the bank
+/// never comes close to them (a pipeline sync can legitimately wait a
+/// couple of milliseconds behind hundreds of streamed stores), so healthy
+/// simulations behave exactly as if no deadline existed. Fault-injection
+/// experiments pass tighter policies explicitly.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Per-attempt RPC deadline. An attempt that has not answered by then
+    /// is abandoned (the late response, if any, is discarded).
+    pub deadline: SimDuration,
+    /// Retries after the first timed-out attempt. Note that a *reset*
+    /// (daemon killed mid-flight) is never retried — the connection is
+    /// dead and libmemcache fails the op immediately.
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling for the exponential doubling.
+    pub backoff_cap: SimDuration,
+    /// After all retries time out, the daemon's circuit opens for this
+    /// long: ops route as local misses with no wire traffic, then the
+    /// next op after expiry probes the daemon again.
+    pub circuit_cooldown: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            deadline: SimDuration::millis(50),
+            retries: 2,
+            backoff_base: SimDuration::micros(100),
+            backoff_cap: SimDuration::millis(1),
+            circuit_cooldown: SimDuration::millis(100),
+        }
+    }
+}
+
+/// What one deadline-guarded bank RPC resolved to.
+enum CallOutcome {
+    /// The daemon answered within the deadline.
+    Resp(McdResp),
+    /// The daemon reset the connection (killed mid-flight). Fail fast; no
+    /// retry — the op is already known lost.
+    Dropped,
+    /// Every attempt ran out its deadline (lost on the wire, partitioned,
+    /// or the daemon is hopelessly slow).
+    TimedOut,
+}
+
+/// One deadline-guarded attempt loop, self-contained so batched paths can
+/// run it per daemon through `join_all` (which needs `'static` futures).
+async fn retry_call(
+    handle: SimHandle,
+    client: RpcClient<McdReq, McdResp>,
+    policy: RetryPolicy,
+    rpc_timeouts: Counter,
+    retries: Counter,
+    req: McdReq,
+) -> CallOutcome {
+    let mut backoff = policy.backoff_base;
+    let mut attempt = 0;
+    loop {
+        let c = client.clone();
+        let r = req.clone();
+        match timeout(&handle, policy.deadline, async move { c.try_call(r).await }).await {
+            Some(Some(resp)) => return CallOutcome::Resp(resp),
+            Some(None) => return CallOutcome::Dropped,
+            None => {
+                rpc_timeouts.inc();
+                if attempt >= policy.retries {
+                    return CallOutcome::TimedOut;
+                }
+                attempt += 1;
+                retries.inc();
+                handle.sleep(backoff).await;
+                backoff = SimDuration::nanos(
+                    (backoff.as_nanos().saturating_mul(2)).min(policy.backoff_cap.as_nanos()),
+                );
+            }
+        }
+    }
+}
+
+/// Retransmit a `noreply` post until the wire accepts it, with the same
+/// capped backoff as [`retry_call`]. `true` once it lands; `false` when the
+/// policy's retry budget is spent (the connection is declared dead).
+async fn post_with_retransmit(
+    handle: SimHandle,
+    client: RpcClient<McdReq, McdResp>,
+    policy: RetryPolicy,
+    retries: Counter,
+    req: McdReq,
+) -> bool {
+    let mut backoff = policy.backoff_base;
+    let mut attempt = 0;
+    loop {
+        if client.post(req.clone()).await {
+            return true;
+        }
+        if attempt >= policy.retries {
+            return false;
+        }
+        attempt += 1;
+        retries.inc();
+        handle.sleep(backoff).await;
+        backoff = SimDuration::nanos(
+            (backoff.as_nanos().saturating_mul(2)).min(policy.backoff_cap.as_nanos()),
+        );
+    }
+}
+
 /// A running MCD node.
 pub struct McdNode {
     /// Fabric node the daemon runs on.
@@ -108,6 +220,15 @@ pub struct McdNode {
     service: Service<McdReq, McdResp>,
     server: Rc<McServer>,
     alive: Rc<Cell<bool>>,
+    /// Sticky write-safety flag, shared by every [`BankClient`]: set when
+    /// any client's *write* to this daemon fails (timed-out pipeline sync,
+    /// retransmit give-up, reset store/delete), because the daemon may
+    /// hold state that a failed purge or push left stale. A quarantined
+    /// daemon is a local miss for everyone until [`Bank::revive`] — which
+    /// restarts it empty — clears the flag. Unlike the per-client circuit
+    /// breaker this never auto-expires: time cannot prove the stale data
+    /// went away.
+    quarantined: Rc<Cell<bool>>,
     registry: Registry,
 }
 
@@ -127,6 +248,12 @@ impl McdNode {
     pub fn is_alive(&self) -> bool {
         self.alive.get()
     }
+
+    /// Whether a failed write has quarantined this daemon (see the field
+    /// docs — cleared only by [`Bank::revive`]).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.get()
+    }
 }
 
 impl MetricSource for McdNode {
@@ -136,6 +263,10 @@ impl MetricSource for McdNode {
             .store()
             .collect(&prefixed(prefix, "store"), snap);
         snap.set_gauge(prefixed(prefix, "alive"), self.alive.get() as i64);
+        snap.set_gauge(
+            prefixed(prefix, "quarantined"),
+            self.quarantined.get() as i64,
+        );
     }
 }
 
@@ -220,6 +351,7 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
         service,
         server,
         alive,
+        quarantined: Rc::new(Cell::new(false)),
         registry,
     }
 }
@@ -290,9 +422,13 @@ impl Bank {
     /// Revive daemon `i`. The daemon restarts *empty*, as a crashed
     /// memcached would — rejoining with old memory intact is the
     /// stale-resurfacing hazard [`BankClient`]'s routing exists to avoid.
+    /// Restarting empty is also why revival is the one operation allowed
+    /// to lift a write-failure quarantine: there is provably nothing stale
+    /// left to serve.
     pub fn revive(&self, i: usize) {
         let node = &self.nodes[i];
         node.server.store().flush_all();
+        node.quarantined.set(false);
         if !node.alive.replace(true) {
             self.mcd_revivals.inc();
         }
@@ -310,8 +446,9 @@ impl Bank {
         sum_mcd_stats(&self.nodes)
     }
 
-    /// Connect a consumer at `from` to every daemon. `transport`
-    /// optionally overrides the fabric default (RDMA ablation).
+    /// Connect a consumer at `from` to every daemon with the default
+    /// [`RetryPolicy`]. `transport` optionally overrides the fabric
+    /// default (RDMA ablation).
     pub fn client(
         &self,
         from: NodeId,
@@ -319,6 +456,18 @@ impl Bank {
         transport: Option<Transport>,
     ) -> BankClient {
         BankClient::connect(&self.nodes, from, selector, transport)
+    }
+
+    /// [`Bank::client`] with an explicit deadline/retry policy
+    /// (fault-injection experiments pass tighter-than-default policies).
+    pub fn client_with(
+        &self,
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+        policy: RetryPolicy,
+    ) -> BankClient {
+        BankClient::connect_with(&self.nodes, from, selector, transport, policy)
     }
 }
 
@@ -367,11 +516,30 @@ pub struct BankStats {
     pub failures: u64,
 }
 
+/// Where one key's op goes, after liveness, quarantine, and the circuit
+/// breaker have had their say.
+enum Route {
+    /// Send to daemon `i`.
+    Daemon(usize),
+    /// Primary is dead (killed): local miss, no wire traffic, no retry —
+    /// the pre-fault failover semantics.
+    Dead,
+    /// Primary is nominally alive but shed — quarantined by a failed
+    /// write, or inside an open circuit window after repeated timeouts.
+    /// Local miss, counted as a degraded miss.
+    Shed,
+}
+
 /// The bank of MCDs as seen from one node (CMCache or SMCache side).
 pub struct BankClient {
     clients: Vec<RpcClient<McdReq, McdResp>>,
     core: RefCell<ClientCore>,
     alive: Vec<Rc<Cell<bool>>>,
+    quarantined: Vec<Rc<Cell<bool>>>,
+    /// Per-daemon fail-fast circuit: ops shed (local miss) until the
+    /// stored instant. Per *client*, unlike the shared quarantine flags.
+    circuit_open_until: RefCell<Vec<SimTime>>,
+    policy: RetryPolicy,
     handle: SimHandle,
     registry: Registry,
     gets: Counter,
@@ -390,6 +558,13 @@ pub struct BankClient {
     pipelined_sets: Counter,
     /// Deletes streamed through the `noreply` pipeline.
     pipelined_deletes: Counter,
+    /// RPC attempts abandoned at their deadline.
+    rpc_timeouts: Counter,
+    /// Retried attempts and retransmitted pipeline posts.
+    retries: Counter,
+    /// Ops answered locally (miss / dropped write) because the daemon was
+    /// quarantined, circuit-open, or out of retry budget.
+    degraded_misses: Counter,
 }
 
 impl BankClient {
@@ -402,6 +577,17 @@ impl BankClient {
         from: NodeId,
         selector: Selector,
         transport: Option<Transport>,
+    ) -> BankClient {
+        BankClient::connect_with(nodes, from, selector, transport, RetryPolicy::default())
+    }
+
+    /// [`BankClient::connect`] with an explicit deadline/retry policy.
+    pub fn connect_with(
+        nodes: &[McdNode],
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+        policy: RetryPolicy,
     ) -> BankClient {
         assert!(!nodes.is_empty(), "bank needs at least one MCD");
         let clients: Vec<_> = nodes
@@ -417,6 +603,9 @@ impl BankClient {
             clients,
             core: RefCell::new(ClientCore::new(selector, nodes.len())),
             alive: nodes.iter().map(|n| Rc::clone(&n.alive)).collect(),
+            quarantined: nodes.iter().map(|n| Rc::clone(&n.quarantined)).collect(),
+            circuit_open_until: RefCell::new(vec![SimTime::ZERO; nodes.len()]),
+            policy,
             handle,
             gets: registry.counter("gets"),
             hits: registry.counter("hits"),
@@ -429,6 +618,9 @@ impl BankClient {
             keys_per_multi_get: registry.histogram("keys_per_multi_get"),
             pipelined_sets: registry.counter("pipelined_sets"),
             pipelined_deletes: registry.counter("pipelined_deletes"),
+            rpc_timeouts: registry.counter("rpc_timeouts"),
+            retries: registry.counter("retries"),
+            degraded_misses: registry.counter("degraded_misses"),
             registry,
         }
     }
@@ -469,10 +661,50 @@ impl BankClient {
     /// during an outage, or an old primary copy read after a second
     /// failover, resurfaces. Keyed to one daemon, every value has exactly
     /// one home and correctness never depends on bank membership history.
-    fn route(&self, key: &[u8], hint: Option<u64>) -> Option<usize> {
+    ///
+    /// On top of liveness, a reachable daemon may still be *shed*:
+    /// quarantined by a failed write (sticky, until revival) or inside
+    /// this client's open circuit window after repeated timeouts
+    /// (transient). Both also resolve locally, but count as degraded
+    /// misses so the fault accounting can explain a latency gap.
+    fn route(&self, key: &[u8], hint: Option<u64>) -> Route {
         self.refresh_liveness();
         let primary = self.core.borrow().primary(key, hint);
-        self.alive[primary].get().then_some(primary)
+        if !self.alive[primary].get() {
+            return Route::Dead;
+        }
+        if self.quarantined[primary].get() {
+            return Route::Shed;
+        }
+        if self.handle.now() < self.circuit_open_until.borrow()[primary] {
+            return Route::Shed;
+        }
+        Route::Daemon(primary)
+    }
+
+    /// Open daemon `idx`'s circuit: shed its traffic for the policy's
+    /// cooldown, then probe again.
+    fn trip_circuit(&self, idx: usize) {
+        self.circuit_open_until.borrow_mut()[idx] =
+            self.handle.now() + self.policy.circuit_cooldown;
+    }
+
+    /// One deadline-guarded RPC to daemon `idx`, opening its circuit if
+    /// the retry budget runs dry.
+    async fn call_daemon(&self, idx: usize, req: McdReq) -> CallOutcome {
+        let outcome = retry_call(
+            self.handle.clone(),
+            self.clients[idx].clone(),
+            self.policy.clone(),
+            self.rpc_timeouts.clone(),
+            self.retries.clone(),
+            req,
+        )
+        .await;
+        if matches!(outcome, CallOutcome::TimedOut) {
+            self.trip_circuit(idx);
+        }
+        outcome
     }
 
     /// Fetch one value. `hint` is the block index for modulo distribution.
@@ -480,29 +712,44 @@ impl BankClient {
         self.gets.inc();
         let t0 = self.handle.now();
         let result = match self.route(key, hint) {
-            None => {
+            Route::Dead => {
                 self.misses.inc();
                 None
             }
-            Some(idx) => {
+            Route::Shed => {
+                self.misses.inc();
+                self.degraded_misses.inc();
+                None
+            }
+            Route::Daemon(idx) => {
                 let req = McdReq(Command::Get {
                     keys: vec![key.to_vec()],
                     with_cas: false,
                 });
-                match self.clients[idx].try_call(req).await {
-                    Some(McdResp(Some(Response::Values(mut vals)))) if !vals.is_empty() => {
+                match self.call_daemon(idx, req).await {
+                    CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
+                        if !vals.is_empty() =>
+                    {
                         self.hits.inc();
                         Some(vals.remove(0).data)
                     }
-                    Some(_) => {
+                    CallOutcome::Resp(_) => {
                         self.misses.inc();
                         None
                     }
-                    None => {
+                    CallOutcome::Dropped => {
                         // Daemon died mid-flight: treat as a miss and avoid it.
                         self.failures.inc();
                         self.misses.inc();
                         self.core.borrow_mut().mark_dead(idx);
+                        None
+                    }
+                    CallOutcome::TimedOut => {
+                        // Unreachable (lost/partitioned): the circuit is now
+                        // open; resolve as a degraded local miss.
+                        self.failures.inc();
+                        self.misses.inc();
+                        self.degraded_misses.inc();
                         None
                     }
                 }
@@ -532,8 +779,12 @@ impl BankClient {
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (pos, (key, hint)) in keys.iter().enumerate() {
             match self.route(key, *hint) {
-                Some(idx) => groups.entry(idx).or_default().push(pos),
-                None => self.misses.inc(),
+                Route::Daemon(idx) => groups.entry(idx).or_default().push(pos),
+                Route::Dead => self.misses.inc(),
+                Route::Shed => {
+                    self.misses.inc();
+                    self.degraded_misses.inc();
+                }
             }
         }
         let groups: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
@@ -546,13 +797,20 @@ impl BankClient {
                     keys: positions.iter().map(|&p| keys[p].0.clone()).collect(),
                     with_cas: false,
                 });
-                (self.clients[*idx].clone(), req)
+                retry_call(
+                    self.handle.clone(),
+                    self.clients[*idx].clone(),
+                    self.policy.clone(),
+                    self.rpc_timeouts.clone(),
+                    self.retries.clone(),
+                    req,
+                )
             })
             .collect();
-        let resps = fan_out(&self.handle, calls).await;
-        for ((idx, positions), resp) in groups.into_iter().zip(resps) {
-            match resp {
-                Some(McdResp(Some(Response::Values(vals)))) => {
+        let outcomes = join_all(&self.handle, calls).await;
+        for ((idx, positions), outcome) in groups.into_iter().zip(outcomes) {
+            match outcome {
+                CallOutcome::Resp(McdResp(Some(Response::Values(vals)))) => {
                     // The daemon returns only the found keys, in request
                     // order with the key echoed: walk both lists in
                     // lockstep to tell hits from per-key misses.
@@ -566,12 +824,21 @@ impl BankClient {
                         }
                     }
                 }
-                Some(_) => self.misses.add(positions.len() as u64),
-                None => {
+                CallOutcome::Resp(_) => self.misses.add(positions.len() as u64),
+                CallOutcome::Dropped => {
                     // Daemon died mid-flight: the whole group fails.
                     self.failures.add(positions.len() as u64);
                     self.misses.add(positions.len() as u64);
                     self.core.borrow_mut().mark_dead(idx);
+                }
+                CallOutcome::TimedOut => {
+                    // Deadline expired mid-group: the whole group fails —
+                    // never a partial block assembly — and the circuit
+                    // opens so the next batch sheds locally.
+                    self.failures.add(positions.len() as u64);
+                    self.misses.add(positions.len() as u64);
+                    self.degraded_misses.add(positions.len() as u64);
+                    self.trip_circuit(idx);
                 }
             }
         }
@@ -599,8 +866,10 @@ impl BankClient {
         self.sets.add(items.len() as u64);
         let mut groups: BTreeMap<usize, Vec<(Vec<u8>, Bytes)>> = BTreeMap::new();
         for (key, value, hint) in items {
-            if let Some(idx) = self.route(&key, hint) {
-                groups.entry(idx).or_default().push((key, value));
+            match self.route(&key, hint) {
+                Route::Daemon(idx) => groups.entry(idx).or_default().push((key, value)),
+                Route::Dead => {}
+                Route::Shed => self.degraded_misses.inc(),
             }
         }
         let mut daemons = Vec::with_capacity(groups.len());
@@ -609,29 +878,47 @@ impl BankClient {
             self.pipelined_sets.add(batch.len() as u64);
             daemons.push((idx, batch.len() as u64));
             let client = self.clients[idx].clone();
+            let handle = self.handle.clone();
+            let policy = self.policy.clone();
+            let rpc_timeouts = self.rpc_timeouts.clone();
+            let retries = self.retries.clone();
             pipelines.push(async move {
                 for (key, data) in batch {
-                    client
-                        .post(McdReq(Command::Store {
-                            verb: StoreVerb::Set,
-                            key,
-                            flags: 0,
-                            exptime: 0,
-                            data,
-                            noreply: true,
-                        }))
-                        .await;
+                    let req = McdReq(Command::Store {
+                        verb: StoreVerb::Set,
+                        key,
+                        flags: 0,
+                        exptime: 0,
+                        data,
+                        noreply: true,
+                    });
+                    if !post_with_retransmit(
+                        handle.clone(),
+                        client.clone(),
+                        policy.clone(),
+                        retries.clone(),
+                        req,
+                    )
+                    .await
+                    {
+                        // Connection declared dead mid-stream: nothing past
+                        // this point is known to have landed.
+                        return CallOutcome::TimedOut;
+                    }
                 }
-                client.try_call(McdReq(Command::Version)).await
+                retry_call(
+                    handle,
+                    client,
+                    policy,
+                    rpc_timeouts,
+                    retries,
+                    McdReq(Command::Version),
+                )
+                .await
             });
         }
         let syncs = join_all(&self.handle, pipelines).await;
-        for ((idx, streamed), sync) in daemons.into_iter().zip(syncs) {
-            if sync.is_none() {
-                self.failures.add(streamed);
-                self.core.borrow_mut().mark_dead(idx);
-            }
-        }
+        self.settle_pipeline(daemons, syncs);
     }
 
     /// Remove many keys using `noreply` pipelining with one trailing
@@ -641,8 +928,10 @@ impl BankClient {
         self.deletes.add(items.len() as u64);
         let mut groups: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
         for (key, hint) in items {
-            if let Some(idx) = self.route(&key, hint) {
-                groups.entry(idx).or_default().push(key);
+            match self.route(&key, hint) {
+                Route::Daemon(idx) => groups.entry(idx).or_default().push(key),
+                Route::Dead => {}
+                Route::Shed => self.degraded_misses.inc(),
             }
         }
         let mut daemons = Vec::with_capacity(groups.len());
@@ -651,20 +940,60 @@ impl BankClient {
             self.pipelined_deletes.add(batch.len() as u64);
             daemons.push((idx, batch.len() as u64));
             let client = self.clients[idx].clone();
+            let handle = self.handle.clone();
+            let policy = self.policy.clone();
+            let rpc_timeouts = self.rpc_timeouts.clone();
+            let retries = self.retries.clone();
             pipelines.push(async move {
                 for key in batch {
-                    client
-                        .post(McdReq(Command::Delete { key, noreply: true }))
-                        .await;
+                    let req = McdReq(Command::Delete { key, noreply: true });
+                    if !post_with_retransmit(
+                        handle.clone(),
+                        client.clone(),
+                        policy.clone(),
+                        retries.clone(),
+                        req,
+                    )
+                    .await
+                    {
+                        return CallOutcome::TimedOut;
+                    }
                 }
-                client.try_call(McdReq(Command::Version)).await
+                retry_call(
+                    handle,
+                    client,
+                    policy,
+                    rpc_timeouts,
+                    retries,
+                    McdReq(Command::Version),
+                )
+                .await
             });
         }
         let syncs = join_all(&self.handle, pipelines).await;
+        self.settle_pipeline(daemons, syncs);
+    }
+
+    /// Account per-daemon pipeline outcomes. Any failed sync — reset or
+    /// timed out — counts every store/delete streamed to that daemon as a
+    /// failure (none is known to have landed) and *quarantines* the
+    /// daemon: a dropped purge or push may have left it holding stale
+    /// state, which must never be served again before a clean restart.
+    fn settle_pipeline(&self, daemons: Vec<(usize, u64)>, syncs: Vec<CallOutcome>) {
         for ((idx, streamed), sync) in daemons.into_iter().zip(syncs) {
-            if sync.is_none() {
-                self.failures.add(streamed);
-                self.core.borrow_mut().mark_dead(idx);
+            match sync {
+                CallOutcome::Resp(_) => {}
+                CallOutcome::Dropped => {
+                    self.failures.add(streamed);
+                    self.quarantined[idx].set(true);
+                    self.core.borrow_mut().mark_dead(idx);
+                }
+                CallOutcome::TimedOut => {
+                    self.failures.add(streamed);
+                    self.degraded_misses.add(streamed);
+                    self.quarantined[idx].set(true);
+                    self.trip_circuit(idx);
+                }
             }
         }
     }
@@ -672,8 +1001,13 @@ impl BankClient {
     /// Store one value.
     pub async fn set(&self, key: &[u8], value: Bytes, hint: Option<u64>) {
         self.sets.inc();
-        let Some(idx) = self.route(key, hint) else {
-            return;
+        let idx = match self.route(key, hint) {
+            Route::Dead => return,
+            Route::Shed => {
+                self.degraded_misses.inc();
+                return;
+            }
+            Route::Daemon(idx) => idx,
         };
         let req = McdReq(Command::Store {
             verb: StoreVerb::Set,
@@ -683,25 +1017,43 @@ impl BankClient {
             data: value,
             noreply: false,
         });
-        if self.clients[idx].try_call(req).await.is_none() {
-            self.failures.inc();
-            self.core.borrow_mut().mark_dead(idx);
-        }
+        self.settle_write(idx, self.call_daemon(idx, req).await);
     }
 
     /// Remove one key.
     pub async fn delete(&self, key: &[u8], hint: Option<u64>) {
         self.deletes.inc();
-        let Some(idx) = self.route(key, hint) else {
-            return;
+        let idx = match self.route(key, hint) {
+            Route::Dead => return,
+            Route::Shed => {
+                self.degraded_misses.inc();
+                return;
+            }
+            Route::Daemon(idx) => idx,
         };
         let req = McdReq(Command::Delete {
             key: key.to_vec(),
             noreply: false,
         });
-        if self.clients[idx].try_call(req).await.is_none() {
-            self.failures.inc();
-            self.core.borrow_mut().mark_dead(idx);
+        self.settle_write(idx, self.call_daemon(idx, req).await);
+    }
+
+    /// Account a single-key write outcome. Like a failed pipeline sync,
+    /// any failed write quarantines its daemon: a delete that never
+    /// landed leaves a stale value that must not outlive the failure.
+    fn settle_write(&self, idx: usize, outcome: CallOutcome) {
+        match outcome {
+            CallOutcome::Resp(_) => {}
+            CallOutcome::Dropped => {
+                self.failures.inc();
+                self.quarantined[idx].set(true);
+                self.core.borrow_mut().mark_dead(idx);
+            }
+            CallOutcome::TimedOut => {
+                self.failures.inc();
+                self.degraded_misses.inc();
+                self.quarantined[idx].set(true);
+            }
         }
     }
 }
@@ -1176,6 +1528,188 @@ mod tests {
             "a dead sync leaves every streamed store un-acknowledged"
         );
         assert_eq!(bank.failovers(), 1);
+    }
+
+    /// Tight policy for fault tests: one retry, sub-millisecond deadline.
+    fn tight_policy() -> RetryPolicy {
+        RetryPolicy {
+            deadline: SimDuration::micros(200),
+            retries: 1,
+            backoff_base: SimDuration::micros(10),
+            backoff_cap: SimDuration::micros(40),
+            circuit_cooldown: SimDuration::millis(1),
+        }
+    }
+
+    #[test]
+    fn partitioned_daemon_times_out_then_the_circuit_sheds() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            1,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client =
+            Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, tight_policy()));
+        let c2 = Rc::clone(&client);
+        let net2 = net.clone();
+        let mcd_node = bank.nodes()[0].node;
+        let h = sim.handle();
+        sim.spawn(async move {
+            c2.set(b"/k:stat", Bytes::from_static(b"v"), None).await;
+            assert!(c2.get(b"/k:stat", None).await.is_some());
+            net2.isolate("mcd-cut", [mcd_node]);
+            // Both attempts run out their deadline; the read degrades to a
+            // local miss and the circuit opens.
+            assert!(c2.get(b"/k:stat", None).await.is_none());
+            let timeouts_after_first = c2.stats().failures;
+            assert_eq!(timeouts_after_first, 1);
+            // Inside the cooldown: shed locally, no further wire attempts.
+            assert!(c2.get(b"/k:stat", None).await.is_none());
+            // Heal and let the circuit expire: the daemon answers again,
+            // and since no *write* failed it was never quarantined — the
+            // value survived the partition.
+            net2.heal("mcd-cut");
+            h.sleep(SimDuration::millis(2)).await;
+            assert_eq!(
+                c2.get(b"/k:stat", None).await,
+                Some(Bytes::from_static(b"v"))
+            );
+        });
+        sim.run();
+        let s = client.stats();
+        // get #2 timed out (1 attempt + 1 retry), get #3 was shed.
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.rpc_timeouts"), Some(2));
+        assert_eq!(snap.counter("bank.retries"), Some(1));
+        assert_eq!(snap.counter("bank.degraded_misses"), Some(2));
+        assert_eq!((s.gets, s.hits, s.misses, s.failures), (4, 2, 2, 1));
+        // The latency histogram still covers every get — timeouts and
+        // circuit sheds included.
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, s.gets);
+        assert!(!bank.nodes()[0].is_quarantined());
+    }
+
+    #[test]
+    fn failed_purge_quarantines_until_revival() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            1,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client =
+            Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, tight_policy()));
+        let c2 = Rc::clone(&client);
+        let net2 = net.clone();
+        let b2 = Rc::clone(&bank);
+        let mcd_node = bank.nodes()[0].node;
+        let h = sim.handle();
+        sim.spawn(async move {
+            c2.set(b"/f:0", Bytes::from_static(b"stale"), Some(0)).await;
+            net2.isolate("mcd-cut", [mcd_node]);
+            // The purge never reaches the daemon: every retransmit of the
+            // noreply delete fails and the pipeline gives up.
+            c2.delete_pipeline(vec![(b"/f:0".to_vec(), Some(0))]).await;
+            assert_eq!(c2.stats().failures, 1);
+            assert!(b2.nodes()[0].is_quarantined());
+            net2.heal("mcd-cut");
+            h.sleep(SimDuration::millis(2)).await;
+            // Healed, circuit expired — but the daemon still holds the
+            // value the failed purge should have removed. Quarantine makes
+            // this a miss, never a stale resurrection.
+            assert!(c2.get(b"/f:0", Some(0)).await.is_none());
+            // Revival restarts the daemon empty and lifts the quarantine.
+            b2.revive(0);
+            assert!(c2.get(b"/f:0", Some(0)).await.is_none());
+            c2.set(b"/f:0", Bytes::from_static(b"fresh"), Some(0)).await;
+            assert_eq!(
+                c2.get(b"/f:0", Some(0)).await,
+                Some(Bytes::from_static(b"fresh"))
+            );
+        });
+        sim.run();
+        assert!(!bank.nodes()[0].is_quarantined());
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert!(snap.counter("bank.degraded_misses").unwrap() >= 1);
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn quarantine_is_shared_across_clients() {
+        // Client A's failed write must shield client B from the stale
+        // daemon: the flag lives on the node, not in the client.
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            1,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let a = Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, tight_policy()));
+        let b = Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, tight_policy()));
+        let net2 = net.clone();
+        let mcd_node = bank.nodes()[0].node;
+        let h = sim.handle();
+        sim.spawn(async move {
+            a.set(b"/s:0", Bytes::from_static(b"old"), Some(0)).await;
+            net2.isolate("cut", [mcd_node]);
+            a.delete_pipeline(vec![(b"/s:0".to_vec(), Some(0))]).await;
+            net2.heal("cut");
+            h.sleep(SimDuration::millis(2)).await;
+            // B never saw a failure, but the daemon is poisoned for it too.
+            assert!(b.get(b"/s:0", Some(0)).await.is_none());
+            let bs = b.stats();
+            assert_eq!((bs.gets, bs.misses), (1, 1));
+        });
+        sim.run();
+        assert!(bank.nodes()[0].is_quarantined());
+    }
+
+    #[test]
+    fn duplicated_rpcs_are_idempotent_on_the_bank_path() {
+        // 100% duplication: every request and response is delivered twice.
+        // Sets double-apply (same value — idempotent), gets answer twice
+        // (second copy discarded); results and counters stay exact.
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        net.install_faults(imca_fabric::FaultPlan {
+            duplicate: 1.0,
+            ..imca_fabric::FaultPlan::seeded(4)
+        });
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            for blk in 0..4u64 {
+                let key = format!("/d:{}", blk * 2048);
+                c2.set(key.as_bytes(), Bytes::from(vec![blk as u8; 32]), Some(blk))
+                    .await;
+            }
+            let keys: Vec<(Vec<u8>, Option<u64>)> = (0..4u64)
+                .map(|blk| (format!("/d:{}", blk * 2048).into_bytes(), Some(blk)))
+                .collect();
+            let got = c2.get_multi(&keys).await;
+            for (blk, v) in got.iter().enumerate() {
+                assert_eq!(v.as_deref(), Some(&vec![blk as u8; 32][..]), "block {blk}");
+            }
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.gets, s.hits, s.misses, s.failures), (4, 4, 0, 0));
+        assert!(net.registry().snapshot().counter("duplicated").unwrap() > 0);
+        // Exactly one logical value per key despite the echoes.
+        assert_eq!(bank.stats().curr_items, 4);
     }
 
     #[test]

@@ -65,4 +65,4 @@ mod util;
 
 pub use sim::{yield_now, Delay, RunSummary, Sim, SimHandle, YieldNow};
 pub use time::{SimDuration, SimTime};
-pub use util::{join2, join_all};
+pub use util::{join2, join_all, timeout};

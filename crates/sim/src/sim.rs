@@ -68,10 +68,16 @@ impl std::task::Wake for TaskWaker {
 
 /// A timer waiting to fire. Ordered by `(at, seq)` so that simultaneous
 /// timers fire in registration order — this is what makes runs reproducible.
+///
+/// `cancelled` (set when the owning [`Delay`] is dropped before firing)
+/// makes the entry inert: the run loop discards it *without advancing the
+/// clock*, so racing a sleep against another future (see
+/// [`crate::timeout`]) does not stretch the simulation's end time.
 struct TimerEntry {
     at: SimTime,
     seq: u64,
     waker: Waker,
+    cancelled: Option<Rc<Cell<bool>>>,
 }
 
 impl PartialEq for TimerEntry {
@@ -186,14 +192,21 @@ impl Sim {
             // Advance the clock to the next timer.
             let fired = {
                 let mut timers = self.core.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(entry)) if entry.at <= deadline => {
-                        let Reverse(entry) = timers.pop().unwrap();
-                        debug_assert!(entry.at >= self.core.now.get());
-                        self.core.now.set(entry.at);
-                        Some(entry.waker)
+                loop {
+                    match timers.peek() {
+                        Some(Reverse(entry)) if entry.at <= deadline => {
+                            let Reverse(entry) = timers.pop().unwrap();
+                            if entry.cancelled.as_ref().is_some_and(|c| c.get()) {
+                                // Abandoned timer (its Delay was dropped):
+                                // discard without touching the clock.
+                                continue;
+                            }
+                            debug_assert!(entry.at >= self.core.now.get());
+                            self.core.now.set(entry.at);
+                            break Some(entry.waker);
+                        }
+                        _ => break None,
                     }
-                    _ => None,
                 }
             };
             match fired {
@@ -294,11 +307,7 @@ impl SimHandle {
 
     /// Suspend the calling process for `d` of virtual time.
     pub fn sleep(&self, d: SimDuration) -> Delay {
-        Delay {
-            core: Rc::clone(&self.core),
-            at: self.now() + d,
-            registered: false,
-        }
+        self.sleep_until(self.now() + d)
     }
 
     /// Suspend until the virtual clock reaches `at` (no-op if already past).
@@ -306,7 +315,7 @@ impl SimHandle {
         Delay {
             core: Rc::clone(&self.core),
             at,
-            registered: false,
+            cancel: None,
         }
     }
 
@@ -314,10 +323,12 @@ impl SimHandle {
     pub fn register_timer(&self, at: SimTime, waker: Waker) {
         let seq = self.core.seq.get();
         self.core.seq.set(seq + 1);
-        self.core
-            .timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { at, seq, waker }));
+        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            waker,
+            cancelled: None,
+        }));
     }
 
     /// A uniformly distributed `u64`.
@@ -364,10 +375,16 @@ impl std::fmt::Debug for SimHandle {
 }
 
 /// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
+///
+/// Dropping a `Delay` before it fires cancels its timer: the pending heap
+/// entry is marked inert and the run loop discards it without advancing
+/// the virtual clock. This is what lets [`crate::timeout`] race a sleep
+/// against another future without the losing sleep stretching the
+/// simulation's end time.
 pub struct Delay {
     core: Rc<Core>,
     at: SimTime,
-    registered: bool,
+    cancel: Option<Rc<Cell<bool>>>,
 }
 
 impl Future for Delay {
@@ -377,17 +394,29 @@ impl Future for Delay {
         if self.core.now.get() >= self.at {
             return Poll::Ready(());
         }
-        if !self.registered {
-            self.registered = true;
+        if self.cancel.is_none() {
+            let token = Rc::new(Cell::new(false));
+            self.cancel = Some(Rc::clone(&token));
             let seq = self.core.seq.get();
             self.core.seq.set(seq + 1);
             self.core.timers.borrow_mut().push(Reverse(TimerEntry {
                 at: self.at,
                 seq,
                 waker: cx.waker().clone(),
+                cancelled: Some(token),
             }));
         }
         Poll::Pending
+    }
+}
+
+impl Drop for Delay {
+    fn drop(&mut self) {
+        // If the timer already fired its heap entry is gone and this is a
+        // no-op; if it is still pending it becomes inert.
+        if let Some(token) = &self.cancel {
+            token.set(true);
+        }
     }
 }
 
@@ -545,6 +574,26 @@ mod tests {
         }
         let avg = total as f64 / n as f64;
         assert!((avg - 100_000.0).abs() < 5_000.0, "avg={avg}");
+    }
+
+    #[test]
+    fn dropped_delay_does_not_advance_the_clock() {
+        // The cancellation path: a Delay raced against a faster future and
+        // dropped. End time must stay at the fast future's time.
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let fast = async {};
+            let n = crate::util::timeout(&h, SimDuration::secs(5), fast).await;
+            assert!(n.is_some());
+            h.sleep(SimDuration::micros(3)).await;
+        });
+        let s = sim.run();
+        assert_eq!(
+            s.end_time.as_nanos(),
+            3_000,
+            "a cancelled deadline timer must not stretch the run"
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Small combinators for simulation futures.
 
 use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
 
-use crate::sim::SimHandle;
+use crate::sim::{Delay, SimHandle};
 use crate::sync::{oneshot, OneshotReceiver};
+use crate::time::SimDuration;
 
 /// Run every future concurrently (each as its own process) and collect their
 /// outputs in input order.
@@ -30,6 +33,56 @@ where
         out.push(rx.await.expect("join_all child task dropped its result"));
     }
     out
+}
+
+/// Run `fut` with a deadline of `d` virtual time: `Some(output)` if it
+/// completes in time, `None` once the deadline passes.
+///
+/// The future runs as its own process, so on timeout it is *not* dropped —
+/// it keeps running (still consuming virtual time and network resources,
+/// like a late RPC response still crossing the wire) and its eventual
+/// output is discarded. The deadline timer is cancelled when the future
+/// wins the race, so a completed call never stretches the simulation's end
+/// time (see [`Delay`]'s drop semantics).
+pub async fn timeout<T, F>(handle: &SimHandle, d: SimDuration, fut: F) -> Option<T>
+where
+    T: 'static,
+    F: Future<Output = T> + 'static,
+{
+    let (tx, rx) = oneshot();
+    handle.spawn(async move {
+        tx.send(fut.await);
+    });
+    Deadline {
+        rx,
+        delay: handle.sleep(d),
+    }
+    .await
+}
+
+/// Race a oneshot receiver against a deadline, result-first at ties.
+struct Deadline<T> {
+    rx: OneshotReceiver<T>,
+    delay: Delay,
+}
+
+impl<T> Future for Deadline<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let this = self.get_mut();
+        // Poll the result first so that a value arriving exactly at the
+        // deadline still counts as in time.
+        if let Poll::Ready(result) = Pin::new(&mut this.rx).poll(cx) {
+            // Err(Canceled) means the child task was torn down (simulation
+            // shutdown); report it like a timeout rather than panicking.
+            return Poll::Ready(result.ok());
+        }
+        if Pin::new(&mut this.delay).poll(cx).is_ready() {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    }
 }
 
 /// Run both futures concurrently and return both outputs.
@@ -91,6 +144,50 @@ mod tests {
         });
         let s = sim.run();
         assert_eq!(s.end_time.as_nanos(), 0);
+    }
+
+    #[test]
+    fn timeout_returns_the_value_when_fast_enough() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            let h2 = h.clone();
+            let got = timeout(&h, SimDuration::micros(100), async move {
+                h2.sleep(SimDuration::micros(10)).await;
+                7u32
+            })
+            .await;
+            assert_eq!(got, Some(7));
+            assert_eq!(h.now().as_nanos(), 10_000);
+        });
+        let s = sim.run();
+        // The unfired 100us deadline timer must not stretch the run.
+        assert_eq!(s.end_time.as_nanos(), 10_000);
+        assert_eq!(s.tasks_leaked, 0);
+    }
+
+    #[test]
+    fn timeout_expires_and_the_loser_keeps_running() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let side_effect = Rc::new(RefCell::new(None));
+        let se2 = Rc::clone(&side_effect);
+        sim.spawn(async move {
+            let h2 = h.clone();
+            let got = timeout(&h, SimDuration::micros(20), async move {
+                h2.sleep(SimDuration::micros(50)).await;
+                se2.borrow_mut().replace(h2.now().as_nanos());
+                1u32
+            })
+            .await;
+            assert_eq!(got, None);
+            assert_eq!(h.now().as_nanos(), 20_000, "caller resumes at deadline");
+        });
+        let s = sim.run();
+        // The abandoned future completed on its own schedule afterwards.
+        assert_eq!(*side_effect.borrow(), Some(50_000));
+        assert_eq!(s.end_time.as_nanos(), 50_000);
+        assert_eq!(s.tasks_leaked, 0);
     }
 
     #[test]

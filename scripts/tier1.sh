@@ -12,6 +12,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Reproducible CI: pin the property-test case count. The vendored
+# proptest shim honours PROPTEST_CASES in ProptestConfig::default(),
+# and its RNG is already deterministic per (test name, case index) —
+# so a fixed case count makes every tier-1 run replay identically.
+export PROPTEST_CASES="${PROPTEST_CASES:-64}"
+
 # First-party packages: everything except the vendored shims, whose
 # hand-minimised sources are deliberately not rustfmt-clean.
 FIRST_PARTY=(

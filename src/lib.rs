@@ -30,6 +30,7 @@ pub use imca_fabric as fabric;
 pub use imca_glusterfs as glusterfs;
 pub use imca_lustre as lustre;
 pub use imca_memcached as memcached;
+pub use imca_metrics as metrics;
 pub use imca_nfs as nfs;
 pub use imca_sim as sim;
 pub use imca_storage as storage;

@@ -5,8 +5,8 @@
 
 use std::rc::Rc;
 
-use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
-use imca_repro::memcached::McConfig;
+use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig, RetryPolicy};
+use imca_repro::memcached::{McConfig, Selector};
 use imca_repro::sim::{Sim, SimDuration};
 
 fn cluster_cfg() -> ClusterConfig {
@@ -168,4 +168,77 @@ fn threaded_updates_eventually_converge() {
     assert_eq!(cm.read_misses, 0, "threaded update did not land: {cm:?}");
     let sm = cluster.smcache_stats().unwrap();
     assert!(sm.deferred_jobs >= 1);
+}
+
+/// Regression (ISSUE 3 satellite): an RPC deadline expiring in the middle
+/// of a batched `get_multi` must fail the *whole* per-daemon group — the
+/// read is forwarded to the server intact (no block assembled from a
+/// partial multi-get response) and the group still counts exactly one
+/// `bank.multi_gets`, not one per retry attempt.
+#[test]
+fn deadline_mid_multi_get_fails_the_group_and_forwards_intact() {
+    let mut sim = Sim::new(16);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            // Round-robin placement: blocks 0,2 on daemon 0 and 1,3 on
+            // daemon 1, so partitioning daemon 0 splits every 4-block read.
+            selector: Selector::Modulo,
+            mcd_config: McConfig::with_mem_limit(32 << 20),
+            retry: RetryPolicy {
+                deadline: SimDuration::micros(200),
+                retries: 1,
+                backoff_base: SimDuration::micros(10),
+                backoff_cap: SimDuration::micros(40),
+                circuit_cooldown: SimDuration::millis(1),
+            },
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/coh/multi").await.unwrap();
+        let fd = m.open("/coh/multi").await.unwrap();
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        m.write(fd, 0, &payload).await.unwrap();
+        // Warm pass: every block served from the bank via one multi-get.
+        assert_eq!(m.read(fd, 0, 8192).await.unwrap(), payload);
+        let warm = c.metrics();
+
+        c.partition_mcd(0);
+        let got = m.read(fd, 0, 8192).await.unwrap();
+        assert_eq!(got, payload, "degraded read assembled wrong bytes");
+        let degraded = c.metrics();
+
+        let delta =
+            |name: &str| degraded.counter(name).unwrap_or(0) - warm.counter(name).unwrap_or(0);
+        // One read = one multi-get RPC per daemon group (2 daemons), and
+        // the timed-out group's retry must NOT count a third one.
+        assert_eq!(
+            delta("cmcache.0.bank.multi_gets"),
+            2,
+            "multi_gets double-counted"
+        );
+        // The partitioned daemon's group timed out (initial try + 1 retry)
+        // and every one of its keys was shed as a degraded miss…
+        assert_eq!(delta("cmcache.0.bank.rpc_timeouts"), 2);
+        assert_eq!(delta("cmcache.0.bank.retries"), 1);
+        assert_eq!(delta("cmcache.0.bank.degraded_misses"), 2);
+        // None of the group's keys is known to have landed: both count.
+        assert_eq!(delta("cmcache.0.bank.failures"), 2);
+        // …while the whole 4-block read stayed miss/hit-consistent: the
+        // healthy daemon's 2 blocks hit, the partitioned daemon's 2 missed.
+        assert_eq!(delta("cmcache.0.bank.gets"), 4);
+        assert_eq!(delta("cmcache.0.bank.hits"), 2);
+        assert_eq!(delta("cmcache.0.bank.misses"), 2);
+
+        // After healing + revival the same read is fully bank-served again.
+        c.heal_mcd(0);
+        c.revive_mcd(0);
+        c.handle().sleep(SimDuration::millis(2)).await;
+        assert_eq!(m.read(fd, 0, 8192).await.unwrap(), payload);
+    });
+    sim.run();
 }

@@ -2,8 +2,13 @@
 //! quick versions of the claims EXPERIMENTS.md records at full scale.
 //! These run the actual benchmark drivers the fig binaries use.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use imca_repro::fabric::Transport;
-use imca_repro::memcached::Selector;
+use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig, RetryPolicy};
+use imca_repro::memcached::{McConfig, Selector};
+use imca_repro::sim::{Sim, SimDuration};
 use imca_repro::workloads::iozone::{run as iozone, run_nfs, IozoneBench, NfsIozoneBench};
 use imca_repro::workloads::latbench::{run as latbench, LatencyBench};
 use imca_repro::workloads::statbench::{run as statbench, StatBench};
@@ -224,4 +229,98 @@ fn fig10_direction() {
     let nocache = bench(SystemSpec::GlusterNoCache);
     let imca = bench(imca_spec(1));
     assert!(imca < nocache, "imca={imca:.1} nocache={nocache:.1}");
+}
+
+/// Graceful degradation (ISSUE 3): partitioning 1 of 8 MCDs costs a warm
+/// stat workload no more than the ~1/8 of files whose stat entries live
+/// on the lost daemon — each now a server-forwarded miss — plus a bounded
+/// number of RPC deadlines while the circuit and quarantine latch. It
+/// must never collapse the remaining 7/8 of the bank.
+#[test]
+fn partitioning_one_of_eight_mcds_degrades_stats_by_the_miss_fraction() {
+    const N: usize = 96;
+    const MCDS: usize = 8;
+    let deadline = SimDuration::micros(500);
+    let mut sim = Sim::new(7);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: MCDS,
+            mcd_config: McConfig::with_mem_limit(32 << 20),
+            retry: RetryPolicy {
+                deadline,
+                retries: 0,
+                backoff_base: SimDuration::micros(10),
+                backoff_cap: SimDuration::micros(40),
+                // Longer than the whole degraded phase: exactly one
+                // client-side timeout latches the shed path.
+                circuit_cooldown: SimDuration::secs(600),
+            },
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    let h = sim.handle();
+    let out = Rc::new(RefCell::new((0u64, 0u64, 0u64, 0u64)));
+    let out2 = Rc::clone(&out);
+    sim.spawn(async move {
+        let m = c.mount();
+        for i in 0..N {
+            m.create(&format!("/claims/{i}")).await.unwrap();
+        }
+        // Cold pass: every stat forwards and repopulates the bank — this
+        // *measures* the per-file miss cost the bound is stated in.
+        let t0 = h.now();
+        for i in 0..N {
+            m.stat(&format!("/claims/{i}")).await.unwrap();
+        }
+        let cold_total = h.now().since(t0).as_nanos();
+
+        // Warm pass: all bank hits.
+        let t0 = h.now();
+        for i in 0..N {
+            m.stat(&format!("/claims/{i}")).await.unwrap();
+        }
+        let warm_total = h.now().since(t0).as_nanos();
+        let before = c.metrics();
+
+        c.partition_mcd(0);
+        let t0 = h.now();
+        for i in 0..N {
+            m.stat(&format!("/claims/{i}")).await.unwrap();
+        }
+        let degraded_total = h.now().since(t0).as_nanos();
+        let after = c.metrics();
+
+        let affected = after.counter("cmcache.0.stat_misses").unwrap()
+            - before.counter("cmcache.0.stat_misses").unwrap();
+        out2.replace((cold_total, warm_total, degraded_total, affected));
+    });
+    sim.run();
+    let (cold_total, warm_total, degraded_total, affected) = *out.borrow();
+
+    // The lost daemon held roughly 1/8 of the stat entries (CRC-32
+    // placement: allow generous binomial spread, but never a collapse).
+    assert!(affected >= 1, "partition affected no stats");
+    assert!(
+        (affected as f64) <= 2.0 * N as f64 / MCDS as f64,
+        "far more than 1/8 of stats degraded: {affected}/{N}"
+    );
+
+    // Latency bound: the warm pass plus `affected` forwarded misses (at
+    // the measured cold per-file cost, with 50% modelling slack) plus a
+    // handful of RPC deadlines — one client-side timeout before the
+    // circuit latches, one server-side push timeout before quarantine
+    // latches, with room for stragglers.
+    let cold_avg = cold_total as f64 / N as f64;
+    let allowed =
+        warm_total as f64 + 1.5 * cold_avg * affected as f64 + 8.0 * deadline.as_nanos() as f64;
+    assert!(
+        (degraded_total as f64) <= allowed,
+        "degraded stat pass blew the 1/8-miss-fraction bound: \
+         degraded={degraded_total} warm={warm_total} cold_avg={cold_avg:.0} \
+         affected={affected} allowed={allowed:.0}"
+    );
+    // …and the degradation is real: strictly slower than fully warm.
+    assert!(degraded_total > warm_total);
 }

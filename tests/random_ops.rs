@@ -12,9 +12,10 @@ use std::rc::Rc;
 
 use proptest::prelude::*;
 
+use imca_repro::fabric::FaultPlan;
 use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
 use imca_repro::memcached::McConfig;
-use imca_repro::sim::Sim;
+use imca_repro::sim::{Sim, SimDuration, SimTime};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -44,6 +45,27 @@ enum Op {
     ReviveMcd {
         idx: u8,
     },
+    /// Sever one MCD from the fabric — unlike `KillMcd` the daemon keeps
+    /// its memory, so the bank client must *time out*, shed, and treat it
+    /// as a miss rather than seeing a clean connection reset.
+    Partition {
+        idx: u8,
+    },
+    /// Undo a partition and revive the daemon (a healed daemon may have
+    /// been quarantined by a failed purge; revival restarts it empty,
+    /// which is the only safe way to let it serve again).
+    Heal {
+        idx: u8,
+    },
+    /// Total packet loss on the bank links for the next `dur_us` µs.
+    DropWindow {
+        dur_us: u16,
+    },
+    /// Extra one-way latency on the bank links for the next `dur_us` µs.
+    LatencySpike {
+        dur_us: u16,
+        extra_us: u16,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -57,6 +79,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         1 => (0u8..3).prop_map(|file| Op::Unlink { file }),
         1 => (0u8..2).prop_map(|idx| Op::KillMcd { idx }),
         1 => (0u8..2).prop_map(|idx| Op::ReviveMcd { idx }),
+        1 => (0u8..2).prop_map(|idx| Op::Partition { idx }),
+        1 => (0u8..2).prop_map(|idx| Op::Heal { idx }),
+        1 => (50u16..500).prop_map(|dur_us| Op::DropWindow { dur_us }),
+        1 => (50u16..500, 1u16..1000)
+            .prop_map(|(dur_us, extra_us)| Op::LatencySpike { dur_us, extra_us }),
     ]
 }
 
@@ -87,7 +114,12 @@ impl Reference {
     }
 }
 
-fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
+fn run_scenario(
+    ops: Vec<Op>,
+    block_size: u64,
+    threaded: bool,
+    seed: u64,
+) -> (u64, u64, imca_repro::metrics::Snapshot) {
     let mut sim = Sim::new(seed);
     let cluster = Rc::new(Cluster::build(
         sim.handle(),
@@ -99,6 +131,10 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
             ..ImcaConfig::default()
         }),
     ));
+    // A benign plan scoped to the bank nodes, so the Partition / DropWindow /
+    // LatencySpike ops below only ever disturb IMCa traffic — the GlusterFS
+    // client↔server path has no retransmit layer and must stay reliable.
+    cluster.install_bank_faults(FaultPlan::seeded(seed));
     let c = Rc::clone(&cluster);
     let h = sim.handle();
     sim.spawn(async move {
@@ -130,8 +166,11 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
                         // §4.4 "Overhead and Delayed Updates": the threaded
                         // mode trades a staleness window for write latency.
                         // The property here is *eventual* agreement, so
-                        // drain the update queue before the next op.
-                        h.sleep(imca_repro::sim::SimDuration::millis(2)).await;
+                        // drain the update queue before the next op. 10 ms
+                        // also covers a background purge giving up against a
+                        // partitioned daemon (fail-fast retransmit, not the
+                        // full RPC deadline) and quarantining it.
+                        h.sleep(SimDuration::millis(10)).await;
                     }
                 }
                 Op::Read { file, offset, len } => {
@@ -172,10 +211,33 @@ fn run_scenario(ops: Vec<Op>, block_size: u64, threaded: bool, seed: u64) {
                 }
                 Op::KillMcd { idx } => c.kill_mcd(idx as usize),
                 Op::ReviveMcd { idx } => c.revive_mcd(idx as usize),
+                Op::Partition { idx } => c.partition_mcd(idx as usize),
+                Op::Heal { idx } => {
+                    c.heal_mcd(idx as usize);
+                    // A partition may have quarantined the daemon (failed
+                    // purge); revival restarts it empty, which is the only
+                    // state a healed daemon may serve from.
+                    c.revive_mcd(idx as usize);
+                }
+                Op::DropWindow { dur_us } => {
+                    let from = h.now();
+                    let until = SimTime(from.as_nanos() + u64::from(dur_us) * 1_000);
+                    c.network().add_drop_window(from, until);
+                }
+                Op::LatencySpike { dur_us, extra_us } => {
+                    let from = h.now();
+                    let until = SimTime(from.as_nanos() + u64::from(dur_us) * 1_000);
+                    c.network().add_latency_spike(
+                        from,
+                        until,
+                        SimDuration::micros(u64::from(extra_us)),
+                    );
+                }
             }
         }
     });
-    sim.run();
+    let s = sim.run();
+    (s.end_time.as_nanos(), s.events, cluster.metrics())
 }
 
 /// Ops for the EOF-focused coherence property: a single file, writes and
@@ -217,6 +279,15 @@ fn run_eof_scenario(ops: Vec<EofOp>, batched: bool, seed: u64) {
         }),
     ));
     let nocache = Rc::new(Cluster::build(sim.handle(), ClusterConfig::nocache()));
+    // The two deployments live on separate fabrics; a lossy, duplicating,
+    // jittery plan on the IMCa bank links must leave every byte the client
+    // sees identical to the untouched NoCache run.
+    imca.install_bank_faults(FaultPlan {
+        loss: 0.05,
+        duplicate: 0.05,
+        jitter: SimDuration::micros(3),
+        ..FaultPlan::seeded(seed)
+    });
     let (c, n) = (Rc::clone(&imca), Rc::clone(&nocache));
     sim.spawn(async move {
         let (mi, mn) = (c.mount(), n.mount());
@@ -312,4 +383,78 @@ proptest! {
     ) {
         run_eof_scenario(ops, false, seed);
     }
+}
+
+/// A fixed seed must replay the exact same op + fault trace: same end
+/// time, same event count, and a bit-identical metrics snapshot — the
+/// property that makes any fault-schedule failure reproducible.
+#[test]
+fn fixed_seed_fault_schedule_replays_identically() {
+    fn schedule() -> Vec<Op> {
+        vec![
+            Op::Write {
+                file: 0,
+                offset: 0,
+                len: 4000,
+                fill: 7,
+            },
+            Op::Write {
+                file: 1,
+                offset: 100,
+                len: 3000,
+                fill: 99,
+            },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+            Op::LatencySpike {
+                dur_us: 400,
+                extra_us: 30,
+            },
+            Op::Read {
+                file: 1,
+                offset: 0,
+                len: 3100,
+            },
+            Op::Partition { idx: 0 },
+            Op::Read {
+                file: 0,
+                offset: 500,
+                len: 2000,
+            },
+            Op::Write {
+                file: 0,
+                offset: 2000,
+                len: 2000,
+                fill: 3,
+            },
+            Op::Heal { idx: 0 },
+            Op::DropWindow { dur_us: 300 },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+            Op::Stat { file: 1 },
+            Op::Read {
+                file: 1,
+                offset: 200,
+                len: 1000,
+            },
+        ]
+    }
+    let a = run_scenario(schedule(), 2048, false, 42);
+    let b = run_scenario(schedule(), 2048, false, 42);
+    assert_eq!(a.0, b.0, "end time diverged between replays");
+    assert_eq!(a.1, b.1, "event count diverged between replays");
+    assert_eq!(a.2, b.2, "metrics snapshot diverged between replays");
+    // The schedule actually exercised the fault machinery.
+    assert!(
+        a.2.counter("cmcache.0.bank.rpc_timeouts").unwrap_or(0) > 0
+            || a.2.counter("cmcache.0.bank.degraded_misses").unwrap_or(0) > 0,
+        "partition produced no timeouts or sheds: {:?}",
+        a.2.metrics.keys().collect::<Vec<_>>()
+    );
 }

@@ -24,9 +24,18 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// Like real proptest, the default case count honours the
+        /// `PROPTEST_CASES` environment variable (CI pins it for
+        /// reproducible runs; developers raise it for soak testing).
+        /// Tests that set `cases` explicitly are unaffected.
         fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(64);
             ProptestConfig {
-                cases: 64,
+                cases,
                 max_shrink_iters: 0,
                 verbose: 0,
             }
@@ -629,6 +638,24 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn default_case_count_honours_proptest_cases_env() {
+        // Other tests in this module pin `cases` explicitly, so briefly
+        // rewriting the process-global env var here cannot change what
+        // they run; restore whatever CI exported when we're done.
+        let saved = std::env::var("PROPTEST_CASES").ok();
+        std::env::set_var("PROPTEST_CASES", "17");
+        assert_eq!(ProptestConfig::default().cases, 17);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        match saved {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+    }
 
     #[test]
     fn rng_is_deterministic_per_case() {
