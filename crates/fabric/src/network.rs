@@ -17,10 +17,9 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use imca_metrics::{Counter, MetricSource, Registry, Snapshot};
+use imca_sim::fault::{self, FaultRng};
 use imca_sim::sync::Resource;
 use imca_sim::{SimDuration, SimHandle, SimTime};
-use rand::rngs::SmallRng;
-use rand::{Rng as _, SeedableRng as _};
 
 use crate::fault::{Cut, Delivery, FaultPlan};
 use crate::transport::Transport;
@@ -63,7 +62,7 @@ impl Nic {
 /// so fault draws never perturb the simulation's main random stream.
 struct FaultState {
     plan: FaultPlan,
-    rng: SmallRng,
+    rng: FaultRng,
     scope: Option<BTreeSet<NodeId>>,
     cuts: Vec<Cut>,
 }
@@ -71,7 +70,7 @@ struct FaultState {
 impl FaultState {
     fn new(plan: FaultPlan) -> FaultState {
         FaultState {
-            rng: SmallRng::seed_from_u64(plan.seed),
+            rng: FaultRng::seeded(plan.seed),
             scope: plan.scope.as_ref().map(|s| s.iter().copied().collect()),
             cuts: Vec::new(),
             plan,
@@ -317,27 +316,15 @@ impl Network {
             return (Fate::Deliver, SimDuration::ZERO);
         }
         let now = self.inner.handle.now();
-        if fs
-            .plan
-            .drop_windows
-            .iter()
-            .any(|&(start, end)| now >= start && now < end)
-        {
+        if fault::in_window(&fs.plan.drop_windows, now) {
             return (Fate::Drop, SimDuration::ZERO);
         }
-        let mut extra = SimDuration::ZERO;
-        for &(start, end, spike) in &fs.plan.latency_spikes {
-            if now >= start && now < end {
-                extra += spike;
-            }
-        }
-        if fs.plan.jitter > SimDuration::ZERO {
-            extra += SimDuration::nanos(fs.rng.gen_range(0..=fs.plan.jitter.as_nanos()));
-        }
-        if fs.plan.loss > 0.0 && fs.rng.gen::<f64>() < fs.plan.loss {
+        let mut extra = fault::spike_extra(&fs.plan.latency_spikes, now);
+        extra += fs.rng.jitter(fs.plan.jitter);
+        if fs.rng.chance(fs.plan.loss) {
             return (Fate::Drop, extra);
         }
-        if fs.plan.duplicate > 0.0 && fs.rng.gen::<f64>() < fs.plan.duplicate {
+        if fs.rng.chance(fs.plan.duplicate) {
             return (Fate::Duplicate, extra);
         }
         (Fate::Deliver, extra)

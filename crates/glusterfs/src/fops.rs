@@ -58,6 +58,9 @@ pub enum FsError {
     NotFound,
     /// Path already exists (create).
     Exists,
+    /// The storage media or the server failed (`EIO`): a disk-tier I/O
+    /// error, or an RPC that died because the server crashed mid-call.
+    Io,
 }
 
 impl std::fmt::Display for FsError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for FsError {
         match self {
             FsError::NotFound => write!(f, "no such file"),
             FsError::Exists => write!(f, "file exists"),
+            FsError::Io => write!(f, "I/O error"),
         }
     }
 }
@@ -131,6 +135,21 @@ impl Fop {
             | Fop::Stat { path }
             | Fop::Unlink { path }
             | Fop::Close { path } => path,
+        }
+    }
+
+    /// The error reply matching this fop's kind — what a translator (or
+    /// the client protocol, when the RPC itself dies) unwinds when the
+    /// operation cannot produce a real result.
+    pub fn err_reply(&self, e: FsError) -> FopReply {
+        match self {
+            Fop::Create { .. } => FopReply::Create(Err(e)),
+            Fop::Open { .. } => FopReply::Open(Err(e)),
+            Fop::Read { .. } => FopReply::Read(Err(e)),
+            Fop::Write { .. } => FopReply::Write(Err(e)),
+            Fop::Stat { .. } => FopReply::Stat(Err(e)),
+            Fop::Unlink { .. } => FopReply::Unlink(Err(e)),
+            Fop::Close { .. } => FopReply::Close(Err(e)),
         }
     }
 
@@ -232,5 +251,26 @@ mod tests {
         };
         assert_eq!(f.path(), "/x/y");
         assert_eq!(f.kind(), "stat");
+    }
+
+    #[test]
+    fn err_reply_matches_fop_kind() {
+        let r = Fop::Read {
+            path: "/a".into(),
+            offset: 0,
+            len: 1,
+        };
+        assert_eq!(r.err_reply(FsError::Io), FopReply::Read(Err(FsError::Io)));
+        let w = Fop::Write {
+            path: "/a".into(),
+            offset: 0,
+            data: vec![1],
+        };
+        assert_eq!(w.err_reply(FsError::Io), FopReply::Write(Err(FsError::Io)));
+        let c = Fop::Close { path: "/a".into() };
+        assert_eq!(
+            c.err_reply(FsError::NotFound),
+            FopReply::Close(Err(FsError::NotFound))
+        );
     }
 }

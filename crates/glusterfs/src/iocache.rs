@@ -445,6 +445,53 @@ mod tests {
     }
 
     #[test]
+    fn failed_read_caches_nothing() {
+        use imca_storage::StorageFaultPlan;
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be.clone());
+        let ioc = IoCache::new(sim.handle(), posix, 64 << 20, IoCache::DEFAULT_TIMEOUT);
+        let top = Rc::clone(&ioc) as Xlator;
+        sim.spawn(async move {
+            seed(&top, "/f", 8192).await;
+            be.drop_caches();
+            be.install_faults(StorageFaultPlan {
+                read_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            let r = wind(
+                &top,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 4096,
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Read(Err(crate::fops::FsError::Io)));
+            be.install_faults(StorageFaultPlan::default());
+            // Nothing from the failed read may be served: this retry must
+            // miss to the child and come back with the real bytes.
+            let FopReply::Read(Ok(d)) = wind(
+                &top,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 4096,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(d[1], 1, "seed pattern is i % 251");
+        });
+        sim.run();
+        assert_eq!(ioc.hits(), 0, "a failed read must not seed cache hits");
+        assert_eq!(ioc.misses(), 2);
+    }
+
+    #[test]
     fn revalidation_without_change_keeps_pages() {
         let mut sim = Sim::new(0);
         let (ioc, top) = stack(&sim, SimDuration::millis(5));

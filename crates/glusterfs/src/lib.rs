@@ -65,7 +65,10 @@ pub use fops::{FileStat, Fop, FopReply, FsError};
 pub use iocache::IoCache;
 pub use mount::{Fd, GlusterMount};
 pub use posix::Posix;
-pub use protocol::{start_server, ClientProtocol, FuseBridge, ServerParams};
+pub use protocol::{
+    start_server, start_server_with_control, ClientProtocol, FuseBridge, ServerControl,
+    ServerParams,
+};
 pub use readahead::ReadAhead;
 pub use translator::{wind, FopFuture, Translator, Xlator};
 pub use writebehind::WriteBehind;

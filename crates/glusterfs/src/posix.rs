@@ -81,7 +81,11 @@ impl Translator for Posix {
                         }
                         let id = FileId(self.next_id.get());
                         self.next_id.set(id.0 + 1);
-                        self.backend.create(id).await;
+                        // A failed create registers nothing: the path must
+                        // still not exist afterwards.
+                        if self.backend.create(id).await.is_err() {
+                            return FopReply::Create(Err(FsError::Io));
+                        }
                         let now = h.now().as_nanos();
                         self.files.borrow_mut().insert(
                             path,
@@ -98,22 +102,30 @@ impl Translator for Posix {
                             return FopReply::Open(Err(FsError::NotFound));
                         };
                         // Opening touches the inode (permission checks etc.).
-                        self.backend.stat(id).await;
+                        if self.backend.stat(id).await.is_err() {
+                            return FopReply::Open(Err(FsError::Io));
+                        }
                         FopReply::Open(Ok(self.stat_of(&path).expect("inode vanished")))
                     }
                     Fop::Read { path, offset, len } => {
                         let Some(id) = self.lookup(&path) else {
                             return FopReply::Read(Err(FsError::NotFound));
                         };
-                        let data = self.backend.read(id, offset, len).await;
-                        FopReply::Read(Ok(data))
+                        match self.backend.read(id, offset, len).await {
+                            Ok(data) => FopReply::Read(Ok(data)),
+                            Err(_) => FopReply::Read(Err(FsError::Io)),
+                        }
                     }
                     Fop::Write { path, offset, data } => {
                         let Some(id) = self.lookup(&path) else {
                             return FopReply::Write(Err(FsError::NotFound));
                         };
                         let n = data.len() as u64;
-                        self.backend.write(id, offset, &data).await;
+                        // A rejected write must not bump mtime: nothing
+                        // changed on disk, so stat must not claim it did.
+                        if self.backend.write(id, offset, &data).await.is_err() {
+                            return FopReply::Write(Err(FsError::Io));
+                        }
                         if let Some(meta) = self.files.borrow_mut().get_mut(&path) {
                             meta.mtime_ns = h.now().as_nanos();
                         }
@@ -123,14 +135,19 @@ impl Translator for Posix {
                         let Some(id) = self.lookup(&path) else {
                             return FopReply::Stat(Err(FsError::NotFound));
                         };
-                        self.backend.stat(id).await;
+                        if self.backend.stat(id).await.is_err() {
+                            return FopReply::Stat(Err(FsError::Io));
+                        }
                         FopReply::Stat(Ok(self.stat_of(&path).expect("inode vanished")))
                     }
                     Fop::Unlink { path } => {
                         let Some(id) = self.lookup(&path) else {
                             return FopReply::Unlink(Err(FsError::NotFound));
                         };
-                        self.backend.remove(id).await;
+                        // A failed unlink leaves the name in place.
+                        if self.backend.remove(id).await.is_err() {
+                            return FopReply::Unlink(Err(FsError::Io));
+                        }
                         self.files.borrow_mut().remove(&path);
                         FopReply::Unlink(Ok(()))
                     }
@@ -284,6 +301,94 @@ mod tests {
                 panic!()
             };
             assert_eq!(st.size, 0, "recreated file must be empty");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn storage_faults_surface_as_eio_without_mutating_metadata() {
+        use imca_storage::StorageFaultPlan;
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be.clone()) as Xlator;
+        sim.spawn(async move {
+            let p = "/vol/fragile".to_string();
+            wind(&posix, Fop::Create { path: p.clone() }).await;
+            wind(
+                &posix,
+                Fop::Write {
+                    path: p.clone(),
+                    offset: 0,
+                    data: b"ok".to_vec(),
+                },
+            )
+            .await;
+            let FopReply::Stat(Ok(before)) = wind(&posix, Fop::Stat { path: p.clone() }).await
+            else {
+                panic!()
+            };
+            be.install_faults(StorageFaultPlan {
+                write_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            assert_eq!(
+                wind(
+                    &posix,
+                    Fop::Write {
+                        path: p.clone(),
+                        offset: 0,
+                        data: b"no".to_vec(),
+                    },
+                )
+                .await,
+                FopReply::Write(Err(FsError::Io))
+            );
+            assert_eq!(
+                wind(&posix, Fop::Unlink { path: p.clone() }).await,
+                FopReply::Unlink(Err(FsError::Io))
+            );
+            assert_eq!(
+                wind(
+                    &posix,
+                    Fop::Create {
+                        path: "/vol/new".into()
+                    }
+                )
+                .await,
+                FopReply::Create(Err(FsError::Io))
+            );
+            be.install_faults(StorageFaultPlan::default());
+            // The failed create registered nothing; retry succeeds.
+            assert_eq!(
+                wind(
+                    &posix,
+                    Fop::Create {
+                        path: "/vol/new".into()
+                    }
+                )
+                .await,
+                FopReply::Create(Ok(()))
+            );
+            // The failed write bumped no mtime and the unlink removed
+            // nothing: the file reads back exactly as before.
+            let FopReply::Stat(Ok(after)) = wind(&posix, Fop::Stat { path: p.clone() }).await
+            else {
+                panic!()
+            };
+            assert_eq!(after, before);
+            let FopReply::Read(Ok(data)) = wind(
+                &posix,
+                Fop::Read {
+                    path: p,
+                    offset: 0,
+                    len: 2,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(data, b"ok");
         });
         sim.run();
     }

@@ -6,13 +6,14 @@
 //! §4.1). Here every incoming request becomes its own simulation process,
 //! with a bounded CPU resource standing in for the server's worker threads.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use imca_fabric::{Network, NodeId, RpcClient, Service};
 use imca_sim::sync::Resource;
 use imca_sim::SimDuration;
 
-use crate::fops::{Fop, FopReply};
+use crate::fops::{Fop, FopReply, FsError};
 use crate::translator::{wind, FopFuture, Translator, Xlator};
 
 /// Server-side processing parameters.
@@ -38,6 +39,35 @@ impl Default for ServerParams {
     }
 }
 
+/// Liveness switch for one GlusterFS server daemon, handed out by
+/// [`start_server_with_control`]. While `alive` is `false` the dispatcher
+/// discards incoming requests (the client's `try_call` resolves `None`,
+/// like a TCP reset) and any fop already wound into the stack dies before
+/// its reply is sent — the server-side mutation may or may not have
+/// happened, exactly the ambiguity a real crash leaves.
+#[derive(Clone)]
+pub struct ServerControl {
+    alive: Rc<Cell<bool>>,
+}
+
+impl ServerControl {
+    /// Whether the daemon is accepting and answering requests.
+    pub fn is_alive(&self) -> bool {
+        self.alive.get()
+    }
+
+    /// Crash the daemon: stop accepting requests and kill in-flight ones.
+    pub fn crash(&self) {
+        self.alive.set(false);
+    }
+
+    /// Bring the daemon back. Purging whatever caches sat above it is the
+    /// caller's job (see `Cluster::restart_server`).
+    pub fn restart(&self) {
+        self.alive.set(true);
+    }
+}
+
 /// Start a GlusterFS server at `node`, serving fops into `child` (the
 /// server-side translator stack, e.g. SMCache → posix). Returns the RPC
 /// service clients connect to.
@@ -47,26 +77,55 @@ pub fn start_server(
     child: Xlator,
     params: ServerParams,
 ) -> Service<Fop, FopReply> {
+    start_server_with_control(net, node, child, params).0
+}
+
+/// [`start_server`], also returning the daemon's crash/restart switch.
+pub fn start_server_with_control(
+    net: &Network,
+    node: NodeId,
+    child: Xlator,
+    params: ServerParams,
+) -> (Service<Fop, FopReply>, ServerControl) {
     let svc: Service<Fop, FopReply> = Service::bind(net, node);
     let h = net.handle();
     let cpu = Resource::new(params.io_threads.max(1));
     let dispatcher = svc.clone();
     let fop_cpu = params.fop_cpu;
+    let control = ServerControl {
+        alive: Rc::new(Cell::new(true)),
+    };
+    let alive = Rc::clone(&control.alive);
     h.clone().spawn(async move {
         while let Some(incoming) = dispatcher.recv().await {
+            // A dead daemon's socket answers nothing: dropping the
+            // replier resolves the client's `try_call` to `None`.
+            if !alive.get() {
+                continue;
+            }
             let child = Rc::clone(&child);
             let cpu = cpu.clone();
             let h2 = h.clone();
+            let alive = Rc::clone(&alive);
             h.spawn(async move {
                 // Decode + stack traversal on a worker thread.
                 cpu.serve(&h2, fop_cpu).await;
+                if !alive.get() {
+                    return;
+                }
                 let (fop, _src, replier) = incoming.into_parts();
                 let reply = wind(&child, fop).await;
-                replier.reply(reply);
+                // The daemon may have died while this fop was in flight —
+                // after the stack possibly mutated state. The reply is
+                // lost either way: that torn-ack window is what the
+                // durability tests probe.
+                if alive.get() {
+                    replier.reply(reply);
+                }
             });
         }
     });
-    svc
+    (svc, control)
 }
 
 /// `protocol/client` — the translator at the bottom of every client stack;
@@ -90,7 +149,12 @@ impl Translator for ClientProtocol {
     }
 
     fn handle(self: Rc<Self>, fop: Fop) -> FopFuture {
-        Box::pin(async move { self.rpc.call(fop).await })
+        Box::pin(async move {
+            // A crashed server drops the request on the floor; surface it
+            // as EIO instead of hanging the application forever.
+            let fallback = fop.err_reply(FsError::Io);
+            self.rpc.try_call(fop).await.unwrap_or(fallback)
+        })
     }
 }
 
@@ -218,6 +282,53 @@ mod tests {
         let floor = Transport::ipoib_ddr().unloaded_rtt(66, 208).as_nanos()
             + FuseBridge::DEFAULT_COST.as_nanos();
         assert!(elapsed.get() >= floor, "{} < {}", elapsed.get(), floor);
+    }
+
+    #[test]
+    fn crashed_server_fails_fops_fast_until_restart() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server_node = net.add_node();
+        let client_node = net.add_node();
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        let (svc, control) =
+            start_server_with_control(&net, server_node, posix, ServerParams::default());
+        let top = ClientProtocol::connect(&svc, client_node) as Xlator;
+        let h = sim.handle();
+        sim.spawn(async move {
+            let p = "/vol/f".to_string();
+            wind(&top, Fop::Create { path: p.clone() }).await;
+            control.crash();
+            assert!(!control.is_alive());
+            // Every kind of fop fails with EIO, promptly (no hang): the
+            // dead daemon's dropped replier is the TCP reset.
+            let t0 = h.now();
+            assert_eq!(
+                wind(&top, Fop::Stat { path: p.clone() }).await,
+                FopReply::Stat(Err(FsError::Io))
+            );
+            assert_eq!(
+                wind(
+                    &top,
+                    Fop::Write {
+                        path: p.clone(),
+                        offset: 0,
+                        data: vec![1; 64],
+                    },
+                )
+                .await,
+                FopReply::Write(Err(FsError::Io))
+            );
+            assert!(h.now().since(t0) < SimDuration::millis(10));
+            control.restart();
+            let FopReply::Stat(Ok(st)) = wind(&top, Fop::Stat { path: p }).await else {
+                panic!("restarted server must serve again")
+            };
+            // The crashed-away write never landed.
+            assert_eq!(st.size, 0);
+        });
+        sim.run();
     }
 
     #[test]

@@ -272,6 +272,64 @@ mod tests {
     }
 
     #[test]
+    fn failed_prefetch_populates_no_window() {
+        use crate::fops::FsError;
+        use imca_storage::StorageFaultPlan;
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be.clone());
+        let ra = ReadAhead::new(posix, 64 * 1024);
+        let top = Rc::clone(&ra) as Xlator;
+        sim.spawn(async move {
+            seed(&top, "/f", 256 * 1024).await;
+            // Prime a sequential stream so the next read wants to prefetch.
+            wind(
+                &top,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 4096,
+                },
+            )
+            .await;
+            be.drop_caches();
+            be.install_faults(StorageFaultPlan {
+                read_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            let r = wind(
+                &top,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 4096,
+                    len: 4096,
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Read(Err(FsError::Io)));
+            be.install_faults(StorageFaultPlan::default());
+            // The failed enlarged read left no buffer behind: the retry
+            // must go to the child and return real bytes.
+            let hits_before = ra.hits();
+            let FopReply::Read(Ok(d)) = wind(
+                &top,
+                Fop::Read {
+                    path: "/f".into(),
+                    offset: 4096,
+                    len: 4096,
+                },
+            )
+            .await
+            else {
+                panic!()
+            };
+            assert_eq!(ra.hits(), hits_before, "retry must not hit the window");
+            assert_eq!(d[0], (4096 % 256) as u8);
+        });
+        sim.run();
+    }
+
+    #[test]
     fn short_reads_at_eof_stay_correct() {
         let mut sim = Sim::new(0);
         let (_ra, top) = stack(&sim, 64 * 1024);

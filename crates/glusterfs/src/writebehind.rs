@@ -319,6 +319,42 @@ mod tests {
     }
 
     #[test]
+    fn close_reports_deferred_media_error_as_eio() {
+        use imca_storage::StorageFaultPlan;
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be.clone());
+        let top = WriteBehind::new(posix, 64 * 1024) as Xlator;
+        let top2 = Rc::clone(&top);
+        sim.spawn(async move {
+            wind(&top2, Fop::Create { path: "/f".into() }).await;
+            be.install_faults(StorageFaultPlan {
+                write_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            // Buffered: acked to the application before the media says no.
+            let r = wind(
+                &top2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![3; 512],
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Write(Ok(512)));
+            // The silent ack must not stay silent: close carries the EIO.
+            let r = wind(&top2, Fop::Close { path: "/f".into() }).await;
+            assert_eq!(r, FopReply::Close(Err(FsError::Io)));
+            // Reported once, not forever.
+            be.install_faults(StorageFaultPlan::default());
+            let r = wind(&top2, Fop::Close { path: "/f".into() }).await;
+            assert_eq!(r, FopReply::Close(Ok(())));
+        });
+        sim.run();
+    }
+
+    #[test]
     fn stat_sees_buffered_writes() {
         let mut sim = Sim::new(0);
         let (_wb, top) = stack(&sim, 64 * 1024);

@@ -7,13 +7,13 @@ use std::rc::Rc;
 
 use imca_fabric::{FaultPlan, Network, NodeId, Service, Transport};
 use imca_glusterfs::{
-    start_server, ClientProtocol, Fop, FopReply, FuseBridge, GlusterMount, IoCache, Posix,
-    ReadAhead, ServerParams, WriteBehind, Xlator,
+    start_server_with_control, ClientProtocol, Fop, FopReply, FuseBridge, GlusterMount, IoCache,
+    Posix, ReadAhead, ServerControl, ServerParams, WriteBehind, Xlator,
 };
 use imca_memcached::{McConfig, Selector};
-use imca_metrics::{prefixed, MetricSource, Snapshot};
+use imca_metrics::{prefixed, Counter, MetricSource, Registry, Snapshot};
 use imca_sim::{SimDuration, SimHandle};
-use imca_storage::{BackendParams, StorageBackend};
+use imca_storage::{BackendParams, StorageBackend, StorageFaultPlan};
 
 use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
@@ -146,6 +146,10 @@ pub struct Cluster {
     read_aheads: RefCell<Vec<Rc<ReadAhead>>>,
     write_behinds: RefCell<Vec<Rc<WriteBehind>>>,
     server_node: NodeId,
+    server_control: ServerControl,
+    server_registry: Registry,
+    server_crashes: Counter,
+    server_restarts: Counter,
 }
 
 impl Cluster {
@@ -183,7 +187,9 @@ impl Cluster {
                 None => (None, None, Rc::clone(&posix) as Xlator),
             };
 
-        let svc = start_server(&net, server_node, server_child, cfg.server_params.clone());
+        let (svc, server_control) =
+            start_server_with_control(&net, server_node, server_child, cfg.server_params.clone());
+        let server_registry = Registry::new();
         Cluster {
             handle,
             net,
@@ -198,6 +204,10 @@ impl Cluster {
             read_aheads: RefCell::new(Vec::new()),
             write_behinds: RefCell::new(Vec::new()),
             server_node,
+            server_control,
+            server_crashes: server_registry.counter("crashes"),
+            server_restarts: server_registry.counter("restarts"),
+            server_registry,
         }
     }
 
@@ -311,6 +321,43 @@ impl Cluster {
         self.net.install_faults(plan);
     }
 
+    /// Install a fault plan on the server's storage array (disk-tier
+    /// mirror of [`Cluster::install_bank_faults`]): seeded I/O error
+    /// rates, error windows, slow members, failed members. Replaces any
+    /// previous plan and reseeds its RNG.
+    pub fn install_storage_faults(&self, plan: StorageFaultPlan) {
+        self.backend.install_faults(plan);
+    }
+
+    /// Crash the GlusterFS server daemon. Takes effect immediately:
+    /// requests already accepted die before replying (the client sees
+    /// `FsError::Io`), new requests are discarded on arrival, and any
+    /// threaded SMCache job that survives into the restart is fenced off
+    /// by the bank-wide purge there. Storage and MCDs keep running — only
+    /// the daemon process dies, as in a `kill -9` of `glusterfsd`.
+    pub fn crash_server(&self) {
+        self.server_control.crash();
+        self.server_crashes.inc();
+    }
+
+    /// Whether the server daemon is currently accepting requests.
+    pub fn server_alive(&self) -> bool {
+        self.server_control.is_alive()
+    }
+
+    /// Restart a crashed server daemon. The restarted daemon cannot trust
+    /// that pre-crash bank pushes still match the disk (a write may have
+    /// landed after its covering push died with the daemon), so an IMCa
+    /// deployment purges the whole bank before serving again — the cold
+    /// restart the `ablate_failure` sweep measures.
+    pub async fn restart_server(&self) {
+        self.server_control.restart();
+        self.server_restarts.inc();
+        if let Some(sm) = &self.smcache {
+            sm.purge_all().await;
+        }
+    }
+
     /// Daemon-side stats summed across the bank.
     pub fn mcd_stats(&self) -> imca_memcached::McStats {
         self.bank.as_ref().map(|b| b.stats()).unwrap_or_default()
@@ -321,6 +368,8 @@ impl Cluster {
     /// binaries serialise next to their results.
     pub fn metrics(&self) -> Snapshot {
         let mut snap = Snapshot::new();
+        self.server_registry.collect("server", &mut snap);
+        snap.set_gauge("server.alive", self.server_control.is_alive() as i64);
         self.net.collect("fabric", &mut snap);
         self.backend.collect("storage", &mut snap);
         self.posix.collect("glusterfs.posix", &mut snap);
@@ -566,6 +615,70 @@ mod tests {
         let json = snap.to_json();
         let back = Snapshot::from_json(&json).expect("parse back");
         assert_eq!(back.counter_sum(".store.cmd_get"), mcd.cmd_get);
+    }
+
+    #[test]
+    fn server_crash_fails_writes_and_restart_purges_the_bank() {
+        let mut sim = Sim::new(1);
+        let cluster = Rc::new(Cluster::build(sim.handle(), small_imca(2)));
+        let c2 = Rc::clone(&cluster);
+        sim.spawn(async move {
+            let m = c2.mount();
+            m.create("/f").await.unwrap();
+            let fd = m.open("/f").await.unwrap();
+            m.write(fd, 0, &vec![5u8; 4096]).await.unwrap();
+            assert!(c2.smcache_stats().unwrap().blocks_pushed >= 2);
+            c2.crash_server();
+            assert!(!c2.server_alive());
+            // Writes die fast with EIO…
+            assert_eq!(m.write(fd, 0, b"x").await, Err(imca_glusterfs::FsError::Io));
+            // …but the MCDs outlive the daemon: a bank hit still serves.
+            assert_eq!(m.read(fd, 0, 2048).await.unwrap(), vec![5u8; 2048]);
+            let hits_through_crash = c2.cmcache_stats().read_hits;
+            assert!(hits_through_crash >= 1);
+            c2.restart_server().await;
+            assert!(c2.server_alive());
+            // The cold restart purged every pre-crash entry: the same read
+            // now misses to the (recovered) server, and still agrees with
+            // the disk — the crashed-away write really didn't land.
+            assert_eq!(m.read(fd, 0, 2048).await.unwrap(), vec![5u8; 2048]);
+            assert_eq!(
+                c2.cmcache_stats().read_hits,
+                hits_through_crash,
+                "restart must leave the bank cold"
+            );
+        });
+        sim.run();
+        let snap = cluster.metrics();
+        assert_eq!(snap.counter("server.crashes"), Some(1));
+        assert_eq!(snap.counter("server.restarts"), Some(1));
+        assert!(cluster.smcache_stats().unwrap().purges >= 1);
+    }
+
+    #[test]
+    fn storage_faults_reach_clients_through_the_full_stack() {
+        let mut sim = Sim::new(1);
+        let cluster = Rc::new(Cluster::build(sim.handle(), small_imca(1)));
+        let c2 = Rc::clone(&cluster);
+        sim.spawn(async move {
+            let m = c2.mount();
+            m.create("/f").await.unwrap();
+            let fd = m.open("/f").await.unwrap();
+            c2.install_storage_faults(StorageFaultPlan {
+                write_error: 1.0,
+                ..StorageFaultPlan::seeded(7)
+            });
+            assert_eq!(
+                m.write(fd, 0, b"nope").await,
+                Err(imca_glusterfs::FsError::Io)
+            );
+            c2.install_storage_faults(StorageFaultPlan::seeded(7));
+            m.write(fd, 0, b"yes!").await.unwrap();
+            assert_eq!(m.read(fd, 0, 4).await.unwrap(), b"yes!");
+        });
+        sim.run();
+        let snap = cluster.metrics();
+        assert!(snap.counter("storage.io_errors").unwrap() >= 1);
     }
 
     #[test]

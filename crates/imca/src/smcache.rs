@@ -61,6 +61,9 @@ pub struct SmStats {
     pub deferred_jobs: u64,
     /// Updates dropped (or rolled back) because a purge overtook them.
     pub stale_updates_dropped: u64,
+    /// Pushes abandoned because the covering filesystem re-read failed:
+    /// data the disk refused to produce must never reach the bank.
+    pub dropped_pushes: u64,
 }
 
 enum Job {
@@ -105,6 +108,7 @@ pub struct SmCache {
     purges: Counter,
     deferred_jobs: Counter,
     stale_updates_dropped: Counter,
+    dropped_pushes: Counter,
 }
 
 impl SmCache {
@@ -137,6 +141,7 @@ impl SmCache {
             purges: registry.counter("purges"),
             deferred_jobs: registry.counter("deferred_jobs"),
             stale_updates_dropped: registry.counter("stale_updates_dropped"),
+            dropped_pushes: registry.counter("dropped_pushes"),
             registry,
         });
         if threaded_updates {
@@ -161,6 +166,7 @@ impl SmCache {
             purges: self.purges.get(),
             deferred_jobs: self.deferred_jobs.get(),
             stale_updates_dropped: self.stale_updates_dropped.get(),
+            dropped_pushes: self.dropped_pushes.get(),
         }
     }
 
@@ -304,6 +310,17 @@ impl SmCache {
         }
         if let FopReply::Read(Ok(data)) = reply {
             self.push_blocks(path, aoff, alen, &data, gen).await;
+        } else {
+            // The covering re-read failed (media error, server dying):
+            // whatever is on disk is unknown, so nothing may be pushed —
+            // a guessed block would serve unverified bytes to every
+            // client until the next purge. Worse, the bank may still hold
+            // the blocks' *pre-write* contents, which the write just made
+            // stale on disk; purge the file so readers fall through to the
+            // media instead of a copy that no longer exists anywhere.
+            self.dropped_pushes.inc();
+            self.purge(path).await;
+            return;
         }
         // Refresh the stat entry so consumers polling mtime see the update.
         let stat_reply = Rc::clone(&self.child)
@@ -351,6 +368,12 @@ impl SmCache {
                 }
                 if let FopReply::Read(Ok(data)) = reply {
                     self.push_blocks(path, first, span, &data, gen).await;
+                } else {
+                    // Same rule as above: the short blocks already in the
+                    // bank now lie about where the file ends.
+                    self.dropped_pushes.inc();
+                    self.purge(path).await;
+                    return;
                 }
             }
             self.push_stat(path, st).await;
@@ -358,6 +381,12 @@ impl SmCache {
     }
 
     async fn push_stat(&self, path: &str, st: FileStat) {
+        // Register the path (without advancing its generation) so a file
+        // whose only bank entry is its stat is still found by `purge_all`.
+        self.generations
+            .borrow_mut()
+            .entry(path.to_string())
+            .or_insert(0);
         self.bank
             .set(&stat_key(path), Bytes::from(st.to_bytes()), None)
             .await;
@@ -406,6 +435,24 @@ impl SmCache {
             join_all(&self.handle, deletes).await;
         }
         self.purges.inc();
+    }
+
+    /// Bank-wide purge: every path SMCache has ever touched gets its
+    /// generation bumped (fencing off any in-flight or queued update job)
+    /// and its pushed entries deleted from the MCDs. This is the server
+    /// restart hook — a daemon coming back from a crash cannot trust that
+    /// its pre-crash pushes still match the disk, so it starts cold
+    /// (`Cluster::restart_server`). Paths are walked in sorted order so a
+    /// fixed-seed chaos schedule replays bit-identically (HashMap
+    /// iteration order is not deterministic).
+    pub async fn purge_all(&self) {
+        let mut paths: Vec<String> = self.populated.borrow().keys().cloned().collect();
+        paths.extend(self.generations.borrow().keys().cloned());
+        paths.sort();
+        paths.dedup();
+        for path in paths {
+            self.purge(&path).await;
+        }
     }
 }
 
@@ -578,6 +625,74 @@ mod tests {
 
     async fn drive(sm: &Rc<SmCache>, fop: Fop) -> FopReply {
         Rc::clone(&(Rc::clone(sm) as Xlator)).handle(fop).await
+    }
+
+    #[test]
+    fn failed_covering_reread_purges_the_stale_bank_copy() {
+        use imca_storage::StorageFaultPlan;
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+        let server_node = net.add_node();
+        let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be.clone());
+        // Block (8 KB) > page (4 KB): a small write warms only its own
+        // page, so the covering re-read must touch the media.
+        let sm = SmCache::new(
+            sim.handle(),
+            posix as Xlator,
+            Rc::clone(&bank),
+            8192,
+            false,
+            true,
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        let sm2 = Rc::clone(&sm);
+        sim.spawn(async move {
+            drive(&sm2, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![1u8; 8192],
+                },
+            )
+            .await;
+            assert!(
+                bank.get(&block_key("/f", 0), Some(0)).await.is_some(),
+                "benign write must populate the bank"
+            );
+            // The overwrite lands on disk, but its covering re-read dies.
+            be.drop_caches();
+            be.install_faults(StorageFaultPlan {
+                read_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            let r = drive(
+                &sm2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![2u8; 100],
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Write(Ok(100)), "the write itself committed");
+            // The bank must not keep serving the pre-write block — those
+            // bytes exist nowhere on disk any more.
+            assert!(
+                bank.get(&block_key("/f", 0), Some(0)).await.is_none(),
+                "stale block survived a dropped push"
+            );
+        });
+        sim.run();
+        assert_eq!(sm.stats().dropped_pushes, 1);
+        assert_eq!(sm.tracked_blocks("/f"), 0);
     }
 
     #[test]

@@ -269,13 +269,21 @@ impl LustreCluster {
                         let h2 = h.clone();
                         h.spawn(async move {
                             cpu.serve(&h2, op_cpu).await;
+                            // The Lustre comparison model never installs a
+                            // storage fault plan, so backend errors are
+                            // structurally impossible; Results collapse to
+                            // benign defaults rather than growing the OST
+                            // protocol an error variant it cannot exercise.
                             let resp = match req {
                                 OstReq::Read {
                                     object,
                                     offset,
                                     len,
                                 } => {
-                                    let data = backend.read(FileId(object), offset, len).await;
+                                    let data = backend
+                                        .read(FileId(object), offset, len)
+                                        .await
+                                        .unwrap_or_default();
                                     OstResp::Data(data)
                                 }
                                 OstReq::Write {
@@ -284,17 +292,21 @@ impl LustreCluster {
                                     data,
                                 } => {
                                     if !backend.exists(FileId(object)) {
-                                        backend.create(FileId(object)).await;
+                                        let _ = backend.create(FileId(object)).await;
                                     }
-                                    backend.write(FileId(object), offset, &data).await;
+                                    let _ = backend.write(FileId(object), offset, &data).await;
                                     OstResp::Ok
                                 }
                                 OstReq::Glimpse { object } => {
-                                    let size = backend.stat(FileId(object)).await.unwrap_or(0);
+                                    let size = backend
+                                        .stat(FileId(object))
+                                        .await
+                                        .unwrap_or_default()
+                                        .unwrap_or(0);
                                     OstResp::Size(size)
                                 }
                                 OstReq::Destroy { object } => {
-                                    backend.remove(FileId(object)).await;
+                                    let _ = backend.remove(FileId(object)).await;
                                     OstResp::Ok
                                 }
                             };

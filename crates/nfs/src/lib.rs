@@ -134,15 +134,21 @@ impl NfsCluster {
                     let h2 = h.clone();
                     h.spawn(async move {
                         cpu.serve(&h2, op_cpu).await;
+                        // The NFS comparison model never installs a storage
+                        // fault plan, so backend errors are structurally
+                        // impossible; Results collapse to benign defaults.
                         let resp = match req {
-                            NfsReq::Read { file, offset, len } => {
-                                NfsResp::Data(backend.read(FileId(file), offset, len).await)
-                            }
+                            NfsReq::Read { file, offset, len } => NfsResp::Data(
+                                backend
+                                    .read(FileId(file), offset, len)
+                                    .await
+                                    .unwrap_or_default(),
+                            ),
                             NfsReq::Write { file, offset, data } => {
                                 if !backend.exists(FileId(file)) {
-                                    backend.create(FileId(file)).await;
+                                    let _ = backend.create(FileId(file)).await;
                                 }
-                                backend.write(FileId(file), offset, &data).await;
+                                let _ = backend.write(FileId(file), offset, &data).await;
                                 NfsResp::Ok
                             }
                         };

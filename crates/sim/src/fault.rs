@@ -1,0 +1,146 @@
+//! Shared plumbing for seeded, deterministic fault schedules.
+//!
+//! Both fault models in this workspace — the network's
+//! `fabric::FaultPlan` and the storage tier's `StorageFaultPlan` — follow
+//! the same discipline: a plan carries its own seed, the installed state
+//! holds a *dedicated* RNG seeded from it (so fault draws never perturb
+//! randomness elsewhere in the model), probabilistic knobs make a draw
+//! *only when they are armed*, and scheduled windows are half-open
+//! `[start, end)` intervals of virtual time. This module is that
+//! discipline, extracted so the two models cannot drift apart.
+//!
+//! Determinism contract:
+//!
+//! * A knob at rate `0.0` makes **no** RNG draw — installing a plan with
+//!   everything benign consumes no randomness at all, and arming one knob
+//!   never shifts the schedule another knob would have produced alone.
+//! * A knob at rate `1.0` (or above) also makes no draw: it is a
+//!   deterministic "always fire". This is what lets a test toggle a fault
+//!   mode hard on/off around individual operations and still replay
+//!   bit-identically regardless of how many decisions were judged in
+//!   between.
+//! * Rates strictly between 0 and 1 draw exactly one `f64` per decision,
+//!   in decision order, so a given seed + identical decision sequence
+//!   replays the same fault schedule.
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A dedicated, seeded RNG for one installed fault plan.
+///
+/// Wraps the underlying generator so fault models depend only on
+/// `imca-sim` for their randomness, and so every draw goes through the
+/// rate semantics documented at module level.
+#[derive(Debug)]
+pub struct FaultRng {
+    rng: SmallRng,
+}
+
+impl FaultRng {
+    /// An RNG seeded from a plan's seed. Same seed ⇒ same draw sequence.
+    pub fn seeded(seed: u64) -> FaultRng {
+        FaultRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Bernoulli decision at rate `p`.
+    ///
+    /// Draws from the RNG only for `0.0 < p < 1.0`; rates of zero and one
+    /// are deterministic and draw-free (see the module-level contract).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Uniform extra latency in `[ZERO, max]`, drawing only when
+    /// `max > ZERO` (a zero-jitter plan consumes no randomness).
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max > SimDuration::ZERO {
+            SimDuration::nanos(self.rng.gen_range(0..=max.as_nanos()))
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// Whether `now` falls inside any scheduled `[start, end)` window.
+pub fn in_window(windows: &[(SimTime, SimTime)], now: SimTime) -> bool {
+    windows
+        .iter()
+        .any(|&(start, end)| now >= start && now < end)
+}
+
+/// Sum the extra latency of every `[start, end)` spike window covering
+/// `now` (overlapping spikes stack, as independent slowdowns do).
+pub fn spike_extra(spikes: &[(SimTime, SimTime, SimDuration)], now: SimTime) -> SimDuration {
+    let mut extra = SimDuration::ZERO;
+    for &(start, end, spike) in spikes {
+        if now >= start && now < end {
+            extra += spike;
+        }
+    }
+    extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_rates_are_draw_free() {
+        let mut a = FaultRng::seeded(7);
+        let mut b = FaultRng::seeded(7);
+        // `a` judges a pile of benign and certain decisions; `b` does not.
+        for _ in 0..100 {
+            assert!(!a.chance(0.0));
+            assert!(a.chance(1.0));
+            assert_eq!(a.jitter(SimDuration::ZERO), SimDuration::ZERO);
+        }
+        // Their next fractional draws still agree: nothing was consumed.
+        for _ in 0..32 {
+            assert_eq!(a.chance(0.5), b.chance(0.5));
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let draws = |seed: u64| {
+            let mut rng = FaultRng::seeded(seed);
+            (0..64)
+                .map(|_| (rng.chance(0.3), rng.jitter(SimDuration::micros(5))))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = |n: u64| SimTime::ZERO + SimDuration::nanos(n);
+        let windows = [(w(10), w(20))];
+        assert!(!in_window(&windows, w(9)));
+        assert!(in_window(&windows, w(10)));
+        assert!(in_window(&windows, w(19)));
+        assert!(!in_window(&windows, w(20)));
+    }
+
+    #[test]
+    fn overlapping_spikes_stack() {
+        let w = |n: u64| SimTime::ZERO + SimDuration::nanos(n);
+        let spikes = [
+            (w(0), w(100), SimDuration::nanos(5)),
+            (w(50), w(100), SimDuration::nanos(7)),
+        ];
+        assert_eq!(spike_extra(&spikes, w(10)), SimDuration::nanos(5));
+        assert_eq!(spike_extra(&spikes, w(60)), SimDuration::nanos(12));
+        assert_eq!(spike_extra(&spikes, w(100)), SimDuration::ZERO);
+    }
+}

@@ -8,7 +8,9 @@
 //!   as ordinary `async` processes,
 //! * synchronisation primitives ([`sync::Queue`], [`sync::Resource`],
 //!   [`sync::Barrier`], [`sync::oneshot`]) that suspend on *virtual* time,
-//! * seeded, forkable randomness and measurement helpers ([`stats`]).
+//! * seeded, forkable randomness and measurement helpers ([`stats`]),
+//! * shared plumbing for deterministic fault schedules ([`fault`]), used
+//!   by both the network and the storage fault models.
 //!
 //! Determinism guarantee: given the same seed and model code, every run
 //! produces an identical event trace. Simultaneous timers fire in
@@ -57,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 mod sim;
 pub mod stats;
 pub mod sync;

@@ -14,6 +14,7 @@ use imca_sim::{SimDuration, SimHandle};
 
 use crate::disk::DiskParams;
 use crate::extent::ExtentStore;
+use crate::fault::{IoError, StorageFaultPlan};
 use crate::pagecache::{FileId, PageCache, PageCacheStats};
 use crate::raid::Raid0;
 
@@ -122,10 +123,21 @@ impl StorageBackend {
             + SimDuration::from_secs_f64(bytes as f64 / self.inner.params.memcpy_bps)
     }
 
+    /// Install a fault plan on the backing array (see
+    /// [`Raid0::install_faults`]). Logical writes are judged against it
+    /// up front with journal-commit semantics — see
+    /// [`StorageBackend::write`] — while reads fail from the timed media
+    /// accesses themselves.
+    pub fn install_faults(&self, plan: StorageFaultPlan) {
+        self.inner.raid.install_faults(plan);
+    }
+
     /// Create an empty file (charges an inode write into the cache).
-    pub async fn create(&self, file: FileId) {
+    /// Judged like a write: a failed create mutates nothing.
+    pub async fn create(&self, file: FileId) -> Result<(), IoError> {
+        let base = self.base_addr(file);
+        self.inner.raid.judge(&self.inner.handle, base, 512, true)?;
         self.inner.extents.borrow_mut().create(file);
-        self.base_addr(file);
         let evicted = self.inner.cache.borrow_mut().insert(
             file,
             INODE_PAGE * self.inner.params.page_size,
@@ -135,6 +147,7 @@ impl StorageBackend {
         self.flush_evicted(evicted).await;
         let t = self.memcpy_time(512);
         self.inner.handle.sleep(t).await;
+        Ok(())
     }
 
     /// Whether `file` exists.
@@ -151,12 +164,13 @@ impl StorageBackend {
     /// Timed stat: hits the inode in the page cache or pays a small random
     /// disk read. A file that does not exist resolves from the in-memory
     /// inode/dentry tables without touching the disk (negative lookups are
-    /// cheap).
-    pub async fn stat(&self, file: FileId) -> Option<u64> {
+    /// cheap). A failed inode read is *not* cached: the next stat retries
+    /// the media.
+    pub async fn stat(&self, file: FileId) -> Result<Option<u64>, IoError> {
         if !self.exists(file) {
             let t = self.memcpy_time(128);
             self.inner.handle.sleep(t).await;
-            return None;
+            return Ok(None);
         }
         let page_size = self.inner.params.page_size;
         let lookup = self
@@ -173,7 +187,7 @@ impl StorageBackend {
             self.inner
                 .raid
                 .access(&self.inner.handle, base, 512, false)
-                .await;
+                .await?;
             let evicted =
                 self.inner
                     .cache
@@ -181,15 +195,19 @@ impl StorageBackend {
                     .insert(file, INODE_PAGE * page_size, 1, false);
             self.flush_evicted(evicted).await;
         }
-        self.inner.extents.borrow().len(file)
+        Ok(self.inner.extents.borrow().len(file))
     }
 
     /// Timed read of `[offset, offset+len)`: page-cache hits pay memcpy,
     /// misses pay RAID access and populate the cache. Returns the bytes
     /// actually read (short at EOF).
-    pub async fn read(&self, file: FileId, offset: u64, len: u64) -> Vec<u8> {
+    ///
+    /// A failed media read fails the whole request and populates
+    /// *nothing* — a page the disk never produced must not appear in the
+    /// cache, or a retry would "succeed" with garbage.
+    pub async fn read(&self, file: FileId, offset: u64, len: u64) -> Result<Vec<u8>, IoError> {
         if len == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let base = self.base_addr(file);
         let lookup = self.inner.cache.borrow_mut().lookup(file, offset, len);
@@ -201,7 +219,7 @@ impl StorageBackend {
             self.inner
                 .raid
                 .access(&self.inner.handle, base + miss_off, *miss_len, false)
-                .await;
+                .await?;
             let evicted = self
                 .inner
                 .cache
@@ -209,14 +227,26 @@ impl StorageBackend {
                 .insert(file, *miss_off, *miss_len, false);
             self.flush_evicted(evicted).await;
         }
-        self.inner.extents.borrow().read(file, offset, len)
+        Ok(self.inner.extents.borrow().read(file, offset, len))
     }
 
     /// Timed write: bytes land in the extent store immediately (writes are
     /// persistent from the caller's point of view once this returns — the
     /// page cache is write-back with throttling, standing in for the
     /// journal/ordered-mode semantics of the paper's ext3 backend).
-    pub async fn write(&self, file: FileId, offset: u64, data: &[u8]) {
+    ///
+    /// Under an installed fault plan the write is judged *once, up
+    /// front*, over the stripes it would touch: like an ext3 journal
+    /// commit, it either becomes durable in full or aborts with `EIO`
+    /// having mutated nothing. Later write-back of already-acknowledged
+    /// pages can still hit media errors; those are tallied in
+    /// `io_errors` but not surfaced to an unrelated caller (durability
+    /// in this model is owned by the extent store).
+    pub async fn write(&self, file: FileId, offset: u64, data: &[u8]) -> Result<(), IoError> {
+        let base = self.base_addr(file);
+        self.inner
+            .raid
+            .judge(&self.inner.handle, base + offset, data.len() as u64, true)?;
         self.inner.extents.borrow_mut().write(file, offset, data);
         let t = self.memcpy_time(data.len() as u64);
         self.inner.handle.sleep(t).await;
@@ -235,21 +265,28 @@ impl StorageBackend {
             .borrow_mut()
             .insert(file, INODE_PAGE * page_size, 1, true);
         self.flush_evicted(ev).await;
+        Ok(())
     }
 
-    /// Remove a file: drops cached pages and extents.
-    pub async fn remove(&self, file: FileId) -> bool {
+    /// Remove a file: drops cached pages and extents. Judged like a
+    /// write (all-or-nothing): a failed remove leaves the file — and its
+    /// cached pages — untouched.
+    pub async fn remove(&self, file: FileId) -> Result<bool, IoError> {
+        let base = self.base_addr(file);
+        self.inner.raid.judge(&self.inner.handle, base, 512, true)?;
         self.inner.cache.borrow_mut().invalidate_file(file);
         let existed = self.inner.extents.borrow_mut().remove(file);
         if existed {
-            // Metadata update to the directory/inode blocks.
-            let base = self.base_addr(file);
-            self.inner
+            // Metadata update to the directory/inode blocks. The logical
+            // op already committed at the judge; a media error here is
+            // write-back noise (tallied, not surfaced).
+            let _ = self
+                .inner
                 .raid
                 .access(&self.inner.handle, base, 512, true)
                 .await;
         }
-        existed
+        Ok(existed)
     }
 
     /// Page-cache statistics.
@@ -276,18 +313,24 @@ impl StorageBackend {
         imca_metrics::collect_from(self, "")
     }
 
+    /// Write back evicted dirty pages. Media errors here concern data the
+    /// extent store already owns durably, so they are tallied by the
+    /// disks but deliberately not propagated to whichever unrelated
+    /// operation happened to trigger the eviction.
     async fn flush_evicted(&self, evicted: Vec<crate::pagecache::Evicted>) {
         let page = self.inner.params.page_size;
         for ev in evicted {
             if ev.dirty && ev.page != INODE_PAGE {
                 let base = self.base_addr(ev.file);
-                self.inner
+                let _ = self
+                    .inner
                     .raid
                     .access(&self.inner.handle, base + ev.page * page, page, true)
                     .await;
             } else if ev.dirty {
                 let base = self.base_addr(ev.file);
-                self.inner
+                let _ = self
+                    .inner
                     .raid
                     .access(&self.inner.handle, base, 512, true)
                     .await;
@@ -309,7 +352,10 @@ impl StorageBackend {
                 continue;
             }
             let base = self.base_addr(file);
-            self.inner
+            // Same write-back semantics as flush_evicted: tallied, not
+            // surfaced.
+            let _ = self
+                .inner
                 .raid
                 .access(&self.inner.handle, base + idx * page, page, true)
                 .await;
@@ -352,9 +398,9 @@ mod tests {
         let be = StorageBackend::new(sim.handle(), small_params());
         let be2 = be.clone();
         sim.spawn(async move {
-            be2.create(FileId(1)).await;
-            be2.write(FileId(1), 0, b"persistent bytes").await;
-            let got = be2.read(FileId(1), 0, 16).await;
+            be2.create(FileId(1)).await.unwrap();
+            be2.write(FileId(1), 0, b"persistent bytes").await.unwrap();
+            let got = be2.read(FileId(1), 0, 16).await.unwrap();
             assert_eq!(got, b"persistent bytes");
         });
         sim.run();
@@ -369,13 +415,13 @@ mod tests {
         let times = Rc::new(RefCell::new(Vec::new()));
         let times2 = Rc::clone(&times);
         sim.spawn(async move {
-            be2.create(FileId(1)).await;
-            be2.write(FileId(1), 0, &vec![7u8; 8192]).await;
+            be2.create(FileId(1)).await.unwrap();
+            be2.write(FileId(1), 0, &vec![7u8; 8192]).await.unwrap();
             be2.drop_caches();
             let t0 = h.now();
-            be2.read(FileId(1), 0, 8192).await; // cold: disk
+            be2.read(FileId(1), 0, 8192).await.unwrap(); // cold: disk
             let t1 = h.now();
-            be2.read(FileId(1), 0, 8192).await; // warm: memcpy
+            be2.read(FileId(1), 0, 8192).await.unwrap(); // warm: memcpy
             let t2 = h.now();
             times2.borrow_mut().push(t1.since(t0).as_nanos());
             times2.borrow_mut().push(t2.since(t1).as_nanos());
@@ -392,14 +438,14 @@ mod tests {
         let h = sim.handle();
         let be2 = be.clone();
         sim.spawn(async move {
-            be2.create(FileId(3)).await;
-            be2.write(FileId(3), 0, b"xyz").await;
+            be2.create(FileId(3)).await.unwrap();
+            be2.write(FileId(3), 0, b"xyz").await.unwrap();
             be2.drop_caches();
             let t0 = h.now();
-            assert_eq!(be2.stat(FileId(3)).await, Some(3));
+            assert_eq!(be2.stat(FileId(3)).await, Ok(Some(3)));
             let cold = h.now().since(t0);
             let t1 = h.now();
-            assert_eq!(be2.stat(FileId(3)).await, Some(3));
+            assert_eq!(be2.stat(FileId(3)).await, Ok(Some(3)));
             let warm = h.now().since(t1);
             assert!(
                 cold.as_nanos() > 50 * warm.as_nanos(),
@@ -417,12 +463,14 @@ mod tests {
         sim.spawn(async move {
             // Write far more than the 64-page cache can hold.
             for i in 0..32u64 {
-                be2.create(FileId(i)).await;
-                be2.write(FileId(i), 0, &vec![i as u8; 16 * 4096]).await;
+                be2.create(FileId(i)).await.unwrap();
+                be2.write(FileId(i), 0, &vec![i as u8; 16 * 4096])
+                    .await
+                    .unwrap();
             }
             // Every file still reads back correctly.
             for i in 0..32u64 {
-                let got = be2.read(FileId(i), 0, 16 * 4096).await;
+                let got = be2.read(FileId(i), 0, 16 * 4096).await.unwrap();
                 assert_eq!(got, vec![i as u8; 16 * 4096]);
             }
         });
@@ -437,13 +485,67 @@ mod tests {
         let be = StorageBackend::new(sim.handle(), small_params());
         let be2 = be.clone();
         sim.spawn(async move {
-            be2.create(FileId(9)).await;
-            be2.write(FileId(9), 0, b"doomed").await;
-            assert!(be2.remove(FileId(9)).await);
+            be2.create(FileId(9)).await.unwrap();
+            be2.write(FileId(9), 0, b"doomed").await.unwrap();
+            assert!(be2.remove(FileId(9)).await.unwrap());
             assert!(!be2.exists(FileId(9)));
-            let got = be2.read(FileId(9), 0, 6).await;
+            let got = be2.read(FileId(9), 0, 6).await.unwrap();
             assert!(got.is_empty());
-            assert!(!be2.remove(FileId(9)).await);
+            assert!(!be2.remove(FileId(9)).await.unwrap());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn failed_write_is_all_or_nothing() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let be2 = be.clone();
+        sim.spawn(async move {
+            be2.create(FileId(1)).await.unwrap();
+            be2.write(FileId(1), 0, b"before").await.unwrap();
+            be2.install_faults(StorageFaultPlan {
+                write_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            // The judge rejects the logical op before any byte moves.
+            assert_eq!(be2.write(FileId(1), 0, b"AFTER!").await, Err(IoError));
+            assert_eq!(be2.create(FileId(2)).await, Err(IoError));
+            assert!(!be2.exists(FileId(2)));
+            assert_eq!(be2.remove(FileId(1)).await, Err(IoError));
+            be2.install_faults(StorageFaultPlan::default());
+            // The earlier contents survived the aborted overwrite intact.
+            assert_eq!(be2.read(FileId(1), 0, 6).await.unwrap(), b"before");
+        });
+        sim.run();
+        assert!(be.metrics().counter("io_errors").unwrap() >= 3);
+    }
+
+    #[test]
+    fn failed_read_populates_no_cache_pages() {
+        let mut sim = Sim::new(0);
+        let be = StorageBackend::new(sim.handle(), small_params());
+        let h = sim.handle();
+        let be2 = be.clone();
+        sim.spawn(async move {
+            be2.create(FileId(1)).await.unwrap();
+            be2.write(FileId(1), 0, &vec![7u8; 8192]).await.unwrap();
+            be2.drop_caches();
+            be2.install_faults(StorageFaultPlan {
+                read_error: 1.0,
+                ..StorageFaultPlan::default()
+            });
+            assert_eq!(be2.read(FileId(1), 0, 8192).await, Err(IoError));
+            be2.install_faults(StorageFaultPlan::default());
+            // If the failed read had inserted pages, this retry would be a
+            // warm memcpy. It must pay the disk again instead.
+            let t0 = h.now();
+            assert_eq!(be2.read(FileId(1), 0, 8192).await.unwrap().len(), 8192);
+            let retry = h.now().since(t0).as_nanos();
+            let t1 = h.now();
+            be2.read(FileId(1), 0, 8192).await.unwrap();
+            let warm = h.now().since(t1).as_nanos();
+            assert!(retry > 100 * warm, "retry={retry} warm={warm}");
         });
         sim.run();
     }
@@ -459,24 +561,26 @@ mod tests {
         let out = Rc::new(RefCell::new((0u64, 0u64)));
         let out2 = Rc::clone(&out);
         sim.spawn(async move {
-            be2.create(FileId(1)).await;
-            be2.write(FileId(1), 0, &vec![1u8; 1 << 20]).await;
+            be2.create(FileId(1)).await.unwrap();
+            be2.write(FileId(1), 0, &vec![1u8; 1 << 20]).await.unwrap();
             for i in 0..64u64 {
-                be2.create(FileId(100 + i)).await;
-                be2.write(FileId(100 + i), 0, &vec![2u8; 16 * 1024]).await;
+                be2.create(FileId(100 + i)).await.unwrap();
+                be2.write(FileId(100 + i), 0, &vec![2u8; 16 * 1024])
+                    .await
+                    .unwrap();
             }
             be2.drop_caches();
             let t0 = h.now();
             // Sequential: stream 1 MB in 16 KB records.
             for i in 0..64u64 {
-                be2.read(FileId(1), i * 16 * 1024, 16 * 1024).await;
+                be2.read(FileId(1), i * 16 * 1024, 16 * 1024).await.unwrap();
             }
             let seq = h.now().since(t0).as_nanos();
             be2.drop_caches();
             let t1 = h.now();
             // Random-ish: same volume across 64 different files.
             for i in 0..64u64 {
-                be2.read(FileId(100 + i), 0, 16 * 1024).await;
+                be2.read(FileId(100 + i), 0, 16 * 1024).await.unwrap();
             }
             let rnd = h.now().since(t1).as_nanos();
             *out2.borrow_mut() = (seq, rnd);

@@ -5,13 +5,21 @@
 //! continues where the previous one left off — the sequential/random split
 //! that makes "a large number of requests to non-contiguous locations"
 //! (paper §1) so much slower than streaming.
+//!
+//! Every access funnels through [`Disk::access`], which is therefore the
+//! choke point where an installed [`StorageFaultPlan`] gets to fail or
+//! stretch requests (see [`crate::fault`]). Without a plan the fault path
+//! costs nothing and consumes no randomness — the exact-cost unit tests
+//! keep pinning exact nanosecond totals.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use imca_metrics::{Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Resource;
 use imca_sim::{SimDuration, SimHandle};
+
+use crate::fault::{FaultState, IoError, StorageFaultPlan};
 
 /// Mechanical parameters for one spindle.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,8 +71,13 @@ struct DiskInner {
     reads: Counter,
     writes: Counter,
     sequential_hits: Counter,
+    /// Accesses that failed under the installed fault plan.
+    io_errors: Counter,
     /// Queueing + service latency per request, in virtual ns.
     access_ns: Histogram,
+    /// Installed fault machinery: this disk's member index plus the
+    /// fault state it shares with the rest of its array.
+    faults: RefCell<Option<(usize, Rc<RefCell<FaultState>>)>>,
 }
 
 /// One spindle. Cloning shares the spindle.
@@ -82,6 +95,8 @@ pub struct DiskStats {
     pub writes: u64,
     /// Requests that were detected as sequential with their predecessor.
     pub sequential_hits: u64,
+    /// Requests that failed under the installed fault plan.
+    pub io_errors: u64,
 }
 
 impl Disk {
@@ -96,22 +111,77 @@ impl Disk {
                 reads: registry.counter("reads"),
                 writes: registry.counter("writes"),
                 sequential_hits: registry.counter("sequential_hits"),
+                io_errors: registry.counter("io_errors"),
                 access_ns: registry.histogram("access_ns"),
                 registry,
+                faults: RefCell::new(None),
             }),
+        }
+    }
+
+    /// Install a fault plan on this disk alone (member index 0). Arrays
+    /// install through [`crate::Raid0::install_faults`], which shares one
+    /// plan across every member. Replaces any previous plan and reseeds
+    /// its RNG, so installing the same plan twice replays the same fault
+    /// schedule.
+    pub fn install_faults(&self, plan: StorageFaultPlan) {
+        self.attach_faults(0, Rc::new(RefCell::new(FaultState::new(plan))));
+    }
+
+    /// Share externally built fault state with this disk, as member
+    /// `member` of its array.
+    pub(crate) fn attach_faults(&self, member: usize, state: Rc<RefCell<FaultState>>) {
+        *self.inner.faults.borrow_mut() = Some((member, state));
+    }
+
+    /// Judge an access against the installed plan *without* paying any
+    /// service time — the backend's per-operation write judge. Counts a
+    /// failed verdict as an I/O error on this disk.
+    pub(crate) fn judge(&self, h: &SimHandle, write: bool) -> Result<(), IoError> {
+        let faults = self.inner.faults.borrow();
+        let Some((member, state)) = faults.as_ref() else {
+            return Ok(());
+        };
+        let verdict = state.borrow_mut().judge(*member, write, h.now());
+        if verdict.is_err() {
+            self.inner.io_errors.inc();
+        }
+        verdict
+    }
+
+    /// Gray-failure service-time multiplier under the installed plan.
+    fn latency_factor(&self) -> f64 {
+        match &*self.inner.faults.borrow() {
+            Some((member, state)) => state.borrow().latency_factor(*member),
+            None => 1.0,
         }
     }
 
     /// Perform an access of `bytes` at linear address `addr`, queueing
     /// behind other requests on this spindle.
-    pub async fn access(&self, h: &SimHandle, addr: u64, bytes: u64, write: bool) {
+    ///
+    /// Fails when the installed fault plan says so — after paying the
+    /// full (possibly gray-failure-inflated) service time, because a real
+    /// `EIO` is slow, not free. The head still moves and the op counters
+    /// still tick: the mechanism ran, the data just never made it.
+    pub async fn access(
+        &self,
+        h: &SimHandle,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+    ) -> Result<(), IoError> {
         let t0 = h.now();
         let guard = self.inner.station.acquire().await;
         let sequential = self.inner.head_pos.get() == addr;
         if sequential {
             self.inner.sequential_hits.inc();
         }
-        let t = self.inner.params.service_time(bytes, sequential);
+        let mut t = self.inner.params.service_time(bytes, sequential);
+        let factor = self.latency_factor();
+        if factor > 1.0 {
+            t = SimDuration::nanos((t.as_nanos() as f64 * factor).round() as u64);
+        }
         h.sleep(t).await;
         self.inner.head_pos.set(addr.wrapping_add(bytes));
         if write {
@@ -121,6 +191,7 @@ impl Disk {
         }
         self.inner.access_ns.record_duration(h.now().since(t0));
         drop(guard);
+        self.judge(h, write)
     }
 
     /// Requests currently queued (excluding the one in service).
@@ -135,6 +206,7 @@ impl Disk {
             reads: self.inner.reads.get(),
             writes: self.inner.writes.get(),
             sequential_hits: self.inner.sequential_hits.get(),
+            io_errors: self.inner.io_errors.get(),
         }
     }
 
@@ -171,9 +243,9 @@ mod tests {
         let disk = Disk::new(DiskParams::hdd_2008());
         let d2 = disk.clone();
         sim.spawn(async move {
-            d2.access(&h, 0, 4096, false).await; // random (first)
-            d2.access(&h, 4096, 4096, false).await; // sequential
-            d2.access(&h, 0, 4096, false).await; // random again
+            d2.access(&h, 0, 4096, false).await.unwrap(); // random (first)
+            d2.access(&h, 4096, 4096, false).await.unwrap(); // sequential
+            d2.access(&h, 0, 4096, false).await.unwrap(); // random again
         });
         sim.run();
         let s = disk.stats();
@@ -191,7 +263,7 @@ mod tests {
             let h = h.clone();
             sim.spawn(async move {
                 // All random addresses.
-                d.access(&h, i * 1_000_000, 4096, i % 2 == 0).await;
+                d.access(&h, i * 1_000_000, 4096, i % 2 == 0).await.unwrap();
             });
         }
         let end = sim.run().end_time;
@@ -199,6 +271,107 @@ mod tests {
         assert_eq!(end.as_nanos(), per.as_nanos() * 4);
         assert_eq!(disk.stats().reads, 2);
         assert_eq!(disk.stats().writes, 2);
+    }
+
+    #[test]
+    fn read_error_rate_fails_some_accesses_deterministically() {
+        fn run(seed: u64) -> (Vec<bool>, u64) {
+            let mut sim = Sim::new(0);
+            let h = sim.handle();
+            let disk = Disk::new(DiskParams::hdd_2008());
+            disk.install_faults(StorageFaultPlan {
+                read_error: 0.3,
+                ..StorageFaultPlan::seeded(seed)
+            });
+            let d2 = disk.clone();
+            let out = Rc::new(RefCell::new(Vec::new()));
+            let o2 = Rc::clone(&out);
+            sim.spawn(async move {
+                for i in 0..100u64 {
+                    let ok = d2.access(&h, i * 1_000_000, 4096, false).await.is_ok();
+                    o2.borrow_mut().push(ok);
+                }
+            });
+            sim.run();
+            let fates = Rc::try_unwrap(out).unwrap().into_inner();
+            (fates, disk.stats().io_errors)
+        }
+        let (fates, errors) = run(42);
+        assert!(errors > 0, "0.3 over 100 accesses never failed");
+        assert!(errors < 100, "0.3 over 100 accesses always failed");
+        assert_eq!(errors, fates.iter().filter(|ok| !**ok).count() as u64);
+        // Same seed replays the same schedule; a different seed does not.
+        assert_eq!(run(42), (fates.clone(), errors));
+        assert_ne!(run(43).0, fates);
+    }
+
+    #[test]
+    fn failed_disk_errors_while_writes_stay_judged_separately() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let disk = Disk::new(DiskParams::hdd_2008());
+        disk.install_faults(StorageFaultPlan {
+            failed_disks: vec![0],
+            ..StorageFaultPlan::default()
+        });
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            assert!(d2.access(&h, 0, 4096, false).await.is_err());
+            assert!(d2.access(&h, 4096, 4096, true).await.is_err());
+        });
+        sim.run();
+        // The mechanism still ran: ops counted, and both failures tallied.
+        let s = disk.stats();
+        assert_eq!((s.reads, s.writes, s.io_errors), (1, 1, 2));
+    }
+
+    #[test]
+    fn error_window_is_half_open_and_draw_free() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let disk = Disk::new(DiskParams::hdd_2008());
+        let per = DiskParams::hdd_2008().service_time(4096, false);
+        // Window covers exactly the completion instant of the first
+        // access (judgement happens when the access completes).
+        let start = imca_sim::SimTime::ZERO + per;
+        disk.install_faults(StorageFaultPlan {
+            error_windows: vec![(start, start + per)],
+            ..StorageFaultPlan::default()
+        });
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            assert!(d2.access(&h, 0, 4096, false).await.is_err());
+            // Second access completes at 2·per — one past the window end,
+            // which is half-open, so it succeeds.
+            assert!(d2.access(&h, 1_000_000, 4096, false).await.is_ok());
+        });
+        sim.run();
+        assert_eq!(disk.stats().io_errors, 1);
+    }
+
+    #[test]
+    fn gray_failure_stretches_service_time_exactly() {
+        let run = |plan: Option<StorageFaultPlan>| {
+            let mut sim = Sim::new(0);
+            let h = sim.handle();
+            let disk = Disk::new(DiskParams::hdd_2008());
+            if let Some(plan) = plan {
+                disk.install_faults(plan);
+            }
+            sim.spawn(async move {
+                disk.access(&h, 0, 4096, false).await.unwrap();
+            });
+            sim.run().end_time.as_nanos()
+        };
+        let healthy = run(None);
+        // An installed-but-benign plan changes nothing at all.
+        assert_eq!(run(Some(StorageFaultPlan::default())), healthy);
+        let slowed = run(Some(StorageFaultPlan {
+            slow_disks: vec![0],
+            slow_factor: 3.0,
+            ..StorageFaultPlan::default()
+        }));
+        assert_eq!(slowed, healthy * 3);
     }
 
     #[test]
@@ -212,7 +385,7 @@ mod tests {
             sim.spawn(async move {
                 for i in 0..256u64 {
                     let addr = if sequential { i * 4096 } else { i * 10_000_000 };
-                    disk.access(&h, addr, 4096, false).await;
+                    disk.access(&h, addr, 4096, false).await.unwrap();
                 }
             });
             sim.run().end_time.as_nanos()

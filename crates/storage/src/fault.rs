@@ -1,0 +1,168 @@
+//! Storage fault injection: seeded, deterministic hostility for the disk
+//! tier — the storage mirror of the fabric's `FaultPlan`.
+//!
+//! A [`StorageFaultPlan`] installed on a [`crate::Raid0`] (or a standalone
+//! [`crate::Disk`]) makes media accesses unreliable the way an ageing
+//! RAID under load is: per-access read/write I/O error rates, scheduled
+//! `[start, end)` windows during which every access fails, slow-disk
+//! "gray failure" latency inflation on chosen members, and hard RAID
+//! member failure. Everything is driven by the simulation clock and a
+//! *dedicated* RNG seeded from the plan (shared plumbing:
+//! [`imca_sim::fault`]), so a given seed replays bit-identically and an
+//! installed-but-benign plan consumes no randomness at all.
+//!
+//! Faults act at the [`crate::Disk::access`] choke point — every timed
+//! media access in the workspace funnels through it — plus an *untimed*
+//! judge used by [`crate::StorageBackend`] to decide a logical write's
+//! fate once, up front, the way a journalling file system either commits
+//! an operation or aborts it with `EIO` (see `StorageBackend::write`).
+//! An access that fails still pays its full mechanical service time:
+//! real `EIO`s are slow, not free.
+
+use std::collections::BTreeSet;
+
+use imca_sim::fault::{self, FaultRng};
+use imca_sim::SimTime;
+
+/// A failed storage access. Carries no detail: the model only needs to
+/// distinguish "the media said no" from success, and upper layers map it
+/// to their own typed errors (`FsError::Io` in GlusterFS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError;
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage I/O error")
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// A seeded, deterministic description of how hostile the storage tier is.
+///
+/// The default plan is completely benign (no error rates, no windows, no
+/// slow or failed disks, global scope); faults are opted into knob by
+/// knob. Disk indices refer to RAID member positions (`0` for a
+/// standalone disk).
+#[derive(Debug, Clone)]
+pub struct StorageFaultPlan {
+    /// Seed for the plan's dedicated RNG. Same seed + same access
+    /// sequence ⇒ identical fault schedule. Rates of exactly `0.0` and
+    /// `1.0` are deterministic and draw-free (see [`imca_sim::fault`]),
+    /// which is what lets tests toggle hard error modes around individual
+    /// operations without perturbing replay.
+    pub seed: u64,
+    /// Per-access probability that a scoped *read* fails with an I/O
+    /// error (after paying its service time).
+    pub read_error: f64,
+    /// Per-access probability that a scoped *write* fails. Also the rate
+    /// the backend's untimed per-operation judge applies to logical
+    /// writes before committing them.
+    pub write_error: f64,
+    /// `[start, end)` windows of virtual time during which every scoped
+    /// access fails — a controller brown-out.
+    pub error_windows: Vec<(SimTime, SimTime)>,
+    /// Members suffering gray failure: still correct, but every access is
+    /// stretched by [`StorageFaultPlan::slow_factor`].
+    pub slow_disks: Vec<usize>,
+    /// Service-time multiplier for [`StorageFaultPlan::slow_disks`]
+    /// (values ≤ 1.0 disable the inflation).
+    pub slow_factor: f64,
+    /// Hard-failed members: every access to them errors deterministically.
+    /// RAID0 has no redundancy, so any stripe touching a failed member
+    /// fails.
+    pub failed_disks: Vec<usize>,
+    /// Members the probabilistic rates and error windows apply to.
+    /// `None` = every member. Failed and slow disks are explicit lists
+    /// and ignore the scope.
+    pub scope: Option<Vec<usize>>,
+}
+
+impl Default for StorageFaultPlan {
+    fn default() -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed: 0,
+            read_error: 0.0,
+            write_error: 0.0,
+            error_windows: Vec::new(),
+            slow_disks: Vec::new(),
+            slow_factor: 1.0,
+            failed_disks: Vec::new(),
+            scope: None,
+        }
+    }
+}
+
+impl StorageFaultPlan {
+    /// A plan with the given seed and everything else benign.
+    pub fn seeded(seed: u64) -> StorageFaultPlan {
+        StorageFaultPlan {
+            seed,
+            ..StorageFaultPlan::default()
+        }
+    }
+}
+
+/// Installed fault machinery, shared by every member disk of one array so
+/// the plan's RNG draws form a single deterministic sequence in access
+/// order.
+pub(crate) struct FaultState {
+    plan: StorageFaultPlan,
+    rng: FaultRng,
+    scope: Option<BTreeSet<usize>>,
+    slow: BTreeSet<usize>,
+    failed: BTreeSet<usize>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: StorageFaultPlan) -> FaultState {
+        FaultState {
+            rng: FaultRng::seeded(plan.seed),
+            scope: plan.scope.as_ref().map(|s| s.iter().copied().collect()),
+            slow: plan.slow_disks.iter().copied().collect(),
+            failed: plan.failed_disks.iter().copied().collect(),
+            plan,
+        }
+    }
+
+    fn in_scope(&self, disk: usize) -> bool {
+        match &self.scope {
+            None => true,
+            Some(scope) => scope.contains(&disk),
+        }
+    }
+
+    /// Decide the fate of one access to member `disk`. Deterministic
+    /// verdicts (failed member, out of scope, error window) never consume
+    /// randomness; only a rate strictly between 0 and 1 draws.
+    pub(crate) fn judge(&mut self, disk: usize, write: bool, now: SimTime) -> Result<(), IoError> {
+        if self.failed.contains(&disk) {
+            return Err(IoError);
+        }
+        if !self.in_scope(disk) {
+            return Ok(());
+        }
+        if fault::in_window(&self.plan.error_windows, now) {
+            return Err(IoError);
+        }
+        let rate = if write {
+            self.plan.write_error
+        } else {
+            self.plan.read_error
+        };
+        if self.rng.chance(rate) {
+            return Err(IoError);
+        }
+        Ok(())
+    }
+
+    /// Gray-failure service-time multiplier for member `disk` (1.0 when
+    /// the member is healthy).
+    pub(crate) fn latency_factor(&self, disk: usize) -> f64 {
+        if self.slow.contains(&disk) && self.plan.slow_factor > 1.0 {
+            self.plan.slow_factor
+        } else {
+            1.0
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`ExtentStore`] — byte-accurate file contents, so correctness is
 //!   testable end-to-end,
 //! * [`StorageBackend`] — the timed combination used by GlusterFS POSIX
-//!   translators, Lustre OSTs and the NFS server.
+//!   translators, Lustre OSTs and the NFS server,
+//! * [`StorageFaultPlan`] — seeded, deterministic fault injection for the
+//!   disk tier (I/O error rates, error windows, slow and failed members).
 //!
 //! ```
 //! use imca_sim::Sim;
@@ -21,14 +23,14 @@
 //! let be2 = be.clone();
 //! let h = sim.handle();
 //! sim.spawn(async move {
-//!     be2.create(FileId(1)).await;
-//!     be2.write(FileId(1), 0, b"durable bytes").await;
+//!     be2.create(FileId(1)).await.unwrap();
+//!     be2.write(FileId(1), 0, b"durable bytes").await.unwrap();
 //!     be2.drop_caches(); // cold cache: the next read pays the disk
 //!     let t0 = h.now();
-//!     assert_eq!(be2.read(FileId(1), 0, 13).await, b"durable bytes");
+//!     assert_eq!(be2.read(FileId(1), 0, 13).await.unwrap(), b"durable bytes");
 //!     let cold = h.now().since(t0);
 //!     let t1 = h.now();
-//!     be2.read(FileId(1), 0, 13).await; // warm: page-cache memcpy
+//!     be2.read(FileId(1), 0, 13).await.unwrap(); // warm: page-cache memcpy
 //!     assert!(h.now().since(t1) < cold);
 //! });
 //! sim.run();
@@ -41,11 +43,13 @@
 mod backend;
 mod disk;
 mod extent;
+pub mod fault;
 mod pagecache;
 mod raid;
 
 pub use backend::{BackendParams, StorageBackend};
 pub use disk::{Disk, DiskParams, DiskStats};
 pub use extent::ExtentStore;
+pub use fault::{IoError, StorageFaultPlan};
 pub use pagecache::{Evicted, FileId, Lookup, PageCache, PageCacheStats};
 pub use raid::Raid0;

@@ -1,10 +1,14 @@
 //! RAID-0 striping across spindles — the paper's server stores all files on
 //! "a RAID array of 8 HighPoint disks" (§5.1).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use imca_metrics::{prefixed, MetricSource, Snapshot};
 use imca_sim::{join_all, SimDuration, SimHandle};
 
 use crate::disk::{Disk, DiskParams, DiskStats};
+use crate::fault::{FaultState, IoError, StorageFaultPlan};
 
 /// A RAID-0 array: consecutive `chunk`-byte stripes round-robin across the
 /// member disks. An access touching several stripes proceeds on the member
@@ -44,6 +48,36 @@ impl Raid0 {
         self.chunk
     }
 
+    /// Install a fault plan across the whole array: every member shares
+    /// one seeded fault state (so draws form a single deterministic
+    /// sequence in access-completion order), with the member's array
+    /// index naming it in the plan's per-disk knobs. Replaces any
+    /// previous plan and reseeds its RNG.
+    pub fn install_faults(&self, plan: StorageFaultPlan) {
+        let state = Rc::new(RefCell::new(FaultState::new(plan)));
+        for (i, disk) in self.disks.iter().enumerate() {
+            disk.attach_faults(i, Rc::clone(&state));
+        }
+    }
+
+    /// Judge an access of `[addr, addr+len)` against the installed plan
+    /// without paying any service time — the backend's per-operation
+    /// write judge (journal-commit semantics: a logical write either
+    /// commits in full or aborts with an I/O error before mutating
+    /// anything). Counts a failed verdict on the member that produced it.
+    pub(crate) fn judge(
+        &self,
+        h: &SimHandle,
+        addr: u64,
+        len: u64,
+        write: bool,
+    ) -> Result<(), IoError> {
+        for (d, _, _) in self.segments(addr, len.max(1)) {
+            self.disks[d].judge(h, write)?;
+        }
+        Ok(())
+    }
+
     /// Split `[addr, addr+len)` into per-disk (disk index, disk-local
     /// address, length) segments, merging contiguous chunks that land on
     /// the same spindle.
@@ -70,15 +104,24 @@ impl Raid0 {
 
     /// Access `[addr, addr+len)`, fanning out to member disks in parallel
     /// and completing when the slowest segment completes.
-    pub async fn access(&self, h: &SimHandle, addr: u64, len: u64, write: bool) {
+    ///
+    /// RAID0 has no redundancy, so the access fails if *any* member
+    /// segment fails — but only after every segment has run to
+    /// completion (the controller does not cancel in-flight siblings).
+    pub async fn access(
+        &self,
+        h: &SimHandle,
+        addr: u64,
+        len: u64,
+        write: bool,
+    ) -> Result<(), IoError> {
         if len == 0 {
-            return;
+            return Ok(());
         }
         let segs = self.segments(addr, len);
         if segs.len() == 1 {
             let (d, la, ll) = segs[0];
-            self.disks[d].access(h, la, ll, write).await;
-            return;
+            return self.disks[d].access(h, la, ll, write).await;
         }
         let futs: Vec<_> = segs
             .into_iter()
@@ -88,7 +131,8 @@ impl Raid0 {
                 async move { disk.access(&h, la, ll, write).await }
             })
             .collect();
-        join_all(h, futs).await;
+        let results = join_all(h, futs).await;
+        results.into_iter().collect()
     }
 
     /// Unloaded time for a single access (no queueing): the slowest member
@@ -109,9 +153,14 @@ impl Raid0 {
 
 impl MetricSource for Raid0 {
     fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        let mut io_errors = 0;
         for (i, disk) in self.disks.iter().enumerate() {
             disk.collect(&prefixed(prefix, &format!("disk.{i}")), snap);
+            io_errors += disk.stats().io_errors;
         }
+        // Array-wide aggregate, so failure experiments can assert on one
+        // number (`storage.io_errors`) instead of walking members.
+        snap.set_counter(prefixed(prefix, "io_errors"), io_errors);
     }
 }
 
@@ -164,7 +213,7 @@ mod tests {
             let h = sim.handle();
             let r = array(n, 64 * 1024);
             sim.spawn(async move {
-                r.access(&h, 0, len, false).await;
+                r.access(&h, 0, len, false).await.unwrap();
             });
             sim.run().end_time.as_nanos()
         }
@@ -185,9 +234,36 @@ mod tests {
         let h = sim.handle();
         let r = array(8, 64 * 1024);
         sim.spawn(async move {
-            r.access(&h, 123, 0, false).await;
+            r.access(&h, 123, 0, false).await.unwrap();
         });
         assert_eq!(sim.run().end_time.as_nanos(), 0);
+    }
+
+    #[test]
+    fn failed_member_fails_any_stripe_touching_it() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let r = array(4, 1024);
+        r.install_faults(StorageFaultPlan {
+            failed_disks: vec![2],
+            ..StorageFaultPlan::default()
+        });
+        let r2 = r.clone();
+        sim.spawn(async move {
+            // Chunks 0–1 live on disks 0–1: untouched, fine.
+            assert!(r2.access(&h, 0, 2048, false).await.is_ok());
+            // A 4-chunk stripe crosses disk 2: the whole access fails.
+            assert!(r2.access(&h, 0, 4096, false).await.is_err());
+            // The untimed judge agrees, without moving the clock.
+            let before = h.now();
+            assert!(r2.judge(&h, 0, 4096, true).is_err());
+            assert_eq!(h.now(), before);
+        });
+        sim.run();
+        let errors: u64 = r.stats().iter().map(|s| s.io_errors).sum();
+        assert_eq!(errors, 2);
+        // Only the failed member tallied them.
+        assert_eq!(r.stats()[2].io_errors, 2);
     }
 
     #[test]
@@ -196,8 +272,9 @@ mod tests {
         let h = sim.handle();
         let r = array(8, 64 * 1024);
         let expect = r.unloaded_access_time(0, 512 * 1024, false);
+        let r2 = r.clone();
         sim.spawn(async move {
-            r.access(&h, 0, 512 * 1024, false).await;
+            r2.access(&h, 0, 512 * 1024, false).await.unwrap();
         });
         assert_eq!(sim.run().end_time.as_nanos(), expect.as_nanos());
     }

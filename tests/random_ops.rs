@@ -13,9 +13,11 @@ use std::rc::Rc;
 use proptest::prelude::*;
 
 use imca_repro::fabric::FaultPlan;
+use imca_repro::glusterfs::FsError;
 use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
 use imca_repro::memcached::McConfig;
 use imca_repro::sim::{Sim, SimDuration, SimTime};
+use imca_repro::storage::StorageFaultPlan;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -457,4 +459,317 @@ fn fixed_seed_fault_schedule_replays_identically() {
         "partition produced no timeouts or sheds: {:?}",
         a.2.metrics.keys().collect::<Vec<_>>()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos layer: storage-tier faults and server crashes composed with the
+// MCD/network faults above (DESIGN.md §6c).
+// ---------------------------------------------------------------------------
+
+/// Ops for the error-for-error equivalence property. Storage write errors
+/// are toggled between the draw-free rates 0.0 and 1.0 so both clusters
+/// reach the same deterministic verdict for every logical op without
+/// consuming any randomness — the two deployments issue different disk
+/// access sequences (IMCa adds covering re-reads), so a fractional rate
+/// could never stay in lockstep.
+#[derive(Debug, Clone)]
+enum ChaosOp {
+    Write {
+        file: u8,
+        offset: u16,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        file: u8,
+        offset: u16,
+        len: u16,
+    },
+    Stat {
+        file: u8,
+    },
+    /// Toggle a hard storage write-error mode (rate 1.0 / 0.0) on both
+    /// arrays. Reads keep working: only the media's write path is sick.
+    MediaErrors(bool),
+    /// `kill -9` both glusterfsd daemons. Subsequent writes must fail
+    /// fast with `FsError::Io` on both clusters.
+    CrashServer,
+    /// Restart both daemons; the IMCa one purges its bank (cold restart).
+    RestartServer,
+}
+
+fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
+    prop_oneof![
+        5 => (0u8..3, 0u16..12_000, 1u16..5_000, any::<u8>())
+            .prop_map(|(file, offset, len, fill)| ChaosOp::Write { file, offset, len, fill }),
+        4 => (0u8..3, 0u16..16_000, 1u16..6_000)
+            .prop_map(|(file, offset, len)| ChaosOp::Read { file, offset, len }),
+        2 => (0u8..3).prop_map(|file| ChaosOp::Stat { file }),
+        2 => any::<bool>().prop_map(ChaosOp::MediaErrors),
+        1 => Just(ChaosOp::CrashServer),
+        1 => Just(ChaosOp::RestartServer),
+    ]
+}
+
+/// Error-for-error NoCache equivalence under storage faults and server
+/// crashes: every client-visible verdict (success, byte content, or
+/// `FsError::Io`) from the IMCa deployment must match the plain GlusterFS
+/// one op for op, and the surviving state must match the reference model
+/// once the chaos ends.
+///
+/// Two driver rules keep the comparison honest rather than vacuous:
+/// * while the server is down only writes run — IMCa would (correctly)
+///   keep serving bank hits for reads, which is a feature, not an
+///   equivalence;
+/// * media error mode only breaks writes, so reads and stats stay
+///   comparable throughout.
+fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64) {
+    let mut sim = Sim::new(seed);
+    let imca = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: 2048,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    let nocache = Rc::new(Cluster::build(sim.handle(), ClusterConfig::nocache()));
+    imca.install_bank_faults(FaultPlan::seeded(seed));
+    let (c, n) = (Rc::clone(&imca), Rc::clone(&nocache));
+    sim.spawn(async move {
+        let (mi, mn) = (c.mount(), n.mount());
+        let mut reference = Reference::default();
+        let mut fdi = HashMap::new();
+        let mut fdn = HashMap::new();
+        for f in 0u8..3 {
+            let p = format!("/chaos/{f}");
+            mi.create(&p).await.unwrap();
+            mn.create(&p).await.unwrap();
+            fdi.insert(f, mi.open(&p).await.unwrap());
+            fdn.insert(f, mn.open(&p).await.unwrap());
+            reference.files.insert(f, Vec::new());
+        }
+        let mut media_errors = false;
+        for op in ops {
+            match op {
+                ChaosOp::Write {
+                    file,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8)).collect();
+                    let ri = mi.write(fdi[&file], offset as u64, &data).await;
+                    let rn = mn.write(fdn[&file], offset as u64, &data).await;
+                    assert_eq!(
+                        ri,
+                        rn,
+                        "write verdict diverged: file {file} off {offset} len {len} \
+                         (media_errors={media_errors}, alive={})",
+                        c.server_alive()
+                    );
+                    match ri {
+                        Ok(_) => reference.write(file, offset as usize, &data),
+                        Err(e) => {
+                            assert_eq!(e, FsError::Io);
+                            assert!(
+                                media_errors || !c.server_alive(),
+                                "spurious write error with healthy media and live server"
+                            );
+                        }
+                    }
+                }
+                ChaosOp::Read { file, offset, len } => {
+                    if !c.server_alive() {
+                        continue;
+                    }
+                    let ri = mi.read(fdi[&file], offset as u64, len as u64).await;
+                    let rn = mn.read(fdn[&file], offset as u64, len as u64).await;
+                    assert_eq!(ri, rn, "read diverged: file {file} off {offset} len {len}");
+                    let want = reference.read(file, offset as usize, len as usize);
+                    assert_eq!(ri.unwrap(), want, "read strayed from reference");
+                }
+                ChaosOp::Stat { file } => {
+                    if !c.server_alive() {
+                        continue;
+                    }
+                    let p = format!("/chaos/{file}");
+                    let sti = mi.stat(&p).await.unwrap();
+                    let stn = mn.stat(&p).await.unwrap();
+                    assert_eq!(sti.size, stn.size, "stat diverged on file {file}");
+                    assert_eq!(sti.size, reference.files[&file].len() as u64);
+                }
+                ChaosOp::MediaErrors(on) => {
+                    media_errors = on;
+                    let plan = StorageFaultPlan {
+                        write_error: if on { 1.0 } else { 0.0 },
+                        ..StorageFaultPlan::seeded(seed)
+                    };
+                    c.install_storage_faults(plan.clone());
+                    n.install_storage_faults(plan);
+                }
+                ChaosOp::CrashServer => {
+                    if c.server_alive() {
+                        c.crash_server();
+                        n.crash_server();
+                    }
+                }
+                ChaosOp::RestartServer => {
+                    if !c.server_alive() {
+                        c.restart_server().await;
+                        n.restart_server().await;
+                    }
+                }
+            }
+        }
+        // End of chaos: recover both clusters and check that everything the
+        // reference believes durable reads back identically on both.
+        if !c.server_alive() {
+            c.restart_server().await;
+            n.restart_server().await;
+        }
+        c.install_storage_faults(StorageFaultPlan::default());
+        n.install_storage_faults(StorageFaultPlan::default());
+        for f in 0u8..3 {
+            let want = reference.files[&f].clone();
+            let len = want.len().max(1) as u64;
+            let ri = mi.read(fdi[&f], 0, len).await.unwrap();
+            let rn = mn.read(fdn[&f], 0, len).await.unwrap();
+            assert_eq!(ri, want, "post-chaos IMCa content diverged on file {f}");
+            assert_eq!(rn, want, "post-chaos NoCache content diverged on file {f}");
+        }
+    });
+    sim.run();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn storage_and_server_chaos_matches_nocache(
+        ops in prop::collection::vec(chaos_op_strategy(), 1..35),
+        seed in 0u64..1000,
+    ) {
+        run_chaos_equivalence(ops, seed);
+    }
+}
+
+/// One IMCa cluster under *everything at once* — fractional storage error
+/// rates, a controller brown-out window, a gray-failure slow disk, bank
+/// packet loss and jitter, an MCD kill/revive, and a server crash/restart
+/// — driven twice from the same seed must replay to the same end time,
+/// event count, and bit-identical metrics snapshot.
+fn run_full_chaos(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
+    let mut sim = Sim::new(seed);
+    // Block size (8 KB) deliberately exceeds the backend page size (4 KB):
+    // a small write warms only its own pages, so SMCache's covering
+    // re-read must fetch the rest of the block from the sick media — the
+    // path that produces dropped pushes.
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: 8192,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            ..ImcaConfig::default()
+        }),
+    ));
+    cluster.install_bank_faults(FaultPlan {
+        loss: 0.03,
+        jitter: SimDuration::micros(2),
+        ..FaultPlan::seeded(seed)
+    });
+    let c = Rc::clone(&cluster);
+    let h = sim.handle();
+    sim.spawn(async move {
+        let m = c.mount();
+        let mut fds = Vec::new();
+        for f in 0..3 {
+            let p = format!("/chaos/{f}");
+            m.create(&p).await.unwrap();
+            fds.push(m.open(&p).await.unwrap());
+        }
+        // Seed data while everything is healthy.
+        for (i, &fd) in fds.iter().enumerate() {
+            m.write(fd, 0, &vec![i as u8; 8192]).await.unwrap();
+        }
+        // Storage turns hostile: fractional error rates (a successful
+        // write whose covering bank re-read fails is what drops pushes),
+        // a brown-out window, and one slow member.
+        c.install_storage_faults(StorageFaultPlan {
+            read_error: 0.3,
+            write_error: 0.2,
+            error_windows: vec![(
+                SimTime(h.now().as_nanos() + 2_000_000),
+                SimTime(h.now().as_nanos() + 3_000_000),
+            )],
+            slow_disks: vec![0],
+            slow_factor: 6.0,
+            ..StorageFaultPlan::seeded(seed ^ 0xD15C)
+        });
+        let mut io_errors_seen = 0u32;
+        for round in 0..30u64 {
+            let fd = fds[(round % 3) as usize];
+            let off = (round * 1111) % 8192;
+            if round % 4 == 0 {
+                // Memory pressure: a cold page cache forces SMCache's
+                // covering re-read to the sick media, so a successful
+                // write's push can die (`smcache.dropped_pushes`).
+                c.backend().drop_caches();
+                if m.write(fd, off, &vec![round as u8; 1500]).await.is_err() {
+                    io_errors_seen += 1;
+                }
+            } else if m.read(fd, off, 2000).await.is_err() {
+                io_errors_seen += 1;
+            }
+            if round == 10 {
+                c.kill_mcd(0);
+            }
+            if round == 14 {
+                c.revive_mcd(0);
+            }
+            if round == 18 {
+                let from = h.now();
+                c.network()
+                    .add_drop_window(from, SimTime(from.as_nanos() + 200_000));
+            }
+        }
+        // The daemon dies mid-storm; writes now fail fast client-side.
+        c.crash_server();
+        for &fd in &fds {
+            assert_eq!(m.write(fd, 0, b"lost").await, Err(FsError::Io));
+        }
+        c.restart_server().await;
+        // Calm after the storm: with a benign plan every region reads
+        // cleanly again (miss pass repopulating the purged bank, then a
+        // hit pass).
+        c.install_storage_faults(StorageFaultPlan::default());
+        for _pass in 0..2 {
+            for &fd in &fds {
+                m.read(fd, 0, 8192).await.unwrap();
+            }
+        }
+        assert!(io_errors_seen > 0, "the storm never surfaced an I/O error");
+    });
+    let s = sim.run();
+    (s.end_time.as_nanos(), s.events, cluster.metrics())
+}
+
+#[test]
+fn fixed_seed_full_chaos_replays_identically() {
+    let a = run_full_chaos(1973);
+    let b = run_full_chaos(1973);
+    assert_eq!(a.0, b.0, "end time diverged between chaos replays");
+    assert_eq!(a.1, b.1, "event count diverged between chaos replays");
+    assert_eq!(a.2, b.2, "metrics snapshot diverged between chaos replays");
+    // Every fault family actually fired.
+    assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
+    assert!(a.2.counter("smcache.dropped_pushes").unwrap_or(0) > 0);
+    assert_eq!(a.2.counter("server.crashes"), Some(1));
+    assert_eq!(a.2.counter("server.restarts"), Some(1));
+    assert!(a.2.counter("bank.mcd_revivals").unwrap_or(0) > 0);
 }
