@@ -34,6 +34,7 @@ fn main() {
                 mcd_mem: 6 << 30,
                 rdma_bank: false,
                 batched: true,
+                replication: 1,
             },
         ));
     }
@@ -46,6 +47,7 @@ fn main() {
                 clients: 1,
                 record_sizes: record_sizes.clone(),
                 records,
+                warmup: false,
                 shared_file: false,
                 seed: opts.seed,
             };

@@ -66,6 +66,7 @@ fn main() {
                     mcd_mem: 1 << 30,
                     rdma_bank: false,
                     batched: true,
+                    replication: 1,
                 },
                 seed: opts.seed,
             };

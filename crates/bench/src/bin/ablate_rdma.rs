@@ -21,6 +21,7 @@ fn spec(rdma_bank: bool) -> SystemSpec {
         mcd_mem: 6 << 30,
         rdma_bank,
         batched: true,
+        replication: 1,
     }
 }
 
@@ -44,6 +45,7 @@ fn main() {
                     clients,
                     record_sizes: sizes.clone(),
                     records,
+                    warmup: false,
                     shared_file: false,
                     seed: opts.seed,
                 };

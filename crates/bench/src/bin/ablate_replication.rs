@@ -1,0 +1,224 @@
+//! Replication ablation (DESIGN.md §4d): the Fig-10 shared-file read
+//! sweep with the MCD bank replicated at R ∈ {1, 2, 4}, plus a
+//! kill-one-daemon warm-failover scenario.
+//!
+//! The paper's bank places every key on exactly one daemon, so a file
+//! every node reads turns that daemon into a hot spot — Fig 10's latency
+//! grows with node count partly because readers queue on one event loop.
+//! With `Replication { factor: R }` each block lives on R daemons and the
+//! client spreads GETs across them (power-of-two-choices), so the shared
+//! -read tail should drop; killing one replica should leave reads warm
+//! instead of falling back to the GlusterFS server.
+//!
+//! Writes `ablate_replication.{json,txt}`, `ablate_replication_metrics
+//! .json`, and the consolidated `BENCH_5.json` (per-R shared-read
+//! p50/p99 and wall-clock) into the results directory.
+
+use std::rc::Rc;
+
+use imca_bench::{emit, emit_metrics, parallel_sweep, Options};
+use imca_core::{Cluster, ClusterConfig, ImcaConfig, Replication};
+use imca_memcached::{McConfig, Selector};
+use imca_metrics::Snapshot;
+use imca_sim::Sim;
+use imca_workloads::latbench::{run, LatencyBench, LatencyResult};
+use imca_workloads::report::Table;
+use imca_workloads::SystemSpec;
+
+const MCDS: usize = 4;
+const RECORD_SIZE: u64 = 2048;
+
+fn spec(r: usize) -> SystemSpec {
+    SystemSpec::Imca {
+        mcds: MCDS,
+        block_size: RECORD_SIZE,
+        selector: Selector::Ketama,
+        threaded: false,
+        mcd_mem: 6 << 30,
+        rdma_bank: false,
+        batched: true,
+        replication: r,
+    }
+}
+
+/// Exact quantile over the timed reads (merged across clients).
+fn quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    assert!(!sorted_ns.is_empty());
+    let idx = ((sorted_ns.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ns[idx]
+}
+
+/// Sum a per-client bank counter (`cmcache.<i>.bank.<name>`) over clients.
+fn bank_counter_sum(metrics: &Snapshot, name: &str) -> u64 {
+    metrics
+        .metrics
+        .keys()
+        .filter(|k| k.starts_with("cmcache.") && k.ends_with(&format!(".bank.{name}")))
+        .map(|k| metrics.counter(k).unwrap_or(0))
+        .sum()
+}
+
+/// Kill-one-daemon scenario: 2 MCDs, R = 2, a warmed shared file. After
+/// the kill, reads must keep hitting the surviving replica — failovers
+/// tick, degraded misses do not. Returns `(replica_failovers,
+/// degraded_misses_added)`.
+fn failover_scenario(seed: u64) -> (u64, u64) {
+    let mut sim = Sim::new(seed);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: RECORD_SIZE,
+            selector: Selector::Ketama,
+            mcd_config: McConfig::with_mem_limit(6 << 30),
+            replication: Replication { factor: 2 },
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    let degraded_added = Rc::new(std::cell::Cell::new(u64::MAX));
+    let d = Rc::clone(&degraded_added);
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/ablate/shared").await.unwrap();
+        let fd = m.open("/ablate/shared").await.unwrap();
+        let blocks = 32u64;
+        for k in 0..blocks {
+            m.write(fd, k * RECORD_SIZE, &vec![k as u8; RECORD_SIZE as usize])
+                .await
+                .unwrap();
+        }
+        // Warm the bank, then lose a daemon.
+        for k in 0..blocks {
+            m.read(fd, k * RECORD_SIZE, RECORD_SIZE).await.unwrap();
+        }
+        let before = bank_counter_sum(&c.metrics(), "degraded_misses");
+        c.kill_mcd(0);
+        for k in 0..blocks {
+            m.read(fd, k * RECORD_SIZE, RECORD_SIZE).await.unwrap();
+        }
+        d.set(bank_counter_sum(&c.metrics(), "degraded_misses") - before);
+    });
+    sim.run();
+    let failovers = bank_counter_sum(&cluster.metrics(), "replica_failovers");
+    (failovers, degraded_added.get())
+}
+
+fn main() {
+    let opts = Options::from_args(
+        "ablate_replication",
+        "bank replication ablation on shared-file read latency (Fig 10 workload)",
+    );
+    let factors: Vec<usize> = vec![1, 2, 4];
+    let (clients, records) = if opts.full {
+        (32usize, 256usize)
+    } else if opts.smoke {
+        (32, 48)
+    } else {
+        (32, 96)
+    };
+
+    let wall = std::time::Instant::now();
+    let jobs: Vec<Box<dyn FnOnce() -> LatencyResult + Send>> = factors
+        .iter()
+        .map(|&r| {
+            let cfg = LatencyBench {
+                spec: spec(r),
+                clients,
+                record_sizes: vec![RECORD_SIZE],
+                records,
+                warmup: true,
+                shared_file: true,
+                seed: opts.seed,
+            };
+            Box::new(move || run(&cfg)) as Box<dyn FnOnce() -> LatencyResult + Send>
+        })
+        .collect();
+    let results = parallel_sweep(jobs);
+    let (failovers, degraded_added) = failover_scenario(opts.seed);
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let series: Vec<(usize, Vec<u64>, f64)> = factors
+        .iter()
+        .zip(&results)
+        .map(|(&r, res)| {
+            let mut ns = res.read_op_ns[&RECORD_SIZE].clone();
+            assert_eq!(ns.len(), clients * records, "missing timed reads at R={r}");
+            ns.sort_unstable();
+            let mean = res.read_at(RECORD_SIZE).unwrap();
+            (r, ns, mean)
+        })
+        .collect();
+
+    let mut table = Table::new(
+        format!("Replication ablation: shared-file reads, {clients} clients, {MCDS} MCDs"),
+        "percentile",
+        "microseconds",
+        factors.iter().map(|r| format!("R={r}")).collect(),
+    );
+    for &(label, q) in &[(50.0, 0.50), (90.0, 0.90), (99.0, 0.99)] {
+        let row: Vec<Option<f64>> = series
+            .iter()
+            .map(|(_, ns, _)| Some(quantile(ns, q) as f64 / 1_000.0))
+            .collect();
+        table.push_row(label, row);
+    }
+    emit(&opts, "ablate_replication", &table);
+
+    let mut snap = Snapshot::new();
+    for (&r, res) in factors.iter().zip(&results) {
+        snap.merge_prefixed(&format!("r{r}"), &res.metrics);
+    }
+    emit_metrics(&opts, "ablate_replication", &snap);
+
+    // Consolidated BENCH_5.json for scripts/tier1.sh --strict.
+    let mut doc = String::from("{\n  \"bench\": \"ablate_replication\",\n");
+    doc.push_str(&format!(
+        "  \"clients\": {clients},\n  \"records\": {records},\n  \"mcds\": {MCDS},\n"
+    ));
+    doc.push_str(&format!("  \"wall_clock_secs\": {wall_secs:.3},\n"));
+    doc.push_str("  \"series\": [\n");
+    for (i, (r, ns, mean)) in series.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"replication\": {r}, \"read_p50_us\": {:.2}, \"read_p99_us\": {:.2}, \
+             \"mean_read_us\": {mean:.2}}}{}\n",
+            quantile(ns, 0.50) as f64 / 1_000.0,
+            quantile(ns, 0.99) as f64 / 1_000.0,
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ],\n");
+    doc.push_str(&format!(
+        "  \"failover\": {{\"replica_failovers\": {failovers}, \
+         \"degraded_misses_added\": {degraded_added}}}\n}}\n"
+    ));
+    let _ = std::fs::create_dir_all(&opts.out_dir);
+    let path = opts.out_dir.join("BENCH_5.json");
+    std::fs::write(&path, &doc).expect("cannot write BENCH_5.json");
+    println!("(consolidated summary written to {})", path.display());
+
+    // The claims this ablation exists to check.
+    let p99 = |r: usize| {
+        series
+            .iter()
+            .find(|(f, _, _)| *f == r)
+            .map(|(_, ns, _)| quantile(ns, 0.99))
+            .unwrap()
+    };
+    assert!(
+        p99(2) < p99(1),
+        "R=2 did not reduce shared-read p99: R=1 {}ns vs R=2 {}ns",
+        p99(1),
+        p99(2)
+    );
+    assert!(failovers > 0, "kill-one-MCD produced no warm failovers");
+    assert_eq!(
+        degraded_added, 0,
+        "warm failover must not add degraded misses"
+    );
+    println!(
+        "claims hold: p99 R=1 {:.1}us > R=2 {:.1}us; {failovers} warm failovers, 0 degraded",
+        p99(1) as f64 / 1_000.0,
+        p99(2) as f64 / 1_000.0
+    );
+}

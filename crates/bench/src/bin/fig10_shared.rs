@@ -13,9 +13,17 @@ fn main() {
         "fig10_shared",
         "shared-file read latency vs nodes (paper Fig 10)",
     );
-    let records = if opts.full { 1024 } else { 128 };
+    let records = if opts.full {
+        1024
+    } else if opts.smoke {
+        48
+    } else {
+        128
+    };
     let node_sweep: Vec<usize> = if opts.full {
         vec![2, 4, 8, 16, 32]
+    } else if opts.smoke {
+        vec![2, 8]
     } else {
         vec![2, 4, 8, 16, 24]
     };
@@ -38,6 +46,7 @@ fn main() {
                 clients: nodes,
                 record_sizes: vec![record_size],
                 records,
+                warmup: false,
                 shared_file: true,
                 seed: opts.seed,
             };

@@ -36,6 +36,7 @@ fn main() {
         mcd_mem,
         rdma_bank: false,
         batched: true,
+        replication: 1,
     };
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,

@@ -21,6 +21,7 @@ fn imca_block(block_size: u64, threaded: bool) -> SystemSpec {
         mcd_mem: 6 << 30,
         rdma_bank: false,
         batched: true,
+        replication: 1,
     }
 }
 
@@ -68,6 +69,7 @@ fn main() {
                 clients: 1,
                 record_sizes: sizes.clone(),
                 records,
+                warmup: false,
                 shared_file: false,
                 seed: opts.seed,
             };
@@ -107,6 +109,7 @@ fn main() {
                 clients: 1,
                 record_sizes: sizes.clone(),
                 records,
+                warmup: false,
                 shared_file: false,
                 seed: opts.seed,
             };

@@ -43,6 +43,7 @@ fn main() {
                 clients,
                 record_sizes: sizes.clone(),
                 records,
+                warmup: false,
                 shared_file: false,
                 seed: opts.seed,
             };

@@ -32,6 +32,7 @@ fn main() {
         mcd_mem: if opts.full { 6 << 30 } else { 64 << 20 },
         rdma_bank: false,
         batched: true,
+        replication: 1,
     };
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,

@@ -27,6 +27,9 @@ use imca_workloads::report::Table;
 pub struct Options {
     /// Run at full paper scale instead of the scaled default.
     pub full: bool,
+    /// Run a minimal sweep for CI smoke checks (`scripts/tier1.sh
+    /// --strict`): fewest points that still exercise every code path.
+    pub smoke: bool,
     /// Output directory for JSON/text results.
     pub out_dir: PathBuf,
     /// Override the simulation seed.
@@ -34,11 +37,12 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parse from `std::env::args` (supports `--full`, `--out DIR`,
-    /// `--seed N`, `--help`).
+    /// Parse from `std::env::args` (supports `--full`, `--smoke`,
+    /// `--out DIR`, `--seed N`, `--help`).
     pub fn from_args(name: &str, description: &str) -> Options {
         let mut opts = Options {
             full: false,
+            smoke: false,
             out_dir: PathBuf::from("results"),
             seed: 42,
         };
@@ -46,6 +50,7 @@ impl Options {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => opts.full = true,
+                "--smoke" => opts.smoke = true,
                 "--out" => {
                     opts.out_dir = PathBuf::from(args.next().expect("--out needs a directory"))
                 }
@@ -57,9 +62,10 @@ impl Options {
                 }
                 "--help" | "-h" => {
                     println!("{name}: {description}");
-                    println!("usage: {name} [--full] [--out DIR] [--seed N]");
+                    println!("usage: {name} [--full] [--smoke] [--out DIR] [--seed N]");
                     println!("  --full   run at paper scale (slow); default is a");
                     println!("           proportionally scaled workload");
+                    println!("  --smoke  run a minimal CI sweep (fastest)");
                     std::process::exit(0);
                 }
                 other => {
@@ -175,6 +181,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("imca-bench-mtest-{}", std::process::id()));
         let opts = Options {
             full: false,
+            smoke: false,
             out_dir: dir.clone(),
             seed: 1,
         };
@@ -200,6 +207,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("imca-bench-test-{}", std::process::id()));
         let opts = Options {
             full: false,
+            smoke: false,
             out_dir: dir.clone(),
             seed: 1,
         };

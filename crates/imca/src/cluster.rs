@@ -17,7 +17,7 @@ use imca_storage::{BackendParams, StorageBackend, StorageFaultPlan};
 
 use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
-use crate::mcd::{Bank, McdCosts, McdNode, RetryPolicy};
+use crate::mcd::{Bank, McdCosts, McdNode, Replication, RetryPolicy};
 use crate::smcache::{SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
@@ -53,6 +53,11 @@ pub struct ImcaConfig {
     /// deadline here falsely fails healthy pipeline syncs and quarantines
     /// daemons. `None` = same as `retry`.
     pub server_retry: Option<RetryPolicy>,
+    /// Replica placement for bank entries (DESIGN.md §4d): `factor`
+    /// daemons per key, write/purge fan-out, P2C read spreading, and warm
+    /// read failover. The default factor 1 is the paper's single-home
+    /// bank.
+    pub replication: Replication,
 }
 
 impl Default for ImcaConfig {
@@ -68,6 +73,7 @@ impl Default for ImcaConfig {
             bank_transport: None,
             retry: RetryPolicy::default(),
             server_retry: None,
+            replication: Replication::default(),
         }
     }
 }
@@ -165,13 +171,14 @@ impl Cluster {
                 Some(imca) => {
                     let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
                     let client = Rc::new(
-                        bank.client_with(
+                        bank.client_replicated(
                             server_node,
                             imca.selector,
                             imca.bank_transport.clone(),
                             imca.server_retry
                                 .clone()
                                 .unwrap_or_else(|| imca.retry.clone()),
+                            imca.replication,
                         ),
                     );
                     let sm = SmCache::new(
@@ -222,11 +229,12 @@ impl Cluster {
                     self.bank
                         .as_ref()
                         .expect("imca config implies a bank")
-                        .client_with(
+                        .client_replicated(
                             client_node,
                             imca.selector,
                             imca.bank_transport.clone(),
                             imca.retry.clone(),
+                            imca.replication,
                         ),
                 );
                 let cm = CmCache::new(

@@ -16,6 +16,13 @@
 //!   making cold misses strictly more expensive than NoCache (§4.4).
 //! * **write / create / delete / open / close**: not intercepted (§4.2,
 //!   §4.3.2); they flow straight to the server.
+//!
+//! Replication (DESIGN.md §4d) is transparent at this layer: the bank
+//! client routes each GET to one of the key's replicas (power-of-two-
+//! choices on observed load, warm failover past dead daemons) and
+//! coalesces concurrent same-key GETs into one RPC, so CMCache's hit
+//! and miss semantics — and the "any block miss forwards the read"
+//! rule — are byte-identical at every replication factor.
 
 use std::rc::Rc;
 

@@ -12,6 +12,11 @@
 //! guaranteed to pass the daemon's validation. Without the fold, an
 //! oversized or space-bearing path would make every `set` fail silently
 //! (`KeyTooLong` / `BadKey`), turning the file into a permanent cache miss.
+//!
+//! Placement is a pure function of the produced key: the selector hashes
+//! it to a primary daemon, and with a replicated bank (DESIGN.md §4d)
+//! the ketama walk continues from that same key's ring position — so a
+//! key's replica set is as stable under bank growth as its primary.
 
 use imca_memcached::{crc32, MAX_KEY_LEN};
 

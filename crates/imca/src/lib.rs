@@ -62,6 +62,7 @@ mod smcache;
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
 pub use cmcache::{CmCache, CmStats};
 pub use mcd::{
-    start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp, RetryPolicy,
+    start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp, Replication,
+    RetryPolicy,
 };
 pub use smcache::{SmCache, SmStats};

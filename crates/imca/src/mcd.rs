@@ -19,6 +19,14 @@
 //! [`BankClient::set_pipeline`] / [`BankClient::delete_pipeline`] stream
 //! `noreply` stores/deletes with a single trailing `version` round trip
 //! per daemon as the sync barrier.
+//!
+//! With [`Replication`] `factor > 1` (DESIGN.md §4d) every key also lives
+//! on the next `R − 1` daemons after its primary: writes and purges fan
+//! out to the whole replica set, reads pick one live replica per request
+//! (power-of-two-choices on the client's own in-flight counts) and fail
+//! over warm when a replica is dead or shed. A per-client single-flight
+//! table additionally coalesces concurrent GETs for one key into a single
+//! in-flight RPC.
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -29,7 +37,7 @@ use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
 use imca_memcached::protocol::{Command, Response, StoreVerb};
 use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
 use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
-use imca_sim::sync::Resource;
+use imca_sim::sync::{oneshot, OneshotReceiver, OneshotSender, Resource};
 use imca_sim::{join_all, timeout, SimDuration, SimHandle, SimTime};
 
 /// Request wrapper carrying a memcached protocol command across the fabric.
@@ -136,6 +144,29 @@ impl Default for RetryPolicy {
             backoff_cap: SimDuration::millis(1),
             circuit_cooldown: SimDuration::millis(100),
         }
+    }
+}
+
+/// Replica placement for bank entries (DESIGN.md §4d).
+///
+/// `factor: R` places every key on its selector primary plus the next
+/// `R − 1` distinct daemons in placement order — ring successors under
+/// ketama, linear successors under CRC-32/modulo. Writes and purges fan
+/// out to the whole replica set; reads pick one live replica per request
+/// by power-of-two-choices on the client's own in-flight load and fail
+/// over to the next live replica when a daemon is dead or shed (a warm
+/// hit where the single-home bank takes a degraded miss). `factor: 1`
+/// (the default) is the paper's single-home bank and leaves every code
+/// path exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replication {
+    /// Daemons each key lives on, clamped to the bank size.
+    pub factor: usize,
+}
+
+impl Default for Replication {
+    fn default() -> Replication {
+        Replication { factor: 1 }
     }
 }
 
@@ -469,14 +500,42 @@ impl Bank {
     ) -> BankClient {
         BankClient::connect_with(&self.nodes, from, selector, transport, policy)
     }
+
+    /// [`Bank::client_with`] plus a replica placement: `factor` daemons
+    /// per key with warm read failover among them (see [`Replication`]).
+    pub fn client_replicated(
+        &self,
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+        policy: RetryPolicy,
+        replication: Replication,
+    ) -> BankClient {
+        BankClient::connect_replicated(&self.nodes, from, selector, transport, policy, replication)
+    }
 }
 
 impl MetricSource for Bank {
     fn collect(&self, prefix: &str, snap: &mut Snapshot) {
         self.registry.collect(prefix, snap);
+        let mut max_gets = 0u64;
+        let mut total_gets = 0u64;
         for (i, node) in self.nodes.iter().enumerate() {
             node.collect(&prefixed(prefix, &format!("mcd.{i}")), snap);
+            let gets = node.stats().cmd_get;
+            snap.set_counter(prefixed(prefix, &format!("per_daemon.{i}.gets")), gets);
+            max_gets = max_gets.max(gets);
+            total_gets += gets;
         }
+        // Load-imbalance summary: a perfectly spread bank has max == mean;
+        // the Fig 10 shared-file pattern at R=1 pushes max toward the
+        // whole-bank total because every client's GETs for a given block
+        // land on one daemon.
+        snap.set_counter(prefixed(prefix, "per_daemon.max_gets"), max_gets);
+        snap.set_gauge(
+            prefixed(prefix, "per_daemon.mean_gets"),
+            (total_gets as f64 / self.nodes.len().max(1) as f64).round() as i64,
+        );
     }
 }
 
@@ -530,6 +589,14 @@ enum Route {
     Shed,
 }
 
+/// GETs parked behind an in-flight leader GET for the same key; each
+/// waiter wakes with a clone of the leader's result.
+type SingleFlightWaiters = Vec<OneshotSender<Option<Bytes>>>;
+
+/// One key's membership in a multi-get round: (position in the caller's
+/// key list, routed-as-failover, replicas that already failed it).
+type GroupMember = (usize, bool, Vec<usize>);
+
 /// The bank of MCDs as seen from one node (CMCache or SMCache side).
 pub struct BankClient {
     clients: Vec<RpcClient<McdReq, McdResp>>,
@@ -565,6 +632,26 @@ pub struct BankClient {
     /// Ops answered locally (miss / dropped write) because the daemon was
     /// quarantined, circuit-open, or out of retry budget.
     degraded_misses: Counter,
+    /// Replica placement factor, clamped to the bank size. 1 = the
+    /// single-home bank; every replicated code path is gated on `> 1` so
+    /// factor-1 runs replay bit-identically to the pre-replication code.
+    replication: usize,
+    /// Outstanding bank RPCs per daemon *from this client* — the load
+    /// signal power-of-two-choices read routing balances on.
+    in_flight: Vec<Cell<u64>>,
+    /// Client-local xorshift64 state for P2C sampling and tie-breaking,
+    /// seeded from the client's node id so different clients spread a hot
+    /// block across its replicas. Never consulted at factor 1.
+    route_rng: Cell<u64>,
+    /// Single-flight table: key → waiters. The first GET for a key is the
+    /// leader and does the RPC; concurrent GETs for the same key coalesce
+    /// onto it and wake with a clone of its result.
+    single_flight: RefCell<BTreeMap<Vec<u8>, SingleFlightWaiters>>,
+    /// Reads completed on a fallback replica because an earlier-placed
+    /// replica was dead, shed, or failed mid-flight (warm failover).
+    replica_failovers: Counter,
+    /// GETs that piggybacked on another in-flight GET for the same key.
+    coalesced_gets: Counter,
 }
 
 impl BankClient {
@@ -588,6 +675,26 @@ impl BankClient {
         selector: Selector,
         transport: Option<Transport>,
         policy: RetryPolicy,
+    ) -> BankClient {
+        BankClient::connect_replicated(
+            nodes,
+            from,
+            selector,
+            transport,
+            policy,
+            Replication::default(),
+        )
+    }
+
+    /// [`BankClient::connect_with`] plus a replica placement (see
+    /// [`Replication`]).
+    pub fn connect_replicated(
+        nodes: &[McdNode],
+        from: NodeId,
+        selector: Selector,
+        transport: Option<Transport>,
+        policy: RetryPolicy,
+        replication: Replication,
     ) -> BankClient {
         assert!(!nodes.is_empty(), "bank needs at least one MCD");
         let clients: Vec<_> = nodes
@@ -621,6 +728,14 @@ impl BankClient {
             rpc_timeouts: registry.counter("rpc_timeouts"),
             retries: registry.counter("retries"),
             degraded_misses: registry.counter("degraded_misses"),
+            replication: replication.factor.clamp(1, nodes.len()),
+            in_flight: (0..nodes.len()).map(|_| Cell::new(0)).collect(),
+            // Golden-ratio constant XOR an odd per-node term: nonzero for
+            // every node id, distinct per client.
+            route_rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((u64::from(from.0) << 1) | 1)),
+            single_flight: RefCell::new(BTreeMap::new()),
+            replica_failovers: registry.counter("replica_failovers"),
+            coalesced_gets: registry.counter("coalesced_gets"),
             registry,
         }
     }
@@ -670,16 +785,122 @@ impl BankClient {
     fn route(&self, key: &[u8], hint: Option<u64>) -> Route {
         self.refresh_liveness();
         let primary = self.core.borrow().primary(key, hint);
-        if !self.alive[primary].get() {
+        self.probe(primary)
+    }
+
+    /// Liveness/quarantine/circuit verdict for one daemon — the checks
+    /// [`BankClient::route`] applies to the primary, reusable per replica.
+    fn probe(&self, idx: usize) -> Route {
+        if !self.alive[idx].get() {
             return Route::Dead;
         }
-        if self.quarantined[primary].get() {
+        if self.quarantined[idx].get() {
             return Route::Shed;
         }
-        if self.handle.now() < self.circuit_open_until.borrow()[primary] {
+        if self.handle.now() < self.circuit_open_until.borrow()[idx] {
             return Route::Shed;
         }
-        Route::Daemon(primary)
+        Route::Daemon(idx)
+    }
+
+    /// The key's full replica set in placement order, liveness ignored.
+    fn replica_set(&self, key: &[u8], hint: Option<u64>) -> Vec<usize> {
+        self.core.borrow().replicas(key, hint, self.replication)
+    }
+
+    /// Next word of the client-local xorshift64 stream. Only the
+    /// replicated read router draws from it, so factor-1 clients never
+    /// advance the state.
+    fn next_rand(&self) -> u64 {
+        let mut x = self.route_rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.route_rng.set(x);
+        x
+    }
+
+    /// Power-of-two-choices between daemons `a` and `b`: the less loaded
+    /// by this client's in-flight counts wins; ties flip a deterministic
+    /// coin from the client-local stream.
+    fn p2c(&self, a: usize, b: usize) -> usize {
+        let (la, lb) = (self.in_flight[a].get(), self.in_flight[b].get());
+        if la < lb {
+            a
+        } else if lb < la {
+            b
+        } else if self.next_rand() & 1 == 0 {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Route one replicated read. The key's replica set is filtered down
+    /// to live, unshed daemons minus `exclude` (replicas that already
+    /// failed this op mid-flight); one survivor is picked by
+    /// power-of-two-choices. With no survivor the read resolves locally
+    /// with the same `Dead`/`Shed` classification as the single-home
+    /// router (`Shed` — hence a degraded miss — if any replica was shed).
+    /// The `bool` reports whether serving from the chosen daemon is a
+    /// *failover*: the first-placed replica was unavailable. A healthy
+    /// set routed to a secondary purely for load spreading is not one.
+    fn route_read_replica(&self, candidates: &[usize], exclude: &[usize]) -> (Route, bool) {
+        self.refresh_liveness();
+        let mut live: Vec<usize> = Vec::with_capacity(candidates.len());
+        let mut shed = false;
+        for &idx in candidates {
+            if exclude.contains(&idx) {
+                continue;
+            }
+            match self.probe(idx) {
+                Route::Daemon(_) => live.push(idx),
+                Route::Shed => shed = true,
+                Route::Dead => {}
+            }
+        }
+        let failover = live.first() != Some(&candidates[0]);
+        let chosen = match live.len() {
+            0 => return (if shed { Route::Shed } else { Route::Dead }, false),
+            1 => live[0],
+            2 => self.p2c(live[0], live[1]),
+            n => {
+                // Sample two distinct survivors, then P2C between them.
+                let i = (self.next_rand() % n as u64) as usize;
+                let j = (i + 1 + (self.next_rand() % (n as u64 - 1)) as usize) % n;
+                self.p2c(live[i], live[j])
+            }
+        };
+        (Route::Daemon(chosen), failover)
+    }
+
+    /// Join an in-flight GET for `key` from this client, if any: `Some`
+    /// hands back a receiver for the leader's result. `None` registers
+    /// the caller as the leader, which must publish via
+    /// [`BankClient::publish_single_flight`] once resolved.
+    fn join_single_flight(&self, key: &[u8]) -> Option<OneshotReceiver<Option<Bytes>>> {
+        let mut table = self.single_flight.borrow_mut();
+        if let Some(waiters) = table.get_mut(key) {
+            let (tx, rx) = oneshot();
+            waiters.push(tx);
+            Some(rx)
+        } else {
+            table.insert(key.to_vec(), Vec::new());
+            None
+        }
+    }
+
+    /// Resolve the single-flight entry for `key`, waking every coalesced
+    /// follower with a clone of the leader's result.
+    fn publish_single_flight(&self, key: &[u8], result: &Option<Bytes>) {
+        let waiters = self
+            .single_flight
+            .borrow_mut()
+            .remove(key)
+            .expect("single-flight leader owns the entry");
+        for tx in waiters {
+            tx.send(result.clone());
+        }
     }
 
     /// Open daemon `idx`'s circuit: shed its traffic for the policy's
@@ -708,10 +929,50 @@ impl BankClient {
     }
 
     /// Fetch one value. `hint` is the block index for modulo distribution.
+    ///
+    /// If this client already has a GET for the same key in flight, the
+    /// call coalesces onto it (single-flight): no second RPC, the result
+    /// arrives with the leader's. Otherwise the call leads — single-home
+    /// or replicated fetch depending on the factor — and wakes any
+    /// followers that coalesced meanwhile.
     pub async fn get(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
         self.gets.inc();
         let t0 = self.handle.now();
-        let result = match self.route(key, hint) {
+        let result = match self.join_single_flight(key) {
+            Some(rx) => {
+                self.coalesced_gets.inc();
+                // A torn-down leader (sim shutdown) counts as a miss.
+                let r = rx.await.unwrap_or(None);
+                if r.is_some() {
+                    self.hits.inc();
+                } else {
+                    self.misses.inc();
+                }
+                r
+            }
+            None => {
+                let r = if self.replication == 1 {
+                    self.get_single_home(key, hint).await
+                } else {
+                    self.get_replicated(key, hint).await
+                };
+                self.publish_single_flight(key, &r);
+                r
+            }
+        };
+        // Client-observed completion latency for *every* get — dead-route
+        // local misses, mid-flight failures, and coalesced waits included
+        // — so the histogram count always equals the `gets` counter, with
+        // or without fault injection.
+        self.get_ns.record_duration(self.handle.now().since(t0));
+        result
+    }
+
+    /// The factor-1 fetch: primary-only routing, dead primary = local
+    /// miss (see [`BankClient::route`]). Kept verbatim from before
+    /// replication existed so factor-1 runs replay bit-identically.
+    async fn get_single_home(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
+        match self.route(key, hint) {
             Route::Dead => {
                 self.misses.inc();
                 None
@@ -754,13 +1015,70 @@ impl BankClient {
                     }
                 }
             }
-        };
-        // Client-observed completion latency for *every* get — dead-route
-        // local misses and mid-flight failures included — so the
-        // histogram count always equals the `gets` counter, with or
-        // without fault injection.
-        self.get_ns.record_duration(self.handle.now().since(t0));
-        result
+        }
+    }
+
+    /// The replicated fetch (factor > 1): try live replicas in P2C order
+    /// until one answers. A replica that drops or times out mid-flight is
+    /// excluded and the next one tried — warm failover — and only when
+    /// every replica is unusable does the read degrade to the local miss
+    /// the single-home path would have taken immediately.
+    async fn get_replicated(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
+        let candidates = self.replica_set(key, hint);
+        let mut tried: Vec<usize> = Vec::new();
+        loop {
+            let (route, failover) = self.route_read_replica(&candidates, &tried);
+            let idx = match route {
+                Route::Daemon(idx) => idx,
+                Route::Shed => {
+                    self.misses.inc();
+                    self.degraded_misses.inc();
+                    return None;
+                }
+                Route::Dead => {
+                    self.misses.inc();
+                    return None;
+                }
+            };
+            let req = McdReq(Command::Get {
+                keys: vec![key.to_vec()],
+                with_cas: false,
+            });
+            self.in_flight[idx].set(self.in_flight[idx].get() + 1);
+            let outcome = self.call_daemon(idx, req).await;
+            self.in_flight[idx].set(self.in_flight[idx].get() - 1);
+            match outcome {
+                CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
+                    if !vals.is_empty() =>
+                {
+                    if failover {
+                        self.replica_failovers.inc();
+                    }
+                    self.hits.inc();
+                    return Some(vals.remove(0).data);
+                }
+                CallOutcome::Resp(_) => {
+                    if failover {
+                        self.replica_failovers.inc();
+                    }
+                    self.misses.inc();
+                    return None;
+                }
+                CallOutcome::Dropped => {
+                    // Replica died mid-flight: exclude it and fail over.
+                    self.failures.inc();
+                    self.core.borrow_mut().mark_dead(idx);
+                    tried.push(idx);
+                }
+                CallOutcome::TimedOut => {
+                    // Circuit now open (call_daemon tripped it); the next
+                    // route sees this replica as shed. Exclude and retry
+                    // the rest of the set.
+                    self.failures.inc();
+                    tried.push(idx);
+                }
+            }
+        }
     }
 
     /// Fetch many values with at most one RPC per (live) daemon: keys are
@@ -775,72 +1093,32 @@ impl BankClient {
         self.gets.add(keys.len() as u64);
         let t0 = self.handle.now();
         let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
-        // BTreeMap for a deterministic daemon visit order.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (pos, (key, hint)) in keys.iter().enumerate() {
-            match self.route(key, *hint) {
-                Route::Daemon(idx) => groups.entry(idx).or_default().push(pos),
-                Route::Dead => self.misses.inc(),
-                Route::Shed => {
-                    self.misses.inc();
-                    self.degraded_misses.inc();
+        // Single-flight split: keys this client already has a GET in
+        // flight for become followers of that leader; the rest are
+        // fetched here.
+        let mut followers: Vec<(usize, OneshotReceiver<Option<Bytes>>)> = Vec::new();
+        let mut leaders: Vec<usize> = Vec::with_capacity(keys.len());
+        for (pos, (key, _)) in keys.iter().enumerate() {
+            match self.join_single_flight(key) {
+                Some(rx) => {
+                    self.coalesced_gets.inc();
+                    followers.push((pos, rx));
                 }
+                None => leaders.push(pos),
             }
         }
-        let groups: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
-        let calls: Vec<_> = groups
-            .iter()
-            .map(|(idx, positions)| {
-                self.multi_gets.inc();
-                self.keys_per_multi_get.record(positions.len() as u64);
-                let req = McdReq(Command::Get {
-                    keys: positions.iter().map(|&p| keys[p].0.clone()).collect(),
-                    with_cas: false,
-                });
-                retry_call(
-                    self.handle.clone(),
-                    self.clients[*idx].clone(),
-                    self.policy.clone(),
-                    self.rpc_timeouts.clone(),
-                    self.retries.clone(),
-                    req,
-                )
-            })
-            .collect();
-        let outcomes = join_all(&self.handle, calls).await;
-        for ((idx, positions), outcome) in groups.into_iter().zip(outcomes) {
-            match outcome {
-                CallOutcome::Resp(McdResp(Some(Response::Values(vals)))) => {
-                    // The daemon returns only the found keys, in request
-                    // order with the key echoed: walk both lists in
-                    // lockstep to tell hits from per-key misses.
-                    let mut vals = vals.into_iter().peekable();
-                    for &p in &positions {
-                        if vals.peek().is_some_and(|v| v.key == keys[p].0) {
-                            self.hits.inc();
-                            out[p] = Some(vals.next().expect("peeked").data);
-                        } else {
-                            self.misses.inc();
-                        }
-                    }
-                }
-                CallOutcome::Resp(_) => self.misses.add(positions.len() as u64),
-                CallOutcome::Dropped => {
-                    // Daemon died mid-flight: the whole group fails.
-                    self.failures.add(positions.len() as u64);
-                    self.misses.add(positions.len() as u64);
-                    self.core.borrow_mut().mark_dead(idx);
-                }
-                CallOutcome::TimedOut => {
-                    // Deadline expired mid-group: the whole group fails —
-                    // never a partial block assembly — and the circuit
-                    // opens so the next batch sheds locally.
-                    self.failures.add(positions.len() as u64);
-                    self.misses.add(positions.len() as u64);
-                    self.degraded_misses.add(positions.len() as u64);
-                    self.trip_circuit(idx);
-                }
+        self.fetch_multi(keys, &leaders, &mut out).await;
+        for &pos in &leaders {
+            self.publish_single_flight(&keys[pos].0, &out[pos]);
+        }
+        for (pos, rx) in followers {
+            let r = rx.await.unwrap_or(None);
+            if r.is_some() {
+                self.hits.inc();
+            } else {
+                self.misses.inc();
             }
+            out[pos] = r;
         }
         // One latency sample per requested key (they completed together),
         // keeping the histogram count equal to `gets`.
@@ -849,6 +1127,137 @@ impl BankClient {
             self.get_ns.record_duration(dt);
         }
         out
+    }
+
+    /// Route and fetch the `positions` of `keys` this call leads, writing
+    /// hits into `out`. One multi-key RPC per daemon per round; with
+    /// replication, keys grouped on a daemon that fails mid-flight
+    /// re-route to their next live replica in a follow-up round (warm
+    /// failover) instead of failing the whole group. At factor 1 there is
+    /// exactly one round and the single-home semantics above hold
+    /// unchanged.
+    async fn fetch_multi(
+        &self,
+        keys: &[(Vec<u8>, Option<u64>)],
+        positions: &[usize],
+        out: &mut [Option<Bytes>],
+    ) {
+        // Each pending key remembers the replicas that already failed it
+        // mid-flight, so a failover round never retries one.
+        let mut pending: Vec<(usize, Vec<usize>)> =
+            positions.iter().map(|&p| (p, Vec::new())).collect();
+        while !pending.is_empty() {
+            // BTreeMap for a deterministic daemon visit order. Members
+            // carry (position, routed-as-failover, failed replicas).
+            let mut groups: BTreeMap<usize, Vec<GroupMember>> = BTreeMap::new();
+            for (pos, tried) in pending.drain(..) {
+                let (key, hint) = &keys[pos];
+                let (route, failover) = if self.replication == 1 {
+                    (self.route(key, *hint), false)
+                } else {
+                    self.route_read_replica(&self.replica_set(key, *hint), &tried)
+                };
+                match route {
+                    Route::Daemon(idx) => {
+                        groups.entry(idx).or_default().push((pos, failover, tried))
+                    }
+                    Route::Dead => self.misses.inc(),
+                    Route::Shed => {
+                        self.misses.inc();
+                        self.degraded_misses.inc();
+                    }
+                }
+            }
+            let groups: Vec<(usize, Vec<GroupMember>)> = groups.into_iter().collect();
+            let calls: Vec<_> = groups
+                .iter()
+                .map(|(idx, members)| {
+                    self.multi_gets.inc();
+                    self.keys_per_multi_get.record(members.len() as u64);
+                    if self.replication > 1 {
+                        self.in_flight[*idx].set(self.in_flight[*idx].get() + 1);
+                    }
+                    let req = McdReq(Command::Get {
+                        keys: members.iter().map(|(p, _, _)| keys[*p].0.clone()).collect(),
+                        with_cas: false,
+                    });
+                    retry_call(
+                        self.handle.clone(),
+                        self.clients[*idx].clone(),
+                        self.policy.clone(),
+                        self.rpc_timeouts.clone(),
+                        self.retries.clone(),
+                        req,
+                    )
+                })
+                .collect();
+            let outcomes = join_all(&self.handle, calls).await;
+            for ((idx, members), outcome) in groups.into_iter().zip(outcomes) {
+                if self.replication > 1 {
+                    self.in_flight[idx].set(self.in_flight[idx].get() - 1);
+                }
+                match outcome {
+                    CallOutcome::Resp(McdResp(Some(Response::Values(vals)))) => {
+                        // The daemon returns only the found keys, in request
+                        // order with the key echoed: walk both lists in
+                        // lockstep to tell hits from per-key misses.
+                        let mut vals = vals.into_iter().peekable();
+                        for (p, failover, _) in members {
+                            if failover {
+                                self.replica_failovers.inc();
+                            }
+                            if vals.peek().is_some_and(|v| v.key == keys[p].0) {
+                                self.hits.inc();
+                                out[p] = Some(vals.next().expect("peeked").data);
+                            } else {
+                                self.misses.inc();
+                            }
+                        }
+                    }
+                    CallOutcome::Resp(_) => {
+                        for (_, failover, _) in &members {
+                            if *failover {
+                                self.replica_failovers.inc();
+                            }
+                        }
+                        self.misses.add(members.len() as u64);
+                    }
+                    CallOutcome::Dropped => {
+                        // Daemon died mid-flight: the whole group fails.
+                        // With replicas each key re-routes warm next
+                        // round; single-home keys are misses.
+                        self.failures.add(members.len() as u64);
+                        self.core.borrow_mut().mark_dead(idx);
+                        if self.replication > 1 {
+                            for (p, _, mut tried) in members {
+                                tried.push(idx);
+                                pending.push((p, tried));
+                            }
+                        } else {
+                            self.misses.add(members.len() as u64);
+                        }
+                    }
+                    CallOutcome::TimedOut => {
+                        // Deadline expired mid-group: the whole group
+                        // fails — never a partial block assembly — and
+                        // the circuit opens so the next batch sheds
+                        // locally. Replicated keys retry the rest of
+                        // their set next round.
+                        self.failures.add(members.len() as u64);
+                        self.trip_circuit(idx);
+                        if self.replication > 1 {
+                            for (p, _, mut tried) in members {
+                                tried.push(idx);
+                                pending.push((p, tried));
+                            }
+                        } else {
+                            self.misses.add(members.len() as u64);
+                            self.degraded_misses.add(members.len() as u64);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Store many values using `noreply` pipelining: per routed daemon the
@@ -865,11 +1274,25 @@ impl BankClient {
     pub async fn set_pipeline(&self, items: Vec<(Vec<u8>, Bytes, Option<u64>)>) {
         self.sets.add(items.len() as u64);
         let mut groups: BTreeMap<usize, Vec<(Vec<u8>, Bytes)>> = BTreeMap::new();
-        for (key, value, hint) in items {
-            match self.route(&key, hint) {
-                Route::Daemon(idx) => groups.entry(idx).or_default().push((key, value)),
-                Route::Dead => {}
-                Route::Shed => self.degraded_misses.inc(),
+        if self.replication == 1 {
+            for (key, value, hint) in items {
+                match self.route(&key, hint) {
+                    Route::Daemon(idx) => groups.entry(idx).or_default().push((key, value)),
+                    Route::Dead => {}
+                    Route::Shed => self.degraded_misses.inc(),
+                }
+            }
+        } else {
+            // Replicated: each item streams to every usable replica, so
+            // one pipeline carries the whole fan-out with still just one
+            // sync barrier per daemon.
+            for (key, value, hint) in items {
+                for idx in self.write_targets(&key, hint) {
+                    groups
+                        .entry(idx)
+                        .or_default()
+                        .push((key.clone(), value.clone()));
+                }
             }
         }
         let mut daemons = Vec::with_capacity(groups.len());
@@ -927,11 +1350,21 @@ impl BankClient {
     pub async fn delete_pipeline(&self, items: Vec<(Vec<u8>, Option<u64>)>) {
         self.deletes.add(items.len() as u64);
         let mut groups: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
-        for (key, hint) in items {
-            match self.route(&key, hint) {
-                Route::Daemon(idx) => groups.entry(idx).or_default().push(key),
-                Route::Dead => {}
-                Route::Shed => self.degraded_misses.inc(),
+        if self.replication == 1 {
+            for (key, hint) in items {
+                match self.route(&key, hint) {
+                    Route::Daemon(idx) => groups.entry(idx).or_default().push(key),
+                    Route::Dead => {}
+                    Route::Shed => self.degraded_misses.inc(),
+                }
+            }
+        } else {
+            // Replicated purge: the delete must reach every replica that
+            // could still serve the value.
+            for (key, hint) in items {
+                for idx in self.write_targets(&key, hint) {
+                    groups.entry(idx).or_default().push(key.clone());
+                }
             }
         }
         let mut daemons = Vec::with_capacity(groups.len());
@@ -998,17 +1431,10 @@ impl BankClient {
         }
     }
 
-    /// Store one value.
+    /// Store one value. With replication the store fans out to every
+    /// usable replica (see [`BankClient::write_targets`]).
     pub async fn set(&self, key: &[u8], value: Bytes, hint: Option<u64>) {
         self.sets.inc();
-        let idx = match self.route(key, hint) {
-            Route::Dead => return,
-            Route::Shed => {
-                self.degraded_misses.inc();
-                return;
-            }
-            Route::Daemon(idx) => idx,
-        };
         let req = McdReq(Command::Store {
             verb: StoreVerb::Set,
             key: key.to_vec(),
@@ -1017,25 +1443,98 @@ impl BankClient {
             data: value,
             noreply: false,
         });
-        self.settle_write(idx, self.call_daemon(idx, req).await);
+        if self.replication == 1 {
+            let idx = match self.route(key, hint) {
+                Route::Dead => return,
+                Route::Shed => {
+                    self.degraded_misses.inc();
+                    return;
+                }
+                Route::Daemon(idx) => idx,
+            };
+            self.settle_write(idx, self.call_daemon(idx, req).await);
+        } else {
+            self.write_fanout(key, hint, req).await;
+        }
     }
 
-    /// Remove one key.
+    /// Remove one key. With replication the delete fans out to every
+    /// usable replica — a purge is only complete once no replica can
+    /// still serve the value.
     pub async fn delete(&self, key: &[u8], hint: Option<u64>) {
         self.deletes.inc();
-        let idx = match self.route(key, hint) {
-            Route::Dead => return,
-            Route::Shed => {
-                self.degraded_misses.inc();
-                return;
-            }
-            Route::Daemon(idx) => idx,
-        };
         let req = McdReq(Command::Delete {
             key: key.to_vec(),
             noreply: false,
         });
-        self.settle_write(idx, self.call_daemon(idx, req).await);
+        if self.replication == 1 {
+            let idx = match self.route(key, hint) {
+                Route::Dead => return,
+                Route::Shed => {
+                    self.degraded_misses.inc();
+                    return;
+                }
+                Route::Daemon(idx) => idx,
+            };
+            self.settle_write(idx, self.call_daemon(idx, req).await);
+        } else {
+            self.write_fanout(key, hint, req).await;
+        }
+    }
+
+    /// The key's usable write targets: every replica that is alive and
+    /// unshed. Dead replicas are skipped — they restart *empty*, so a
+    /// missed write cannot resurface — and shed replicas are skipped and
+    /// counted degraded (they are already quarantined; nothing stale can
+    /// be served from them before a clean restart).
+    fn write_targets(&self, key: &[u8], hint: Option<u64>) -> Vec<usize> {
+        self.refresh_liveness();
+        let mut targets = Vec::new();
+        for idx in self.replica_set(key, hint) {
+            match self.probe(idx) {
+                Route::Daemon(i) => targets.push(i),
+                Route::Dead => {}
+                Route::Shed => self.degraded_misses.inc(),
+            }
+        }
+        targets
+    }
+
+    /// Fan one write out to every usable replica concurrently, settling
+    /// each daemon's outcome independently — a replica whose write fails
+    /// is quarantined exactly as in the single-home path, so no replica
+    /// can ever serve a value its purge missed.
+    async fn write_fanout(&self, key: &[u8], hint: Option<u64>, req: McdReq) {
+        let targets = self.write_targets(key, hint);
+        match targets.len() {
+            0 => {}
+            1 => {
+                let idx = targets[0];
+                self.settle_write(idx, self.call_daemon(idx, req).await);
+            }
+            _ => {
+                let calls: Vec<_> = targets
+                    .iter()
+                    .map(|&idx| {
+                        retry_call(
+                            self.handle.clone(),
+                            self.clients[idx].clone(),
+                            self.policy.clone(),
+                            self.rpc_timeouts.clone(),
+                            self.retries.clone(),
+                            req.clone(),
+                        )
+                    })
+                    .collect();
+                let outcomes = join_all(&self.handle, calls).await;
+                for (idx, outcome) in targets.into_iter().zip(outcomes) {
+                    if matches!(outcome, CallOutcome::TimedOut) {
+                        self.trip_circuit(idx);
+                    }
+                    self.settle_write(idx, outcome);
+                }
+            }
+        }
     }
 
     /// Account a single-key write outcome. Like a failed pipeline sync,
@@ -1743,5 +2242,200 @@ mod tests {
             "two concurrent ops did not queue on the CPU: one={one} two={two}"
         );
         assert!(two > one, "one={one} two={two}");
+    }
+
+    /// A client with replication `r` over an `n`-daemon modulo bank, so
+    /// hints pin replica sets: hint 0 → daemons {0, 1, … r−1}.
+    fn replicated_setup(sim: &Sim, n: usize, r: usize) -> (Network, Rc<Bank>, Rc<BankClient>) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            n,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client_replicated(
+            net.add_node(),
+            Selector::Modulo,
+            None,
+            RetryPolicy::default(),
+            Replication { factor: r },
+        ));
+        (net, bank, client)
+    }
+
+    /// How many daemons currently hold `key` (direct engine probe).
+    fn holders(bank: &Bank, key: &[u8]) -> usize {
+        bank.nodes()
+            .iter()
+            .filter(|n| n.server().store().get(key, 0).is_some())
+            .count()
+    }
+
+    #[test]
+    fn replicated_writes_land_on_every_replica_and_purge_all() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 4, 2);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            // Single-key writes fan out…
+            c2.set(b"/a:0", Bytes::from_static(b"v"), Some(0)).await;
+            // …and so do pipelined ones.
+            c2.set_pipeline(vec![
+                (b"/b:0".to_vec(), Bytes::from_static(b"w").clone(), Some(1)),
+                (b"/c:0".to_vec(), Bytes::from_static(b"x").clone(), Some(2)),
+            ])
+            .await;
+            // Purges must reach every replica: single delete and pipeline.
+            c2.delete(b"/a:0", Some(0)).await;
+            c2.delete_pipeline(vec![(b"/b:0".to_vec(), Some(1))]).await;
+        });
+        sim.run();
+        // The surviving key lives on exactly R = 2 daemons…
+        assert_eq!(holders(&bank, b"/c:0"), 2);
+        // …and modulo placement pins which two.
+        assert!(bank.nodes()[2].server().store().get(b"/c:0", 0).is_some());
+        assert!(bank.nodes()[3].server().store().get(b"/c:0", 0).is_some());
+        // Both purged keys are gone from the whole bank.
+        assert_eq!(holders(&bank, b"/a:0"), 0);
+        assert_eq!(holders(&bank, b"/b:0"), 0);
+    }
+
+    #[test]
+    fn killed_primary_fails_over_warm_with_replication() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 2, 2);
+        let c2 = Rc::clone(&client);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            c2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+            b2.kill(0);
+            // Dead primary, live replica: the read is a warm hit, not the
+            // degraded miss the single-home bank takes here.
+            assert_eq!(
+                c2.get(b"/k:0", Some(0)).await,
+                Some(Bytes::from_static(b"v"))
+            );
+            // And the batched path re-routes the group the same way
+            // (dead-replica handling in get_multi).
+            let got = c2.get_multi(&[(b"/k:0".to_vec(), Some(0))]).await;
+            assert_eq!(got[0], Some(Bytes::from_static(b"v")));
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.gets, s.hits, s.misses, s.failures), (2, 2, 0, 0));
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert!(snap.counter("bank.replica_failovers").unwrap() >= 2);
+        assert_eq!(snap.counter("bank.degraded_misses"), Some(0));
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, s.gets);
+    }
+
+    #[test]
+    fn replica_dying_mid_flight_fails_over_to_the_survivor() {
+        let mut sim = Sim::new(0);
+        let (net, bank, client) = replicated_setup(&sim, 2, 2);
+        let h = net.handle();
+        {
+            let c = Rc::clone(&client);
+            sim.spawn(async move {
+                c.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+                // In flight when a daemon dies: the client excludes the
+                // dropped replica and retries the other — still a hit.
+                assert_eq!(
+                    c.get(b"/k:0", Some(0)).await,
+                    Some(Bytes::from_static(b"v"))
+                );
+            });
+        }
+        {
+            let b = Rc::clone(&bank);
+            sim.spawn(async move {
+                h.sleep(SimDuration::micros(80)).await;
+                b.kill(0);
+            });
+        }
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        // Whichever replica the P2C router tried first, the get resolved
+        // warm; if the dead one was hit mid-flight a failure is recorded.
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.degraded_misses"), Some(0));
+    }
+
+    #[test]
+    fn p2c_spreads_a_hot_key_across_its_replicas() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 2, 2);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.set(b"/hot:0", Bytes::from_static(b"v"), Some(0)).await;
+            for _ in 0..64 {
+                assert!(c2.get(b"/hot:0", Some(0)).await.is_some());
+            }
+        });
+        sim.run();
+        // Sequential gets always tie on in-flight load (0 vs 0), so the
+        // deterministic coin decides: both replicas must see real traffic
+        // instead of daemon 0 eating all 64.
+        let g0 = bank.nodes()[0].stats().cmd_get;
+        let g1 = bank.nodes()[1].stats().cmd_get;
+        assert_eq!(g0 + g1, 64);
+        assert!(g0 >= 16 && g1 >= 16, "skewed spread: {g0}/{g1}");
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_gets_for_one_key() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 1, 1);
+        {
+            let c = Rc::clone(&client);
+            sim.spawn(async move {
+                c.set(b"/sf:0", Bytes::from_static(b"v"), Some(0)).await;
+                // Three concurrent gets from the same client: one leads,
+                // two coalesce onto its RPC.
+                let h = c.handle.clone();
+                let futs: Vec<_> = (0..3)
+                    .map(|_| {
+                        let c = Rc::clone(&c);
+                        async move { c.get(b"/sf:0", Some(0)).await }
+                    })
+                    .collect();
+                let got = join_all(&h, futs).await;
+                for v in got {
+                    assert_eq!(v, Some(Bytes::from_static(b"v")));
+                }
+            });
+        }
+        sim.run();
+        let s = client.stats();
+        // Every caller is accounted a get and a hit…
+        assert_eq!((s.gets, s.hits, s.misses), (3, 3, 0));
+        // …but the daemon saw exactly one GET command.
+        assert_eq!(bank.nodes()[0].stats().cmd_get, 1);
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.coalesced_gets"), Some(2));
+        // Histogram still covers all three (followers included).
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, 3);
+    }
+
+    #[test]
+    fn per_daemon_get_counters_expose_load_imbalance() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 2, 1);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.set(b"/hot:0", Bytes::from_static(b"v"), Some(0)).await;
+            // Single-home: all 10 GETs hammer daemon 0.
+            for _ in 0..10 {
+                c2.get(b"/hot:0", Some(0)).await;
+            }
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*bank, "bank");
+        assert_eq!(snap.counter("bank.per_daemon.0.gets"), Some(10));
+        assert_eq!(snap.counter("bank.per_daemon.1.gets"), Some(0));
+        assert_eq!(snap.counter("bank.per_daemon.max_gets"), Some(10));
+        assert_eq!(snap.gauge("bank.per_daemon.mean_gets"), Some(5));
     }
 }

@@ -33,6 +33,13 @@
 //!   is stale — a `Close`/`Unlink` purge overtook it — is dropped (or
 //!   rolled back) instead of repopulating blocks for a closed or deleted
 //!   file, the "false positive" §4.3.2 purges to avoid.
+//!
+//! With a replicated bank (`ImcaConfig::replication`, DESIGN.md §4d)
+//! both mechanics are unchanged here: every push and purge SMCache
+//! issues fans out to all of a key's replicas inside [`BankClient`]
+//! (pipelined, one sync barrier per daemon), and the generation fence
+//! applies per replica — so a write or unlink purges *every* replica
+//! before the stat entry is refreshed.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};

@@ -51,6 +51,14 @@ impl ClientCore {
         self.map.select(key, hint)
     }
 
+    /// The replica set for `key` — primary plus the next `r − 1` distinct
+    /// servers in placement order, ignoring liveness (the caller filters
+    /// against its own, possibly fresher, liveness view). See
+    /// [`ServerMap::replicas`].
+    pub fn replicas(&self, key: &[u8], hint: Option<u64>, r: usize) -> Vec<usize> {
+        self.map.replicas(key, hint, r)
+    }
+
     /// Mark a server dead; subsequent routes avoid it.
     pub fn mark_dead(&mut self, server: usize) {
         self.alive[server] = false;
@@ -112,6 +120,18 @@ mod tests {
         c.mark_alive(1);
         assert_eq!(c.route(b"k", Some(1)), Some(1));
         assert!(c.is_alive(1));
+    }
+
+    #[test]
+    fn replica_sets_lead_with_the_primary() {
+        let c = ClientCore::new(Selector::Ketama, 4);
+        for i in 0..50 {
+            let key = format!("/f/{i}:0");
+            let reps = c.replicas(key.as_bytes(), None, 2);
+            assert_eq!(reps.len(), 2);
+            assert_eq!(reps[0], c.primary(key.as_bytes(), None));
+            assert_ne!(reps[0], reps[1]);
+        }
     }
 
     #[test]

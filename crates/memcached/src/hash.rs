@@ -117,15 +117,57 @@ impl ServerMap {
                 Some(h) => (h % self.n as u64) as usize,
                 None => crc32_bucket(key) as usize % self.n,
             },
+            Selector::Ketama => self.ring[self.ring_index(key)].1,
+        }
+    }
+
+    /// Index into the ketama ring of the first point at or after
+    /// `crc32(key)`, wrapping past the last point to the first.
+    fn ring_index(&self, key: &[u8]) -> usize {
+        let h = crc32(key);
+        match self.ring.binary_search(&(h, usize::MAX)) {
+            Ok(i) => i,
+            Err(i) if i == self.ring.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The replica set for `key`: the primary plus the next `r − 1`
+    /// distinct servers, `min(r, n)` entries in placement order.
+    ///
+    /// For `Ketama` the walk continues clockwise from the primary's ring
+    /// point, collecting each new server the ring visits — the classic
+    /// successor-replica placement, so growing the bank moves whole
+    /// replica sets as little as the primaries themselves. `Crc32` and
+    /// `Modulo` have no ring; their replicas are the linear successors
+    /// `(primary + k) % n`, matching the probe order of libmemcache's
+    /// rehash.
+    pub fn replicas(&self, key: &[u8], hint: Option<u64>, r: usize) -> Vec<usize> {
+        let r = r.clamp(1, self.n);
+        let primary = self.select(key, hint);
+        if r == 1 {
+            return vec![primary];
+        }
+        let mut out = Vec::with_capacity(r);
+        match self.selector {
+            Selector::Crc32 | Selector::Modulo => {
+                out.extend((0..r).map(|k| (primary + k) % self.n));
+            }
             Selector::Ketama => {
-                let h = crc32(key);
-                match self.ring.binary_search(&(h, usize::MAX)) {
-                    Ok(i) => self.ring[i].1,
-                    Err(i) if i == self.ring.len() => self.ring[0].1,
-                    Err(i) => self.ring[i].1,
+                out.push(primary);
+                let start = self.ring_index(key);
+                for step in 1..self.ring.len() {
+                    let server = self.ring[(start + step) % self.ring.len()].1;
+                    if !out.contains(&server) {
+                        out.push(server);
+                        if out.len() == r {
+                            break;
+                        }
+                    }
                 }
             }
         }
+        out
     }
 }
 
@@ -241,5 +283,57 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn empty_map_panics() {
         ServerMap::new(Selector::Crc32, 0);
+    }
+
+    #[test]
+    fn replicas_start_at_the_primary_and_are_distinct() {
+        for selector in [Selector::Crc32, Selector::Modulo, Selector::Ketama] {
+            let m = ServerMap::new(selector, 5);
+            for i in 0..200 {
+                let key = format!("/rep/file{i}:{}", i * 2048);
+                let hint = Some(i as u64);
+                for r in 1..=5 {
+                    let reps = m.replicas(key.as_bytes(), hint, r);
+                    assert_eq!(reps.len(), r);
+                    assert_eq!(reps[0], m.select(key.as_bytes(), hint));
+                    let mut sorted = reps.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), r, "duplicate replica in {reps:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_the_bank_size() {
+        let m = ServerMap::new(Selector::Ketama, 3);
+        let reps = m.replicas(b"k", None, 8);
+        assert_eq!(reps.len(), 3);
+        assert_eq!(m.replicas(b"k", None, 0), vec![m.select(b"k", None)]);
+    }
+
+    #[test]
+    fn modulo_replicas_are_linear_successors() {
+        let m = ServerMap::new(Selector::Modulo, 4);
+        assert_eq!(m.replicas(b"k", Some(2), 3), vec![2, 3, 0]);
+        assert_eq!(m.replicas(b"k", Some(7), 2), vec![3, 0]);
+    }
+
+    #[test]
+    fn ketama_replica_sets_are_stable_under_growth() {
+        // The successor walk inherits consistent hashing's stability: most
+        // keys keep their primary (and hence most of their replica set)
+        // when a server is added.
+        let m4 = ServerMap::new(Selector::Ketama, 4);
+        let m5 = ServerMap::new(Selector::Ketama, 5);
+        let keys: Vec<String> = (0..2_000).map(|i| format!("/data/file{i}")).collect();
+        let kept = keys
+            .iter()
+            .filter(|k| {
+                m4.replicas(k.as_bytes(), None, 2)[0] == m5.replicas(k.as_bytes(), None, 2)[0]
+            })
+            .count();
+        assert!(kept * 3 > keys.len() * 2, "only {kept} primaries survived");
     }
 }

@@ -241,6 +241,7 @@ mod tests {
             mcd_mem: 1 << 30,
             rdma_bank: false,
             batched: true,
+            replication: 1,
         };
         let nocache = bench(SystemSpec::GlusterNoCache, 4).read_mb_s;
         let four = bench(spec(4), 4).read_mb_s;

@@ -35,6 +35,12 @@ pub struct LatencyBench {
     pub record_sizes: Vec<u64>,
     /// Records per size (1024 in the paper).
     pub records: usize,
+    /// Steady-state mode: every node opens first, a barrier lets the
+    /// open purges (§4.3.2) settle, one untimed pass re-populates the
+    /// bank, and only then does the timed pass run. Isolates the cache
+    /// tier's service latency from the cold-start population dynamics
+    /// (the replication ablation measures hit tails, not miss storms).
+    pub warmup: bool,
     /// §5.6 mode: all nodes share one file; only the root writes.
     pub shared_file: bool,
     /// Simulation seed.
@@ -59,6 +65,10 @@ pub struct LatencyResult {
     pub write_us: Vec<(u64, f64)>,
     /// `(record_size, mean read latency µs)` per size.
     pub read_us: Vec<(u64, f64)>,
+    /// Every timed read's latency in nanoseconds, per record size and
+    /// merged across clients — exact percentiles without histogram
+    /// bucket rounding (warm-up pass reads excluded).
+    pub read_op_ns: HashMap<u64, Vec<u64>>,
     /// CMCache reads served from the bank (IMCa runs; 0 otherwise).
     pub cm_read_hits: u64,
     /// CMCache reads forwarded to the server after a block miss.
@@ -103,6 +113,8 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
     // (size → list of per-client means), filled by the client tasks.
     let writes: Rc<RefCell<HashMap<u64, Vec<f64>>>> = Rc::default();
     let reads: Rc<RefCell<HashMap<u64, Vec<f64>>>> = Rc::default();
+    // Every timed read's latency (size → ns per op, all clients).
+    let op_ns: Rc<RefCell<HashMap<u64, Vec<u64>>>> = Rc::default();
 
     let cold_lustre = matches!(cfg.spec, SystemSpec::Lustre { warm: false, .. });
 
@@ -111,6 +123,7 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
         let barrier = barrier.clone();
         let writes = Rc::clone(&writes);
         let reads = Rc::clone(&reads);
+        let op_ns = Rc::clone(&op_ns);
         let h = h.clone();
         let cfg = cfg.clone();
         sim.spawn(async move {
@@ -159,6 +172,25 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
             // --- Read phase ---
             for &size in &cfg.record_sizes {
                 barrier.wait().await;
+                let path = file_for(client_id, size, cfg.shared_file);
+                let mut fd_opt = handles.remove(&size);
+                if cfg.warmup {
+                    // Steady-state mode: open first so every node's open
+                    // purge (§4.3.2) lands before anyone reads, then one
+                    // untimed pass repopulates the bank.
+                    let fd = match fd_opt.take() {
+                        Some(fd) => fd,
+                        None => cli.open(&path).await,
+                    };
+                    barrier.wait().await;
+                    h.sleep(imca_sim::SimDuration::micros(3 * client_id as u64))
+                        .await;
+                    for k in 0..cfg.records as u64 {
+                        cli.read(&fd, k * size, size).await;
+                    }
+                    fd_opt = Some(fd);
+                    barrier.wait().await;
+                }
                 // Barrier-release skew: real MPI barriers release ranks a
                 // few µs apart, and that asymmetry is what lets the first
                 // reader through a shared region populate the cache tier
@@ -167,14 +199,19 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
                 // miss path forever — an artefact, not a prediction.
                 h.sleep(imca_sim::SimDuration::micros(3 * client_id as u64))
                     .await;
-                let path = file_for(client_id, size, cfg.shared_file);
-                let fd = match handles.remove(&size) {
+                let fd = match fd_opt {
                     Some(fd) => fd,
                     None => cli.open(&path).await, // shared-file readers
                 };
                 let t0 = h.now();
                 for k in 0..cfg.records as u64 {
+                    let s0 = h.now();
                     let got = cli.read(&fd, k * size, size).await;
+                    op_ns
+                        .borrow_mut()
+                        .entry(size)
+                        .or_default()
+                        .push(h.now().since(s0).as_nanos());
                     debug_assert_eq!(
                         got,
                         record_bytes(size, k),
@@ -212,9 +249,11 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
         }
         None => (0, 0),
     };
+    let read_op_ns = op_ns.borrow().clone();
     LatencyResult {
         write_us,
         read_us,
+        read_op_ns,
         cm_read_hits,
         cm_read_misses,
         metrics: dep.metrics(),
@@ -236,6 +275,7 @@ mod tests {
             clients,
             record_sizes: vec![1, 256, 2048, 8192],
             records: 24,
+            warmup: false,
             shared_file: shared,
             seed: 11,
         })
@@ -251,6 +291,7 @@ mod tests {
             clients,
             record_sizes: vec![2048],
             records: 96,
+            warmup: false,
             shared_file: true,
             seed: 11,
         })
@@ -283,6 +324,7 @@ mod tests {
                 mcd_mem: 6 << 30,
                 rdma_bank: false,
                 batched: true,
+                replication: 1,
             },
             1,
             false,
@@ -307,6 +349,7 @@ mod tests {
             clients: 1,
             record_sizes: vec![256, 2048],
             records: 16,
+            warmup: false,
             shared_file: false,
             seed: 11,
         };

@@ -238,6 +238,7 @@ mod tests {
             mcd_mem: tiny,
             rdma_bank: false,
             batched: true,
+            replication: 1,
         };
         let one = run(&StatBench {
             files,

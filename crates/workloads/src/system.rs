@@ -4,7 +4,7 @@
 
 use std::rc::Rc;
 
-use imca_core::{Cluster, ClusterConfig, ImcaConfig};
+use imca_core::{Cluster, ClusterConfig, ImcaConfig, Replication};
 use imca_fabric::Transport;
 use imca_glusterfs::GlusterMount;
 use imca_lustre::{LustreClient, LustreCluster, LustreConfig};
@@ -35,6 +35,10 @@ pub enum SystemSpec {
         /// `false` reverts to one awaited RPC per key — the paper's
         /// original per-block behaviour, kept for ablations.
         batched: bool,
+        /// Bank replication factor: each key on `replication` daemons,
+        /// P2C read spreading and warm failover among them. 1 = the
+        /// paper's single-home bank.
+        replication: usize,
     },
     /// Lustre with `osts` data servers; `warm` keeps the client cache
     /// between the write and read phases, cold drops it (remount).
@@ -57,7 +61,22 @@ impl SystemSpec {
             mcd_mem: 6 << 30,
             rdma_bank: false,
             batched: true,
+            replication: 1,
         }
+    }
+
+    /// [`SystemSpec::imca`] with a bank replication factor (the
+    /// `ablate_replication` sweep).
+    pub fn imca_replicated(n: usize, r: usize) -> SystemSpec {
+        let mut spec = SystemSpec::imca(n);
+        if let SystemSpec::Imca {
+            ref mut replication,
+            ..
+        } = spec
+        {
+            *replication = r;
+        }
+        spec
     }
 
     /// Short label for report tables, matching the paper's legends.
@@ -95,6 +114,7 @@ impl Deployment {
                 mcd_mem,
                 rdma_bank,
                 batched,
+                replication,
             } => {
                 let cfg = ClusterConfig::imca(ImcaConfig {
                     mcd_count: *mcds,
@@ -104,6 +124,9 @@ impl Deployment {
                     batching: *batched,
                     mcd_config: McConfig::with_mem_limit(*mcd_mem),
                     bank_transport: rdma_bank.then(Transport::rdma_ddr),
+                    replication: Replication {
+                        factor: *replication,
+                    },
                     ..ImcaConfig::default()
                 });
                 Deployment::Gluster(Rc::new(Cluster::build(handle, cfg)))
@@ -285,7 +308,10 @@ mod tests {
             mcd_mem: 8 << 20,
             rdma_bank: false,
             batched: true,
+            replication: 1,
         });
+        // And with the bank replicated across both daemons.
+        roundtrip(SystemSpec::imca_replicated(2, 2));
         roundtrip(SystemSpec::Lustre {
             osts: 2,
             warm: true,

@@ -3,8 +3,11 @@
 #
 #   scripts/tier1.sh            build + root-package tests
 #   scripts/tier1.sh --strict   additionally lint the whole workspace
-#                               (clippy with warnings denied) and check
-#                               formatting of the first-party packages
+#                               (clippy with warnings denied), check
+#                               formatting of the first-party packages,
+#                               and smoke-run the shared-read benches
+#                               (fig10_shared + ablate_replication),
+#                               leaving results/BENCH_5.json behind
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -32,4 +35,12 @@ cargo test -q
 if [[ "${1:-}" == "--strict" ]]; then
     cargo fmt --check "${FIRST_PARTY[@]/#/--package=}"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    # Bench smoke: reduced sweeps of the shared-read figures. The
+    # replication ablation asserts its own acceptance claims (R=2 p99 <
+    # R=1 p99; kill-one-MCD reads stay warm) and writes the consolidated
+    # results/BENCH_5.json (per-R p50/p99 + wall-clock).
+    cargo run --release -q -p imca-bench --bin fig10_shared -- --smoke --out results
+    cargo run --release -q -p imca-bench --bin ablate_replication -- --smoke --out results
+    test -s results/BENCH_5.json
 fi

@@ -25,6 +25,7 @@ fn imca_spec(mcds: usize) -> SystemSpec {
         mcd_mem: 1 << 30,
         rdma_bank: false,
         batched: true,
+        replication: 1,
     }
 }
 
@@ -98,6 +99,7 @@ fn fig6a_direction() {
             mcd_mem: 1 << 30,
             rdma_bank: false,
             batched,
+            replication: 1,
         };
         latbench(&LatencyBench {
             spec,
@@ -107,6 +109,7 @@ fn fig6a_direction() {
             // record penalty of large blocks is visible.
             record_sizes: vec![64, 16384],
             records: 64,
+            warmup: false,
             shared_file: false,
             seed: 3,
         })
@@ -116,6 +119,7 @@ fn fig6a_direction() {
         clients: 1,
         record_sizes: vec![64, 16384],
         records: 64,
+        warmup: false,
         shared_file: false,
         seed: 3,
     });
@@ -156,6 +160,7 @@ fn fig6c_direction() {
             clients: 1,
             record_sizes: vec![2048],
             records: 48,
+            warmup: false,
             shared_file: false,
             seed: 4,
         })
@@ -172,6 +177,7 @@ fn fig6c_direction() {
         mcd_mem: 1 << 30,
         rdma_bank: false,
         batched: true,
+        replication: 1,
     });
     assert!(sync > nocache * 1.1, "sync={sync:.1} nocache={nocache:.1}");
     assert!(
@@ -202,6 +208,7 @@ fn fig9_direction() {
         mcd_mem: 1 << 30,
         rdma_bank: false,
         batched: true,
+        replication: 1,
     };
     let nocache = bench(SystemSpec::GlusterNoCache);
     let one = bench(modulo(1));
@@ -222,6 +229,7 @@ fn fig10_direction() {
             clients: 16,
             record_sizes: vec![2048],
             records: 96,
+            warmup: false,
             shared_file: true,
             seed: 6,
         })

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 
 use imca_repro::fabric::FaultPlan;
 use imca_repro::glusterfs::FsError;
-use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig};
+use imca_repro::imca::{keys, Cluster, ClusterConfig, ImcaConfig, Replication};
 use imca_repro::memcached::McConfig;
 use imca_repro::sim::{Sim, SimDuration, SimTime};
 use imca_repro::storage::StorageFaultPlan;
@@ -121,6 +121,7 @@ fn run_scenario(
     block_size: u64,
     threaded: bool,
     seed: u64,
+    replication: usize,
 ) -> (u64, u64, imca_repro::metrics::Snapshot) {
     let mut sim = Sim::new(seed);
     let cluster = Rc::new(Cluster::build(
@@ -130,6 +131,9 @@ fn run_scenario(
             block_size,
             threaded_updates: threaded,
             mcd_config: McConfig::with_mem_limit(8 << 20),
+            replication: Replication {
+                factor: replication,
+            },
             ..ImcaConfig::default()
         }),
     ));
@@ -344,7 +348,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..40),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 2048, false, seed);
+        run_scenario(ops, 2048, false, seed, 1);
     }
 
     #[test]
@@ -352,7 +356,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..30),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 256, false, seed);
+        run_scenario(ops, 256, false, seed, 1);
     }
 
     #[test]
@@ -360,7 +364,18 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..30),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 2048, true, seed);
+        run_scenario(ops, 2048, true, seed, 1);
+    }
+
+    /// Replicated bank (R=2 over both daemons): the same kill / partition /
+    /// drop-window schedules must still agree with the reference model —
+    /// replication may turn misses into warm hits, never into stale bytes.
+    #[test]
+    fn random_ops_match_reference_replicated(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        run_scenario(ops, 2048, false, seed, 2);
     }
 }
 
@@ -447,8 +462,8 @@ fn fixed_seed_fault_schedule_replays_identically() {
             },
         ]
     }
-    let a = run_scenario(schedule(), 2048, false, 42);
-    let b = run_scenario(schedule(), 2048, false, 42);
+    let a = run_scenario(schedule(), 2048, false, 42, 1);
+    let b = run_scenario(schedule(), 2048, false, 42, 1);
     assert_eq!(a.0, b.0, "end time diverged between replays");
     assert_eq!(a.1, b.1, "event count diverged between replays");
     assert_eq!(a.2, b.2, "metrics snapshot diverged between replays");
@@ -458,6 +473,61 @@ fn fixed_seed_fault_schedule_replays_identically() {
             || a.2.counter("cmcache.0.bank.degraded_misses").unwrap_or(0) > 0,
         "partition produced no timeouts or sheds: {:?}",
         a.2.metrics.keys().collect::<Vec<_>>()
+    );
+}
+
+/// The replay property must survive replication: the fan-out writes, P2C
+/// read routing, and failover re-routes all draw from seeded state only.
+#[test]
+fn fixed_seed_fault_schedule_replays_identically_replicated() {
+    fn schedule() -> Vec<Op> {
+        vec![
+            Op::Write {
+                file: 0,
+                offset: 0,
+                len: 4000,
+                fill: 7,
+            },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+            Op::Partition { idx: 0 },
+            Op::Read {
+                file: 0,
+                offset: 500,
+                len: 2000,
+            },
+            Op::KillMcd { idx: 1 },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+            Op::Heal { idx: 0 },
+            Op::ReviveMcd { idx: 1 },
+            Op::DropWindow { dur_us: 300 },
+            Op::Write {
+                file: 0,
+                offset: 2000,
+                len: 2000,
+                fill: 3,
+            },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+        ]
+    }
+    let a = run_scenario(schedule(), 2048, false, 42, 2);
+    let b = run_scenario(schedule(), 2048, false, 42, 2);
+    assert_eq!(a.0, b.0, "end time diverged between replicated replays");
+    assert_eq!(a.1, b.1, "event count diverged between replicated replays");
+    assert_eq!(
+        a.2, b.2,
+        "metrics snapshot diverged between replicated replays"
     );
 }
 
@@ -523,7 +593,7 @@ fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
 ///   equivalence;
 /// * media error mode only breaks writes, so reads and stats stay
 ///   comparable throughout.
-fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64) {
+fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize) {
     let mut sim = Sim::new(seed);
     let imca = Rc::new(Cluster::build(
         sim.handle(),
@@ -531,6 +601,9 @@ fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64) {
             mcd_count: 2,
             block_size: 2048,
             mcd_config: McConfig::with_mem_limit(8 << 20),
+            replication: Replication {
+                factor: replication,
+            },
             ..ImcaConfig::default()
         }),
     ));
@@ -654,7 +727,19 @@ proptest! {
         ops in prop::collection::vec(chaos_op_strategy(), 1..35),
         seed in 0u64..1000,
     ) {
-        run_chaos_equivalence(ops, seed);
+        run_chaos_equivalence(ops, seed, 1);
+    }
+
+    /// The same error-for-error contract with the bank replicated (R=2):
+    /// fan-out writes, warm failover, and single-flight coalescing must
+    /// not change a single client-visible verdict under storage faults
+    /// and server crashes.
+    #[test]
+    fn storage_and_server_chaos_matches_nocache_replicated(
+        ops in prop::collection::vec(chaos_op_strategy(), 1..35),
+        seed in 0u64..1000,
+    ) {
+        run_chaos_equivalence(ops, seed, 2);
     }
 }
 
@@ -663,7 +748,7 @@ proptest! {
 /// packet loss and jitter, an MCD kill/revive, and a server crash/restart
 /// — driven twice from the same seed must replay to the same end time,
 /// event count, and bit-identical metrics snapshot.
-fn run_full_chaos(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
+fn run_full_chaos(seed: u64, replication: usize) -> (u64, u64, imca_repro::metrics::Snapshot) {
     let mut sim = Sim::new(seed);
     // Block size (8 KB) deliberately exceeds the backend page size (4 KB):
     // a small write warms only its own pages, so SMCache's covering
@@ -675,6 +760,9 @@ fn run_full_chaos(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
             mcd_count: 2,
             block_size: 8192,
             mcd_config: McConfig::with_mem_limit(8 << 20),
+            replication: Replication {
+                factor: replication,
+            },
             ..ImcaConfig::default()
         }),
     ));
@@ -761,8 +849,8 @@ fn run_full_chaos(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
 
 #[test]
 fn fixed_seed_full_chaos_replays_identically() {
-    let a = run_full_chaos(1973);
-    let b = run_full_chaos(1973);
+    let a = run_full_chaos(1973, 1);
+    let b = run_full_chaos(1973, 1);
     assert_eq!(a.0, b.0, "end time diverged between chaos replays");
     assert_eq!(a.1, b.1, "event count diverged between chaos replays");
     assert_eq!(a.2, b.2, "metrics snapshot diverged between chaos replays");
@@ -772,4 +860,110 @@ fn fixed_seed_full_chaos_replays_identically() {
     assert_eq!(a.2.counter("server.crashes"), Some(1));
     assert_eq!(a.2.counter("server.restarts"), Some(1));
     assert!(a.2.counter("bank.mcd_revivals").unwrap_or(0) > 0);
+}
+
+/// Full-storm determinism with the bank replicated: the replicated write
+/// fan-out, P2C routing RNG, and failover re-routes are all seeded, so a
+/// fixed seed must still replay bit-identically with R=2.
+#[test]
+fn fixed_seed_full_chaos_replays_identically_replicated() {
+    let a = run_full_chaos(1973, 2);
+    let b = run_full_chaos(1973, 2);
+    assert_eq!(
+        a.0, b.0,
+        "end time diverged between replicated chaos replays"
+    );
+    assert_eq!(
+        a.1, b.1,
+        "event count diverged between replicated chaos replays"
+    );
+    assert_eq!(
+        a.2, b.2,
+        "metrics snapshot diverged between replicated chaos replays"
+    );
+    assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
+    assert_eq!(a.2.counter("server.crashes"), Some(1));
+}
+
+// ---------------------------------------------------------------------------
+// Replication placement invariants (DESIGN.md §4d).
+// ---------------------------------------------------------------------------
+
+/// After a warm-up read pass, every cached block must live on exactly
+/// `min(R, live_daemons)` daemons; killing one replica must leave reads
+/// warm (served from the survivor, `replica_failovers` ticking, no new
+/// `degraded_misses`); and an unlink must purge the key from all replicas.
+#[test]
+fn replication_places_blocks_on_exactly_r_daemons_and_purges_all() {
+    for (mcds, r) in [(2usize, 2usize), (3, 2), (2, 1)] {
+        let mut sim = Sim::new(7);
+        let cluster = Rc::new(Cluster::build(
+            sim.handle(),
+            ClusterConfig::imca(ImcaConfig {
+                mcd_count: mcds,
+                block_size: 2048,
+                mcd_config: McConfig::with_mem_limit(8 << 20),
+                replication: Replication { factor: r },
+                ..ImcaConfig::default()
+            }),
+        ));
+        let c = Rc::clone(&cluster);
+        let done = Rc::new(std::cell::Cell::new(false));
+        let d = Rc::clone(&done);
+        sim.spawn(async move {
+            let holders = |key: &[u8]| -> usize {
+                c.mcds()
+                    .iter()
+                    .filter(|n| n.server().store().get(key, 0).is_some())
+                    .count()
+            };
+            let m = c.mount();
+            m.create("/inv/f").await.unwrap();
+            let fd = m.open("/inv/f").await.unwrap();
+            let content = vec![0xAB; 6144];
+            m.write(fd, 0, &content).await.unwrap();
+            // Warm-up: the read pass populates the bank through the
+            // replicated client.
+            m.read(fd, 0, 6144).await.unwrap();
+            for block in [0u64, 2048, 4096] {
+                assert_eq!(
+                    holders(&keys::block_key("/inv/f", block)),
+                    r.min(mcds),
+                    "block {block} not on exactly min(R={r}, live={mcds}) daemons"
+                );
+            }
+            if r > 1 {
+                // One replica dies: reads stay warm off the survivor.
+                let before = c.metrics();
+                c.kill_mcd(0);
+                assert_eq!(m.read(fd, 0, 6144).await.unwrap(), content);
+                let after = c.metrics();
+                assert!(
+                    after.counter("cmcache.0.bank.replica_failovers").unwrap()
+                        > before.counter("cmcache.0.bank.replica_failovers").unwrap(),
+                    "kill produced no warm failover (R={r}, mcds={mcds})"
+                );
+                assert_eq!(
+                    after.counter("cmcache.0.bank.degraded_misses"),
+                    before.counter("cmcache.0.bank.degraded_misses"),
+                    "warm failover must not count as a degraded miss"
+                );
+                c.revive_mcd(0);
+            }
+            // Unlink purges the stat entry and every data replica.
+            m.close(fd).await.unwrap();
+            m.unlink("/inv/f").await.unwrap();
+            for block in [0u64, 2048, 4096] {
+                assert_eq!(
+                    holders(&keys::block_key("/inv/f", block)),
+                    0,
+                    "unlink left block {block} on a replica (R={r}, mcds={mcds})"
+                );
+            }
+            assert_eq!(holders(&keys::stat_key("/inv/f")), 0);
+            d.set(true);
+        });
+        sim.run();
+        assert!(done.get(), "invariant scenario did not run to completion");
+    }
 }

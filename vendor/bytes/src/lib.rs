@@ -69,7 +69,10 @@ impl Bytes {
             std::ops::Bound::Excluded(&n) => n,
             std::ops::Bound::Unbounded => len,
         };
-        assert!(start <= end && end <= len, "slice {start}..{end} out of range for length {len}");
+        assert!(
+            start <= end && end <= len,
+            "slice {start}..{end} out of range for length {len}"
+        );
         match &self.repr {
             Repr::Static(s) => Bytes {
                 repr: Repr::Static(&s[start..end]),

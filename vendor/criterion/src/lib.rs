@@ -105,9 +105,12 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.label);
-        run_bench(self.criterion, &label, self.throughput, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_bench(
+            self.criterion,
+            &label,
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 

@@ -77,9 +77,7 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
             TestRng {
-                rng: SmallRng::seed_from_u64(
-                    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ),
+                rng: SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             }
         }
     }
@@ -102,7 +100,10 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
 
         /// Erase the concrete strategy type.
@@ -257,7 +258,11 @@ pub mod strategy {
     fn escape_class(c: char) -> Vec<char> {
         match c {
             'd' => ('0'..='9').collect(),
-            'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+            'w' => ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(['_'])
+                .collect(),
             's' => vec![' ', '\t', '\n'],
             other => vec![other],
         }
