@@ -35,6 +35,7 @@ fn main() {
                 rdma_bank: false,
                 batched: true,
                 replication: 1,
+                meta: imca_core::MetaConfig::default(),
             },
         ));
     }

@@ -67,6 +67,7 @@ fn main() {
                     rdma_bank: false,
                     batched: true,
                     replication: 1,
+                    meta: imca_core::MetaConfig::default(),
                 },
                 seed: opts.seed,
             };

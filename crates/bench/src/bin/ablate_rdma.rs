@@ -22,6 +22,7 @@ fn spec(rdma_bank: bool) -> SystemSpec {
         rdma_bank,
         batched: true,
         replication: 1,
+        meta: imca_core::MetaConfig::default(),
     }
 }
 

@@ -38,6 +38,7 @@ fn spec(r: usize) -> SystemSpec {
         rdma_bank: false,
         batched: true,
         replication: r,
+        meta: imca_core::MetaConfig::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn imca_block(block_size: u64, threaded: bool) -> SystemSpec {
         rdma_bank: false,
         batched: true,
         replication: 1,
+        meta: imca_core::MetaConfig::default(),
     }
 }
 

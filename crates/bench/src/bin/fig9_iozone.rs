@@ -33,6 +33,7 @@ fn main() {
         rdma_bank: false,
         batched: true,
         replication: 1,
+        meta: imca_core::MetaConfig::default(),
     };
     let systems: Vec<SystemSpec> = vec![
         SystemSpec::GlusterNoCache,

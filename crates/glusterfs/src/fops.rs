@@ -28,7 +28,7 @@ impl FileStat {
     /// Linux; we round to it).
     pub const WIRE_SIZE: usize = 144;
 
-    /// Encode to bytes (the payload stored in the MCDs under `path:stat`).
+    /// Encode to bytes (the payload stored in the MCDs under `path:m.stat`).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(24);
         v.extend_from_slice(&self.size.to_le_bytes());

@@ -18,6 +18,7 @@ use imca_storage::{BackendParams, StorageBackend, StorageFaultPlan};
 use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
 use crate::mcd::{Bank, McdCosts, McdNode, Replication, RetryPolicy};
+use crate::meta::{serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaConfig, MetaPolicy};
 use crate::smcache::{SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
@@ -58,6 +59,12 @@ pub struct ImcaConfig {
     /// read failover. The default factor 1 is the paper's single-home
     /// bank.
     pub replication: Replication,
+    /// Metadata-tier policy (stat leases, negative caching, batched
+    /// lookups — see `crate::meta`). The default reproduces the paper's
+    /// bank round-trip stat path; [`MetaConfig::lease`] turns on the
+    /// full tier; [`MetaConfig::nocache`] is the stat-path ablation
+    /// baseline on an otherwise unchanged IMCa deployment.
+    pub meta: MetaConfig,
 }
 
 impl Default for ImcaConfig {
@@ -74,6 +81,7 @@ impl Default for ImcaConfig {
             retry: RetryPolicy::default(),
             server_retry: None,
             replication: Replication::default(),
+            meta: MetaConfig::default(),
         }
     }
 }
@@ -144,6 +152,10 @@ pub struct Cluster {
     svc: Service<Fop, FopReply>,
     bank: Option<Bank>,
     smcache: Option<Rc<SmCache>>,
+    /// Server-side lease revocation fan-out; `Some` only under
+    /// [`MetaPolicy::Lease`]. Every mounted client registers its
+    /// revocation endpoint here.
+    lease_hub: Option<Rc<LeaseHub>>,
     posix: Rc<Posix>,
     backend: StorageBackend,
     cfg: ClusterConfig,
@@ -158,6 +170,15 @@ pub struct Cluster {
     server_restarts: Counter,
 }
 
+/// The IMCa-only pieces of a freshly built server stack, `None`s for a
+/// NoCache deployment.
+type ServerStack = (
+    Option<Bank>,
+    Option<Rc<SmCache>>,
+    Option<Rc<LeaseHub>>,
+    Xlator,
+);
+
 impl Cluster {
     /// Build a deployment on a fresh network.
     pub fn build(handle: SimHandle, cfg: ClusterConfig) -> Cluster {
@@ -166,33 +187,36 @@ impl Cluster {
         let backend = StorageBackend::new(handle.clone(), cfg.backend.clone());
         let posix = Posix::new(backend.clone());
 
-        let (bank, smcache, server_child): (Option<Bank>, Option<Rc<SmCache>>, Xlator) =
-            match &cfg.imca {
-                Some(imca) => {
-                    let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
-                    let client = Rc::new(
-                        bank.client_replicated(
-                            server_node,
-                            imca.selector,
-                            imca.bank_transport.clone(),
-                            imca.server_retry
-                                .clone()
-                                .unwrap_or_else(|| imca.retry.clone()),
-                            imca.replication,
-                        ),
-                    );
-                    let sm = SmCache::new(
-                        handle.clone(),
-                        Rc::clone(&posix) as Xlator,
-                        client,
-                        imca.block_size,
-                        imca.threaded_updates,
-                        imca.batching,
-                    );
-                    (Some(bank), Some(Rc::clone(&sm)), sm as Xlator)
-                }
-                None => (None, None, Rc::clone(&posix) as Xlator),
-            };
+        let (bank, smcache, lease_hub, server_child): ServerStack = match &cfg.imca {
+            Some(imca) => {
+                let bank = Bank::start(&net, imca.mcd_count, &imca.mcd_config, &imca.mcd_costs);
+                let client = Rc::new(
+                    bank.client_replicated(
+                        server_node,
+                        imca.selector,
+                        imca.bank_transport.clone(),
+                        imca.server_retry
+                            .clone()
+                            .unwrap_or_else(|| imca.retry.clone()),
+                        imca.replication,
+                    ),
+                );
+                let hub =
+                    (imca.meta.policy == MetaPolicy::Lease).then(|| LeaseHub::new(handle.clone()));
+                let sm = SmCache::with_meta(
+                    handle.clone(),
+                    Rc::clone(&posix) as Xlator,
+                    client,
+                    imca.block_size,
+                    imca.threaded_updates,
+                    imca.batching,
+                    imca.meta,
+                    hub.clone(),
+                );
+                (Some(bank), Some(Rc::clone(&sm)), hub, sm as Xlator)
+            }
+            None => (None, None, None, Rc::clone(&posix) as Xlator),
+        };
 
         let (svc, server_control) =
             start_server_with_control(&net, server_node, server_child, cfg.server_params.clone());
@@ -203,6 +227,7 @@ impl Cluster {
             svc,
             bank,
             smcache,
+            lease_hub,
             posix,
             backend,
             cfg,
@@ -221,8 +246,18 @@ impl Cluster {
     /// Mount a new client on its own fabric node:
     /// `GlusterMount → FuseBridge → [CMCache] → protocol/client`.
     pub fn mount(&self) -> Rc<GlusterMount> {
+        self.mount_with_meta().0
+    }
+
+    /// [`Cluster::mount`], also returning the client's CMCache (`None`
+    /// on NoCache deployments). The CMCache is the client's
+    /// `crate::meta::MetaCache` surface — workloads use it for
+    /// `stat_multi` (readdirplus-style batched lookups that skip the
+    /// per-op FUSE crossing) and for provenance-visible stats.
+    pub fn mount_with_meta(&self) -> (Rc<GlusterMount>, Option<Rc<CmCache>>) {
         let client_node = self.net.add_node();
         let proto = ClientProtocol::connect(&self.svc, client_node) as Xlator;
+        let mut mounted_cm = None;
         let stack: Xlator = match &self.cfg.imca {
             Some(imca) => {
                 let bank = Rc::new(
@@ -237,14 +272,24 @@ impl Cluster {
                             imca.replication,
                         ),
                 );
-                let cm = CmCache::new(
+                let cm = CmCache::with_meta(
                     self.handle.clone(),
                     proto,
                     bank,
                     imca.block_size,
                     imca.batching,
+                    imca.meta,
                 );
+                if let Some(hub) = &self.lease_hub {
+                    // The client's revocation endpoint: SMCache's purge /
+                    // stat-refresh fan-out revokes through it before any
+                    // bank entry changes.
+                    let svc: Service<LeaseRevoke, LeaseAck> = Service::bind(&self.net, client_node);
+                    serve_revocations(cm.meta(), svc.clone());
+                    hub.register(svc.client(self.server_node));
+                }
                 self.cmcaches.borrow_mut().push(Rc::clone(&cm));
+                mounted_cm = Some(Rc::clone(&cm));
                 cm as Xlator
             }
             None => proto,
@@ -274,7 +319,7 @@ impl Cluster {
             None => stack,
         };
         let fuse = FuseBridge::with_cost(self.handle.clone(), stack, self.cfg.fuse_cost);
-        GlusterMount::new(fuse as Xlator)
+        (GlusterMount::new(fuse as Xlator), mounted_cm)
     }
 
     /// The MCD bank handle (`None` for NoCache deployments).
@@ -386,6 +431,9 @@ impl Cluster {
         }
         if let Some(sm) = &self.smcache {
             sm.collect("smcache", &mut snap);
+        }
+        if let Some(hub) = &self.lease_hub {
+            hub.collect("leases", &mut snap);
         }
         for (i, cm) in self.cmcaches.borrow().iter().enumerate() {
             cm.collect(&format!("cmcache.{i}"), &mut snap);
@@ -623,6 +671,90 @@ mod tests {
         let json = snap.to_json();
         let back = Snapshot::from_json(&json).expect("parse back");
         assert_eq!(back.counter_sum(".store.cmd_get"), mcd.cmd_get);
+    }
+
+    #[test]
+    fn leases_serve_locally_and_fall_before_the_write_lands() {
+        // Two clients under the lease policy: the consumer's repeated
+        // stats are served from its lease; the producer's write revokes
+        // that lease *before* the refreshed stat reaches the bank, so the
+        // consumer's next stat sees the new size — never a stale one.
+        let mut sim = Sim::new(1);
+        let cluster = Rc::new(Cluster::build(
+            sim.handle(),
+            ClusterConfig::imca(ImcaConfig {
+                mcd_count: 1,
+                mcd_config: McConfig::with_mem_limit(8 << 20),
+                meta: MetaConfig::lease(),
+                ..ImcaConfig::default()
+            }),
+        ));
+        let c2 = Rc::clone(&cluster);
+        sim.spawn(async move {
+            let producer = c2.mount();
+            let (consumer, cm) = c2.mount_with_meta();
+            let cm = cm.expect("imca mount has a cmcache");
+            producer.create("/shared").await.unwrap();
+            let pfd = producer.open("/shared").await.unwrap();
+            producer.write(pfd, 0, &vec![1u8; 1000]).await.unwrap();
+            // Fill + lease, then lease-served polls.
+            assert_eq!(consumer.stat("/shared").await.unwrap().size, 1000);
+            for _ in 0..4 {
+                assert_eq!(consumer.stat("/shared").await.unwrap().size, 1000);
+            }
+            assert_eq!(cm.meta().held_leases(), 1);
+            // The write's stat refresh revokes the consumer's lease…
+            producer.write(pfd, 1000, &vec![2u8; 500]).await.unwrap();
+            assert_eq!(cm.meta().held_leases(), 0, "lease outlived the write");
+            // …and the next poll sees the new size.
+            assert_eq!(consumer.stat("/shared").await.unwrap().size, 1500);
+        });
+        sim.run();
+        let snap = cluster.metrics();
+        assert!(snap.counter("leases.revocations_sent").unwrap() >= 1);
+        assert_eq!(snap.counter("leases.failed_revocations"), Some(0));
+        assert!(snap.counter_sum(".meta.lease_hits") >= 4);
+        let cm = cluster.cmcache_stats();
+        assert!(cm.stat_hits >= 4, "leased polls must count as hits: {cm:?}");
+    }
+
+    #[test]
+    fn server_restart_drops_every_client_lease() {
+        // `restart_server` purges the whole bank; each purge revokes
+        // leases first, so a restarted server leaves no client serving
+        // pre-crash metadata.
+        let mut sim = Sim::new(1);
+        let cluster = Rc::new(Cluster::build(
+            sim.handle(),
+            ClusterConfig::imca(ImcaConfig {
+                mcd_count: 1,
+                mcd_config: McConfig::with_mem_limit(8 << 20),
+                meta: MetaConfig::lease(),
+                ..ImcaConfig::default()
+            }),
+        ));
+        let c2 = Rc::clone(&cluster);
+        sim.spawn(async move {
+            let (m, cm) = c2.mount_with_meta();
+            let cm = cm.unwrap();
+            m.create("/f").await.unwrap();
+            let fd = m.open("/f").await.unwrap();
+            m.write(fd, 0, &[7u8; 100]).await.unwrap();
+            m.stat("/f").await.unwrap();
+            assert_eq!(cm.meta().held_leases(), 1);
+            c2.crash_server();
+            c2.restart_server().await;
+            assert_eq!(
+                cm.meta().held_leases(),
+                0,
+                "restart left a client holding a pre-crash lease"
+            );
+            // The next stat refills from the recovered server.
+            let misses_before = cm.stats().stat_misses;
+            assert_eq!(m.stat("/f").await.unwrap().size, 100);
+            assert_eq!(cm.stats().stat_misses, misses_before + 1);
+        });
+        sim.run();
     }
 
     #[test]

@@ -2,8 +2,12 @@
 //!
 //! Intercepts fops on the GlusterFS client:
 //!
-//! * **stat**: try `<path>:stat` in the MCD bank; on a miss the request
-//!   propagates to the server (whose SMCache repopulates the entry).
+//! * **stat**: delegated to the metadata tier ([`MetaEngine`], see
+//!   `crate::meta`): a lease, the bank's `<path>:m.stat` entry, or a
+//!   negative entry answers locally; otherwise the request propagates to
+//!   the server (whose SMCache repopulates the entry). The legacy
+//!   behaviour — one bank round trip, forward on a miss — is the
+//!   default [`MetaConfig`].
 //! * **read**: generate the block keys covering the request ("CMCache will
 //!   generate keys that consist of the absolute pathname for the file ...
 //!   and the offsets from the Read request, taking into account the IMCa
@@ -26,14 +30,17 @@
 
 use std::rc::Rc;
 
-use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_glusterfs::{Fop, FopReply, Translator, Xlator};
 use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
 use imca_sim::join_all;
 use imca_sim::SimHandle;
 
 use crate::block::{assemble, cover};
-use crate::keys::{block_key, stat_key};
+use crate::keys::block_key;
 use crate::mcd::BankClient;
+use crate::meta::{
+    MetaCache, MetaConfig, MetaEngine, StatFuture, StatMultiFuture, StatResult, StatSource,
+};
 
 /// Client-side cache interception counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,6 +59,7 @@ pub struct CmStats {
 pub struct CmCache {
     child: Xlator,
     bank: Rc<BankClient>,
+    meta: Rc<MetaEngine>,
     block_size: u64,
     batched: bool,
     registry: Registry,
@@ -68,8 +76,12 @@ pub struct CmCache {
 
 impl CmCache {
     /// Stack CMCache above `child` (normally `protocol/client`), talking to
-    /// `bank`. `batched` selects one multi-get RPC per daemon for reads;
-    /// `false` falls back to one RPC per covering block (ablation).
+    /// `bank`, with the legacy metadata behaviour (one bank round trip per
+    /// stat).
+    ///
+    /// Superseded by [`CmCache::with_meta`], which exposes the metadata
+    /// tier's policy; kept one release for out-of-tree callers.
+    #[deprecated(note = "use CmCache::with_meta (defaults reproduce this exactly)")]
     pub fn new(
         handle: SimHandle,
         child: Xlator,
@@ -77,11 +89,36 @@ impl CmCache {
         block_size: u64,
         batched: bool,
     ) -> Rc<CmCache> {
+        CmCache::with_meta(
+            handle,
+            child,
+            bank,
+            block_size,
+            batched,
+            MetaConfig::default(),
+        )
+    }
+
+    /// Stack CMCache above `child` (normally `protocol/client`), talking to
+    /// `bank`. `batched` selects one multi-get RPC per daemon for reads;
+    /// `false` falls back to one RPC per covering block (ablation).
+    /// `meta` picks the stat policy (see `crate::meta`); the default
+    /// reproduces the legacy bank round trip event-for-event.
+    pub fn with_meta(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+        batched: bool,
+        meta: MetaConfig,
+    ) -> Rc<CmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
+        let meta = MetaEngine::new(handle.clone(), Rc::clone(&child), Rc::clone(&bank), meta);
         Rc::new(CmCache {
             child,
             bank,
+            meta,
             block_size,
             batched,
             stat_hits: registry.counter("stat_hits"),
@@ -109,12 +146,56 @@ impl CmCache {
     pub fn bank(&self) -> &Rc<BankClient> {
         &self.bank
     }
+
+    /// The metadata engine behind this translator's stat path.
+    pub fn meta(&self) -> &Rc<MetaEngine> {
+        &self.meta
+    }
+
+    /// One stat through the metadata tier, with this translator's
+    /// hit/miss accounting: anything answered without the server (lease,
+    /// bank, negative) is a hit; a backend forward is a miss.
+    async fn stat_counted(self: Rc<Self>, path: String) -> StatResult {
+        let t0 = self.handle.now();
+        let r = Rc::clone(&self.meta).stat(path).await;
+        match r.source {
+            StatSource::Backend => self.stat_misses.inc(),
+            _ => self.stat_hits.inc(),
+        }
+        self.stat_ns.record_duration(self.handle.now().since(t0));
+        r
+    }
 }
 
 impl MetricSource for CmCache {
     fn collect(&self, prefix: &str, snap: &mut Snapshot) {
         self.registry.collect(prefix, snap);
+        self.meta.collect(&prefixed(prefix, "meta"), snap);
         self.bank.collect(&prefixed(prefix, "bank"), snap);
+    }
+}
+
+impl MetaCache for CmCache {
+    fn stat(self: Rc<Self>, path: String) -> StatFuture {
+        Box::pin(self.stat_counted(path))
+    }
+
+    /// Batched lookups bypass the per-op FUSE crossing entirely —
+    /// readdirplus-style: the workload hands CMCache a directory window
+    /// and gets every stat back in one engine pass.
+    fn stat_multi(self: Rc<Self>, paths: Vec<String>) -> StatMultiFuture {
+        Box::pin(async move {
+            let t0 = self.handle.now();
+            let rs = Rc::clone(&self.meta).stat_multi(paths).await;
+            for r in &rs {
+                match r.source {
+                    StatSource::Backend => self.stat_misses.inc(),
+                    _ => self.stat_hits.inc(),
+                }
+            }
+            self.stat_ns.record_duration(self.handle.now().since(t0));
+            rs
+        })
     }
 }
 
@@ -127,20 +208,8 @@ impl Translator for CmCache {
         Box::pin(async move {
             match fop {
                 Fop::Stat { path } => {
-                    let t0 = self.handle.now();
-                    let key = stat_key(&path);
-                    if let Some(raw) = self.bank.get(&key, None).await {
-                        if let Some(st) = FileStat::from_bytes(&raw) {
-                            self.stat_hits.inc();
-                            self.stat_ns.record_duration(self.handle.now().since(t0));
-                            return FopReply::Stat(Ok(st));
-                        }
-                        // Corrupt entry: fall through as a miss.
-                    }
-                    self.stat_misses.inc();
-                    let reply = Rc::clone(&self.child).handle(Fop::Stat { path }).await;
-                    self.stat_ns.record_duration(self.handle.now().since(t0));
-                    reply
+                    let r = Rc::clone(&self).stat_counted(path).await;
+                    FopReply::Stat(r.stat)
                 }
                 Fop::Read { path, offset, len } => {
                     if len == 0 {
@@ -204,9 +273,11 @@ impl Translator for CmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::keys::stat_key;
     use crate::mcd::{Bank, BankClient, McdCosts};
     use bytes::Bytes;
     use imca_fabric::{Network, Transport};
+    use imca_glusterfs::FileStat;
     use imca_memcached::{McConfig, Selector};
     use imca_sim::Sim;
     use std::cell::RefCell as StdRefCell;
@@ -247,6 +318,16 @@ mod tests {
         bs: u64,
         batched: bool,
     ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
+        setup_with_meta(sim, file, bs, batched, MetaConfig::default())
+    }
+
+    fn setup_with_meta(
+        sim: &Sim,
+        file: Vec<u8>,
+        bs: u64,
+        batched: bool,
+        meta: MetaConfig,
+    ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
         let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
         let client_node = net.add_node();
@@ -256,12 +337,13 @@ mod tests {
             log: StdRefCell::new(Vec::new()),
             file,
         });
-        let cm = CmCache::new(
+        let cm = CmCache::with_meta(
             sim.handle(),
             Rc::clone(&rec) as Xlator,
             Rc::clone(&bank),
             bs,
             batched,
+            meta,
         );
         sim.handle().spawn(async move {
             let _keepalive = mcds;
@@ -389,6 +471,98 @@ mod tests {
     #[test]
     fn any_block_miss_forwards_whole_read_per_key() {
         miss_forwards_whole_read(false);
+    }
+
+    /// The deprecated constructor must keep producing the legacy stat
+    /// path (one bank round trip, no leases) until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_matches_the_default_meta_config() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+        let client_node = net.add_node();
+        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
+        let rec = Rc::new(Recorder {
+            log: StdRefCell::new(Vec::new()),
+            file: vec![0; 100],
+        });
+        let cm = CmCache::new(
+            sim.handle(),
+            Rc::clone(&rec) as Xlator,
+            Rc::clone(&bank),
+            2048,
+            true,
+        );
+        assert_eq!(cm.meta().config(), MetaConfig::default());
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            let FopReply::Stat(Ok(st)) = Rc::clone(&(cm2 as Xlator))
+                .handle(Fop::Stat { path: "/f".into() })
+                .await
+            else {
+                panic!()
+            };
+            assert_eq!(st.size, 100);
+        });
+        sim.run();
+        assert_eq!(cm.stats().stat_misses, 1);
+        assert_eq!(cm.meta().held_leases(), 0);
+    }
+
+    /// Under the lease policy, the second stat never reaches the bank or
+    /// the server — and the translator still counts it as a stat hit.
+    #[test]
+    fn leased_stat_counts_as_hit_without_touching_the_server() {
+        let mut sim = Sim::new(0);
+        let (cm, rec, _bank) = setup_with_meta(&sim, vec![0; 100], 2048, true, MetaConfig::lease());
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            for _ in 0..3 {
+                let FopReply::Stat(Ok(st)) = Rc::clone(&(Rc::clone(&cm2) as Xlator))
+                    .handle(Fop::Stat { path: "/f".into() })
+                    .await
+                else {
+                    panic!()
+                };
+                assert_eq!(st.size, 100);
+            }
+        });
+        sim.run();
+        assert_eq!(rec.log.borrow().len(), 1, "only the fill may forward");
+        let s = cm.stats();
+        assert_eq!((s.stat_misses, s.stat_hits), (1, 2));
+    }
+
+    /// `stat_multi` on the translator: provenance-visible, counted, and
+    /// one engine pass for the whole directory window.
+    #[test]
+    fn stat_multi_counts_hits_and_misses() {
+        let mut sim = Sim::new(0);
+        let (cm, _rec, bank) =
+            setup_with_meta(&sim, vec![0; 100], 2048, true, MetaConfig::default());
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            let st = FileStat {
+                size: 7,
+                mtime_ns: 1,
+                ctime_ns: 1,
+            };
+            bank.set(&stat_key("/d/b"), Bytes::from(st.to_bytes()), None)
+                .await;
+            let rs = Rc::clone(&cm2)
+                .stat_multi(vec!["/d/a".into(), "/d/b".into()])
+                .await;
+            assert_eq!(rs[0].source, StatSource::Backend);
+            assert_eq!(rs[1].source, StatSource::Bank);
+        });
+        sim.run();
+        let s = cm.stats();
+        assert_eq!((s.stat_hits, s.stat_misses), (1, 1));
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod keys;
 mod cluster;
 mod cmcache;
 mod mcd;
+mod meta;
 mod smcache;
 
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
@@ -64,5 +65,9 @@ pub use cmcache::{CmCache, CmStats};
 pub use mcd::{
     start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp, Replication,
     RetryPolicy,
+};
+pub use meta::{
+    serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaCache, MetaConfig, MetaEngine,
+    MetaPolicy, StatFuture, StatMultiFuture, StatResult, StatSource, NEG_MARKER,
 };
 pub use smcache::{SmCache, SmStats};

@@ -784,7 +784,7 @@ impl BankClient {
     /// misses so the fault accounting can explain a latency gap.
     fn route(&self, key: &[u8], hint: Option<u64>) -> Route {
         self.refresh_liveness();
-        let primary = self.core.borrow().primary(key, hint);
+        let primary = self.core.borrow().placement(key, hint, 1).primary;
         self.probe(primary)
     }
 
@@ -805,7 +805,10 @@ impl BankClient {
 
     /// The key's full replica set in placement order, liveness ignored.
     fn replica_set(&self, key: &[u8], hint: Option<u64>) -> Vec<usize> {
-        self.core.borrow().replicas(key, hint, self.replication)
+        self.core
+            .borrow()
+            .placement(key, hint, self.replication)
+            .replicas
     }
 
     /// Next word of the client-local xorshift64 stream. Only the

@@ -1,0 +1,889 @@
+//! The metadata tier: one `MetaCache` surface over three stat policies.
+//!
+//! The stat path is the paper's headline win (Fig 5), and this module is
+//! its dedicated engine. Every client-facing metadata lookup — single
+//! stats and batched readdir+stat prefetches — goes through the
+//! [`MetaCache`] trait, whose results carry explicit provenance
+//! ([`StatSource`]): the caller always knows whether an answer came from
+//! a client-held lease, the MCD bank, the GlusterFS backend, or a
+//! negative (ENOENT) entry. The three policies live behind one engine
+//! ([`MetaEngine`]), selected by [`MetaConfig::policy`] — the ablation
+//! baseline is a config flag, not a code fork:
+//!
+//! * [`MetaPolicy::NoCache`] — every stat forwards to the server
+//!   (provenance `Backend`). The NoCache baseline on an otherwise
+//!   unchanged IMCa deployment.
+//! * [`MetaPolicy::Bank`] — the paper's behaviour: try the bank's stat
+//!   entry, forward on a miss. One bank round trip per stat.
+//! * [`MetaPolicy::Lease`] — bounded-TTL client leases on top of the
+//!   bank path: a stat answered from the bank or the backend installs a
+//!   local lease, and further stats are served with *zero* network
+//!   rounds until the lease expires or the server revokes it.
+//!
+//! # Lease protocol
+//!
+//! SMCache already owns every mutation point (open/close/unlink purge,
+//! write repopulation, create), so revocation rides the existing purge /
+//! push fan-out: each lease-holding client runs a tiny revocation
+//! service ([`serve_revocations`]) on its own fabric node, and the
+//! server-side [`LeaseHub`] fans a [`LeaseRevoke`] out to every
+//! registered client — and *waits for the acks* — **before** the bank's
+//! stat entry is deleted or updated. A client can therefore never serve
+//! a leased stat that is older than what the bank would have answered,
+//! which is what keeps the lease path NoCache-equivalent. A revocation
+//! lost to the fabric (counted in `leases.failed_revocations`) is
+//! bounded by the lease TTL.
+//!
+//! Two client-side guards close the in-flight races:
+//!
+//! * **Revocation epoch**: the engine bumps an epoch on every incoming
+//!   revoke; a lease is only installed if the epoch did not move while
+//!   the fill (bank get or backend stat) was in flight. Otherwise a
+//!   reply carrying a pre-revocation value could re-install a stale
+//!   lease *after* the revocation was acked.
+//! * **TTL**: expired entries are dropped on lookup, never served.
+//!
+//! # Negative entries
+//!
+//! With [`MetaConfig::negative`] on, a backend ENOENT plants a marker
+//! under the path's `:m.neg` key (its own namespace in `keys.rs`), and
+//! repeated lookups of missing paths are answered from the bank — or,
+//! under the lease policy, from a local negative lease — with provenance
+//! `Negative`. A create revalidates: SMCache purges the path (bumping
+//! the generation fence, revoking leases, and deleting the marker)
+//! before acknowledging, so no client sees ENOENT for a file whose
+//! create completed.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use imca_fabric::{RpcClient, Service, WireSize};
+use imca_glusterfs::{FileStat, Fop, FopReply, FsError, Xlator};
+use imca_metrics::{Counter, MetricSource, Registry, Snapshot};
+use imca_sim::{join_all, timeout, SimDuration, SimHandle, SimTime};
+
+use crate::keys::{neg_key, stat_key};
+use crate::mcd::BankClient;
+
+/// The byte stored under a `:m.neg` key. Its only job is presence; it is
+/// one byte so it can never be mis-decoded as a 24-byte `FileStat`.
+pub const NEG_MARKER: &[u8] = b"!";
+
+/// Which stat path the metadata tier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaPolicy {
+    /// Forward every stat to the server — the ablation baseline.
+    NoCache,
+    /// One bank round trip per stat (the paper's CMCache behaviour).
+    Bank,
+    /// Client-held bounded-TTL leases over the bank path, revoked by
+    /// SMCache before any stat entry changes.
+    Lease,
+}
+
+/// Metadata-tier configuration. The default (`Bank`, no negative
+/// caching) reproduces the legacy CMCache stat path event-for-event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaConfig {
+    /// Stat policy.
+    pub policy: MetaPolicy,
+    /// Cache ENOENT results (bank markers + negative leases).
+    pub negative: bool,
+    /// Lease lifetime; bounds staleness when a revocation is lost.
+    pub lease_ttl: SimDuration,
+}
+
+impl Default for MetaConfig {
+    fn default() -> MetaConfig {
+        MetaConfig {
+            policy: MetaPolicy::Bank,
+            negative: false,
+            lease_ttl: SimDuration::millis(250),
+        }
+    }
+}
+
+impl MetaConfig {
+    /// The full metadata tier: leases + negative caching.
+    pub fn lease() -> MetaConfig {
+        MetaConfig {
+            policy: MetaPolicy::Lease,
+            negative: true,
+            ..MetaConfig::default()
+        }
+    }
+
+    /// The ablation baseline: every stat forwards to the server.
+    pub fn nocache() -> MetaConfig {
+        MetaConfig {
+            policy: MetaPolicy::NoCache,
+            ..MetaConfig::default()
+        }
+    }
+
+    /// Whether any mechanism beyond the legacy bank round trip is on
+    /// (used by SMCache to keep legacy deployments bit-identical).
+    pub fn extended(&self) -> bool {
+        self.negative || self.policy == MetaPolicy::Lease
+    }
+}
+
+/// Where a stat answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatSource {
+    /// Served from a client-held lease: zero network rounds.
+    Lease,
+    /// Served from the MCD bank's stat entry.
+    Bank,
+    /// Forwarded to the GlusterFS server (a metadata miss).
+    Backend,
+    /// Answered ENOENT from a negative entry (bank marker or local
+    /// negative lease).
+    Negative,
+}
+
+/// A stat verdict with explicit provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatResult {
+    /// The stat itself, or the error the backend would have returned.
+    pub stat: Result<FileStat, FsError>,
+    /// Which tier produced the answer.
+    pub source: StatSource,
+}
+
+/// Boxed future returned by [`MetaCache::stat`].
+pub type StatFuture = Pin<Box<dyn Future<Output = StatResult>>>;
+/// Boxed future returned by [`MetaCache::stat_multi`].
+pub type StatMultiFuture = Pin<Box<dyn Future<Output = Vec<StatResult>>>>;
+
+/// The client-facing metadata surface: single and batched lookups with
+/// provenance-carrying results. The lease engine, the bank round-trip
+/// path, and the NoCache baseline all sit behind this one trait.
+pub trait MetaCache {
+    /// One metadata lookup through the configured policy.
+    fn stat(self: Rc<Self>, path: String) -> StatFuture;
+
+    /// Batched lookup — the readdir+stat prefetch hook. Local leases are
+    /// served first, the remainder rides one multi-key bank `get`
+    /// (PR 2's `get_multi` plumbing), and only paths missing everywhere
+    /// forward to the server.
+    fn stat_multi(self: Rc<Self>, paths: Vec<String>) -> StatMultiFuture;
+}
+
+struct LeaseEntry {
+    /// `Some` = a positive stat lease; `None` = a negative (ENOENT) one.
+    stat: Option<FileStat>,
+    expires: SimTime,
+}
+
+/// The per-client metadata engine implementing [`MetaCache`].
+pub struct MetaEngine {
+    handle: SimHandle,
+    child: Xlator,
+    bank: Rc<BankClient>,
+    cfg: MetaConfig,
+    leases: RefCell<HashMap<String, LeaseEntry>>,
+    /// Bumped on every incoming revocation; fills started under an older
+    /// epoch must not install a lease (their value may pre-date the
+    /// revocation that just completed).
+    epoch: Cell<u64>,
+    registry: Registry,
+    lease_hits: Counter,
+    bank_hits: Counter,
+    backend_fills: Counter,
+    negative_hits: Counter,
+    leases_installed: Counter,
+    lease_expiries: Counter,
+    revocations: Counter,
+    install_races: Counter,
+    batched_lookups: Counter,
+    batched_paths: Counter,
+}
+
+impl MetaEngine {
+    /// An engine over `child` (the path to the server) and `bank`.
+    pub fn new(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        cfg: MetaConfig,
+    ) -> Rc<MetaEngine> {
+        let registry = Registry::new();
+        Rc::new(MetaEngine {
+            handle,
+            child,
+            bank,
+            cfg,
+            leases: RefCell::new(HashMap::new()),
+            epoch: Cell::new(0),
+            lease_hits: registry.counter("lease_hits"),
+            bank_hits: registry.counter("bank_hits"),
+            backend_fills: registry.counter("backend_fills"),
+            negative_hits: registry.counter("negative_hits"),
+            leases_installed: registry.counter("leases_installed"),
+            lease_expiries: registry.counter("lease_expiries"),
+            revocations: registry.counter("revocations"),
+            install_races: registry.counter("install_races"),
+            batched_lookups: registry.counter("batched_lookups"),
+            batched_paths: registry.counter("batched_paths"),
+            registry,
+        })
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> MetaConfig {
+        self.cfg
+    }
+
+    /// Leases currently held (positive + negative), for tests.
+    pub fn held_leases(&self) -> usize {
+        self.leases.borrow().len()
+    }
+
+    /// Drop the lease on `path` (the revocation service calls this).
+    /// Bumps the epoch even when no lease is held, so an in-flight fill
+    /// cannot install a value from before this revocation.
+    pub fn revoke(&self, path: &str) {
+        self.epoch.set(self.epoch.get() + 1);
+        self.revocations.inc();
+        self.leases.borrow_mut().remove(path);
+    }
+
+    /// Serve a fresh lease locally, dropping it if expired.
+    fn lease_lookup(&self, path: &str) -> Option<StatResult> {
+        let mut leases = self.leases.borrow_mut();
+        let entry = leases.get(path)?;
+        if self.handle.now() >= entry.expires {
+            leases.remove(path);
+            self.lease_expiries.inc();
+            return None;
+        }
+        Some(match entry.stat {
+            Some(st) => {
+                self.lease_hits.inc();
+                StatResult {
+                    stat: Ok(st),
+                    source: StatSource::Lease,
+                }
+            }
+            None => {
+                self.negative_hits.inc();
+                StatResult {
+                    stat: Err(FsError::NotFound),
+                    source: StatSource::Negative,
+                }
+            }
+        })
+    }
+
+    /// Install a lease from a fill that started at `epoch_at_start`.
+    fn install(&self, path: &str, stat: Option<FileStat>, epoch_at_start: u64) {
+        if self.cfg.policy != MetaPolicy::Lease {
+            return;
+        }
+        if stat.is_none() && !self.cfg.negative {
+            return;
+        }
+        if self.epoch.get() != epoch_at_start {
+            // A revocation landed while this fill was in flight: its
+            // value may pre-date the mutation that triggered the revoke.
+            self.install_races.inc();
+            return;
+        }
+        let expires = self.handle.now() + self.cfg.lease_ttl;
+        self.leases
+            .borrow_mut()
+            .insert(path.to_string(), LeaseEntry { stat, expires });
+        self.leases_installed.inc();
+    }
+
+    /// Forward the stat to the server (provenance `Backend`) and install
+    /// a lease from the authoritative reply. Installing here is safe for
+    /// the same reason the bank path is: any later mutation revokes
+    /// before its stat entry changes, and the epoch guard covers the
+    /// in-flight window.
+    async fn backend_stat(self: &Rc<Self>, path: String, epoch_at_start: u64) -> StatResult {
+        self.backend_fills.inc();
+        let reply = Rc::clone(&self.child)
+            .handle(Fop::Stat { path: path.clone() })
+            .await;
+        let stat = match reply {
+            FopReply::Stat(r) => r,
+            other => panic!("mismatched reply to stat: {other:?}"),
+        };
+        match stat {
+            Ok(st) => self.install(&path, Some(st), epoch_at_start),
+            Err(FsError::NotFound) if self.cfg.negative => {
+                self.install(&path, None, epoch_at_start)
+            }
+            Err(_) => {}
+        }
+        StatResult {
+            stat,
+            source: StatSource::Backend,
+        }
+    }
+
+    /// Decode one bank round for `path`: `raw_stat` from the `:m.stat`
+    /// key and (when negative caching is on) `raw_neg` from `:m.neg`.
+    fn decode_bank_round(
+        &self,
+        path: &str,
+        raw_stat: Option<&bytes::Bytes>,
+        raw_neg: Option<&bytes::Bytes>,
+        epoch_at_start: u64,
+    ) -> Option<StatResult> {
+        if let Some(raw) = raw_stat {
+            if let Some(st) = FileStat::from_bytes(raw) {
+                self.bank_hits.inc();
+                self.install(path, Some(st), epoch_at_start);
+                return Some(StatResult {
+                    stat: Ok(st),
+                    source: StatSource::Bank,
+                });
+            }
+            // Corrupt entry: fall through as a miss.
+        }
+        if raw_neg.is_some() {
+            self.negative_hits.inc();
+            self.install(path, None, epoch_at_start);
+            return Some(StatResult {
+                stat: Err(FsError::NotFound),
+                source: StatSource::Negative,
+            });
+        }
+        None
+    }
+
+    async fn stat_inner(self: Rc<Self>, path: String) -> StatResult {
+        if self.cfg.policy == MetaPolicy::NoCache {
+            // NoCache never installs anything, so the epoch is moot.
+            return self.backend_stat(path, self.epoch.get()).await;
+        }
+        if self.cfg.policy == MetaPolicy::Lease {
+            if let Some(r) = self.lease_lookup(&path) {
+                return r;
+            }
+        }
+        let epoch = self.epoch.get();
+        if self.cfg.negative {
+            // Stat and negative entries travel in one batched round.
+            let keys = vec![(stat_key(&path), None), (neg_key(&path), None)];
+            let got = self.bank.get_multi(&keys).await;
+            if let Some(r) = self.decode_bank_round(&path, got[0].as_ref(), got[1].as_ref(), epoch)
+            {
+                return r;
+            }
+        } else if let Some(raw) = self.bank.get(&stat_key(&path), None).await {
+            if let Some(r) = self.decode_bank_round(&path, Some(&raw), None, epoch) {
+                return r;
+            }
+        }
+        self.backend_stat(path, epoch).await
+    }
+
+    async fn stat_multi_inner(self: Rc<Self>, paths: Vec<String>) -> Vec<StatResult> {
+        self.batched_lookups.inc();
+        self.batched_paths.add(paths.len() as u64);
+        let mut out: Vec<Option<StatResult>> = vec![None; paths.len()];
+        if self.cfg.policy == MetaPolicy::NoCache {
+            // The baseline has nothing to batch: `ls -l` stats one entry
+            // at a time.
+            for (i, path) in paths.iter().enumerate() {
+                let epoch = self.epoch.get();
+                out[i] = Some(self.backend_stat(path.clone(), epoch).await);
+            }
+            return out.into_iter().map(|r| r.expect("filled")).collect();
+        }
+        // 1. Local leases answer for free.
+        if self.cfg.policy == MetaPolicy::Lease {
+            for (i, path) in paths.iter().enumerate() {
+                out[i] = self.lease_lookup(path);
+            }
+        }
+        // 2. One multi-key bank round covers every remaining path.
+        let epoch = self.epoch.get();
+        let missing: Vec<usize> = (0..paths.len()).filter(|&i| out[i].is_none()).collect();
+        if !missing.is_empty() {
+            let stride = if self.cfg.negative { 2 } else { 1 };
+            let mut keys = Vec::with_capacity(missing.len() * stride);
+            for &i in &missing {
+                keys.push((stat_key(&paths[i]), None));
+                if self.cfg.negative {
+                    keys.push((neg_key(&paths[i]), None));
+                }
+            }
+            let got = self.bank.get_multi(&keys).await;
+            for (j, &i) in missing.iter().enumerate() {
+                let raw_stat = got[j * stride].as_ref();
+                let raw_neg = if self.cfg.negative {
+                    got[j * stride + 1].as_ref()
+                } else {
+                    None
+                };
+                out[i] = self.decode_bank_round(&paths[i], raw_stat, raw_neg, epoch);
+            }
+        }
+        // 3. Whatever is still unanswered forwards to the server, which
+        // repopulates the bank (SMCache's stat hook) for the next batch.
+        for i in 0..paths.len() {
+            if out[i].is_none() {
+                let epoch = self.epoch.get();
+                out[i] = Some(self.backend_stat(paths[i].clone(), epoch).await);
+            }
+        }
+        out.into_iter().map(|r| r.expect("filled")).collect()
+    }
+}
+
+impl MetaCache for MetaEngine {
+    fn stat(self: Rc<Self>, path: String) -> StatFuture {
+        Box::pin(self.stat_inner(path))
+    }
+
+    fn stat_multi(self: Rc<Self>, paths: Vec<String>) -> StatMultiFuture {
+        Box::pin(self.stat_multi_inner(paths))
+    }
+}
+
+impl MetricSource for MetaEngine {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        snap.set_gauge(
+            imca_metrics::prefixed(prefix, "held_leases"),
+            self.leases.borrow().len() as i64,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Revocation plumbing.
+// ---------------------------------------------------------------------------
+
+/// Server→client lease revocation for one path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRevoke {
+    /// The path whose lease must be dropped.
+    pub path: String,
+}
+
+/// Acknowledgement: the lease is gone and the server may proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseAck;
+
+const REVOKE_HDR: usize = 64;
+
+impl WireSize for LeaseRevoke {
+    fn wire_bytes(&self) -> usize {
+        REVOKE_HDR + self.path.len()
+    }
+}
+
+impl WireSize for LeaseAck {
+    fn wire_bytes(&self) -> usize {
+        REVOKE_HDR
+    }
+}
+
+/// Run `engine`'s revocation service: every incoming [`LeaseRevoke`]
+/// drops the lease (and bumps the fill epoch) before the ack goes back,
+/// so the server's purge/push fan-out can wait for all holders.
+pub fn serve_revocations(engine: &Rc<MetaEngine>, svc: Service<LeaseRevoke, LeaseAck>) {
+    let eng = Rc::clone(engine);
+    engine.handle.spawn(async move {
+        while let Some(msg) = svc.recv().await {
+            eng.revoke(&msg.req.path);
+            msg.respond(LeaseAck);
+        }
+    });
+}
+
+/// The server-side fan-out half of the lease protocol: SMCache calls
+/// [`LeaseHub::revoke`] at every mutation point, and the hub broadcasts
+/// to every registered client and waits for the acks. With no clients
+/// registered (every non-lease deployment) a revoke is a synchronous
+/// no-op, so legacy configurations replay bit-identically.
+pub struct LeaseHub {
+    handle: SimHandle,
+    peers: RefCell<Vec<RpcClient<LeaseRevoke, LeaseAck>>>,
+    deadline: SimDuration,
+    registry: Registry,
+    revocations_sent: Counter,
+    failed_revocations: Counter,
+}
+
+impl LeaseHub {
+    /// Per-revocation deadline: a lost revoke must not wedge the mutation
+    /// that triggered it (`try_call` blackholes under fault plans). The
+    /// lease TTL bounds the staleness of the leaked lease.
+    pub const REVOKE_DEADLINE: SimDuration = SimDuration::millis(2);
+
+    /// An empty hub.
+    pub fn new(handle: SimHandle) -> Rc<LeaseHub> {
+        let registry = Registry::new();
+        Rc::new(LeaseHub {
+            handle,
+            peers: RefCell::new(Vec::new()),
+            deadline: Self::REVOKE_DEADLINE,
+            revocations_sent: registry.counter("revocations_sent"),
+            failed_revocations: registry.counter("failed_revocations"),
+            registry,
+        })
+    }
+
+    /// Register one client's revocation endpoint.
+    pub fn register(&self, peer: RpcClient<LeaseRevoke, LeaseAck>) {
+        self.peers.borrow_mut().push(peer);
+    }
+
+    /// Number of registered clients.
+    pub fn peer_count(&self) -> usize {
+        self.peers.borrow().len()
+    }
+
+    /// Revoke `path` on every registered client, waiting for the acks
+    /// (or the per-peer deadline). Callers must invoke this *before*
+    /// deleting or updating the path's stat entry — the invalidation
+    /// ordering rule that keeps leases NoCache-equivalent.
+    pub async fn revoke(&self, path: &str) {
+        let peers: Vec<RpcClient<LeaseRevoke, LeaseAck>> = self.peers.borrow().clone();
+        if peers.is_empty() {
+            return;
+        }
+        let futs: Vec<_> = peers
+            .into_iter()
+            .map(|peer| {
+                let h = self.handle.clone();
+                let deadline = self.deadline;
+                let req = LeaseRevoke {
+                    path: path.to_string(),
+                };
+                async move {
+                    matches!(
+                        timeout(&h, deadline, async move { peer.try_call(req).await }).await,
+                        Some(Some(LeaseAck))
+                    )
+                }
+            })
+            .collect();
+        let acked = join_all(&self.handle, futs).await;
+        self.revocations_sent.add(acked.len() as u64);
+        self.failed_revocations
+            .add(acked.iter().filter(|ok| !**ok).count() as u64);
+    }
+}
+
+impl MetricSource for LeaseHub {
+    fn collect(&self, prefix: &str, snap: &mut Snapshot) {
+        self.registry.collect(prefix, snap);
+        snap.set_gauge(
+            imca_metrics::prefixed(prefix, "registered_clients"),
+            self.peers.borrow().len() as i64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcd::{Bank, McdCosts};
+    use bytes::Bytes;
+    use imca_fabric::{Network, Transport};
+    use imca_glusterfs::Translator;
+    use imca_memcached::{McConfig, Selector};
+    use imca_sim::Sim;
+
+    /// A server-side stand-in with a configurable file table.
+    struct FakeServer {
+        files: RefCell<HashMap<String, FileStat>>,
+        stats_served: Cell<u64>,
+    }
+
+    impl FakeServer {
+        fn with_file(path: &str, size: u64) -> Rc<FakeServer> {
+            let mut files = HashMap::new();
+            files.insert(
+                path.to_string(),
+                FileStat {
+                    size,
+                    mtime_ns: 1,
+                    ctime_ns: 1,
+                },
+            );
+            Rc::new(FakeServer {
+                files: RefCell::new(files),
+                stats_served: Cell::new(0),
+            })
+        }
+    }
+
+    impl Translator for FakeServer {
+        fn name(&self) -> &'static str {
+            "fake-server"
+        }
+        fn handle(self: Rc<Self>, fop: Fop) -> imca_glusterfs::FopFuture {
+            Box::pin(async move {
+                match fop {
+                    Fop::Stat { path } => {
+                        self.stats_served.set(self.stats_served.get() + 1);
+                        FopReply::Stat(
+                            self.files
+                                .borrow()
+                                .get(&path)
+                                .copied()
+                                .ok_or(FsError::NotFound),
+                        )
+                    }
+                    other => other.err_reply(FsError::Io),
+                }
+            })
+        }
+    }
+
+    fn rig(sim: &Sim, cfg: MetaConfig, server: Rc<FakeServer>) -> (Rc<MetaEngine>, Rc<BankClient>) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+        let client_node = net.add_node();
+        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
+        let child: Xlator = server;
+        let eng = MetaEngine::new(sim.handle(), child, Rc::clone(&bank), cfg);
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        (eng, bank)
+    }
+
+    #[test]
+    fn nocache_policy_always_forwards() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let (eng, _bank) = rig(&sim, MetaConfig::nocache(), Rc::clone(&server));
+        sim.spawn(async move {
+            for _ in 0..3 {
+                let r = Rc::clone(&eng).stat("/f".into()).await;
+                assert_eq!(r.source, StatSource::Backend);
+                assert_eq!(r.stat.unwrap().size, 10);
+            }
+            assert_eq!(eng.held_leases(), 0, "NoCache must not install leases");
+        });
+        sim.run();
+        assert_eq!(server.stats_served.get(), 3);
+    }
+
+    #[test]
+    fn bank_policy_hits_after_seed_and_misses_to_backend() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let (eng, bank) = rig(&sim, MetaConfig::default(), Rc::clone(&server));
+        sim.spawn(async move {
+            // Miss: forwards.
+            let r = Rc::clone(&eng).stat("/f".into()).await;
+            assert_eq!(r.source, StatSource::Backend);
+            // Seed the bank the way SMCache would.
+            let st = FileStat {
+                size: 10,
+                mtime_ns: 1,
+                ctime_ns: 1,
+            };
+            bank.set(&stat_key("/f"), Bytes::from(st.to_bytes()), None)
+                .await;
+            let r = Rc::clone(&eng).stat("/f".into()).await;
+            assert_eq!(r.source, StatSource::Bank);
+            assert_eq!(eng.held_leases(), 0, "Bank policy holds no leases");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lease_serves_locally_until_revoked() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let (eng, _bank) = rig(&sim, MetaConfig::lease(), Rc::clone(&server));
+        sim.spawn(async move {
+            // First stat: backend fill installs a lease.
+            let r = Rc::clone(&eng).stat("/f".into()).await;
+            assert_eq!(r.source, StatSource::Backend);
+            assert_eq!(eng.held_leases(), 1);
+            // Subsequent stats never leave the client.
+            for _ in 0..5 {
+                let r = Rc::clone(&eng).stat("/f".into()).await;
+                assert_eq!(r.source, StatSource::Lease);
+                assert_eq!(r.stat.unwrap().size, 10);
+            }
+            // Revoke → next stat refills from the server.
+            eng.revoke("/f");
+            assert_eq!(eng.held_leases(), 0);
+            let r = Rc::clone(&eng).stat("/f".into()).await;
+            assert_eq!(r.source, StatSource::Backend);
+        });
+        sim.run();
+        assert_eq!(server.stats_served.get(), 2, "only the two fills forward");
+    }
+
+    #[test]
+    fn lease_expires_after_ttl() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let cfg = MetaConfig {
+            lease_ttl: SimDuration::micros(50),
+            ..MetaConfig::lease()
+        };
+        let (eng, _bank) = rig(&sim, cfg, Rc::clone(&server));
+        let h = sim.handle();
+        sim.spawn(async move {
+            Rc::clone(&eng).stat("/f".into()).await;
+            assert_eq!(
+                Rc::clone(&eng).stat("/f".into()).await.source,
+                StatSource::Lease
+            );
+            h.sleep(SimDuration::micros(60)).await;
+            let r = Rc::clone(&eng).stat("/f".into()).await;
+            assert_ne!(r.source, StatSource::Lease, "expired lease served");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn negative_entries_answer_repeated_enoent() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/exists", 1);
+        let (eng, bank) = rig(
+            &sim,
+            MetaConfig {
+                policy: MetaPolicy::Bank,
+                negative: true,
+                ..MetaConfig::default()
+            },
+            Rc::clone(&server),
+        );
+        sim.spawn(async move {
+            // First lookup forwards and gets ENOENT.
+            let r = Rc::clone(&eng).stat("/ghost".into()).await;
+            assert_eq!(r.source, StatSource::Backend);
+            assert_eq!(r.stat, Err(FsError::NotFound));
+            // Plant the marker the way SMCache would.
+            bank.set(&neg_key("/ghost"), Bytes::from_static(NEG_MARKER), None)
+                .await;
+            let r = Rc::clone(&eng).stat("/ghost".into()).await;
+            assert_eq!(r.source, StatSource::Negative);
+            assert_eq!(r.stat, Err(FsError::NotFound));
+        });
+        sim.run();
+        assert_eq!(server.stats_served.get(), 1);
+    }
+
+    #[test]
+    fn negative_lease_is_held_and_revoked_like_a_positive_one() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/exists", 1);
+        let (eng, _bank) = rig(&sim, MetaConfig::lease(), Rc::clone(&server));
+        sim.spawn(async move {
+            // ENOENT from the backend installs a negative lease.
+            Rc::clone(&eng).stat("/ghost".into()).await;
+            assert_eq!(eng.held_leases(), 1);
+            let r = Rc::clone(&eng).stat("/ghost".into()).await;
+            assert_eq!(r.source, StatSource::Negative);
+            // The create-side revoke drops it.
+            eng.revoke("/ghost");
+            let r = Rc::clone(&eng).stat("/ghost".into()).await;
+            assert_eq!(r.source, StatSource::Backend);
+        });
+        sim.run();
+        assert_eq!(server.stats_served.get(), 2);
+    }
+
+    #[test]
+    fn revocation_during_fill_blocks_the_install() {
+        // The epoch guard: a revoke that lands while a fill is in flight
+        // must prevent the (possibly stale) reply from installing.
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let (eng, _bank) = rig(&sim, MetaConfig::lease(), Rc::clone(&server));
+        let h = sim.handle();
+        let e2 = Rc::clone(&eng);
+        sim.spawn(async move {
+            let filler = Rc::clone(&e2);
+            h.spawn(async move {
+                let _ = filler.stat("/f".into()).await;
+            });
+            // Revoke while the fill's RPCs are in flight.
+            h.sleep(SimDuration::micros(1)).await;
+            e2.revoke("/f");
+            h.sleep(SimDuration::millis(5)).await;
+            assert_eq!(e2.held_leases(), 0, "stale fill installed a lease");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stat_multi_batches_the_bank_round() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/d/a", 1);
+        let (eng, bank) = rig(&sim, MetaConfig::lease(), Rc::clone(&server));
+        sim.spawn(async move {
+            // Seed one path in the bank; /d/a lives at the server only;
+            // /d/ghost exists nowhere.
+            let st = FileStat {
+                size: 2,
+                mtime_ns: 1,
+                ctime_ns: 1,
+            };
+            bank.set(&stat_key("/d/b"), Bytes::from(st.to_bytes()), None)
+                .await;
+            let rs = Rc::clone(&eng)
+                .stat_multi(vec!["/d/a".into(), "/d/b".into(), "/d/ghost".into()])
+                .await;
+            assert_eq!(rs[0].source, StatSource::Backend);
+            assert_eq!(rs[0].stat.unwrap().size, 1);
+            assert_eq!(rs[1].source, StatSource::Bank);
+            assert_eq!(rs[1].stat.unwrap().size, 2);
+            assert_eq!(rs[2].source, StatSource::Backend);
+            assert_eq!(rs[2].stat, Err(FsError::NotFound));
+            // Second batch: everything is leased now (incl. the negative).
+            let rs = Rc::clone(&eng)
+                .stat_multi(vec!["/d/a".into(), "/d/b".into(), "/d/ghost".into()])
+                .await;
+            assert_eq!(rs[0].source, StatSource::Lease);
+            assert_eq!(rs[1].source, StatSource::Lease);
+            assert_eq!(rs[2].source, StatSource::Negative);
+        });
+        sim.run();
+        assert_eq!(server.stats_served.get(), 2);
+    }
+
+    #[test]
+    fn hub_revokes_before_returning_and_counts_peers() {
+        let mut sim = Sim::new(0);
+        let server = FakeServer::with_file("/f", 10);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 1, &McConfig::default(), &McdCosts::default());
+        let client_node = net.add_node();
+        let server_node = net.add_node();
+        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
+        let child: Xlator = server;
+        let eng = MetaEngine::new(sim.handle(), child, Rc::clone(&bank), MetaConfig::lease());
+        let hub = LeaseHub::new(sim.handle());
+        let svc: Service<LeaseRevoke, LeaseAck> = Service::bind(&net, client_node);
+        serve_revocations(&eng, svc.clone());
+        hub.register(svc.client(server_node));
+        assert_eq!(hub.peer_count(), 1);
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        let e2 = Rc::clone(&eng);
+        sim.spawn(async move {
+            Rc::clone(&e2).stat("/f".into()).await;
+            assert_eq!(e2.held_leases(), 1);
+            // The hub's revoke must complete synchronously w.r.t. the
+            // caller: when it returns, the lease is gone.
+            hub.revoke("/f").await;
+            assert_eq!(e2.held_leases(), 0);
+        });
+        sim.run();
+    }
+}

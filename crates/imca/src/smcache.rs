@@ -46,14 +46,15 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use imca_glusterfs::{FileStat, Fop, FopReply, Translator, Xlator};
+use imca_glusterfs::{FileStat, Fop, FopReply, FsError, Translator, Xlator};
 use imca_metrics::{prefixed, Counter, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Queue;
 use imca_sim::{join_all, SimHandle};
 
 use crate::block::{aligned_range, cover};
-use crate::keys::{block_key, stat_key};
+use crate::keys::{block_key, neg_key, stat_key};
 use crate::mcd::BankClient;
+use crate::meta::{LeaseHub, MetaConfig, NEG_MARKER};
 
 /// Server-side cache-maintenance counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +101,11 @@ pub struct SmCache {
     handle: SimHandle,
     threaded: bool,
     batched: bool,
+    meta: MetaConfig,
+    /// Lease fan-out to every mounted client; `None` outside the lease
+    /// policy. Revoked *before* a path's stat entry is deleted or
+    /// updated — the invalidation ordering rule (see `crate::meta`).
+    leases: Option<Rc<LeaseHub>>,
     jobs: Queue<Job>,
     /// Per path: block start → cached chunk length. The length matters at
     /// EOF: a block cached shorter than `block_size` encodes "the file
@@ -116,6 +122,7 @@ pub struct SmCache {
     deferred_jobs: Counter,
     stale_updates_dropped: Counter,
     dropped_pushes: Counter,
+    negative_pushes: Counter,
 }
 
 impl SmCache {
@@ -123,6 +130,9 @@ impl SmCache {
     /// `threaded_updates` moves MCD population off the critical path;
     /// `batched` streams pushes/purges as `noreply` pipelines (one sync
     /// per daemon) instead of one awaited RPC per key.
+    ///
+    /// Equivalent to [`SmCache::with_meta`] with the default (legacy)
+    /// metadata config and no lease hub.
     pub fn new(
         handle: SimHandle,
         child: Xlator,
@@ -130,6 +140,35 @@ impl SmCache {
         block_size: u64,
         threaded_updates: bool,
         batched: bool,
+    ) -> Rc<SmCache> {
+        SmCache::with_meta(
+            handle,
+            child,
+            bank,
+            block_size,
+            threaded_updates,
+            batched,
+            MetaConfig::default(),
+            None,
+        )
+    }
+
+    /// [`SmCache::new`] plus the metadata-tier hooks: with
+    /// `meta.negative` on, backend ENOENTs plant negative entries (and
+    /// creates revalidate them); with a `leases` hub, every purge and
+    /// stat refresh revokes client leases first. With the defaults both
+    /// hooks vanish and the translator is event-identical to the legacy
+    /// one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_meta(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+        threaded_updates: bool,
+        batched: bool,
+        meta: MetaConfig,
+        leases: Option<Rc<LeaseHub>>,
     ) -> Rc<SmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
@@ -140,6 +179,8 @@ impl SmCache {
             handle: handle.clone(),
             threaded: threaded_updates,
             batched,
+            meta,
+            leases,
             jobs: Queue::new(),
             populated: RefCell::new(HashMap::new()),
             generations: RefCell::new(HashMap::new()),
@@ -149,6 +190,7 @@ impl SmCache {
             deferred_jobs: registry.counter("deferred_jobs"),
             stale_updates_dropped: registry.counter("stale_updates_dropped"),
             dropped_pushes: registry.counter("dropped_pushes"),
+            negative_pushes: registry.counter("negative_pushes"),
             registry,
         });
         if threaded_updates {
@@ -383,8 +425,44 @@ impl SmCache {
                     return;
                 }
             }
+            // This refresh *changes* the stat value (the write moved
+            // size/mtime), so any lease still naming the old value must
+            // fall first — and if a purge lands during the revocation,
+            // the refresh is stale and must not be pushed at all.
+            self.revoke_leases(path).await;
+            if self.generation(path) != gen {
+                self.stale_updates_dropped.inc();
+                return;
+            }
             self.push_stat(path, st).await;
         }
+    }
+
+    /// Revoke every client lease on `path` (no-op without a hub).
+    async fn revoke_leases(&self, path: &str) {
+        if let Some(hub) = &self.leases {
+            hub.revoke(path).await;
+        }
+    }
+
+    /// Plant a negative (ENOENT) entry for `path`, under the same
+    /// generation fence as any other push: a create racing with this set
+    /// purges (bumping the generation) and the marker is taken out again
+    /// instead of shadowing the file that now exists.
+    async fn push_negative(&self, path: &str, gen: u64) {
+        self.generations
+            .borrow_mut()
+            .entry(path.to_string())
+            .or_insert(0);
+        self.bank
+            .set(&neg_key(path), Bytes::from_static(NEG_MARKER), None)
+            .await;
+        if self.generation(path) != gen {
+            self.stale_updates_dropped.inc();
+            self.bank.delete(&neg_key(path), None).await;
+            return;
+        }
+        self.negative_pushes.inc();
     }
 
     async fn push_stat(&self, path: &str, st: FileStat) {
@@ -412,6 +490,10 @@ impl SmCache {
             .borrow_mut()
             .entry(path.to_string())
             .or_insert(0) += 1;
+        // Leases fall before the bank entries do: a client must stop
+        // serving its lease *before* the stat entry it mirrors changes,
+        // or a leased stat could outlive what the bank would answer.
+        self.revoke_leases(path).await;
         let block_starts: Vec<u64> = self
             .populated
             .borrow_mut()
@@ -419,19 +501,27 @@ impl SmCache {
             .map(|s| s.into_keys().collect())
             .unwrap_or_default();
         if self.batched {
-            let mut items: Vec<(Vec<u8>, Option<u64>)> = Vec::with_capacity(block_starts.len() + 1);
+            let mut items: Vec<(Vec<u8>, Option<u64>)> = Vec::with_capacity(block_starts.len() + 2);
             items.push((stat_key(path), None));
+            if self.meta.negative {
+                items.push((neg_key(path), None));
+            }
             for start in block_starts {
                 items.push((block_key(path, start), Some(start / self.block_size)));
             }
             self.bank.delete_pipeline(items).await;
         } else {
-            let mut deletes = Vec::with_capacity(block_starts.len() + 1);
+            let mut deletes = Vec::with_capacity(block_starts.len() + 2);
             {
                 let bank = Rc::clone(&self.bank);
                 let key = stat_key(path);
                 deletes.push(Box::pin(async move { bank.delete(&key, None).await })
                     as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>);
+            }
+            if self.meta.negative {
+                let bank = Rc::clone(&self.bank);
+                let key = neg_key(path);
+                deletes.push(Box::pin(async move { bank.delete(&key, None).await }));
             }
             for start in block_starts {
                 let bank = Rc::clone(&self.bank);
@@ -503,10 +593,21 @@ impl Translator for SmCache {
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Stat { path: path.clone() })
                         .await;
-                    if let FopReply::Stat(Ok(st)) = &reply {
-                        if self.generation(&path) == gen {
+                    match &reply {
+                        // No lease revocation here: this repopulates the
+                        // entry with the value the backend just vouched
+                        // for, and every mutation revokes before its own
+                        // refresh — so any lease still held necessarily
+                        // names this same value.
+                        FopReply::Stat(Ok(st)) if self.generation(&path) == gen => {
                             self.push_stat(&path, *st).await;
                         }
+                        FopReply::Stat(Err(FsError::NotFound))
+                            if self.meta.negative && self.generation(&path) == gen =>
+                        {
+                            self.push_negative(&path, gen).await;
+                        }
+                        _ => {}
                     }
                     reply
                 }
@@ -587,6 +688,23 @@ impl Translator for SmCache {
                     self.purge(&path).await;
                     Rc::clone(&self.child).handle(Fop::Unlink { path }).await
                 }
+                Fop::Create { path } if self.meta.extended() => {
+                    let reply = Rc::clone(&self.child)
+                        .handle(Fop::Create { path: path.clone() })
+                        .await;
+                    if matches!(reply, FopReply::Create(Ok(()))) {
+                        // Negative revalidation: the path may hold an
+                        // ENOENT marker in the bank and negative leases on
+                        // clients. Purging *after* the create exists on
+                        // disk (and before the creator's ack) bumps the
+                        // generation — fencing off any in-flight negative
+                        // push — revokes the leases, and deletes the
+                        // marker, so no client can see ENOENT for a file
+                        // whose create completed.
+                        self.purge(&path).await;
+                    }
+                    reply
+                }
                 other => Rc::clone(&self.child).handle(other).await,
             }
         })
@@ -609,19 +727,25 @@ mod tests {
     }
 
     fn setup(sim: &Sim, threaded: bool, batched: bool) -> Rig {
+        setup_with_meta(sim, threaded, batched, MetaConfig::default())
+    }
+
+    fn setup_with_meta(sim: &Sim, threaded: bool, batched: bool, meta: MetaConfig) -> Rig {
         let net = Network::new(sim.handle(), Transport::ipoib_ddr());
         let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
         let server_node = net.add_node();
         let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
         let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
         let posix = Posix::new(be);
-        let sm = SmCache::new(
+        let sm = SmCache::with_meta(
             sim.handle(),
             posix as Xlator,
             Rc::clone(&bank),
             2048,
             threaded,
             batched,
+            meta,
+            None,
         );
         sim.handle().spawn(async move {
             let _keepalive = mcds;
@@ -941,6 +1065,76 @@ mod tests {
         assert_eq!(rig.sm.tracked_blocks("/f"), 0);
         let s = rig.sm.stats();
         assert!(s.stale_updates_dropped >= 1, "fence never fired: {s:?}");
+    }
+
+    #[test]
+    fn missing_stat_plants_negative_entry_and_create_revalidates() {
+        let mut sim = Sim::new(0);
+        let meta = MetaConfig {
+            negative: true,
+            ..MetaConfig::default()
+        };
+        let rig = setup_with_meta(&sim, false, true, meta);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            // A stat of a missing path plants the ENOENT marker.
+            let r = drive(
+                &sm,
+                Fop::Stat {
+                    path: "/ghost".into(),
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Stat(Err(FsError::NotFound)));
+            assert!(
+                bank.get(&neg_key("/ghost"), None).await.is_some(),
+                "negative entry missing"
+            );
+            // The create revalidates: marker gone before the ack.
+            let r = drive(
+                &sm,
+                Fop::Create {
+                    path: "/ghost".into(),
+                },
+            )
+            .await;
+            assert_eq!(r, FopReply::Create(Ok(())));
+            assert!(
+                bank.get(&neg_key("/ghost"), None).await.is_none(),
+                "create left the ENOENT marker behind"
+            );
+            // And the path now stats clean.
+            let r = drive(
+                &sm,
+                Fop::Stat {
+                    path: "/ghost".into(),
+                },
+            )
+            .await;
+            assert!(matches!(r, FopReply::Stat(Ok(_))));
+        });
+        sim.run();
+        assert_eq!(rig.sm.stats().purges, 1, "create must purge exactly once");
+    }
+
+    #[test]
+    fn negative_caching_off_plants_nothing() {
+        let mut sim = Sim::new(0);
+        let rig = setup(&sim, false, true);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(
+                &sm,
+                Fop::Stat {
+                    path: "/ghost".into(),
+                },
+            )
+            .await;
+            assert!(bank.get(&neg_key("/ghost"), None).await.is_none());
+        });
+        sim.run();
     }
 
     #[test]

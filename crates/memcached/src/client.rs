@@ -8,6 +8,26 @@
 
 use crate::hash::{Selector, ServerMap};
 
+/// Everything the router knows about one key, computed in a single call
+/// against one consistent liveness view. The old `route`/`primary`/
+/// `replicas` triple forced callers to make three separate calls — each
+/// reading liveness at a different instant — and re-derive consistency
+/// themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The selector's primary choice, ignoring liveness. Every value has
+    /// exactly one home; correctness never depends on membership history.
+    pub primary: usize,
+    /// The replica set — primary plus the next `r − 1` distinct servers
+    /// in placement order, liveness ignored (the caller filters against
+    /// its own, possibly fresher, view). See [`ServerMap::replicas`].
+    pub replicas: Vec<usize>,
+    /// The first *live* server probing linearly from the primary
+    /// (libmemcache-style rehash), `None` when every server is dead.
+    /// Callers that reject rehash semantics simply ignore this field.
+    pub fallback: Option<usize>,
+}
+
 /// Routing state for a bank of `n` memcached servers.
 #[derive(Debug, Clone)]
 pub struct ClientCore {
@@ -34,32 +54,23 @@ impl ClientCore {
         self.alive.iter().filter(|a| **a).count()
     }
 
-    /// Route `key` to a live server. The primary choice comes from the
-    /// selector; if that server is marked dead, probing continues linearly
-    /// (libmemcache-style rehash). `None` when every server is dead.
-    pub fn route(&self, key: &[u8], hint: Option<u64>) -> Option<usize> {
+    /// Resolve `key` to its [`Placement`] — primary, `r`-wide replica
+    /// set, and live fallback — under one consistent snapshot of the
+    /// liveness table.
+    pub fn placement(&self, key: &[u8], hint: Option<u64>, r: usize) -> Placement {
         let n = self.alive.len();
         let primary = self.map.select(key, hint);
-        (0..n)
+        let fallback = (0..n)
             .map(|i| (primary + i) % n)
-            .find(|&idx| self.alive[idx])
+            .find(|&idx| self.alive[idx]);
+        Placement {
+            primary,
+            replicas: self.map.replicas(key, hint, r),
+            fallback,
+        }
     }
 
-    /// The selector's primary choice, ignoring liveness (for tests and
-    /// distribution analysis).
-    pub fn primary(&self, key: &[u8], hint: Option<u64>) -> usize {
-        self.map.select(key, hint)
-    }
-
-    /// The replica set for `key` — primary plus the next `r − 1` distinct
-    /// servers in placement order, ignoring liveness (the caller filters
-    /// against its own, possibly fresher, liveness view). See
-    /// [`ServerMap::replicas`].
-    pub fn replicas(&self, key: &[u8], hint: Option<u64>, r: usize) -> Vec<usize> {
-        self.map.replicas(key, hint, r)
-    }
-
-    /// Mark a server dead; subsequent routes avoid it.
+    /// Mark a server dead; subsequent placements avoid it in `fallback`.
     pub fn mark_dead(&mut self, server: usize) {
         self.alive[server] = false;
     }
@@ -80,45 +91,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn routes_match_primary_when_all_alive() {
+    fn fallback_matches_primary_when_all_alive() {
         let c = ClientCore::new(Selector::Crc32, 4);
         for i in 0..100 {
-            let key = format!("/f/{i}:stat");
-            assert_eq!(
-                c.route(key.as_bytes(), None),
-                Some(c.primary(key.as_bytes(), None))
-            );
+            let key = format!("/f/{i}:m.stat");
+            let p = c.placement(key.as_bytes(), None, 1);
+            assert_eq!(p.fallback, Some(p.primary));
         }
     }
 
     #[test]
-    fn dead_server_fails_over_to_next() {
+    fn dead_server_falls_back_to_next() {
         let mut c = ClientCore::new(Selector::Modulo, 4);
-        assert_eq!(c.route(b"k", Some(2)), Some(2));
+        assert_eq!(c.placement(b"k", Some(2), 1).fallback, Some(2));
         c.mark_dead(2);
-        assert_eq!(c.route(b"k", Some(2)), Some(3));
+        let p = c.placement(b"k", Some(2), 1);
+        assert_eq!(p.primary, 2, "primary ignores liveness");
+        assert_eq!(p.fallback, Some(3));
         c.mark_dead(3);
-        assert_eq!(c.route(b"k", Some(2)), Some(0));
+        assert_eq!(c.placement(b"k", Some(2), 1).fallback, Some(0));
         assert_eq!(c.alive_count(), 2);
     }
 
     #[test]
-    fn all_dead_routes_none() {
+    fn all_dead_places_no_fallback() {
         let mut c = ClientCore::new(Selector::Crc32, 2);
         c.mark_dead(0);
         c.mark_dead(1);
-        assert_eq!(c.route(b"k", None), None);
+        assert_eq!(c.placement(b"k", None, 1).fallback, None);
         c.mark_alive(1);
-        assert_eq!(c.route(b"k", None), Some(1));
+        assert_eq!(c.placement(b"k", None, 1).fallback, Some(1));
     }
 
     #[test]
     fn revived_server_takes_traffic_back() {
         let mut c = ClientCore::new(Selector::Modulo, 3);
         c.mark_dead(1);
-        assert_eq!(c.route(b"k", Some(1)), Some(2));
+        assert_eq!(c.placement(b"k", Some(1), 1).fallback, Some(2));
         c.mark_alive(1);
-        assert_eq!(c.route(b"k", Some(1)), Some(1));
+        assert_eq!(c.placement(b"k", Some(1), 1).fallback, Some(1));
         assert!(c.is_alive(1));
     }
 
@@ -127,17 +138,32 @@ mod tests {
         let c = ClientCore::new(Selector::Ketama, 4);
         for i in 0..50 {
             let key = format!("/f/{i}:0");
-            let reps = c.replicas(key.as_bytes(), None, 2);
-            assert_eq!(reps.len(), 2);
-            assert_eq!(reps[0], c.primary(key.as_bytes(), None));
-            assert_ne!(reps[0], reps[1]);
+            let p = c.placement(key.as_bytes(), None, 2);
+            assert_eq!(p.replicas.len(), 2);
+            assert_eq!(p.replicas[0], p.primary);
+            assert_ne!(p.replicas[0], p.replicas[1]);
         }
+    }
+
+    /// One placement call is internally consistent even as liveness
+    /// changes between calls — the property the old triple could not
+    /// guarantee.
+    #[test]
+    fn placement_is_one_consistent_snapshot() {
+        let mut c = ClientCore::new(Selector::Modulo, 4);
+        c.mark_dead(1);
+        let p = c.placement(b"k", Some(1), 3);
+        assert_eq!(p.primary, 1);
+        assert_eq!(p.replicas, vec![1, 2, 3], "replicas ignore liveness");
+        assert_eq!(p.fallback, Some(2), "fallback skips the dead primary");
     }
 
     #[test]
     fn single_server_bank() {
         let c = ClientCore::new(Selector::Crc32, 1);
-        assert_eq!(c.route(b"anything", None), Some(0));
+        let p = c.placement(b"anything", None, 1);
+        assert_eq!(p.fallback, Some(0));
+        assert_eq!(p.replicas, vec![0]);
         assert_eq!(c.server_count(), 1);
     }
 }

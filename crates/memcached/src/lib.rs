@@ -46,7 +46,7 @@ pub mod protocol;
 mod server;
 mod store;
 
-pub use client::ClientCore;
+pub use client::{ClientCore, Placement};
 pub use hash::{crc32, crc32_bucket, Selector, ServerMap};
 pub use server::{absolute_expiry, McServer};
 pub use store::{

@@ -242,6 +242,7 @@ mod tests {
             rdma_bank: false,
             batched: true,
             replication: 1,
+            meta: imca_core::MetaConfig::default(),
         };
         let nocache = bench(SystemSpec::GlusterNoCache, 4).read_mb_s;
         let four = bench(spec(4), 4).read_mb_s;

@@ -325,6 +325,7 @@ mod tests {
                 rdma_bank: false,
                 batched: true,
                 replication: 1,
+                meta: imca_core::MetaConfig::default(),
             },
             1,
             false,

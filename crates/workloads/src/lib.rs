@@ -10,6 +10,8 @@
 //!   write-then-read latency sweeps, per-node files or one shared file,
 //! * [`iozone`] — §5.5 / Fig 9 and the Fig 1 NFS motivation: multi-stream
 //!   sequential read throughput,
+//! * [`lsstorm`] — the "ls -l storm": repeated readdir+stat walks with
+//!   ghost probes, driving the metadata-tier ablation,
 //! * [`synth`] — synthetic Zipf/log-normal data-center traces (§3's
 //!   small-file motivation) and a replay driver,
 //! * [`report`] — the table type the bench binaries print and serialise.
@@ -19,6 +21,7 @@
 
 pub mod iozone;
 pub mod latbench;
+pub mod lsstorm;
 pub mod report;
 pub mod statbench;
 pub mod synth;

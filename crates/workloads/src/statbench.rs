@@ -239,6 +239,7 @@ mod tests {
             rdma_bank: false,
             batched: true,
             replication: 1,
+            meta: imca_core::MetaConfig::default(),
         };
         let one = run(&StatBench {
             files,

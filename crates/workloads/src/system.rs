@@ -4,7 +4,9 @@
 
 use std::rc::Rc;
 
-use imca_core::{Cluster, ClusterConfig, ImcaConfig, Replication};
+use imca_core::{
+    Cluster, ClusterConfig, CmCache, ImcaConfig, MetaCache, MetaConfig, Replication, StatResult,
+};
 use imca_fabric::Transport;
 use imca_glusterfs::GlusterMount;
 use imca_lustre::{LustreClient, LustreCluster, LustreConfig};
@@ -39,6 +41,10 @@ pub enum SystemSpec {
         /// P2C read spreading and warm failover among them. 1 = the
         /// paper's single-home bank.
         replication: usize,
+        /// Metadata-tier policy: stat leases, negative caching, batched
+        /// lookups. The default is the paper's bank round-trip stat
+        /// path; the `ablate_metadata` sweep varies this.
+        meta: MetaConfig,
     },
     /// Lustre with `osts` data servers; `warm` keeps the client cache
     /// between the write and read phases, cold drops it (remount).
@@ -62,7 +68,18 @@ impl SystemSpec {
             rdma_bank: false,
             batched: true,
             replication: 1,
+            meta: MetaConfig::default(),
         }
+    }
+
+    /// [`SystemSpec::imca`] with a metadata-tier policy (the
+    /// `ablate_metadata` sweep).
+    pub fn imca_meta(n: usize, meta_cfg: MetaConfig) -> SystemSpec {
+        let mut spec = SystemSpec::imca(n);
+        if let SystemSpec::Imca { ref mut meta, .. } = spec {
+            *meta = meta_cfg;
+        }
+        spec
     }
 
     /// [`SystemSpec::imca`] with a bank replication factor (the
@@ -115,6 +132,7 @@ impl Deployment {
                 rdma_bank,
                 batched,
                 replication,
+                meta,
             } => {
                 let cfg = ClusterConfig::imca(ImcaConfig {
                     mcd_count: *mcds,
@@ -127,6 +145,7 @@ impl Deployment {
                     replication: Replication {
                         factor: *replication,
                     },
+                    meta: *meta,
                     ..ImcaConfig::default()
                 });
                 Deployment::Gluster(Rc::new(Cluster::build(handle, cfg)))
@@ -141,7 +160,10 @@ impl Deployment {
     /// Mount a client on its own fabric node.
     pub fn mount(&self) -> FsClient {
         match self {
-            Deployment::Gluster(c) => FsClient::Gluster(c.mount()),
+            Deployment::Gluster(c) => {
+                let (mount, cm) = c.mount_with_meta();
+                FsClient::Gluster(mount, cm)
+            }
             Deployment::Lustre(c) => FsClient::Lustre(c.mount()),
         }
     }
@@ -183,8 +205,10 @@ impl Deployment {
 /// need. All paths are absolute strings, as in the paper's key schema.
 #[derive(Clone)]
 pub enum FsClient {
-    /// GlusterFS mount.
-    Gluster(Rc<GlusterMount>),
+    /// GlusterFS mount, with this client's CMCache when the deployment
+    /// runs IMCa (`None` for NoCache). The CMCache is the mount's
+    /// metadata surface: `stat_multi` and provenance live there.
+    Gluster(Rc<GlusterMount>, Option<Rc<CmCache>>),
     /// Lustre mount.
     Lustre(Rc<LustreClient>),
 }
@@ -193,7 +217,7 @@ impl FsClient {
     /// Create an empty file.
     pub async fn create(&self, path: &str) {
         match self {
-            FsClient::Gluster(m) => {
+            FsClient::Gluster(m, _) => {
                 m.create(path).await.expect("create failed");
             }
             FsClient::Lustre(c) => {
@@ -205,7 +229,7 @@ impl FsClient {
     /// Open a file, returning an opaque handle usable with read/write.
     pub async fn open(&self, path: &str) -> FsHandle {
         match self {
-            FsClient::Gluster(m) => FsHandle::Gluster(m.open(path).await.expect("open failed")),
+            FsClient::Gluster(m, _) => FsHandle::Gluster(m.open(path).await.expect("open failed")),
             FsClient::Lustre(c) => {
                 assert!(c.open(path).await, "open failed");
                 FsHandle::Lustre(path.to_string())
@@ -216,7 +240,7 @@ impl FsClient {
     /// Read through an open handle.
     pub async fn read(&self, h: &FsHandle, offset: u64, len: u64) -> Vec<u8> {
         match (self, h) {
-            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+            (FsClient::Gluster(m, _), FsHandle::Gluster(fd)) => {
                 m.read(*fd, offset, len).await.expect("read failed")
             }
             (FsClient::Lustre(c), FsHandle::Lustre(path)) => {
@@ -229,7 +253,7 @@ impl FsClient {
     /// Write through an open handle.
     pub async fn write(&self, h: &FsHandle, offset: u64, data: &[u8]) {
         match (self, h) {
-            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+            (FsClient::Gluster(m, _), FsHandle::Gluster(fd)) => {
                 m.write(*fd, offset, data).await.expect("write failed");
             }
             (FsClient::Lustre(c), FsHandle::Lustre(path)) => {
@@ -242,15 +266,58 @@ impl FsClient {
     /// Stat by path. Returns the file size.
     pub async fn stat(&self, path: &str) -> u64 {
         match self {
-            FsClient::Gluster(m) => m.stat(path).await.expect("stat failed").size,
+            FsClient::Gluster(m, _) => m.stat(path).await.expect("stat failed").size,
             FsClient::Lustre(c) => c.stat(path).await.expect("stat failed").0,
+        }
+    }
+
+    /// Stat by path without panicking on ENOENT: `None` for a missing
+    /// file (the "ghost probe" in the ls-storm workload, exercising the
+    /// negative-caching path), `Some(size)` otherwise.
+    pub async fn try_stat(&self, path: &str) -> Option<u64> {
+        match self {
+            FsClient::Gluster(m, _) => m.stat(path).await.ok().map(|st| st.size),
+            FsClient::Lustre(c) => c.stat(path).await.map(|t| t.0),
+        }
+    }
+
+    /// Batched readdir+stat lookup over one directory window. On an IMCa
+    /// mount this rides the metadata tier's `stat_multi` — leases served
+    /// locally, the rest in one multi-key bank round, readdirplus-style
+    /// (no per-op FUSE crossing). Other systems fall back to one stat
+    /// per path, as does a degenerate one-entry window (no batch to
+    /// ride). Returns `None` per missing file.
+    pub async fn stat_multi(&self, paths: &[String]) -> Vec<Option<u64>> {
+        match self {
+            FsClient::Gluster(_, Some(cm)) if paths.len() > 1 => {
+                let rs: Vec<StatResult> = Rc::clone(cm).stat_multi(paths.to_vec()).await;
+                rs.into_iter()
+                    .map(|r| r.stat.ok().map(|st| st.size))
+                    .collect()
+            }
+            _ => {
+                let mut out = Vec::with_capacity(paths.len());
+                for p in paths {
+                    out.push(self.try_stat(p).await);
+                }
+                out
+            }
+        }
+    }
+
+    /// The mount's CMCache, when this is an IMCa client (provenance
+    /// counters, lease table).
+    pub fn cmcache(&self) -> Option<&Rc<CmCache>> {
+        match self {
+            FsClient::Gluster(_, cm) => cm.as_ref(),
+            FsClient::Lustre(_) => None,
         }
     }
 
     /// Close an open handle.
     pub async fn close(&self, h: FsHandle) {
         match (self, h) {
-            (FsClient::Gluster(m), FsHandle::Gluster(fd)) => {
+            (FsClient::Gluster(m, _), FsHandle::Gluster(fd)) => {
                 m.close(fd).await.expect("close failed");
             }
             (FsClient::Lustre(_), FsHandle::Lustre(_)) => {}
@@ -309,6 +376,7 @@ mod tests {
             rdma_bank: false,
             batched: true,
             replication: 1,
+            meta: MetaConfig::default(),
         });
         // And with the bank replicated across both daemons.
         roundtrip(SystemSpec::imca_replicated(2, 2));

@@ -52,7 +52,7 @@ fn main() {
         println!("read {:?}", String::from_utf8_lossy(&data));
         println!("cached read latency : {cached_read}");
 
-        // stat is served from the bank too (key "/data/hello.txt:stat").
+        // stat is served from the bank too (key "/data/hello.txt:m.stat").
         let t0 = h.now();
         let st = mount.stat("/data/hello.txt").await.unwrap();
         println!(

@@ -6,8 +6,11 @@
 #                               (clippy with warnings denied), check
 #                               formatting of the first-party packages,
 #                               and smoke-run the shared-read benches
-#                               (fig10_shared + ablate_replication),
-#                               leaving results/BENCH_5.json behind
+#                               (fig10_shared + ablate_replication) and
+#                               the metadata benches (fig5_stat +
+#                               ablate_metadata), leaving
+#                               results/BENCH_5.json and BENCH_6.json
+#                               behind
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -43,4 +46,13 @@ if [[ "${1:-}" == "--strict" ]]; then
     cargo run --release -q -p imca-bench --bin fig10_shared -- --smoke --out results
     cargo run --release -q -p imca-bench --bin ablate_replication -- --smoke --out results
     test -s results/BENCH_5.json
+
+    # Metadata-path smoke: the Fig 5 stat sweep plus the metadata-tier
+    # ablation, which asserts its own claims (lease p50/p99 < bank p99 <
+    # NoCache at 32 clients) and writes results/BENCH_6.json. The grep
+    # re-checks the headline claim against the emitted document.
+    cargo run --release -q -p imca-bench --bin fig5_stat -- --smoke --out results
+    cargo run --release -q -p imca-bench --bin ablate_metadata -- --smoke --out results
+    test -s results/BENCH_6.json
+    grep -q '"lease_p99_lt_bank": true' results/BENCH_6.json
 fi

@@ -26,6 +26,7 @@ fn imca_spec(mcds: usize) -> SystemSpec {
         rdma_bank: false,
         batched: true,
         replication: 1,
+        meta: imca_repro::imca::MetaConfig::default(),
     }
 }
 
@@ -100,6 +101,7 @@ fn fig6a_direction() {
             rdma_bank: false,
             batched,
             replication: 1,
+            meta: imca_repro::imca::MetaConfig::default(),
         };
         latbench(&LatencyBench {
             spec,
@@ -178,6 +180,7 @@ fn fig6c_direction() {
         rdma_bank: false,
         batched: true,
         replication: 1,
+        meta: imca_repro::imca::MetaConfig::default(),
     });
     assert!(sync > nocache * 1.1, "sync={sync:.1} nocache={nocache:.1}");
     assert!(
@@ -209,6 +212,7 @@ fn fig9_direction() {
         rdma_bank: false,
         batched: true,
         replication: 1,
+        meta: imca_repro::imca::MetaConfig::default(),
     };
     let nocache = bench(SystemSpec::GlusterNoCache);
     let one = bench(modulo(1));

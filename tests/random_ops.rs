@@ -14,7 +14,7 @@ use proptest::prelude::*;
 
 use imca_repro::fabric::FaultPlan;
 use imca_repro::glusterfs::FsError;
-use imca_repro::imca::{keys, Cluster, ClusterConfig, ImcaConfig, Replication};
+use imca_repro::imca::{keys, Cluster, ClusterConfig, ImcaConfig, MetaConfig, Replication};
 use imca_repro::memcached::McConfig;
 use imca_repro::sim::{Sim, SimDuration, SimTime};
 use imca_repro::storage::StorageFaultPlan;
@@ -122,6 +122,7 @@ fn run_scenario(
     threaded: bool,
     seed: u64,
     replication: usize,
+    meta: MetaConfig,
 ) -> (u64, u64, imca_repro::metrics::Snapshot) {
     let mut sim = Sim::new(seed);
     let cluster = Rc::new(Cluster::build(
@@ -134,6 +135,7 @@ fn run_scenario(
             replication: Replication {
                 factor: replication,
             },
+            meta,
             ..ImcaConfig::default()
         }),
     ));
@@ -348,7 +350,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..40),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 2048, false, seed, 1);
+        run_scenario(ops, 2048, false, seed, 1, MetaConfig::default());
     }
 
     #[test]
@@ -356,7 +358,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..30),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 256, false, seed, 1);
+        run_scenario(ops, 256, false, seed, 1, MetaConfig::default());
     }
 
     #[test]
@@ -364,7 +366,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..30),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 2048, true, seed, 1);
+        run_scenario(ops, 2048, true, seed, 1, MetaConfig::default());
     }
 
     /// Replicated bank (R=2 over both daemons): the same kill / partition /
@@ -375,7 +377,19 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..40),
         seed in 0u64..1000,
     ) {
-        run_scenario(ops, 2048, false, seed, 2);
+        run_scenario(ops, 2048, false, seed, 2, MetaConfig::default());
+    }
+
+    /// Stat leases + negative caching under the same kill / partition /
+    /// drop-window schedules: every stat the lease table answers locally
+    /// must still be exact (the sync-mode assertion), because writes and
+    /// unlinks revoke before the bank's stat entry moves.
+    #[test]
+    fn random_ops_match_reference_leased(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        run_scenario(ops, 2048, false, seed, 1, MetaConfig::lease());
     }
 }
 
@@ -462,8 +476,8 @@ fn fixed_seed_fault_schedule_replays_identically() {
             },
         ]
     }
-    let a = run_scenario(schedule(), 2048, false, 42, 1);
-    let b = run_scenario(schedule(), 2048, false, 42, 1);
+    let a = run_scenario(schedule(), 2048, false, 42, 1, MetaConfig::default());
+    let b = run_scenario(schedule(), 2048, false, 42, 1, MetaConfig::default());
     assert_eq!(a.0, b.0, "end time diverged between replays");
     assert_eq!(a.1, b.1, "event count diverged between replays");
     assert_eq!(a.2, b.2, "metrics snapshot diverged between replays");
@@ -473,6 +487,64 @@ fn fixed_seed_fault_schedule_replays_identically() {
             || a.2.counter("cmcache.0.bank.degraded_misses").unwrap_or(0) > 0,
         "partition produced no timeouts or sheds: {:?}",
         a.2.metrics.keys().collect::<Vec<_>>()
+    );
+}
+
+/// The replay property must survive the lease-based metadata path: lease
+/// fills, the revocation fan-out ahead of every purge and stat refresh,
+/// and TTL expiries all run on simulated time and seeded state only, so a
+/// fixed seed replays bit-identically with the Lease policy too.
+#[test]
+fn fixed_seed_fault_schedule_replays_identically_leased() {
+    fn schedule() -> Vec<Op> {
+        vec![
+            Op::Write {
+                file: 0,
+                offset: 0,
+                len: 4000,
+                fill: 7,
+            },
+            Op::Stat { file: 0 },
+            // Served from the lease the first stat installed.
+            Op::Stat { file: 0 },
+            Op::LatencySpike {
+                dur_us: 400,
+                extra_us: 30,
+            },
+            // Revokes the lease before the bank's stat entry moves.
+            Op::Write {
+                file: 0,
+                offset: 2000,
+                len: 2000,
+                fill: 3,
+            },
+            Op::Stat { file: 0 },
+            Op::Partition { idx: 0 },
+            Op::Stat { file: 0 },
+            Op::Read {
+                file: 0,
+                offset: 0,
+                len: 4000,
+            },
+            Op::Heal { idx: 0 },
+            Op::DropWindow { dur_us: 300 },
+            Op::Stat { file: 0 },
+            Op::Stat { file: 0 },
+        ]
+    }
+    let a = run_scenario(schedule(), 2048, false, 42, 1, MetaConfig::lease());
+    let b = run_scenario(schedule(), 2048, false, 42, 1, MetaConfig::lease());
+    assert_eq!(a.0, b.0, "end time diverged between leased replays");
+    assert_eq!(a.1, b.1, "event count diverged between leased replays");
+    assert_eq!(a.2, b.2, "metrics snapshot diverged between leased replays");
+    // The schedule exercised the lease machinery, not just the bank path.
+    assert!(
+        a.2.counter("cmcache.0.meta.lease_hits").unwrap_or(0) > 0,
+        "no stat was served from a lease"
+    );
+    assert!(
+        a.2.counter("leases.revocations_sent").unwrap_or(0) > 0,
+        "no write revoked a lease"
     );
 }
 
@@ -521,8 +593,8 @@ fn fixed_seed_fault_schedule_replays_identically_replicated() {
             },
         ]
     }
-    let a = run_scenario(schedule(), 2048, false, 42, 2);
-    let b = run_scenario(schedule(), 2048, false, 42, 2);
+    let a = run_scenario(schedule(), 2048, false, 42, 2, MetaConfig::default());
+    let b = run_scenario(schedule(), 2048, false, 42, 2, MetaConfig::default());
     assert_eq!(a.0, b.0, "end time diverged between replicated replays");
     assert_eq!(a.1, b.1, "event count diverged between replicated replays");
     assert_eq!(
@@ -566,6 +638,10 @@ enum ChaosOp {
     CrashServer,
     /// Restart both daemons; the IMCa one purges its bank (cold restart).
     RestartServer,
+    /// Create or unlink a fourth file that `Stat` also probes: the churn
+    /// that makes a cached ENOENT go stale, so the negative-caching path
+    /// must revalidate on create to stay verdict-equivalent.
+    ToggleGhost,
 }
 
 fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
@@ -574,10 +650,11 @@ fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
             .prop_map(|(file, offset, len, fill)| ChaosOp::Write { file, offset, len, fill }),
         4 => (0u8..3, 0u16..16_000, 1u16..6_000)
             .prop_map(|(file, offset, len)| ChaosOp::Read { file, offset, len }),
-        2 => (0u8..3).prop_map(|file| ChaosOp::Stat { file }),
+        2 => (0u8..4).prop_map(|file| ChaosOp::Stat { file }),
         2 => any::<bool>().prop_map(ChaosOp::MediaErrors),
         1 => Just(ChaosOp::CrashServer),
         1 => Just(ChaosOp::RestartServer),
+        1 => Just(ChaosOp::ToggleGhost),
     ]
 }
 
@@ -593,7 +670,7 @@ fn chaos_op_strategy() -> impl Strategy<Value = ChaosOp> {
 ///   equivalence;
 /// * media error mode only breaks writes, so reads and stats stay
 ///   comparable throughout.
-fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize) {
+fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize, meta: MetaConfig) {
     let mut sim = Sim::new(seed);
     let imca = Rc::new(Cluster::build(
         sim.handle(),
@@ -604,6 +681,7 @@ fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize) {
             replication: Replication {
                 factor: replication,
             },
+            meta,
             ..ImcaConfig::default()
         }),
     ));
@@ -668,10 +746,17 @@ fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize) {
                         continue;
                     }
                     let p = format!("/chaos/{file}");
-                    let sti = mi.stat(&p).await.unwrap();
-                    let stn = mn.stat(&p).await.unwrap();
-                    assert_eq!(sti.size, stn.size, "stat diverged on file {file}");
-                    assert_eq!(sti.size, reference.files[&file].len() as u64);
+                    let sti = mi.stat(&p).await;
+                    let stn = mn.stat(&p).await;
+                    assert_eq!(
+                        sti.as_ref().map(|s| s.size).map_err(|e| *e),
+                        stn.as_ref().map(|s| s.size).map_err(|e| *e),
+                        "stat verdict diverged on file {file}"
+                    );
+                    match reference.files.get(&file) {
+                        Some(buf) => assert_eq!(sti.unwrap().size, buf.len() as u64),
+                        None => assert_eq!(sti.unwrap_err(), FsError::NotFound),
+                    }
                 }
                 ChaosOp::MediaErrors(on) => {
                     media_errors = on;
@@ -692,6 +777,23 @@ fn run_chaos_equivalence(ops: Vec<ChaosOp>, seed: u64, replication: usize) {
                     if !c.server_alive() {
                         c.restart_server().await;
                         n.restart_server().await;
+                    }
+                }
+                ChaosOp::ToggleGhost => {
+                    let p = "/chaos/3".to_string();
+                    let exists = reference.files.contains_key(&3);
+                    let (ri, rn) = if exists {
+                        (mi.unlink(&p).await, mn.unlink(&p).await)
+                    } else {
+                        (mi.create(&p).await, mn.create(&p).await)
+                    };
+                    assert_eq!(ri, rn, "ghost churn verdict diverged (exists={exists})");
+                    if ri.is_ok() {
+                        if exists {
+                            reference.files.remove(&3);
+                        } else {
+                            reference.files.insert(3, Vec::new());
+                        }
                     }
                 }
             }
@@ -727,7 +829,7 @@ proptest! {
         ops in prop::collection::vec(chaos_op_strategy(), 1..35),
         seed in 0u64..1000,
     ) {
-        run_chaos_equivalence(ops, seed, 1);
+        run_chaos_equivalence(ops, seed, 1, MetaConfig::default());
     }
 
     /// The same error-for-error contract with the bank replicated (R=2):
@@ -739,7 +841,20 @@ proptest! {
         ops in prop::collection::vec(chaos_op_strategy(), 1..35),
         seed in 0u64..1000,
     ) {
-        run_chaos_equivalence(ops, seed, 2);
+        run_chaos_equivalence(ops, seed, 2, MetaConfig::default());
+    }
+
+    /// The lease-based metadata path under the same composed chaos:
+    /// locally-served stats, negative ENOENT entries, and the create
+    /// revalidation must leave every client-visible verdict identical to
+    /// plain GlusterFS — the revoke-before-update ordering is what makes
+    /// a held lease indistinguishable from a fresh server stat.
+    #[test]
+    fn storage_and_server_chaos_matches_nocache_leased(
+        ops in prop::collection::vec(chaos_op_strategy(), 1..35),
+        seed in 0u64..1000,
+    ) {
+        run_chaos_equivalence(ops, seed, 1, MetaConfig::lease());
     }
 }
 
