@@ -19,7 +19,7 @@ use crate::block::DEFAULT_BLOCK_SIZE;
 use crate::cmcache::{CmCache, CmStats};
 use crate::mcd::{Bank, McdCosts, McdNode, Replication, RetryPolicy};
 use crate::meta::{serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaConfig, MetaPolicy};
-use crate::smcache::{SmCache, SmStats};
+use crate::smcache::{Coherence, SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
 #[derive(Debug, Clone)]
@@ -59,6 +59,12 @@ pub struct ImcaConfig {
     /// read failover. The default factor 1 is the paper's single-home
     /// bank.
     pub replication: Replication,
+    /// Write-coherence protocol (DESIGN.md §4f). The default
+    /// [`Coherence::Cas`] replaces a write's covering blocks in place
+    /// via versioned CAS stores, keeping replicas warm across writes;
+    /// [`Coherence::Purge`] is the paper's delete-then-repush protocol,
+    /// kept as the ablation baseline.
+    pub coherence: Coherence,
     /// Metadata-tier policy (stat leases, negative caching, batched
     /// lookups — see `crate::meta`). The default reproduces the paper's
     /// bank round-trip stat path; [`MetaConfig::lease`] turns on the
@@ -81,6 +87,7 @@ impl Default for ImcaConfig {
             retry: RetryPolicy::default(),
             server_retry: None,
             replication: Replication::default(),
+            coherence: Coherence::default(),
             meta: MetaConfig::default(),
         }
     }
@@ -210,6 +217,7 @@ impl Cluster {
                     imca.block_size,
                     imca.threaded_updates,
                     imca.batching,
+                    imca.coherence,
                     imca.meta,
                     hub.clone(),
                 );
@@ -819,6 +827,67 @@ mod tests {
         sim.run();
         let snap = cluster.metrics();
         assert!(snap.counter("storage.io_errors").unwrap() >= 1);
+    }
+
+    #[test]
+    fn dropped_push_revokes_leases_and_purges_meta_under_both_coherences() {
+        // Regression (satellite of the CAS PR): a dropped push — the
+        // write committed but the covering fill re-read died on sick
+        // media — must not leave clients holding live stat leases or the
+        // bank serving the pre-write stat entry. Composed: media faults ×
+        // MetaPolicy::Lease × both coherence modes.
+        for coherence in [Coherence::Cas, Coherence::Purge] {
+            let mut sim = Sim::new(1);
+            let cluster = Rc::new(Cluster::build(
+                sim.handle(),
+                ClusterConfig::imca(ImcaConfig {
+                    mcd_count: 1,
+                    mcd_config: McConfig::with_mem_limit(8 << 20),
+                    // Block (8 KB) > page (4 KB): the fill re-read must
+                    // touch the media, where the fault plan can kill it.
+                    block_size: 8192,
+                    coherence,
+                    meta: MetaConfig::lease(),
+                    ..ImcaConfig::default()
+                }),
+            ));
+            let c2 = Rc::clone(&cluster);
+            sim.spawn(async move {
+                let producer = c2.mount();
+                let (consumer, cm) = c2.mount_with_meta();
+                let cm = cm.expect("imca mount has a cmcache");
+                producer.create("/f").await.unwrap();
+                let fd = producer.open("/f").await.unwrap();
+                producer.write(fd, 0, &vec![1u8; 8192]).await.unwrap();
+                // The consumer takes a lease on the current size.
+                assert_eq!(consumer.stat("/f").await.unwrap().size, 8192);
+                assert_eq!(cm.meta().held_leases(), 1);
+                // The next write commits on disk, but its covering fill
+                // re-read (an untracked block past EOF) dies on the media.
+                c2.backend().drop_caches();
+                c2.install_storage_faults(StorageFaultPlan {
+                    read_error: 1.0,
+                    ..StorageFaultPlan::default()
+                });
+                producer.write(fd, 8192, &[2u8; 100]).await.unwrap();
+                // The dropped-push purge revoked the consumer's lease: no
+                // client may keep serving the pre-write size.
+                assert_eq!(
+                    cm.meta().held_leases(),
+                    0,
+                    "lease survived a dropped push ({coherence:?})"
+                );
+            });
+            sim.run();
+            let s = cluster.smcache_stats().unwrap();
+            assert!(s.dropped_pushes >= 1, "{coherence:?}: {s:?}");
+            let snap = cluster.metrics();
+            assert!(
+                snap.counter("leases.revocations_sent").unwrap() >= 1,
+                "{coherence:?}"
+            );
+            assert_eq!(snap.counter("leases.failed_revocations"), Some(0));
+        }
     }
 
     #[test]

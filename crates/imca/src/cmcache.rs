@@ -27,6 +27,13 @@
 //! coalesces concurrent same-key GETs into one RPC, so CMCache's hit
 //! and miss semantics — and the "any block miss forwards the read"
 //! rule — are byte-identical at every replication factor.
+//!
+//! Write coherence (DESIGN.md §4f) is likewise invisible here: writes
+//! pass through untouched either way, and the server-side SMCache
+//! decides whether a write's covering blocks are CAS-replaced in place
+//! (the default — this cache's post-write reads stay bank hits) or
+//! purged and repushed (the paper's protocol, whose cold window shows
+//! up here as post-write `read_misses`).
 
 use std::rc::Rc;
 

@@ -63,11 +63,11 @@ mod smcache;
 pub use cluster::{Cluster, ClusterConfig, ImcaConfig};
 pub use cmcache::{CmCache, CmStats};
 pub use mcd::{
-    start_mcd, Bank, BankClient, BankStats, McdCosts, McdNode, McdReq, McdResp, Replication,
-    RetryPolicy,
+    start_mcd, Bank, BankClient, BankStats, CasToken, CasVerdict, McdCosts, McdNode, McdReq,
+    McdResp, Replication, RetryPolicy,
 };
 pub use meta::{
     serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaCache, MetaConfig, MetaEngine,
     MetaPolicy, StatFuture, StatMultiFuture, StatResult, StatSource, NEG_MARKER,
 };
-pub use smcache::{SmCache, SmStats};
+pub use smcache::{Coherence, SmCache, SmStats};

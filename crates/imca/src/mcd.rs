@@ -52,8 +52,20 @@ impl WireSize for McdReq {
     fn wire_bytes(&self) -> usize {
         // Text-protocol framing without paying for an actual encode.
         match &self.0 {
-            Command::Store { key, data, .. } => 24 + key.len() + data.len(),
-            Command::Get { keys, .. } => 6 + keys.iter().map(|k| k.len() + 1).sum::<usize>(),
+            Command::Store {
+                verb, key, data, ..
+            } => {
+                // A `cas` line additionally carries the decimal token.
+                let token = match verb {
+                    StoreVerb::Cas(_) => 21,
+                    _ => 0,
+                };
+                24 + token + key.len() + data.len()
+            }
+            Command::Get { keys, with_cas } => {
+                // `gets` vs `get`: one extra command byte.
+                6 + usize::from(*with_cas) + keys.iter().map(|k| k.len() + 1).sum::<usize>()
+            }
             Command::Delete { key, .. } => 9 + key.len(),
             Command::Arith { key, .. } => 16 + key.len(),
             Command::Touch { key, .. } => 18 + key.len(),
@@ -67,9 +79,10 @@ impl WireSize for McdResp {
     fn wire_bytes(&self) -> usize {
         match &self.0 {
             Some(Response::Values(values)) => {
+                // A `gets` reply carries the decimal CAS token per value.
                 5 + values
                     .iter()
-                    .map(|v| 24 + v.key.len() + v.data.len())
+                    .map(|v| 24 + v.key.len() + v.data.len() + v.cas.map_or(0, |_| 21))
                     .sum::<usize>()
             }
             Some(Response::Stats(pairs)) => {
@@ -170,6 +183,49 @@ impl Default for Replication {
     }
 }
 
+/// A CAS token as the bank client hands it out: the engine's `gets`
+/// token *tagged with the daemon whose token space it belongs to*.
+///
+/// Every daemon numbers its stores from its own monotonic counter, so
+/// two daemons' token spaces overlap numerically: a bare `u64` read from
+/// replica A would happily "match" an unrelated store on replica B. With
+/// replication a failover re-route answers a retry round from a
+/// *different* daemon than the original primary, which is exactly the
+/// situation where an untagged token silently crosses spaces. Tagging
+/// makes the confusion unrepresentable — a [`BankClient::cas`] always
+/// goes back to `daemon`, and only to `daemon` (DESIGN.md §4f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasToken {
+    /// The daemon whose token space `token` lives in — the one that
+    /// answered the `gets`.
+    pub daemon: usize,
+    /// The engine token from that daemon's reply.
+    pub token: u64,
+}
+
+/// One key's answer rows from [`BankClient::gets_for_update`]: for each
+/// usable write-target replica, `(daemon, value + token)` — `None` when
+/// that daemon answered but does not hold the key (cold replica).
+pub type ReplicaRows = Vec<(usize, Option<(Bytes, CasToken)>)>;
+
+/// Outcome of one compare-and-swap store (DESIGN.md §4f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasVerdict {
+    /// The token still matched: the value was replaced in place.
+    Stored,
+    /// The key exists with a newer token — someone updated it between
+    /// the `gets` and the `cas`.
+    Conflict,
+    /// The key vanished between the `gets` and the `cas` (concurrent
+    /// delete/purge or eviction).
+    Missing,
+    /// No definitive daemon answer: dead/shed at routing time, reset or
+    /// timed out mid-flight (the daemon is then quarantined like any
+    /// failed write — see [`BankClient::settle_write`] — so it cannot
+    /// keep serving the possibly-stale old value).
+    Failed,
+}
+
 /// What one deadline-guarded bank RPC resolved to.
 enum CallOutcome {
     /// The daemon answered within the deadline.
@@ -180,6 +236,19 @@ enum CallOutcome {
     /// Every attempt ran out its deadline (lost on the wire, partitioned,
     /// or the daemon is hopelessly slow).
     TimedOut,
+}
+
+/// Map a `cas` store's RPC outcome to its verdict. Anything that is not
+/// a definitive engine answer — transport failure, or a non-store reply
+/// such as a `CLIENT_ERROR` — is [`CasVerdict::Failed`]; the caller's
+/// settle step decides what that means for the daemon.
+fn cas_verdict(outcome: &CallOutcome) -> CasVerdict {
+    match outcome {
+        CallOutcome::Resp(McdResp(Some(Response::Stored))) => CasVerdict::Stored,
+        CallOutcome::Resp(McdResp(Some(Response::Exists))) => CasVerdict::Conflict,
+        CallOutcome::Resp(McdResp(Some(Response::NotFound))) => CasVerdict::Missing,
+        CallOutcome::Resp(_) | CallOutcome::Dropped | CallOutcome::TimedOut => CasVerdict::Failed,
+    }
 }
 
 /// One deadline-guarded attempt loop, self-contained so batched paths can
@@ -597,6 +666,10 @@ type SingleFlightWaiters = Vec<OneshotSender<Option<Bytes>>>;
 /// key list, routed-as-failover, replicas that already failed it).
 type GroupMember = (usize, bool, Vec<usize>);
 
+/// A multi-get hit: the value plus, when the fetch asked for tokens, the
+/// daemon-tagged CAS token of the replica that answered.
+type TaggedValue = (Bytes, Option<CasToken>);
+
 /// The bank of MCDs as seen from one node (CMCache or SMCache side).
 pub struct BankClient {
     clients: Vec<RpcClient<McdReq, McdResp>>,
@@ -625,6 +698,10 @@ pub struct BankClient {
     pipelined_sets: Counter,
     /// Deletes streamed through the `noreply` pipeline.
     pipelined_deletes: Counter,
+    /// Compare-and-swap stores issued (single and pipelined).
+    cas_ops: Counter,
+    /// CAS stores that travelled through [`BankClient::cas_pipeline`].
+    pipelined_cas: Counter,
     /// RPC attempts abandoned at their deadline.
     rpc_timeouts: Counter,
     /// Retried attempts and retransmitted pipeline posts.
@@ -725,6 +802,8 @@ impl BankClient {
             keys_per_multi_get: registry.histogram("keys_per_multi_get"),
             pipelined_sets: registry.counter("pipelined_sets"),
             pipelined_deletes: registry.counter("pipelined_deletes"),
+            cas_ops: registry.counter("cas_ops"),
+            pipelined_cas: registry.counter("pipelined_cas"),
             rpc_timeouts: registry.counter("rpc_timeouts"),
             retries: registry.counter("retries"),
             degraded_misses: registry.counter("degraded_misses"),
@@ -1132,6 +1211,24 @@ impl BankClient {
         out
     }
 
+    /// [`BankClient::fetch_multi_inner`] without tokens: the plain
+    /// `get_multi` fetch.
+    async fn fetch_multi(
+        &self,
+        keys: &[(Vec<u8>, Option<u64>)],
+        positions: &[usize],
+        out: &mut [Option<Bytes>],
+    ) {
+        let mut tagged: Vec<Option<TaggedValue>> = vec![None; keys.len()];
+        self.fetch_multi_inner(keys, positions, false, &mut tagged)
+            .await;
+        for (slot, hit) in out.iter_mut().zip(tagged) {
+            if let Some((data, _)) = hit {
+                *slot = Some(data);
+            }
+        }
+    }
+
     /// Route and fetch the `positions` of `keys` this call leads, writing
     /// hits into `out`. One multi-key RPC per daemon per round; with
     /// replication, keys grouped on a daemon that fails mid-flight
@@ -1139,11 +1236,20 @@ impl BankClient {
     /// failover) instead of failing the whole group. At factor 1 there is
     /// exactly one round and the single-home semantics above hold
     /// unchanged.
-    async fn fetch_multi(
+    ///
+    /// With `with_cas` the daemons answer with their engine tokens, and
+    /// each hit's token is tagged with the daemon *of the round that
+    /// answered it* — not the key's original primary. The lockstep
+    /// matching below runs per round, against that round's daemon, so a
+    /// dead-primary re-route can never pair a retry round's tokens with
+    /// the first round's token space (the [`CasToken`] tag is taken from
+    /// the same `idx` the reply just came from).
+    async fn fetch_multi_inner(
         &self,
         keys: &[(Vec<u8>, Option<u64>)],
         positions: &[usize],
-        out: &mut [Option<Bytes>],
+        with_cas: bool,
+        out: &mut [Option<TaggedValue>],
     ) {
         // Each pending key remembers the replicas that already failed it
         // mid-flight, so a failover round never retries one.
@@ -1182,7 +1288,7 @@ impl BankClient {
                     }
                     let req = McdReq(Command::Get {
                         keys: members.iter().map(|(p, _, _)| keys[*p].0.clone()).collect(),
-                        with_cas: false,
+                        with_cas,
                     });
                     retry_call(
                         self.handle.clone(),
@@ -1211,7 +1317,13 @@ impl BankClient {
                             }
                             if vals.peek().is_some_and(|v| v.key == keys[p].0) {
                                 self.hits.inc();
-                                out[p] = Some(vals.next().expect("peeked").data);
+                                let v = vals.next().expect("peeked");
+                                // The tag is this round's daemon: on a
+                                // failover round that is the replica that
+                                // actually answered, never the daemon the
+                                // key was first grouped on.
+                                let token = v.cas.map(|token| CasToken { daemon: idx, token });
+                                out[p] = Some((v.data, token));
                             } else {
                                 self.misses.inc();
                             }
@@ -1261,6 +1373,372 @@ impl BankClient {
                 }
             }
         }
+    }
+
+    /// Fetch one value *with its CAS token* (`gets`). Routing is the same
+    /// as [`BankClient::get`] — primary-only at factor 1, warm P2C
+    /// failover at factor > 1 — and the token is tagged with the daemon
+    /// that actually answered, so a failover hit hands back a token that
+    /// can only ever be compared inside that replica's token space.
+    ///
+    /// Deliberately *not* single-flighted: a coalesced follower would
+    /// receive the leader's value without a token of its own (tokens are
+    /// per-RPC), so every `gets` leads its own request.
+    pub async fn gets(&self, key: &[u8], hint: Option<u64>) -> Option<(Bytes, CasToken)> {
+        self.gets.inc();
+        let t0 = self.handle.now();
+        let result = self.gets_lead(key, hint).await;
+        self.get_ns.record_duration(self.handle.now().since(t0));
+        result
+    }
+
+    /// The routing/fetch loop behind [`BankClient::gets`].
+    async fn gets_lead(&self, key: &[u8], hint: Option<u64>) -> Option<(Bytes, CasToken)> {
+        let candidates = self.replica_set(key, hint);
+        let mut tried: Vec<usize> = Vec::new();
+        loop {
+            let (route, failover) = self.route_read_replica(&candidates, &tried);
+            let idx = match route {
+                Route::Daemon(idx) => idx,
+                Route::Shed => {
+                    self.misses.inc();
+                    self.degraded_misses.inc();
+                    return None;
+                }
+                Route::Dead => {
+                    self.misses.inc();
+                    return None;
+                }
+            };
+            let req = McdReq(Command::Get {
+                keys: vec![key.to_vec()],
+                with_cas: true,
+            });
+            if self.replication > 1 {
+                self.in_flight[idx].set(self.in_flight[idx].get() + 1);
+            }
+            let outcome = self.call_daemon(idx, req).await;
+            if self.replication > 1 {
+                self.in_flight[idx].set(self.in_flight[idx].get() - 1);
+            }
+            match outcome {
+                CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
+                    if !vals.is_empty() =>
+                {
+                    if failover {
+                        self.replica_failovers.inc();
+                    }
+                    self.hits.inc();
+                    let v = vals.remove(0);
+                    let token = v.cas.expect("gets reply carries a token");
+                    return Some((v.data, CasToken { daemon: idx, token }));
+                }
+                CallOutcome::Resp(_) => {
+                    if failover {
+                        self.replica_failovers.inc();
+                    }
+                    self.misses.inc();
+                    return None;
+                }
+                CallOutcome::Dropped => {
+                    self.failures.inc();
+                    self.core.borrow_mut().mark_dead(idx);
+                    if self.replication == 1 {
+                        self.misses.inc();
+                        return None;
+                    }
+                    tried.push(idx);
+                }
+                CallOutcome::TimedOut => {
+                    self.failures.inc();
+                    if self.replication == 1 {
+                        self.misses.inc();
+                        self.degraded_misses.inc();
+                        return None;
+                    }
+                    tried.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Batched `gets`: [`BankClient::get_multi`]'s grouping and warm
+    /// re-route rounds, with every hit carrying its daemon-tagged token.
+    /// Like [`BankClient::gets`] this bypasses the single-flight table —
+    /// see there for why — but keys already being fetched by a concurrent
+    /// plain GET are unaffected (this call simply leads its own RPCs).
+    pub async fn gets_multi(
+        &self,
+        keys: &[(Vec<u8>, Option<u64>)],
+    ) -> Vec<Option<(Bytes, CasToken)>> {
+        self.gets.add(keys.len() as u64);
+        let t0 = self.handle.now();
+        let positions: Vec<usize> = (0..keys.len()).collect();
+        let mut tagged: Vec<Option<TaggedValue>> = vec![None; keys.len()];
+        self.fetch_multi_inner(keys, &positions, true, &mut tagged)
+            .await;
+        let dt = self.handle.now().since(t0);
+        for _ in 0..keys.len() {
+            self.get_ns.record_duration(dt);
+        }
+        tagged
+            .into_iter()
+            .map(|hit| hit.map(|(data, token)| (data, token.expect("gets round asked for tokens"))))
+            .collect()
+    }
+
+    /// Per-replica `gets` for an in-place update wave (DESIGN.md §4f):
+    /// see [`ReplicaRows`] for the per-key row shape.
+    /// fetch `keys` from *every* usable replica — not one routed replica
+    /// per key as [`BankClient::get_multi`] does — returning for each key
+    /// the `(daemon, value-with-token)` rows that answered. The CAS
+    /// update path needs every replica's own token, because tokens live
+    /// in per-daemon spaces and must never cross them.
+    ///
+    /// One multi-key `gets` RPC per daemon. Write-path semantics
+    /// throughout: the target set is [`BankClient::write_targets`] (dead
+    /// replicas restart empty, shed replicas are already quarantined —
+    /// both safe to skip), and a daemon that drops or times out
+    /// mid-flight is **quarantined like a failed write**, because the
+    /// in-place update it was about to receive can no longer be
+    /// confirmed and it must not keep serving the old value. A row with
+    /// `None` means the daemon answered and does not hold the key (cold
+    /// replica — nothing to replace there).
+    ///
+    /// Not counted in `gets`/`hits`/`misses`: this is a write-path
+    /// internal fetch, and folding it in would skew the read hit rate.
+    pub async fn gets_for_update(&self, keys: &[(Vec<u8>, Option<u64>)]) -> Vec<ReplicaRows> {
+        let mut out: Vec<ReplicaRows> = vec![Vec::new(); keys.len()];
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pos, (key, hint)) in keys.iter().enumerate() {
+            for idx in self.write_targets(key, *hint) {
+                groups.entry(idx).or_default().push(pos);
+            }
+        }
+        let groups: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+        let calls: Vec<_> = groups
+            .iter()
+            .map(|(idx, members)| {
+                self.multi_gets.inc();
+                self.keys_per_multi_get.record(members.len() as u64);
+                let req = McdReq(Command::Get {
+                    keys: members.iter().map(|&p| keys[p].0.clone()).collect(),
+                    with_cas: true,
+                });
+                retry_call(
+                    self.handle.clone(),
+                    self.clients[*idx].clone(),
+                    self.policy.clone(),
+                    self.rpc_timeouts.clone(),
+                    self.retries.clone(),
+                    req,
+                )
+            })
+            .collect();
+        let outcomes = join_all(&self.handle, calls).await;
+        for ((idx, members), outcome) in groups.into_iter().zip(outcomes) {
+            match outcome {
+                CallOutcome::Resp(McdResp(Some(Response::Values(vals)))) => {
+                    let mut vals = vals.into_iter().peekable();
+                    for p in members {
+                        if vals.peek().is_some_and(|v| v.key == keys[p].0) {
+                            let v = vals.next().expect("peeked");
+                            let token = v.cas.expect("gets reply carries a token");
+                            out[p].push((idx, Some((v.data, CasToken { daemon: idx, token }))));
+                        } else {
+                            out[p].push((idx, None));
+                        }
+                    }
+                }
+                CallOutcome::Resp(_) => {
+                    for p in members {
+                        out[p].push((idx, None));
+                    }
+                }
+                CallOutcome::Dropped => {
+                    self.failures.add(members.len() as u64);
+                    self.quarantined[idx].set(true);
+                    self.core.borrow_mut().mark_dead(idx);
+                }
+                CallOutcome::TimedOut => {
+                    self.failures.add(members.len() as u64);
+                    self.degraded_misses.add(members.len() as u64);
+                    self.quarantined[idx].set(true);
+                    self.trip_circuit(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Compare-and-swap one value against the token's daemon. The store
+    /// goes to `token.daemon` and nowhere else — the token is meaningless
+    /// in any other daemon's token space, which is the invariant the tag
+    /// exists to enforce. Any transport failure quarantines the daemon
+    /// exactly like a failed set/delete: an unacknowledged `cas` may have
+    /// left it holding a value now stale against the disk.
+    pub async fn cas(&self, key: &[u8], value: Bytes, token: CasToken) -> CasVerdict {
+        self.sets.inc();
+        self.cas_ops.inc();
+        self.refresh_liveness();
+        let idx = match self.probe(token.daemon) {
+            Route::Daemon(idx) => idx,
+            Route::Dead => return CasVerdict::Failed,
+            Route::Shed => {
+                self.degraded_misses.inc();
+                return CasVerdict::Failed;
+            }
+        };
+        let req = McdReq(Command::Store {
+            verb: StoreVerb::Cas(token.token),
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: value,
+            noreply: false,
+        });
+        let outcome = self.call_daemon(idx, req).await;
+        let verdict = cas_verdict(&outcome);
+        self.settle_write(idx, outcome);
+        verdict
+    }
+
+    /// Pipelined compare-and-swap with the same one-barrier-per-daemon
+    /// discipline as [`BankClient::set_pipeline`]: items are grouped by
+    /// their token's daemon and each group's stores go out back-to-back
+    /// without waiting on each other. `cas` needs per-item replies (the
+    /// verdicts), so instead of `noreply` + a trailing `version` the
+    /// replies themselves subsume the barrier — the daemon's FIFO event
+    /// loop answers a group's last `cas` only after every earlier one has
+    /// applied, so the whole batch still costs one wall-clock round trip
+    /// per daemon, not one per key.
+    ///
+    /// Items whose daemon is dead or shed come back [`CasVerdict::Failed`]
+    /// without wire traffic; a daemon failing mid-batch fails its items
+    /// and is quarantined like a failed pipeline sync.
+    pub async fn cas_pipeline(&self, items: &[(Vec<u8>, Bytes, CasToken)]) -> Vec<CasVerdict> {
+        self.sets.add(items.len() as u64);
+        self.cas_ops.add(items.len() as u64);
+        let mut verdicts = vec![CasVerdict::Failed; items.len()];
+        self.refresh_liveness();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pos, (_, _, token)) in items.iter().enumerate() {
+            match self.probe(token.daemon) {
+                Route::Daemon(idx) => groups.entry(idx).or_default().push(pos),
+                Route::Dead => {}
+                Route::Shed => self.degraded_misses.inc(),
+            }
+        }
+        let groups: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
+        let batches: Vec<_> = groups
+            .iter()
+            .map(|(idx, members)| {
+                self.pipelined_cas.add(members.len() as u64);
+                let futs: Vec<_> = members
+                    .iter()
+                    .map(|&pos| {
+                        let (key, data, token) = &items[pos];
+                        retry_call(
+                            self.handle.clone(),
+                            self.clients[*idx].clone(),
+                            self.policy.clone(),
+                            self.rpc_timeouts.clone(),
+                            self.retries.clone(),
+                            McdReq(Command::Store {
+                                verb: StoreVerb::Cas(token.token),
+                                key: key.clone(),
+                                flags: 0,
+                                exptime: 0,
+                                data: data.clone(),
+                                noreply: false,
+                            }),
+                        )
+                    })
+                    .collect();
+                let handle = self.handle.clone();
+                async move { join_all(&handle, futs).await }
+            })
+            .collect();
+        let outcomes = join_all(&self.handle, batches).await;
+        for ((idx, members), batch) in groups.into_iter().zip(outcomes) {
+            for (pos, outcome) in members.into_iter().zip(batch) {
+                verdicts[pos] = cas_verdict(&outcome);
+                if matches!(outcome, CallOutcome::TimedOut) {
+                    self.trip_circuit(idx);
+                }
+                self.settle_write(idx, outcome);
+            }
+        }
+        verdicts
+    }
+
+    /// Append `suffix` to an existing value on every usable replica.
+    /// `true` only when every targeted replica confirmed the append (and
+    /// at least one was targeted); a replica without the key answers
+    /// `NOT_STORED`, which fails the call — append never creates.
+    pub async fn append(&self, key: &[u8], suffix: Bytes, hint: Option<u64>) -> bool {
+        self.sets.inc();
+        let req = McdReq(Command::Store {
+            verb: StoreVerb::Append,
+            key: key.to_vec(),
+            flags: 0,
+            exptime: 0,
+            data: suffix,
+            noreply: false,
+        });
+        self.write_expect(key, hint, req, &Response::Stored).await
+    }
+
+    /// Refresh a key's expiry on every usable replica. `true` only when
+    /// every targeted replica held the key and confirmed the touch.
+    pub async fn touch(&self, key: &[u8], exptime: u32, hint: Option<u64>) -> bool {
+        let req = McdReq(Command::Touch {
+            key: key.to_vec(),
+            exptime,
+            noreply: false,
+        });
+        self.write_expect(key, hint, req, &Response::Touched).await
+    }
+
+    /// Fan `req` out to every usable replica and report whether *all* of
+    /// them answered `want`. Failure accounting is the write fan-out's:
+    /// each daemon settles independently and a reset/timeout quarantines
+    /// it.
+    async fn write_expect(
+        &self,
+        key: &[u8],
+        hint: Option<u64>,
+        req: McdReq,
+        want: &Response,
+    ) -> bool {
+        let targets = self.write_targets(key, hint);
+        if targets.is_empty() {
+            return false;
+        }
+        let calls: Vec<_> = targets
+            .iter()
+            .map(|&idx| {
+                retry_call(
+                    self.handle.clone(),
+                    self.clients[idx].clone(),
+                    self.policy.clone(),
+                    self.rpc_timeouts.clone(),
+                    self.retries.clone(),
+                    req.clone(),
+                )
+            })
+            .collect();
+        let outcomes = join_all(&self.handle, calls).await;
+        let mut all_confirmed = true;
+        for (idx, outcome) in targets.into_iter().zip(outcomes) {
+            if matches!(outcome, CallOutcome::TimedOut) {
+                self.trip_circuit(idx);
+            }
+            all_confirmed &=
+                matches!(&outcome, CallOutcome::Resp(McdResp(Some(resp))) if resp == want);
+            self.settle_write(idx, outcome);
+        }
+        all_confirmed
     }
 
     /// Store many values using `noreply` pipelining: per routed daemon the
@@ -2440,5 +2918,259 @@ mod tests {
         assert_eq!(snap.counter("bank.per_daemon.1.gets"), Some(0));
         assert_eq!(snap.counter("bank.per_daemon.max_gets"), Some(10));
         assert_eq!(snap.gauge("bank.per_daemon.mean_gets"), Some(5));
+    }
+
+    #[test]
+    fn gets_cas_roundtrip_conflict_and_missing() {
+        let mut sim = Sim::new(0);
+        let (_net, _bank, client) = setup(&sim, 1);
+        let client = Rc::new(client);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.set(b"/k:0", Bytes::from_static(b"old"), Some(0)).await;
+            let (v, tok) = c2.gets(b"/k:0", Some(0)).await.expect("warm key");
+            assert_eq!(v, Bytes::from_static(b"old"));
+            // Token still current → replaced in place.
+            assert_eq!(
+                c2.cas(b"/k:0", Bytes::from_static(b"new"), tok).await,
+                CasVerdict::Stored
+            );
+            assert_eq!(c2.get(b"/k:0", Some(0)).await.unwrap(), &b"new"[..]);
+            // The successful cas bumped the version: the same token is
+            // now stale and must conflict, leaving the value untouched.
+            assert_eq!(
+                c2.cas(b"/k:0", Bytes::from_static(b"zzz"), tok).await,
+                CasVerdict::Conflict
+            );
+            assert_eq!(c2.get(b"/k:0", Some(0)).await.unwrap(), &b"new"[..]);
+            // An interleaved plain set also invalidates an issued token.
+            let (_, tok2) = c2.gets(b"/k:0", Some(0)).await.unwrap();
+            c2.set(b"/k:0", Bytes::from_static(b"set"), Some(0)).await;
+            assert_eq!(
+                c2.cas(b"/k:0", Bytes::from_static(b"zzz"), tok2).await,
+                CasVerdict::Conflict
+            );
+            // A vanished key is Missing, not Conflict.
+            let (_, tok3) = c2.gets(b"/k:0", Some(0)).await.unwrap();
+            c2.delete(b"/k:0", Some(0)).await;
+            assert_eq!(
+                c2.cas(b"/k:0", Bytes::from_static(b"zzz"), tok3).await,
+                CasVerdict::Missing
+            );
+            // gets on an absent key is a plain miss.
+            assert!(c2.gets(b"/k:0", Some(0)).await.is_none());
+        });
+        sim.run();
+        let s = client.stats();
+        // Every gets counts as a get; every cas counts as a set.
+        assert_eq!(s.gets, 6);
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.cas_ops"), Some(4));
+        assert_eq!(snap.histogram("bank.get_ns").unwrap().count, s.gets);
+    }
+
+    #[test]
+    fn append_and_touch_basics() {
+        let mut sim = Sim::new(0);
+        let (_net, _bank, client) = setup(&sim, 2);
+        let client = Rc::new(client);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            // Append to an absent key must fail (memcached semantics),
+            // and plant nothing.
+            assert!(!c2.append(b"/a:0", Bytes::from_static(b"x"), Some(0)).await);
+            assert!(c2.get(b"/a:0", Some(0)).await.is_none());
+            c2.set(b"/a:0", Bytes::from_static(b"head"), Some(0)).await;
+            assert!(
+                c2.append(b"/a:0", Bytes::from_static(b"+tail"), Some(0))
+                    .await
+            );
+            assert_eq!(c2.get(b"/a:0", Some(0)).await.unwrap(), &b"head+tail"[..]);
+            // Appending bumps the version like any store: an earlier
+            // token must no longer match.
+            let (_, tok) = c2.gets(b"/a:0", Some(0)).await.unwrap();
+            assert!(c2.append(b"/a:0", Bytes::from_static(b"!"), Some(0)).await);
+            assert_eq!(
+                c2.cas(b"/a:0", Bytes::from_static(b"z"), tok).await,
+                CasVerdict::Conflict
+            );
+            // Touch refreshes an existing key (and reports a missing one).
+            assert!(c2.touch(b"/a:0", 60, Some(0)).await);
+            assert!(!c2.touch(b"/gone:0", 60, Some(0)).await);
+            assert!(c2.get(b"/a:0", Some(0)).await.is_some());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cas_pipeline_batches_with_one_sync_per_daemon() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Modulo, None));
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            for blk in 0..8u64 {
+                let key = format!("/c:{}", blk * 2048);
+                c2.set(key.as_bytes(), Bytes::from(vec![0u8; 64]), Some(blk))
+                    .await;
+            }
+            let keys: Vec<(Vec<u8>, Option<u64>)> = (0..8u64)
+                .map(|blk| (format!("/c:{}", blk * 2048).into_bytes(), Some(blk)))
+                .collect();
+            let fetched = c2.gets_multi(&keys).await;
+            let mut items: Vec<(Vec<u8>, Bytes, CasToken)> = Vec::new();
+            for (blk, cell) in fetched.into_iter().enumerate() {
+                let (_, tok) = cell.expect("warm key");
+                items.push((
+                    format!("/c:{}", blk as u64 * 2048).into_bytes(),
+                    Bytes::from(vec![9u8; 64]),
+                    tok,
+                ));
+            }
+            // Poison one item with a stale token: re-set its key first.
+            c2.set(b"/c:0", Bytes::from(vec![5u8; 64]), Some(0)).await;
+            let verdicts = c2.cas_pipeline(&items).await;
+            assert_eq!(verdicts[0], CasVerdict::Conflict, "stale token item");
+            for (i, v) in verdicts.iter().enumerate().skip(1) {
+                assert_eq!(*v, CasVerdict::Stored, "item {i}");
+            }
+            // The conflicted key kept the interleaved value; the others
+            // carry the replacements.
+            assert_eq!(c2.get(b"/c:0", Some(0)).await.unwrap(), &vec![5u8; 64][..]);
+            assert_eq!(
+                c2.get(b"/c:2048", Some(1)).await.unwrap(),
+                &vec![9u8; 64][..]
+            );
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.pipelined_cas"), Some(8));
+        assert_eq!(snap.counter("bank.cas_ops"), Some(8));
+    }
+
+    #[test]
+    fn gets_failover_tags_tokens_with_the_answering_daemon() {
+        // Regression (token spaces are per daemon): a dead-primary
+        // re-route must hand back a token minted by the *answering*
+        // daemon, never one comparable against the original target. Skew
+        // daemon 1's token counter first so a cross-space mixup cannot
+        // pass by coincidence.
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 3, 2);
+        let c2 = Rc::clone(&client);
+        let b2 = Rc::clone(&bank);
+        sim.spawn(async move {
+            // Advance daemon 1's version counter (hint 1 → daemons {1,2}).
+            for i in 0..5u64 {
+                let key = format!("/skew/{i}:2048");
+                c2.set(key.as_bytes(), Bytes::from_static(b"x"), Some(1))
+                    .await;
+            }
+            // The key under test lives on daemons {0, 1}.
+            c2.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+            b2.kill(0);
+            // Single-key gets: answered by the surviving replica, token
+            // tagged accordingly.
+            let (v, tok) = c2.gets(b"/k:0", Some(0)).await.expect("warm failover");
+            assert_eq!(v, Bytes::from_static(b"v"));
+            assert_eq!(tok.daemon, 1, "token not tagged with the answerer");
+            // The batched path re-routes the same way.
+            let got = c2.gets_multi(&[(b"/k:0".to_vec(), Some(0))]).await;
+            let (_, tok2) = got[0].clone().expect("warm failover via multi");
+            assert_eq!(tok2.daemon, 1);
+            // And the token is actually usable where it claims to be from.
+            assert_eq!(
+                c2.cas(b"/k:0", Bytes::from_static(b"w"), tok2).await,
+                CasVerdict::Stored
+            );
+            assert_eq!(
+                c2.get(b"/k:0", Some(0)).await,
+                Some(Bytes::from_static(b"w"))
+            );
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert!(snap.counter("bank.replica_failovers").unwrap() >= 2);
+    }
+
+    #[test]
+    fn gets_replica_dying_mid_flight_fails_over_with_a_valid_token() {
+        let mut sim = Sim::new(0);
+        let (net, bank, client) = replicated_setup(&sim, 2, 2);
+        let h = net.handle();
+        let (armed_tx, armed_rx) = imca_sim::sync::oneshot::<()>();
+        {
+            let c = Rc::clone(&client);
+            sim.spawn(async move {
+                c.set(b"/k:0", Bytes::from_static(b"v"), Some(0)).await;
+                // Daemon 0 dies while the gets is on the wire: the retry
+                // round must pair the surviving daemon's token with the
+                // key, and the token must work.
+                armed_tx.send(());
+                let (v, tok) = c.gets(b"/k:0", Some(0)).await.expect("warm failover");
+                assert_eq!(v, Bytes::from_static(b"v"));
+                assert_eq!(tok.daemon, 1, "only daemon 1 survived");
+                assert_eq!(
+                    c.cas(b"/k:0", Bytes::from_static(b"w"), tok).await,
+                    CasVerdict::Stored
+                );
+            });
+        }
+        {
+            let b = Rc::clone(&bank);
+            sim.spawn(async move {
+                armed_rx.await.unwrap();
+                // The request is in flight; kill before it can be served.
+                h.sleep(SimDuration::nanos(1)).await;
+                b.kill(0);
+            });
+        }
+        sim.run();
+        assert_eq!(client.stats().misses, 0);
+    }
+
+    #[test]
+    fn gets_for_update_collects_tokens_per_replica_and_cas_updates_all() {
+        let mut sim = Sim::new(0);
+        let (_net, bank, client) = replicated_setup(&sim, 4, 2);
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.set(b"/f:0", Bytes::from_static(b"aa"), Some(0)).await;
+            let rows = c2.gets_for_update(&[(b"/f:0".to_vec(), Some(0))]).await;
+            assert_eq!(rows.len(), 1);
+            // Hint 0 → replica set {0, 1}; both hold a copy, each with a
+            // token from its own space.
+            let daemons: Vec<usize> = rows[0].iter().map(|(d, _)| *d).collect();
+            assert_eq!(daemons, vec![0, 1]);
+            let mut items: Vec<(Vec<u8>, Bytes, CasToken)> = Vec::new();
+            for (daemon, cell) in &rows[0] {
+                let (old, tok) = cell.clone().expect("replica holds the key");
+                assert_eq!(old, Bytes::from_static(b"aa"));
+                assert_eq!(tok.daemon, *daemon);
+                items.push((b"/f:0".to_vec(), Bytes::from_static(b"bb"), tok));
+            }
+            let verdicts = c2.cas_pipeline(&items).await;
+            assert!(verdicts.iter().all(|v| *v == CasVerdict::Stored));
+        });
+        sim.run();
+        // Both replica engines hold the replacement.
+        for i in 0..2 {
+            assert_eq!(
+                bank.nodes()[i]
+                    .server()
+                    .store()
+                    .get(b"/f:0", 0)
+                    .map(|v| v.value.clone()),
+                Some(Bytes::from_static(b"bb")),
+                "replica {i} not updated in place"
+            );
+        }
+        assert_eq!(holders(&bank, b"/f:0"), 2);
     }
 }

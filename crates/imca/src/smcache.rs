@@ -40,6 +40,18 @@
 //! (pipelined, one sync barrier per daemon), and the generation fence
 //! applies per replica — so a write or unlink purges *every* replica
 //! before the stat entry is refreshed.
+//!
+//! **Write coherence** is selectable ([`Coherence`], DESIGN.md §4f).
+//! The default `Cas` mode replaces a write's covering blocks *in place*:
+//! `gets` each tracked block from every replica, compute the post-write
+//! bytes locally from the write payload, and `cas`-store them back —
+//! replicas stay warm across writes and the covering disk re-read
+//! disappears for warm files. Any CAS conflict, concurrent purge, or
+//! failed replica falls back to `Purge` semantics for that write, so
+//! NoCache equivalence and the generation fence hold verbatim. `Purge`
+//! mode keeps the paper's protocol — delete the covering entries from
+//! every replica, then repopulate from a covering re-read — as the
+//! ablation baseline with its R-proportional purge tax and cold window.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -53,8 +65,28 @@ use imca_sim::{join_all, SimHandle};
 
 use crate::block::{aligned_range, cover};
 use crate::keys::{block_key, neg_key, stat_key};
-use crate::mcd::BankClient;
+use crate::mcd::{BankClient, CasToken, CasVerdict};
 use crate::meta::{LeaseHub, MetaConfig, NEG_MARKER};
+
+/// Write-coherence protocol for the bank (DESIGN.md §4f).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Coherence {
+    /// Versioned in-place replacement: a write `gets` its covering
+    /// blocks (value + per-daemon CAS token) from every replica,
+    /// computes the post-write bytes locally from the write payload,
+    /// and `cas`-stores them back. Replicas stay warm across writes and
+    /// a warm file's update needs no covering disk re-read. Any CAS
+    /// conflict, missing key, failed replica, or generation-fence
+    /// mismatch falls back to [`Coherence::Purge`] semantics for that
+    /// write, so NoCache equivalence is preserved verbatim.
+    #[default]
+    Cas,
+    /// The paper's protocol and the ablation baseline: delete the
+    /// write's covering entries from every replica (an R-proportional
+    /// purge tax), then repopulate them from a covering filesystem
+    /// re-read — readers racing the window stampede the backend.
+    Purge,
+}
 
 /// Server-side cache-maintenance counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +104,15 @@ pub struct SmStats {
     /// Pushes abandoned because the covering filesystem re-read failed:
     /// data the disk refused to produce must never reach the bank.
     pub dropped_pushes: u64,
+    /// Blocks replaced in place by a successful CAS store (one count per
+    /// block per replica).
+    pub cas_replacements: u64,
+    /// CAS stores rejected because the token no longer matched (Exists)
+    /// or the key vanished under the update (NotFound).
+    pub cas_conflicts: u64,
+    /// Writes whose CAS wave could not fully land and fell back to the
+    /// purge+repush protocol.
+    pub cas_fallback_purges: u64,
 }
 
 enum Job {
@@ -91,6 +132,15 @@ enum Job {
         data: Vec<u8>,
         gen: u64,
     },
+    /// Replace a write's covering blocks in place via CAS
+    /// ([`Coherence::Cas`], threaded mode). Carries the write payload so
+    /// the post-write bytes can be computed without re-reading the disk.
+    CasUpdate {
+        path: String,
+        offset: u64,
+        data: Vec<u8>,
+        gen: u64,
+    },
 }
 
 /// The SMCache translator.
@@ -101,6 +151,7 @@ pub struct SmCache {
     handle: SimHandle,
     threaded: bool,
     batched: bool,
+    coherence: Coherence,
     meta: MetaConfig,
     /// Lease fan-out to every mounted client; `None` outside the lease
     /// policy. Revoked *before* a path's stat entry is deleted or
@@ -123,6 +174,9 @@ pub struct SmCache {
     stale_updates_dropped: Counter,
     dropped_pushes: Counter,
     negative_pushes: Counter,
+    cas_replacements: Counter,
+    cas_conflicts: Counter,
+    cas_fallback_purges: Counter,
 }
 
 impl SmCache {
@@ -148,6 +202,7 @@ impl SmCache {
             block_size,
             threaded_updates,
             batched,
+            Coherence::default(),
             MetaConfig::default(),
             None,
         )
@@ -167,6 +222,7 @@ impl SmCache {
         block_size: u64,
         threaded_updates: bool,
         batched: bool,
+        coherence: Coherence,
         meta: MetaConfig,
         leases: Option<Rc<LeaseHub>>,
     ) -> Rc<SmCache> {
@@ -179,6 +235,7 @@ impl SmCache {
             handle: handle.clone(),
             threaded: threaded_updates,
             batched,
+            coherence,
             meta,
             leases,
             jobs: Queue::new(),
@@ -191,6 +248,9 @@ impl SmCache {
             stale_updates_dropped: registry.counter("stale_updates_dropped"),
             dropped_pushes: registry.counter("dropped_pushes"),
             negative_pushes: registry.counter("negative_pushes"),
+            cas_replacements: registry.counter("cas_replacements"),
+            cas_conflicts: registry.counter("cas_conflicts"),
+            cas_fallback_purges: registry.counter("cas_fallback_purges"),
             registry,
         });
         if threaded_updates {
@@ -216,6 +276,9 @@ impl SmCache {
             deferred_jobs: self.deferred_jobs.get(),
             stale_updates_dropped: self.stale_updates_dropped.get(),
             dropped_pushes: self.dropped_pushes.get(),
+            cas_replacements: self.cas_replacements.get(),
+            cas_conflicts: self.cas_conflicts.get(),
+            cas_fallback_purges: self.cas_fallback_purges.get(),
         }
     }
 
@@ -248,7 +311,10 @@ impl SmCache {
                     self.stale_updates_dropped.inc();
                     return;
                 }
-                self.populate_range(&path, offset, len, gen).await;
+                // PopulateRange is only queued by the Purge write path
+                // now, so run the full baseline protocol: cold window
+                // first, then the covering re-read.
+                self.purge_then_populate(&path, offset, len, gen).await;
             }
             Job::PopulateData {
                 path,
@@ -263,6 +329,18 @@ impl SmCache {
                 }
                 self.push_blocks(&path, aligned_offset, aligned_len, &data, gen)
                     .await;
+            }
+            Job::CasUpdate {
+                path,
+                offset,
+                data,
+                gen,
+            } => {
+                if self.generation(&path) != gen {
+                    self.stale_updates_dropped.inc();
+                    return;
+                }
+                self.cas_update(&path, offset, &data, gen).await;
             }
         }
     }
@@ -435,7 +513,295 @@ impl SmCache {
                 return;
             }
             self.push_stat(path, st).await;
+        } else {
+            // The post-write stat failed (media error, server dying):
+            // the bank still holds the *pre-write* stat entry, and
+            // clients may hold leases naming it — a size/mtime for
+            // bytes this write just changed. Dropping the refresh
+            // silently would leave both serving stale metadata
+            // indefinitely; purge instead (which revokes leases first,
+            // then removes the stat/neg/block entries), so metadata
+            // consumers fall through to the backend like NoCache.
+            self.dropped_pushes.inc();
+            self.purge(path).await;
         }
+    }
+
+    /// The paper's write protocol ([`Coherence::Purge`], the ablation
+    /// baseline): drop the write's covering entries from every replica
+    /// first — the cold window the CAS path exists to remove — then
+    /// repopulate them from a covering filesystem re-read.
+    async fn purge_then_populate(&self, path: &str, offset: u64, len: u64, gen: u64) {
+        let (aoff, alen) = aligned_range(offset, len, self.block_size);
+        let blocks = cover(aoff, alen, self.block_size);
+        {
+            let mut populated = self.populated.borrow_mut();
+            if let Some(entry) = populated.get_mut(path) {
+                for b in &blocks {
+                    entry.remove(&b.start);
+                }
+            }
+        }
+        let items: Vec<(Vec<u8>, Option<u64>)> = blocks
+            .iter()
+            .map(|b| (block_key(path, b.start), Some(b.index)))
+            .collect();
+        if self.batched {
+            self.bank.delete_pipeline(items).await;
+        } else {
+            let deletes: Vec<_> = items
+                .into_iter()
+                .map(|(key, hint)| {
+                    let bank = Rc::clone(&self.bank);
+                    async move { bank.delete(&key, hint).await }
+                })
+                .collect();
+            join_all(&self.handle, deletes).await;
+        }
+        if self.generation(path) != gen {
+            self.stale_updates_dropped.inc();
+            return;
+        }
+        self.populate_range(path, offset, len, gen).await;
+    }
+
+    /// Versioned in-place replacement ([`Coherence::Cas`]): compute each
+    /// covering block's post-write bytes from the cached copy plus the
+    /// write payload, and `cas`-store them back on every replica that
+    /// holds the block. Warm replicas stay warm; a warm file's update
+    /// touches no disk. Any outcome other than "every held copy
+    /// replaced" — a token conflict (concurrent update), a vanished key,
+    /// a failed daemon, an incoherent cached length — falls back to
+    /// purge+repush, so the result is never worse than the baseline.
+    async fn cas_update(&self, path: &str, offset: u64, data: &[u8], gen: u64) {
+        let len = data.len() as u64;
+        // Post-write stat first: the blocks' target lengths (the EOF
+        // encoding — a block cached short says "the file ends here")
+        // derive from the new size.
+        let stat_reply = Rc::clone(&self.child)
+            .handle(Fop::Stat {
+                path: path.to_string(),
+            })
+            .await;
+        if self.generation(path) != gen {
+            self.stale_updates_dropped.inc();
+            return;
+        }
+        let st = match stat_reply {
+            FopReply::Stat(Ok(st)) => st,
+            _ => {
+                // The disk will not even say how big the file is now:
+                // same rule as a failed covering re-read — push nothing
+                // and purge, so no stale stat (or lease naming it)
+                // survives the write.
+                self.dropped_pushes.inc();
+                self.purge(path).await;
+                return;
+            }
+        };
+        let (aoff, alen) = aligned_range(offset, len, self.block_size);
+        let covering = cover(aoff, alen, self.block_size);
+        // Partition the covering blocks: tracked ones join the CAS wave;
+        // untracked ones are filled from one covering re-read, exactly
+        // like the baseline (a cold file's first write degenerates to
+        // the legacy populate).
+        let mut wave: Vec<u64> = Vec::new();
+        let mut fill_bounds: Option<(u64, u64)> = None;
+        {
+            let populated = self.populated.borrow();
+            let entry = populated.get(path);
+            for b in &covering {
+                if entry.is_some_and(|m| m.contains_key(&b.start)) {
+                    wave.push(b.start);
+                } else {
+                    fill_bounds = Some(match fill_bounds {
+                        None => (b.start, b.start),
+                        Some((first, _)) => (first, b.start),
+                    });
+                }
+            }
+            // Stale short blocks outside the covering range (this write
+            // moved EOF past where they claim the file ends): their
+            // post-write bytes are the cached bytes zero-extended — the
+            // gap is a hole — so they join the wave instead of forcing
+            // the re-read leg `populate_range` needs for them.
+            if let Some(m) = entry {
+                for (&start, &cached) in m.iter() {
+                    if covering.iter().any(|b| b.start == start) {
+                        continue;
+                    }
+                    if cached < self.block_size
+                        && cached != self.block_size.min(st.size.saturating_sub(start))
+                    {
+                        wave.push(start);
+                    }
+                }
+            }
+        }
+        wave.sort_unstable();
+        // Fill leg: one covering re-read over the untracked span, pushed
+        // with plain sets (there is nothing in place to replace). Tracked
+        // blocks inside the span are re-pushed fresh by `push_blocks`,
+        // so they leave the CAS wave — a set bumps their token and the
+        // cas would spuriously conflict.
+        if let Some((first, last)) = fill_bounds {
+            let span_len = last + self.block_size - first;
+            let reply = Rc::clone(&self.child)
+                .handle(Fop::Read {
+                    path: path.to_string(),
+                    offset: first,
+                    len: span_len,
+                })
+                .await;
+            if self.generation(path) != gen {
+                self.stale_updates_dropped.inc();
+                return;
+            }
+            if let FopReply::Read(Ok(bytes)) = reply {
+                self.push_blocks(path, first, span_len, &bytes, gen).await;
+            } else {
+                // Same rule as a failed covering re-read in the
+                // baseline: unknown disk bytes must never be pushed, and
+                // the bank may hold pre-write copies — purge.
+                self.dropped_pushes.inc();
+                self.purge(path).await;
+                return;
+            }
+            wave.retain(|&s| s < first || s >= first + span_len);
+        }
+        // Fetch every wave block's current copy + CAS token from every
+        // replica in its set (per-daemon token spaces; see `CasToken`).
+        let keys: Vec<(Vec<u8>, Option<u64>)> = wave
+            .iter()
+            .map(|&start| (block_key(path, start), Some(start / self.block_size)))
+            .collect();
+        let rows = self.bank.gets_for_update(&keys).await;
+        if self.generation(path) != gen {
+            self.stale_updates_dropped.inc();
+            return;
+        }
+        // Compute the post-write bytes per block and build the CAS items
+        // (one per replica actually holding a copy — cold replicas stay
+        // cold; reads there fall through to the server, always correct).
+        let mut items: Vec<(Vec<u8>, Bytes, CasToken)> = Vec::new();
+        let mut item_starts: Vec<u64> = Vec::new();
+        let mut incoherent = false;
+        for (&start, row) in wave.iter().zip(&rows) {
+            let target = self.block_size.min(st.size.saturating_sub(start)) as usize;
+            for (_daemon, cell) in row {
+                let Some((old, token)) = cell else { continue };
+                if old.len() > target {
+                    // The cached copy claims more bytes than the file
+                    // now holds; nothing shrinks a file except a purge,
+                    // so this view is incoherent — fall back.
+                    incoherent = true;
+                    continue;
+                }
+                let mut buf = old.to_vec();
+                buf.resize(target, 0); // bytes past the old EOF are a hole
+                let w0 = offset.max(start);
+                let w1 = (offset + len).min(start + target as u64);
+                if w0 < w1 {
+                    buf[(w0 - start) as usize..(w1 - start) as usize]
+                        .copy_from_slice(&data[(w0 - offset) as usize..(w1 - offset) as usize]);
+                }
+                items.push((block_key(path, start), Bytes::from(buf), *token));
+                item_starts.push(start);
+            }
+        }
+        if incoherent {
+            self.cas_fallback_purges.inc();
+            self.purge(path).await;
+            let regen = self.generation(path);
+            self.populate_range(path, offset, len, regen).await;
+            return;
+        }
+        // The CAS wave: pipelined (one sync barrier per daemon) or
+        // individually awaited, mirroring the push path's batching knob.
+        let verdicts: Vec<CasVerdict> = if self.batched {
+            self.bank.cas_pipeline(&items).await
+        } else {
+            let futs: Vec<_> = items
+                .iter()
+                .map(|(key, buf, token)| {
+                    let bank = Rc::clone(&self.bank);
+                    let key = key.clone();
+                    let buf = buf.clone();
+                    let token = *token;
+                    async move { bank.cas(&key, buf, token).await }
+                })
+                .collect();
+            join_all(&self.handle, futs).await
+        };
+        if self.generation(path) != gen {
+            // A purge overtook the wave: whatever the CAS stores
+            // replaced belongs to a stale generation now. Take the
+            // replaced keys out again, like `push_blocks` rolls back.
+            self.stale_updates_dropped.inc();
+            let rollback: Vec<(Vec<u8>, Option<u64>)> = item_starts
+                .iter()
+                .zip(&verdicts)
+                .filter(|(_, v)| matches!(v, CasVerdict::Stored))
+                .map(|(&start, _)| (block_key(path, start), Some(start / self.block_size)))
+                .collect();
+            if !rollback.is_empty() {
+                if self.batched {
+                    self.bank.delete_pipeline(rollback).await;
+                } else {
+                    let deletes: Vec<_> = rollback
+                        .into_iter()
+                        .map(|(key, hint)| {
+                            let bank = Rc::clone(&self.bank);
+                            async move { bank.delete(&key, hint).await }
+                        })
+                        .collect();
+                    join_all(&self.handle, deletes).await;
+                }
+            }
+            return;
+        }
+        let replaced = verdicts
+            .iter()
+            .filter(|v| matches!(v, CasVerdict::Stored))
+            .count();
+        let conflicts = verdicts
+            .iter()
+            .filter(|v| matches!(v, CasVerdict::Conflict | CasVerdict::Missing))
+            .count();
+        self.cas_conflicts.add(conflicts as u64);
+        if replaced != items.len() {
+            // At least one held copy could not be replaced in place — a
+            // concurrent update won the token race (Conflict), the key
+            // vanished under us (Missing), or a daemon failed mid-wave.
+            // One rule covers every case: fall back to purge+repush,
+            // which restores coherence unconditionally (the purge also
+            // removes the copies this wave *did* replace; their re-push
+            // comes from the covering re-read, under the generation the
+            // purge just started).
+            self.cas_fallback_purges.inc();
+            self.purge(path).await;
+            let regen = self.generation(path);
+            self.populate_range(path, offset, len, regen).await;
+            return;
+        }
+        self.cas_replacements.add(replaced as u64);
+        {
+            let mut populated = self.populated.borrow_mut();
+            if let Some(entry) = populated.get_mut(path) {
+                for &start in &wave {
+                    entry.insert(start, self.block_size.min(st.size.saturating_sub(start)));
+                }
+            }
+        }
+        // Finish exactly like `populate_range`: the stat refresh changes
+        // the value leases mirror, so leases fall first, and a purge
+        // landing during the revocation makes the refresh stale.
+        self.revoke_leases(path).await;
+        if self.generation(path) != gen {
+            self.stale_updates_dropped.inc();
+            return;
+        }
+        self.push_stat(path, st).await;
     }
 
     /// Revoke every client lease on `path` (no-op without a hub).
@@ -653,6 +1019,9 @@ impl Translator for SmCache {
                 Fop::Write { path, offset, data } => {
                     let gen = self.generation(&path);
                     let len = data.len() as u64;
+                    // The CAS path computes the post-write bytes locally,
+                    // so it needs the payload after the child consumed it.
+                    let cas_data = matches!(self.coherence, Coherence::Cas).then(|| data.clone());
                     let reply = Rc::clone(&self.child)
                         .handle(Fop::Write {
                             path: path.clone(),
@@ -661,16 +1030,33 @@ impl Translator for SmCache {
                         })
                         .await;
                     if matches!(reply, FopReply::Write(Ok(_))) {
-                        if self.threaded {
-                            self.deferred_jobs.inc();
-                            self.jobs.push(Job::PopulateRange {
-                                path,
-                                offset,
-                                len,
-                                gen,
-                            });
-                        } else {
-                            self.populate_range(&path, offset, len, gen).await;
+                        match cas_data {
+                            Some(bytes) => {
+                                if self.threaded {
+                                    self.deferred_jobs.inc();
+                                    self.jobs.push(Job::CasUpdate {
+                                        path,
+                                        offset,
+                                        data: bytes,
+                                        gen,
+                                    });
+                                } else {
+                                    self.cas_update(&path, offset, &bytes, gen).await;
+                                }
+                            }
+                            None => {
+                                if self.threaded {
+                                    self.deferred_jobs.inc();
+                                    self.jobs.push(Job::PopulateRange {
+                                        path,
+                                        offset,
+                                        len,
+                                        gen,
+                                    });
+                                } else {
+                                    self.purge_then_populate(&path, offset, len, gen).await;
+                                }
+                            }
                         }
                     }
                     reply
@@ -744,6 +1130,7 @@ mod tests {
             2048,
             threaded,
             batched,
+            Coherence::default(),
             meta,
             None,
         );
@@ -769,14 +1156,19 @@ mod tests {
         let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
         let posix = Posix::new(be.clone());
         // Block (8 KB) > page (4 KB): a small write warms only its own
-        // page, so the covering re-read must touch the media.
-        let sm = SmCache::new(
+        // page, so the covering re-read must touch the media. Purge mode:
+        // this exercises the baseline's re-read leg (under Cas a tracked
+        // block is replaced in place and no re-read happens).
+        let sm = SmCache::with_meta(
             sim.handle(),
             posix as Xlator,
             Rc::clone(&bank),
             8192,
             false,
             true,
+            Coherence::Purge,
+            MetaConfig::default(),
+            None,
         );
         sim.handle().spawn(async move {
             let _keepalive = mcds;
@@ -1135,6 +1527,362 @@ mod tests {
             assert!(bank.get(&neg_key("/ghost"), None).await.is_none());
         });
         sim.run();
+    }
+
+    /// A replicated rig (modulo routing, R = 2 over 2 daemons) for the
+    /// CAS-coherence tests: hint 0 pins every block to both daemons.
+    fn replicated_rig(sim: &Sim, coherence: Coherence) -> (Rig, Rc<Bank>) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let server_node = net.add_node();
+        let bank = Rc::new(mcds.client_replicated(
+            server_node,
+            Selector::Modulo,
+            None,
+            crate::mcd::RetryPolicy::default(),
+            crate::mcd::Replication { factor: 2 },
+        ));
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        let sm = SmCache::with_meta(
+            sim.handle(),
+            posix as Xlator,
+            Rc::clone(&bank),
+            2048,
+            false,
+            true,
+            coherence,
+            MetaConfig::default(),
+            None,
+        );
+        (Rig { sm, bank }, mcds)
+    }
+
+    /// How many daemons currently hold `key` (direct engine probe).
+    fn bank_holders(mcds: &Bank, key: &[u8]) -> usize {
+        mcds.nodes()
+            .iter()
+            .filter(|n| n.server().store().get(key, 0).is_some())
+            .count()
+    }
+
+    #[test]
+    fn cas_write_replaces_blocks_in_place_and_replicas_stay_warm() {
+        let mut sim = Sim::new(0);
+        let (rig, mcds) = replicated_rig(&sim, Coherence::Cas);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        let m2 = Rc::clone(&mcds);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            // Cold first write: degenerates to the legacy fill.
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![1u8; 2048],
+                },
+            )
+            .await;
+            assert_eq!(bank_holders(&m2, &block_key("/f", 0)), 2);
+            // Warm overwrite: both replica copies are replaced in place —
+            // never deleted, never re-read from disk.
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![2u8; 100],
+                },
+            )
+            .await;
+            assert_eq!(
+                bank_holders(&m2, &block_key("/f", 0)),
+                2,
+                "a CAS write must leave every replica warm"
+            );
+            let mut want = vec![1u8; 2048];
+            want[..100].fill(2);
+            let got = bank.get(&block_key("/f", 0), Some(0)).await.unwrap();
+            assert_eq!(&got[..], &want[..], "post-write bytes wrong");
+            // The stat entry carries the (unchanged) post-write size.
+            let raw = bank.get(&stat_key("/f"), None).await.unwrap();
+            assert_eq!(FileStat::from_bytes(&raw).unwrap().size, 2048);
+        });
+        sim.run();
+        let s = rig.sm.stats();
+        assert_eq!(s.cas_replacements, 2, "one replacement per replica");
+        assert_eq!(s.cas_conflicts, 0);
+        assert_eq!(s.cas_fallback_purges, 0);
+        assert_eq!(s.purges, 0, "the CAS path must never purge");
+        assert_eq!(rig.sm.tracked_blocks("/f"), 1);
+    }
+
+    #[test]
+    fn cas_extends_short_eof_blocks_without_a_reread() {
+        // A write that moves EOF past a short-cached block: under Cas the
+        // short block is zero-extended in place (the gap is a hole) —
+        // `populate_range`'s stale-short re-read leg without the disk.
+        let mut sim = Sim::new(0);
+        let (rig, _mcds) = replicated_rig(&sim, Coherence::Cas);
+        let sm = Rc::clone(&rig.sm);
+        let bank = Rc::clone(&rig.bank);
+        sim.spawn(async move {
+            drive(&sm, Fop::Create { path: "/f".into() }).await;
+            // 100 bytes: block 0 cached short (the file ends inside it).
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![5u8; 100],
+                },
+            )
+            .await;
+            assert_eq!(
+                bank.get(&block_key("/f", 0), Some(0)).await.unwrap().len(),
+                100
+            );
+            // Write into block 2: EOF moves to 5000, so block 0's cached
+            // copy now truncates reads NoCache would satisfy with zeros.
+            drive(
+                &sm,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 4096,
+                    data: vec![6u8; 904],
+                },
+            )
+            .await;
+            let b0 = bank.get(&block_key("/f", 0), Some(0)).await.unwrap();
+            assert_eq!(b0.len(), 2048, "short block not extended");
+            assert_eq!(&b0[..100], &[5u8; 100][..]);
+            assert!(b0[100..].iter().all(|&b| b == 0), "the gap is a hole");
+        });
+        sim.run();
+        let s = rig.sm.stats();
+        assert_eq!(s.cas_fallback_purges, 0);
+        assert!(s.cas_replacements >= 2, "short block + its replica: {s:?}");
+    }
+
+    #[test]
+    fn concurrent_cas_writers_conflict_and_fall_back_coherently() {
+        // Two tasks overwrite the same warm block concurrently. The loser
+        // of each token race must fall back to purge+repush, and the bank
+        // copy left behind must equal the disk bytes.
+        let mut sim = Sim::new(7);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+        let server_node = net.add_node();
+        let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        let disk = Rc::clone(&posix);
+        let sm = SmCache::with_meta(
+            sim.handle(),
+            Rc::clone(&posix) as Xlator,
+            Rc::clone(&bank),
+            2048,
+            false,
+            true,
+            Coherence::Cas,
+            MetaConfig::default(),
+            None,
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        let h = sim.handle();
+        let sm2 = Rc::clone(&sm);
+        sim.spawn(async move {
+            drive(&sm2, Fop::Create { path: "/f".into() }).await;
+            drive(
+                &sm2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![0u8; 2048],
+                },
+            )
+            .await;
+            // Several rounds of racing overwrites to the same block.
+            let writers: Vec<_> = (0..2u8)
+                .map(|w| {
+                    let sm = Rc::clone(&sm2);
+                    async move {
+                        for round in 0..4u8 {
+                            drive(
+                                &sm,
+                                Fop::Write {
+                                    path: "/f".into(),
+                                    offset: 100 * w as u64,
+                                    data: vec![10 + w * 10 + round; 300],
+                                },
+                            )
+                            .await;
+                        }
+                    }
+                })
+                .collect();
+            join_all(&h, writers).await;
+            // Whatever copy the bank holds must match the disk exactly.
+            if let Some(cached) = bank.get(&block_key("/f", 0), Some(0)).await {
+                let FopReply::Read(Ok(on_disk)) = Rc::clone(&disk)
+                    .handle(Fop::Read {
+                        path: "/f".into(),
+                        offset: 0,
+                        len: 2048,
+                    })
+                    .await
+                else {
+                    panic!("disk read failed")
+                };
+                assert_eq!(&cached[..], &on_disk[..], "bank diverged from disk");
+            }
+        });
+        sim.run();
+        let s = sm.stats();
+        assert!(
+            s.cas_conflicts >= 1,
+            "racing writers never hit a token conflict: {s:?}"
+        );
+        assert!(
+            s.cas_fallback_purges >= 1,
+            "a conflicted write must fall back to purge+repush: {s:?}"
+        );
+        assert!(s.cas_replacements >= 1, "no write won its race: {s:?}");
+    }
+
+    /// A scripted child xlator: writes and reads succeed, stats fail on
+    /// demand. `backend.write` refreshes the cached inode, so a *real*
+    /// backend can never fail the post-write stat via media faults — this
+    /// fake drives the leg deterministically.
+    struct FlakyStatChild {
+        size: std::cell::Cell<u64>,
+        stat_fails: std::cell::Cell<bool>,
+    }
+
+    impl Translator for FlakyStatChild {
+        fn name(&self) -> &'static str {
+            "test/flaky-stat"
+        }
+
+        fn handle(self: Rc<Self>, fop: Fop) -> imca_glusterfs::FopFuture {
+            Box::pin(async move {
+                match fop {
+                    Fop::Write { offset, data, .. } => {
+                        let len = data.len() as u64;
+                        self.size.set(self.size.get().max(offset + len));
+                        FopReply::Write(Ok(len))
+                    }
+                    Fop::Read { offset, len, .. } => {
+                        let end = len.min(self.size.get().saturating_sub(offset));
+                        FopReply::Read(Ok(vec![7u8; end as usize]))
+                    }
+                    Fop::Stat { .. } => {
+                        if self.stat_fails.get() {
+                            FopReply::Stat(Err(FsError::Io))
+                        } else {
+                            FopReply::Stat(Ok(FileStat {
+                                size: self.size.get(),
+                                mtime_ns: 1,
+                                ctime_ns: 1,
+                            }))
+                        }
+                    }
+                    Fop::Create { .. } => FopReply::Create(Ok(())),
+                    Fop::Open { .. } => FopReply::Open(Ok(FileStat {
+                        size: self.size.get(),
+                        mtime_ns: 1,
+                        ctime_ns: 1,
+                    })),
+                    Fop::Close { .. } => FopReply::Close(Ok(())),
+                    Fop::Unlink { .. } => FopReply::Unlink(Ok(())),
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn failed_post_write_stat_purges_meta_instead_of_skipping() {
+        // Regression (dropped-push meta coherence): when the post-write
+        // stat refresh fails, the bank still holds the *pre-write* stat
+        // entry. Silently skipping the refresh would serve a stale
+        // size/mtime indefinitely; both coherence modes must purge.
+        for coherence in [Coherence::Cas, Coherence::Purge] {
+            let mut sim = Sim::new(0);
+            let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+            let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+            let server_node = net.add_node();
+            let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
+            let child = Rc::new(FlakyStatChild {
+                size: std::cell::Cell::new(0),
+                stat_fails: std::cell::Cell::new(false),
+            });
+            let sm = SmCache::with_meta(
+                sim.handle(),
+                Rc::clone(&child) as Xlator,
+                Rc::clone(&bank),
+                2048,
+                false,
+                true,
+                coherence,
+                MetaConfig::default(),
+                None,
+            );
+            sim.handle().spawn(async move {
+                let _keepalive = mcds;
+                std::future::pending::<()>().await;
+            });
+            let sm2 = Rc::clone(&sm);
+            let child2 = Rc::clone(&child);
+            let bank2 = Rc::clone(&bank);
+            sim.spawn(async move {
+                drive(
+                    &sm2,
+                    Fop::Write {
+                        path: "/f".into(),
+                        offset: 0,
+                        data: vec![1u8; 2048],
+                    },
+                )
+                .await;
+                assert!(
+                    bank2.get(&stat_key("/f"), None).await.is_some(),
+                    "benign write must push the stat"
+                );
+                // The next write commits, but its stat refresh dies.
+                child2.stat_fails.set(true);
+                drive(
+                    &sm2,
+                    Fop::Write {
+                        path: "/f".into(),
+                        offset: 0,
+                        data: vec![2u8; 100],
+                    },
+                )
+                .await;
+                assert!(
+                    bank2.get(&stat_key("/f"), None).await.is_none(),
+                    "stale pre-write stat survived a dropped refresh ({coherence:?})"
+                );
+                assert!(
+                    bank2.get(&block_key("/f", 0), Some(0)).await.is_none(),
+                    "blocks must fall with the meta entries ({coherence:?})"
+                );
+            });
+            sim.run();
+            let s = sm.stats();
+            assert_eq!(s.dropped_pushes, 1, "{coherence:?}: {s:?}");
+            assert_eq!(sm.tracked_blocks("/f"), 0, "{coherence:?}");
+        }
     }
 
     #[test]

@@ -6,11 +6,12 @@
 #                               (clippy with warnings denied), check
 #                               formatting of the first-party packages,
 #                               and smoke-run the shared-read benches
-#                               (fig10_shared + ablate_replication) and
+#                               (fig10_shared + ablate_replication),
 #                               the metadata benches (fig5_stat +
-#                               ablate_metadata), leaving
-#                               results/BENCH_5.json and BENCH_6.json
-#                               behind
+#                               ablate_metadata), and the write-coherence
+#                               ablation (ablate_cas), leaving
+#                               results/BENCH_5.json, BENCH_6.json and
+#                               BENCH_7.json behind
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -55,4 +56,15 @@ if [[ "${1:-}" == "--strict" ]]; then
     cargo run --release -q -p imca-bench --bin ablate_metadata -- --smoke --out results
     test -s results/BENCH_6.json
     grep -q '"lease_p99_lt_bank": true' results/BENCH_6.json
+
+    # Write-coherence smoke: the CAS-vs-purge ablation asserts its own
+    # claims (CAS p99 below purge and post-write hit rate above it at
+    # every sweep × R point) and writes results/BENCH_7.json alongside
+    # the other consolidated documents. The grep re-checks the verdict
+    # against the emitted document.
+    cargo run --release -q -p imca-bench --bin ablate_cas -- --smoke --out results
+    test -s results/BENCH_5.json
+    test -s results/BENCH_6.json
+    test -s results/BENCH_7.json
+    grep -q '"cas_beats_purge": true' results/BENCH_7.json
 fi

@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use imca_repro::fabric::Transport;
 use imca_repro::glusterfs::FsError;
-use imca_repro::imca::{Cluster, ClusterConfig, ImcaConfig, RetryPolicy};
+use imca_repro::imca::{Cluster, ClusterConfig, Coherence, ImcaConfig, RetryPolicy};
 use imca_repro::memcached::{McConfig, Selector};
 use imca_repro::sim::{Sim, SimDuration};
 use imca_repro::storage::StorageFaultPlan;
@@ -358,7 +358,7 @@ fn durability_holds_under_storage_faults_and_mid_write_crash() {
     const REGION: usize = 8192;
     const REGIONS: usize = 4;
 
-    fn run(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
+    fn run(seed: u64, coherence: Coherence) -> (u64, u64, imca_repro::metrics::Snapshot) {
         let mut sim = Sim::new(seed);
         // Block (8 KB) > backend page (4 KB): covering re-reads reach the
         // sick media instead of the write's freshly warmed pages.
@@ -368,6 +368,7 @@ fn durability_holds_under_storage_faults_and_mid_write_crash() {
                 mcd_count: 2,
                 block_size: REGION as u64,
                 mcd_config: McConfig::with_mem_limit(16 << 20),
+                coherence,
                 ..ImcaConfig::default()
             }),
         ));
@@ -488,14 +489,28 @@ fn durability_holds_under_storage_faults_and_mid_write_crash() {
         (s.end_time.as_nanos(), s.events, cluster.metrics())
     }
 
-    let a = run(11);
-    let b = run(11);
-    assert_eq!(a.0, b.0, "end time diverged between replays");
-    assert_eq!(a.1, b.1, "event count diverged between replays");
-    assert_eq!(a.2, b.2, "metrics snapshot diverged between replays");
-    // The schedule exercised every fault family it claims to.
-    assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
-    assert!(a.2.counter("smcache.dropped_pushes").unwrap_or(0) > 0);
-    assert_eq!(a.2.counter("server.crashes"), Some(1));
-    assert_eq!(a.2.counter("server.restarts"), Some(1));
+    // Durability must hold under both write-coherence protocols; the
+    // fault machinery each one exposes to the storm differs. Purge mode
+    // re-reads the sick media on every push (dropped pushes); Cas mode
+    // never touches the disk for a tracked block, so its storm runs on
+    // in-place CAS waves instead.
+    for coherence in [Coherence::Purge, Coherence::Cas] {
+        let a = run(11, coherence);
+        let b = run(11, coherence);
+        assert_eq!(a.0, b.0, "end time diverged between replays");
+        assert_eq!(a.1, b.1, "event count diverged between replays");
+        assert_eq!(a.2, b.2, "metrics snapshot diverged between replays");
+        // The schedule exercised every fault family it claims to.
+        assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
+        match coherence {
+            Coherence::Purge => {
+                assert!(a.2.counter("smcache.dropped_pushes").unwrap_or(0) > 0)
+            }
+            Coherence::Cas => {
+                assert!(a.2.counter("smcache.cas_replacements").unwrap_or(0) > 0)
+            }
+        }
+        assert_eq!(a.2.counter("server.crashes"), Some(1));
+        assert_eq!(a.2.counter("server.restarts"), Some(1));
+    }
 }

@@ -856,6 +856,21 @@ proptest! {
     ) {
         run_chaos_equivalence(ops, seed, 1, MetaConfig::lease());
     }
+
+    /// Everything at once on the metadata side: stat leases *and* a
+    /// replicated bank (R=2) under the same storage faults and server
+    /// crashes. This is the composition the CAS write path makes
+    /// interesting — an in-place replacement has to land on every
+    /// replica *and* revoke every lease before the writer's ack, and a
+    /// conflict-driven fallback purge must do the same, or one of the
+    /// verdicts below diverges from plain GlusterFS.
+    #[test]
+    fn storage_and_server_chaos_matches_nocache_leased_replicated(
+        ops in prop::collection::vec(chaos_op_strategy(), 1..35),
+        seed in 0u64..1000,
+    ) {
+        run_chaos_equivalence(ops, seed, 2, MetaConfig::lease());
+    }
 }
 
 /// One IMCa cluster under *everything at once* — fractional storage error
@@ -863,7 +878,11 @@ proptest! {
 /// packet loss and jitter, an MCD kill/revive, and a server crash/restart
 /// — driven twice from the same seed must replay to the same end time,
 /// event count, and bit-identical metrics snapshot.
-fn run_full_chaos(seed: u64, replication: usize) -> (u64, u64, imca_repro::metrics::Snapshot) {
+fn run_full_chaos(
+    seed: u64,
+    replication: usize,
+    meta: MetaConfig,
+) -> (u64, u64, imca_repro::metrics::Snapshot) {
     let mut sim = Sim::new(seed);
     // Block size (8 KB) deliberately exceeds the backend page size (4 KB):
     // a small write warms only its own pages, so SMCache's covering
@@ -878,6 +897,7 @@ fn run_full_chaos(seed: u64, replication: usize) -> (u64, u64, imca_repro::metri
             replication: Replication {
                 factor: replication,
             },
+            meta,
             ..ImcaConfig::default()
         }),
     ));
@@ -921,9 +941,18 @@ fn run_full_chaos(seed: u64, replication: usize) -> (u64, u64, imca_repro::metri
             if round % 4 == 0 {
                 // Memory pressure: a cold page cache forces SMCache's
                 // covering re-read to the sick media, so a successful
-                // write's push can die (`smcache.dropped_pushes`).
+                // write's push can die (`smcache.dropped_pushes`). Under
+                // the default `Coherence::Cas` a write into an
+                // already-tracked block replaces it in place without
+                // touching the disk, so every other pressure-write lands
+                // in a frontier block the tracker has never seen (or that
+                // a failed fill just evicted) — that keeps the covering
+                // fill read, and with it the dropped-push path, in play:
+                // each pressure write extends the file into a block the
+                // tracker has never seen.
                 c.backend().drop_caches();
-                if m.write(fd, off, &vec![round as u8; 1500]).await.is_err() {
+                let woff = 8192 * (1 + round / 4) + off % 4096;
+                if m.write(fd, woff, &vec![round as u8; 1500]).await.is_err() {
                     io_errors_seen += 1;
                 }
             } else if m.read(fd, off, 2000).await.is_err() {
@@ -964,8 +993,8 @@ fn run_full_chaos(seed: u64, replication: usize) -> (u64, u64, imca_repro::metri
 
 #[test]
 fn fixed_seed_full_chaos_replays_identically() {
-    let a = run_full_chaos(1973, 1);
-    let b = run_full_chaos(1973, 1);
+    let a = run_full_chaos(1973, 1, MetaConfig::default());
+    let b = run_full_chaos(1973, 1, MetaConfig::default());
     assert_eq!(a.0, b.0, "end time diverged between chaos replays");
     assert_eq!(a.1, b.1, "event count diverged between chaos replays");
     assert_eq!(a.2, b.2, "metrics snapshot diverged between chaos replays");
@@ -982,8 +1011,8 @@ fn fixed_seed_full_chaos_replays_identically() {
 /// fixed seed must still replay bit-identically with R=2.
 #[test]
 fn fixed_seed_full_chaos_replays_identically_replicated() {
-    let a = run_full_chaos(1973, 2);
-    let b = run_full_chaos(1973, 2);
+    let a = run_full_chaos(1973, 2, MetaConfig::default());
+    let b = run_full_chaos(1973, 2, MetaConfig::default());
     assert_eq!(
         a.0, b.0,
         "end time diverged between replicated chaos replays"
@@ -998,6 +1027,128 @@ fn fixed_seed_full_chaos_replays_identically_replicated() {
     );
     assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
     assert_eq!(a.2.counter("server.crashes"), Some(1));
+}
+
+/// Full-storm determinism with stat leases *and* a replicated bank at
+/// once: the lease fills, the revocation fan-out every CAS wave and
+/// fallback purge runs before acking a write, the replicated fan-out,
+/// and the failover re-routes all draw on simulated time and seeded
+/// state only, so the richest configuration the stack supports must
+/// still replay bit-identically.
+#[test]
+fn fixed_seed_full_chaos_replays_identically_leased_replicated() {
+    let a = run_full_chaos(1973, 2, MetaConfig::lease());
+    let b = run_full_chaos(1973, 2, MetaConfig::lease());
+    assert_eq!(
+        a.0, b.0,
+        "end time diverged between leased replicated chaos replays"
+    );
+    assert_eq!(
+        a.1, b.1,
+        "event count diverged between leased replicated chaos replays"
+    );
+    assert_eq!(
+        a.2, b.2,
+        "metrics snapshot diverged between leased replicated chaos replays"
+    );
+    assert!(a.2.counter("storage.io_errors").unwrap_or(0) > 0);
+    assert_eq!(a.2.counter("server.crashes"), Some(1));
+}
+
+// ---------------------------------------------------------------------------
+// CAS writer races (DESIGN.md §4f).
+// ---------------------------------------------------------------------------
+
+/// Two clients racing overlapping writes to the same warm file, through
+/// the replicated bank. A writer that loses the `gets` → `cas` window
+/// sees `Conflict`, falls back to purge + repush, and the loop repeats —
+/// all of it on simulated time and seeded state, so a fixed seed must
+/// replay bit-identically *and* actually provoke conflicts (a race test
+/// that never races proves nothing).
+fn run_cas_writer_race(seed: u64) -> (u64, u64, imca_repro::metrics::Snapshot) {
+    let mut sim = Sim::new(seed);
+    let cluster = Rc::new(Cluster::build(
+        sim.handle(),
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: 2048,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            replication: Replication { factor: 2 },
+            ..ImcaConfig::default()
+        }),
+    ));
+    let c = Rc::clone(&cluster);
+    let h = sim.handle();
+    sim.spawn(async move {
+        let m = c.mount();
+        m.create("/race/f").await.unwrap();
+        let fd = m.open("/race/f").await.unwrap();
+        // The racers open *before* the warm-up: SMCache purges on open,
+        // and the point here is that every racing write finds its blocks
+        // tracked and takes the in-place CAS wave, not the cold fill.
+        let (ma, mb) = (c.mount(), c.mount());
+        let fda = ma.open("/race/f").await.unwrap();
+        let fdb = mb.open("/race/f").await.unwrap();
+        m.write(fd, 0, &vec![1u8; 4096]).await.unwrap();
+        m.read(fd, 0, 4096).await.unwrap();
+        let mut writers = Vec::new();
+        for (w, (mw, fdw)) in [(ma, fda), (mb, fdb)].into_iter().enumerate() {
+            writers.push(async move {
+                for round in 0..8u64 {
+                    let off = (w as u64 * 128 + round * 511) % 3000;
+                    let fill = (w as u64 * 16 + round) as u8;
+                    mw.write(fdw, off, &vec![fill; 600]).await.unwrap();
+                }
+            });
+        }
+        imca_repro::sim::join_all(&h, writers).await;
+        // Whatever interleaving the race settled on, the bank must be
+        // left coherent: every surviving replica of every block holds the
+        // same bytes the client now reads back.
+        let view = m.read(fd, 0, 4096).await.unwrap();
+        assert_eq!(view.len(), 4096);
+        for block in [0u64, 2048] {
+            let key = keys::block_key("/race/f", block);
+            for node in c.mcds().iter() {
+                if let Some(v) = node.server().store().get(&key, 0) {
+                    assert_eq!(
+                        &v.value[..],
+                        &view[block as usize..block as usize + v.value.len()],
+                        "replica of block {block} diverged from the read-back view"
+                    );
+                }
+            }
+        }
+    });
+    let s = sim.run();
+    (s.end_time.as_nanos(), s.events, cluster.metrics())
+}
+
+#[test]
+fn fixed_seed_cas_writer_race_replays_identically_with_conflicts() {
+    let a = run_cas_writer_race(2008);
+    let b = run_cas_writer_race(2008);
+    assert_eq!(a.0, b.0, "end time diverged between CAS race replays");
+    assert_eq!(a.1, b.1, "event count diverged between CAS race replays");
+    assert_eq!(
+        a.2, b.2,
+        "metrics snapshot diverged between CAS race replays"
+    );
+    // The race actually raced: some waves replaced blocks in place, at
+    // least one writer lost its window and saw a conflict, and the loser
+    // fell back to the purge + repush path.
+    assert!(
+        a.2.counter("smcache.cas_replacements").unwrap_or(0) > 0,
+        "no write took the in-place CAS path"
+    );
+    assert!(
+        a.2.counter("smcache.cas_conflicts").unwrap_or(0) > 0,
+        "the racing writers never conflicted"
+    );
+    assert!(
+        a.2.counter("smcache.cas_fallback_purges").unwrap_or(0) > 0,
+        "no conflict fell back to purge + repush"
+    );
 }
 
 // ---------------------------------------------------------------------------
