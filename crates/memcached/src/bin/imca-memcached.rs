@@ -30,11 +30,14 @@ fn serve_connection(server: &McServer, mut stream: TcpStream) -> std::io::Result
     stream.set_nodelay(true).ok();
     let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
+    // Response scratch, reused across frames: the encoder appends, so one
+    // buffer serves the whole connection without per-frame allocation.
+    let mut resp_buf: Vec<u8> = Vec::with_capacity(16 * 1024);
     loop {
         // Drain every complete frame currently buffered.
         let mut consumed = 0;
         loop {
-            use imca_memcached::protocol::{encode_response, parse_command, Command};
+            use imca_memcached::protocol::{encode_response_into, parse_command, Command};
             match parse_command(&buf[consumed..]) {
                 Ok((cmd, used)) => {
                     consumed += used;
@@ -42,7 +45,9 @@ fn serve_connection(server: &McServer, mut stream: TcpStream) -> std::io::Result
                         return Ok(());
                     }
                     if let Some(resp) = server.apply(&cmd, now_secs()) {
-                        stream.write_all(&encode_response(&resp))?;
+                        resp_buf.clear();
+                        encode_response_into(&resp, &mut resp_buf);
+                        stream.write_all(&resp_buf)?;
                     }
                 }
                 Err(ParseError::Incomplete) => break,

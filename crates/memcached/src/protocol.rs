@@ -186,9 +186,36 @@ fn parse_num<T: std::str::FromStr>(tok: &[u8], what: &str) -> Result<T, ParseErr
         .ok_or_else(|| ParseError::Bad(format!("bad {what}")))
 }
 
+/// Append a decimal integer to `out` without the intermediate `String`
+/// that `format!` allocates — the encoders run once per RPC, and those
+/// per-field temporaries dominated the codec's allocation profile.
+fn put_u64(out: &mut Vec<u8>, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
 /// Serialise a command to wire bytes.
+///
+/// Convenience wrapper over [`encode_command_into`]; the hot paths reuse
+/// a scratch buffer instead.
 pub fn encode_command(cmd: &Command) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_command_into(cmd, &mut out);
+    out
+}
+
+/// Serialise a command, appending to a caller-provided buffer (typically
+/// a pooled one, see `imca_sim::buf`). Bytes already in `out` are kept.
+pub fn encode_command_into(cmd: &Command, out: &mut Vec<u8>) {
     match cmd {
         Command::Store {
             verb,
@@ -201,9 +228,15 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
             out.extend_from_slice(verb.as_str().as_bytes());
             out.push(b' ');
             out.extend_from_slice(key);
-            out.extend_from_slice(format!(" {flags} {exptime} {}", data.len()).as_bytes());
+            out.push(b' ');
+            put_u64(out, u64::from(*flags));
+            out.push(b' ');
+            put_u64(out, u64::from(*exptime));
+            out.push(b' ');
+            put_u64(out, data.len() as u64);
             if let StoreVerb::Cas(token) = verb {
-                out.extend_from_slice(format!(" {token}").as_bytes());
+                out.push(b' ');
+                put_u64(out, *token);
             }
             if *noreply {
                 out.extend_from_slice(b" noreply");
@@ -236,7 +269,8 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
         } => {
             out.extend_from_slice(if *decrement { b"decr " } else { b"incr " });
             out.extend_from_slice(key);
-            out.extend_from_slice(format!(" {delta}").as_bytes());
+            out.push(b' ');
+            put_u64(out, *delta);
             if *noreply {
                 out.extend_from_slice(b" noreply");
             }
@@ -249,7 +283,8 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
         } => {
             out.extend_from_slice(b"touch ");
             out.extend_from_slice(key);
-            out.extend_from_slice(format!(" {exptime}").as_bytes());
+            out.push(b' ');
+            put_u64(out, u64::from(*exptime));
             if *noreply {
                 out.extend_from_slice(b" noreply");
             }
@@ -266,7 +301,6 @@ pub fn encode_command(cmd: &Command) -> Vec<u8> {
         Command::Version => out.extend_from_slice(b"version\r\n"),
         Command::Quit => out.extend_from_slice(b"quit\r\n"),
     }
-    out
 }
 
 /// Parse one command from the front of `buf`; returns the command and the
@@ -374,8 +408,18 @@ pub fn parse_command(buf: &[u8]) -> Result<(Command, usize), ParseError> {
 }
 
 /// Serialise a response to wire bytes.
+///
+/// Convenience wrapper over [`encode_response_into`]; the hot paths reuse
+/// a scratch buffer instead.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_response_into(resp, &mut out);
+    out
+}
+
+/// Serialise a response, appending to a caller-provided buffer (typically
+/// a pooled one, see `imca_sim::buf`). Bytes already in `out` are kept.
+pub fn encode_response_into(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Stored => out.extend_from_slice(b"STORED\r\n"),
         Response::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
@@ -384,26 +428,39 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Deleted => out.extend_from_slice(b"DELETED\r\n"),
         Response::Touched => out.extend_from_slice(b"TOUCHED\r\n"),
         Response::Ok => out.extend_from_slice(b"OK\r\n"),
-        Response::Number(n) => out.extend_from_slice(format!("{n}\r\n").as_bytes()),
-        Response::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
+        Response::Number(n) => {
+            put_u64(out, *n);
+            out.extend_from_slice(CRLF);
+        }
+        Response::Version(v) => {
+            out.extend_from_slice(b"VERSION ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(CRLF);
+        }
         Response::Error => out.extend_from_slice(b"ERROR\r\n"),
         Response::ClientError(m) => {
-            out.extend_from_slice(format!("CLIENT_ERROR {m}\r\n").as_bytes())
+            out.extend_from_slice(b"CLIENT_ERROR ");
+            out.extend_from_slice(m.as_bytes());
+            out.extend_from_slice(CRLF);
         }
         Response::ServerError(m) => {
-            out.extend_from_slice(format!("SERVER_ERROR {m}\r\n").as_bytes())
+            out.extend_from_slice(b"SERVER_ERROR ");
+            out.extend_from_slice(m.as_bytes());
+            out.extend_from_slice(CRLF);
         }
         Response::Values(values) => {
             for v in values {
                 out.extend_from_slice(b"VALUE ");
                 out.extend_from_slice(&v.key);
-                match v.cas {
-                    Some(cas) => out.extend_from_slice(
-                        format!(" {} {} {cas}\r\n", v.flags, v.data.len()).as_bytes(),
-                    ),
-                    None => out
-                        .extend_from_slice(format!(" {} {}\r\n", v.flags, v.data.len()).as_bytes()),
+                out.push(b' ');
+                put_u64(out, u64::from(v.flags));
+                out.push(b' ');
+                put_u64(out, v.data.len() as u64);
+                if let Some(cas) = v.cas {
+                    out.push(b' ');
+                    put_u64(out, cas);
                 }
+                out.extend_from_slice(CRLF);
                 out.extend_from_slice(&v.data);
                 out.extend_from_slice(CRLF);
             }
@@ -411,12 +468,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Stats(pairs) => {
             for (k, v) in pairs {
-                out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes());
+                out.extend_from_slice(b"STAT ");
+                out.extend_from_slice(k.as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(v.as_bytes());
+                out.extend_from_slice(CRLF);
             }
             out.extend_from_slice(b"END\r\n");
         }
     }
-    out
 }
 
 /// Parse one response frame from the front of `buf`; returns the response

@@ -165,12 +165,25 @@ impl McServer {
         buf: &[u8],
         now: u64,
     ) -> Result<(Vec<u8>, usize), crate::protocol::ParseError> {
-        let (cmd, used) = crate::protocol::parse_command(buf)?;
-        let out = match self.apply(&cmd, now) {
-            Some(resp) => crate::protocol::encode_response(&resp),
-            None => Vec::new(),
-        };
+        let mut out = Vec::new();
+        let used = self.handle_wire_into(buf, now, &mut out)?;
         Ok((out, used))
+    }
+
+    /// Like [`McServer::handle_wire`] but appending the response into a
+    /// caller-provided (typically reused) buffer, so a serving loop does
+    /// not allocate per frame. Returns the request bytes consumed.
+    pub fn handle_wire_into(
+        &self,
+        buf: &[u8],
+        now: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<usize, crate::protocol::ParseError> {
+        let (cmd, used) = crate::protocol::parse_command(buf)?;
+        if let Some(resp) = self.apply(&cmd, now) {
+            crate::protocol::encode_response_into(&resp, out);
+        }
+        Ok(used)
     }
 }
 

@@ -1,0 +1,86 @@
+//! Debug assertions for determinism on replay-visible paths.
+//!
+//! The engine's reproducibility contract is only as strong as the model
+//! code riding on it: iterating a `HashMap` (randomized order per process)
+//! or merging concurrently-produced lists without a canonical sort makes a
+//! replay diverge even though the engine itself is deterministic. These
+//! helpers make such mistakes loud in debug builds and free in release
+//! builds.
+
+use std::collections::HashMap;
+
+/// Debug-assert that `items`, projected through `key`, is sorted in
+/// strictly increasing order — i.e. the sequence is canonical *and*
+/// duplicate-free. Used on cross-shard handoff batches, where a duplicate
+/// key would mean two messages are indistinguishable to the total order.
+#[inline]
+pub fn debug_assert_canonical<T, K: Ord + std::fmt::Debug>(items: &[T], key: impl Fn(&T) -> K) {
+    if cfg!(debug_assertions) {
+        for w in 0..items.len().saturating_sub(1) {
+            let a = key(&items[w]);
+            let b = key(&items[w + 1]);
+            assert!(
+                a < b,
+                "non-canonical replay-visible sequence: {a:?} !< {b:?} at index {w}"
+            );
+        }
+    }
+}
+
+/// The keys of a `HashMap` in sorted order.
+///
+/// `HashMap` iteration order is randomized per process, so walking one on
+/// a replay-visible path (spawning per-entry tasks, emitting per-entry
+/// events) breaks bit-identical replay. Route such walks through this
+/// helper; in debug builds it also flags the call sites where the raw
+/// order *happened* to differ from sorted order, which is exactly the
+/// non-determinism that would otherwise go unnoticed until a flaky CI run.
+pub fn sorted_keys<K: Ord + Clone, V>(map: &HashMap<K, V>) -> Vec<K> {
+    let raw: Vec<K> = map.keys().cloned().collect();
+    let mut sorted = raw;
+    sorted.sort();
+    sorted
+}
+
+/// Debug-assert that a replay-visible iteration order is deterministic by
+/// checking it is sorted by `key`. Unlike [`debug_assert_canonical`] this
+/// tolerates equal keys (stable-sorted inputs).
+#[inline]
+pub fn debug_assert_sorted_by<T, K: Ord + std::fmt::Debug>(items: &[T], key: impl Fn(&T) -> K) {
+    if cfg!(debug_assertions) {
+        for w in 0..items.len().saturating_sub(1) {
+            let a = key(&items[w]);
+            let b = key(&items[w + 1]);
+            assert!(a <= b, "unsorted replay-visible sequence: {a:?} > {b:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_keys_is_stable_regardless_of_hash_order() {
+        let mut m = HashMap::new();
+        for k in [9u64, 1, 5, 3, 7] {
+            m.insert(k, ());
+        }
+        assert_eq!(sorted_keys(&m), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn canonical_accepts_strictly_increasing() {
+        debug_assert_canonical(&[1u64, 2, 5], |&x| x);
+        debug_assert_sorted_by(&[1u64, 2, 2, 5], |&x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-canonical")]
+    fn canonical_rejects_duplicates_in_debug() {
+        if !cfg!(debug_assertions) {
+            panic!("non-canonical (release builds skip the check)");
+        }
+        debug_assert_canonical(&[1u64, 2, 2], |&x| x);
+    }
+}

@@ -59,13 +59,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buf;
+pub mod det;
 pub mod fault;
+mod shard;
 mod sim;
 pub mod stats;
 pub mod sync;
 mod time;
 mod util;
+mod wheel;
 
+pub use shard::{Envelope, ParSim, ParSummary, ShardComms, ShardCtx, NET_NODE};
 pub use sim::{yield_now, Delay, RunSummary, Sim, SimHandle, YieldNow};
 pub use time::{SimDuration, SimTime};
 pub use util::{join2, join_all, timeout};
+pub use wheel::Scheduler;

@@ -8,14 +8,25 @@
 //! virtual clock to the next pending timer. Two runs with the same seed and
 //! the same model code produce bit-identical traces.
 //!
+//! Events have a total order `(at, node, seq)`: virtual time first, then
+//! the node tag of the task that registered the timer, then registration
+//! order. Tasks inherit their spawner's node tag (override with
+//! [`SimHandle::spawn_on`]); untagged code runs as node 0, where the order
+//! degenerates to the classic `(at, seq)` — tagging is only needed by the
+//! sharded engine ([`crate::ParSim`]) and models that want per-node
+//! ordering to be explicit.
+//!
+//! Timers are stored in a hierarchical timer wheel by default; the legacy
+//! global `BinaryHeap` remains available via [`Sim::with_scheduler`] as a
+//! reference model and baseline (see [`crate::Scheduler`]).
+//!
 //! The simulation ends when no task is runnable and no timer is pending.
 //! Tasks still blocked at that point (e.g. server actors waiting for
 //! requests that will never come) are simply dropped — this is the normal
 //! way a simulation terminates.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -26,6 +37,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng as _, RngCore, SeedableRng};
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Scheduler, TimerEntry, TimerQueue};
 
 type TaskId = u64;
 type BoxedTask = Pin<Box<dyn Future<Output = ()> + 'static>>;
@@ -48,6 +60,20 @@ impl ReadyQueue {
     fn pop(&self) -> Option<TaskId> {
         self.queue.lock().unwrap().pop_front()
     }
+
+    /// Exchange the queue's contents with `batch` (which must be empty):
+    /// one lock acquisition hands the whole runnable set to the caller.
+    /// FIFO order is preserved — the batch is a prefix snapshot, and ids
+    /// woken while the batch drains land behind it, exactly where
+    /// [`ReadyQueue::pop`] would have found them.
+    fn swap_into(&self, batch: &mut VecDeque<TaskId>) {
+        debug_assert!(batch.is_empty());
+        std::mem::swap(&mut *self.queue.lock().unwrap(), batch);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
 }
 
 /// Waker target: wakes one task by id.
@@ -66,50 +92,237 @@ impl std::task::Wake for TaskWaker {
     }
 }
 
-/// A timer waiting to fire. Ordered by `(at, seq)` so that simultaneous
-/// timers fire in registration order — this is what makes runs reproducible.
-///
-/// `cancelled` (set when the owning [`Delay`] is dropped before firing)
-/// makes the entry inert: the run loop discards it *without advancing the
-/// clock*, so racing a sleep against another future (see
-/// [`crate::timeout`]) does not stretch the simulation's end time.
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    waker: Waker,
-    cancelled: Option<Rc<Cell<bool>>>,
+/// A task as the legacy engine stores it: future and node tag only. The
+/// legacy drain loop allocates a fresh `Arc` waker for every poll, exactly
+/// as the pre-refactor single-loop engine did.
+struct LegacyTask {
+    fut: BoxedTask,
+    node: u32,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// A task as the slab engine stores it: the waker is built once at spawn
+/// time and reused for every poll.
+struct SlabTask {
+    fut: BoxedTask,
+    node: u32,
+    waker: Waker,
+}
+
+/// A generation-checked slab slot. `gen` is bumped when the occupying
+/// task completes, so a stale wake carrying the old id misses without a
+/// hash lookup: the id encodes `(gen << 32) | slot` and a mismatch means
+/// "already gone".
+struct Slot {
+    gen: u32,
+    task: Option<SlabTask>,
+}
+
+/// Slab task store for [`Scheduler::Wheel`]: O(1) index-based take/put
+/// instead of a SipHash map lookup per poll, plus a free list so task ids
+/// stay dense and slot memory is reused.
+#[derive(Default)]
+struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: u64,
+}
+
+impl Slab {
+    /// Reserve a slot (empty, current generation) and return its id.
+    /// The caller fills it via [`Slab::fill`]; the id is not reachable by
+    /// wakes until then, because the task's waker has not been shared.
+    fn reserve(&mut self) -> TaskId {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot { gen: 0, task: None });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        ((self.slots[slot as usize].gen as u64) << 32) | slot as u64
+    }
+
+    fn fill(&mut self, id: TaskId, task: SlabTask) {
+        let slot = &mut self.slots[(id & 0xffff_ffff) as usize];
+        debug_assert_eq!(slot.gen as u64, id >> 32, "fill of a stale id");
+        debug_assert!(slot.task.is_none(), "double fill");
+        slot.task = Some(task);
+        self.live += 1;
+    }
+
+    /// Take the task out for polling; `None` for stale ids (generation
+    /// mismatch or already-completed slot), mirroring the legacy engine's
+    /// `HashMap::remove` miss on a stale wake.
+    #[inline]
+    fn take(&mut self, id: TaskId) -> Option<SlabTask> {
+        let slot = self.slots.get_mut((id & 0xffff_ffff) as usize)?;
+        if slot.gen as u64 != id >> 32 {
+            return None;
+        }
+        slot.task.take()
+    }
+
+    #[inline]
+    fn put_back(&mut self, id: TaskId, task: SlabTask) {
+        self.slots[(id & 0xffff_ffff) as usize].task = Some(task);
+    }
+
+    /// Retire a completed task's slot: bump the generation (invalidating
+    /// any queued wakes for the old id) and recycle the index.
+    fn release(&mut self, id: TaskId) {
+        let slot_idx = (id & 0xffff_ffff) as u32;
+        let slot = &mut self.slots[slot_idx as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(slot_idx);
     }
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+/// The executor's task store. Which variant a [`Sim`] gets is decided by
+/// its [`Scheduler`]: `Heap` keeps the pre-refactor single-loop engine
+/// byte for byte — a `HashMap` task table, a fresh `Arc` waker allocated
+/// per poll, and a `collect()`ed spawn drain — as the preserved reference
+/// and baseline; `Wheel` uses the generation-checked slab with cached
+/// wakers and a batched ready drain. Both produce identical poll orders
+/// and event counts for the same model code; only wall-clock differs.
+enum Store {
+    Legacy {
+        tasks: RefCell<HashMap<TaskId, LegacyTask>>,
+        /// Tasks spawned while the table is borrowed; folded in after
+        /// every poll (allocating, as the old engine did).
+        pending: RefCell<Vec<(TaskId, LegacyTask)>>,
+    },
+    Slab {
+        slab: RefCell<Slab>,
+        /// Scratch for the batched ready drain, kept allocated across
+        /// drains so the swap never allocates.
+        batch: RefCell<VecDeque<TaskId>>,
+    },
 }
 
 pub(crate) struct Core {
     now: Cell<SimTime>,
     seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timers: RefCell<TimerQueue>,
     ready: Arc<ReadyQueue>,
-    tasks: RefCell<HashMap<TaskId, BoxedTask>>,
+    store: Store,
     next_task_id: Cell<TaskId>,
-    /// Tasks spawned while another task is being polled; folded into `tasks`
-    /// between polls to avoid re-entrant borrows.
-    pending_spawn: RefCell<Vec<(TaskId, BoxedTask)>>,
+    /// Node tag of the task currently being polled (0 outside polls).
+    /// Spawns and timer registrations inherit it.
+    current_node: Cell<u32>,
     rng: RefCell<SmallRng>,
     events: Cell<u64>,
     spawned_total: Cell<u64>,
+}
+
+impl Core {
+    fn drain_ready(&self) {
+        match &self.store {
+            Store::Legacy { tasks, pending } => {
+                while let Some(id) = self.ready.pop() {
+                    // Take the task out of the map while polling so that
+                    // the poll itself may spawn/wake other tasks without
+                    // re-entrant borrows.
+                    let task = tasks.borrow_mut().remove(&id);
+                    let Some(mut task) = task else {
+                        continue; // already completed; stale wake
+                    };
+                    self.events.set(self.events.get() + 1);
+                    self.current_node.set(task.node);
+                    // The single-loop engine built a waker per poll.
+                    let waker = Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: Arc::clone(&self.ready),
+                    }));
+                    let mut cx = Context::from_waker(&waker);
+                    let still_pending = task.fut.as_mut().poll(&mut cx).is_pending();
+                    self.current_node.set(0);
+                    if still_pending {
+                        tasks.borrow_mut().insert(id, task);
+                    }
+                    // Fold in tasks spawned during the poll.
+                    let spawned: Vec<_> = pending.borrow_mut().drain(..).collect();
+                    for (new_id, new_task) in spawned {
+                        tasks.borrow_mut().insert(new_id, new_task);
+                        self.ready.push(new_id);
+                    }
+                }
+            }
+            Store::Slab { slab, batch } => {
+                // Polls (and the task drops they may trigger) run with the
+                // slab unborrowed — take the task out by index, poll, put
+                // it back — so model code can spawn mid-poll and insert
+                // directly, with no deferred-spawn list and no hash.
+                let mut batch = batch.borrow_mut();
+                loop {
+                    self.ready.swap_into(&mut batch);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    while let Some(id) = batch.pop_front() {
+                        let task = slab.borrow_mut().take(id);
+                        let Some(mut task) = task else {
+                            continue; // stale wake
+                        };
+                        self.events.set(self.events.get() + 1);
+                        self.current_node.set(task.node);
+                        let mut cx = Context::from_waker(&task.waker);
+                        let still_pending = task.fut.as_mut().poll(&mut cx).is_pending();
+                        self.current_node.set(0);
+                        let mut slab_mut = slab.borrow_mut();
+                        if still_pending {
+                            slab_mut.put_back(id, task);
+                        } else {
+                            slab_mut.release(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn live_tasks(&self) -> u64 {
+        match &self.store {
+            Store::Legacy { tasks, .. } => tasks.borrow().len() as u64,
+            Store::Slab { slab, .. } => slab.borrow().live,
+        }
+    }
+
+    /// Run until quiescence or until the next timer would pass `deadline`
+    /// (inclusive: timers at exactly `deadline` do fire).
+    fn run_to(&self, deadline: SimTime) {
+        loop {
+            self.drain_ready();
+            // Advance the clock to the next timer.
+            let entry = self.timers.borrow_mut().pop_next(deadline);
+            match entry {
+                Some(entry) => {
+                    debug_assert!(entry.at >= self.now.get());
+                    self.now.set(entry.at);
+                    entry.waker.wake();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Virtual time of the next thing that would happen: `now` if any task
+    /// is ready, else the earliest pending timer. `None` at quiescence.
+    fn next_event_time(&self) -> Option<SimTime> {
+        if !self.ready.is_empty() {
+            return Some(self.now.get());
+        }
+        self.timers.borrow_mut().next_at()
+    }
+
+    fn summary(&self) -> RunSummary {
+        RunSummary {
+            end_time: self.now.get(),
+            events: self.events.get(),
+            tasks_spawned: self.spawned_total.get(),
+            tasks_leaked: self.live_tasks(),
+        }
+    }
 }
 
 /// Summary statistics for a completed simulation run.
@@ -144,17 +357,37 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Create a simulation whose internal RNG is seeded with `seed`.
+    /// Create a simulation whose internal RNG is seeded with `seed`,
+    /// using the default timer back-end ([`Scheduler::Wheel`]).
     pub fn new(seed: u64) -> Sim {
+        Sim::with_scheduler(seed, Scheduler::default())
+    }
+
+    /// Create a simulation with an explicit timer back-end. The choice
+    /// also selects the task store: `Heap` pairs with the preserved
+    /// legacy engine (hash-map task table, per-poll waker allocation),
+    /// `Wheel` with the slab store and cached wakers. Both replay the
+    /// same model bit-identically; see `tests/wheel_props.rs`.
+    pub fn with_scheduler(seed: u64, scheduler: Scheduler) -> Sim {
+        let store = match scheduler {
+            Scheduler::Heap => Store::Legacy {
+                tasks: RefCell::new(HashMap::new()),
+                pending: RefCell::new(Vec::new()),
+            },
+            Scheduler::Wheel => Store::Slab {
+                slab: RefCell::new(Slab::default()),
+                batch: RefCell::new(VecDeque::new()),
+            },
+        };
         Sim {
             core: Rc::new(Core {
                 now: Cell::new(SimTime::ZERO),
                 seq: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: RefCell::new(TimerQueue::new(scheduler)),
                 ready: Arc::new(ReadyQueue::default()),
-                tasks: RefCell::new(HashMap::new()),
+                store,
                 next_task_id: Cell::new(0),
-                pending_spawn: RefCell::new(Vec::new()),
+                current_node: Cell::new(0),
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                 events: Cell::new(0),
                 spawned_total: Cell::new(0),
@@ -187,75 +420,59 @@ impl Sim {
     /// Run until quiescence or until the clock would pass `deadline`,
     /// whichever comes first. Timers at exactly `deadline` do fire.
     pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
-        loop {
-            self.drain_ready();
-            // Advance the clock to the next timer.
-            let fired = {
-                let mut timers = self.core.timers.borrow_mut();
-                loop {
-                    match timers.peek() {
-                        Some(Reverse(entry)) if entry.at <= deadline => {
-                            let Reverse(entry) = timers.pop().unwrap();
-                            if entry.cancelled.as_ref().is_some_and(|c| c.get()) {
-                                // Abandoned timer (its Delay was dropped):
-                                // discard without touching the clock.
-                                continue;
-                            }
-                            debug_assert!(entry.at >= self.core.now.get());
-                            self.core.now.set(entry.at);
-                            break Some(entry.waker);
-                        }
-                        _ => break None,
-                    }
-                }
-            };
-            match fired {
-                Some(waker) => waker.wake(),
-                None => break,
-            }
+        self.core.run_to(deadline);
+        self.core.summary()
+    }
+
+    /// Run every event strictly before `horizon`. Used by the sharded
+    /// engine, whose epochs own the half-open window `[.., horizon)`.
+    pub(crate) fn run_window(&mut self, horizon: SimTime) {
+        if horizon.0 == 0 {
+            self.core.drain_ready();
+            return;
         }
-        let leaked = self.core.tasks.borrow().len() as u64;
-        RunSummary {
-            end_time: self.core.now.get(),
-            events: self.core.events.get(),
-            tasks_spawned: self.core.spawned_total.get(),
-            tasks_leaked: leaked,
-        }
+        self.core.run_to(SimTime(horizon.0 - 1));
+    }
+
+    /// Virtual time of the next pending event, if any. See
+    /// [`Core::next_event_time`].
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.core.next_event_time()
+    }
+
+    /// Summary of the run so far (used by the sharded engine, which drives
+    /// the core in windows rather than through [`Sim::run_until`]).
+    pub(crate) fn summary(&self) -> RunSummary {
+        self.core.summary()
     }
 
     /// Drop every task (pending or blocked). Called automatically on drop to
     /// break `Rc` cycles between the core and task-held handles.
     pub fn clear(&mut self) {
-        self.core.tasks.borrow_mut().clear();
-        self.core.pending_spawn.borrow_mut().clear();
-        self.core.timers.borrow_mut().clear();
-        while self.core.ready.pop().is_some() {}
-    }
-
-    fn drain_ready(&mut self) {
-        while let Some(id) = self.core.ready.pop() {
-            // Take the task out of the map while polling so that the poll
-            // itself may spawn/wake other tasks without re-entrant borrows.
-            let task = self.core.tasks.borrow_mut().remove(&id);
-            let Some(mut task) = task else {
-                continue; // already completed; stale wake
-            };
-            self.core.events.set(self.core.events.get() + 1);
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: Arc::clone(&self.core.ready),
-            }));
-            let mut cx = Context::from_waker(&waker);
-            if task.as_mut().poll(&mut cx).is_pending() {
-                self.core.tasks.borrow_mut().insert(id, task);
+        match &self.core.store {
+            Store::Legacy { tasks, pending } => {
+                tasks.borrow_mut().clear();
+                pending.borrow_mut().clear();
             }
-            // Fold in tasks spawned during the poll.
-            let spawned: Vec<_> = self.core.pending_spawn.borrow_mut().drain(..).collect();
-            for (new_id, new_task) in spawned {
-                self.core.tasks.borrow_mut().insert(new_id, new_task);
-                self.core.ready.push(new_id);
+            Store::Slab { slab, .. } => {
+                // Drop task futures outside the borrow: a dropping task
+                // may legally spawn (landing in the freshly reset slab),
+                // so loop until the store is genuinely empty.
+                loop {
+                    let mut slab_mut = slab.borrow_mut();
+                    if slab_mut.live == 0 && slab_mut.slots.is_empty() {
+                        break;
+                    }
+                    let slots = std::mem::take(&mut slab_mut.slots);
+                    slab_mut.free.clear();
+                    slab_mut.live = 0;
+                    drop(slab_mut);
+                    drop(slots);
+                }
             }
         }
+        self.core.timers.borrow_mut().clear();
+        while self.core.ready.pop().is_some() {}
     }
 }
 
@@ -284,23 +501,65 @@ impl SimHandle {
         self.core.events.get()
     }
 
-    /// Spawn a new process. Safe to call from inside a running process.
+    /// Node tag of the currently running task (0 outside polls).
+    pub fn node(&self) -> u32 {
+        self.core.current_node.get()
+    }
+
+    /// Spawn a new process tagged with the spawner's node. Safe to call
+    /// from inside a running process.
     pub fn spawn<F: Future<Output = ()> + 'static>(&self, fut: F) {
-        let id = self.core.next_task_id.get();
-        self.core.next_task_id.set(id + 1);
+        self.spawn_on(self.core.current_node.get(), fut);
+    }
+
+    /// Spawn a new process tagged with an explicit node id. The tag is the
+    /// middle key of the engine's `(at, node, seq)` event order; tasks
+    /// spawned by this one inherit it.
+    ///
+    /// Both task stores push the new task onto the ready queue at the
+    /// same point (immediately, unless the store is mid-mutation), so the
+    /// poll order — and therefore the trace — is identical across
+    /// schedulers.
+    pub fn spawn_on<F: Future<Output = ()> + 'static>(&self, node: u32, fut: F) {
         self.core
             .spawned_total
             .set(self.core.spawned_total.get() + 1);
-        let boxed: BoxedTask = Box::pin(fut);
-        // If we're inside `drain_ready` the tasks map may be mid-mutation;
-        // defer insertion via the pending-spawn list, which drain_ready
-        // folds in after every poll. When called from outside the run loop
-        // (initial setup), fold immediately.
-        self.core.pending_spawn.borrow_mut().push((id, boxed));
-        if let Ok(mut tasks) = self.core.tasks.try_borrow_mut() {
-            for (new_id, new_task) in self.core.pending_spawn.borrow_mut().drain(..) {
-                tasks.insert(new_id, new_task);
-                self.core.ready.push(new_id);
+        match &self.core.store {
+            Store::Legacy { tasks, pending } => {
+                let id = self.core.next_task_id.get();
+                self.core.next_task_id.set(id + 1);
+                let task = LegacyTask {
+                    fut: Box::pin(fut),
+                    node,
+                };
+                // If we're inside a mutation of the task map, defer via
+                // the pending-spawn list, which drain_ready folds in
+                // after every poll; otherwise fold immediately.
+                pending.borrow_mut().push((id, task));
+                if let Ok(mut tasks) = tasks.try_borrow_mut() {
+                    for (new_id, new_task) in pending.borrow_mut().drain(..) {
+                        tasks.insert(new_id, new_task);
+                        self.core.ready.push(new_id);
+                    }
+                }
+            }
+            Store::Slab { slab, .. } => {
+                // The slab is never borrowed while model code runs (polls
+                // and task drops happen with the task taken out), so a
+                // direct insert is always safe here.
+                let mut slab_mut = slab.borrow_mut();
+                let id = slab_mut.reserve();
+                let task = SlabTask {
+                    fut: Box::pin(fut),
+                    node,
+                    waker: Waker::from(Arc::new(TaskWaker {
+                        id,
+                        ready: Arc::clone(&self.core.ready),
+                    })),
+                };
+                slab_mut.fill(id, task);
+                drop(slab_mut);
+                self.core.ready.push(id);
             }
         }
     }
@@ -323,12 +582,13 @@ impl SimHandle {
     pub fn register_timer(&self, at: SimTime, waker: Waker) {
         let seq = self.core.seq.get();
         self.core.seq.set(seq + 1);
-        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+        self.core.timers.borrow_mut().push(TimerEntry {
             at,
+            node: self.core.current_node.get(),
             seq,
             waker,
             cancelled: None,
-        }));
+        });
     }
 
     /// A uniformly distributed `u64`.
@@ -376,7 +636,7 @@ impl std::fmt::Debug for SimHandle {
 
 /// Future returned by [`SimHandle::sleep`] / [`SimHandle::sleep_until`].
 ///
-/// Dropping a `Delay` before it fires cancels its timer: the pending heap
+/// Dropping a `Delay` before it fires cancels its timer: the pending
 /// entry is marked inert and the run loop discards it without advancing
 /// the virtual clock. This is what lets [`crate::timeout`] race a sleep
 /// against another future without the losing sleep stretching the
@@ -399,12 +659,13 @@ impl Future for Delay {
             self.cancel = Some(Rc::clone(&token));
             let seq = self.core.seq.get();
             self.core.seq.set(seq + 1);
-            self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            self.core.timers.borrow_mut().push(TimerEntry {
                 at: self.at,
+                node: self.core.current_node.get(),
                 seq,
                 waker: cx.waker().clone(),
                 cancelled: Some(token),
-            }));
+            });
         }
         Poll::Pending
     }
@@ -412,7 +673,7 @@ impl Future for Delay {
 
 impl Drop for Delay {
     fn drop(&mut self) {
-        // If the timer already fired its heap entry is gone and this is a
+        // If the timer already fired its entry is gone and this is a
         // no-op; if it is still pending it becomes inert.
         if let Some(token) = &self.cancel {
             token.set(true);
@@ -476,18 +737,20 @@ mod tests {
 
     #[test]
     fn simultaneous_timers_fire_in_registration_order() {
-        let mut sim = Sim::new(0);
-        let order = Rc::new(StdRefCell::new(Vec::new()));
-        for i in 0..10 {
-            let h = sim.handle();
-            let order = Rc::clone(&order);
-            sim.spawn(async move {
-                h.sleep(SimDuration::micros(5)).await;
-                order.borrow_mut().push(i);
-            });
+        for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+            let mut sim = Sim::with_scheduler(0, scheduler);
+            let order = Rc::new(StdRefCell::new(Vec::new()));
+            for i in 0..10 {
+                let h = sim.handle();
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    h.sleep(SimDuration::micros(5)).await;
+                    order.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
         }
-        sim.run();
-        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -510,20 +773,22 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let mut sim = Sim::new(0);
-        let h = sim.handle();
-        let count = Rc::new(Cell::new(0u32));
-        let c2 = Rc::clone(&count);
-        sim.spawn(async move {
-            loop {
-                h.sleep(SimDuration::secs(1)).await;
-                c2.set(c2.get() + 1);
-            }
-        });
-        let s = sim.run_until(SimTime(SimDuration::secs(5).as_nanos()));
-        assert_eq!(count.get(), 5);
-        assert_eq!(s.end_time.as_nanos(), SimDuration::secs(5).as_nanos());
-        assert_eq!(s.tasks_leaked, 1); // the infinite looper is still blocked
+        for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+            let mut sim = Sim::with_scheduler(0, scheduler);
+            let h = sim.handle();
+            let count = Rc::new(Cell::new(0u32));
+            let c2 = Rc::clone(&count);
+            sim.spawn(async move {
+                loop {
+                    h.sleep(SimDuration::secs(1)).await;
+                    c2.set(c2.get() + 1);
+                }
+            });
+            let s = sim.run_until(SimTime(SimDuration::secs(5).as_nanos()));
+            assert_eq!(count.get(), 5);
+            assert_eq!(s.end_time.as_nanos(), SimDuration::secs(5).as_nanos());
+            assert_eq!(s.tasks_leaked, 1); // the infinite looper is still blocked
+        }
     }
 
     #[test]
@@ -580,20 +845,22 @@ mod tests {
     fn dropped_delay_does_not_advance_the_clock() {
         // The cancellation path: a Delay raced against a faster future and
         // dropped. End time must stay at the fast future's time.
-        let mut sim = Sim::new(0);
-        let h = sim.handle();
-        sim.spawn(async move {
-            let fast = async {};
-            let n = crate::util::timeout(&h, SimDuration::secs(5), fast).await;
-            assert!(n.is_some());
-            h.sleep(SimDuration::micros(3)).await;
-        });
-        let s = sim.run();
-        assert_eq!(
-            s.end_time.as_nanos(),
-            3_000,
-            "a cancelled deadline timer must not stretch the run"
-        );
+        for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+            let mut sim = Sim::with_scheduler(0, scheduler);
+            let h = sim.handle();
+            sim.spawn(async move {
+                let fast = async {};
+                let n = crate::util::timeout(&h, SimDuration::secs(5), fast).await;
+                assert!(n.is_some());
+                h.sleep(SimDuration::micros(3)).await;
+            });
+            let s = sim.run();
+            assert_eq!(
+                s.end_time.as_nanos(),
+                3_000,
+                "a cancelled deadline timer must not stretch the run"
+            );
+        }
     }
 
     #[test]
@@ -606,5 +873,83 @@ mod tests {
             assert_eq!(h.now().as_nanos(), 10_000);
         });
         sim.run();
+    }
+
+    #[test]
+    fn same_tick_events_order_by_node_then_seq_under_both_engines() {
+        // Two same-tick deliveries to one node must replay identically
+        // under both timer back-ends: the total order is (at, node, seq),
+        // so a task on node 2 sleeping to the same instant as a task on
+        // node 1 fires after it even if it registered first.
+        fn run_once(scheduler: Scheduler) -> Vec<String> {
+            let mut sim = Sim::with_scheduler(0, scheduler);
+            let log = Rc::new(StdRefCell::new(Vec::new()));
+            // Registration order deliberately inverts node order.
+            for (node, name) in [(2u32, "n2-first"), (1u32, "n1-a"), (1u32, "n1-b")] {
+                let h = sim.handle();
+                let log = Rc::clone(&log);
+                let h2 = h.clone();
+                h.spawn_on(node, async move {
+                    h2.sleep_until(SimTime(5_000)).await;
+                    log.borrow_mut().push(format!("{name}@{}", h2.node()));
+                });
+            }
+            sim.run();
+            let log = log.borrow().clone();
+            log
+        }
+        let heap = run_once(Scheduler::Heap);
+        let wheel = run_once(Scheduler::Wheel);
+        assert_eq!(heap, vec!["n1-a@1", "n1-b@1", "n2-first@2"]);
+        assert_eq!(heap, wheel, "both engines must agree on the total order");
+    }
+
+    #[test]
+    fn wheel_handles_far_future_and_overflow_migration() {
+        // Deadlines beyond the wheel's 2^36 ns span live in the overflow
+        // heap and must still fire in exact order as the base advances.
+        for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+            let mut sim = Sim::with_scheduler(0, scheduler);
+            let order = Rc::new(StdRefCell::new(Vec::new()));
+            // A spread crossing several 2^36 blocks, registered shuffled.
+            let times = [1u64 << 40, 3, (1 << 36) + 17, 1 << 20, (1 << 37) + 5];
+            for (i, &t) in times.iter().enumerate() {
+                let h = sim.handle();
+                let order = Rc::clone(&order);
+                sim.spawn(async move {
+                    h.sleep_until(SimTime(t)).await;
+                    order.borrow_mut().push(i);
+                });
+            }
+            let s = sim.run();
+            assert_eq!(*order.borrow(), vec![1, 3, 2, 4, 0]);
+            assert_eq!(s.end_time.0, 1 << 40);
+        }
+    }
+
+    #[test]
+    fn wheel_accepts_registration_below_prepared_base() {
+        // run_until can leave the wheel's base beyond `now` (the next
+        // pending fire was past the deadline). A timer registered in the
+        // gap must still fire first, in exact order.
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        let o2 = Rc::clone(&order);
+        let h2 = h.clone();
+        sim.spawn(async move {
+            h2.sleep_until(SimTime(10_000)).await;
+            o2.borrow_mut().push("late");
+        });
+        sim.run_until(SimTime(1_000)); // base prepared up to 10_000
+        let o3 = Rc::clone(&order);
+        let h3 = h.clone();
+        sim.spawn(async move {
+            h3.sleep_until(SimTime(2_000)).await;
+            o3.borrow_mut().push("early");
+        });
+        let s = sim.run();
+        assert_eq!(*order.borrow(), vec!["early", "late"]);
+        assert_eq!(s.end_time.0, 10_000);
     }
 }

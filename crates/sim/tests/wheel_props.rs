@@ -1,0 +1,165 @@
+//! Property tests for the hierarchical timer wheel against the
+//! `BinaryHeap` reference model.
+//!
+//! Both back-ends must agree on *everything* observable: fire order
+//! (including same-tick collisions resolved by the `(at, node, seq)`
+//! total order), cancellation semantics (the `timeout` combinator drops
+//! one of its two timers on every run), far-future deadlines beyond the
+//! wheel's direct span, and paused `run_until` runs that register timers
+//! below the wheel's already-prepared base.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use imca_sim::{timeout, Scheduler, Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A scheduled unit of work; generated programs are replayed under both
+/// timer back-ends and the full traces compared.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Spawn a task on `node` sleeping to an absolute deadline.
+    Sleep { node: u32, at: u64 },
+    /// Two chained sleeps: the second registers mid-run.
+    Chain { node: u32, at: u64, extra: u64 },
+    /// The timeout combinator: one of its two timers is always cancelled.
+    Timeout { node: u32, dur: u64, work: u64 },
+}
+
+/// Deadlines concentrated where the wheel's edge cases live: dense
+/// low-value ticks (same-tick collisions), the 2^36 span boundary, and
+/// far-future times that sit in the overflow heap.
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..64,
+        3 => 0u64..100_000,
+        1 => (1u64 << 36) - 64..(1u64 << 36) + 64,
+        1 => (1u64 << 40)..(1u64 << 40) + 4096,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..5, time_strategy()).prop_map(|(node, at)| Op::Sleep { node, at }),
+        2 => (0u32..5, time_strategy(), 0u64..5_000)
+            .prop_map(|(node, at, extra)| Op::Chain { node, at, extra }),
+        2 => (0u32..5, 1u64..10_000, 1u64..10_000)
+            .prop_map(|(node, dur, work)| Op::Timeout { node, dur, work }),
+    ]
+}
+
+type Trace = Vec<(u64, u32, usize, u8)>;
+
+fn spawn_program(sim: &mut Sim, ops: &[Op], log: &Rc<RefCell<Trace>>) {
+    for (i, op) in ops.iter().cloned().enumerate() {
+        let h = sim.handle();
+        let log = Rc::clone(log);
+        match op {
+            Op::Sleep { node, at } => {
+                let h2 = h.clone();
+                h.spawn_on(node, async move {
+                    h2.sleep_until(SimTime(at)).await;
+                    log.borrow_mut().push((h2.now().0, h2.node(), i, 0));
+                });
+            }
+            Op::Chain { node, at, extra } => {
+                let h2 = h.clone();
+                h.spawn_on(node, async move {
+                    h2.sleep_until(SimTime(at)).await;
+                    log.borrow_mut().push((h2.now().0, h2.node(), i, 0));
+                    h2.sleep(SimDuration::nanos(extra)).await;
+                    log.borrow_mut().push((h2.now().0, h2.node(), i, 1));
+                });
+            }
+            Op::Timeout { node, dur, work } => {
+                let h2 = h.clone();
+                h.spawn_on(node, async move {
+                    let hw = h2.clone();
+                    let res = timeout(&h2, SimDuration::nanos(dur), async move {
+                        hw.sleep(SimDuration::nanos(work)).await;
+                        7u32
+                    })
+                    .await;
+                    log.borrow_mut()
+                        .push((h2.now().0, h2.node(), i, res.is_some() as u8));
+                });
+            }
+        }
+    }
+}
+
+/// Run a program to quiescence; the trace plus the run summary is the
+/// full observable behaviour.
+fn run_program(ops: &[Op], scheduler: Scheduler) -> (Trace, u64, u64, u64) {
+    let mut sim = Sim::with_scheduler(0, scheduler);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    spawn_program(&mut sim, ops, &log);
+    let s = sim.run();
+    let trace = log.borrow().clone();
+    (trace, s.end_time.0, s.events, s.tasks_spawned)
+}
+
+/// Run in two halves around `run_until(pause)`, registering extra sleeps
+/// in between — the case where the wheel's base is already prepared past
+/// the new deadlines.
+fn run_paused(
+    ops: &[Op],
+    late: &[(u32, u64)],
+    pause: u64,
+    scheduler: Scheduler,
+) -> (Trace, u64, u64, u64) {
+    let mut sim = Sim::with_scheduler(0, scheduler);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    spawn_program(&mut sim, ops, &log);
+    sim.run_until(SimTime(pause));
+    for (j, &(node, at)) in late.iter().enumerate() {
+        let h = sim.handle();
+        let h2 = h.clone();
+        let log = Rc::clone(&log);
+        h.spawn_on(node, async move {
+            h2.sleep_until(SimTime(at)).await;
+            log.borrow_mut()
+                .push((h2.now().0, h2.node(), usize::MAX - j, 2));
+        });
+    }
+    let s = sim.run();
+    let trace = log.borrow().clone();
+    (trace, s.end_time.0, s.events, s.tasks_spawned)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn wheel_matches_heap_reference(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let heap = run_program(&ops, Scheduler::Heap);
+        let wheel = run_program(&ops, Scheduler::Wheel);
+        prop_assert_eq!(&heap, &wheel, "wheel diverged from heap reference");
+    }
+
+    #[test]
+    fn wheel_matches_heap_with_paused_runs(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        late in prop::collection::vec((0u32..5, 0u64..100_000), 1..10),
+        pause in 1u64..100_000,
+    ) {
+        let heap = run_paused(&ops, &late, pause, Scheduler::Heap);
+        let wheel = run_paused(&ops, &late, pause, Scheduler::Wheel);
+        prop_assert_eq!(&heap, &wheel, "paused-run traces diverged");
+    }
+
+    #[test]
+    fn wheel_replays_bit_identically(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        prop_assert_eq!(
+            run_program(&ops, Scheduler::Wheel),
+            run_program(&ops, Scheduler::Wheel)
+        );
+    }
+}

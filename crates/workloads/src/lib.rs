@@ -14,6 +14,9 @@
 //!   ghost probes, driving the metadata-tier ablation,
 //! * [`synth`] — synthetic Zipf/log-normal data-center traces (§3's
 //!   small-file motivation) and a replay driver,
+//! * [`scale`] — the Fig 8 curve at bank scale: a lean closed-loop
+//!   queueing model that simulates 10⁵ clients in CI time and doubles
+//!   as the engine-speed yardstick (`fig8_scale`),
 //! * [`report`] — the table type the bench binaries print and serialise.
 
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod iozone;
 pub mod latbench;
 pub mod lsstorm;
 pub mod report;
+pub mod scale;
 pub mod statbench;
 pub mod synth;
 mod system;

@@ -8,10 +8,12 @@
 #                               and smoke-run the shared-read benches
 #                               (fig10_shared + ablate_replication),
 #                               the metadata benches (fig5_stat +
-#                               ablate_metadata), and the write-coherence
-#                               ablation (ablate_cas), leaving
-#                               results/BENCH_5.json, BENCH_6.json and
-#                               BENCH_7.json behind
+#                               ablate_metadata), the write-coherence
+#                               ablation (ablate_cas), and the
+#                               engine-speed scaling sweep (fig8_scale),
+#                               leaving results/BENCH_5.json through
+#                               BENCH_8.json behind, and re-run the
+#                               determinism suite with two ParSim workers
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -67,4 +69,20 @@ if [[ "${1:-}" == "--strict" ]]; then
     test -s results/BENCH_6.json
     test -s results/BENCH_7.json
     grep -q '"cas_beats_purge": true' results/BENCH_7.json
+
+    # Engine smoke: fig8_scale races the refactored engine (timer wheel +
+    # slab store + pooled buffers) against the preserved single-loop
+    # baseline on the identical simulated workload, asserts the >=4x
+    # simulator-throughput claim and an annotated saturation knee, and
+    # writes results/BENCH_8.json. The greps re-check both claims against
+    # the emitted document.
+    cargo run --release -q -p imca-bench --bin fig8_scale -- --smoke --out results
+    test -s results/BENCH_8.json
+    grep -q '"opsec_speedup_4x": true' results/BENCH_8.json
+    grep -q '"knee_found": true' results/BENCH_8.json
+
+    # The determinism suite runs in the default test pass with one ParSim
+    # worker; re-run it with two so the genuinely parallel path (barrier
+    # epochs, canonical handoff sort) is exercised on every CI run.
+    IMCA_SIM_WORKERS=2 cargo test --release -q --test determinism
 fi
