@@ -16,10 +16,10 @@ use imca_sim::{SimDuration, SimHandle};
 use imca_storage::{BackendParams, StorageBackend, StorageFaultPlan};
 
 use crate::block::DEFAULT_BLOCK_SIZE;
-use crate::cmcache::{CmCache, CmStats};
+use crate::cmcache::{CmCache, CmStats, DegradationLadder};
 use crate::mcd::{Bank, McdCosts, McdNode, Replication, RetryPolicy};
 use crate::meta::{serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaConfig, MetaPolicy};
-use crate::smcache::{Coherence, SmCache, SmStats};
+use crate::smcache::{Coherence, RewarmLimit, SmCache, SmStats};
 
 /// IMCa-layer configuration (§5.1 defaults).
 #[derive(Debug, Clone)]
@@ -71,6 +71,16 @@ pub struct ImcaConfig {
     /// full tier; [`MetaConfig::nocache`] is the stat-path ablation
     /// baseline on an otherwise unchanged IMCa deployment.
     pub meta: MetaConfig,
+    /// Client-side graceful-degradation ladder (DESIGN.md §8): a client
+    /// whose bank round was shed by admission control steps down to
+    /// local-miss mode, forwarding reads straight to GlusterFS, and
+    /// probes its way back with `readmit_probability`. `None` (default)
+    /// keeps the legacy always-try-the-bank behaviour.
+    pub ladder: Option<DegradationLadder>,
+    /// Server-side read-path rewarm throttle (DESIGN.md §8): bounds how
+    /// fast post-purge / post-restart fills repopulate the bank. `None`
+    /// (default) is unlimited, the legacy behaviour.
+    pub rewarm: Option<RewarmLimit>,
 }
 
 impl Default for ImcaConfig {
@@ -89,6 +99,8 @@ impl Default for ImcaConfig {
             replication: Replication::default(),
             coherence: Coherence::default(),
             meta: MetaConfig::default(),
+            ladder: None,
+            rewarm: None,
         }
     }
 }
@@ -210,7 +222,7 @@ impl Cluster {
                 );
                 let hub =
                     (imca.meta.policy == MetaPolicy::Lease).then(|| LeaseHub::new(handle.clone()));
-                let sm = SmCache::with_meta(
+                let sm = SmCache::with_overload(
                     handle.clone(),
                     Rc::clone(&posix) as Xlator,
                     client,
@@ -220,6 +232,7 @@ impl Cluster {
                     imca.coherence,
                     imca.meta,
                     hub.clone(),
+                    imca.rewarm,
                 );
                 (Some(bank), Some(Rc::clone(&sm)), hub, sm as Xlator)
             }
@@ -280,13 +293,17 @@ impl Cluster {
                             imca.replication,
                         ),
                 );
-                let cm = CmCache::with_meta(
+                // Seed each client's re-admission RNG from its mount
+                // index so degraded clients don't probe in lockstep.
+                let cm = CmCache::with_overload(
                     self.handle.clone(),
                     proto,
                     bank,
                     imca.block_size,
                     imca.batching,
                     imca.meta,
+                    imca.ladder,
+                    self.cmcaches.borrow().len() as u64,
                 );
                 if let Some(hub) = &self.lease_hub {
                     // The client's revocation endpoint: SMCache's purge /

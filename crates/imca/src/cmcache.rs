@@ -35,6 +35,7 @@
 //! purged and repushed (the paper's protocol, whose cold window shows
 //! up here as post-write `read_misses`).
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use imca_glusterfs::{Fop, FopReply, Translator, Xlator};
@@ -62,6 +63,29 @@ pub struct CmStats {
     pub read_misses: u64,
 }
 
+/// The graceful-degradation ladder (DESIGN.md §8): when a read's bank
+/// round comes back `busy`-shed by a daemon's admission control, the
+/// translator steps down into *degraded* mode — subsequent reads skip
+/// the bank entirely and go straight to GlusterFS as local misses
+/// (`degraded_reads`), sparing the overloaded bank even the refused
+/// RPCs. Each degraded read instead *probes* the bank with probability
+/// `readmit_probability`; the first probe whose round completes without
+/// a shed steps back up (`readmissions`). The probabilistic probe keeps
+/// clients from re-admitting in lockstep and re-melting the bank.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationLadder {
+    /// Per-read probability that a degraded client probes the bank.
+    pub readmit_probability: f64,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> DegradationLadder {
+        DegradationLadder {
+            readmit_probability: 0.1,
+        }
+    }
+}
+
 /// The CMCache translator.
 pub struct CmCache {
     child: Xlator,
@@ -78,6 +102,19 @@ pub struct CmCache {
     /// virtual ns.
     stat_ns: Histogram,
     read_ns: Histogram,
+    /// Overload ladder config; `None` (the default) disables the
+    /// degraded mode entirely and replays bit-identically.
+    ladder: Option<DegradationLadder>,
+    /// Whether this client is currently degraded (sheds observed, not
+    /// yet re-admitted).
+    degraded: Cell<bool>,
+    /// xorshift64 state for the re-admission roll, seeded per client.
+    ladder_rng: Cell<u64>,
+    /// Reads served straight from GlusterFS while degraded (no bank
+    /// traffic at all).
+    degraded_reads: Counter,
+    /// Successful re-admission probes (degraded → normal transitions).
+    readmissions: Counter,
     handle: SimHandle,
 }
 
@@ -119,6 +156,24 @@ impl CmCache {
         batched: bool,
         meta: MetaConfig,
     ) -> Rc<CmCache> {
+        CmCache::with_overload(handle, child, bank, block_size, batched, meta, None, 0)
+    }
+
+    /// [`CmCache::with_meta`] plus the overload ladder. `ladder_seed`
+    /// seeds the client-local re-admission RNG — give every client a
+    /// distinct seed (the cluster uses the client's node id) so degraded
+    /// clients don't probe the recovering bank in lockstep.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_overload(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+        batched: bool,
+        meta: MetaConfig,
+        ladder: Option<DegradationLadder>,
+        ladder_seed: u64,
+    ) -> Rc<CmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
         let meta = MetaEngine::new(handle.clone(), Rc::clone(&child), Rc::clone(&bank), meta);
@@ -134,6 +189,13 @@ impl CmCache {
             read_misses: registry.counter("read_misses"),
             stat_ns: registry.histogram("stat_ns"),
             read_ns: registry.histogram("read_ns"),
+            ladder,
+            degraded: Cell::new(false),
+            // Golden-ratio constant XOR an odd term: nonzero whatever
+            // the seed.
+            ladder_rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((ladder_seed << 1) | 1)),
+            degraded_reads: registry.counter("degraded_reads"),
+            readmissions: registry.counter("readmissions"),
             registry,
             handle,
         })
@@ -172,11 +234,34 @@ impl CmCache {
         self.stat_ns.record_duration(self.handle.now().since(t0));
         r
     }
+
+    /// Whether the degradation ladder currently has this client stepped
+    /// down (tests and the overload bench read this).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.get()
+    }
+
+    /// Roll the re-admission die: `true` = this degraded read probes the
+    /// bank. xorshift64 on client-local state — deterministic, and
+    /// de-synchronised across clients by the per-client seed.
+    fn roll_readmit(&self) -> bool {
+        let p = self
+            .ladder
+            .map(|l| l.readmit_probability)
+            .unwrap_or_default();
+        let mut x = self.ladder_rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.ladder_rng.set(x);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
 }
 
 impl MetricSource for CmCache {
     fn collect(&self, prefix: &str, snap: &mut Snapshot) {
         self.registry.collect(prefix, snap);
+        snap.set_gauge(prefixed(prefix, "degraded"), self.degraded.get() as i64);
         self.meta.collect(&prefixed(prefix, "meta"), snap);
         self.bank.collect(&prefixed(prefix, "bank"), snap);
     }
@@ -223,6 +308,26 @@ impl Translator for CmCache {
                         return FopReply::Read(Ok(Vec::new()));
                     }
                     let t0 = self.handle.now();
+                    // Degradation ladder: while stepped down, reads skip
+                    // the bank entirely and go straight to GlusterFS — no
+                    // MCD round-trips added to an already-overloaded bank.
+                    // A random `readmit_probability` fraction of reads
+                    // still probe the bank; one clean probe re-admits.
+                    let probing = if self.ladder.is_some() && self.degraded.get() {
+                        if !self.roll_readmit() {
+                            self.degraded_reads.inc();
+                            self.read_misses.inc();
+                            let reply = Rc::clone(&self.child)
+                                .handle(Fop::Read { path, offset, len })
+                                .await;
+                            self.read_ns.record_duration(self.handle.now().since(t0));
+                            return reply;
+                        }
+                        true
+                    } else {
+                        false
+                    };
+                    let sheds0 = self.bank.busy_shed_count();
                     let blocks = cover(offset, len, self.block_size);
                     // Fetch every covering block from the bank: batched as
                     // one multi-get per routed daemon, or (ablation) as
@@ -245,6 +350,18 @@ impl Translator for CmCache {
                             .collect();
                         join_all(&self.handle, futs).await
                     };
+                    // Step the ladder on what this round observed. The
+                    // shed counter is client-wide, so a concurrent read's
+                    // shed can be attributed to this one — over-detection
+                    // only steps down earlier, which is the safe direction.
+                    if self.ladder.is_some() {
+                        if self.bank.busy_shed_count() > sheds0 {
+                            self.degraded.set(true);
+                        } else if probing {
+                            self.degraded.set(false);
+                            self.readmissions.inc();
+                        }
+                    }
                     if fetched.iter().all(|f| f.is_some()) {
                         let owned: Vec<(u64, bytes::Bytes)> = blocks
                             .iter()
@@ -286,7 +403,7 @@ mod tests {
     use imca_fabric::{Network, Transport};
     use imca_glusterfs::FileStat;
     use imca_memcached::{McConfig, Selector};
-    use imca_sim::Sim;
+    use imca_sim::{Sim, SimDuration};
     use std::cell::RefCell as StdRefCell;
 
     /// A child translator that records what reached the server side.
@@ -357,6 +474,158 @@ mod tests {
             std::future::pending::<()>().await;
         });
         (cm, rec, bank)
+    }
+
+    /// A rig with daemon-side admission control and the client ladder on.
+    fn setup_overload(
+        sim: &Sim,
+        file: Vec<u8>,
+        costs: McdCosts,
+        ladder: DegradationLadder,
+    ) -> (Rc<CmCache>, Rc<Recorder>, Rc<BankClient>) {
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 1, &McConfig::default(), &costs);
+        let client_node = net.add_node();
+        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
+        let rec = Rc::new(Recorder {
+            log: StdRefCell::new(Vec::new()),
+            file,
+        });
+        let cm = CmCache::with_overload(
+            sim.handle(),
+            Rc::clone(&rec) as Xlator,
+            Rc::clone(&bank),
+            2048,
+            true,
+            MetaConfig::default(),
+            Some(ladder),
+            0,
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        (cm, rec, bank)
+    }
+
+    #[test]
+    fn degraded_reads_skip_the_bank_entirely() {
+        let mut sim = Sim::new(0);
+        // queue_limit 0: the daemon sheds every read, unconditionally.
+        // readmit_probability 0: once degraded, the client never probes.
+        let (cm, rec, bank) = setup_overload(
+            &sim,
+            vec![7u8; 2048],
+            McdCosts {
+                queue_limit: Some(0),
+                ..McdCosts::default()
+            },
+            DegradationLadder {
+                readmit_probability: 0.0,
+            },
+        );
+        let cm2 = Rc::clone(&cm);
+        sim.spawn(async move {
+            for _ in 0..4 {
+                let FopReply::Read(Ok(data)) = Rc::clone(&(cm2.clone() as Xlator))
+                    .handle(Fop::Read {
+                        path: "/f".into(),
+                        offset: 0,
+                        len: 2048,
+                    })
+                    .await
+                else {
+                    panic!()
+                };
+                assert_eq!(data, vec![7u8; 2048]);
+            }
+        });
+        sim.run();
+        // Read 1 paid the shed bank round and stepped the ladder down;
+        // reads 2-4 went straight to the server without a bank RPC.
+        assert!(cm.is_degraded());
+        assert_eq!(rec.log.borrow().len(), 4, "every read forwarded");
+        assert_eq!(
+            bank.stats().gets,
+            1,
+            "degraded reads must not touch the bank"
+        );
+        let snap = imca_metrics::collect_from(&*cm, "cmcache");
+        assert_eq!(snap.counter("cmcache.degraded_reads"), Some(3));
+        assert_eq!(snap.counter("cmcache.readmissions"), Some(0));
+        assert_eq!(snap.gauge("cmcache.degraded"), Some(1));
+        assert_eq!(cm.stats().read_misses, 4);
+    }
+
+    #[test]
+    fn ladder_steps_down_on_sheds_and_probes_back_up() {
+        let mut sim = Sim::new(0);
+        // Transient overload: a 1-deep queue on a slow daemon sheds only
+        // under concurrency. readmit_probability 1 probes every time.
+        let file: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let (cm, _rec, bank) = setup_overload(
+            &sim,
+            file.clone(),
+            McdCosts {
+                per_op: SimDuration::micros(300),
+                queue_limit: Some(1),
+                ..McdCosts::default()
+            },
+            DegradationLadder {
+                readmit_probability: 1.0,
+            },
+        );
+        let cm2 = Rc::clone(&cm);
+        let h = sim.handle();
+        sim.spawn(async move {
+            // Seed both blocks as SMCache would.
+            for b in 0..2u64 {
+                let s = (b * 2048) as usize;
+                bank.set(
+                    &block_key("/f", b * 2048),
+                    Bytes::from(file[s..s + 2048].to_vec()),
+                    Some(b),
+                )
+                .await;
+            }
+            // Two concurrent reads of different blocks: one occupies the
+            // daemon's queue slot, the other is shed → the ladder steps
+            // down.
+            let futs: Vec<_> = (0..2u64)
+                .map(|b| {
+                    let cm = Rc::clone(&cm2) as Xlator;
+                    async move {
+                        cm.handle(Fop::Read {
+                            path: "/f".into(),
+                            offset: b * 2048,
+                            len: 2048,
+                        })
+                        .await
+                    }
+                })
+                .collect();
+            imca_sim::join_all(&h, futs).await;
+            assert!(cm2.is_degraded(), "shed round must step the ladder down");
+            // The overload is gone (no concurrency). The next read is a
+            // re-admission probe: it reaches the bank, comes back clean,
+            // and the ladder steps back up — with a warm hit to show for it.
+            let FopReply::Read(Ok(data)) = Rc::clone(&(cm2.clone() as Xlator))
+                .handle(Fop::Read {
+                    path: "/f".into(),
+                    offset: 0,
+                    len: 2048,
+                })
+                .await
+            else {
+                panic!()
+            };
+            assert_eq!(data, file[..2048].to_vec());
+            assert!(!cm2.is_degraded(), "clean probe must re-admit");
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*cm, "cmcache");
+        assert_eq!(snap.counter("cmcache.readmissions"), Some(1));
+        assert_eq!(snap.gauge("cmcache.degraded"), Some(0));
     }
 
     #[test]

@@ -36,9 +36,9 @@ use bytes::Bytes;
 use imca_fabric::{Network, NodeId, RpcClient, Service, Transport, WireSize};
 use imca_memcached::protocol::{Command, Response, StoreVerb};
 use imca_memcached::{ClientCore, McConfig, McServer, McStats, Selector};
-use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, Snapshot};
-use imca_sim::sync::{oneshot, OneshotReceiver, OneshotSender, Resource};
-use imca_sim::{join_all, timeout, SimDuration, SimHandle, SimTime};
+use imca_metrics::{prefixed, Counter, Histogram, MetricSource, Registry, RttEstimator, Snapshot};
+use imca_sim::sync::{oneshot, OneshotReceiver, OneshotSender, Queue, Resource};
+use imca_sim::{join_all, timeout, SimDuration, SimHandle, SimTime, TokenBucket};
 
 /// Request wrapper carrying a memcached protocol command across the fabric.
 #[derive(Debug, Clone)]
@@ -105,6 +105,15 @@ pub struct McdCosts {
     pub per_op: SimDuration,
     /// Value copy bandwidth, bytes/s.
     pub memcpy_bps: f64,
+    /// Admission control: commands admitted onto the event loop at once
+    /// (serving + queued). When full, *reads* are refused immediately
+    /// with `SERVER_ERROR busy` instead of queueing unboundedly — the
+    /// client treats the shed as a miss and falls through to the
+    /// backend. Writes, deletes, and sync barriers are always admitted:
+    /// shedding a purge or store would leave replicas stale, which the
+    /// coherence machinery only knows how to handle via quarantine.
+    /// `None` (the default) keeps the PR-8 unbounded queue bit-for-bit.
+    pub queue_limit: Option<usize>,
 }
 
 impl Default for McdCosts {
@@ -112,6 +121,7 @@ impl Default for McdCosts {
         McdCosts {
             per_op: SimDuration::micros(3),
             memcpy_bps: 3e9,
+            queue_limit: None,
         }
     }
 }
@@ -146,6 +156,21 @@ pub struct RetryPolicy {
     /// long: ops route as local misses with no wire traffic, then the
     /// next op after expiry probes the daemon again.
     pub circuit_cooldown: SimDuration,
+    /// Replace the static `deadline` with a per-daemon RTT-tracked one
+    /// (DESIGN.md §8). `None` (default) keeps the static deadline and
+    /// replays bit-identically.
+    pub adaptive: Option<AdaptiveDeadline>,
+    /// Client-global token-bucket budget that every retry (and hedge)
+    /// must spend from, so retries cannot amplify an overload into a
+    /// retry storm. A denied retry fails the op fast, counted in
+    /// `retry_budget_exhausted`. `None` (default) = unlimited retries,
+    /// exactly the old behaviour.
+    pub retry_budget: Option<RetryBudget>,
+    /// Hedged reads at replication ≥ 2: a GET still unanswered past the
+    /// primary's tracked tail latency fires one hedge to the next live
+    /// replica; first answer wins. `None` (default) keeps the serial
+    /// failover loop bit-identically.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl Default for RetryPolicy {
@@ -156,6 +181,89 @@ impl Default for RetryPolicy {
             backoff_base: SimDuration::micros(100),
             backoff_cap: SimDuration::millis(1),
             circuit_cooldown: SimDuration::millis(100),
+            adaptive: None,
+            retry_budget: None,
+            hedge: None,
+        }
+    }
+}
+
+/// Adaptive per-daemon deadline (DESIGN.md §8): once a daemon's
+/// [`RttEstimator`] has `warmup` samples, each RPC's deadline becomes
+/// `clamp(multiplier × (srtt + 4·rttvar), min, max)` instead of the
+/// policy's static `deadline`. A healthy daemon thus gets abandoned in a
+/// few hundred microseconds rather than 50ms — which is what turns an
+/// overloaded daemon into a fast, bounded degraded miss instead of a
+/// stalled client.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveDeadline {
+    /// Deadline as a multiple of the tracked tail proxy.
+    pub multiplier: f64,
+    /// Deadline floor (spurious-timeout guard).
+    pub min: SimDuration,
+    /// Deadline ceiling (usually the old static deadline).
+    pub max: SimDuration,
+    /// RTT samples required per daemon before the estimate is trusted;
+    /// below it the static deadline applies.
+    pub warmup: u64,
+}
+
+impl Default for AdaptiveDeadline {
+    fn default() -> AdaptiveDeadline {
+        AdaptiveDeadline {
+            multiplier: 3.0,
+            min: SimDuration::micros(200),
+            max: SimDuration::millis(50),
+            warmup: 16,
+        }
+    }
+}
+
+/// Client-global retry/hedge token bucket (the SRE retry-budget shape):
+/// tokens accrue at `refill_per_sec` up to `burst`, every retry attempt
+/// and every fired hedge spends one, and an empty bucket means fail fast
+/// — under overload the extra load a client may add on top of its
+/// first-attempt traffic is bounded by the refill rate.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Sustained retries/hedges per second.
+    pub refill_per_sec: f64,
+    /// Bucket capacity (burst allowance).
+    pub burst: f64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget {
+            refill_per_sec: 10.0,
+            burst: 10.0,
+        }
+    }
+}
+
+/// Hedged-read policy (replication ≥ 2 only). The hedge delay for a GET
+/// to daemon `d` is `clamp(tail(d), min_delay, max_delay)` — the tracked
+/// p95 proxy — or `max_delay` before the estimator has `warmup` samples.
+/// A hedge fires only if the primary has not answered by then, spends a
+/// [`RetryBudget`] token when one is configured, and goes to the next
+/// live replica in placement order; the first answer wins and the loser
+/// is abandoned (its late result is discarded, never settled).
+#[derive(Debug, Clone, Copy)]
+pub struct HedgePolicy {
+    /// Hedge-delay floor: never hedge earlier than this.
+    pub min_delay: SimDuration,
+    /// Hedge-delay ceiling, and the delay used before warmup.
+    pub max_delay: SimDuration,
+    /// RTT samples required before the tracked tail drives the delay.
+    pub warmup: u64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            min_delay: SimDuration::micros(100),
+            max_delay: SimDuration::millis(5),
+            warmup: 16,
         }
     }
 }
@@ -238,6 +346,17 @@ enum CallOutcome {
     TimedOut,
 }
 
+/// What one (possibly hedged) replicated-read round resolved to.
+enum RoundVerdict {
+    /// A replica answered with the value.
+    Hit(Bytes),
+    /// A live replica answered authoritatively without the value.
+    Miss,
+    /// Every contacted replica failed (busy, dropped, or timed out);
+    /// `tried` has been extended and the caller routes the next round.
+    Failed,
+}
+
 /// Map a `cas` store's RPC outcome to its verdict. Anything that is not
 /// a definitive engine answer — transport failure, or a non-store reply
 /// such as a `CLIENT_ERROR` — is [`CasVerdict::Failed`]; the caller's
@@ -251,14 +370,38 @@ fn cas_verdict(outcome: &CallOutcome) -> CasVerdict {
     }
 }
 
+/// The shared retry/hedge token bucket plus its denial counter — one per
+/// client, cloned into every [`retry_call`] so batched `'static` futures
+/// can carry it (`None` = unlimited, the pre-budget behaviour).
+#[derive(Clone)]
+struct BudgetHandle {
+    bucket: Rc<TokenBucket>,
+    exhausted: Counter,
+}
+
+impl BudgetHandle {
+    /// Spend one token; on denial count it and report `false`.
+    fn spend(&self, now: SimTime) -> bool {
+        if self.bucket.try_take(now) {
+            true
+        } else {
+            self.exhausted.inc();
+            false
+        }
+    }
+}
+
 /// One deadline-guarded attempt loop, self-contained so batched paths can
 /// run it per daemon through `join_all` (which needs `'static` futures).
+/// Every retry after the first attempt spends from `budget` when one is
+/// configured; a denied retry fails fast as [`CallOutcome::TimedOut`].
 async fn retry_call(
     handle: SimHandle,
     client: RpcClient<McdReq, McdResp>,
     policy: RetryPolicy,
     rpc_timeouts: Counter,
     retries: Counter,
+    budget: Option<BudgetHandle>,
     req: McdReq,
 ) -> CallOutcome {
     let mut backoff = policy.backoff_base;
@@ -273,6 +416,13 @@ async fn retry_call(
                 rpc_timeouts.inc();
                 if attempt >= policy.retries {
                     return CallOutcome::TimedOut;
+                }
+                if let Some(b) = &budget {
+                    if !b.spend(handle.now()) {
+                        // Budget dry: retrying now would amplify the
+                        // overload — fail fast instead.
+                        return CallOutcome::TimedOut;
+                    }
                 }
                 attempt += 1;
                 retries.inc();
@@ -329,6 +479,15 @@ pub struct McdNode {
     /// breaker this never auto-expires: time cannot prove the stale data
     /// went away.
     quarantined: Rc<Cell<bool>>,
+    /// Commands admitted onto the event loop right now (serving +
+    /// queued) — what `McdCosts::queue_limit` bounds.
+    queue_depth: Rc<Cell<u64>>,
+    /// High-water mark of `queue_depth` over the daemon's lifetime.
+    queue_peak: Rc<Cell<u64>>,
+    /// Reads refused with `busy` by admission control (also in the
+    /// registry; kept here so [`Bank::collect`] can publish the
+    /// `per_daemon.{i}.sheds` imbalance view).
+    sheds: Counter,
     registry: Registry,
 }
 
@@ -367,6 +526,22 @@ impl MetricSource for McdNode {
             prefixed(prefix, "quarantined"),
             self.quarantined.get() as i64,
         );
+        snap.set_gauge(
+            prefixed(prefix, "queue_depth"),
+            self.queue_depth.get() as i64,
+        );
+        snap.set_gauge(prefixed(prefix, "queue_peak"), self.queue_peak.get() as i64);
+    }
+}
+
+/// Decrements a daemon's admission-control depth counter when the
+/// serving task ends, however it ends (reply sent, killed mid-queue, or
+/// killed mid-service).
+struct DecrOnDrop(Rc<Cell<u64>>);
+
+impl Drop for DecrOnDrop {
+    fn drop(&mut self) {
+        self.0.set(self.0.get().saturating_sub(1));
     }
 }
 
@@ -379,13 +554,21 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
     let registry = Registry::new();
     let requests = registry.counter("requests");
     let dropped = registry.counter("dropped");
+    let sheds = registry.counter("sheds");
     let service_ns = registry.histogram("service_ns");
     let h = net.handle();
     let cpu = Resource::new(1); // the daemon's single event loop
+                                // Commands admitted onto the event loop right now (serving + queued)
+                                // — the quantity `queue_limit` bounds — plus its high-water mark.
+    let queue_depth = Rc::new(Cell::new(0u64));
+    let queue_peak = Rc::new(Cell::new(0u64));
     {
         let service = service.clone();
         let server = Rc::clone(&server);
         let alive = Rc::clone(&alive);
+        let queue_depth = Rc::clone(&queue_depth);
+        let queue_peak = Rc::clone(&queue_peak);
+        let sheds = sheds.clone();
         let h2 = h.clone();
         h.spawn(async move {
             // Dispatcher: take requests off the wire immediately (the NIC
@@ -402,7 +585,21 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
                     dropped.inc();
                     continue;
                 }
+                if let Some(limit) = costs.queue_limit {
+                    // Admission control: a full queue sheds reads with an
+                    // explicit `busy` before they touch the event loop.
+                    // Only reads — see the `queue_limit` field docs.
+                    if queue_depth.get() >= limit as u64
+                        && matches!(incoming.req.0, Command::Get { .. })
+                    {
+                        sheds.inc();
+                        incoming.respond(McdResp(Some(Response::busy())));
+                        continue;
+                    }
+                }
                 requests.inc();
+                queue_depth.set(queue_depth.get() + 1);
+                queue_peak.set(queue_peak.get().max(queue_depth.get()));
                 let t0 = h2.now();
                 let server = Rc::clone(&server);
                 let alive = Rc::clone(&alive);
@@ -410,9 +607,11 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
                 let costs = costs.clone();
                 let service_ns = service_ns.clone();
                 let dropped = dropped.clone();
+                let queue_depth = Rc::clone(&queue_depth);
                 let h3 = h2.clone();
                 h2.spawn(async move {
                     let (req, _src, replier) = incoming.into_parts();
+                    let _depth = DecrOnDrop(queue_depth);
                     let _slot = cpu.acquire().await;
                     if !alive.get() {
                         // Killed while queued on the event loop.
@@ -452,6 +651,9 @@ pub fn start_mcd(net: &Network, node: NodeId, cfg: McConfig, costs: McdCosts) ->
         server,
         alive,
         quarantined: Rc::new(Cell::new(false)),
+        queue_depth,
+        queue_peak,
+        sheds,
         registry,
     }
 }
@@ -593,6 +795,10 @@ impl MetricSource for Bank {
             node.collect(&prefixed(prefix, &format!("mcd.{i}")), snap);
             let gets = node.stats().cmd_get;
             snap.set_counter(prefixed(prefix, &format!("per_daemon.{i}.gets")), gets);
+            snap.set_counter(
+                prefixed(prefix, &format!("per_daemon.{i}.sheds")),
+                node.sheds.get(),
+            );
             max_gets = max_gets.max(gets);
             total_gets += gets;
         }
@@ -714,8 +920,9 @@ pub struct BankClient {
     /// factor-1 runs replay bit-identically to the pre-replication code.
     replication: usize,
     /// Outstanding bank RPCs per daemon *from this client* — the load
-    /// signal power-of-two-choices read routing balances on.
-    in_flight: Vec<Cell<u64>>,
+    /// signal power-of-two-choices read routing balances on. `Rc` so
+    /// hedge tasks (which outlive the borrow of `self`) can decrement.
+    in_flight: Vec<Rc<Cell<u64>>>,
     /// Client-local xorshift64 state for P2C sampling and tie-breaking,
     /// seeded from the client's node id so different clients spread a hot
     /// block across its replicas. Never consulted at factor 1.
@@ -729,6 +936,25 @@ pub struct BankClient {
     replica_failovers: Counter,
     /// GETs that piggybacked on another in-flight GET for the same key.
     coalesced_gets: Counter,
+    /// Per-daemon smoothed RTT state (DESIGN.md §8) — control state
+    /// steering adaptive deadlines and hedge delays, not telemetry.
+    rtt: RefCell<Vec<RttEstimator>>,
+    /// Client-global retry/hedge token bucket, when the policy asks for
+    /// one (`RetryPolicy::retry_budget`).
+    budget: Option<BudgetHandle>,
+    /// `SERVER_ERROR busy` replies — reads a daemon's admission control
+    /// refused. Never retried on the same daemon: replicated reads fail
+    /// over, single-home reads become degraded local misses (the
+    /// degradation ladder's signal).
+    busy_sheds: Counter,
+    /// Read circuits tripped by exhausted per-op retries — so
+    /// timeout-driven degradation is distinguishable from budget-driven
+    /// (`retry_budget_exhausted`) and shed-driven (`busy_sheds`).
+    circuit_opens: Counter,
+    /// Hedge RPCs actually fired (replication ≥ 2, hedge policy on).
+    hedged_gets: Counter,
+    /// Hedged GETs where the hedge's answer arrived first.
+    hedge_wins: Counter,
 }
 
 impl BankClient {
@@ -783,6 +1009,10 @@ impl BankClient {
             .collect();
         let handle = nodes[0].service.network().handle();
         let registry = Registry::new();
+        let budget = policy.retry_budget.map(|b| BudgetHandle {
+            bucket: Rc::new(TokenBucket::new(b.refill_per_sec, b.burst, handle.now())),
+            exhausted: registry.counter("retry_budget_exhausted"),
+        });
         BankClient {
             clients,
             core: RefCell::new(ClientCore::new(selector, nodes.len())),
@@ -808,13 +1038,19 @@ impl BankClient {
             retries: registry.counter("retries"),
             degraded_misses: registry.counter("degraded_misses"),
             replication: replication.factor.clamp(1, nodes.len()),
-            in_flight: (0..nodes.len()).map(|_| Cell::new(0)).collect(),
+            in_flight: (0..nodes.len()).map(|_| Rc::new(Cell::new(0))).collect(),
             // Golden-ratio constant XOR an odd per-node term: nonzero for
             // every node id, distinct per client.
             route_rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((u64::from(from.0) << 1) | 1)),
             single_flight: RefCell::new(BTreeMap::new()),
             replica_failovers: registry.counter("replica_failovers"),
             coalesced_gets: registry.counter("coalesced_gets"),
+            rtt: RefCell::new(vec![RttEstimator::new(); nodes.len()]),
+            budget,
+            busy_sheds: registry.counter("busy_sheds"),
+            circuit_opens: registry.counter("circuit_opens"),
+            hedged_gets: registry.counter("hedged_gets"),
+            hedge_wins: registry.counter("hedge_wins"),
             registry,
         }
     }
@@ -822,6 +1058,13 @@ impl BankClient {
     /// Number of daemons configured.
     pub fn server_count(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Total `SERVER_ERROR busy` replies this client has absorbed. The
+    /// degradation ladder diffs this around a bank round to learn whether
+    /// the round was shed by admission control.
+    pub fn busy_shed_count(&self) -> u64 {
+        self.busy_sheds.get()
     }
 
     /// Client-observed counters (a derived view over the metric registry).
@@ -988,12 +1231,45 @@ impl BankClient {
     /// Open daemon `idx`'s circuit: shed its traffic for the policy's
     /// cooldown, then probe again.
     fn trip_circuit(&self, idx: usize) {
+        self.circuit_opens.inc();
         self.circuit_open_until.borrow_mut()[idx] =
             self.handle.now() + self.policy.circuit_cooldown;
     }
 
+    /// The policy for one RPC to daemon `idx`: the static policy, with
+    /// the deadline swapped for the daemon's tracked
+    /// `multiplier × (srtt + 4·rttvar)` once the estimator is warm
+    /// (see [`AdaptiveDeadline`]).
+    fn effective_policy(&self, idx: usize) -> RetryPolicy {
+        let mut p = self.policy.clone();
+        if let Some(a) = p.adaptive {
+            let est = self.rtt.borrow()[idx];
+            if est.samples() >= a.warmup {
+                if let Some(tail) = est.tail() {
+                    let d = (tail * a.multiplier) as u64;
+                    p.deadline = SimDuration::nanos(d.clamp(a.min.as_nanos(), a.max.as_nanos()));
+                }
+            }
+        }
+        p
+    }
+
+    /// Fold one completed-RPC latency into daemon `idx`'s estimator.
+    /// Only answered calls are observed (a timeout's duration is the
+    /// deadline, not the daemon) — and the sample includes any retry
+    /// backoff, which only biases the estimate *upward* under stress,
+    /// the conservative direction for a deadline.
+    fn observe_rtt(&self, idx: usize, elapsed: SimDuration) {
+        if self.policy.adaptive.is_some() || self.policy.hedge.is_some() {
+            self.rtt.borrow_mut()[idx].observe(elapsed.as_nanos() as f64);
+        }
+    }
+
     /// One deadline-guarded RPC to daemon `idx`, opening its circuit if
-    /// the retry budget runs dry.
+    /// the per-op retries run dry. The *write-path* variant: always the
+    /// static policy and never the retry budget, because a write that
+    /// fails fast gets quarantined — far too heavy a hammer for an
+    /// adaptively-shortened deadline or a dry token bucket to swing.
     async fn call_daemon(&self, idx: usize, req: McdReq) -> CallOutcome {
         let outcome = retry_call(
             self.handle.clone(),
@@ -1001,11 +1277,38 @@ impl BankClient {
             self.policy.clone(),
             self.rpc_timeouts.clone(),
             self.retries.clone(),
+            None,
             req,
         )
         .await;
         if matches!(outcome, CallOutcome::TimedOut) {
             self.trip_circuit(idx);
+        }
+        outcome
+    }
+
+    /// [`BankClient::call_daemon`] for the read path: the deadline adapts
+    /// to the daemon's tracked RTT, retries spend from the budget, and an
+    /// answered call feeds the estimator. A timed-out read costs a
+    /// degraded miss, so failing fast here is cheap — which is exactly
+    /// why the read path gets the aggressive policy and the write path
+    /// does not.
+    async fn call_daemon_read(&self, idx: usize, req: McdReq) -> CallOutcome {
+        let t0 = self.handle.now();
+        let outcome = retry_call(
+            self.handle.clone(),
+            self.clients[idx].clone(),
+            self.effective_policy(idx),
+            self.rpc_timeouts.clone(),
+            self.retries.clone(),
+            self.budget.clone(),
+            req,
+        )
+        .await;
+        match &outcome {
+            CallOutcome::Resp(_) => self.observe_rtt(idx, self.handle.now().since(t0)),
+            CallOutcome::TimedOut => self.trip_circuit(idx),
+            CallOutcome::Dropped => {}
         }
         outcome
     }
@@ -1069,12 +1372,21 @@ impl BankClient {
                     keys: vec![key.to_vec()],
                     with_cas: false,
                 });
-                match self.call_daemon(idx, req).await {
+                match self.call_daemon_read(idx, req).await {
                     CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
                         if !vals.is_empty() =>
                     {
                         self.hits.inc();
                         Some(vals.remove(0).data)
+                    }
+                    CallOutcome::Resp(McdResp(Some(r))) if r.is_busy() => {
+                        // Admission control refused the read: a degraded
+                        // local miss, never a retry (the daemon is
+                        // healthy — just protecting itself).
+                        self.busy_sheds.inc();
+                        self.misses.inc();
+                        self.degraded_misses.inc();
+                        None
                     }
                     CallOutcome::Resp(_) => {
                         self.misses.inc();
@@ -1104,7 +1416,9 @@ impl BankClient {
     /// until one answers. A replica that drops or times out mid-flight is
     /// excluded and the next one tried — warm failover — and only when
     /// every replica is unusable does the read degrade to the local miss
-    /// the single-home path would have taken immediately.
+    /// the single-home path would have taken immediately. With a
+    /// [`HedgePolicy`] configured each round may additionally race a
+    /// hedge against a slow primary (see [`BankClient::hedged_round`]).
     async fn get_replicated(&self, key: &[u8], hint: Option<u64>) -> Option<Bytes> {
         let candidates = self.replica_set(key, hint);
         let mut tried: Vec<usize> = Vec::new();
@@ -1122,12 +1436,34 @@ impl BankClient {
                     return None;
                 }
             };
+            if let Some(hedge) = self.policy.hedge {
+                match self
+                    .hedged_round(key, &candidates, &mut tried, idx, hedge)
+                    .await
+                {
+                    RoundVerdict::Hit(data) => {
+                        if failover {
+                            self.replica_failovers.inc();
+                        }
+                        self.hits.inc();
+                        return Some(data);
+                    }
+                    RoundVerdict::Miss => {
+                        if failover {
+                            self.replica_failovers.inc();
+                        }
+                        self.misses.inc();
+                        return None;
+                    }
+                    RoundVerdict::Failed => continue,
+                }
+            }
             let req = McdReq(Command::Get {
                 keys: vec![key.to_vec()],
                 with_cas: false,
             });
             self.in_flight[idx].set(self.in_flight[idx].get() + 1);
-            let outcome = self.call_daemon(idx, req).await;
+            let outcome = self.call_daemon_read(idx, req).await;
             self.in_flight[idx].set(self.in_flight[idx].get() - 1);
             match outcome {
                 CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
@@ -1138,6 +1474,12 @@ impl BankClient {
                     }
                     self.hits.inc();
                     return Some(vals.remove(0).data);
+                }
+                CallOutcome::Resp(McdResp(Some(r))) if r.is_busy() => {
+                    // Shed by admission control: fail over warm to the
+                    // next replica (the value may well be there).
+                    self.busy_sheds.inc();
+                    tried.push(idx);
                 }
                 CallOutcome::Resp(_) => {
                     if failover {
@@ -1153,14 +1495,184 @@ impl BankClient {
                     tried.push(idx);
                 }
                 CallOutcome::TimedOut => {
-                    // Circuit now open (call_daemon tripped it); the next
-                    // route sees this replica as shed. Exclude and retry
-                    // the rest of the set.
+                    // Circuit now open (call_daemon_read tripped it); the
+                    // next route sees this replica as shed. Exclude and
+                    // retry the rest of the set.
                     self.failures.inc();
                     tried.push(idx);
                 }
             }
         }
+    }
+
+    /// Hedge delay for a GET to daemon `idx`: the tracked tail proxy
+    /// clamped to the policy's window, or the ceiling before warmup.
+    fn hedge_delay(&self, idx: usize, hedge: HedgePolicy) -> SimDuration {
+        let est = self.rtt.borrow()[idx];
+        if est.samples() >= hedge.warmup {
+            if let Some(tail) = est.tail() {
+                return SimDuration::nanos(
+                    (tail as u64).clamp(hedge.min_delay.as_nanos(), hedge.max_delay.as_nanos()),
+                );
+            }
+        }
+        hedge.max_delay
+    }
+
+    /// One hedged replicated-read round (DESIGN.md §8): the GET to
+    /// `primary` runs as its own task; if it has not answered within
+    /// [`BankClient::hedge_delay`], one hedge fires to the next live
+    /// replica in placement order (spending a retry-budget token when a
+    /// budget is configured). The first *answer* wins; the loser keeps
+    /// running but its late result is discarded unseen — it is never
+    /// settled, so a loser's timeout cannot trip a circuit. Failures
+    /// (busy / dropped / timed out) from both attempts are settled here
+    /// and appended to `tried` so the caller's next round routes past
+    /// them.
+    async fn hedged_round(
+        &self,
+        key: &[u8],
+        candidates: &[usize],
+        tried: &mut Vec<usize>,
+        primary: usize,
+        hedge: HedgePolicy,
+    ) -> RoundVerdict {
+        // Each racing attempt reports (was-hedge, replica, outcome,
+        // elapsed); a hedge that decides not to fire reports `None`.
+        type RaceMsg = Option<(bool, usize, CallOutcome, SimDuration)>;
+        let results: Queue<RaceMsg> = Queue::new();
+        let decided = Rc::new(Cell::new(false));
+        let spawn_attempt = |idx: usize, is_hedge: bool| {
+            let handle = self.handle.clone();
+            let client = self.clients[idx].clone();
+            let policy = self.effective_policy(idx);
+            let rpc_timeouts = self.rpc_timeouts.clone();
+            let retries = self.retries.clone();
+            let budget = self.budget.clone();
+            let results = results.clone();
+            let inflight = Rc::clone(&self.in_flight[idx]);
+            let req = McdReq(Command::Get {
+                keys: vec![key.to_vec()],
+                with_cas: false,
+            });
+            inflight.set(inflight.get() + 1);
+            self.handle.spawn(async move {
+                let t0 = handle.now();
+                let outcome = retry_call(
+                    handle.clone(),
+                    client,
+                    policy,
+                    rpc_timeouts,
+                    retries,
+                    budget,
+                    req,
+                )
+                .await;
+                inflight.set(inflight.get() - 1);
+                results.push(Some((is_hedge, idx, outcome, handle.now().since(t0))));
+            });
+        };
+        spawn_attempt(primary, false);
+        // Hedge target: the next live, untried replica after the primary
+        // in placement order. Without one the round is just the primary.
+        let target = candidates.iter().copied().find(|&c| {
+            c != primary && !tried.contains(&c) && matches!(self.probe(c), Route::Daemon(_))
+        });
+        let mut expected = 1;
+        if let Some(hidx) = target {
+            expected += 1;
+            let delay = self.hedge_delay(primary, hedge);
+            let handle = self.handle.clone();
+            let decided = Rc::clone(&decided);
+            let budget = self.budget.clone();
+            let hedged_gets = self.hedged_gets.clone();
+            let results = results.clone();
+            let client = self.clients[hidx].clone();
+            let policy = self.effective_policy(hidx);
+            let rpc_timeouts = self.rpc_timeouts.clone();
+            let retries = self.retries.clone();
+            let inflight = Rc::clone(&self.in_flight[hidx]);
+            let req = McdReq(Command::Get {
+                keys: vec![key.to_vec()],
+                with_cas: false,
+            });
+            // The firing decision runs at fire time in its own task: the
+            // hedge is skipped when the primary already answered or the
+            // budget is dry, and either way a message is posted so the
+            // receive loop below always sees `expected` messages.
+            self.handle.spawn(async move {
+                handle.sleep(delay).await;
+                if decided.get() {
+                    results.push(None);
+                    return;
+                }
+                if let Some(b) = &budget {
+                    if !b.spend(handle.now()) {
+                        results.push(None);
+                        return;
+                    }
+                }
+                hedged_gets.inc();
+                inflight.set(inflight.get() + 1);
+                let t0 = handle.now();
+                let outcome = retry_call(
+                    handle.clone(),
+                    client,
+                    policy,
+                    rpc_timeouts,
+                    retries,
+                    budget,
+                    req,
+                )
+                .await;
+                inflight.set(inflight.get() - 1);
+                results.push(Some((true, hidx, outcome, handle.now().since(t0))));
+            });
+        }
+        let mut failed: Vec<usize> = Vec::new();
+        for _ in 0..expected {
+            let msg = results.recv().await.expect("race queue never closes");
+            let Some((is_hedge, idx, outcome, elapsed)) = msg else {
+                continue; // hedge declined
+            };
+            match outcome {
+                CallOutcome::Resp(McdResp(Some(Response::Values(mut vals))))
+                    if !vals.is_empty() =>
+                {
+                    decided.set(true);
+                    if is_hedge {
+                        self.hedge_wins.inc();
+                    }
+                    self.observe_rtt(idx, elapsed);
+                    tried.extend(failed);
+                    return RoundVerdict::Hit(vals.remove(0).data);
+                }
+                CallOutcome::Resp(McdResp(Some(r))) if r.is_busy() => {
+                    self.busy_sheds.inc();
+                    failed.push(idx);
+                }
+                CallOutcome::Resp(_) => {
+                    // Authoritative "not here" from a live replica.
+                    decided.set(true);
+                    self.observe_rtt(idx, elapsed);
+                    tried.extend(failed);
+                    return RoundVerdict::Miss;
+                }
+                CallOutcome::Dropped => {
+                    self.failures.inc();
+                    self.core.borrow_mut().mark_dead(idx);
+                    failed.push(idx);
+                }
+                CallOutcome::TimedOut => {
+                    self.failures.inc();
+                    self.trip_circuit(idx);
+                    failed.push(idx);
+                }
+            }
+        }
+        decided.set(true);
+        tried.extend(failed);
+        RoundVerdict::Failed
     }
 
     /// Fetch many values with at most one RPC per (live) daemon: keys are
@@ -1172,6 +1684,15 @@ impl BankClient {
     /// (never a rehash), and a daemon dying mid-flight fails every key
     /// grouped on it.
     pub async fn get_multi(&self, keys: &[(Vec<u8>, Option<u64>)]) -> Vec<Option<Bytes>> {
+        // A one-key batch is just a get. Routing it through the
+        // single-key path keeps hedged reads available to the batched
+        // data path, whose commonest shape is one covering block — the
+        // grouped multi-RPC rounds below have no hedge. Gated on the
+        // hedge policy so legacy configurations replay bit-identically.
+        if keys.len() == 1 && self.policy.hedge.is_some() && self.replication > 1 {
+            let (key, hint) = &keys[0];
+            return vec![self.get(key, *hint).await];
+        }
         self.gets.add(keys.len() as u64);
         let t0 = self.handle.now();
         let mut out: Vec<Option<Bytes>> = vec![None; keys.len()];
@@ -1290,12 +1811,21 @@ impl BankClient {
                         keys: members.iter().map(|(p, _, _)| keys[*p].0.clone()).collect(),
                         with_cas,
                     });
+                    // Pure reads get the adaptive deadline + budget;
+                    // token reads are write-path prep and stay on the
+                    // generous static policy (see `call_daemon`).
+                    let (policy, budget) = if with_cas {
+                        (self.policy.clone(), None)
+                    } else {
+                        (self.effective_policy(*idx), self.budget.clone())
+                    };
                     retry_call(
                         self.handle.clone(),
                         self.clients[*idx].clone(),
-                        self.policy.clone(),
+                        policy,
                         self.rpc_timeouts.clone(),
                         self.retries.clone(),
+                        budget,
                         req,
                     )
                 })
@@ -1327,6 +1857,21 @@ impl BankClient {
                             } else {
                                 self.misses.inc();
                             }
+                        }
+                    }
+                    CallOutcome::Resp(McdResp(Some(r))) if r.is_busy() => {
+                        // The whole group was shed by admission control:
+                        // replicated keys fail over warm next round,
+                        // single-home keys degrade to local misses.
+                        self.busy_sheds.inc();
+                        if self.replication > 1 {
+                            for (p, _, mut tried) in members {
+                                tried.push(idx);
+                                pending.push((p, tried));
+                            }
+                        } else {
+                            self.misses.add(members.len() as u64);
+                            self.degraded_misses.add(members.len() as u64);
                         }
                     }
                     CallOutcome::Resp(_) => {
@@ -1531,6 +2076,7 @@ impl BankClient {
                     self.policy.clone(),
                     self.rpc_timeouts.clone(),
                     self.retries.clone(),
+                    None,
                     req,
                 )
             })
@@ -1644,6 +2190,7 @@ impl BankClient {
                             self.policy.clone(),
                             self.rpc_timeouts.clone(),
                             self.retries.clone(),
+                            None,
                             McdReq(Command::Store {
                                 verb: StoreVerb::Cas(token.token),
                                 key: key.clone(),
@@ -1724,6 +2271,7 @@ impl BankClient {
                     self.policy.clone(),
                     self.rpc_timeouts.clone(),
                     self.retries.clone(),
+                    None,
                     req.clone(),
                 )
             })
@@ -1816,6 +2364,7 @@ impl BankClient {
                     policy,
                     rpc_timeouts,
                     retries,
+                    None,
                     McdReq(Command::Version),
                 )
                 .await
@@ -1879,6 +2428,7 @@ impl BankClient {
                     policy,
                     rpc_timeouts,
                     retries,
+                    None,
                     McdReq(Command::Version),
                 )
                 .await
@@ -2003,6 +2553,7 @@ impl BankClient {
                             self.policy.clone(),
                             self.rpc_timeouts.clone(),
                             self.retries.clone(),
+                            None,
                             req.clone(),
                         )
                     })
@@ -2518,6 +3069,7 @@ mod tests {
             backoff_base: SimDuration::micros(10),
             backoff_cap: SimDuration::micros(40),
             circuit_cooldown: SimDuration::millis(1),
+            ..RetryPolicy::default()
         }
     }
 
@@ -2704,6 +3256,7 @@ mod tests {
             let costs = McdCosts {
                 per_op: SimDuration::micros(500),
                 memcpy_bps: 1e12,
+                ..McdCosts::default()
             };
             let bank = Rc::new(Bank::start(&net, 1, &McConfig::default(), &costs));
             for _ in 0..nops {
@@ -3172,5 +3725,229 @@ mod tests {
             );
         }
         assert_eq!(holders(&bank, b"/f:0"), 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_reads_but_admits_writes() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        // queue_limit 0: every read is shed at the door; writes always land.
+        let costs = McdCosts {
+            queue_limit: Some(0),
+            ..McdCosts::default()
+        };
+        let bank = Rc::new(Bank::start(&net, 1, &McConfig::default(), &costs));
+        let client = Rc::new(bank.client(net.add_node(), Selector::Crc32, None));
+        let c2 = Rc::clone(&client);
+        sim.spawn(async move {
+            c2.set(b"/k:stat", Bytes::from_static(b"v"), None).await;
+            assert!(
+                c2.get(b"/k:stat", None).await.is_none(),
+                "shed read must degrade to a local miss"
+            );
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!((s.sets, s.gets, s.hits, s.misses), (1, 1, 0, 1));
+        // Not a timeout, not a failure: an explicit busy reply.
+        assert_eq!(s.failures, 0);
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.busy_sheds"), Some(1));
+        assert_eq!(snap.counter("bank.degraded_misses"), Some(1));
+        assert_eq!(snap.counter("bank.rpc_timeouts"), Some(0));
+        let snap = imca_metrics::collect_from(&*bank, "bank");
+        assert_eq!(snap.counter("bank.mcd.0.sheds"), Some(1));
+        assert_eq!(snap.counter("bank.per_daemon.0.sheds"), Some(1));
+        // The value survived — admission control never sheds writes.
+        assert!(bank.nodes()[0]
+            .server()
+            .store()
+            .get(b"/k:stat", 0)
+            .is_some());
+        assert_eq!(client.busy_shed_count(), 1);
+    }
+
+    #[test]
+    fn queue_limit_bounds_depth_under_concurrency() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        // Slow daemon + four simultaneous readers from distinct nodes:
+        // one occupies the queue slot, the rest bounce off it.
+        let costs = McdCosts {
+            per_op: SimDuration::micros(500),
+            queue_limit: Some(1),
+            ..McdCosts::default()
+        };
+        let bank = Rc::new(Bank::start(&net, 1, &McConfig::default(), &costs));
+        for _ in 0..4 {
+            let client = bank.client(net.add_node(), Selector::Crc32, None);
+            sim.spawn(async move {
+                client.get(b"/k:stat", None).await;
+            });
+        }
+        sim.run();
+        let snap = imca_metrics::collect_from(&*bank, "bank");
+        let sheds = snap.counter("bank.mcd.0.sheds").unwrap();
+        assert!((1..=3).contains(&sheds), "sheds={sheds}");
+        assert_eq!(snap.gauge("bank.mcd.0.queue_peak"), Some(1));
+        assert_eq!(snap.gauge("bank.mcd.0.queue_depth"), Some(0), "drained");
+    }
+
+    #[test]
+    fn adaptive_deadline_abandons_a_stalled_daemon_fast() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            1,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let policy = RetryPolicy {
+            retries: 0,
+            adaptive: Some(AdaptiveDeadline {
+                warmup: 4,
+                ..AdaptiveDeadline::default()
+            }),
+            ..RetryPolicy::default()
+        };
+        let client = Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, policy));
+        let c2 = Rc::clone(&client);
+        let net2 = net.clone();
+        let mcd_node = bank.nodes()[0].node;
+        let h = sim.handle();
+        let elapsed = Rc::new(Cell::new(0u64));
+        let e2 = Rc::clone(&elapsed);
+        sim.spawn(async move {
+            c2.set(b"/k:stat", Bytes::from_static(b"v"), None).await;
+            // Warm the estimator past its threshold on healthy RPCs.
+            for _ in 0..8 {
+                assert!(c2.get(b"/k:stat", None).await.is_some());
+            }
+            net2.isolate("stall", [mcd_node]);
+            let t0 = h.now();
+            assert!(c2.get(b"/k:stat", None).await.is_none());
+            e2.set(h.now().since(t0).as_nanos());
+        });
+        sim.run();
+        // The tracked deadline is 3 × a tens-of-µs tail, clamped to the
+        // 200µs floor — nowhere near the 50ms static deadline.
+        let waited = elapsed.get();
+        assert!(waited >= SimDuration::micros(200).as_nanos(), "{waited}ns");
+        assert!(
+            waited < SimDuration::millis(5).as_nanos(),
+            "static deadline still in force: waited {waited}ns"
+        );
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.rpc_timeouts"), Some(1));
+        assert_eq!(snap.counter("bank.degraded_misses"), Some(1));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_and_circuit_opens_count_separately() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            1,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        // One retry token, never refilled: the first timed-out GET spends
+        // it, everything after fails fast on a dry bucket.
+        let policy = RetryPolicy {
+            deadline: SimDuration::micros(200),
+            retries: 2,
+            backoff_base: SimDuration::micros(10),
+            backoff_cap: SimDuration::micros(20),
+            circuit_cooldown: SimDuration::micros(300),
+            retry_budget: Some(RetryBudget {
+                refill_per_sec: 0.0,
+                burst: 1.0,
+            }),
+            ..RetryPolicy::default()
+        };
+        let client = Rc::new(bank.client_with(net.add_node(), Selector::Crc32, None, policy));
+        let c2 = Rc::clone(&client);
+        let net2 = net.clone();
+        let mcd_node = bank.nodes()[0].node;
+        let h = sim.handle();
+        sim.spawn(async move {
+            net2.isolate("cut", [mcd_node]);
+            // Attempt times out; the lone token pays for retry #1; retry
+            // #2 finds the bucket dry and the op fails fast.
+            assert!(c2.get(b"/k:stat", None).await.is_none());
+            h.sleep(SimDuration::micros(500)).await; // circuit expires
+                                                     // No tokens left at all: one attempt, then fail fast.
+            assert!(c2.get(b"/k:stat", None).await.is_none());
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        assert_eq!(snap.counter("bank.retries"), Some(1));
+        assert_eq!(snap.counter("bank.rpc_timeouts"), Some(3));
+        // The two causes stay distinguishable in the snapshot.
+        assert_eq!(snap.counter("bank.retry_budget_exhausted"), Some(2));
+        assert_eq!(snap.counter("bank.circuit_opens"), Some(2));
+    }
+
+    #[test]
+    fn hedged_read_beats_a_partitioned_primary() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let bank = Rc::new(Bank::start(
+            &net,
+            2,
+            &McConfig::default(),
+            &McdCosts::default(),
+        ));
+        let policy = RetryPolicy {
+            hedge: Some(HedgePolicy {
+                max_delay: SimDuration::micros(500),
+                ..HedgePolicy::default()
+            }),
+            ..RetryPolicy::default()
+        };
+        let client = Rc::new(bank.client_replicated(
+            net.add_node(),
+            Selector::Modulo,
+            None,
+            policy,
+            Replication { factor: 2 },
+        ));
+        let c2 = Rc::clone(&client);
+        let net2 = net.clone();
+        let mcd0 = bank.nodes()[0].node;
+        sim.spawn(async move {
+            for i in 0..8u64 {
+                let key = format!("/h/{i}:0");
+                c2.set(key.as_bytes(), Bytes::from(vec![i as u8; 32]), Some(0))
+                    .await;
+            }
+            // Partition daemon 0: still alive to the router, so P2C keeps
+            // routing reads at it and they stall — the case hedging
+            // exists for. Every read must still resolve warm, via the
+            // hedge to the healthy replica.
+            net2.isolate("slow", [mcd0]);
+            for i in 0..8u64 {
+                let key = format!("/h/{i}:0");
+                assert_eq!(
+                    c2.get(key.as_bytes(), Some(0)).await.as_deref(),
+                    Some(&vec![i as u8; 32][..]),
+                    "key {i}"
+                );
+            }
+        });
+        sim.run();
+        let s = client.stats();
+        assert_eq!(
+            (s.gets, s.hits, s.misses),
+            (8, 8, 0),
+            "a stalled-but-alive primary must not cost a single miss"
+        );
+        let snap = imca_metrics::collect_from(&*client, "bank");
+        let hedged = snap.counter("bank.hedged_gets").unwrap();
+        let wins = snap.counter("bank.hedge_wins").unwrap();
+        assert!(hedged >= 1, "no hedge ever fired");
+        assert!(wins >= 1 && wins <= hedged, "wins={wins} hedged={hedged}");
     }
 }

@@ -501,18 +501,38 @@ pub fn serve_revocations(engine: &Rc<MetaEngine>, svc: Service<LeaseRevoke, Leas
     });
 }
 
+/// One registered client endpoint plus its revocation health.
+struct LeasePeer {
+    client: RpcClient<LeaseRevoke, LeaseAck>,
+    /// Failed revocations since the last ack; reset on any success.
+    consecutive_failures: Cell<u32>,
+    /// Quarantined peers are dropped from the fan-out entirely.
+    quarantined: Cell<bool>,
+}
+
 /// The server-side fan-out half of the lease protocol: SMCache calls
 /// [`LeaseHub::revoke`] at every mutation point, and the hub broadcasts
 /// to every registered client and waits for the acks. With no clients
 /// registered (every non-lease deployment) a revoke is a synchronous
 /// no-op, so legacy configurations replay bit-identically.
+///
+/// A client that fails [`LeaseHub::QUARANTINE_AFTER`] *consecutive*
+/// revocations (dead, partitioned, or persistently past the deadline) is
+/// quarantined: removed from the fan-out so every mutation stops paying
+/// its [`LeaseHub::REVOKE_DEADLINE`] stall. That is safe — the client's
+/// own lease TTL already bounds how long it may serve a leaked lease,
+/// and quarantine does not extend that bound — it only stops the server
+/// from burning a deadline per mutation on a peer that never answers.
+/// A quarantined client rejoins by re-registering (the remount path),
+/// which starts a fresh healthy entry.
 pub struct LeaseHub {
     handle: SimHandle,
-    peers: RefCell<Vec<RpcClient<LeaseRevoke, LeaseAck>>>,
+    peers: RefCell<Vec<Rc<LeasePeer>>>,
     deadline: SimDuration,
     registry: Registry,
     revocations_sent: Counter,
     failed_revocations: Counter,
+    quarantines: Counter,
 }
 
 impl LeaseHub {
@@ -520,6 +540,9 @@ impl LeaseHub {
     /// that triggered it (`try_call` blackholes under fault plans). The
     /// lease TTL bounds the staleness of the leaked lease.
     pub const REVOKE_DEADLINE: SimDuration = SimDuration::millis(2);
+
+    /// Consecutive failed revocations before a client is quarantined.
+    pub const QUARANTINE_AFTER: u32 = 3;
 
     /// An empty hub.
     pub fn new(handle: SimHandle) -> Rc<LeaseHub> {
@@ -530,32 +553,55 @@ impl LeaseHub {
             deadline: Self::REVOKE_DEADLINE,
             revocations_sent: registry.counter("revocations_sent"),
             failed_revocations: registry.counter("failed_revocations"),
+            quarantines: registry.counter("quarantines"),
             registry,
         })
     }
 
-    /// Register one client's revocation endpoint.
+    /// Register one client's revocation endpoint. Re-registration after
+    /// quarantine is just another call: the new entry starts healthy.
     pub fn register(&self, peer: RpcClient<LeaseRevoke, LeaseAck>) {
-        self.peers.borrow_mut().push(peer);
+        self.peers.borrow_mut().push(Rc::new(LeasePeer {
+            client: peer,
+            consecutive_failures: Cell::new(0),
+            quarantined: Cell::new(false),
+        }));
     }
 
-    /// Number of registered clients.
+    /// Number of registered clients (quarantined ones included).
     pub fn peer_count(&self) -> usize {
         self.peers.borrow().len()
+    }
+
+    /// Number of currently quarantined clients.
+    pub fn quarantined_count(&self) -> usize {
+        self.peers
+            .borrow()
+            .iter()
+            .filter(|p| p.quarantined.get())
+            .count()
     }
 
     /// Revoke `path` on every registered client, waiting for the acks
     /// (or the per-peer deadline). Callers must invoke this *before*
     /// deleting or updating the path's stat entry — the invalidation
-    /// ordering rule that keeps leases NoCache-equivalent.
+    /// ordering rule that keeps leases NoCache-equivalent. Quarantined
+    /// clients are skipped entirely.
     pub async fn revoke(&self, path: &str) {
-        let peers: Vec<RpcClient<LeaseRevoke, LeaseAck>> = self.peers.borrow().clone();
+        let peers: Vec<Rc<LeasePeer>> = self
+            .peers
+            .borrow()
+            .iter()
+            .filter(|p| !p.quarantined.get())
+            .cloned()
+            .collect();
         if peers.is_empty() {
             return;
         }
         let futs: Vec<_> = peers
-            .into_iter()
+            .iter()
             .map(|peer| {
+                let client = peer.client.clone();
                 let h = self.handle.clone();
                 let deadline = self.deadline;
                 let req = LeaseRevoke {
@@ -563,7 +609,7 @@ impl LeaseHub {
                 };
                 async move {
                     matches!(
-                        timeout(&h, deadline, async move { peer.try_call(req).await }).await,
+                        timeout(&h, deadline, async move { client.try_call(req).await }).await,
                         Some(Some(LeaseAck))
                     )
                 }
@@ -571,8 +617,19 @@ impl LeaseHub {
             .collect();
         let acked = join_all(&self.handle, futs).await;
         self.revocations_sent.add(acked.len() as u64);
-        self.failed_revocations
-            .add(acked.iter().filter(|ok| !**ok).count() as u64);
+        for (peer, ok) in peers.iter().zip(&acked) {
+            if *ok {
+                peer.consecutive_failures.set(0);
+            } else {
+                self.failed_revocations.inc();
+                let n = peer.consecutive_failures.get() + 1;
+                peer.consecutive_failures.set(n);
+                if n >= Self::QUARANTINE_AFTER {
+                    peer.quarantined.set(true);
+                    self.quarantines.inc();
+                }
+            }
+        }
     }
 }
 
@@ -582,6 +639,10 @@ impl MetricSource for LeaseHub {
         snap.set_gauge(
             imca_metrics::prefixed(prefix, "registered_clients"),
             self.peers.borrow().len() as i64,
+        );
+        snap.set_gauge(
+            imca_metrics::prefixed(prefix, "quarantined_clients"),
+            self.quarantined_count() as i64,
         );
     }
 }
@@ -885,5 +946,66 @@ mod tests {
             assert_eq!(e2.held_leases(), 0);
         });
         sim.run();
+    }
+
+    #[test]
+    fn hub_quarantines_a_mute_client_and_readmits_on_reregister() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let server_node = net.add_node();
+        let hub = LeaseHub::new(sim.handle());
+        // Client A acks every revoke.
+        let a_node = net.add_node();
+        let a_svc: Service<LeaseRevoke, LeaseAck> = Service::bind(&net, a_node);
+        {
+            let svc = a_svc.clone();
+            sim.handle().spawn(async move {
+                while let Some(msg) = svc.recv().await {
+                    msg.respond(LeaseAck);
+                }
+            });
+        }
+        hub.register(a_svc.client(server_node));
+        // Client B is mute: its endpoint exists but nothing serves it, so
+        // every revoke to it runs out the 2ms deadline.
+        let b_node = net.add_node();
+        let b_svc: Service<LeaseRevoke, LeaseAck> = Service::bind(&net, b_node);
+        hub.register(b_svc.client(server_node));
+        let hub2 = Rc::clone(&hub);
+        let h = sim.handle();
+        sim.spawn(async move {
+            for round in 0..LeaseHub::QUARANTINE_AFTER {
+                assert_eq!(hub2.quarantined_count(), 0, "round {round}");
+                hub2.revoke("/f").await;
+            }
+            // K consecutive failures: B is out of the fan-out…
+            assert_eq!(hub2.quarantined_count(), 1);
+            // …so the next revoke no longer pays B's deadline stall.
+            let t0 = h.now();
+            hub2.revoke("/f").await;
+            assert!(
+                h.now().since(t0) < LeaseHub::REVOKE_DEADLINE,
+                "quarantined peer still stalls the fan-out"
+            );
+            // B remounts: a fresh registration starts healthy and serves.
+            let svc = b_svc.clone();
+            h.spawn(async move {
+                while let Some(msg) = svc.recv().await {
+                    msg.respond(LeaseAck);
+                }
+            });
+            hub2.register(b_svc.client(server_node));
+            hub2.revoke("/f").await;
+            // The revived B acked; only the dead entry stays quarantined.
+            assert_eq!(hub2.quarantined_count(), 1);
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*hub, "leases");
+        assert_eq!(snap.counter("leases.failed_revocations"), Some(3));
+        assert_eq!(snap.counter("leases.quarantines"), Some(1));
+        assert_eq!(snap.gauge("leases.quarantined_clients"), Some(1));
+        assert_eq!(snap.gauge("leases.registered_clients"), Some(3));
+        // 3 rounds × 2 peers + 1 round × 1 peer + 1 round × 2 peers.
+        assert_eq!(snap.counter("leases.revocations_sent"), Some(9));
     }
 }

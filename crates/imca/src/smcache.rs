@@ -61,7 +61,7 @@ use bytes::Bytes;
 use imca_glusterfs::{FileStat, Fop, FopReply, FsError, Translator, Xlator};
 use imca_metrics::{prefixed, Counter, MetricSource, Registry, Snapshot};
 use imca_sim::sync::Queue;
-use imca_sim::{join_all, SimHandle};
+use imca_sim::{join_all, SimHandle, TokenBucket};
 
 use crate::block::{aligned_range, cover};
 use crate::keys::{block_key, neg_key, stat_key};
@@ -86,6 +86,34 @@ pub enum Coherence {
     /// purge tax), then repopulate them from a covering filesystem
     /// re-read — readers racing the window stampede the backend.
     Purge,
+}
+
+/// Rate limit on read-path bank rewarming (DESIGN.md §8).
+///
+/// After a purge or a cold daemon restart, every read misses and every
+/// miss normally repopulates the bank — precisely when the bank is least
+/// able to absorb extra stores. With a limit configured, read-path fills
+/// spend one token per fill operation from a deterministic
+/// [`TokenBucket`]; a dry bucket skips the push (counted as
+/// `rewarm_suppressed`). Skipping is coherence-safe: the bank merely
+/// stays cold for that range and the next admitted read refills it.
+/// Write-path pushes (CAS replacement, purge repopulation) are *not*
+/// limited — they maintain coherence and must always land.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewarmLimit {
+    /// Tokens (fill operations) accrued per virtual second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the burst of fills admitted after idle.
+    pub burst: f64,
+}
+
+impl Default for RewarmLimit {
+    fn default() -> RewarmLimit {
+        RewarmLimit {
+            rate_per_sec: 2_000.0,
+            burst: 256.0,
+        }
+    }
 }
 
 /// Server-side cache-maintenance counters.
@@ -166,6 +194,9 @@ pub struct SmCache {
     /// Per-path purge generation; bumped synchronously by `purge()` so
     /// racing update jobs can detect they are stale.
     generations: RefCell<HashMap<String, u64>>,
+    /// Read-path rewarm throttle; `None` = unlimited (legacy behaviour).
+    rewarm: Option<TokenBucket>,
+    rewarm_suppressed: Counter,
     registry: Registry,
     blocks_pushed: Counter,
     stat_pushes: Counter,
@@ -226,6 +257,36 @@ impl SmCache {
         meta: MetaConfig,
         leases: Option<Rc<LeaseHub>>,
     ) -> Rc<SmCache> {
+        SmCache::with_overload(
+            handle,
+            child,
+            bank,
+            block_size,
+            threaded_updates,
+            batched,
+            coherence,
+            meta,
+            leases,
+            None,
+        )
+    }
+
+    /// [`SmCache::with_meta`] plus the overload hook: an optional
+    /// [`RewarmLimit`] throttling read-path bank repopulation. `None`
+    /// keeps the translator event-identical to the legacy one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_overload(
+        handle: SimHandle,
+        child: Xlator,
+        bank: Rc<BankClient>,
+        block_size: u64,
+        threaded_updates: bool,
+        batched: bool,
+        coherence: Coherence,
+        meta: MetaConfig,
+        leases: Option<Rc<LeaseHub>>,
+        rewarm: Option<RewarmLimit>,
+    ) -> Rc<SmCache> {
         assert!(block_size > 0, "IMCa block size must be positive");
         let registry = Registry::new();
         let sm = Rc::new(SmCache {
@@ -241,6 +302,8 @@ impl SmCache {
             jobs: Queue::new(),
             populated: RefCell::new(HashMap::new()),
             generations: RefCell::new(HashMap::new()),
+            rewarm: rewarm.map(|r| TokenBucket::new(r.rate_per_sec, r.burst, handle.now())),
+            rewarm_suppressed: registry.counter("rewarm_suppressed"),
             blocks_pushed: registry.counter("blocks_pushed"),
             stat_pushes: registry.counter("stat_pushes"),
             purges: registry.counter("purges"),
@@ -264,6 +327,15 @@ impl SmCache {
             });
         }
         sm
+    }
+
+    /// One read-path fill wants to push into the bank: admitted unless
+    /// the rewarm throttle is configured and dry.
+    fn rewarm_allows(&self) -> bool {
+        match &self.rewarm {
+            Some(bucket) => bucket.try_take(self.handle.now()),
+            None => true,
+        }
     }
 
     /// Cache-maintenance counters (a derived view over the metric
@@ -999,7 +1071,12 @@ impl Translator for SmCache {
                             } else {
                                 Vec::new()
                             };
-                            if self.threaded {
+                            if !self.rewarm_allows() {
+                                // Throttled rewarm: serve the read, skip
+                                // the fill. The bank stays cold for this
+                                // range — safe, just slower next time.
+                                self.rewarm_suppressed.inc();
+                            } else if self.threaded {
                                 self.deferred_jobs.inc();
                                 self.jobs.push(Job::PopulateData {
                                     path,
@@ -1143,6 +1220,89 @@ mod tests {
 
     async fn drive(sm: &Rc<SmCache>, fop: Fop) -> FopReply {
         Rc::clone(&(Rc::clone(sm) as Xlator)).handle(fop).await
+    }
+
+    #[test]
+    fn rewarm_limit_throttles_read_fills_but_never_write_pushes() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
+        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
+        let server_node = net.add_node();
+        let bank = Rc::new(mcds.client(server_node, Selector::Crc32, None));
+        let be = StorageBackend::new(sim.handle(), BackendParams::paper_server());
+        let posix = Posix::new(be);
+        // Two rewarm tokens, effectively no refill inside the run.
+        let sm = SmCache::with_overload(
+            sim.handle(),
+            posix as Xlator,
+            Rc::clone(&bank),
+            2048,
+            false,
+            true,
+            Coherence::default(),
+            MetaConfig::default(),
+            None,
+            Some(RewarmLimit {
+                rate_per_sec: 0.001,
+                burst: 2.0,
+            }),
+        );
+        sim.handle().spawn(async move {
+            let _keepalive = mcds;
+            std::future::pending::<()>().await;
+        });
+        let sm2 = Rc::clone(&sm);
+        sim.spawn(async move {
+            drive(&sm2, Fop::Create { path: "/f".into() }).await;
+            // The write's 4-block push is write-path: not billed to the
+            // rewarm bucket.
+            drive(
+                &sm2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 0,
+                    data: vec![5u8; 8192],
+                },
+            )
+            .await;
+            assert_eq!(sm2.stats().blocks_pushed, 4);
+            // Open purges: the bank is cold, reads start rewarming it.
+            drive(&sm2, Fop::Open { path: "/f".into() }).await;
+            for b in 0..4u64 {
+                let FopReply::Read(Ok(data)) = drive(
+                    &sm2,
+                    Fop::Read {
+                        path: "/f".into(),
+                        offset: b * 2048,
+                        len: 2048,
+                    },
+                )
+                .await
+                else {
+                    panic!()
+                };
+                // Throttled or not, the read itself always serves.
+                assert_eq!(data, vec![5u8; 2048], "block {b}");
+            }
+            // Fills 1-2 spent the burst; fills 3-4 were suppressed.
+            assert_eq!(sm2.stats().blocks_pushed, 6);
+            // A write to the still-cold block 3 must land its push even
+            // though the rewarm bucket is dry — write-path coherence
+            // traffic is never throttled.
+            drive(
+                &sm2,
+                Fop::Write {
+                    path: "/f".into(),
+                    offset: 6144,
+                    data: vec![9u8; 2048],
+                },
+            )
+            .await;
+            assert_eq!(sm2.stats().blocks_pushed, 7);
+        });
+        sim.run();
+        let snap = imca_metrics::collect_from(&*sm, "smcache");
+        assert_eq!(snap.counter("smcache.rewarm_suppressed"), Some(2));
     }
 
     #[test]

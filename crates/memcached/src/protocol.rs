@@ -147,6 +147,25 @@ pub enum Response {
     ServerError(String),
 }
 
+impl Response {
+    /// The message a daemon puts in its `SERVER_ERROR` when admission
+    /// control sheds a request instead of queueing it (mirrors real
+    /// memcached's `SERVER_ERROR out of memory`-style refusals).
+    pub const BUSY: &'static str = "busy";
+
+    /// The explicit load-shed reply: `SERVER_ERROR busy`.
+    pub fn busy() -> Response {
+        Response::ServerError(Self::BUSY.into())
+    }
+
+    /// Whether this reply is the admission-control shed. Clients treat it
+    /// like a miss (the daemon is healthy, just refusing work), never as
+    /// a reason to retry or quarantine.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Response::ServerError(m) if m == Self::BUSY)
+    }
+}
+
 /// Codec failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {

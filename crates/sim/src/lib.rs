@@ -73,5 +73,5 @@ mod wheel;
 pub use shard::{Envelope, ParSim, ParSummary, ShardComms, ShardCtx, NET_NODE};
 pub use sim::{yield_now, Delay, RunSummary, Sim, SimHandle, YieldNow};
 pub use time::{SimDuration, SimTime};
-pub use util::{join2, join_all, timeout};
+pub use util::{join2, join_all, timeout, TokenBucket};
 pub use wheel::Scheduler;

@@ -100,6 +100,63 @@ where
     (a, b)
 }
 
+/// A deterministic token bucket over virtual time, the rate limiter
+/// behind the bank client's retry budget and SMCache's rewarm throttle.
+///
+/// Tokens accrue continuously at `rate_per_sec` up to `burst`; a
+/// [`TokenBucket::try_take`] either spends one token or reports the
+/// bucket empty — it never sleeps, because every caller in the overload
+/// path wants fail-fast semantics (a denied retry is a degraded miss, a
+/// denied rewarm push is simply skipped). Refill is computed lazily from
+/// the virtual clock, so the bucket costs no timers and replays
+/// bit-identically.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: std::cell::Cell<f64>,
+    last: std::cell::Cell<crate::time::SimTime>,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full at `now`.
+    pub fn new(rate_per_sec: f64, burst: f64, now: crate::time::SimTime) -> TokenBucket {
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: std::cell::Cell::new(burst),
+            last: std::cell::Cell::new(now),
+        }
+    }
+
+    fn refill(&self, now: crate::time::SimTime) {
+        let elapsed = now.since(self.last.get());
+        if elapsed.as_nanos() > 0 {
+            let gained = elapsed.as_nanos() as f64 / 1e9 * self.rate_per_sec;
+            self.tokens
+                .set((self.tokens.get() + gained).min(self.burst));
+            self.last.set(now);
+        }
+    }
+
+    /// Spend one token if available. `false` means rate-limited.
+    pub fn try_take(&self, now: crate::time::SimTime) -> bool {
+        self.refill(now);
+        if self.tokens.get() >= 1.0 {
+            self.tokens.set(self.tokens.get() - 1.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&self, now: crate::time::SimTime) -> f64 {
+        self.refill(now);
+        self.tokens.get()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +245,27 @@ mod tests {
         assert_eq!(*side_effect.borrow(), Some(50_000));
         assert_eq!(s.end_time.as_nanos(), 50_000);
         assert_eq!(s.tasks_leaked, 0);
+    }
+
+    #[test]
+    fn token_bucket_spends_refills_and_caps_at_burst() {
+        let mut sim = Sim::new(0);
+        let h = sim.handle();
+        sim.spawn(async move {
+            // 10 tokens/s, burst 2, starting full.
+            let b = TokenBucket::new(10.0, 2.0, h.now());
+            assert!(b.try_take(h.now()));
+            assert!(b.try_take(h.now()));
+            assert!(!b.try_take(h.now()), "burst exhausted");
+            // 100ms accrues exactly one token.
+            h.sleep(SimDuration::millis(100)).await;
+            assert!(b.try_take(h.now()));
+            assert!(!b.try_take(h.now()));
+            // A long idle refills to burst, not beyond.
+            h.sleep(SimDuration::millis(10_000)).await;
+            assert!((b.available(h.now()) - 2.0).abs() < 1e-9);
+        });
+        sim.run();
     }
 
     #[test]

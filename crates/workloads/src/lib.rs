@@ -17,6 +17,10 @@
 //! * [`scale`] — the Fig 8 curve at bank scale: a lean closed-loop
 //!   queueing model that simulates 10⁵ clients in CI time and doubles
 //!   as the engine-speed yardstick (`fig8_scale`),
+//! * [`overload`] — the DESIGN.md §8 overload drive: closed-loop readers
+//!   2–4× past the bank's knee, with the whole protection layer
+//!   (admission control, adaptive deadlines, hedging, degradation
+//!   ladder, rewarm throttle) behind one switch (`ablate_overload`),
 //! * [`report`] — the table type the bench binaries print and serialise.
 
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@
 pub mod iozone;
 pub mod latbench;
 pub mod lsstorm;
+pub mod overload;
 pub mod report;
 pub mod scale;
 pub mod statbench;

@@ -1,0 +1,466 @@
+//! The overload drive (DESIGN.md §8, EXPERIMENTS.md A12): N closed-loop
+//! readers hammer a deliberately small two-daemon bank through the full
+//! [`imca_core::Cluster`] stack, at demand 2–4× past the saturation knee
+//! the `fig8_scale` sweep located. One switch flips the whole
+//! overload-protection layer:
+//!
+//! * **protection ON** — bounded daemon queues (`busy` sheds), adaptive
+//!   per-daemon deadlines, a token-bucket retry budget, hedged reads at
+//!   R≥2, the CMCache degradation ladder, and the SMCache rewarm
+//!   throttle, all wired through [`ImcaConfig`];
+//! * **protection OFF** — the legacy stack: unbounded queues, one static
+//!   deadline, free retries, no ladder, no throttle.
+//!
+//! The geometry makes the bank the fast tier and the single GlusterFS
+//! server the slow shared fallback (the paper's regime, scaled down so
+//! the knee lands at a handful of clients): with protection off, queue
+//! wait past the knee exceeds the static deadline, retries triple the
+//! load on queues that serve mostly abandoned requests, every
+//! circuit-open fallback read triggers a synchronous fill push back into
+//! the drowning bank (the fill storm), and goodput collapses. With
+//! protection on, sheds answer in microseconds, degraded clients step
+//! down to the backend and probe their way home, the throttle caps fill
+//! pushes, and goodput plateaus at the tier-capacity sum.
+//!
+//! Everything is driven by per-client RNG streams seeded from
+//! `(seed, client)`, so a fixed seed replays bit-identically — the same
+//! property the chaos suite asserts across ParSim worker counts.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use imca_core::{
+    AdaptiveDeadline, Cluster, ClusterConfig, DegradationLadder, HedgePolicy, ImcaConfig, McdCosts,
+    Replication, RetryBudget, RetryPolicy, RewarmLimit,
+};
+use imca_glusterfs::ServerParams;
+use imca_memcached::McConfig;
+use imca_metrics::Snapshot;
+use imca_sim::stats::Histogram;
+use imca_sim::sync::Barrier;
+use imca_sim::{Sim, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Overload-drive parameters. [`OverloadBench::new`] gives the calibrated
+/// geometry; only `clients`, `protection`, and `seed` usually vary.
+#[derive(Debug, Clone)]
+pub struct OverloadBench {
+    /// Closed-loop reader clients.
+    pub clients: usize,
+    /// Daemons in the bank (2 keeps the knee at a handful of clients).
+    pub mcds: usize,
+    /// Bank replication factor (2 enables hedged reads).
+    pub replication: usize,
+    /// Timed reads issued by each client.
+    pub ops_per_client: u64,
+    /// Prewarmed hot files, read uniformly.
+    pub hot_files: usize,
+    /// Blocks per hot file.
+    pub blocks_per_file: u64,
+    /// IMCa block size; every read is one aligned block.
+    pub block_size: u64,
+    /// Mean think time between a client's reads (exponential).
+    pub think_mean: SimDuration,
+    /// Daemon service time per command — the bank's capacity knob.
+    pub mcd_per_op: SimDuration,
+    /// Server CPU per fop on one io-thread — the backend's (slower)
+    /// capacity knob.
+    pub server_fop_cpu: SimDuration,
+    /// The static per-attempt RPC deadline (the legacy knob overload
+    /// melts through; protection replaces it with the adaptive one).
+    pub deadline: SimDuration,
+    /// Circuit cooldown after exhausted retries.
+    pub circuit_cooldown: SimDuration,
+    /// Flip for the whole protection layer (see module docs).
+    pub protection: bool,
+    /// Bounded per-daemon queue when protection is on.
+    pub queue_limit: usize,
+    /// Ladder re-admission probe probability when protection is on.
+    pub readmit_probability: f64,
+    /// Simulation seed; every random draw is `(seed, client)`-local.
+    pub seed: u64,
+}
+
+impl OverloadBench {
+    /// The calibrated drive: a 2-daemon bank at 5 ms/op (capacity ≈ 400
+    /// ops/s), a single-threaded server at 8 ms/fop (≈ 125 ops/s), 10 ms
+    /// think time and a 50 ms static deadline. The closed-loop knee
+    /// lands near 6 clients; queue wait crosses the static deadline —
+    /// the meltdown threshold — past ~20.
+    pub fn new(clients: usize, protection: bool) -> OverloadBench {
+        OverloadBench {
+            clients,
+            mcds: 2,
+            replication: 2,
+            ops_per_client: 40,
+            hot_files: 2,
+            blocks_per_file: 24,
+            block_size: 2048,
+            think_mean: SimDuration::millis(10),
+            mcd_per_op: SimDuration::millis(5),
+            server_fop_cpu: SimDuration::millis(8),
+            deadline: SimDuration::millis(50),
+            circuit_cooldown: SimDuration::millis(20),
+            protection,
+            queue_limit: 4,
+            readmit_probability: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// What one drive reports.
+#[derive(Debug)]
+pub struct OverloadOut {
+    /// Timed reads completed (always `clients × ops_per_client`: every
+    /// shed read is still answered through the backend).
+    pub ops: u64,
+    /// Timed-phase duration (post-prewarm barrier to last completion).
+    pub elapsed: SimDuration,
+    /// Client-observed read latency, all timed ops.
+    pub latency: Histogram,
+    /// Latency of reads issued while the client was degraded (the
+    /// shed/backend path). Empty when the ladder is off.
+    pub shed_latency: Histogram,
+    /// Daemon-side admission-control sheds, summed over the bank.
+    pub sheds: u64,
+    /// Client-observed `busy` replies, summed over every bank client.
+    pub busy_sheds: u64,
+    /// Hedged GETs fired / won, summed over every bank client.
+    pub hedged_gets: u64,
+    /// Hedges that beat the primary.
+    pub hedge_wins: u64,
+    /// Read circuits opened (timeout-driven degradation).
+    pub circuit_opens: u64,
+    /// Retries/hedges refused by a dry token bucket.
+    pub budget_exhausted: u64,
+    /// Ladder: reads forwarded straight to the backend while degraded.
+    pub degraded_reads: u64,
+    /// Ladder: successful probe re-admissions.
+    pub readmissions: u64,
+    /// Read-path fills skipped by the rewarm throttle.
+    pub rewarm_suppressed: u64,
+    /// CMCache block reads served by the bank.
+    pub read_hits: u64,
+    /// CMCache block reads forwarded to the server.
+    pub read_misses: u64,
+    /// Full `tier.component.metric` snapshot.
+    pub metrics: Snapshot,
+}
+
+impl OverloadOut {
+    /// Completed reads per simulated second of the timed phase.
+    pub fn goodput(&self) -> f64 {
+        self.ops as f64 / (self.elapsed.as_nanos().max(1) as f64 / 1e9)
+    }
+
+    /// Overall p99 in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.quantile(0.99).as_nanos() as f64 / 1e6
+    }
+
+    /// Shed-path p99 in milliseconds (overall p99 when the ladder never
+    /// engaged — there is no separate shed path to bound then).
+    pub fn shed_p99_ms(&self) -> f64 {
+        if self.shed_latency.count() == 0 {
+            self.p99_ms()
+        } else {
+            self.shed_latency.quantile(0.99).as_nanos() as f64 / 1e6
+        }
+    }
+}
+
+/// splitmix64, for `(seed, client)` stream seeding.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn exp_sample(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen();
+    SimDuration::nanos((-(1.0 - u).ln() * mean.as_nanos() as f64) as u64)
+}
+
+fn hot_path(file: usize) -> String {
+    format!("/bench/overload/hot{file}")
+}
+
+/// Deterministic block contents, verified on every timed read in debug
+/// builds — overload protection must never trade correctness for
+/// latency (the NoCache-equivalence property).
+fn block_bytes(file: usize, block: u64, len: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((file as u64 * 89 + block * 131 + i * 7) % 251) as u8)
+        .collect()
+}
+
+fn cluster_config(cfg: &OverloadBench) -> ClusterConfig {
+    let base = RetryPolicy {
+        deadline: cfg.deadline,
+        circuit_cooldown: cfg.circuit_cooldown,
+        ..RetryPolicy::default()
+    };
+    let retry = if cfg.protection {
+        RetryPolicy {
+            adaptive: Some(AdaptiveDeadline {
+                multiplier: 3.0,
+                min: SimDuration::millis(1),
+                max: cfg.deadline,
+                warmup: 16,
+            }),
+            retry_budget: Some(RetryBudget {
+                refill_per_sec: 10.0,
+                burst: 10.0,
+            }),
+            hedge: (cfg.replication > 1).then_some(HedgePolicy {
+                min_delay: SimDuration::micros(500),
+                max_delay: SimDuration::millis(5),
+                warmup: 16,
+            }),
+            ..base.clone()
+        }
+    } else {
+        base.clone()
+    };
+    // The server-side SMCache client streams pipeline pushes whose
+    // trailing sync legitimately waits behind the whole (slow, 5 ms/op)
+    // daemon queue — a read-tuned deadline would falsely quarantine the
+    // bank during prewarm.
+    let server_retry = RetryPolicy {
+        deadline: SimDuration::secs(5),
+        retries: 0,
+        circuit_cooldown: SimDuration::secs(1),
+        ..RetryPolicy::default()
+    };
+    let imca = ImcaConfig {
+        block_size: cfg.block_size,
+        mcd_count: cfg.mcds,
+        mcd_config: McConfig::with_mem_limit(64 << 20),
+        mcd_costs: McdCosts {
+            per_op: cfg.mcd_per_op,
+            queue_limit: cfg.protection.then_some(cfg.queue_limit),
+            ..McdCosts::default()
+        },
+        retry,
+        server_retry: Some(server_retry),
+        replication: Replication {
+            factor: cfg.replication,
+        },
+        ladder: cfg.protection.then_some(DegradationLadder {
+            readmit_probability: cfg.readmit_probability,
+        }),
+        rewarm: cfg.protection.then_some(RewarmLimit {
+            rate_per_sec: 20.0,
+            burst: 8.0,
+        }),
+        ..ImcaConfig::default()
+    };
+    ClusterConfig {
+        server_params: ServerParams {
+            fop_cpu: cfg.server_fop_cpu,
+            io_threads: 1,
+        },
+        ..ClusterConfig::imca(imca)
+    }
+}
+
+/// Run the drive to completion in its own simulation.
+pub fn run(cfg: &OverloadBench) -> OverloadOut {
+    assert!(cfg.clients >= 1 && cfg.hot_files >= 1 && cfg.blocks_per_file >= 1);
+    let mut sim = Sim::new(cfg.seed);
+    let cluster = Rc::new(Cluster::build(sim.handle(), cluster_config(cfg)));
+    let h = sim.handle();
+    // Warmer + readers. Two rendezvous points: A after every reader has
+    // opened its fds (open purges must land before data exists), B after
+    // the warmer's writes have pushed the hot set into the bank.
+    let barrier = Barrier::new(cfg.clients + 1);
+    let t_start: Rc<Cell<SimTime>> = Rc::new(Cell::new(SimTime::ZERO));
+    let latency: Rc<RefCell<Histogram>> = Rc::default();
+    let shed_latency: Rc<RefCell<Histogram>> = Rc::default();
+    let ops_done = Rc::new(Cell::new(0u64));
+
+    // The warmer: creates the hot files, lets the readers open (their
+    // open purges hit an empty bank), then writes every block — write
+    // pushes populate all R replicas and are never rewarm-throttled, so
+    // the timed phase starts from a fully warm bank. Files stay open:
+    // a close would purge the cache tier (§4.3.2).
+    {
+        let cluster = Rc::clone(&cluster);
+        let barrier = barrier.clone();
+        let h2 = h.clone();
+        let cfg2 = cfg.clone();
+        let t_start = Rc::clone(&t_start);
+        sim.spawn(async move {
+            let m = cluster.mount();
+            let mut fds = Vec::new();
+            for f in 0..cfg2.hot_files {
+                let path = hot_path(f);
+                m.create(&path).await.unwrap();
+                fds.push(m.open(&path).await.unwrap());
+            }
+            barrier.wait().await; // A: files exist, readers may open
+            barrier.wait().await; // readers are done opening
+            for (f, fd) in fds.iter().enumerate() {
+                for b in 0..cfg2.blocks_per_file {
+                    let data = block_bytes(f, b, cfg2.block_size);
+                    m.write(*fd, b * cfg2.block_size, &data).await.unwrap();
+                }
+            }
+            barrier.wait().await; // B: bank is warm, timed phase starts
+            t_start.set(h2.now());
+        });
+    }
+
+    for client in 0..cfg.clients {
+        let cluster = Rc::clone(&cluster);
+        let barrier = barrier.clone();
+        let h2 = h.clone();
+        let cfg2 = cfg.clone();
+        let latency = Rc::clone(&latency);
+        let shed_latency = Rc::clone(&shed_latency);
+        let ops_done = Rc::clone(&ops_done);
+        sim.spawn(async move {
+            let (m, cm) = cluster.mount_with_meta();
+            let cm = cm.expect("overload drive is IMCa-only");
+            barrier.wait().await; // A
+            let mut fds = Vec::new();
+            for f in 0..cfg2.hot_files {
+                fds.push(m.open(&hot_path(f)).await.unwrap());
+            }
+            barrier.wait().await; // opens done, warmer writes
+            barrier.wait().await; // B: go
+            let mut rng = SmallRng::seed_from_u64(mix(cfg2.seed ^ (client as u64 + 1)));
+            // Stagger the first op so clients don't march in lockstep.
+            h2.sleep(SimDuration::micros(37 * client as u64)).await;
+            for _ in 0..cfg2.ops_per_client {
+                h2.sleep(exp_sample(&mut rng, cfg2.think_mean)).await;
+                let f = rng.gen_range(0..cfg2.hot_files);
+                let b = rng.gen_range(0..cfg2.blocks_per_file);
+                let degraded_at_issue = cm.is_degraded();
+                let t0 = h2.now();
+                let got = m
+                    .read(fds[f], b * cfg2.block_size, cfg2.block_size)
+                    .await
+                    .unwrap();
+                let took = h2.now().since(t0);
+                debug_assert_eq!(
+                    got,
+                    block_bytes(f, b, cfg2.block_size),
+                    "overload drive corrupted file {f} block {b}"
+                );
+                latency.borrow_mut().record(took);
+                if degraded_at_issue {
+                    shed_latency.borrow_mut().record(took);
+                }
+                ops_done.set(ops_done.get() + 1);
+            }
+        });
+    }
+
+    let summary = sim.run();
+    let elapsed = summary.end_time.since(t_start.get());
+    let snap = cluster.metrics();
+    let sheds = (0..cfg.mcds)
+        .map(|i| {
+            snap.counter(&format!("bank.per_daemon.{i}.sheds"))
+                .unwrap_or(0)
+        })
+        .sum();
+    let cm = cluster.cmcache_stats();
+    let latency = latency.borrow().clone();
+    let shed_latency = shed_latency.borrow().clone();
+    OverloadOut {
+        ops: ops_done.get(),
+        elapsed,
+        latency,
+        shed_latency,
+        sheds,
+        busy_sheds: snap.counter_sum(".busy_sheds"),
+        hedged_gets: snap.counter_sum(".hedged_gets"),
+        hedge_wins: snap.counter_sum(".hedge_wins"),
+        circuit_opens: snap.counter_sum(".circuit_opens"),
+        budget_exhausted: snap.counter_sum(".retry_budget_exhausted"),
+        degraded_reads: snap.counter_sum(".degraded_reads"),
+        readmissions: snap.counter_sum(".readmissions"),
+        rewarm_suppressed: snap.counter("smcache.rewarm_suppressed").unwrap_or(0),
+        read_hits: cm.read_hits,
+        read_misses: cm.read_misses,
+        metrics: snap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(clients: usize, protection: bool) -> OverloadOut {
+        run(&OverloadBench {
+            ops_per_client: 16,
+            ..OverloadBench::new(clients, protection)
+        })
+    }
+
+    /// Past the meltdown threshold, protection must keep goodput up: the
+    /// unprotected stack burns its time in deadline timeouts and fill
+    /// storms, the protected one sheds to the backend and plateaus.
+    #[test]
+    fn protection_turns_collapse_into_plateau() {
+        let off = drive(24, false);
+        let on = drive(24, true);
+        assert_eq!(on.ops, 24 * 16);
+        assert_eq!(off.ops, 24 * 16);
+        assert!(
+            on.goodput() > 1.5 * off.goodput(),
+            "protected {:.0} ops/s vs unprotected {:.0} ops/s",
+            on.goodput(),
+            off.goodput()
+        );
+        assert!(on.sheds > 0, "no admission-control sheds at 4x the knee");
+        assert!(on.degraded_reads > 0, "ladder never engaged: {on:?}");
+        assert!(
+            on.p99_ms() < off.p99_ms(),
+            "protected p99 {:.1}ms vs unprotected {:.1}ms",
+            on.p99_ms(),
+            off.p99_ms()
+        );
+        // Timeout-driven vs shed-driven degradation stay distinguishable.
+        assert!(off.circuit_opens > 0, "meltdown never opened a circuit");
+        assert_eq!(off.sheds, 0, "unbounded queues must never shed");
+    }
+
+    /// Below the knee the protection layer must be dormant — no sheds,
+    /// no degraded reads, goodput within noise of the legacy stack.
+    #[test]
+    fn pre_knee_protection_is_dormant() {
+        let off = drive(2, false);
+        let on = drive(2, true);
+        assert_eq!(on.sheds, 0, "{on:?}");
+        assert_eq!(on.degraded_reads, 0, "{on:?}");
+        assert_eq!(on.circuit_opens, 0);
+        let ratio = on.goodput() / off.goodput();
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "pre-knee goodput drifted: on={:.0} off={:.0}",
+            on.goodput(),
+            off.goodput()
+        );
+    }
+
+    /// Same seed, same drive — bit-identical, shedding and hedging
+    /// included.
+    #[test]
+    fn fixed_seed_replays_bit_identically() {
+        let a = drive(24, true);
+        let b = drive(24, true);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.sheds, b.sheds);
+        assert_eq!(a.busy_sheds, b.busy_sheds);
+        assert_eq!(a.hedged_gets, b.hedged_gets);
+        assert_eq!(a.degraded_reads, b.degraded_reads);
+        assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+    }
+}

@@ -9,11 +9,13 @@
 #                               (fig10_shared + ablate_replication),
 #                               the metadata benches (fig5_stat +
 #                               ablate_metadata), the write-coherence
-#                               ablation (ablate_cas), and the
-#                               engine-speed scaling sweep (fig8_scale),
-#                               leaving results/BENCH_5.json through
-#                               BENCH_8.json behind, and re-run the
-#                               determinism suite with two ParSim workers
+#                               ablation (ablate_cas), the engine-speed
+#                               scaling sweep (fig8_scale), and the
+#                               overload-protection ablation
+#                               (ablate_overload), leaving
+#                               results/BENCH_5.json through BENCH_9.json
+#                               behind, and re-run the determinism suite
+#                               with two ParSim workers
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -80,6 +82,21 @@ if [[ "${1:-}" == "--strict" ]]; then
     test -s results/BENCH_8.json
     grep -q '"opsec_speedup_4x": true' results/BENCH_8.json
     grep -q '"knee_found": true' results/BENCH_8.json
+
+    # Overload smoke: ablate_overload drives the bank 2-4x past the knee
+    # with the protection layer (bounded queues, adaptive deadlines,
+    # retry budget, hedged reads, degradation ladder, rewarm throttle)
+    # ON and OFF, asserts its own claims (ON goodput plateaus within 10%
+    # of the pre-knee peak with a bounded shed-path p99; OFF collapses),
+    # and writes results/BENCH_9.json alongside the other consolidated
+    # documents. The grep re-checks the headline verdict.
+    cargo run --release -q -p imca-bench --bin ablate_overload -- --smoke --out results
+    test -s results/BENCH_5.json
+    test -s results/BENCH_6.json
+    test -s results/BENCH_7.json
+    test -s results/BENCH_8.json
+    test -s results/BENCH_9.json
+    grep -q '"goodput_plateaus": true' results/BENCH_9.json
 
     # The determinism suite runs in the default test pass with one ParSim
     # worker; re-run it with two so the genuinely parallel path (barrier

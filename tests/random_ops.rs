@@ -16,9 +16,13 @@ use proptest::prelude::*;
 
 use imca_repro::fabric::FaultPlan;
 use imca_repro::glusterfs::FsError;
-use imca_repro::imca::{keys, Cluster, ClusterConfig, ImcaConfig, MetaConfig, Replication};
+use imca_repro::imca::{
+    keys, AdaptiveDeadline, Cluster, ClusterConfig, HedgePolicy, ImcaConfig, McdCosts, MetaConfig,
+    Replication, RetryBudget, RetryPolicy,
+};
 use imca_repro::memcached::McConfig;
-use imca_repro::sim::{Sim, SimDuration, SimTime};
+use imca_repro::metrics::Snapshot;
+use imca_repro::sim::{join_all, ParSim, Sim, SimDuration, SimHandle, SimTime};
 use imca_repro::storage::StorageFaultPlan;
 
 #[derive(Debug, Clone)]
@@ -1056,6 +1060,381 @@ fn fixed_seed_cas_writer_race_replays_identically_with_conflicts() {
         a.2.counter("smcache.cas_fallback_purges").unwrap_or(0) > 0,
         "no conflict fell back to purge + repush"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection under chaos (DESIGN.md §8): queue-limit sheds and
+// hedged reads composed with the partition / drop-window / crash storm.
+// ---------------------------------------------------------------------------
+
+const OV_FILES: u8 = 2;
+const OV_BLOCKS: u64 = 6;
+const OV_BS: u64 = 2048;
+const OV_READERS: u64 = 8;
+
+/// Ops for the overload storm. `Burst` is what the other suites don't
+/// have: a genuinely concurrent read fan-out, wide enough to overflow
+/// the 1-deep daemon admission queues (busy sheds) and slow enough per
+/// admitted GET to outlive the hedge delay (hedged reads).
+#[derive(Debug, Clone)]
+enum OvOp {
+    /// Fan [`OV_READERS`] concurrent readers over distinct blocks.
+    Burst {
+        file: u8,
+        offset: u16,
+    },
+    Partition {
+        idx: u8,
+    },
+    Heal {
+        idx: u8,
+    },
+    DropWindow {
+        dur_us: u16,
+    },
+    LatencySpike {
+        dur_us: u16,
+        extra_us: u16,
+    },
+    /// Crash both servers, check writes fail fast identically, restart
+    /// (the IMCa restart is cold: the bank is purged and must rewarm).
+    CrashRestart,
+}
+
+fn ov_op_strategy() -> impl Strategy<Value = OvOp> {
+    prop_oneof![
+        6 => (0u8..OV_FILES, any::<u16>())
+            .prop_map(|(file, offset)| OvOp::Burst { file, offset }),
+        1 => (0u8..2).prop_map(|idx| OvOp::Partition { idx }),
+        1 => (0u8..2).prop_map(|idx| OvOp::Heal { idx }),
+        1 => (50u16..400).prop_map(|dur_us| OvOp::DropWindow { dur_us }),
+        1 => (50u16..400, 1u16..500)
+            .prop_map(|(dur_us, extra_us)| OvOp::LatencySpike { dur_us, extra_us }),
+        1 => Just(OvOp::CrashRestart),
+    ]
+}
+
+fn ov_fill(file: u8, i: u64) -> u8 {
+    ((file as u64 * 167 + i * 13) % 251) as u8
+}
+
+/// The protected cluster: a deliberately tiny bank — 200 µs of service
+/// per GET behind a 1-deep admission queue — with the whole DESIGN.md §8
+/// layer on: adaptive deadlines, a token-bucket retry budget, and hedged
+/// reads at R=2. An 8-wide burst *must* shed, and an admitted GET
+/// outlives the 100 µs hedge ceiling, so both protection paths fire on
+/// every run of the canonical schedule.
+fn build_overload_cluster(h: SimHandle, seed: u64) -> Rc<Cluster> {
+    let cluster = Rc::new(Cluster::build(
+        h,
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: 2,
+            block_size: OV_BS,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            replication: Replication { factor: 2 },
+            mcd_costs: McdCosts {
+                per_op: SimDuration::micros(200),
+                queue_limit: Some(1),
+                ..McdCosts::default()
+            },
+            retry: RetryPolicy {
+                adaptive: Some(AdaptiveDeadline {
+                    multiplier: 3.0,
+                    min: SimDuration::millis(2),
+                    max: SimDuration::millis(50),
+                    warmup: 16,
+                }),
+                retry_budget: Some(RetryBudget {
+                    refill_per_sec: 1000.0,
+                    burst: 50.0,
+                }),
+                hedge: Some(HedgePolicy {
+                    min_delay: SimDuration::micros(10),
+                    max_delay: SimDuration::micros(100),
+                    warmup: 16,
+                }),
+                ..RetryPolicy::default()
+            },
+            // SMCache's push/sync pipeline shares the drowning queues
+            // (writes are always admitted, but wait their turn); a
+            // read-tuned deadline would falsely abandon them.
+            server_retry: Some(RetryPolicy {
+                deadline: SimDuration::millis(500),
+                retries: 0,
+                ..RetryPolicy::default()
+            }),
+            ..ImcaConfig::default()
+        }),
+    ));
+    cluster.install_bank_faults(FaultPlan {
+        loss: 0.01,
+        jitter: SimDuration::micros(2),
+        ..FaultPlan::seeded(seed)
+    });
+    cluster
+}
+
+/// Drive the protected cluster and a NoCache twin through one schedule.
+/// Every burst read is compared byte-for-byte against the NoCache read
+/// of the same range — sheds, hedges, replica failovers, budget denials,
+/// and cold rewarms may change *where* a read is served from, never
+/// *what* it returns.
+async fn overload_storm(c: Rc<Cluster>, n: Rc<Cluster>, h: SimHandle, ops: Vec<OvOp>) {
+    let (mi, mn) = (c.mount(), n.mount());
+    let mut fdi = Vec::new();
+    let mut fdn = Vec::new();
+    for f in 0..OV_FILES {
+        let p = format!("/ov/{f}");
+        mi.create(&p).await.unwrap();
+        mn.create(&p).await.unwrap();
+        // Open before the warm-up writes: the opens purge an empty bank,
+        // and the write-path pushes then warm both replicas.
+        fdi.push(mi.open(&p).await.unwrap());
+        fdn.push(mn.open(&p).await.unwrap());
+        let content: Vec<u8> = (0..OV_BLOCKS * OV_BS).map(|i| ov_fill(f, i)).collect();
+        mi.write(fdi[f as usize], 0, &content).await.unwrap();
+        mn.write(fdn[f as usize], 0, &content).await.unwrap();
+    }
+    let mut partitioned = [false; 2];
+    for op in ops {
+        match op {
+            OvOp::Burst { file, offset } => {
+                let mut readers = Vec::new();
+                for k in 0..OV_READERS {
+                    let (mi, mn) = (Rc::clone(&mi), Rc::clone(&mn));
+                    let (fda, fdb) = (fdi[file as usize], fdn[file as usize]);
+                    readers.push(async move {
+                        // Distinct blocks per reader (no single-flight
+                        // coalescing), reads within one block — the
+                        // single-key shape the hedged path covers
+                        // through batched `get_multi`.
+                        let block = (offset as u64 / OV_BS + k) % OV_BLOCKS;
+                        let off = block * OV_BS + offset as u64 % (OV_BS - 1000);
+                        let got = mi.read(fda, off, 1000).await.unwrap();
+                        let want = mn.read(fdb, off, 1000).await.unwrap();
+                        assert_eq!(got, want, "burst read diverged at offset {off}");
+                    });
+                }
+                join_all(&h, readers).await;
+            }
+            OvOp::Partition { idx } => {
+                if !partitioned[idx as usize] {
+                    partitioned[idx as usize] = true;
+                    c.partition_mcd(idx as usize);
+                }
+            }
+            OvOp::Heal { idx } => {
+                if partitioned[idx as usize] {
+                    partitioned[idx as usize] = false;
+                    c.heal_mcd(idx as usize);
+                    c.revive_mcd(idx as usize);
+                }
+            }
+            OvOp::DropWindow { dur_us } => {
+                let from = h.now();
+                let until = SimTime(from.as_nanos() + u64::from(dur_us) * 1_000);
+                c.network().add_drop_window(from, until);
+            }
+            OvOp::LatencySpike { dur_us, extra_us } => {
+                let from = h.now();
+                let until = SimTime(from.as_nanos() + u64::from(dur_us) * 1_000);
+                c.network().add_latency_spike(
+                    from,
+                    until,
+                    SimDuration::micros(u64::from(extra_us)),
+                );
+            }
+            OvOp::CrashRestart => {
+                c.crash_server();
+                n.crash_server();
+                assert_eq!(mi.write(fdi[0], 0, b"lost").await, Err(FsError::Io));
+                assert_eq!(mn.write(fdn[0], 0, b"lost").await, Err(FsError::Io));
+                c.restart_server().await;
+                n.restart_server().await;
+            }
+        }
+    }
+    // Calm after the storm: heal everything, then a miss pass (refilling
+    // whatever the storm shed, purged, or quarantined) and a hit pass
+    // must both still match NoCache byte-for-byte.
+    for (idx, cut) in partitioned.into_iter().enumerate() {
+        if cut {
+            c.heal_mcd(idx);
+            c.revive_mcd(idx);
+        }
+    }
+    for f in 0..OV_FILES {
+        for pass in 1..=2 {
+            let got = mi
+                .read(fdi[f as usize], 0, OV_BLOCKS * OV_BS)
+                .await
+                .unwrap();
+            let want = mn
+                .read(fdn[f as usize], 0, OV_BLOCKS * OV_BS)
+                .await
+                .unwrap();
+            assert_eq!(
+                got, want,
+                "post-storm content diverged on file {f} pass {pass}"
+            );
+        }
+    }
+}
+
+fn run_overload_storm(ops: Vec<OvOp>, seed: u64) -> (u64, u64, Snapshot) {
+    let mut sim = Sim::new(seed);
+    let cluster = build_overload_cluster(sim.handle(), seed);
+    let nocache = Rc::new(Cluster::build(sim.handle(), ClusterConfig::nocache()));
+    let c = Rc::clone(&cluster);
+    let h = sim.handle();
+    sim.spawn(async move {
+        overload_storm(c, nocache, h, ops).await;
+    });
+    let s = sim.run();
+    (s.end_time.as_nanos(), s.events, cluster.metrics())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    /// Queue-limit sheds and hedged reads under composed network/crash
+    /// chaos are invisible to the bytes: whatever mix of bursts,
+    /// partitions, drop windows, and cold restarts the schedule draws,
+    /// every read the protected stack answers — from the bank, a hedge
+    /// winner, or a degraded backend forward — matches plain GlusterFS.
+    #[test]
+    fn overload_storm_matches_nocache(
+        ops in prop::collection::vec(ov_op_strategy(), 1..16),
+        seed in 0u64..500,
+    ) {
+        run_overload_storm(ops, seed);
+    }
+}
+
+/// The canonical schedule the replay tests pin: enough bursts to shed
+/// and hedge through every chaos phase, with the partition, drop window,
+/// and server crash all landing between bursts.
+fn overload_schedule() -> Vec<OvOp> {
+    vec![
+        OvOp::Burst { file: 0, offset: 0 },
+        OvOp::Burst {
+            file: 1,
+            offset: 700,
+        },
+        OvOp::LatencySpike {
+            dur_us: 300,
+            extra_us: 40,
+        },
+        OvOp::Burst {
+            file: 0,
+            offset: 3000,
+        },
+        OvOp::Partition { idx: 0 },
+        OvOp::Burst {
+            file: 1,
+            offset: 5000,
+        },
+        OvOp::Heal { idx: 0 },
+        OvOp::DropWindow { dur_us: 250 },
+        OvOp::Burst {
+            file: 0,
+            offset: 9000,
+        },
+        OvOp::CrashRestart,
+        OvOp::Burst {
+            file: 1,
+            offset: 11000,
+        },
+        OvOp::Burst {
+            file: 0,
+            offset: 2000,
+        },
+    ]
+}
+
+fn ov_sheds(snap: &Snapshot) -> u64 {
+    snap.counter("bank.per_daemon.0.sheds").unwrap_or(0)
+        + snap.counter("bank.per_daemon.1.sheds").unwrap_or(0)
+}
+
+/// A fixed seed replays the whole overload storm — concurrent bursts,
+/// sheds, hedge timers, budget draws, partition timeouts, and the cold
+/// restart — to the same end time, event count, and bit-identical
+/// metrics, and the storm actually engaged both protection paths.
+#[test]
+fn fixed_seed_overload_storm_replays_identically_with_sheds_and_hedges() {
+    let a = run_overload_storm(overload_schedule(), 4242);
+    let b = run_overload_storm(overload_schedule(), 4242);
+    assert_eq!(a.0, b.0, "end time diverged between overload replays");
+    assert_eq!(a.1, b.1, "event count diverged between overload replays");
+    assert_eq!(
+        a.2, b.2,
+        "metrics snapshot diverged between overload replays"
+    );
+    assert!(
+        ov_sheds(&a.2) > 0,
+        "the bursts never overflowed a daemon admission queue"
+    );
+    assert!(
+        a.2.counter("cmcache.0.bank.hedged_gets").unwrap_or(0) > 0,
+        "no burst read ever hedged"
+    );
+}
+
+/// The same storm as `ParSim` shards: two protected clusters (different
+/// seeds) each race their NoCache twin through the canonical schedule on
+/// their own shard. Hedge timers and shed replies are ordinary seeded
+/// sim events, so the worker count must be invisible — the full trace
+/// (virtual end time, event counts, epochs, both metrics snapshots) is
+/// bit-identical for workers ∈ {1, 2, 8}.
+fn run_overload_fleet(workers: usize) -> (u64, u64, u64, Vec<u64>, Vec<Snapshot>) {
+    let mut par = ParSim::new(4242)
+        .lookahead(SimDuration::micros(5))
+        .workers(workers);
+    for shard in 0..2usize {
+        par.add_shard(move |ctx| {
+            let h = ctx.handle();
+            let seed = 4242 ^ shard as u64;
+            let cluster = build_overload_cluster(h.clone(), seed);
+            let nocache = Rc::new(Cluster::build(h.clone(), ClusterConfig::nocache()));
+            let c = Rc::clone(&cluster);
+            let h2 = h.clone();
+            h.spawn(async move {
+                overload_storm(c, nocache, h2, overload_schedule()).await;
+            });
+            move || cluster.metrics()
+        });
+    }
+    let mut s = par.run();
+    (
+        s.end_time.as_nanos(),
+        s.events,
+        s.epochs,
+        s.shards.iter().map(|r| r.events).collect(),
+        (0..2).map(|i| s.take::<Snapshot>(i)).collect(),
+    )
+}
+
+#[test]
+fn overload_storm_replays_bit_identically_across_parsim_workers() {
+    let base = run_overload_fleet(1);
+    for (i, snap) in base.4.iter().enumerate() {
+        assert!(ov_sheds(snap) > 0, "shard {i}: no daemon queue ever shed");
+        assert!(
+            snap.counter("cmcache.0.bank.hedged_gets").unwrap_or(0) > 0,
+            "shard {i}: no burst read ever hedged"
+        );
+    }
+    for workers in [2usize, 8] {
+        let w = run_overload_fleet(workers);
+        assert_eq!(
+            base, w,
+            "overload fleet trace diverged between workers=1 and workers={workers}"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
