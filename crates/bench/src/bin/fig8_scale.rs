@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use imca_bench::{emit, parallel_sweep, Options};
+use imca_bench::{emit, parallel_sweep_bounded, Options};
 use imca_workloads::report::Table;
 use imca_workloads::scale::{run_scale, EngineStyle, ScaleConfig, ScaleOut};
 
@@ -211,7 +211,15 @@ fn main() {
             }) as Box<dyn FnOnce() -> ScaleOut + Send>
         })
         .collect();
-    let mut results: Vec<Option<ScaleOut>> = parallel_sweep(jobs).into_iter().map(Some).collect();
+    // --workers N: the scale model is a single queueing shard (its
+    // in-process queues carry no link latency, so there is nothing for a
+    // ParSim lookahead horizon to cut), so here the knob bounds
+    // sweep-level thread parallelism instead of intra-sim sharding.
+    let sweep_cap = (opts.workers >= 1).then_some(opts.workers);
+    let mut results: Vec<Option<ScaleOut>> = parallel_sweep_bounded(jobs, sweep_cap)
+        .into_iter()
+        .map(Some)
+        .collect();
 
     let mut series: Vec<Series> = Vec::new();
     for (m, r, cs) in &specs {

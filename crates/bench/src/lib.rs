@@ -34,6 +34,26 @@ pub struct Options {
     pub out_dir: PathBuf,
     /// Override the simulation seed.
     pub seed: u64,
+    /// Sharded-engine worker threads (`--workers N`, or the
+    /// `IMCA_SIM_WORKERS` environment variable). 0 (the default) keeps
+    /// the legacy single-`Sim` engine; any N >= 1 runs cluster-backed
+    /// workloads as a `ParSim` fleet with N workers — the simulated
+    /// trace is bit-identical for every N, so this only changes how
+    /// many cores the sweep uses.
+    pub workers: usize,
+}
+
+/// Strictly parse `IMCA_SIM_WORKERS` (unset means 0 = legacy engine).
+/// Malformed values panic — a typo must not silently serialise a
+/// multi-hour sweep.
+fn workers_from_env() -> usize {
+    match std::env::var("IMCA_SIM_WORKERS") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("IMCA_SIM_WORKERS must be an integer, got {s:?}")),
+        Err(_) => 0,
+    }
 }
 
 impl Options {
@@ -45,6 +65,7 @@ impl Options {
             smoke: false,
             out_dir: PathBuf::from("results"),
             seed: 42,
+            workers: workers_from_env(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -60,12 +81,24 @@ impl Options {
                         .and_then(|s| s.parse().ok())
                         .expect("--seed needs an integer")
                 }
+                "--workers" => {
+                    opts.workers = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--workers needs an integer")
+                }
                 "--help" | "-h" => {
                     println!("{name}: {description}");
-                    println!("usage: {name} [--full] [--smoke] [--out DIR] [--seed N]");
-                    println!("  --full   run at paper scale (slow); default is a");
-                    println!("           proportionally scaled workload");
-                    println!("  --smoke  run a minimal CI sweep (fastest)");
+                    println!(
+                        "usage: {name} [--full] [--smoke] [--out DIR] [--seed N] [--workers N]"
+                    );
+                    println!("  --full     run at paper scale (slow); default is a");
+                    println!("             proportionally scaled workload");
+                    println!("  --smoke    run a minimal CI sweep (fastest)");
+                    println!("  --workers  drive cluster-backed workloads as a ParSim");
+                    println!("             fleet with N worker threads (bit-identical to");
+                    println!("             the legacy engine; also reads IMCA_SIM_WORKERS;");
+                    println!("             0 = legacy single-Sim engine)");
                     std::process::exit(0);
                 }
                 other => {
@@ -136,11 +169,25 @@ pub fn metric_label(label: &str) -> String {
 /// Run `jobs` on parallel OS threads (each job is an independent,
 /// self-contained simulation) and collect results in input order.
 pub fn parallel_sweep<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    parallel_sweep_bounded(jobs, None)
+}
+
+/// [`parallel_sweep`] with an explicit concurrency cap. Sweeps whose
+/// jobs are themselves multi-threaded (ParSim fleets) pass
+/// `Options::workers` here so fleet workers and sweep threads don't
+/// oversubscribe the host.
+pub fn parallel_sweep_bounded<T: Send>(
+    jobs: Vec<Box<dyn FnOnce() -> T + Send>>,
+    max_par: Option<usize>,
+) -> Vec<T> {
     let n = jobs.len();
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let max_par = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let max_par = max_par.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    let max_par = max_par.max(1);
     let mut pending: Vec<(usize, Box<dyn FnOnce() -> T + Send>)> =
         jobs.into_iter().enumerate().collect();
     while !pending.is_empty() {
@@ -184,6 +231,7 @@ mod tests {
             smoke: false,
             out_dir: dir.clone(),
             seed: 1,
+            workers: 0,
         };
         let mut snap = Snapshot::new();
         snap.set_counter("fabric.rpc.calls", 3);
@@ -210,6 +258,7 @@ mod tests {
             smoke: false,
             out_dir: dir.clone(),
             seed: 1,
+            workers: 0,
         };
         let mut t = Table::new("t", "x", "y", vec!["s".into()]);
         t.push_row(1.0, vec![Some(2.0)]);

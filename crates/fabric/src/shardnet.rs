@@ -1,0 +1,230 @@
+//! Cross-shard fabric: routes [`crate::Network`] traffic whose endpoints
+//! live on different [`imca_sim::ParSim`] shards over [`ShardComms`].
+//!
+//! Every shard builds its *own* `Network` registering the identical node
+//! universe (same ids, same order); a home map says which nodes are local.
+//! Same-shard traffic never touches this module — it stays on the legacy
+//! in-process path, so a single-shard plan replays the one-`Sim` engine
+//! bit-for-bit. A cross-shard message is split at the propagation step:
+//!
+//! * **Sender shard** — fault judgement (the sender's `FaultPlan` and RNG),
+//!   then the TX station (host CPU + serialisation, FIFO per NIC). The
+//!   arrival instant is computed as `tx_done + one_way_latency + extra`.
+//! * **Wire** — a [`WireRequest`]/[`WireReply`] parcel sent through
+//!   `ShardComms` at the arrival instant. This is sound only because every
+//!   cross-shard transport's `one_way_latency` is at least the conservative
+//!   lookahead — asserted when the shard is attached and when remote
+//!   clients are created (the topology build).
+//! * **Receiver shard** — a pump task on [`NET_NODE`] drains the shard
+//!   inbox in canonical order, charges the RX station, and hands the
+//!   payload to the endpoint the destination [`crate::Service`] registered.
+//!
+//! Responses travel the same way in reverse, matched to the caller's
+//! pending table by call id. A service that drops a request without
+//! responding sends a zero-cost [`WireReplyBody::Reset`] so the caller
+//! observes the same TCP-reset `None` the local path produces.
+//!
+//! Divergences from the local path (all deterministic, documented in
+//! DESIGN.md §7): a reset crosses the wire one lookahead later than the
+//! local path's instantaneous sender-drop, and a remote `post` returns at
+//! the arrival instant rather than after the receiver-side RX serve (the
+//! sender cannot observe remote RX contention).
+
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use imca_sim::sync::OneshotSender;
+use imca_sim::{ShardComms, SimTime};
+
+use crate::network::NodeId;
+use crate::transport::Transport;
+
+/// Call id marking "no response channel wanted": posted (`noreply`)
+/// requests and fault-injected duplicate deliveries.
+pub(crate) const NO_CALL: u64 = u64::MAX;
+
+/// A request crossing shards, after the sender-side TX leg.
+pub(crate) struct WireRequest {
+    /// Pending-call id on the source shard; [`NO_CALL`] for one-way sends.
+    pub call: u64,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Shard holding the caller's pending table (where replies go).
+    pub src_shard: usize,
+    /// Wire size, for the receiver-side RX charge.
+    pub bytes: usize,
+    /// Per-call transport override, mirrored onto the reply leg.
+    pub transport: Option<Transport>,
+    /// The typed request, downcast by the destination endpoint.
+    pub body: Box<dyn Any + Send>,
+}
+
+/// Payload of a cross-shard reply.
+pub(crate) enum WireReplyBody {
+    /// A real response.
+    Data(Box<dyn Any + Send>),
+    /// Wire-charged copy of an already-delivered response (fault-injected
+    /// duplicate): the RX station is charged, then the bytes are dropped.
+    Echo,
+    /// Connection reset — the service dropped the request without
+    /// responding. No payload, no RX cost.
+    Reset,
+}
+
+/// A response (or reset) crossing shards back to the caller.
+pub(crate) struct WireReply {
+    pub call: u64,
+    pub dst: NodeId,
+    pub bytes: usize,
+    pub transport: Option<Transport>,
+    pub body: WireReplyBody,
+}
+
+/// An out-of-band control message for the destination shard's registered
+/// control handler (cluster fault/liveness propagation). Applied at its
+/// arrival instant, one lookahead after the send.
+pub struct WireControl(pub Box<dyn Any + Send>);
+
+type EndpointFn = Rc<dyn Fn(WireRequest)>;
+type ControlFn = Rc<dyn Fn(Box<dyn Any + Send>)>;
+pub(crate) type PendingTx = OneshotSender<Option<Box<dyn Any + Send>>>;
+
+/// Per-shard cross-shard state, attached to the shard's `Network`.
+pub(crate) struct ShardNet {
+    inner: Rc<ShardNetInner>,
+}
+
+impl Clone for ShardNet {
+    fn clone(&self) -> Self {
+        ShardNet {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+struct ShardNetInner {
+    comms: ShardComms,
+    /// `NodeId.0 → home shard` for the whole node universe.
+    home: Vec<usize>,
+    next_call: Cell<u64>,
+    /// In-flight outbound calls awaiting a [`WireReply`].
+    pending: RefCell<HashMap<u64, PendingTx>>,
+    /// `(node, request TypeId) → dispatch` for services bound locally.
+    endpoints: RefCell<HashMap<(u32, TypeId), EndpointFn>>,
+    /// Handler for [`WireControl`] payloads (at most one per shard).
+    control: RefCell<Option<ControlFn>>,
+}
+
+impl ShardNet {
+    pub(crate) fn new(comms: ShardComms, home: Vec<usize>) -> ShardNet {
+        ShardNet {
+            inner: Rc::new(ShardNetInner {
+                comms,
+                home,
+                next_call: Cell::new(0),
+                pending: RefCell::new(HashMap::new()),
+                endpoints: RefCell::new(HashMap::new()),
+                control: RefCell::new(None),
+            }),
+        }
+    }
+
+    pub(crate) fn comms(&self) -> &ShardComms {
+        &self.inner.comms
+    }
+
+    pub(crate) fn shard(&self) -> usize {
+        self.inner.comms.shard()
+    }
+
+    pub(crate) fn home(&self, node: NodeId) -> usize {
+        self.inner.home[node.0 as usize]
+    }
+
+    pub(crate) fn is_local(&self, node: NodeId) -> bool {
+        self.home(node) == self.shard()
+    }
+
+    /// Register the caller's reply slot; returns the call id carried by the
+    /// outbound [`WireRequest`].
+    pub(crate) fn register_call(&self, tx: PendingTx) -> u64 {
+        let call = self.inner.next_call.get();
+        assert!(call < NO_CALL, "cross-shard call ids exhausted");
+        self.inner.next_call.set(call + 1);
+        self.inner.pending.borrow_mut().insert(call, tx);
+        call
+    }
+
+    /// Resolve a pending call. `None` body = reset. Replies for unknown
+    /// ids (duplicates of an answered call, [`NO_CALL`]) are dropped.
+    pub(crate) fn resolve(&self, call: u64, body: Option<Box<dyn Any + Send>>) {
+        if let Some(tx) = self.inner.pending.borrow_mut().remove(&call) {
+            tx.send(body);
+        }
+    }
+
+    /// Register the dispatch hook for a service bound at local `node`
+    /// taking requests of `Req`.
+    ///
+    /// # Panics
+    /// Panics if a service for the same `(node, Req)` pair already
+    /// registered — two mailboxes would race for one wire.
+    pub(crate) fn register_endpoint<Req: 'static>(
+        &self,
+        node: NodeId,
+        f: impl Fn(WireRequest) + 'static,
+    ) {
+        assert!(
+            self.is_local(node),
+            "service endpoint at {node} registered on shard {} but the node lives on shard {}",
+            self.shard(),
+            self.home(node),
+        );
+        let prev = self
+            .inner
+            .endpoints
+            .borrow_mut()
+            .insert((node.0, TypeId::of::<Req>()), Rc::new(f));
+        assert!(
+            prev.is_none(),
+            "duplicate service endpoint at {node} for {}",
+            std::any::type_name::<Req>()
+        );
+    }
+
+    /// Hand an arrived request to its endpoint. Called by the pump after
+    /// the RX charge, at the request's arrival instant.
+    pub(crate) fn dispatch(&self, wreq: WireRequest) {
+        let key = (wreq.dst.0, (*wreq.body).type_id());
+        let ep = self.inner.endpoints.borrow().get(&key).cloned();
+        match ep {
+            Some(ep) => ep(wreq),
+            None => panic!(
+                "no service endpoint at {} for cross-shard request on shard {}",
+                wreq.dst,
+                self.shard()
+            ),
+        }
+    }
+
+    /// Install the shard's control-message handler.
+    pub(crate) fn on_control(&self, f: impl Fn(Box<dyn Any + Send>) + 'static) {
+        let prev = self.inner.control.borrow_mut().replace(Rc::new(f));
+        assert!(prev.is_none(), "control handler already installed");
+    }
+
+    pub(crate) fn handle_control(&self, body: Box<dyn Any + Send>) {
+        let handler = self.inner.control.borrow().clone();
+        match handler {
+            Some(h) => h(body),
+            None => panic!("cross-shard control message with no handler installed"),
+        }
+    }
+
+    /// Ship a parcel to `dst_shard` arriving at `at`.
+    pub(crate) fn send<P: Any + Send>(&self, dst_shard: usize, at: SimTime, payload: P) {
+        self.inner.comms.send_at(dst_shard, at, payload);
+    }
+}

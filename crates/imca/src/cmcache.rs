@@ -120,30 +120,6 @@ pub struct CmCache {
 
 impl CmCache {
     /// Stack CMCache above `child` (normally `protocol/client`), talking to
-    /// `bank`, with the legacy metadata behaviour (one bank round trip per
-    /// stat).
-    ///
-    /// Superseded by [`CmCache::with_meta`], which exposes the metadata
-    /// tier's policy; kept one release for out-of-tree callers.
-    #[deprecated(note = "use CmCache::with_meta (defaults reproduce this exactly)")]
-    pub fn new(
-        handle: SimHandle,
-        child: Xlator,
-        bank: Rc<BankClient>,
-        block_size: u64,
-        batched: bool,
-    ) -> Rc<CmCache> {
-        CmCache::with_meta(
-            handle,
-            child,
-            bank,
-            block_size,
-            batched,
-            MetaConfig::default(),
-        )
-    }
-
-    /// Stack CMCache above `child` (normally `protocol/client`), talking to
     /// `bank`. `batched` selects one multi-get RPC per daemon for reads;
     /// `false` falls back to one RPC per covering block (ablation).
     /// `meta` picks the stat policy (see `crate::meta`); the default
@@ -747,47 +723,6 @@ mod tests {
     #[test]
     fn any_block_miss_forwards_whole_read_per_key() {
         miss_forwards_whole_read(false);
-    }
-
-    /// The deprecated constructor must keep producing the legacy stat
-    /// path (one bank round trip, no leases) until it is removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_matches_the_default_meta_config() {
-        let mut sim = Sim::new(0);
-        let net = Network::new(sim.handle(), Transport::ipoib_ddr());
-        let mcds = Bank::start(&net, 2, &McConfig::default(), &McdCosts::default());
-        let client_node = net.add_node();
-        let bank = Rc::new(mcds.client(client_node, Selector::Crc32, None));
-        let rec = Rc::new(Recorder {
-            log: StdRefCell::new(Vec::new()),
-            file: vec![0; 100],
-        });
-        let cm = CmCache::new(
-            sim.handle(),
-            Rc::clone(&rec) as Xlator,
-            Rc::clone(&bank),
-            2048,
-            true,
-        );
-        assert_eq!(cm.meta().config(), MetaConfig::default());
-        sim.handle().spawn(async move {
-            let _keepalive = mcds;
-            std::future::pending::<()>().await;
-        });
-        let cm2 = Rc::clone(&cm);
-        sim.spawn(async move {
-            let FopReply::Stat(Ok(st)) = Rc::clone(&(cm2 as Xlator))
-                .handle(Fop::Stat { path: "/f".into() })
-                .await
-            else {
-                panic!()
-            };
-            assert_eq!(st.size, 100);
-        });
-        sim.run();
-        assert_eq!(cm.stats().stat_misses, 1);
-        assert_eq!(cm.meta().held_leases(), 0);
     }
 
     /// Under the lease policy, the second stat never reaches the bank or

@@ -1,0 +1,1112 @@
+//! Sharded deployment builder: the production [`crate::Cluster`] topology
+//! (clients / MCD bank / GlusterFS server) partitioned across an
+//! [`imca_sim::ParSim`] fleet.
+//!
+//! A [`ShardPlan`] says how the node universe is cut: shard 0 hosts the
+//! server tier (GlusterFS daemon, storage backend, SMCache, lease hub),
+//! `bank_shards` shards split the MCD daemons round-robin, and
+//! `client_groups` shards split the mounted clients round-robin. Every
+//! shard builds its *own* [`Network`] registering the identical node
+//! universe in the same order, so node ids agree fleet-wide; traffic whose
+//! endpoints share a shard stays on the legacy in-process path, while
+//! cross-shard traffic rides the `ShardComms` wire (see
+//! `imca_fabric::shardnet`). [`ShardPlan::single`] collapses everything
+//! onto one shard with no comms attached — that build is the plain
+//! one-`Sim` engine, bit-for-bit.
+//!
+//! Fault and liveness controls ([`ClusterCtl`]) apply locally and
+//! broadcast to every other shard as control parcels, landing one
+//! lookahead later — the propagation delay a real LAN control plane has.
+//! Each shard keeps mirror liveness cells for every daemon; the daemon's
+//! home shard owns the real cells (shared with its [`McdNode`]) and the
+//! failover/revival counters, so merged metrics count each transition
+//! once.
+//!
+//! Documented divergences from the single-`Sim` [`crate::Cluster`]
+//! (deterministic, see DESIGN.md §7): controls reach remote shards one
+//! lookahead late; a daemon quarantined by a failed write is quarantined
+//! only for clients on the shard that observed the failure (mirror cells
+//! are control-driven, and write-failure quarantine has no control
+//! broadcast — a remote client quarantines the daemon when its *own*
+//! write fails, as a real LAN client would); each shard's fault-plan RNG
+//! advances independently with the traffic it judges.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use imca_fabric::{FaultPlan, Network, NodeId, RpcClient, Service};
+use imca_glusterfs::{
+    start_server_with_control, ClientProtocol, Fop, FopReply, FuseBridge, GlusterMount, IoCache,
+    Posix, ReadAhead, ServerControl, WriteBehind, Xlator,
+};
+use imca_metrics::{Counter, MetricSource, Registry, Snapshot};
+use imca_sim::{ShardComms, SimDuration, SimHandle};
+use imca_storage::{StorageBackend, StorageFaultPlan};
+
+use crate::cluster::ClusterConfig;
+use crate::cmcache::{CmCache, CmStats};
+use crate::mcd::{start_mcd, BankClient, McdNode, RetryPolicy};
+use crate::meta::{serve_revocations, LeaseAck, LeaseHub, LeaseRevoke, MetaPolicy};
+use crate::smcache::{SmCache, SmStats};
+
+/// How the cluster's node universe is partitioned into shards.
+///
+/// Shard 0 always hosts the server tier. When both knobs are zero
+/// ([`ShardPlan::single`]) the whole deployment shares shard 0 and no
+/// cross-shard machinery is wired at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shards the mounted clients are split over, round-robin. `0` keeps
+    /// every client on the server shard.
+    pub client_groups: usize,
+    /// Shards the MCD daemons are split over, round-robin. `0` keeps the
+    /// bank on the server shard.
+    pub bank_shards: usize,
+}
+
+impl ShardPlan {
+    /// Everything on one shard — the legacy single-`Sim` layout.
+    pub fn single() -> ShardPlan {
+        ShardPlan {
+            client_groups: 0,
+            bank_shards: 0,
+        }
+    }
+
+    /// Whether this plan needs no cross-shard machinery.
+    pub fn is_single(&self) -> bool {
+        self.client_groups == 0 && self.bank_shards == 0
+    }
+
+    /// Total number of shards the plan produces.
+    pub fn shards(&self) -> usize {
+        1 + self.bank_shards + self.client_groups
+    }
+}
+
+/// The fleet-global node map: which fabric node every component occupies
+/// and which shard each node calls home. Cheap to clone — one copy goes
+/// into each shard's build closure.
+#[derive(Clone)]
+pub struct ShardTopology {
+    cfg: ClusterConfig,
+    plan: ShardPlan,
+    clients: usize,
+    mcds: usize,
+}
+
+impl ShardTopology {
+    /// Lay out `clients` mounted clients plus the deployment `cfg`
+    /// describes, partitioned per `plan`.
+    ///
+    /// # Panics
+    /// Panics on impossible plans: bank shards without an IMCa bank, more
+    /// bank shards than daemons, or more client groups than clients.
+    pub fn new(cfg: ClusterConfig, plan: ShardPlan, clients: usize) -> ShardTopology {
+        let mcds = cfg.imca.as_ref().map(|i| i.mcd_count).unwrap_or(0);
+        assert!(
+            plan.bank_shards <= mcds,
+            "{} bank shards but only {mcds} MCD daemons",
+            plan.bank_shards
+        );
+        assert!(
+            plan.client_groups <= clients,
+            "{} client groups but only {clients} clients",
+            plan.client_groups
+        );
+        ShardTopology {
+            cfg,
+            plan,
+            clients,
+            mcds,
+        }
+    }
+
+    /// The deployment configuration being laid out.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of shards (1 for [`ShardPlan::single`]).
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// Number of mounted clients the topology declares. Every declared
+    /// client must be mounted (on its home shard) before lease traffic
+    /// starts, since the server pre-registers remote revocation peers.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Number of MCD daemons (0 for NoCache deployments).
+    pub fn mcds(&self) -> usize {
+        self.mcds
+    }
+
+    /// Total fabric nodes: server + daemons + clients + coordinator.
+    pub fn node_count(&self) -> usize {
+        self.mcds + self.clients + 2
+    }
+
+    /// The GlusterFS server's node (always node 0, shard 0).
+    pub fn server_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Daemon `i`'s node.
+    pub fn mcd_node(&self, i: usize) -> NodeId {
+        assert!(i < self.mcds, "mcd {i} out of range ({})", self.mcds);
+        NodeId(1 + i as u32)
+    }
+
+    /// Client `j`'s node.
+    pub fn client_node(&self, j: usize) -> NodeId {
+        assert!(
+            j < self.clients,
+            "client {j} out of range ({})",
+            self.clients
+        );
+        NodeId((1 + self.mcds + j) as u32)
+    }
+
+    /// A spare node homed on shard 0 for harness-level services (the
+    /// sharded benchmarks bind their cross-shard barrier here). The
+    /// cluster itself binds nothing on it.
+    pub fn coordinator_node(&self) -> NodeId {
+        NodeId((1 + self.mcds + self.clients) as u32)
+    }
+
+    /// Daemon `i`'s home shard.
+    pub fn mcd_shard(&self, i: usize) -> usize {
+        assert!(i < self.mcds, "mcd {i} out of range ({})", self.mcds);
+        if self.plan.bank_shards == 0 {
+            0
+        } else {
+            1 + i % self.plan.bank_shards
+        }
+    }
+
+    /// Client `j`'s home shard.
+    pub fn client_shard(&self, j: usize) -> usize {
+        assert!(
+            j < self.clients,
+            "client {j} out of range ({})",
+            self.clients
+        );
+        if self.plan.client_groups == 0 {
+            0
+        } else {
+            1 + self.plan.bank_shards + j % self.plan.client_groups
+        }
+    }
+
+    /// `node id → home shard` for the whole universe, in node-id order —
+    /// the map [`Network::attach_shard`] wants.
+    pub fn home(&self) -> Vec<usize> {
+        let mut home = Vec::with_capacity(self.node_count());
+        home.push(0); // server
+        for i in 0..self.mcds {
+            home.push(self.mcd_shard(i));
+        }
+        for j in 0..self.clients {
+            home.push(self.client_shard(j));
+        }
+        home.push(0); // coordinator
+        home
+    }
+
+    /// The largest sound `ParSim` lookahead for this topology: the
+    /// smallest one-way latency any cross-shard link uses (the default
+    /// fabric transport, and the bank transport override if set).
+    pub fn max_lookahead(&self) -> SimDuration {
+        let mut la = self.cfg.transport.one_way_latency;
+        if let Some(imca) = &self.cfg.imca {
+            if let Some(t) = &imca.bank_transport {
+                if t.one_way_latency < la {
+                    la = t.one_way_latency;
+                }
+            }
+        }
+        la
+    }
+}
+
+/// A cluster fault/liveness control, broadcast to every shard so each
+/// mirror converges. Remote shards apply it one lookahead after the send.
+#[derive(Debug, Clone)]
+pub enum ClusterCtl {
+    /// Kill bank daemon `i` (stops answering; memory kept).
+    KillMcd(usize),
+    /// Revive bank daemon `i` (restarts empty, quarantine lifted).
+    ReviveMcd(usize),
+    /// Sever daemon `i` from every other node (network partition).
+    PartitionMcd(usize),
+    /// Heal the partition around daemon `i`.
+    HealMcd(usize),
+    /// Install a fault plan scoped to the bank's daemon nodes on every
+    /// shard's network (each shard judges the traffic it originates).
+    BankFaults(FaultPlan),
+    /// Install a storage fault plan (applied on the server shard).
+    StorageFaults(StorageFaultPlan),
+    /// Crash the GlusterFS server daemon.
+    CrashServer,
+    /// Restart the server daemon (the server shard purges the bank).
+    RestartServer,
+}
+
+/// The server tier, present only on shard 0.
+struct ServerTier {
+    svc: Service<Fop, FopReply>,
+    backend: StorageBackend,
+    posix: Rc<Posix>,
+    smcache: Option<Rc<SmCache>>,
+    lease_hub: Option<Rc<LeaseHub>>,
+    control: ServerControl,
+    registry: Registry,
+    crashes: Counter,
+    restarts: Counter,
+}
+
+/// One mounted client's instrumented stack pieces (for metrics).
+struct MountRecord {
+    client: usize,
+    cm: Option<Rc<CmCache>>,
+    io: Option<Rc<IoCache>>,
+    ra: Option<Rc<ReadAhead>>,
+    wb: Option<Rc<WriteBehind>>,
+}
+
+struct Inner {
+    handle: SimHandle,
+    net: Network,
+    topo: ShardTopology,
+    shard: usize,
+    server: Option<ServerTier>,
+    /// What this shard believes about the server daemon when the server
+    /// tier lives elsewhere; flipped by [`ClusterCtl::CrashServer`] /
+    /// [`ClusterCtl::RestartServer`].
+    server_alive_mirror: Cell<bool>,
+    /// Daemons homed on this shard, with their fleet-global indices.
+    local_mcds: Vec<(usize, McdNode)>,
+    /// Failover/revival counters; `Some` only on shards hosting daemons,
+    /// so merged metrics count each transition exactly once.
+    bank_registry: Option<Registry>,
+    mcd_failovers: Option<Counter>,
+    mcd_revivals: Option<Counter>,
+    /// Per-daemon liveness, fleet-global index order. Real cells (shared
+    /// with the daemon) on its home shard; control-driven mirrors here
+    /// otherwise.
+    mcd_alive: Vec<Rc<Cell<bool>>>,
+    mcd_quarantined: Vec<Rc<Cell<bool>>>,
+    mounts: RefCell<Vec<MountRecord>>,
+}
+
+impl Inner {
+    fn local_mcd(&self, i: usize) -> Option<&McdNode> {
+        self.local_mcds
+            .iter()
+            .find(|(gi, _)| *gi == i)
+            .map(|(_, m)| m)
+    }
+
+    fn apply(&self, ctl: &ClusterCtl) {
+        match ctl {
+            ClusterCtl::KillMcd(i) => {
+                let was = self.mcd_alive[*i].replace(false);
+                if was && self.local_mcd(*i).is_some() {
+                    self.mcd_failovers
+                        .as_ref()
+                        .expect("home shard has a bank registry")
+                        .inc();
+                }
+            }
+            ClusterCtl::ReviveMcd(i) => {
+                if let Some(m) = self.local_mcd(*i) {
+                    m.server().store().flush_all();
+                }
+                self.mcd_quarantined[*i].set(false);
+                let was = self.mcd_alive[*i].replace(true);
+                if !was && self.local_mcd(*i).is_some() {
+                    self.mcd_revivals
+                        .as_ref()
+                        .expect("home shard has a bank registry")
+                        .inc();
+                }
+            }
+            ClusterCtl::PartitionMcd(i) => {
+                self.net
+                    .isolate(format!("mcd-{i}"), [self.topo.mcd_node(*i)]);
+            }
+            ClusterCtl::HealMcd(i) => self.net.heal(&format!("mcd-{i}")),
+            ClusterCtl::BankFaults(plan) => {
+                let mut plan = plan.clone();
+                plan.scope = Some(
+                    (0..self.topo.mcds())
+                        .map(|i| self.topo.mcd_node(i))
+                        .collect(),
+                );
+                self.net.install_faults(plan);
+            }
+            ClusterCtl::StorageFaults(plan) => {
+                if let Some(t) = &self.server {
+                    t.backend.install_faults(plan.clone());
+                }
+            }
+            ClusterCtl::CrashServer => match &self.server {
+                Some(t) => {
+                    t.control.crash();
+                    t.crashes.inc();
+                }
+                None => self.server_alive_mirror.set(false),
+            },
+            ClusterCtl::RestartServer => match &self.server {
+                Some(t) => {
+                    t.control.restart();
+                    t.restarts.inc();
+                    // A broadcast restart cannot be awaited here; the
+                    // purge runs as its own process. Drivers that need
+                    // the purge fenced call `restart_server` on the
+                    // server shard instead.
+                    if let Some(sm) = &t.smcache {
+                        let sm = Rc::clone(sm);
+                        self.handle.spawn(async move {
+                            sm.purge_all().await;
+                        });
+                    }
+                }
+                None => self.server_alive_mirror.set(true),
+            },
+        }
+    }
+}
+
+/// One shard's slice of the deployment. Built once per shard inside the
+/// `ParSim::add_shard` closure (or once on a plain [`imca_sim::Sim`] for
+/// [`ShardPlan::single`]).
+pub struct ShardCluster {
+    inner: Rc<Inner>,
+}
+
+impl Clone for ShardCluster {
+    fn clone(&self) -> Self {
+        ShardCluster {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+/// Build the per-daemon RPC stubs + liveness mirrors for a [`BankClient`]
+/// at `from`: in-process stubs for daemons homed here, cross-shard stubs
+/// for the rest.
+#[allow(clippy::too_many_arguments)]
+fn bank_client(
+    net: &Network,
+    handle: &SimHandle,
+    topo: &ShardTopology,
+    local_mcds: &[(usize, McdNode)],
+    alive: &[Rc<Cell<bool>>],
+    quarantined: &[Rc<Cell<bool>>],
+    from: NodeId,
+    policy: RetryPolicy,
+) -> BankClient {
+    let imca = topo
+        .cfg
+        .imca
+        .as_ref()
+        .expect("bank client needs an IMCa config");
+    let clients = (0..imca.mcd_count)
+        .map(|i| {
+            let node = topo.mcd_node(i);
+            if net.is_local(node) {
+                let m = &local_mcds
+                    .iter()
+                    .find(|(gi, _)| *gi == i)
+                    .expect("daemon homed here was not started")
+                    .1;
+                match &imca.bank_transport {
+                    Some(t) => m.service().client_with_transport(from, t.clone()),
+                    None => m.service().client(from),
+                }
+            } else {
+                RpcClient::remote(net, from, node, imca.bank_transport.clone())
+            }
+        })
+        .collect();
+    BankClient::connect_remote(
+        handle.clone(),
+        clients,
+        imca.selector,
+        policy,
+        imca.replication,
+        alive.to_vec(),
+        quarantined.to_vec(),
+    )
+}
+
+impl ShardCluster {
+    /// Build this shard's slice of the deployment. `comms` is `None` only
+    /// for a single-shard topology (plain-`Sim` build, no cross-shard
+    /// machinery); otherwise the shard index comes from `comms`.
+    pub fn build(
+        handle: SimHandle,
+        comms: Option<ShardComms>,
+        topo: ShardTopology,
+    ) -> ShardCluster {
+        let shard = match &comms {
+            Some(c) => {
+                assert_eq!(
+                    c.shards(),
+                    topo.shards(),
+                    "comms fleet size does not match the topology"
+                );
+                c.shard()
+            }
+            None => {
+                assert_eq!(
+                    topo.shards(),
+                    1,
+                    "a multi-shard topology needs ShardComms; use ShardPlan::single for plain Sim"
+                );
+                0
+            }
+        };
+
+        // Identical node universe on every shard, in fixed order.
+        let net = Network::new(handle.clone(), topo.cfg.transport.clone());
+        let server_node = net.add_node();
+        debug_assert_eq!(server_node, topo.server_node());
+        for i in 0..topo.mcds() {
+            let n = net.add_node();
+            debug_assert_eq!(n, topo.mcd_node(i));
+        }
+        for j in 0..topo.clients() {
+            let n = net.add_node();
+            debug_assert_eq!(n, topo.client_node(j));
+        }
+        let coordinator = net.add_node();
+        debug_assert_eq!(coordinator, topo.coordinator_node());
+
+        if let Some(comms) = comms {
+            // Asserts every cross-shard link's one-way latency covers the
+            // fleet lookahead (the ISSUE's topology-build-time soundness
+            // check) and starts the inbound pump.
+            net.attach_shard(comms, topo.home());
+        }
+
+        // Daemons homed here, plus liveness cells for the whole bank.
+        let mut local_mcds = Vec::new();
+        if let Some(imca) = &topo.cfg.imca {
+            for i in 0..imca.mcd_count {
+                if topo.mcd_shard(i) == shard {
+                    local_mcds.push((
+                        i,
+                        start_mcd(
+                            &net,
+                            topo.mcd_node(i),
+                            imca.mcd_config.clone(),
+                            imca.mcd_costs.clone(),
+                        ),
+                    ));
+                }
+            }
+        }
+        let mcd_alive: Vec<_> = (0..topo.mcds())
+            .map(|i| match local_mcds.iter().find(|(gi, _)| *gi == i) {
+                Some((_, m)) => Rc::clone(m.alive_cell()),
+                None => Rc::new(Cell::new(true)),
+            })
+            .collect();
+        let mcd_quarantined: Vec<_> = (0..topo.mcds())
+            .map(|i| match local_mcds.iter().find(|(gi, _)| *gi == i) {
+                Some((_, m)) => Rc::clone(m.quarantined_cell()),
+                None => Rc::new(Cell::new(false)),
+            })
+            .collect();
+        let bank_registry = (!local_mcds.is_empty()).then(Registry::new);
+        let mcd_failovers = bank_registry.as_ref().map(|r| r.counter("mcd_failovers"));
+        let mcd_revivals = bank_registry.as_ref().map(|r| r.counter("mcd_revivals"));
+
+        // The server tier, on shard 0 only — mirroring `Cluster::build`.
+        let server = (shard == 0).then(|| {
+            let backend = StorageBackend::new(handle.clone(), topo.cfg.backend.clone());
+            let posix = Posix::new(backend.clone());
+            let (smcache, lease_hub, child): (Option<Rc<SmCache>>, Option<Rc<LeaseHub>>, Xlator) =
+                match &topo.cfg.imca {
+                    Some(imca) => {
+                        let client = Rc::new(bank_client(
+                            &net,
+                            &handle,
+                            &topo,
+                            &local_mcds,
+                            &mcd_alive,
+                            &mcd_quarantined,
+                            server_node,
+                            imca.server_retry
+                                .clone()
+                                .unwrap_or_else(|| imca.retry.clone()),
+                        ));
+                        let hub = (imca.meta.policy == MetaPolicy::Lease)
+                            .then(|| LeaseHub::new(handle.clone()));
+                        let sm = SmCache::with_overload(
+                            handle.clone(),
+                            Rc::clone(&posix) as Xlator,
+                            client,
+                            imca.block_size,
+                            imca.threaded_updates,
+                            imca.batching,
+                            imca.coherence,
+                            imca.meta,
+                            hub.clone(),
+                            imca.rewarm,
+                        );
+                        (Some(Rc::clone(&sm)), hub, sm as Xlator)
+                    }
+                    None => (None, None, Rc::clone(&posix) as Xlator),
+                };
+            if let Some(hub) = &lease_hub {
+                // Remote clients can't register at mount time (the hub
+                // lives here, they live elsewhere): pre-register a
+                // revocation stub per declared remote client. Their
+                // revocation services come up when they mount, before any
+                // lease is granted.
+                for j in 0..topo.clients() {
+                    if topo.client_shard(j) != shard {
+                        hub.register(RpcClient::remote(
+                            &net,
+                            server_node,
+                            topo.client_node(j),
+                            None,
+                        ));
+                    }
+                }
+            }
+            let (svc, control) =
+                start_server_with_control(&net, server_node, child, topo.cfg.server_params.clone());
+            let registry = Registry::new();
+            ServerTier {
+                svc,
+                backend,
+                posix,
+                smcache,
+                lease_hub,
+                control,
+                crashes: registry.counter("crashes"),
+                restarts: registry.counter("restarts"),
+                registry,
+            }
+        });
+
+        let cluster = ShardCluster {
+            inner: Rc::new(Inner {
+                handle,
+                net,
+                topo,
+                shard,
+                server,
+                server_alive_mirror: Cell::new(true),
+                local_mcds,
+                bank_registry,
+                mcd_failovers,
+                mcd_revivals,
+                mcd_alive,
+                mcd_quarantined,
+                mounts: RefCell::new(Vec::new()),
+            }),
+        };
+
+        if cluster.inner.net.sharded() {
+            // Weak so the handler (owned by the network, owned by Inner)
+            // does not cycle; a dropped cluster just stops applying.
+            let weak = Rc::downgrade(&cluster.inner);
+            cluster.inner.net.on_control(move |body| {
+                let ctl = body
+                    .downcast::<ClusterCtl>()
+                    .expect("unexpected cross-shard control payload");
+                if let Some(inner) = weak.upgrade() {
+                    inner.apply(&ctl);
+                }
+            });
+        }
+        cluster
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.inner.shard
+    }
+
+    /// The fleet-global node map.
+    pub fn topology(&self) -> &ShardTopology {
+        &self.inner.topo
+    }
+
+    /// The simulation handle this shard schedules on.
+    pub fn handle(&self) -> &SimHandle {
+        &self.inner.handle
+    }
+
+    /// This shard's network (NIC counters, partitions).
+    pub fn network(&self) -> &Network {
+        &self.inner.net
+    }
+
+    /// Daemons homed on this shard, `(global index, node)` pairs.
+    pub fn local_mcds(&self) -> &[(usize, McdNode)] {
+        &self.inner.local_mcds
+    }
+
+    /// Mount declared client `j` — which must be homed on this shard —
+    /// building the legacy stack
+    /// `GlusterMount → FuseBridge → [CMCache] → protocol/client`, with
+    /// the server leg in-process or cross-shard as the topology dictates.
+    pub fn mount_client(&self, j: usize) -> (Rc<GlusterMount>, Option<Rc<CmCache>>) {
+        let inner = &self.inner;
+        let topo = &inner.topo;
+        assert_eq!(
+            topo.client_shard(j),
+            inner.shard,
+            "client {j} is homed on shard {}, not {}",
+            topo.client_shard(j),
+            inner.shard
+        );
+        assert!(
+            !inner.mounts.borrow().iter().any(|m| m.client == j),
+            "client {j} is already mounted"
+        );
+        let client_node = topo.client_node(j);
+        let proto: Xlator = match &inner.server {
+            Some(tier) => ClientProtocol::connect(&tier.svc, client_node) as Xlator,
+            None => ClientProtocol::connect_remote(RpcClient::remote(
+                &inner.net,
+                client_node,
+                topo.server_node(),
+                None,
+            )) as Xlator,
+        };
+        let mut rec = MountRecord {
+            client: j,
+            cm: None,
+            io: None,
+            ra: None,
+            wb: None,
+        };
+        let stack: Xlator = match &topo.cfg.imca {
+            Some(imca) => {
+                let bank = Rc::new(bank_client(
+                    &inner.net,
+                    &inner.handle,
+                    topo,
+                    &inner.local_mcds,
+                    &inner.mcd_alive,
+                    &inner.mcd_quarantined,
+                    client_node,
+                    imca.retry.clone(),
+                ));
+                // Seed the re-admission RNG from the fleet-global client
+                // index, so degraded clients never probe in lockstep no
+                // matter which shard they mount on.
+                let cm = CmCache::with_overload(
+                    inner.handle.clone(),
+                    proto,
+                    bank,
+                    imca.block_size,
+                    imca.batching,
+                    imca.meta,
+                    imca.ladder,
+                    j as u64,
+                );
+                if imca.meta.policy == MetaPolicy::Lease {
+                    let svc: Service<LeaseRevoke, LeaseAck> =
+                        Service::bind(&inner.net, client_node);
+                    serve_revocations(cm.meta(), svc.clone());
+                    if let Some(tier) = &inner.server {
+                        // Same-shard client: register in-process, as the
+                        // legacy cluster does. (Remote clients were
+                        // pre-registered at build.)
+                        tier.lease_hub
+                            .as_ref()
+                            .expect("lease policy implies a hub")
+                            .register(svc.client(topo.server_node()));
+                    }
+                }
+                rec.cm = Some(Rc::clone(&cm));
+                cm as Xlator
+            }
+            None => proto,
+        };
+        let stack = match topo.cfg.client_io_cache {
+            Some((bytes, timeout)) => {
+                let ioc = IoCache::new(inner.handle.clone(), stack, bytes, timeout);
+                rec.io = Some(Rc::clone(&ioc));
+                ioc as Xlator
+            }
+            None => stack,
+        };
+        let stack = match topo.cfg.client_read_ahead {
+            Some(window) => {
+                let ra = ReadAhead::new(stack, window);
+                rec.ra = Some(Rc::clone(&ra));
+                ra as Xlator
+            }
+            None => stack,
+        };
+        let stack = match topo.cfg.client_write_behind {
+            Some(window) => {
+                let wb = WriteBehind::new(stack, window);
+                rec.wb = Some(Rc::clone(&wb));
+                wb as Xlator
+            }
+            None => stack,
+        };
+        let cm = rec.cm.clone();
+        inner.mounts.borrow_mut().push(rec);
+        let fuse = FuseBridge::with_cost(inner.handle.clone(), stack, topo.cfg.fuse_cost);
+        (GlusterMount::new(fuse as Xlator), cm)
+    }
+
+    fn ctl(&self, ctl: ClusterCtl) {
+        self.inner.apply(&ctl);
+        self.broadcast(ctl);
+    }
+
+    fn broadcast(&self, ctl: ClusterCtl) {
+        if !self.inner.net.sharded() {
+            return;
+        }
+        for s in 0..self.inner.topo.shards() {
+            if s != self.inner.shard {
+                self.inner.net.control_send(s, Box::new(ctl.clone()));
+            }
+        }
+    }
+
+    /// Kill bank daemon `i`, fleet-wide (remote shards learn one
+    /// lookahead later). Callable from any shard.
+    pub fn kill_mcd(&self, i: usize) {
+        self.ctl(ClusterCtl::KillMcd(i));
+    }
+
+    /// Revive bank daemon `i` (restarts empty), fleet-wide.
+    pub fn revive_mcd(&self, i: usize) {
+        self.ctl(ClusterCtl::ReviveMcd(i));
+    }
+
+    /// Partition daemon `i` from every other node, on every shard's
+    /// network (each shard judges the traffic it originates).
+    pub fn partition_mcd(&self, i: usize) {
+        self.ctl(ClusterCtl::PartitionMcd(i));
+    }
+
+    /// Heal the partition around daemon `i`, fleet-wide.
+    pub fn heal_mcd(&self, i: usize) {
+        self.ctl(ClusterCtl::HealMcd(i));
+    }
+
+    /// Install a fault plan scoped to the bank's daemon nodes on every
+    /// shard (the sharded [`crate::Cluster::install_bank_faults`]). Each
+    /// shard's plan RNG advances independently with the traffic it
+    /// judges.
+    pub fn install_bank_faults(&self, plan: FaultPlan) {
+        self.ctl(ClusterCtl::BankFaults(plan));
+    }
+
+    /// Install a storage fault plan on the server shard's backend.
+    pub fn install_storage_faults(&self, plan: StorageFaultPlan) {
+        self.ctl(ClusterCtl::StorageFaults(plan));
+    }
+
+    /// Crash the GlusterFS server daemon, fleet-wide.
+    pub fn crash_server(&self) {
+        self.ctl(ClusterCtl::CrashServer);
+    }
+
+    /// Restart a crashed server daemon and purge the bank before
+    /// returning (the legacy cold-restart fence). Must be driven from the
+    /// server shard so the purge is awaitable.
+    pub async fn restart_server(&self) {
+        let tier = self
+            .inner
+            .server
+            .as_ref()
+            .expect("restart_server must be driven from the server shard");
+        tier.control.restart();
+        tier.restarts.inc();
+        self.broadcast(ClusterCtl::RestartServer);
+        if let Some(sm) = &tier.smcache {
+            sm.purge_all().await;
+        }
+    }
+
+    /// Whether this shard believes the server daemon is accepting
+    /// requests (authoritative on shard 0, control-driven mirror
+    /// elsewhere).
+    pub fn server_alive(&self) -> bool {
+        match &self.inner.server {
+            Some(t) => t.control.is_alive(),
+            None => self.inner.server_alive_mirror.get(),
+        }
+    }
+
+    /// The server's storage backend (server shard only).
+    pub fn backend(&self) -> Option<&StorageBackend> {
+        self.inner.server.as_ref().map(|t| &t.backend)
+    }
+
+    /// SMCache counters (server shard of an IMCa deployment only).
+    pub fn smcache_stats(&self) -> Option<SmStats> {
+        self.inner
+            .server
+            .as_ref()
+            .and_then(|t| t.smcache.as_ref())
+            .map(|s| s.stats())
+    }
+
+    /// CMCache counters summed over the clients mounted on *this shard*.
+    pub fn cmcache_stats(&self) -> CmStats {
+        let mut total = CmStats::default();
+        for rec in self.inner.mounts.borrow().iter() {
+            if let Some(cm) = &rec.cm {
+                let s = cm.stats();
+                total.stat_hits += s.stat_hits;
+                total.stat_misses += s.stat_misses;
+                total.read_hits += s.read_hits;
+                total.read_misses += s.read_misses;
+            }
+        }
+        total
+    }
+
+    /// This shard's slice of the deployment-wide metrics document, under
+    /// the same fleet-global `tier.component[.instance].metric` names the
+    /// legacy [`crate::Cluster::metrics`] uses (daemon and client
+    /// instances carry their *global* indices). Summing every shard's
+    /// snapshot with [`Snapshot::merge_sum`] reproduces the one-document
+    /// view.
+    pub fn metrics(&self) -> Snapshot {
+        let inner = &self.inner;
+        let mut snap = Snapshot::new();
+        if let Some(t) = &inner.server {
+            t.registry.collect("server", &mut snap);
+            snap.set_gauge("server.alive", t.control.is_alive() as i64);
+            t.backend.collect("storage", &mut snap);
+            t.posix.collect("glusterfs.posix", &mut snap);
+            if let Some(sm) = &t.smcache {
+                sm.collect("smcache", &mut snap);
+            }
+            if let Some(hub) = &t.lease_hub {
+                hub.collect("leases", &mut snap);
+            }
+        }
+        inner.net.collect("fabric", &mut snap);
+        if let Some(reg) = &inner.bank_registry {
+            reg.collect("bank", &mut snap);
+        }
+        for (gi, m) in &inner.local_mcds {
+            m.collect(&format!("bank.mcd.{gi}"), &mut snap);
+            snap.set_counter(format!("bank.per_daemon.{gi}.gets"), m.stats().cmd_get);
+            snap.set_counter(format!("bank.per_daemon.{gi}.sheds"), m.sheds());
+        }
+        for rec in inner.mounts.borrow().iter() {
+            let j = rec.client;
+            if let Some(cm) = &rec.cm {
+                cm.collect(&format!("cmcache.{j}"), &mut snap);
+            }
+            if let Some(ioc) = &rec.io {
+                ioc.collect(&format!("glusterfs.iocache.{j}"), &mut snap);
+            }
+            if let Some(ra) = &rec.ra {
+                ra.collect(&format!("glusterfs.readahead.{j}"), &mut snap);
+            }
+            if let Some(wb) = &rec.wb {
+                wb.collect(&format!("glusterfs.writebehind.{j}"), &mut snap);
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ImcaConfig;
+    use imca_memcached::McConfig;
+    use imca_sim::{ParSim, Sim, SimDuration};
+
+    fn small_imca(n_mcds: usize) -> ClusterConfig {
+        ClusterConfig::imca(ImcaConfig {
+            mcd_count: n_mcds,
+            mcd_config: McConfig::with_mem_limit(8 << 20),
+            ..ImcaConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_plan_runs_the_legacy_stack_on_a_plain_sim() {
+        let mut sim = Sim::new(1);
+        let topo = ShardTopology::new(small_imca(2), ShardPlan::single(), 1);
+        let cluster = ShardCluster::build(sim.handle(), None, topo);
+        assert!(!cluster.network().sharded());
+        let c2 = cluster.clone();
+        sim.spawn(async move {
+            let (m, _cm) = c2.mount_client(0);
+            m.create("/vol/data.bin").await.unwrap();
+            let fd = m.open("/vol/data.bin").await.unwrap();
+            let payload: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 251) as u8).collect();
+            m.write(fd, 0, &payload).await.unwrap();
+            let r1 = m.read(fd, 1000, 5000).await.unwrap();
+            assert_eq!(r1, payload[1000..6000].to_vec());
+            let r2 = m.read(fd, 1000, 5000).await.unwrap();
+            assert_eq!(r2, r1);
+            m.close(fd).await.unwrap();
+        });
+        sim.run();
+        assert!(cluster.cmcache_stats().read_hits >= 1);
+        let snap = cluster.metrics();
+        for name in [
+            "fabric.rpc.call_ns",
+            "storage.pagecache.hits",
+            "bank.mcd.0.store.cmd_get",
+            "smcache.blocks_pushed",
+            "cmcache.0.read_hits",
+        ] {
+            assert!(snap.metrics.contains_key(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_serves_reads_and_controls_across_shards() {
+        // 3 shards: server tier / 1-daemon bank / 1-client group.
+        let topo = ShardTopology::new(
+            small_imca(1),
+            ShardPlan {
+                client_groups: 1,
+                bank_shards: 1,
+            },
+            1,
+        );
+        assert_eq!(topo.shards(), 3);
+        assert_eq!(topo.mcd_shard(0), 1);
+        assert_eq!(topo.client_shard(0), 2);
+        let la = topo.max_lookahead();
+        let mut par = ParSim::new(11).lookahead(la).workers(2);
+        for _ in 0..topo.shards() {
+            let topo = topo.clone();
+            par.add_shard(move |ctx| {
+                let h = ctx.handle();
+                let cluster = ShardCluster::build(h.clone(), Some(ctx.comms()), topo);
+                match ctx.shard() {
+                    2 => {
+                        // The client: write, hit the bank, then survive a
+                        // daemon kill landing mid-run.
+                        let (m, _cm) = cluster.mount_client(0);
+                        let h2 = h.clone();
+                        h.spawn(async move {
+                            m.create("/s").await.unwrap();
+                            let fd = m.open("/s").await.unwrap();
+                            m.write(fd, 0, &vec![7u8; 4096]).await.unwrap();
+                            assert_eq!(m.read(fd, 0, 4096).await.unwrap(), vec![7u8; 4096]);
+                            // Past the kill at t=50ms: the bank is gone,
+                            // but the server still serves the bytes.
+                            h2.sleep(SimDuration::millis(100)).await;
+                            assert_eq!(m.read(fd, 0, 4096).await.unwrap(), vec![7u8; 4096]);
+                        });
+                    }
+                    0 => {
+                        // The driver: kill the (remote) daemon mid-run,
+                        // revive it near the end.
+                        let c = cluster.clone();
+                        let h2 = h.clone();
+                        h.spawn(async move {
+                            h2.sleep(SimDuration::millis(50)).await;
+                            c.kill_mcd(0);
+                            h2.sleep(SimDuration::millis(100)).await;
+                            c.revive_mcd(0);
+                        });
+                    }
+                    _ => {}
+                }
+                let c2 = cluster.clone();
+                move || c2.metrics()
+            });
+        }
+        let mut summary = par.run();
+        let mut merged = summary.take::<Snapshot>(0);
+        for s in 1..3 {
+            merged.merge_sum(&summary.take::<Snapshot>(s));
+        }
+        // The data path crossed shards: the daemon served real gets, the
+        // client recorded a bank hit, the server pushed blocks.
+        assert!(merged.counter("bank.mcd.0.store.cmd_get").unwrap() >= 1);
+        assert!(merged.counter("cmcache.0.read_hits").unwrap() >= 1);
+        assert!(merged.counter("smcache.blocks_pushed").unwrap() >= 1);
+        // The control plane crossed shards: exactly one failover and one
+        // revival, counted on the daemon's home shard.
+        assert_eq!(merged.counter("bank.mcd_failovers"), Some(1));
+        assert_eq!(merged.counter("bank.mcd_revivals"), Some(1));
+        // And the post-kill read was a miss served by the server.
+        assert!(merged.counter("cmcache.0.read_misses").unwrap() >= 1);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_worker_counts() {
+        fn run(workers: usize) -> (u64, Snapshot) {
+            let topo = ShardTopology::new(
+                small_imca(2),
+                ShardPlan {
+                    client_groups: 2,
+                    bank_shards: 1,
+                },
+                2,
+            );
+            let mut par = ParSim::new(5)
+                .lookahead(topo.max_lookahead())
+                .workers(workers);
+            for _ in 0..topo.shards() {
+                let topo = topo.clone();
+                par.add_shard(move |ctx| {
+                    let h = ctx.handle();
+                    let cluster = ShardCluster::build(h.clone(), Some(ctx.comms()), topo);
+                    let c = cluster.clone();
+                    let shard = ctx.shard();
+                    for j in 0..c.topology().clients() {
+                        if c.topology().client_shard(j) == shard {
+                            let (m, _) = c.mount_client(j);
+                            let h2 = h.clone();
+                            h.spawn(async move {
+                                let path = format!("/w{j}");
+                                m.create(&path).await.unwrap();
+                                let fd = m.open(&path).await.unwrap();
+                                for k in 0..8u64 {
+                                    m.write(fd, k * 512, &[k as u8; 512]).await.unwrap();
+                                    m.read(fd, k * 256, 512).await.unwrap();
+                                    h2.sleep(SimDuration::micros(100)).await;
+                                }
+                            });
+                        }
+                    }
+                    let c2 = cluster.clone();
+                    move || c2.metrics()
+                });
+            }
+            let mut summary = par.run();
+            let mut merged = summary.take::<Snapshot>(0);
+            for s in 1..4 {
+                merged.merge_sum(&summary.take::<Snapshot>(s));
+            }
+            (summary.end_time.as_nanos(), merged)
+        }
+        let (t1, m1) = run(1);
+        let (t2, m2) = run(2);
+        let (t8, m8) = run(8);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t8);
+        assert_eq!(m1, m2);
+        assert_eq!(m1, m8);
+    }
+}

@@ -70,7 +70,7 @@ mod time;
 mod util;
 mod wheel;
 
-pub use shard::{Envelope, ParSim, ParSummary, ShardComms, ShardCtx, NET_NODE};
+pub use shard::{Envelope, ParSim, ParSummary, ShardComms, ShardCtx, WorkerProfile, NET_NODE};
 pub use sim::{yield_now, Delay, RunSummary, Sim, SimHandle, YieldNow};
 pub use time::{SimDuration, SimTime};
 pub use util::{join2, join_all, timeout, TokenBucket};

@@ -258,6 +258,18 @@ pub struct ParSim {
     builders: Vec<ShardBuilder>,
 }
 
+/// Wall-clock execution profile of one worker thread. Measured with the
+/// host clock, so it is *not* part of the deterministic trace — it exists
+/// to make shard-plan quality observable (a plan whose workers sit mostly
+/// idle left parallelism on the table).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerProfile {
+    /// Wall time spent building shards and executing epoch windows.
+    pub busy: std::time::Duration,
+    /// Wall time spent waiting at epoch barriers / coordination.
+    pub idle: std::time::Duration,
+}
+
 /// Aggregated result of a [`ParSim`] run.
 pub struct ParSummary {
     /// Latest virtual end time across shards.
@@ -272,10 +284,21 @@ pub struct ParSummary {
     pub epochs: u64,
     /// Per-shard run summaries, indexed by shard.
     pub shards: Vec<RunSummary>,
+    /// Per-worker busy/idle wall-clock profile, indexed by worker.
+    pub workers: Vec<WorkerProfile>,
+    /// Wall time each shard spent executing its epoch windows, indexed by
+    /// shard. The serial run's per-shard times project the critical path
+    /// of any worker assignment (shards are assigned round-robin).
+    pub shard_busy: Vec<std::time::Duration>,
     outputs: Vec<Option<ShardOutput>>,
 }
 
 impl ParSummary {
+    /// Mean task polls per barrier epoch — the work the lookahead window
+    /// amortises each barrier over. Low values mean the barriers dominate.
+    pub fn events_per_epoch(&self) -> f64 {
+        self.events as f64 / self.epochs.max(1) as f64
+    }
     /// Take shard `shard`'s output, downcast to its concrete type.
     ///
     /// # Panics
@@ -358,12 +381,21 @@ impl ParSim {
 
     /// Set the worker count from `IMCA_SIM_WORKERS` if present (used by CI
     /// to pin the parallel path), else `default`.
+    ///
+    /// # Panics
+    /// Panics if the variable is set but is not a positive integer. A CI
+    /// job that exports `IMCA_SIM_WORKERS=two` (or `0`) believes it pinned
+    /// the parallel path; silently falling back to `default` would let the
+    /// suite pass without ever exercising it.
     pub fn workers_from_env(self, default: usize) -> ParSim {
-        let workers = std::env::var("IMCA_SIM_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w >= 1)
-            .unwrap_or(default);
+        let workers = match std::env::var("IMCA_SIM_WORKERS") {
+            Err(std::env::VarError::NotPresent) => default,
+            Err(e) => panic!("IMCA_SIM_WORKERS is not valid unicode: {e}"),
+            Ok(v) => match v.parse::<usize>() {
+                Ok(w) if w >= 1 => w,
+                _ => panic!("IMCA_SIM_WORKERS must be a positive integer, got {v:?}"),
+            },
+        };
         self.workers(workers)
     }
 
@@ -415,8 +447,8 @@ impl ParSim {
             epochs: 0,
         });
         let barrier = Barrier::new(workers);
-        type SlotResult = (usize, RunSummary, Option<ShardOutput>);
         let results: Mutex<Vec<SlotResult>> = Mutex::new(Vec::new());
+        let profiles: Mutex<Vec<(usize, WorkerProfile)>> = Mutex::new(Vec::new());
 
         let mut per_worker: Vec<Vec<(usize, ShardBuilder)>> =
             (0..workers).map(|_| Vec::new()).collect();
@@ -432,9 +464,11 @@ impl ParSim {
                     let coord = &coord;
                     let barrier = &barrier;
                     let results = &results;
+                    let profiles = &profiles;
                     scope.spawn(move || {
                         worker_main(
                             wid, own, shards, seed, scheduler, lookahead, coord, barrier, results,
+                            profiles,
                         )
                     })
                 })
@@ -454,7 +488,11 @@ impl ParSim {
         });
 
         let mut slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
-        slots.sort_by_key(|(idx, _, _)| *idx);
+        slots.sort_by_key(|(idx, _, _, _)| *idx);
+        let mut worker_slots = profiles
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        worker_slots.sort_by_key(|(wid, _)| *wid);
         let coord = coord.into_inner().unwrap_or_else(PoisonError::into_inner);
         let mut summary = ParSummary {
             end_time: SimTime::ZERO,
@@ -463,14 +501,17 @@ impl ParSim {
             tasks_leaked: 0,
             epochs: coord.epochs,
             shards: Vec::with_capacity(shards),
+            workers: worker_slots.into_iter().map(|(_, p)| p).collect(),
+            shard_busy: Vec::with_capacity(shards),
             outputs: Vec::with_capacity(shards),
         };
-        for (_, s, out) in slots {
+        for (_, s, out, busy) in slots {
             summary.end_time = summary.end_time.max(s.end_time);
             summary.events += s.events;
             summary.tasks_spawned += s.tasks_spawned;
             summary.tasks_leaked += s.tasks_leaked;
             summary.shards.push(s);
+            summary.shard_busy.push(busy);
             summary.outputs.push(out);
         }
         summary
@@ -483,6 +524,8 @@ struct ShardRt {
     sim: Sim,
     comms: ShardComms,
     finisher: Option<Finisher>,
+    /// Wall time this shard spent executing epoch windows (profiling).
+    busy: std::time::Duration,
 }
 
 fn build_shard(
@@ -531,6 +574,7 @@ fn build_shard(
         sim,
         comms,
         finisher: Some(finisher),
+        busy: std::time::Duration::ZERO,
     }
 }
 
@@ -596,6 +640,10 @@ fn compute_epoch(c: &mut Coord, lookahead: SimDuration) {
     c.epochs += 1;
 }
 
+/// One finished shard's record: `(shard index, summary, finisher
+/// output, busy wall time)`.
+type SlotResult = (usize, RunSummary, Option<ShardOutput>, std::time::Duration);
+
 #[allow(clippy::too_many_arguments)]
 fn worker_main(
     wid: usize,
@@ -606,8 +654,11 @@ fn worker_main(
     lookahead: SimDuration,
     coord: &Mutex<Coord>,
     barrier: &Barrier,
-    results: &Mutex<Vec<(usize, RunSummary, Option<ShardOutput>)>>,
+    results: &Mutex<Vec<SlotResult>>,
+    profiles: &Mutex<Vec<(usize, WorkerProfile)>>,
 ) {
+    let started = std::time::Instant::now();
+    let mut busy = std::time::Duration::ZERO;
     // Build on this thread (shard state never crosses threads). A panic
     // here or in an epoch must not strand peers at the barrier: record it,
     // poison the run, keep participating until everyone agrees to stop,
@@ -625,6 +676,7 @@ fn worker_main(
             Vec::new()
         }
     };
+    busy += started.elapsed();
     {
         let mut c = lock(coord);
         for sh in &my_shards {
@@ -652,16 +704,20 @@ fn worker_main(
         if panic_payload.is_some() {
             continue; // already failed; just keep the barriers balanced
         }
+        let work_t0 = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut posts: Vec<(usize, Option<u64>)> = Vec::with_capacity(my_shards.len());
             let mut sent: Vec<Parcel> = Vec::new();
             for (sh, batch) in my_shards.iter_mut().zip(batches) {
+                let t0 = std::time::Instant::now();
                 let (next, outs) = run_epoch(sh, batch, horizon);
+                sh.busy += t0.elapsed();
                 posts.push((sh.idx, next));
                 sent.extend(outs);
             }
             (posts, sent)
         }));
+        busy += work_t0.elapsed();
         match outcome {
             Ok((posts, sent)) => {
                 let mut c = lock(coord);
@@ -680,10 +736,12 @@ fn worker_main(
     if let Some(payload) = panic_payload {
         resume_unwind(payload);
     }
+    let idle = started.elapsed().saturating_sub(busy);
+    lock(profiles).push((wid, WorkerProfile { busy, idle }));
     for mut sh in my_shards {
         let out = sh.finisher.take().map(|f| f());
         let summary = sh.sim.summary();
-        lock(results).push((sh.idx, summary, out));
+        lock(results).push((sh.idx, summary, out, sh.busy));
     }
 }
 
@@ -806,5 +864,49 @@ mod tests {
             (0..3).flat_map(|i| s.take::<Vec<u64>>(i)).collect()
         }
         assert_eq!(draws(1), draws(3));
+    }
+
+    /// One test covers every `IMCA_SIM_WORKERS` shape because the process
+    /// environment is shared mutable state — splitting the cases into
+    /// separate `#[test]`s would race under the parallel test runner.
+    #[test]
+    fn workers_from_env_is_strict_about_malformed_values() {
+        const VAR: &str = "IMCA_SIM_WORKERS";
+        // Unset: fall back to the explicit default.
+        std::env::remove_var(VAR);
+        assert_eq!(ParSim::new(0).workers_from_env(3).workers, 3);
+        // Well-formed: the variable wins.
+        std::env::set_var(VAR, "2");
+        assert_eq!(ParSim::new(0).workers_from_env(3).workers, 2);
+        // Malformed or zero: refuse loudly instead of silently running the
+        // serial path CI believed it had overridden.
+        for bad in ["two", "0", "-1", "1.5", ""] {
+            std::env::set_var(VAR, bad);
+            let got = catch_unwind(AssertUnwindSafe(|| {
+                ParSim::new(0).workers_from_env(3);
+            }));
+            assert!(got.is_err(), "value {bad:?} must panic");
+        }
+        std::env::remove_var(VAR);
+    }
+
+    #[test]
+    fn profiles_cover_workers_and_shards() {
+        let mut par = ParSim::new(7).workers(2);
+        for _ in 0..3 {
+            par.add_shard(|ctx| {
+                let h = ctx.handle();
+                let h2 = h.clone();
+                h.spawn(async move {
+                    h2.sleep(SimDuration::micros(5)).await;
+                });
+                || ()
+            });
+        }
+        let s = par.run();
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.shard_busy.len(), 3);
+        assert!(s.epochs > 0);
+        assert!(s.events_per_epoch() > 0.0);
     }
 }

@@ -95,7 +95,7 @@ impl LatencyResult {
     }
 }
 
-fn file_for(client: usize, size: u64, shared: bool) -> String {
+pub(crate) fn file_for(client: usize, size: u64, shared: bool) -> String {
     if shared {
         format!("/bench/lat/shared/r{size}")
     } else {
@@ -261,7 +261,7 @@ pub fn run(cfg: &LatencyBench) -> LatencyResult {
 }
 
 /// Deterministic record contents so reads can verify integrity end-to-end.
-fn record_bytes(size: u64, k: u64) -> Vec<u8> {
+pub(crate) fn record_bytes(size: u64, k: u64) -> Vec<u8> {
     (0..size).map(|i| ((k * 131 + i * 7) % 251) as u8).collect()
 }
 

@@ -172,32 +172,32 @@ impl OverloadOut {
 }
 
 /// splitmix64, for `(seed, client)` stream seeding.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-fn exp_sample(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+pub(crate) fn exp_sample(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
     let u: f64 = rng.gen();
     SimDuration::nanos((-(1.0 - u).ln() * mean.as_nanos() as f64) as u64)
 }
 
-fn hot_path(file: usize) -> String {
+pub(crate) fn hot_path(file: usize) -> String {
     format!("/bench/overload/hot{file}")
 }
 
 /// Deterministic block contents, verified on every timed read in debug
 /// builds — overload protection must never trade correctness for
 /// latency (the NoCache-equivalence property).
-fn block_bytes(file: usize, block: u64, len: u64) -> Vec<u8> {
+pub(crate) fn block_bytes(file: usize, block: u64, len: u64) -> Vec<u8> {
     (0..len)
         .map(|i| ((file as u64 * 89 + block * 131 + i * 7) % 251) as u8)
         .collect()
 }
 
-fn cluster_config(cfg: &OverloadBench) -> ClusterConfig {
+pub(crate) fn cluster_config(cfg: &OverloadBench) -> ClusterConfig {
     let base = RetryPolicy {
         deadline: cfg.deadline,
         circuit_cooldown: cfg.circuit_cooldown,

@@ -56,7 +56,7 @@ impl StatBenchResult {
     }
 }
 
-fn file_path(i: usize) -> String {
+pub(crate) fn file_path(i: usize) -> String {
     format!("/bench/stat/file{i:06}")
 }
 

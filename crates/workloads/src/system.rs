@@ -96,6 +96,40 @@ impl SystemSpec {
         spec
     }
 
+    /// The [`ClusterConfig`] this spec deploys, for specs that run on
+    /// GlusterFS; `None` for Lustre. The sharded benchmark runners use
+    /// this to lay the same deployment out over a `ParSim` fleet.
+    pub fn cluster_config(&self) -> Option<ClusterConfig> {
+        match self {
+            SystemSpec::GlusterNoCache => Some(ClusterConfig::nocache()),
+            SystemSpec::Imca {
+                mcds,
+                block_size,
+                selector,
+                threaded,
+                mcd_mem,
+                rdma_bank,
+                batched,
+                replication,
+                meta,
+            } => Some(ClusterConfig::imca(ImcaConfig {
+                mcd_count: *mcds,
+                block_size: *block_size,
+                selector: *selector,
+                threaded_updates: *threaded,
+                batching: *batched,
+                mcd_config: McConfig::with_mem_limit(*mcd_mem),
+                bank_transport: rdma_bank.then(Transport::rdma_ddr),
+                replication: Replication {
+                    factor: *replication,
+                },
+                meta: *meta,
+                ..ImcaConfig::default()
+            })),
+            SystemSpec::Lustre { .. } => None,
+        }
+    }
+
     /// Short label for report tables, matching the paper's legends.
     pub fn label(&self) -> String {
         match self {
@@ -123,31 +157,8 @@ impl Deployment {
             SystemSpec::GlusterNoCache => {
                 Deployment::Gluster(Rc::new(Cluster::build(handle, ClusterConfig::nocache())))
             }
-            SystemSpec::Imca {
-                mcds,
-                block_size,
-                selector,
-                threaded,
-                mcd_mem,
-                rdma_bank,
-                batched,
-                replication,
-                meta,
-            } => {
-                let cfg = ClusterConfig::imca(ImcaConfig {
-                    mcd_count: *mcds,
-                    block_size: *block_size,
-                    selector: *selector,
-                    threaded_updates: *threaded,
-                    batching: *batched,
-                    mcd_config: McConfig::with_mem_limit(*mcd_mem),
-                    bank_transport: rdma_bank.then(Transport::rdma_ddr),
-                    replication: Replication {
-                        factor: *replication,
-                    },
-                    meta: *meta,
-                    ..ImcaConfig::default()
-                });
+            SystemSpec::Imca { .. } => {
+                let cfg = spec.cluster_config().expect("Imca has a cluster config");
                 Deployment::Gluster(Rc::new(Cluster::build(handle, cfg)))
             }
             SystemSpec::Lustre { osts, .. } => Deployment::Lustre(Rc::new(LustreCluster::build(

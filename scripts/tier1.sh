@@ -12,10 +12,12 @@
 #                               ablation (ablate_cas), the engine-speed
 #                               scaling sweep (fig8_scale), and the
 #                               overload-protection ablation
-#                               (ablate_overload), leaving
-#                               results/BENCH_5.json through BENCH_9.json
-#                               behind, and re-run the determinism suite
-#                               with two ParSim workers
+#                               (ablate_overload), and the sharded-fleet
+#                               ablation (ablate_sharding, plus a
+#                               two-worker sharded fig10_shared smoke),
+#                               leaving results/BENCH_5.json through
+#                               BENCH_10.json behind, and re-run the
+#                               determinism suite with two ParSim workers
 #
 # The root package's tests are the contract (see ROADMAP.md); the strict
 # mode is what CI runs before merging.
@@ -97,6 +99,18 @@ if [[ "${1:-}" == "--strict" ]]; then
     test -s results/BENCH_8.json
     test -s results/BENCH_9.json
     grep -q '"goodput_plateaus": true' results/BENCH_9.json
+
+    # Sharded-fleet smoke: first the Fig 10 sweep on the two-worker
+    # fleet (the --workers/IMCA_SIM_WORKERS path through the bench
+    # binaries), then ablate_sharding, which replays the same sweep at
+    # 1 and 8 workers, asserts bit-identity, computes the critical-path
+    # speedup of the shard cut, and writes results/BENCH_10.json. The
+    # greps re-check both headline claims against the emitted document.
+    IMCA_SIM_WORKERS=2 cargo run --release -q -p imca-bench --bin fig10_shared -- --smoke --out results
+    cargo run --release -q -p imca-bench --bin ablate_sharding -- --smoke --out results
+    test -s results/BENCH_10.json
+    grep -q '"sharded_speedup"' results/BENCH_10.json
+    grep -q '"sharded_bitident": true' results/BENCH_10.json
 
     # The determinism suite runs in the default test pass with one ParSim
     # worker; re-run it with two so the genuinely parallel path (barrier

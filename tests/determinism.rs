@@ -16,9 +16,14 @@ mod common;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use imca_repro::imca::MetaConfig;
+use imca_repro::fabric::FaultPlan;
+use imca_repro::imca::{
+    ClusterConfig, ImcaConfig, MetaConfig, Replication, ShardCluster, ShardPlan, ShardTopology,
+};
+use imca_repro::memcached::McConfig;
 use imca_repro::metrics::Snapshot;
-use imca_repro::sim::{ParSim, Scheduler, SimDuration};
+use imca_repro::sim::{ParSim, Scheduler, ShardComms, Sim, SimDuration, SimHandle, SimTime};
+use imca_repro::storage::StorageFaultPlan;
 
 const SEED: u64 = 1973;
 const COLLECTOR: usize = 3;
@@ -145,6 +150,277 @@ fn chaos_fleet_matches_under_env_selected_workers() {
         env,
         "fleet trace diverged under IMCA_SIM_WORKERS={:?}",
         std::env::var("IMCA_SIM_WORKERS").ok()
+    );
+}
+
+// ---------------------------------------------------------------------
+// The sharded-`Cluster` storm: ONE production cluster cut into shards
+// (server tier, bank, two client groups), with every fault class —
+// bank packet loss, a network drop window, an MCD kill/revive, a
+// partition/heal, fractional storage errors with a brown-out window and
+// a slow disk, and a server crash/restart — crossing shard boundaries
+// through the `ClusterCtl` control channel. The trace must not depend
+// on the worker count, and the single-shard plan on a plain `Sim` must
+// replay the exact same storm (the fast-path claim from DESIGN.md §7).
+// ---------------------------------------------------------------------
+
+const STORM_SEED: u64 = 0x5707;
+const STORM_CLIENTS: usize = 2;
+
+fn storm_config() -> ClusterConfig {
+    ClusterConfig::imca(ImcaConfig {
+        mcd_count: 2,
+        block_size: 8192,
+        mcd_config: McConfig::with_mem_limit(8 << 20),
+        replication: Replication { factor: 2 },
+        ..ImcaConfig::default()
+    })
+}
+
+/// Everything the storm exposes; engine bookkeeping (raw event counts,
+/// epochs) deliberately excluded so the plain-`Sim` baseline — which has
+/// no comms pump task — compares equal.
+#[derive(Debug, PartialEq)]
+struct StormTrace {
+    end_time: u64,
+    /// `(client, io errors)` in client order.
+    client_errors: Vec<(usize, u64)>,
+    /// Fleet-wide metrics, summed over shards.
+    merged: Snapshot,
+}
+
+/// One client's side of the storm: seed a file, then interleave
+/// extending writes (through cold backend pages — the dropped-push
+/// path) with reads while the fault driver tears the cluster apart.
+async fn client_storm(cluster: ShardCluster, h: SimHandle, j: usize) -> u64 {
+    let (m, _cm) = cluster.mount_client(j);
+    let path = format!("/chaos/{j}");
+    let mut errs = 0u64;
+    // Seed under fire: the storm is already blowing, so every setup op
+    // retries (deterministically) until it lands.
+    while m.create(&path).await.is_err() {
+        errs += 1;
+        h.sleep(SimDuration::micros(500)).await;
+    }
+    let fd = loop {
+        match m.open(&path).await {
+            Ok(fd) => break fd,
+            Err(_) => {
+                errs += 1;
+                h.sleep(SimDuration::micros(500)).await;
+            }
+        }
+    };
+    if m.write(fd, 0, &vec![j as u8; 8192]).await.is_err() {
+        errs += 1;
+    }
+    for round in 0..40u64 {
+        h.sleep(SimDuration::micros(120 + 30 * j as u64)).await;
+        let off = (round * 1111) % 8192;
+        if round % 4 == j as u64 % 2 {
+            let woff = 8192 * (1 + round / 4) + off % 4096;
+            if m.write(fd, woff, &vec![round as u8; 1500]).await.is_err() {
+                errs += 1;
+            }
+        } else {
+            // Alternate the warm seeded block with the cold write
+            // frontier, so reads reach the faulted disks too.
+            let roff = if round % 2 == 0 {
+                off
+            } else {
+                8192 * (1 + round / 4)
+            };
+            if m.read(fd, roff, 2000).await.is_err() {
+                errs += 1;
+            }
+        }
+    }
+    errs
+}
+
+/// The fault schedule, driven from the server shard on virtual time so
+/// every control crosses to the bank and client shards mid-traffic.
+async fn fault_driver(cluster: ShardCluster, h: SimHandle, seed: u64) {
+    cluster.install_bank_faults(FaultPlan {
+        loss: 0.03,
+        jitter: SimDuration::micros(2),
+        ..FaultPlan::seeded(seed)
+    });
+    h.sleep(SimDuration::micros(400)).await;
+    let now = h.now().as_nanos();
+    // Client rounds take 10–45 ms each under packet loss (RPC timeouts
+    // dominate), so the whole storm spans ~0.5 s of virtual time — the
+    // schedule below paces the faults across that window.
+    cluster.install_storage_faults(StorageFaultPlan {
+        read_error: 0.5,
+        write_error: 0.4,
+        error_windows: vec![(SimTime(now + 1_000_000), SimTime(now + 300_000_000))],
+        slow_disks: vec![0],
+        slow_factor: 6.0,
+        ..StorageFaultPlan::seeded(seed ^ 0xD15C)
+    });
+    // A cold page cache forces every server read/flush to the sick
+    // media — without this the page cache absorbs the whole storm.
+    let backend = cluster.backend().expect("driver runs on server shard");
+    for _ in 0..10 {
+        h.sleep(SimDuration::millis(10)).await;
+        backend.drop_caches();
+    }
+    cluster.kill_mcd(0);
+    h.sleep(SimDuration::millis(50)).await;
+    cluster.revive_mcd(0);
+    h.sleep(SimDuration::millis(50)).await;
+    cluster.partition_mcd(1);
+    h.sleep(SimDuration::millis(50)).await;
+    cluster.heal_mcd(1);
+    let from = h.now();
+    cluster
+        .network()
+        .add_drop_window(from, SimTime(from.as_nanos() + 5_000_000));
+    h.sleep(SimDuration::millis(50)).await;
+    cluster.crash_server();
+    h.sleep(SimDuration::millis(60)).await;
+    cluster.restart_server().await;
+    cluster.install_storage_faults(StorageFaultPlan::default());
+}
+
+/// Wire one shard of the storm (also the whole cluster when `topo` is
+/// the single-shard plan): build this shard's slice, spawn the clients
+/// homed here and — on the server shard — the fault driver. Returns the
+/// shard's finisher.
+fn wire_storm_shard(
+    h: SimHandle,
+    comms: Option<ShardComms>,
+    topo: ShardTopology,
+    shard: usize,
+) -> impl FnOnce() -> (Vec<(usize, u64)>, Snapshot) {
+    let cluster = ShardCluster::build(h.clone(), comms, topo.clone());
+    let errs: Rc<RefCell<Vec<(usize, u64)>>> = Rc::default();
+    for j in 0..topo.clients() {
+        if topo.client_shard(j) != shard {
+            continue;
+        }
+        let c = cluster.clone();
+        let h2 = h.clone();
+        let errs2 = Rc::clone(&errs);
+        h.spawn(async move {
+            let e = client_storm(c, h2, j).await;
+            errs2.borrow_mut().push((j, e));
+        });
+    }
+    if shard == 0 {
+        let c = cluster.clone();
+        let h2 = h.clone();
+        h.spawn(async move {
+            fault_driver(c, h2, STORM_SEED).await;
+        });
+    }
+    move || {
+        let mut v = errs.borrow().clone();
+        v.sort_unstable();
+        (v, cluster.metrics())
+    }
+}
+
+/// Run the storm as a `ParSim` fleet under `plan`. Returns the trace
+/// plus the engine bookkeeping (compared only between fleet runs).
+fn run_storm_fleet(plan: ShardPlan, workers: usize) -> (StormTrace, u64, u64) {
+    let topo = ShardTopology::new(storm_config(), plan, STORM_CLIENTS);
+    let mut par = ParSim::new(STORM_SEED)
+        .lookahead(topo.max_lookahead())
+        .workers(workers);
+    for _ in 0..topo.shards() {
+        let topo2 = topo.clone();
+        par.add_shard(move |ctx| {
+            wire_storm_shard(ctx.handle().clone(), Some(ctx.comms()), topo2, ctx.shard())
+        });
+    }
+    let mut s = par.run();
+    let mut client_errors = Vec::new();
+    let mut merged = Snapshot::new();
+    for sh in 0..topo.shards() {
+        let (errs, snap) = s.take::<(Vec<(usize, u64)>, Snapshot)>(sh);
+        client_errors.extend(errs);
+        merged.merge_sum(&snap);
+    }
+    client_errors.sort_unstable();
+    let trace = StormTrace {
+        end_time: s.end_time.as_nanos(),
+        client_errors,
+        merged,
+    };
+    (trace, s.events, s.epochs)
+}
+
+/// The same storm on the legacy engine: single-shard plan, no comms,
+/// one plain `Sim`.
+fn run_storm_plain() -> StormTrace {
+    let topo = ShardTopology::new(storm_config(), ShardPlan::single(), STORM_CLIENTS);
+    let mut sim = Sim::new(STORM_SEED);
+    let finish = wire_storm_shard(sim.handle(), None, topo, 0);
+    let s = sim.run();
+    let (client_errors, merged) = finish();
+    StormTrace {
+        end_time: s.end_time.as_nanos(),
+        client_errors,
+        merged,
+    }
+}
+
+/// The storm actually crossed shard boundaries and bit — guards against
+/// vacuous equality.
+fn assert_storm_bit(trace: &StormTrace) {
+    assert_eq!(trace.client_errors.len(), STORM_CLIENTS);
+    assert!(
+        trace.client_errors.iter().map(|&(_, e)| e).sum::<u64>() > 0,
+        "the storm never surfaced a client I/O error: {:?}",
+        trace.client_errors
+    );
+    assert!(
+        trace.merged.counter("storage.io_errors").unwrap_or(0) > 0,
+        "no storage errors"
+    );
+    assert_eq!(trace.merged.counter("server.crashes"), Some(1));
+    assert_eq!(trace.merged.counter("server.restarts"), Some(1));
+    assert_eq!(trace.merged.counter("bank.mcd_failovers"), Some(1));
+    assert_eq!(trace.merged.counter("bank.mcd_revivals"), Some(1));
+}
+
+#[test]
+fn sharded_cluster_storm_replays_bit_identically_across_worker_counts() {
+    let plan = ShardPlan {
+        client_groups: 2,
+        bank_shards: 1,
+    };
+    let (base, events, epochs) = run_storm_fleet(plan, 1);
+    assert_storm_bit(&base);
+    for workers in [2usize, 8] {
+        let (w, ev, ep) = run_storm_fleet(plan, workers);
+        assert_eq!(
+            base, w,
+            "sharded-cluster storm diverged between workers=1 and workers={workers}"
+        );
+        assert_eq!(
+            (events, epochs),
+            (ev, ep),
+            "engine bookkeeping diverged at workers={workers}"
+        );
+    }
+}
+
+/// The fast-path claim: the single-shard plan on `ParSim` replays the
+/// plain-`Sim` storm exactly — same virtual end time, same client
+/// errors, same merged metrics. (Event counts are engine bookkeeping —
+/// the fleet's comms pump task spawns extra events — so `StormTrace`
+/// doesn't carry them.)
+#[test]
+fn sharded_cluster_single_plan_matches_plain_sim_baseline() {
+    let (par, _, _) = run_storm_fleet(ShardPlan::single(), 1);
+    let plain = run_storm_plain();
+    assert_storm_bit(&plain);
+    assert_eq!(
+        par, plain,
+        "single-shard fleet diverged from the plain-Sim baseline"
     );
 }
 
